@@ -1,0 +1,60 @@
+//! Adversarial structural changes for the Diversification protocol.
+//!
+//! The paper claims robustness: diversity, fairness and sustainability
+//! continue to hold "when an adversary adds agents or colours", as long as
+//! new colours arrive dark and the adversary does not erase the last dark
+//! agent of a surviving colour. This crate makes those structural changes
+//! executable:
+//!
+//! * [`Shock`] — a single structural change (add agents, inject a colour,
+//!   retire a colour, remove agents);
+//! * [`apply`] — applies a shock to a running simulator between time-steps;
+//! * [`Schedule`] — a timed sequence of shocks woven into a run;
+//! * [`Churn`] — sustained single-agent-reset churn (dynamic equilibrium);
+//! * [`recovery_time`] — measures how long the protocol needs to return to
+//!   the good set `E(δ)` after a shock, the quantitative form of the
+//!   robustness claim.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_adversary::{apply, Shock};
+//! use pp_core::{init, AgentState, Colour, Diversification, Weights};
+//! use pp_engine::Simulator;
+//! use pp_graph::Complete;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let weights = Weights::uniform(2);
+//! let n = 50;
+//! let states = init::all_dark_balanced(n, &weights);
+//! let mut sim = Simulator::new(
+//!     Diversification::new(weights),
+//!     Complete::new(n),
+//!     states,
+//!     3,
+//! );
+//! sim.run(1_000);
+//! let mut rng = StdRng::seed_from_u64(4);
+//! apply(
+//!     &Shock::AddAgents {
+//!         count: 10,
+//!         state: AgentState::dark(Colour::new(0)),
+//!     },
+//!     &mut sim,
+//!     &mut rng,
+//! );
+//! assert_eq!(sim.population().len(), 60);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod recovery;
+pub mod schedule;
+pub mod shock;
+
+pub use churn::{error_under_churn, Churn};
+pub use recovery::recovery_time;
+pub use schedule::Schedule;
+pub use shock::{apply, Shock};

@@ -1,0 +1,188 @@
+//! Recovery-time measurement: the quantitative robustness claim.
+
+use crate::{apply, Shock};
+use pp_core::{region::GoodSet, AgentState, ConfigStats};
+use pp_engine::{Protocol, Simulator};
+use pp_graph::Complete;
+use rand::Rng;
+
+/// Applies `shock` to a (presumably converged) simulator and returns the
+/// number of further time-steps until the configuration re-enters the good
+/// set `E(δ)`, checking every `check_every` steps; `None` if it does not
+/// recover within `max_steps`.
+///
+/// The paper's robustness statement — "even when an adversary adds agents
+/// and colours, the protocol quickly returns into a state of diversity and
+/// fairness" — predicts recovery in `O(w² n log n)` steps; experiment
+/// `t6_sustainability` reports this measurement across shock types.
+///
+/// # Examples
+///
+/// ```
+/// use pp_adversary::{recovery_time, Shock};
+/// use pp_core::{init, region::GoodSet, Colour, Diversification, Weights};
+/// use pp_engine::Simulator;
+/// use pp_graph::Complete;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let weights = Weights::uniform(2);
+/// let n = 200;
+/// let states = init::all_dark_balanced(n, &weights);
+/// let mut sim = Simulator::new(
+///     Diversification::new(weights.clone()),
+///     Complete::new(n),
+///     states,
+///     5,
+/// );
+/// sim.run(100_000); // converge first
+/// let good = GoodSet::new(weights, 0.25);
+/// let mut rng = StdRng::seed_from_u64(6);
+/// let t = recovery_time(
+///     &mut sim,
+///     &Shock::InjectColour { colour: Colour::new(0), recruits: 50 },
+///     &good,
+///     &mut rng,
+///     2_000_000,
+///     200,
+/// );
+/// assert!(t.is_some());
+/// ```
+///
+/// # Panics
+///
+/// Panics if `check_every == 0`.
+pub fn recovery_time<P>(
+    sim: &mut Simulator<P, Complete>,
+    shock: &Shock,
+    good: &GoodSet,
+    shock_rng: &mut dyn Rng,
+    max_steps: u64,
+    check_every: u64,
+) -> Option<u64>
+where
+    P: Protocol<State = AgentState>,
+{
+    apply(shock, sim, shock_rng);
+    let start = sim.step_count();
+    let k = good.weights().len();
+    sim.run_until(max_steps, check_every, |pop, _| {
+        good.contains(&ConfigStats::from_states(pop.states(), k))
+    })
+    .map(|hit| hit - start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{init, Colour, Diversification, Weights};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn converged_sim(n: usize) -> (Simulator<Diversification, Complete>, GoodSet) {
+        let weights = Weights::uniform(2);
+        let states = init::all_dark_balanced(n, &weights);
+        let mut sim = Simulator::new(
+            Diversification::new(weights.clone()),
+            Complete::new(n),
+            states,
+            21,
+        );
+        sim.run(60_000);
+        (sim, GoodSet::new(weights, 0.3))
+    }
+
+    #[test]
+    fn recovers_from_injection() {
+        let (mut sim, good) = converged_sim(150);
+        let mut rng = StdRng::seed_from_u64(22);
+        let t = recovery_time(
+            &mut sim,
+            &Shock::InjectColour {
+                colour: Colour::new(0),
+                recruits: 60,
+            },
+            &good,
+            &mut rng,
+            3_000_000,
+            150,
+        );
+        assert!(t.is_some(), "no recovery from colour injection");
+    }
+
+    #[test]
+    fn recovers_from_agent_addition() {
+        let (mut sim, good) = converged_sim(150);
+        let mut rng = StdRng::seed_from_u64(23);
+        let t = recovery_time(
+            &mut sim,
+            &Shock::AddAgents {
+                count: 80,
+                state: AgentState::dark(Colour::new(1)),
+            },
+            &good,
+            &mut rng,
+            3_000_000,
+            150,
+        );
+        assert!(t.is_some(), "no recovery from agent addition");
+    }
+
+    #[test]
+    fn bigger_shock_takes_longer_on_average() {
+        // Average over seeds to avoid single-run noise.
+        let mut small_total = 0u64;
+        let mut large_total = 0u64;
+        for seed in 0..5u64 {
+            for (recruits, total) in [(15usize, &mut small_total), (70, &mut large_total)] {
+                let weights = Weights::uniform(2);
+                let n = 150;
+                let states = init::all_dark_balanced(n, &weights);
+                let mut sim = Simulator::new(
+                    Diversification::new(weights.clone()),
+                    Complete::new(n),
+                    states,
+                    100 + seed,
+                );
+                sim.run(60_000);
+                let good = GoodSet::new(weights, 0.3);
+                let mut rng = StdRng::seed_from_u64(200 + seed);
+                let t = recovery_time(
+                    &mut sim,
+                    &Shock::InjectColour {
+                        colour: Colour::new(0),
+                        recruits,
+                    },
+                    &good,
+                    &mut rng,
+                    5_000_000,
+                    150,
+                )
+                .expect("recovery");
+                *total += t;
+            }
+        }
+        assert!(
+            large_total >= small_total,
+            "large {large_total} vs small {small_total}"
+        );
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        let (mut sim, good) = converged_sim(150);
+        let mut rng = StdRng::seed_from_u64(24);
+        // A huge shock with a tiny budget cannot recover.
+        let t = recovery_time(
+            &mut sim,
+            &Shock::InjectColour {
+                colour: Colour::new(0),
+                recruits: 140,
+            },
+            &good,
+            &mut rng,
+            10,
+            5,
+        );
+        assert_eq!(t, None);
+    }
+}

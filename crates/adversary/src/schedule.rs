@@ -1,0 +1,192 @@
+//! Timed sequences of shocks.
+
+use crate::{apply, Shock};
+use pp_core::AgentState;
+use pp_engine::{Population, Protocol, Simulator};
+use pp_graph::Complete;
+use rand::Rng;
+
+/// A sequence of `(step, shock)` pairs applied to a run in step order.
+///
+/// # Examples
+///
+/// ```
+/// use pp_adversary::{Schedule, Shock};
+/// use pp_core::Colour;
+///
+/// let schedule = Schedule::new(vec![
+///     (1_000, Shock::InjectColour { colour: Colour::new(1), recruits: 5 }),
+///     (2_000, Shock::RemoveAgents { count: 3 }),
+/// ]);
+/// assert_eq!(schedule.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    events: Vec<(u64, Shock)>,
+}
+
+impl Schedule {
+    /// Creates a schedule; events are sorted by step.
+    pub fn new(mut events: Vec<(u64, Shock)>) -> Self {
+        events.sort_by_key(|&(step, _)| step);
+        Schedule { events }
+    }
+
+    /// Number of scheduled shocks.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no shocks are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The scheduled events in step order.
+    pub fn events(&self) -> &[(u64, Shock)] {
+        &self.events
+    }
+
+    /// Runs the simulator for `total_steps`, applying each shock when the
+    /// step counter reaches its scheduled step, and invoking `observer`
+    /// after every shock and at the end.
+    ///
+    /// Shock RNG draws come from a separate stream (`shock_rng`) so the
+    /// protocol trajectory and the adversary's choices can be varied
+    /// independently across replications.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a scheduled step lies before the simulator's current step.
+    pub fn run<P>(
+        &self,
+        sim: &mut Simulator<P, Complete>,
+        total_steps: u64,
+        shock_rng: &mut dyn Rng,
+        mut observer: impl FnMut(u64, &Population<AgentState>),
+    ) where
+        P: Protocol<State = AgentState>,
+    {
+        let end = sim.step_count() + total_steps;
+        for &(step, ref shock) in &self.events {
+            assert!(
+                step >= sim.step_count(),
+                "shock scheduled at step {step}, but the run is already at {}",
+                sim.step_count()
+            );
+            if step > end {
+                break;
+            }
+            sim.run(step - sim.step_count());
+            apply(shock, sim, shock_rng);
+            observer(sim.step_count(), sim.population());
+        }
+        if sim.step_count() < end {
+            sim.run(end - sim.step_count());
+        }
+        observer(sim.step_count(), sim.population());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{init, Colour, ConfigStats, Diversification, Weights};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, k: usize) -> Simulator<Diversification, Complete> {
+        let weights = Weights::uniform(k);
+        let states = init::all_dark_balanced(n, &weights);
+        Simulator::new(Diversification::new(weights), Complete::new(n), states, 1)
+    }
+
+    #[test]
+    fn events_sorted_by_step() {
+        let s = Schedule::new(vec![
+            (500, Shock::RemoveAgents { count: 1 }),
+            (100, Shock::RemoveAgents { count: 2 }),
+        ]);
+        assert_eq!(s.events()[0].0, 100);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn shocks_fire_at_scheduled_steps() {
+        let mut sim = setup(30, 2);
+        let schedule = Schedule::new(vec![
+            (
+                200,
+                Shock::AddAgents {
+                    count: 10,
+                    state: AgentState::dark(Colour::new(0)),
+                },
+            ),
+            (400, Shock::RemoveAgents { count: 5 }),
+        ]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sizes = Vec::new();
+        schedule.run(&mut sim, 1_000, &mut rng, |step, pop| {
+            sizes.push((step, pop.len()));
+        });
+        assert_eq!(sizes, vec![(200, 40), (400, 35), (1_000, 35)]);
+        assert_eq!(sim.step_count(), 1_000);
+    }
+
+    #[test]
+    fn shocks_beyond_horizon_are_skipped() {
+        let mut sim = setup(10, 2);
+        let schedule = Schedule::new(vec![(5_000, Shock::RemoveAgents { count: 5 })]);
+        let mut rng = StdRng::seed_from_u64(10);
+        schedule.run(&mut sim, 100, &mut rng, |_, _| {});
+        assert_eq!(sim.population().len(), 10);
+        assert_eq!(sim.step_count(), 100);
+    }
+
+    #[test]
+    fn empty_schedule_is_plain_run() {
+        let mut sim = setup(10, 2);
+        let schedule = Schedule::new(vec![]);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut calls = 0;
+        schedule.run(&mut sim, 250, &mut rng, |_, _| calls += 1);
+        assert_eq!(sim.step_count(), 250);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn injected_colour_survives_thereafter() {
+        // Sustainability extends to adversarially added colours: inject
+        // colour 2 dark into a 3-colour universe where it was absent.
+        let weights = Weights::uniform(3);
+        let n = 60;
+        // Start with colours 0 and 1 only (colour 2 unsupported).
+        let mut counts = [n / 2, n / 2, 0];
+        counts[0] += n - counts.iter().sum::<usize>();
+        let states: Vec<AgentState> = counts
+            .iter()
+            .enumerate()
+            .flat_map(|(i, &c)| {
+                std::iter::repeat_n(AgentState::dark(Colour::new(i)), c)
+            })
+            .collect();
+        let mut sim = Simulator::new(
+            Diversification::new(weights),
+            Complete::new(n),
+            states,
+            13,
+        );
+        let schedule = Schedule::new(vec![(
+            500,
+            Shock::InjectColour {
+                colour: Colour::new(2),
+                recruits: 4,
+            },
+        )]);
+        let mut rng = StdRng::seed_from_u64(14);
+        schedule.run(&mut sim, 50_000, &mut rng, |_, _| {});
+        let stats = ConfigStats::from_states(sim.population().states(), 3);
+        assert!(stats.dark_count(2) >= 1, "injected colour died");
+    }
+}

@@ -1,0 +1,232 @@
+//! Individual structural changes.
+
+use pp_core::{AgentState, Colour};
+use pp_engine::{Protocol, Simulator};
+use pp_graph::Complete;
+use rand::{Rng, RngExt};
+
+/// A structural change an adversary (or the environment) applies to a
+/// running population between time-steps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Shock {
+    /// Add `count` new agents, all in the given state. The paper requires
+    /// injected states to be **dark** for sustainability to extend to them;
+    /// light injections are allowed here to study the unprotected case.
+    AddAgents {
+        /// Number of agents to add.
+        count: usize,
+        /// State of every added agent.
+        state: AgentState,
+    },
+    /// Introduce (or reinforce) a colour by recolouring `recruits` random
+    /// agents to `(colour, dark)` — the paper's "nature changes the colour
+    /// of an agent by a completely new one" (an ant starts fanning).
+    InjectColour {
+        /// The colour to inject; must be within the protocol's weight table.
+        colour: Colour,
+        /// How many random agents are converted.
+        recruits: usize,
+    },
+    /// Retire a colour: every supporter of `colour` is recoloured to
+    /// `(replacement, dark)` — "a task is fulfilled and no longer
+    /// necessary". This deliberately violates sustainability for the
+    /// retired colour; the claim under test is that the *rest* of the
+    /// system re-balances.
+    RetireColour {
+        /// The colour being removed from the population.
+        colour: Colour,
+        /// The colour its supporters convert to.
+        replacement: Colour,
+    },
+    /// Remove `count` uniformly random agents (e.g. foragers lost to a
+    /// rival colony). May erase a colour entirely if it hits the last
+    /// supporters; experiments use it to probe the boundary of the
+    /// robustness claim.
+    RemoveAgents {
+        /// Number of agents to remove.
+        count: usize,
+    },
+}
+
+/// Applies a shock to the simulator, resizing the complete-graph topology
+/// when the population grows or shrinks.
+///
+/// # Panics
+///
+/// Panics if the shock would leave fewer than 2 agents, or if a recolouring
+/// names an agent colour outside the population's weight universe (checked
+/// downstream by `ConfigStats`).
+pub fn apply<P>(shock: &Shock, sim: &mut Simulator<P, Complete>, rng: &mut dyn Rng)
+where
+    P: Protocol<State = AgentState>,
+{
+    match *shock {
+        Shock::AddAgents { count, state } => {
+            for _ in 0..count {
+                sim.population_mut().push(state);
+            }
+            let n = sim.population().len();
+            sim.set_topology(Complete::new(n));
+        }
+        Shock::InjectColour { colour, recruits } => {
+            let n = sim.population().len();
+            assert!(
+                recruits <= n,
+                "cannot recruit {recruits} agents from a population of {n}"
+            );
+            // Sample distinct agents by partial Fisher–Yates over indices.
+            let mut indices: Vec<usize> = (0..n).collect();
+            for slot in 0..recruits {
+                let pick = rng.random_range(slot..n);
+                indices.swap(slot, pick);
+                sim.population_mut()
+                    .set_state(indices[slot], AgentState::dark(colour));
+            }
+        }
+        Shock::RetireColour {
+            colour,
+            replacement,
+        } => {
+            assert_ne!(colour, replacement, "retirement must change the colour");
+            for s in sim.population_mut().states_mut() {
+                if s.colour == colour {
+                    *s = AgentState::dark(replacement);
+                }
+            }
+        }
+        Shock::RemoveAgents { count } => {
+            let n = sim.population().len();
+            assert!(
+                n.saturating_sub(count) >= 2,
+                "removing {count} of {n} agents would leave fewer than 2"
+            );
+            for _ in 0..count {
+                let len = sim.population().len();
+                let victim = rng.random_range(0..len);
+                sim.population_mut().swap_remove(victim);
+            }
+            let n = sim.population().len();
+            sim.set_topology(Complete::new(n));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{init, ConfigStats, Diversification, Weights};
+    use pp_graph::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup(n: usize, k: usize) -> Simulator<Diversification, Complete> {
+        let weights = Weights::uniform(k);
+        let states = init::all_dark_balanced(n, &weights);
+        Simulator::new(Diversification::new(weights), Complete::new(n), states, 1)
+    }
+
+    #[test]
+    fn add_agents_grows_population_and_topology() {
+        let mut sim = setup(10, 2);
+        let mut rng = StdRng::seed_from_u64(2);
+        apply(
+            &Shock::AddAgents {
+                count: 5,
+                state: AgentState::dark(Colour::new(1)),
+            },
+            &mut sim,
+            &mut rng,
+        );
+        assert_eq!(sim.population().len(), 15);
+        assert_eq!(sim.topology().len(), 15);
+        // Simulation continues without panicking.
+        sim.run(100);
+    }
+
+    #[test]
+    fn inject_colour_converts_exactly_recruits() {
+        let mut sim = setup(20, 3);
+        let mut rng = StdRng::seed_from_u64(3);
+        apply(
+            &Shock::InjectColour {
+                colour: Colour::new(2),
+                recruits: 7,
+            },
+            &mut sim,
+            &mut rng,
+        );
+        let stats = ConfigStats::from_states(sim.population().states(), 3);
+        // Colour 2 had ~7 agents before; injection recolours random agents,
+        // so its support is at least 7 and all recruits are dark.
+        assert!(stats.colour_count(2) >= 7);
+        assert_eq!(stats.population(), 20);
+    }
+
+    #[test]
+    fn inject_distinct_agents() {
+        // Recruiting n agents converts the whole population: distinctness.
+        let mut sim = setup(12, 2);
+        let mut rng = StdRng::seed_from_u64(4);
+        apply(
+            &Shock::InjectColour {
+                colour: Colour::new(0),
+                recruits: 12,
+            },
+            &mut sim,
+            &mut rng,
+        );
+        let stats = ConfigStats::from_states(sim.population().states(), 2);
+        assert_eq!(stats.colour_count(0), 12);
+        assert_eq!(stats.dark_count(0), 12);
+    }
+
+    #[test]
+    fn retire_colour_eliminates_it() {
+        let mut sim = setup(20, 2);
+        let mut rng = StdRng::seed_from_u64(5);
+        apply(
+            &Shock::RetireColour {
+                colour: Colour::new(0),
+                replacement: Colour::new(1),
+            },
+            &mut sim,
+            &mut rng,
+        );
+        let stats = ConfigStats::from_states(sim.population().states(), 2);
+        assert_eq!(stats.colour_count(0), 0);
+        assert_eq!(stats.colour_count(1), 20);
+    }
+
+    #[test]
+    fn remove_agents_shrinks() {
+        let mut sim = setup(30, 2);
+        let mut rng = StdRng::seed_from_u64(6);
+        apply(&Shock::RemoveAgents { count: 10 }, &mut sim, &mut rng);
+        assert_eq!(sim.population().len(), 20);
+        assert_eq!(sim.topology().len(), 20);
+        sim.run(100);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than 2")]
+    fn remove_cannot_empty_population() {
+        let mut sim = setup(5, 2);
+        let mut rng = StdRng::seed_from_u64(7);
+        apply(&Shock::RemoveAgents { count: 4 }, &mut sim, &mut rng);
+    }
+
+    #[test]
+    #[should_panic(expected = "must change")]
+    fn retire_requires_distinct_replacement() {
+        let mut sim = setup(5, 2);
+        let mut rng = StdRng::seed_from_u64(8);
+        apply(
+            &Shock::RetireColour {
+                colour: Colour::new(0),
+                replacement: Colour::new(0),
+            },
+            &mut sim,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests for the adversary machinery.
+
+use pp_adversary::{apply, Churn, Schedule, Shock};
+use pp_core::{init, AgentState, Colour, ConfigStats, Diversification, Weights};
+use pp_engine::Simulator;
+use pp_graph::{Complete, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn setup(n: usize, k: usize, seed: u64) -> Simulator<Diversification, Complete> {
+    let weights = Weights::uniform(k);
+    let states = init::all_dark_balanced(n, &weights);
+    Simulator::new(Diversification::new(weights), Complete::new(n), states, seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn add_agents_size_accounting(
+        n in 4usize..60,
+        add in 0usize..40,
+        seed in 0u64..100,
+    ) {
+        let mut sim = setup(n, 2, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        apply(
+            &Shock::AddAgents { count: add, state: AgentState::dark(Colour::new(0)) },
+            &mut sim,
+            &mut rng,
+        );
+        prop_assert_eq!(sim.population().len(), n + add);
+        prop_assert_eq!(sim.topology().len(), n + add);
+        sim.run(50);
+        prop_assert_eq!(sim.population().len(), n + add);
+    }
+
+    #[test]
+    fn remove_agents_size_accounting(
+        n in 10usize..60,
+        remove in 0usize..8,
+        seed in 0u64..100,
+    ) {
+        let mut sim = setup(n, 2, seed);
+        let mut rng = StdRng::seed_from_u64(seed);
+        apply(&Shock::RemoveAgents { count: remove }, &mut sim, &mut rng);
+        prop_assert_eq!(sim.population().len(), n - remove);
+        sim.run(50);
+    }
+
+    #[test]
+    fn inject_makes_recruits_dark(
+        n in 10usize..60,
+        recruits in 1usize..10,
+        seed in 0u64..100,
+    ) {
+        let recruits = recruits.min(n);
+        let mut sim = setup(n, 3, seed);
+        // Soften the population a bit first so shades are mixed.
+        sim.run(5 * n as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let before = ConfigStats::from_states(sim.population().states(), 3);
+        apply(
+            &Shock::InjectColour { colour: Colour::new(2), recruits },
+            &mut sim,
+            &mut rng,
+        );
+        let after = ConfigStats::from_states(sim.population().states(), 3);
+        // Dark support of the injected colour can only grow or stay.
+        prop_assert!(after.dark_count(2) >= before.dark_count(2).min(recruits));
+        prop_assert_eq!(after.population(), n);
+    }
+
+    #[test]
+    fn retire_moves_all_mass(n in 10usize..60, seed in 0u64..100) {
+        let mut sim = setup(n, 2, seed);
+        sim.run(10 * n as u64);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let before = ConfigStats::from_states(sim.population().states(), 2);
+        apply(
+            &Shock::RetireColour { colour: Colour::new(0), replacement: Colour::new(1) },
+            &mut sim,
+            &mut rng,
+        );
+        let stats = ConfigStats::from_states(sim.population().states(), 2);
+        prop_assert_eq!(stats.colour_count(0), 0);
+        prop_assert_eq!(stats.colour_count(1), n);
+        // Converted agents arrive dark (the paper's requirement): the dark
+        // support of the replacement grows by exactly the retired mass.
+        prop_assert_eq!(
+            stats.dark_count(1),
+            before.dark_count(1) + before.colour_count(0)
+        );
+    }
+
+    #[test]
+    fn schedule_applies_all_in_horizon(
+        n in 20usize..50,
+        gap in 10u64..200,
+        seed in 0u64..100,
+    ) {
+        let mut sim = setup(n, 2, seed);
+        let schedule = Schedule::new(vec![
+            (gap, Shock::AddAgents { count: 3, state: AgentState::dark(Colour::new(0)) }),
+            (2 * gap, Shock::AddAgents { count: 2, state: AgentState::dark(Colour::new(1)) }),
+        ]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut observed = 0;
+        schedule.run(&mut sim, 3 * gap, &mut rng, |_, _| observed += 1);
+        // Two shocks + final observation.
+        prop_assert_eq!(observed, 3);
+        prop_assert_eq!(sim.population().len(), n + 5);
+        prop_assert_eq!(sim.step_count(), 3 * gap);
+    }
+
+    #[test]
+    fn churn_conserves_size_and_universe(
+        n in 20usize..60,
+        interval in 5u64..50,
+        seed in 0u64..100,
+    ) {
+        let mut sim = setup(n, 3, seed);
+        let churn = Churn::new(interval, 3);
+        let mut rng = StdRng::seed_from_u64(seed);
+        churn.run(&mut sim, 20 * interval, &mut rng, |_, pop| {
+            assert_eq!(pop.len(), n);
+        });
+        prop_assert!(sim
+            .population()
+            .states()
+            .iter()
+            .all(|s| s.colour.index() < 3));
+    }
+}

@@ -1,0 +1,219 @@
+//! Ablations of the Diversification protocol: each variant removes one of
+//! the two design choices the paper's intuition section singles out, so the
+//! ablation benches can show what every ingredient buys.
+
+use pp_core::{AgentState, Shade, Weights};
+use pp_engine::Protocol;
+use rand::{Rng, RngExt};
+
+/// Ablation 1 — **shade-blind adoption**: rule 1 of Eq. (2) is weakened so a
+/// light agent adopts the colour of *any* observed agent (dark or light),
+/// darkening in the process. Rule 2 is unchanged.
+///
+/// The paper's rule 1 only copies **dark** colours — the weight-calibrated
+/// signal the proof's adoption-rate computation relies on. Empirically the
+/// equilibrium turns out to be robust to this relaxation (light agents are a
+/// thin `1/(1+w)` slice whose colour mix tracks the dark mix), which the
+/// `ablations` experiment reports honestly: the decisive ingredient is the
+/// weight-inverse softening, not dark-only adoption.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdoptAnyShade {
+    weights: Weights,
+}
+
+impl AdoptAnyShade {
+    /// Creates the ablated protocol.
+    pub fn new(weights: Weights) -> Self {
+        AdoptAnyShade { weights }
+    }
+
+    /// The weight table.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+}
+
+impl Protocol for AdoptAnyShade {
+    type State = AgentState;
+
+    fn transition(
+        &self,
+        me: &AgentState,
+        observed: &[&AgentState],
+        rng: &mut dyn Rng,
+    ) -> AgentState {
+        let v = observed[0];
+        match (me.shade, v.shade) {
+            (Shade::Light, _) => AgentState::dark(v.colour),
+            (Shade::Dark, Shade::Dark) if me.colour == v.colour => {
+                let w_i = self.weights.get(me.colour.index());
+                if rng.random_bool(1.0 / w_i) {
+                    AgentState::light(me.colour)
+                } else {
+                    *me
+                }
+            }
+            _ => *me,
+        }
+    }
+
+    fn name(&self) -> String {
+        "ablation-adopt-any-shade".to_string()
+    }
+}
+
+/// Ablation 2 — **weight-blind softening**: rule 2 of Eq. (2) softens with a
+/// fixed probability `p` instead of `1/w_i`. Rule 1 is unchanged.
+///
+/// The weight-inverse softening rate is what encodes the weights into the
+/// equilibrium (`C_i ≈ w_i n / w`); with a constant rate the equilibrium
+/// collapses to the uniform partition regardless of the weights —
+/// experiment `ablation_flip` shows the heavy colour losing its extra share.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConstantFlip {
+    flip_probability: f64,
+}
+
+impl ConstantFlip {
+    /// Creates the ablated protocol with softening probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `(0, 1]`.
+    pub fn new(flip_probability: f64) -> Self {
+        assert!(
+            flip_probability > 0.0 && flip_probability <= 1.0,
+            "flip probability must be in (0, 1], got {flip_probability}"
+        );
+        ConstantFlip { flip_probability }
+    }
+
+    /// The constant softening probability.
+    pub fn flip_probability(&self) -> f64 {
+        self.flip_probability
+    }
+}
+
+impl Protocol for ConstantFlip {
+    type State = AgentState;
+
+    fn transition(
+        &self,
+        me: &AgentState,
+        observed: &[&AgentState],
+        rng: &mut dyn Rng,
+    ) -> AgentState {
+        let v = observed[0];
+        match (me.shade, v.shade) {
+            (Shade::Light, Shade::Dark) => AgentState::dark(v.colour),
+            (Shade::Dark, Shade::Dark) if me.colour == v.colour => {
+                if rng.random_bool(self.flip_probability) {
+                    AgentState::light(me.colour)
+                } else {
+                    *me
+                }
+            }
+            _ => *me,
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("ablation-constant-flip({})", self.flip_probability)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{init, Colour, ConfigStats};
+    use pp_engine::Simulator;
+    use pp_graph::Complete;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn adopt_any_shade_copies_light() {
+        let p = AdoptAnyShade::new(Weights::uniform(2));
+        let me = AgentState::light(Colour::new(0));
+        let v = AgentState::light(Colour::new(1));
+        let out = p.transition(&me, &[&v], &mut rng());
+        assert_eq!(out, AgentState::dark(Colour::new(1)));
+    }
+
+    #[test]
+    fn adopt_any_shade_keeps_rule2() {
+        let p = AdoptAnyShade::new(Weights::new(vec![1.0, 1.0]).unwrap());
+        let me = AgentState::dark(Colour::new(0));
+        let v = AgentState::dark(Colour::new(0));
+        assert_eq!(
+            p.transition(&me, &[&v], &mut rng()),
+            AgentState::light(Colour::new(0))
+        );
+    }
+
+    #[test]
+    fn adopt_any_shade_still_sustainable() {
+        // Rule 2 is intact, so the last dark agent of a colour survives.
+        let weights = Weights::uniform(3);
+        let n = 60;
+        let states = init::all_dark_balanced(n, &weights);
+        let mut sim = Simulator::new(
+            AdoptAnyShade::new(weights),
+            Complete::new(n),
+            states,
+            5,
+        );
+        for _ in 0..30 {
+            sim.run(300);
+            let stats = ConfigStats::from_states(sim.population().states(), 3);
+            assert!(stats.all_colours_alive());
+        }
+    }
+
+    #[test]
+    fn constant_flip_ignores_weights() {
+        let p = ConstantFlip::new(1.0);
+        let me = AgentState::dark(Colour::new(0));
+        let v = AgentState::dark(Colour::new(0));
+        // Always softens regardless of any weight table.
+        assert_eq!(
+            p.transition(&me, &[&v], &mut rng()),
+            AgentState::light(Colour::new(0))
+        );
+    }
+
+    #[test]
+    fn constant_flip_equalises_weighted_colours() {
+        // Weighted start (w = (1, 3)) but weight-blind dynamics: the heavy
+        // colour drifts back toward 1/2 rather than 3/4.
+        let weights = Weights::new(vec![1.0, 3.0]).unwrap();
+        let n = 400;
+        let states = init::all_dark_proportional(n, &weights);
+        let mut sim = Simulator::new(ConstantFlip::new(0.5), Complete::new(n), states, 11);
+        sim.run(300_000);
+        let stats = ConfigStats::from_states(sim.population().states(), 2);
+        let heavy = stats.colour_fraction(1);
+        assert!(
+            (heavy - 0.5).abs() < 0.15,
+            "weight-blind equilibrium should be uniform, got {heavy}"
+        );
+    }
+
+    #[test]
+    fn accessors_and_names() {
+        assert!(AdoptAnyShade::new(Weights::uniform(2)).name().contains("shade"));
+        let cf = ConstantFlip::new(0.25);
+        assert_eq!(cf.flip_probability(), 0.25);
+        assert!(cf.name().contains("0.25"));
+    }
+
+    #[test]
+    #[should_panic(expected = "flip probability")]
+    fn rejects_zero_probability() {
+        ConstantFlip::new(0.0);
+    }
+}

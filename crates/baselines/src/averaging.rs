@@ -1,0 +1,144 @@
+//! Value-averaging dynamics (diffusion load balancing; noisy averaging).
+
+use pp_engine::Protocol;
+use rand::{Rng, RngExt};
+
+/// One-way averaging: the scheduled agent moves its value to the midpoint of
+/// its own and the observed value, optionally perturbed by bounded uniform
+/// communication noise (the "noidy conmunixatipn" model of Mallmann-Trenn,
+/// Maus, Pajak 2019, with uniform instead of arbitrary bounded noise).
+///
+/// The related-work contrast: averaging converges to a single shared value
+/// (consensus on the mean) — the opposite of sustained diversity.
+///
+/// # Examples
+///
+/// ```
+/// use pp_baselines::Averaging;
+/// use pp_engine::Protocol;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let p = Averaging::noiseless();
+/// let mut rng = StdRng::seed_from_u64(0);
+/// assert_eq!(p.transition(&2.0, &[&4.0], &mut rng), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Averaging {
+    noise_amplitude: f64,
+}
+
+impl Averaging {
+    /// Exact averaging (no communication noise).
+    pub fn noiseless() -> Self {
+        Averaging {
+            noise_amplitude: 0.0,
+        }
+    }
+
+    /// Averaging where the value read from the observed agent is corrupted
+    /// by an independent uniform perturbation in `[-amplitude, amplitude]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `amplitude` is negative or non-finite.
+    pub fn with_noise(amplitude: f64) -> Self {
+        assert!(
+            amplitude.is_finite() && amplitude >= 0.0,
+            "noise amplitude must be a non-negative finite number"
+        );
+        Averaging {
+            noise_amplitude: amplitude,
+        }
+    }
+
+    /// The configured noise amplitude.
+    pub fn noise_amplitude(&self) -> f64 {
+        self.noise_amplitude
+    }
+}
+
+impl Protocol for Averaging {
+    type State = f64;
+
+    fn transition(&self, me: &f64, observed: &[&f64], rng: &mut dyn Rng) -> f64 {
+        let heard = if self.noise_amplitude > 0.0 {
+            observed[0] + rng.random_range(-self.noise_amplitude..=self.noise_amplitude)
+        } else {
+            *observed[0]
+        };
+        (me + heard) / 2.0
+    }
+
+    fn name(&self) -> String {
+        if self.noise_amplitude > 0.0 {
+            format!("averaging(noise={})", self.noise_amplitude)
+        } else {
+            "averaging".to_string()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::Simulator;
+    use pp_graph::Complete;
+    use rand::SeedableRng;
+
+    #[test]
+    fn noiseless_midpoint() {
+        let p = Averaging::noiseless();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        assert_eq!(p.transition(&10.0, &[&0.0], &mut rng), 5.0);
+    }
+
+    #[test]
+    fn converges_to_near_common_value() {
+        let n = 64;
+        let values: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let mut sim = Simulator::new(Averaging::noiseless(), Complete::new(n), values, 3);
+        sim.run(200_000);
+        let states = sim.population().states();
+        let min = states.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = states.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        assert!(max - min < 1.0, "spread {} too wide", max - min);
+    }
+
+    #[test]
+    fn one_way_averaging_drifts_but_stays_in_range() {
+        // One-way averaging does not conserve the sum exactly, but values
+        // stay within the convex hull of the initial values.
+        let n = 32;
+        let values: Vec<f64> = (0..n).map(|i| (i % 5) as f64).collect();
+        let mut sim = Simulator::new(Averaging::noiseless(), Complete::new(n), values, 9);
+        sim.run(50_000);
+        for &v in sim.population().states() {
+            assert!((0.0..=4.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn noise_keeps_values_dispersed() {
+        let n = 64;
+        let values = vec![0.0; n];
+        let mut sim = Simulator::new(Averaging::with_noise(1.0), Complete::new(n), values, 5);
+        sim.run(100_000);
+        let states = sim.population().states();
+        let mean = states.iter().sum::<f64>() / n as f64;
+        let var = states.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
+        assert!(var > 1e-4, "noise failed to keep dispersion: var = {var}");
+    }
+
+    #[test]
+    fn names_distinguish_noise() {
+        assert_eq!(Averaging::noiseless().name(), "averaging");
+        assert!(Averaging::with_noise(0.5).name().contains("0.5"));
+        assert_eq!(Averaging::with_noise(0.5).noise_amplitude(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_noise() {
+        Averaging::with_noise(-1.0);
+    }
+}

@@ -1,0 +1,248 @@
+//! Consensus dynamics: Voter, 2-Choices, 3-Majority, Anti-Voter.
+
+use pp_core::Colour;
+use pp_engine::Protocol;
+use rand::{Rng, RngExt};
+
+/// The Voter model: the scheduled agent adopts the observed colour.
+///
+/// The simplest consensus protocol; every colour but one eventually vanishes
+/// (in `Θ(n²)` expected steps on the complete graph for constant k), which
+/// is exactly the failure mode Diversification is designed to avoid.
+///
+/// # Examples
+///
+/// ```
+/// use pp_baselines::Voter;
+/// use pp_core::Colour;
+/// use pp_engine::Protocol;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let me = Colour::new(0);
+/// let seen = Colour::new(3);
+/// assert_eq!(Voter.transition(&me, &[&seen], &mut rng), seen);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Voter;
+
+impl Protocol for Voter {
+    type State = Colour;
+
+    fn transition(&self, _me: &Colour, observed: &[&Colour], _rng: &mut dyn Rng) -> Colour {
+        *observed[0]
+    }
+
+    fn name(&self) -> String {
+        "voter".to_string()
+    }
+}
+
+/// The 2-Choices dynamics: sample two agents; adopt their colour only if
+/// they agree.
+///
+/// A drift-amplifying consensus protocol: majorities grow quadratically
+/// faster than under Voter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TwoChoices;
+
+impl Protocol for TwoChoices {
+    type State = Colour;
+
+    fn observations(&self) -> usize {
+        2
+    }
+
+    fn transition(&self, me: &Colour, observed: &[&Colour], _rng: &mut dyn Rng) -> Colour {
+        if observed[0] == observed[1] {
+            *observed[0]
+        } else {
+            *me
+        }
+    }
+
+    fn name(&self) -> String {
+        "2-choices".to_string()
+    }
+}
+
+/// The 3-Majority dynamics: among `{self, sample₁, sample₂}`, adopt the
+/// majority colour; if all three differ, adopt one of them uniformly at
+/// random.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ThreeMajority;
+
+impl Protocol for ThreeMajority {
+    type State = Colour;
+
+    fn observations(&self) -> usize {
+        2
+    }
+
+    fn transition(&self, me: &Colour, observed: &[&Colour], rng: &mut dyn Rng) -> Colour {
+        let (a, b) = (*observed[0], *observed[1]);
+        if a == b {
+            return a;
+        }
+        if a == *me || b == *me {
+            return *me;
+        }
+        // All three distinct: uniform choice among them.
+        match rng.random_range(0..3) {
+            0 => *me,
+            1 => a,
+            _ => b,
+        }
+    }
+
+    fn name(&self) -> String {
+        "3-majority".to_string()
+    }
+}
+
+/// The Anti-Voter model on two colours: adopt the **opposite** of the
+/// observed colour.
+///
+/// The classical protocol closest in spirit to Diversification: it keeps
+/// both colours alive forever and converges to a half/half equilibrium, but
+/// only works for `k = 2` and cannot encode weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AntiVoter;
+
+impl AntiVoter {
+    /// The opposite of a binary colour.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the colour index is not 0 or 1.
+    pub fn opposite(colour: Colour) -> Colour {
+        match colour.index() {
+            0 => Colour::new(1),
+            1 => Colour::new(0),
+            i => panic!("anti-voter is a two-colour protocol, got colour {i}"),
+        }
+    }
+}
+
+impl Protocol for AntiVoter {
+    type State = Colour;
+
+    fn transition(&self, _me: &Colour, observed: &[&Colour], _rng: &mut dyn Rng) -> Colour {
+        Self::opposite(*observed[0])
+    }
+
+    fn name(&self) -> String {
+        "anti-voter".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::Simulator;
+    use pp_graph::Complete;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn colours(n: usize, k: usize) -> Vec<Colour> {
+        (0..n).map(|u| Colour::new(u % k)).collect()
+    }
+
+    #[test]
+    fn voter_reaches_consensus() {
+        let n = 64;
+        let mut sim = Simulator::new(Voter, Complete::new(n), colours(n, 4), 3);
+        let hit = sim.run_until(2_000_000, 64, |pop, _| {
+            let first = pop[0];
+            pop.count_matching(|&c| c == first) == pop.len()
+        });
+        assert!(hit.is_some(), "voter failed to reach consensus");
+    }
+
+    #[test]
+    fn two_choices_needs_agreement() {
+        let me = Colour::new(0);
+        let (a, b) = (Colour::new(1), Colour::new(2));
+        assert_eq!(TwoChoices.transition(&me, &[&a, &b], &mut rng()), me);
+        assert_eq!(TwoChoices.transition(&me, &[&a, &a], &mut rng()), a);
+        assert_eq!(TwoChoices.observations(), 2);
+    }
+
+    #[test]
+    fn three_majority_rules() {
+        let me = Colour::new(0);
+        let (a, b) = (Colour::new(1), Colour::new(1));
+        // Pair majority among samples.
+        assert_eq!(ThreeMajority.transition(&me, &[&a, &b], &mut rng()), a);
+        // Self + one sample majority.
+        let same = Colour::new(0);
+        assert_eq!(
+            ThreeMajority.transition(&me, &[&same, &Colour::new(2)], &mut rng()),
+            me
+        );
+        // All distinct: result is one of the three.
+        let mut r = rng();
+        for _ in 0..50 {
+            let out = ThreeMajority.transition(&me, &[&Colour::new(1), &Colour::new(2)], &mut r);
+            assert!(out.index() <= 2);
+        }
+    }
+
+    #[test]
+    fn three_majority_uniform_tiebreak() {
+        let me = Colour::new(0);
+        let mut r = rng();
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            let out = ThreeMajority.transition(&me, &[&Colour::new(1), &Colour::new(2)], &mut r);
+            counts[out.index()] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / 30_000.0;
+            assert!((frac - 1.0 / 3.0).abs() < 0.02, "{frac}");
+        }
+    }
+
+    #[test]
+    fn two_choices_reaches_consensus_fast() {
+        let n = 128;
+        let mut sim = Simulator::new(TwoChoices, Complete::new(n), colours(n, 2), 11);
+        let hit = sim.run_until(500_000, 128, |pop, _| {
+            let first = pop[0];
+            pop.count_matching(|&c| c == first) == pop.len()
+        });
+        assert!(hit.is_some());
+    }
+
+    #[test]
+    fn anti_voter_flips() {
+        assert_eq!(AntiVoter::opposite(Colour::new(0)), Colour::new(1));
+        assert_eq!(AntiVoter::opposite(Colour::new(1)), Colour::new(0));
+        let mut r = rng();
+        assert_eq!(
+            AntiVoter.transition(&Colour::new(0), &[&Colour::new(0)], &mut r),
+            Colour::new(1)
+        );
+    }
+
+    #[test]
+    fn anti_voter_keeps_both_colours() {
+        let n = 50;
+        let mut sim = Simulator::new(AntiVoter, Complete::new(n), colours(n, 2), 5);
+        for _ in 0..40 {
+            sim.run(500);
+            let ones = sim.population().count_matching(|&c| c == Colour::new(1));
+            assert!(ones > 0 && ones < n, "anti-voter hit consensus: {ones}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "two-colour")]
+    fn anti_voter_rejects_third_colour() {
+        AntiVoter::opposite(Colour::new(2));
+    }
+}

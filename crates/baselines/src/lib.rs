@@ -1,0 +1,37 @@
+//! Baseline population protocols the paper compares against or builds on.
+//!
+//! The paper's central observation is that population-protocol research has
+//! focused on **consensus** — driving the population to a single colour —
+//! whereas Diversification drives it to a *weighted diverse* configuration.
+//! This crate implements the protocols from the related-work section so the
+//! experiment harness can show the crossover directly:
+//!
+//! * [`Voter`] — adopt the observed colour (consensus; kills diversity);
+//! * [`TwoChoices`] — adopt a colour seen twice (faster consensus);
+//! * [`ThreeMajority`] — majority of self + two samples (faster consensus);
+//! * [`AntiVoter`] — adopt the *opposite* of the observed colour (two-colour
+//!   equilibrium, the closest classical relative of Diversification);
+//! * [`MoranProcess`] — fitness-biased copying (evolutionary fixation);
+//! * [`Averaging`] — value averaging / diffusion load balancing, optionally
+//!   with bounded communication noise (Mallmann-Trenn et al. 2019);
+//! * [`TrivialProportional`] — the strawman from the paper's introduction:
+//!   resample your colour `∝ w_i` using *global* knowledge of the weight
+//!   table (works only until the environment changes — see experiment
+//!   `t6_sustainability` for how it fails to notice removed colours);
+//! * [`ablation`] — degraded variants of Diversification that knock out one
+//!   design choice each (shade-blind adoption; weight-blind softening).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod averaging;
+pub mod consensus;
+pub mod moran;
+pub mod trivial;
+
+pub use ablation::{AdoptAnyShade, ConstantFlip};
+pub use averaging::Averaging;
+pub use consensus::{AntiVoter, ThreeMajority, TwoChoices, Voter};
+pub use moran::MoranProcess;
+pub use trivial::TrivialProportional;

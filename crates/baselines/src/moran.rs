@@ -1,0 +1,154 @@
+//! The Moran process (related work [18, 23] of the paper).
+
+use pp_core::Colour;
+use pp_engine::Protocol;
+use rand::{Rng, RngExt};
+
+/// A fitness-weighted Moran-style copying dynamics, adapted to the
+/// one-way population-protocol model: the scheduled agent observes a random
+/// neighbour and adopts its colour with probability proportional to that
+/// colour's **fitness** (normalised by the maximum fitness).
+///
+/// Like Voter it is a consensus/fixation dynamics — diversity dies — but
+/// fitter colours fix with higher probability, which is the evolutionary
+/// phenomenon the classical Moran process models. Contrast with
+/// Diversification, where weights shape a *sustained* split rather than
+/// biasing which single colour survives.
+///
+/// # Examples
+///
+/// ```
+/// use pp_baselines::MoranProcess;
+/// use pp_engine::Protocol;
+///
+/// let p = MoranProcess::new(vec![1.0, 2.0]).unwrap();
+/// assert_eq!(p.name(), "moran");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoranProcess {
+    fitness: Vec<f64>,
+    max_fitness: f64,
+}
+
+/// Error returned for invalid fitness tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitnessError;
+
+impl std::fmt::Display for FitnessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "fitness table must be non-empty with positive finite entries")
+    }
+}
+
+impl std::error::Error for FitnessError {}
+
+impl MoranProcess {
+    /// Creates the process with one fitness value per colour.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FitnessError`] if the table is empty or any fitness is
+    /// non-positive or non-finite.
+    pub fn new(fitness: Vec<f64>) -> Result<Self, FitnessError> {
+        if fitness.is_empty() || fitness.iter().any(|&f| !f.is_finite() || f <= 0.0) {
+            return Err(FitnessError);
+        }
+        let max_fitness = fitness.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Ok(MoranProcess {
+            fitness,
+            max_fitness,
+        })
+    }
+
+    /// Fitness of colour `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn fitness(&self, i: usize) -> f64 {
+        self.fitness[i]
+    }
+}
+
+impl Protocol for MoranProcess {
+    type State = Colour;
+
+    fn transition(&self, me: &Colour, observed: &[&Colour], rng: &mut dyn Rng) -> Colour {
+        let seen = *observed[0];
+        let accept = self.fitness[seen.index()] / self.max_fitness;
+        if rng.random_bool(accept) {
+            seen
+        } else {
+            *me
+        }
+    }
+
+    fn name(&self) -> String {
+        "moran".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_engine::Simulator;
+    use pp_graph::Complete;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn max_fitness_colour_always_accepted() {
+        let p = MoranProcess::new(vec![1.0, 4.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            assert_eq!(
+                p.transition(&Colour::new(0), &[&Colour::new(1)], &mut rng),
+                Colour::new(1)
+            );
+        }
+    }
+
+    #[test]
+    fn weak_colour_accepted_proportionally() {
+        let p = MoranProcess::new(vec![1.0, 4.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let trials = 40_000;
+        let adopted = (0..trials)
+            .filter(|_| {
+                p.transition(&Colour::new(1), &[&Colour::new(0)], &mut rng) == Colour::new(0)
+            })
+            .count();
+        let rate = adopted as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.01, "{rate}");
+    }
+
+    #[test]
+    fn fitter_colour_usually_fixes() {
+        // Colour 1 is 3x fitter; over many runs it should fix far more often.
+        let mut wins = 0;
+        for seed in 0..20u64 {
+            let p = MoranProcess::new(vec![1.0, 3.0]).unwrap();
+            let n = 40;
+            let states: Vec<Colour> = (0..n).map(|u| Colour::new(u % 2)).collect();
+            let mut sim = Simulator::new(p, Complete::new(n), states, seed);
+            let hit = sim.run_until(5_000_000, 40, |pop, _| {
+                let first = pop[0];
+                pop.count_matching(|&c| c == first) == pop.len()
+            });
+            assert!(hit.is_some(), "no fixation at seed {seed}");
+            if sim.population()[0] == Colour::new(1) {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 14, "fit colour fixed only {wins}/20 times");
+    }
+
+    #[test]
+    fn rejects_bad_fitness() {
+        assert!(MoranProcess::new(vec![]).is_err());
+        assert!(MoranProcess::new(vec![0.0]).is_err());
+        assert!(MoranProcess::new(vec![f64::NAN]).is_err());
+        let err = MoranProcess::new(vec![-1.0]).unwrap_err();
+        assert!(format!("{err}").contains("positive"));
+    }
+}

@@ -1,0 +1,125 @@
+//! The strawman from the paper's introduction: global proportional sampling.
+
+use pp_core::{Colour, Weights};
+use pp_engine::Protocol;
+use rand::{Rng, RngExt};
+
+/// The "trivial" diversification protocol the introduction argues against:
+/// on every activation the agent ignores what it observes and resamples its
+/// colour with probability proportional to the weights.
+///
+/// It trivially achieves the right *marginal* distribution, but:
+///
+/// 1. it requires **global knowledge** of all colours and weights (here:
+///    the protocol object carries the whole table — the very thing a real
+///    agent cannot store); and
+/// 2. it is **not robust**: if the environment retires a colour (recolours
+///    all its supporters), this protocol keeps resampling the dead colour
+///    forever, because no local observation informs the agents. Experiment
+///    `t6_sustainability` demonstrates exactly this failure against
+///    Diversification's recovery.
+///
+/// # Examples
+///
+/// ```
+/// use pp_baselines::TrivialProportional;
+/// use pp_core::Weights;
+/// use pp_engine::Protocol;
+///
+/// let p = TrivialProportional::new(Weights::new(vec![1.0, 3.0])?);
+/// assert_eq!(p.name(), "trivial-proportional");
+/// # Ok::<(), pp_core::WeightsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrivialProportional {
+    weights: Weights,
+}
+
+impl TrivialProportional {
+    /// Creates the protocol with full knowledge of the weight table.
+    pub fn new(weights: Weights) -> Self {
+        TrivialProportional { weights }
+    }
+
+    /// The globally-known weight table.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Samples a colour with probability `w_i / w`.
+    pub fn sample_colour(&self, rng: &mut dyn Rng) -> Colour {
+        let target: f64 = rng.random_range(0.0..self.weights.total());
+        let mut acc = 0.0;
+        for (i, w) in self.weights.iter() {
+            acc += w;
+            if target < acc {
+                return Colour::new(i);
+            }
+        }
+        Colour::new(self.weights.len() - 1)
+    }
+}
+
+impl Protocol for TrivialProportional {
+    type State = Colour;
+
+    fn transition(&self, _me: &Colour, _observed: &[&Colour], rng: &mut dyn Rng) -> Colour {
+        self.sample_colour(rng)
+    }
+
+    fn name(&self) -> String {
+        "trivial-proportional".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_proportionally() {
+        let p = TrivialProportional::new(Weights::new(vec![1.0, 3.0]).unwrap());
+        let mut rng = StdRng::seed_from_u64(1);
+        let trials = 40_000;
+        let mut heavy = 0u32;
+        for _ in 0..trials {
+            if p.sample_colour(&mut rng) == Colour::new(1) {
+                heavy += 1;
+            }
+        }
+        let frac = heavy as f64 / trials as f64;
+        assert!((frac - 0.75).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn ignores_observation() {
+        let p = TrivialProportional::new(Weights::uniform(2));
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let out1 = p.transition(&Colour::new(0), &[&Colour::new(1)], &mut a);
+        let out2 = p.transition(&Colour::new(1), &[&Colour::new(0)], &mut b);
+        assert_eq!(out1, out2, "output depends only on the RNG stream");
+    }
+
+    #[test]
+    fn resamples_dead_colours() {
+        // The non-robustness the intro describes: even if colour 0 is dead
+        // in the population, agents keep choosing it.
+        let p = TrivialProportional::new(Weights::uniform(2));
+        let mut rng = StdRng::seed_from_u64(4);
+        let saw_dead = (0..100)
+            .any(|_| p.transition(&Colour::new(1), &[&Colour::new(1)], &mut rng) == Colour::new(0));
+        assert!(saw_dead);
+    }
+
+    #[test]
+    fn single_colour_always_sampled() {
+        let p = TrivialProportional::new(Weights::uniform(1));
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10 {
+            assert_eq!(p.sample_colour(&mut rng), Colour::new(0));
+        }
+    }
+}

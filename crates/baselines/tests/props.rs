@@ -1,0 +1,153 @@
+//! Property-based tests for the baseline protocols: structural invariants
+//! that must hold for every input state and every seed.
+
+use pp_baselines::{
+    AdoptAnyShade, AntiVoter, Averaging, ConstantFlip, MoranProcess, ThreeMajority,
+    TrivialProportional, TwoChoices, Voter,
+};
+use pp_core::{AgentState, Colour, Shade, Weights};
+use pp_engine::Protocol;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn colour(max_k: usize) -> impl Strategy<Value = Colour> {
+    (0..max_k).prop_map(Colour::new)
+}
+
+proptest! {
+    #[test]
+    fn voter_output_is_observed(me in colour(8), seen in colour(8), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        prop_assert_eq!(Voter.transition(&me, &[&seen], &mut rng), seen);
+    }
+
+    #[test]
+    fn two_choices_output_is_in_closure(
+        me in colour(8),
+        a in colour(8),
+        b in colour(8),
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = TwoChoices.transition(&me, &[&a, &b], &mut rng);
+        prop_assert!(out == me || out == a || out == b);
+        if a == b {
+            prop_assert_eq!(out, a);
+        } else {
+            prop_assert_eq!(out, me);
+        }
+    }
+
+    #[test]
+    fn three_majority_output_is_in_closure(
+        me in colour(8),
+        a in colour(8),
+        b in colour(8),
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = ThreeMajority.transition(&me, &[&a, &b], &mut rng);
+        prop_assert!(out == me || out == a || out == b);
+        // A strict majority is always respected.
+        if a == b {
+            prop_assert_eq!(out, a);
+        }
+        if a == me || b == me {
+            prop_assert_eq!(out, me);
+        }
+    }
+
+    #[test]
+    fn anti_voter_is_an_involution(seen in colour(2), me in colour(2), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let once = AntiVoter.transition(&me, &[&seen], &mut rng);
+        prop_assert_eq!(AntiVoter::opposite(once), seen);
+    }
+
+    #[test]
+    fn averaging_stays_in_hull(x in -1e6f64..1e6, y in -1e6f64..1e6, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = Averaging::noiseless().transition(&x, &[&y], &mut rng);
+        let (lo, hi) = (x.min(y), x.max(y));
+        prop_assert!(out >= lo - 1e-9 && out <= hi + 1e-9);
+    }
+
+    #[test]
+    fn noisy_averaging_bounded_by_amplitude(
+        x in -100.0f64..100.0,
+        y in -100.0f64..100.0,
+        amp in 0.0f64..10.0,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = Averaging::with_noise(amp).transition(&x, &[&y], &mut rng);
+        let mid = (x + y) / 2.0;
+        prop_assert!((out - mid).abs() <= amp / 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn moran_output_is_self_or_observed(
+        me in colour(3),
+        seen in colour(3),
+        seed in 0u64..100,
+    ) {
+        let p = MoranProcess::new(vec![1.0, 2.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = p.transition(&me, &[&seen], &mut rng);
+        prop_assert!(out == me || out == seen);
+    }
+
+    #[test]
+    fn trivial_output_in_weight_table(me in colour(4), seen in colour(4), seed in 0u64..100) {
+        let p = TrivialProportional::new(Weights::new(vec![1.0, 2.0, 3.0, 4.0]).unwrap());
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = p.transition(&me, &[&seen], &mut rng);
+        prop_assert!(out.index() < 4);
+    }
+
+    #[test]
+    fn ablations_never_change_dark_colour(
+        me_colour in colour(2),
+        v_colour in colour(2),
+        v_dark in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        // Both ablations keep the sustainability-critical property: a dark
+        // agent's colour never changes in one interaction.
+        let me = AgentState::dark(me_colour);
+        let v = if v_dark {
+            AgentState::dark(v_colour)
+        } else {
+            AgentState::light(v_colour)
+        };
+        let weights = Weights::new(vec![1.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out1 = AdoptAnyShade::new(weights).transition(&me, &[&v], &mut rng);
+        prop_assert_eq!(out1.colour, me.colour);
+        let out2 = ConstantFlip::new(0.5).transition(&me, &[&v], &mut rng);
+        prop_assert_eq!(out2.colour, me.colour);
+    }
+
+    #[test]
+    fn constant_flip_light_adopts_only_dark(
+        v_colour in colour(2),
+        v_dark in any::<bool>(),
+        seed in 0u64..100,
+    ) {
+        let me = AgentState::light(Colour::new(0));
+        let v = if v_dark {
+            AgentState::dark(v_colour)
+        } else {
+            AgentState::light(v_colour)
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = ConstantFlip::new(0.5).transition(&me, &[&v], &mut rng);
+        if v_dark {
+            prop_assert_eq!(out, AgentState::dark(v_colour));
+        } else {
+            prop_assert_eq!(out, me);
+        }
+        prop_assert!(out.shade == Shade::Dark || out == me);
+    }
+}

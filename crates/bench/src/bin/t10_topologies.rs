@@ -1,0 +1,9 @@
+//! Regenerates experiment `t10_topologies` (see EXPERIMENTS.md).
+//!
+//! Run with `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md;
+//! the default is the quick preset.
+
+fn main() {
+    let preset = pp_bench::Preset::from_env();
+    pp_bench::experiments::topologies::run(preset, 1000).print();
+}

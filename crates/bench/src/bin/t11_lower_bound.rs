@@ -1,0 +1,9 @@
+//! Regenerates experiment `t11_lower_bound` (see EXPERIMENTS.md).
+//!
+//! Run with `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md;
+//! the default is the quick preset.
+
+fn main() {
+    let preset = pp_bench::Preset::from_env();
+    pp_bench::experiments::lower_bound::run(preset, 1100).print();
+}

@@ -1,0 +1,96 @@
+//! One module per experiment; ids match DESIGN.md §4.
+
+pub mod ablations;
+pub mod baselines;
+pub mod convergence;
+pub mod derandomised;
+pub mod diversity;
+pub mod drift;
+pub mod fairness;
+pub mod fig1;
+pub mod lower_bound;
+pub mod markov;
+pub mod phase3;
+pub mod stability;
+pub mod sustainability;
+pub mod topologies;
+pub mod uniform_partition;
+
+use pp_core::{ConfigStats, Weights};
+use pp_stats::Table;
+
+/// Post-convergence window-max diversity error of the randomised protocol
+/// for an arbitrary weight table (shared by t3/t8/t10/t12).
+pub fn diversity_error_for(n: usize, weights: &Weights, seed: u64) -> f64 {
+    let k = weights.len();
+    let mut sim = crate::runner::converged_simulator(n, weights, seed);
+    let window = (2.0 * n as f64 * (n as f64).ln()) as u64;
+    let mut worst: f64 = 0.0;
+    sim.run_observed(window, (n as u64 / 2).max(1), |_, pop| {
+        let stats = ConfigStats::from_states(pop.states(), k);
+        worst = worst.max(stats.max_diversity_error(weights));
+    });
+    worst
+}
+
+/// The output of one experiment: a titled table plus free-form notes
+/// (fitted exponents, pass/fail verdicts, caveats).
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id and description, e.g. `t3_diversity_error`.
+    pub title: String,
+    /// The rows the experiment reports.
+    pub table: Table,
+    /// Derived observations (fits, verdicts).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates a report.
+    pub fn new(title: impl Into<String>, table: Table) -> Self {
+        Report {
+            title: title.into(),
+            table,
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// Renders title, table, and notes as text.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} ==\n", self.title));
+        out.push_str(&self.table.render());
+        for n in &self.notes {
+            out.push_str(&format!("  note: {n}\n"));
+        }
+        out
+    }
+
+    /// Prints the report to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+        println!();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_renders_all_parts() {
+        let mut t = Table::new(["a"]);
+        t.row(["1"]);
+        let mut r = Report::new("demo", t);
+        r.note("slope = 1.0");
+        let text = r.render();
+        assert!(text.contains("== demo =="));
+        assert!(text.contains("slope = 1.0"));
+    }
+}

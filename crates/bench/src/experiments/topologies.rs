@@ -1,0 +1,120 @@
+//! `t10_topologies` — the future-work question: how does Diversification
+//! behave beyond the complete graph?
+//!
+//! Same protocol, same budget (`30·n·ln n` steps), different interaction
+//! graphs. The paper's analysis needs the complete graph; the expectation
+//! (and the measured shape) is that well-mixing graphs (complete, dense ER,
+//! random-regular, torus) stay close to the fair share while the cycle —
+//! diameter `n/2` — lags far behind at equal budget.
+
+use crate::experiments::Report;
+use crate::runner::{standard_weights, Preset};
+use pp_core::{init, ConfigStats, Diversification};
+use pp_engine::Simulator;
+use pp_graph::{
+    erdos_renyi, random_regular, watts_strogatz, Complete, Cycle, Hypercube, Topology, Torus2d,
+};
+use pp_stats::{table::fmt_f64, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Window-max diversity error on an arbitrary topology after a fixed budget.
+fn error_on(topology: Box<dyn Topology>, seed: u64) -> f64 {
+    let weights = standard_weights();
+    let n = topology.len();
+    let k = weights.len();
+    let states = init::all_dark_balanced(n, &weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        topology,
+        states,
+        seed,
+    );
+    let nln = n as f64 * (n as f64).ln();
+    sim.run((30.0 * nln) as u64);
+    let mut worst: f64 = 0.0;
+    sim.run_observed((2.0 * nln) as u64, (n as u64 / 2).max(1), |_, pop| {
+        let stats = ConfigStats::from_states(pop.states(), k);
+        worst = worst.max(stats.max_diversity_error(&weights));
+    });
+    worst
+}
+
+/// Runs the comparison.
+pub fn run(preset: Preset, seed: u64) -> Report {
+    let side = preset.pick(16usize, 32);
+    let n = side * side; // 256 or 1024, a perfect square for the torus.
+    let mut gen_rng = StdRng::seed_from_u64(seed.wrapping_add(100));
+
+    let dim = (n as f64).log2() as u32; // n is a power of four, so exact.
+    let topologies: Vec<Box<dyn Topology>> = vec![
+        Box::new(Complete::new(n)),
+        Box::new(random_regular(n, 8, &mut gen_rng)),
+        Box::new(erdos_renyi(n, 16.0 / n as f64, &mut gen_rng)),
+        Box::new(Hypercube::new(dim)),
+        Box::new(watts_strogatz(n, 4, 0.1, &mut gen_rng)),
+        Box::new(Torus2d::new(side, side)),
+        Box::new(Cycle::new(n)),
+    ];
+
+    let mut table = Table::new(["topology", "window-max diversity error", "vs complete"]);
+    let mut complete_err = None;
+    let mut rows = Vec::new();
+    for topology in topologies {
+        let name = topology.name();
+        let err = error_on(topology, seed);
+        if name == "complete" {
+            complete_err = Some(err);
+        }
+        rows.push((name, err));
+    }
+    let base = complete_err.expect("complete graph measured");
+    for (name, err) in &rows {
+        table.row([
+            name.clone(),
+            fmt_f64(*err),
+            format!("{:.2}x", err / base),
+        ]);
+    }
+
+    let mut report = Report::new(
+        format!("t10_topologies (n = {n}, weights = (1,1,2,4), budget = 30 n ln n)"),
+        table,
+    );
+    let cycle_err = rows
+        .iter()
+        .find(|(name, _)| name == "cycle")
+        .map(|&(_, e)| e)
+        .expect("cycle measured");
+    report.note(format!(
+        "well-mixing graphs track the complete graph; the cycle lags by {:.1}x at equal budget \
+         (diameter Θ(n) vs Θ(1)) — the trade-off the future-work section anticipates.",
+        cycle_err / base
+    ));
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_is_worst_complete_is_good() {
+        let report = run(Preset::Quick, 13);
+        let text = report.render();
+        let value = |name: &str| -> f64 {
+            text.lines()
+                .find(|l| l.trim_start().starts_with(name))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|s| s.parse().ok())
+                .unwrap_or_else(|| panic!("row {name} missing:\n{text}"))
+        };
+        let complete = value("complete");
+        let cycle = value("cycle");
+        assert!(complete < 0.15, "complete graph error {complete}:\n{text}");
+        assert!(
+            cycle > complete,
+            "cycle ({cycle}) should lag complete ({complete}):\n{text}"
+        );
+    }
+}

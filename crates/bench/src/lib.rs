@@ -1,0 +1,39 @@
+//! Experiment harness reproducing every quantitative claim of
+//! *Diversity, Fairness, and Sustainability in Population Protocols*.
+//!
+//! The paper is a theory paper: its evaluation is a set of theorems plus the
+//! Fig. 1 phase timeline. Each experiment here regenerates the quantitative
+//! *shape* of one claim — scaling exponents, concentration widths,
+//! crossovers against baselines — as a plain-text table. The experiment ids
+//! match DESIGN.md §4 and EXPERIMENTS.md:
+//!
+//! | id | claim | module |
+//! |----|-------|--------|
+//! | `fig1_phases` | Fig. 1 timeline (τ₁, τ₂, τ₃) | [`experiments::fig1`] |
+//! | `t1_convergence_n` | Thm 1.3, scaling in `n` | [`experiments::convergence`] |
+//! | `t2_convergence_w` | Thm 1.3, scaling in `w` | [`experiments::convergence`] |
+//! | `t3_diversity_error` | Eq. (1), `Õ(1/√n)` | [`experiments::diversity`] |
+//! | `t4_phase3_error` | Thm 2.13, `n^{3/4} log^{1/4} n` | [`experiments::phase3`] |
+//! | `t5_fairness` | Thm 2.12 | [`experiments::fairness`] |
+//! | `t6_sustainability` | Def 1.1(3) + robustness | [`experiments::sustainability`] |
+//! | `t7_baselines` | consensus kills diversity | [`experiments::baselines`] |
+//! | `t8_derandomised` | §1.2 open problem | [`experiments::derandomised`] |
+//! | `t9_markov` | §2.4 chain approximation | [`experiments::markov`] |
+//! | `t10_topologies` | future work: other graphs | [`experiments::topologies`] |
+//! | `t11_lower_bound` | Ω(n log n) broadcast | [`experiments::lower_bound`] |
+//! | `t12_uniform_partition` | `w_i = 1` special case | [`experiments::uniform_partition`] |
+//! | `t13_stability` | Thm 2.5 stability window | [`experiments::stability`] |
+//! | `ablations` | design-choice knockouts | [`experiments::ablations`] |
+//! | `drift_lemmas` | Lemmas 2.9/2.10/4.1 contraction | [`experiments::drift`] |
+//!
+//! Every experiment takes a [`Preset`] so the same code runs as a fast smoke
+//! (`Preset::Quick`, used by `cargo bench` and tests) or at full scale
+//! (`Preset::Full`, used by the `t*` binaries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod runner;
+
+pub use runner::{converged_simulator, convergence_time, Preset};

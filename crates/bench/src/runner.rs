@@ -1,0 +1,126 @@
+//! Shared experiment plumbing.
+
+use pp_core::{init, region::GoodSet, ConfigStats, Diversification, Weights};
+use pp_engine::Simulator;
+use pp_graph::Complete;
+
+/// Experiment scale: `Quick` presets finish in seconds (used by
+/// `cargo bench` and the test-suite), `Full` presets are the scales quoted
+/// in EXPERIMENTS.md.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    /// Reduced population sizes and seed counts; same code paths.
+    Quick,
+    /// The scales recorded in EXPERIMENTS.md.
+    Full,
+}
+
+impl Preset {
+    /// Picks `quick` or `full` depending on the preset.
+    pub fn pick<T>(self, quick: T, full: T) -> T {
+        match self {
+            Preset::Quick => quick,
+            Preset::Full => full,
+        }
+    }
+
+    /// Reads the preset from the process environment: `PP_PRESET=full`
+    /// selects [`Preset::Full`], anything else (or unset) is quick.
+    pub fn from_env() -> Self {
+        match std::env::var("PP_PRESET") {
+            Ok(v) if v.eq_ignore_ascii_case("full") => Preset::Full,
+            _ => Preset::Quick,
+        }
+    }
+}
+
+/// Measures the convergence time of Theorem 1.3: the first time-step at
+/// which the configuration (started from the adversarial single-minority
+/// configuration) enters `E(δ)`, checked every `n/4` steps.
+///
+/// Returns `None` if the budget `max_steps` is exhausted first.
+///
+/// # Panics
+///
+/// Panics if `n < weights.len()`.
+pub fn convergence_time(
+    n: usize,
+    weights: &Weights,
+    delta: f64,
+    seed: u64,
+    max_steps: u64,
+) -> Option<u64> {
+    let states = init::all_dark_single_minority(n, weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        states,
+        seed,
+    );
+    let good = GoodSet::new(weights.clone(), delta);
+    let k = weights.len();
+    let check = (n as u64 / 4).max(1);
+    sim.run_until(max_steps, check, |pop, _| {
+        good.contains(&ConfigStats::from_states(pop.states(), k))
+    })
+}
+
+/// Builds a simulator from the balanced all-dark start and runs it past the
+/// Theorem 1.3 budget (`c·w²·n·ln n` with `c = 4`), returning it in its
+/// (w.h.p.) converged state.
+pub fn converged_simulator(
+    n: usize,
+    weights: &Weights,
+    seed: u64,
+) -> Simulator<Diversification, Complete> {
+    let states = init::all_dark_balanced(n, weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        states,
+        seed,
+    );
+    let budget = pp_core::theory::convergence_budget(n, weights.total(), 4.0);
+    sim.run(budget);
+    sim
+}
+
+/// The weight table used by most experiments: `k = 4`, weights `(1, 1, 2, 4)`
+/// (total `w = 8`) — small enough for fast runs, skewed enough that weighted
+/// fair shares differ visibly from uniform.
+pub fn standard_weights() -> Weights {
+    Weights::new(vec![1.0, 1.0, 2.0, 4.0]).expect("static table is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_pick() {
+        assert_eq!(Preset::Quick.pick(1, 2), 1);
+        assert_eq!(Preset::Full.pick(1, 2), 2);
+    }
+
+    #[test]
+    fn convergence_time_is_finite_at_small_n() {
+        let w = standard_weights();
+        let budget = pp_core::theory::convergence_budget(256, w.total(), 50.0);
+        let t = convergence_time(256, &w, 0.5, 7, budget);
+        assert!(t.is_some(), "no convergence within 50·w²·n·ln n");
+    }
+
+    #[test]
+    fn converged_simulator_is_near_fair_share() {
+        let w = standard_weights();
+        let sim = converged_simulator(512, &w, 3);
+        let stats = ConfigStats::from_states(sim.population().states(), w.len());
+        assert!(stats.max_diversity_error(&w) < 0.12);
+    }
+
+    #[test]
+    fn tiny_budget_times_out() {
+        let w = standard_weights();
+        assert_eq!(convergence_time(256, &w, 0.05, 7, 10), None);
+    }
+}

@@ -1,0 +1,411 @@
+//! Executable versions of Definition 1.1: diversity, fairness,
+//! sustainability.
+//!
+//! Each checker turns one clause of the paper's "good protocol" definition
+//! into a measurement that experiments and tests can assert on. The checkers
+//! only observe; the properties themselves are enforced (or not) by the
+//! protocol dynamics.
+
+use crate::{AgentState, ConfigStats, Weights};
+
+/// Diversity (Definition 1.1(1)): after convergence, every colour fraction
+/// stays within `c·sqrt(ln n / n)` of its fair share `w_i/w`.
+///
+/// The checker records the worst deviation it has seen, so a single call to
+/// [`worst_error`](DiversityChecker::worst_error) at the end of a window
+/// certifies the whole window (matching the theorem's "for all `t` in the
+/// interval" form).
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{ConfigStats, DiversityChecker, Weights};
+///
+/// let w = Weights::new(vec![1.0, 3.0])?;
+/// let mut checker = DiversityChecker::new(w, 4.0);
+/// let stats = ConfigStats::from_counts(vec![20, 60], vec![5, 15]);
+/// checker.observe(&stats);
+/// assert!(checker.holds());
+/// # Ok::<(), pp_core::WeightsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiversityChecker {
+    weights: Weights,
+    tolerance_factor: f64,
+    worst_error: f64,
+    worst_scale: f64,
+    observations: u64,
+}
+
+impl DiversityChecker {
+    /// Creates a checker with tolerance `c` (the error bound is
+    /// `c·sqrt(ln n / n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tolerance_factor <= 0`.
+    pub fn new(weights: Weights, tolerance_factor: f64) -> Self {
+        assert!(tolerance_factor > 0.0, "tolerance factor must be positive");
+        DiversityChecker {
+            weights,
+            tolerance_factor,
+            worst_error: 0.0,
+            worst_scale: f64::INFINITY,
+            observations: 0,
+        }
+    }
+
+    /// Records one configuration snapshot.
+    pub fn observe(&mut self, stats: &ConfigStats) {
+        let err = stats.max_diversity_error(&self.weights);
+        self.worst_error = self.worst_error.max(err);
+        self.worst_scale = self
+            .worst_scale
+            .min(crate::theory::diversity_error_scale(stats.population()));
+        self.observations += 1;
+    }
+
+    /// The largest diversity error seen so far.
+    pub fn worst_error(&self) -> f64 {
+        self.worst_error
+    }
+
+    /// Number of snapshots observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Returns `true` if every observed snapshot satisfied the bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been observed.
+    pub fn holds(&self) -> bool {
+        assert!(self.observations > 0, "no snapshots observed");
+        self.worst_error <= self.tolerance_factor * self.worst_scale
+    }
+}
+
+/// Fairness (Definition 1.1(2)): over a long window, each agent holds each
+/// colour a `(1 ± o(1))·w_i/w` fraction of the time.
+///
+/// Tracks the exact per-agent × per-colour occupancy counts. For population
+/// size `n` and `k` colours this is `n·k` counters updated in `O(n)` per
+/// recorded snapshot; experiments record every `stride` steps, which
+/// estimates the same fractions.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{init, FairnessTracker, Weights};
+///
+/// let w = Weights::uniform(2);
+/// let states = init::all_dark_balanced(4, &w);
+/// let mut tracker = FairnessTracker::new(4, 2);
+/// tracker.record(&states);
+/// // Agent 0 started with colour 0, so its occupancy of colour 0 is 1.
+/// assert_eq!(tracker.occupancy(0, 0), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FairnessTracker {
+    n: usize,
+    k: usize,
+    counts: Vec<u64>,
+    snapshots: u64,
+}
+
+impl FairnessTracker {
+    /// Creates a tracker for `n` agents and `k` colours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `k == 0`.
+    pub fn new(n: usize, k: usize) -> Self {
+        assert!(n > 0 && k > 0, "tracker needs agents and colours");
+        FairnessTracker {
+            n,
+            k,
+            counts: vec![0; n * k],
+            snapshots: 0,
+        }
+    }
+
+    /// Records one snapshot of all agent states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != n` or any colour is out of range.
+    pub fn record(&mut self, states: &[AgentState]) {
+        assert_eq!(states.len(), self.n, "population size changed");
+        for (u, s) in states.iter().enumerate() {
+            let i = s.colour.index();
+            assert!(i < self.k, "colour {i} out of range");
+            self.counts[u * self.k + i] += 1;
+        }
+        self.snapshots += 1;
+    }
+
+    /// Number of snapshots recorded.
+    pub fn snapshots(&self) -> u64 {
+        self.snapshots
+    }
+
+    /// Fraction of recorded time agent `u` held colour `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been recorded or indices are out of range.
+    pub fn occupancy(&self, u: usize, i: usize) -> f64 {
+        assert!(self.snapshots > 0, "no snapshots recorded");
+        assert!(u < self.n && i < self.k, "index out of range");
+        self.counts[u * self.k + i] as f64 / self.snapshots as f64
+    }
+
+    /// The fairness deviation: `max_{u,i} |occupancy(u, i) − w_i/w|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != k` or nothing has been recorded.
+    pub fn max_deviation(&self, weights: &Weights) -> f64 {
+        assert_eq!(weights.len(), self.k, "weight table size mismatch");
+        assert!(self.snapshots > 0, "no snapshots recorded");
+        let mut worst: f64 = 0.0;
+        for u in 0..self.n {
+            for i in 0..self.k {
+                worst = worst.max((self.occupancy(u, i) - weights.fair_share(i)).abs());
+            }
+        }
+        worst
+    }
+
+    /// Mean over agents of the per-agent worst deviation — a less
+    /// adversarial summary than [`max_deviation`](Self::max_deviation).
+    pub fn mean_deviation(&self, weights: &Weights) -> f64 {
+        assert_eq!(weights.len(), self.k, "weight table size mismatch");
+        assert!(self.snapshots > 0, "no snapshots recorded");
+        let mut total = 0.0;
+        for u in 0..self.n {
+            let worst = (0..self.k)
+                .map(|i| (self.occupancy(u, i) - weights.fair_share(i)).abs())
+                .fold(0.0, f64::max);
+            total += worst;
+        }
+        total / self.n as f64
+    }
+}
+
+/// Sustainability (Definition 1.1(3)): no colour ever vanishes.
+///
+/// The protocol guarantees the stronger invariant that every colour keeps at
+/// least one **dark** agent; the checker verifies it at every observation
+/// and remembers any violation with its step number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SustainabilityChecker {
+    min_dark_seen: usize,
+    first_violation: Option<u64>,
+    observations: u64,
+}
+
+impl SustainabilityChecker {
+    /// Creates a fresh checker.
+    pub fn new() -> Self {
+        SustainabilityChecker {
+            min_dark_seen: usize::MAX,
+            first_violation: None,
+            observations: 0,
+        }
+    }
+
+    /// Records one configuration; `step` labels a violation if one occurs.
+    pub fn observe(&mut self, stats: &ConfigStats, step: u64) {
+        self.min_dark_seen = self.min_dark_seen.min(stats.min_dark_count());
+        if !stats.all_colours_alive() && self.first_violation.is_none() {
+            self.first_violation = Some(step);
+        }
+        self.observations += 1;
+    }
+
+    /// Returns `true` if every observed configuration kept all colours alive.
+    pub fn holds(&self) -> bool {
+        self.first_violation.is_none()
+    }
+
+    /// The smallest per-colour dark support ever observed.
+    pub fn min_dark_seen(&self) -> usize {
+        self.min_dark_seen
+    }
+
+    /// The step of the first violation, if any.
+    pub fn first_violation(&self) -> Option<u64> {
+        self.first_violation
+    }
+
+    /// Number of snapshots observed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+}
+
+impl Default for SustainabilityChecker {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Records the `2k`-state trajectory of a single agent (dark colours
+/// `0..k`, light colours `k..2k`), for comparison against the ideal chain
+/// of §2.4.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrajectoryRecorder {
+    agent: usize,
+    k: usize,
+    states: Vec<usize>,
+}
+
+impl TrajectoryRecorder {
+    /// Creates a recorder for `agent` in a `k`-colour system.
+    pub fn new(agent: usize, k: usize) -> Self {
+        assert!(k > 0, "need at least one colour");
+        TrajectoryRecorder {
+            agent,
+            k,
+            states: Vec::new(),
+        }
+    }
+
+    /// Appends the agent's current chain state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent id is out of range.
+    pub fn record(&mut self, states: &[AgentState]) {
+        assert!(self.agent < states.len(), "agent id out of range");
+        self.states.push(states[self.agent].chain_index(self.k));
+    }
+
+    /// The recorded chain-state sequence (feed into
+    /// `pp_markov::Walk::from_states`).
+    pub fn states(&self) -> &[usize] {
+        &self.states
+    }
+
+    /// Consumes the recorder, returning the sequence.
+    pub fn into_states(self) -> Vec<usize> {
+        self.states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Colour;
+
+    fn eq_stats() -> ConfigStats {
+        ConfigStats::from_counts(vec![20, 60], vec![5, 15])
+    }
+
+    #[test]
+    fn diversity_checker_accepts_equilibrium() {
+        let w = Weights::new(vec![1.0, 3.0]).unwrap();
+        let mut c = DiversityChecker::new(w, 4.0);
+        c.observe(&eq_stats());
+        assert!(c.holds());
+        assert_eq!(c.observations(), 1);
+        assert_eq!(c.worst_error(), 0.0);
+    }
+
+    #[test]
+    fn diversity_checker_rejects_persistent_skew() {
+        let w = Weights::uniform(2);
+        let mut c = DiversityChecker::new(w, 1.0);
+        let skew = ConfigStats::from_counts(vec![90, 10], vec![0, 0]);
+        c.observe(&skew);
+        assert!(!c.holds());
+        assert!(c.worst_error() > 0.3);
+    }
+
+    #[test]
+    fn diversity_checker_remembers_worst() {
+        let w = Weights::uniform(2);
+        let mut c = DiversityChecker::new(w, 1.0);
+        c.observe(&ConfigStats::from_counts(vec![50, 50], vec![0, 0]));
+        c.observe(&ConfigStats::from_counts(vec![80, 20], vec![0, 0]));
+        c.observe(&ConfigStats::from_counts(vec![50, 50], vec![0, 0]));
+        assert!((c.worst_error() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fairness_tracker_counts() {
+        let mut t = FairnessTracker::new(2, 2);
+        let s0 = vec![
+            AgentState::dark(Colour::new(0)),
+            AgentState::dark(Colour::new(1)),
+        ];
+        let s1 = vec![
+            AgentState::dark(Colour::new(1)),
+            AgentState::dark(Colour::new(1)),
+        ];
+        t.record(&s0);
+        t.record(&s1);
+        assert_eq!(t.snapshots(), 2);
+        assert_eq!(t.occupancy(0, 0), 0.5);
+        assert_eq!(t.occupancy(0, 1), 0.5);
+        assert_eq!(t.occupancy(1, 1), 1.0);
+    }
+
+    #[test]
+    fn fairness_deviation_zero_for_fair_trace() {
+        let w = Weights::uniform(2);
+        let mut t = FairnessTracker::new(1, 2);
+        t.record(&[AgentState::dark(Colour::new(0))]);
+        t.record(&[AgentState::dark(Colour::new(1))]);
+        assert!(t.max_deviation(&w) < 1e-12);
+        assert!(t.mean_deviation(&w) < 1e-12);
+    }
+
+    #[test]
+    fn fairness_deviation_one_sided_trace() {
+        let w = Weights::uniform(2);
+        let mut t = FairnessTracker::new(1, 2);
+        for _ in 0..10 {
+            t.record(&[AgentState::dark(Colour::new(0))]);
+        }
+        assert!((t.max_deviation(&w) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sustainability_checker_tracks_violations() {
+        let mut c = SustainabilityChecker::new();
+        c.observe(&eq_stats(), 10);
+        assert!(c.holds());
+        assert_eq!(c.min_dark_seen(), 20);
+        let dead = ConfigStats::from_counts(vec![0, 100], vec![0, 0]);
+        c.observe(&dead, 20);
+        assert!(!c.holds());
+        assert_eq!(c.first_violation(), Some(20));
+        assert_eq!(c.min_dark_seen(), 0);
+        assert_eq!(c.observations(), 2);
+    }
+
+    #[test]
+    fn trajectory_recorder_maps_states() {
+        let mut r = TrajectoryRecorder::new(1, 2);
+        r.record(&[
+            AgentState::dark(Colour::new(0)),
+            AgentState::light(Colour::new(1)),
+        ]);
+        r.record(&[
+            AgentState::dark(Colour::new(0)),
+            AgentState::dark(Colour::new(1)),
+        ]);
+        assert_eq!(r.states(), &[3, 1]);
+        assert_eq!(r.into_states(), vec![3, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no snapshots")]
+    fn diversity_holds_requires_observation() {
+        let c = DiversityChecker::new(Weights::uniform(2), 1.0);
+        c.holds();
+    }
+}

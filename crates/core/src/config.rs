@@ -1,0 +1,303 @@
+//! Configuration statistics: the counts `C_i(t)`, `A_i(t)`, `a_i(t)` of §2.
+
+use crate::{AgentState, GreyState, Weights};
+
+/// Per-colour counts of one population snapshot.
+///
+/// In the paper's notation, for each colour `i`:
+/// `A_i` = dark-shaded support, `a_i` = light-shaded support, and
+/// `C_i = A_i + a_i` = total support. `ξ(t) = (A_1..A_k, a_1..a_k)` is the
+/// full process state; this struct is that vector plus convenience queries.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{AgentState, Colour, ConfigStats};
+///
+/// let states = vec![
+///     AgentState::dark(Colour::new(0)),
+///     AgentState::light(Colour::new(0)),
+///     AgentState::dark(Colour::new(1)),
+/// ];
+/// let stats = ConfigStats::from_states(&states, 2);
+/// assert_eq!(stats.colour_count(0), 2);
+/// assert_eq!(stats.dark_count(0), 1);
+/// assert_eq!(stats.light_count(0), 1);
+/// assert_eq!(stats.population(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigStats {
+    dark: Vec<usize>,
+    light: Vec<usize>,
+    n: usize,
+}
+
+impl ConfigStats {
+    /// Tallies a randomised-protocol population of `k` colours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any agent's colour index is `>= k`.
+    pub fn from_states(states: &[AgentState], k: usize) -> Self {
+        let mut dark = vec![0usize; k];
+        let mut light = vec![0usize; k];
+        for s in states {
+            let i = s.colour.index();
+            assert!(i < k, "agent colour {i} out of range for k = {k}");
+            if s.is_dark() {
+                dark[i] += 1;
+            } else {
+                light[i] += 1;
+            }
+        }
+        ConfigStats {
+            dark,
+            light,
+            n: states.len(),
+        }
+    }
+
+    /// Tallies a derandomised-protocol population: shade 0 counts as light,
+    /// any positive shade as dark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any agent's colour index is `>= k`.
+    pub fn from_grey_states(states: &[GreyState], k: usize) -> Self {
+        let mut dark = vec![0usize; k];
+        let mut light = vec![0usize; k];
+        for s in states {
+            let i = s.colour().index();
+            assert!(i < k, "agent colour {i} out of range for k = {k}");
+            if s.is_light() {
+                light[i] += 1;
+            } else {
+                dark[i] += 1;
+            }
+        }
+        ConfigStats {
+            dark,
+            light,
+            n: states.len(),
+        }
+    }
+
+    /// Builds stats directly from per-colour `(dark, light)` counts.
+    pub fn from_counts(dark: Vec<usize>, light: Vec<usize>) -> Self {
+        assert_eq!(dark.len(), light.len(), "count vectors must align");
+        let n = dark.iter().sum::<usize>() + light.iter().sum::<usize>();
+        ConfigStats { dark, light, n }
+    }
+
+    /// Number of colours `k`.
+    pub fn num_colours(&self) -> usize {
+        self.dark.len()
+    }
+
+    /// Population size `n`.
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// `A_i`: dark-shaded support of colour `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= num_colours()`.
+    pub fn dark_count(&self, i: usize) -> usize {
+        self.dark[i]
+    }
+
+    /// `a_i`: light-shaded support of colour `i`.
+    pub fn light_count(&self, i: usize) -> usize {
+        self.light[i]
+    }
+
+    /// `C_i = A_i + a_i`: total support of colour `i`.
+    pub fn colour_count(&self, i: usize) -> usize {
+        self.dark[i] + self.light[i]
+    }
+
+    /// `A = Σ A_i`: total dark agents.
+    pub fn total_dark(&self) -> usize {
+        self.dark.iter().sum()
+    }
+
+    /// `a = Σ a_i`: total light agents.
+    pub fn total_light(&self) -> usize {
+        self.light.iter().sum()
+    }
+
+    /// Dark counts as a slice (`A_1..A_k`).
+    pub fn dark_counts(&self) -> &[usize] {
+        &self.dark
+    }
+
+    /// Light counts as a slice (`a_1..a_k`).
+    pub fn light_counts(&self) -> &[usize] {
+        &self.light
+    }
+
+    /// Fraction of the population supporting colour `i`, `C_i/n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population is empty.
+    pub fn colour_fraction(&self, i: usize) -> f64 {
+        assert!(self.n > 0, "empty population has no fractions");
+        self.colour_count(i) as f64 / self.n as f64
+    }
+
+    /// The diversity error of Eq. (1): `max_i |C_i/n − w_i/w|`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != num_colours()` or the population is empty.
+    pub fn max_diversity_error(&self, weights: &Weights) -> f64 {
+        assert_eq!(
+            weights.len(),
+            self.num_colours(),
+            "weight table size mismatch"
+        );
+        (0..self.num_colours())
+            .map(|i| (self.colour_fraction(i) - weights.fair_share(i)).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// The Phase-3 additive error of Theorem 2.13 for the dark counts:
+    /// `max_i |A_i − w_i·n/(1+w)|`.
+    pub fn max_dark_equilibrium_error(&self, weights: &Weights) -> f64 {
+        assert_eq!(
+            weights.len(),
+            self.num_colours(),
+            "weight table size mismatch"
+        );
+        (0..self.num_colours())
+            .map(|i| {
+                (self.dark[i] as f64 - weights.equilibrium_dark_fraction(i) * self.n as f64).abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// The Phase-3 additive error for the light counts:
+    /// `max_i |a_i − (w_i/w)·n/(1+w)|`.
+    pub fn max_light_equilibrium_error(&self, weights: &Weights) -> f64 {
+        assert_eq!(
+            weights.len(),
+            self.num_colours(),
+            "weight table size mismatch"
+        );
+        (0..self.num_colours())
+            .map(|i| {
+                (self.light[i] as f64
+                    - weights.equilibrium_light_fraction(i) * self.n as f64)
+                    .abs()
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Returns `true` if every colour has at least one dark supporter — the
+    /// precondition `ξ ∈ Ω` of the paper's state space, and the quantity
+    /// sustainability promises never to break.
+    pub fn all_colours_alive(&self) -> bool {
+        self.dark.iter().all(|&a| a >= 1)
+    }
+
+    /// The smallest dark support over all colours.
+    pub fn min_dark_count(&self) -> usize {
+        self.dark.iter().copied().min().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Colour;
+
+    fn sample() -> ConfigStats {
+        // Colour 0: 3 dark + 1 light; colour 1: 2 dark + 2 light.
+        ConfigStats::from_counts(vec![3, 2], vec![1, 2])
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let s = sample();
+        assert_eq!(s.population(), 8);
+        assert_eq!(s.colour_count(0), 4);
+        assert_eq!(s.colour_count(1), 4);
+        assert_eq!(s.total_dark(), 5);
+        assert_eq!(s.total_light(), 3);
+        assert_eq!(s.dark_counts(), &[3, 2]);
+        assert_eq!(s.light_counts(), &[1, 2]);
+    }
+
+    #[test]
+    fn from_states_matches_manual() {
+        let states = vec![
+            AgentState::dark(Colour::new(0)),
+            AgentState::dark(Colour::new(0)),
+            AgentState::dark(Colour::new(0)),
+            AgentState::light(Colour::new(0)),
+            AgentState::dark(Colour::new(1)),
+            AgentState::dark(Colour::new(1)),
+            AgentState::light(Colour::new(1)),
+            AgentState::light(Colour::new(1)),
+        ];
+        assert_eq!(ConfigStats::from_states(&states, 2), sample());
+    }
+
+    #[test]
+    fn grey_states_classify_by_positivity() {
+        let states = vec![
+            GreyState::new(Colour::new(0), 0),
+            GreyState::new(Colour::new(0), 1),
+            GreyState::new(Colour::new(1), 5),
+        ];
+        let s = ConfigStats::from_grey_states(&states, 2);
+        assert_eq!(s.light_count(0), 1);
+        assert_eq!(s.dark_count(0), 1);
+        assert_eq!(s.dark_count(1), 1);
+    }
+
+    #[test]
+    fn diversity_error_zero_at_fair_share() {
+        // 2 colours with weights 1 and 3 on n = 8: fair shares 2 and 6.
+        let w = Weights::new(vec![1.0, 3.0]).unwrap();
+        let s = ConfigStats::from_counts(vec![1, 3], vec![1, 3]);
+        assert!(s.max_diversity_error(&w) < 1e-12);
+    }
+
+    #[test]
+    fn diversity_error_detects_skew() {
+        let w = Weights::uniform(2);
+        let s = ConfigStats::from_counts(vec![7, 1], vec![0, 0]);
+        // Fractions (7/8, 1/8) vs fair (1/2, 1/2): error 3/8.
+        assert!((s.max_diversity_error(&w) - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn equilibrium_errors_zero_at_eq7() {
+        // Eq. (7) with w = (1, 3), w_total = 4, n = 100:
+        // A_i = w_i n/(1+w) = (20, 60); a_i = (w_i/w) n/(1+w) = (5, 15).
+        let w = Weights::new(vec![1.0, 3.0]).unwrap();
+        let s = ConfigStats::from_counts(vec![20, 60], vec![5, 15]);
+        assert!(s.max_dark_equilibrium_error(&w) < 1e-9);
+        assert!(s.max_light_equilibrium_error(&w) < 1e-9);
+        assert_eq!(s.population(), 100);
+    }
+
+    #[test]
+    fn aliveness() {
+        assert!(sample().all_colours_alive());
+        let dead = ConfigStats::from_counts(vec![3, 0], vec![0, 4]);
+        assert!(!dead.all_colours_alive());
+        assert_eq!(dead.min_dark_count(), 0);
+        assert_eq!(sample().min_dark_count(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_states_checks_colour_range() {
+        ConfigStats::from_states(&[AgentState::dark(Colour::new(5))], 2);
+    }
+}

@@ -1,0 +1,238 @@
+//! The derandomised Diversification protocol (§1.2 of the paper).
+//!
+//! Instead of flipping a `1/w_i` coin, each colour `i` carries `1 + w_i`
+//! **grey shades** enumerated `0` (light) to `w_i` (dark). A shaded agent
+//! meeting a same-colour agent of positive shade steps its shade down by
+//! one; an agent at shade 0 adopts the colour of any positively-shaded agent
+//! it observes, restarting at that colour's top shade. Analysing this
+//! variant is listed as an open problem; experiment `t8_derandomised`
+//! studies it empirically.
+
+use crate::{Colour, IntWeights};
+use pp_engine::Protocol;
+use rand::Rng;
+
+/// State of one agent under the derandomised protocol: a colour plus a grey
+/// shade in `0..=w_i`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{Colour, GreyState};
+///
+/// let s = GreyState::new(Colour::new(1), 3);
+/// assert_eq!(s.shade(), 3);
+/// assert!(!s.is_light());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GreyState {
+    colour: Colour,
+    shade: u32,
+}
+
+impl GreyState {
+    /// Creates a state with the given colour and shade level.
+    pub fn new(colour: Colour, shade: u32) -> Self {
+        GreyState { colour, shade }
+    }
+
+    /// The agent's colour.
+    pub fn colour(&self) -> Colour {
+        self.colour
+    }
+
+    /// The grey level: `0` is light, `w_i` is fully dark.
+    pub fn shade(&self) -> u32 {
+        self.shade
+    }
+
+    /// Returns `true` if the shade is 0 (the only state that can change colour).
+    pub fn is_light(&self) -> bool {
+        self.shade == 0
+    }
+}
+
+impl std::fmt::Display for GreyState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}@{}", self.colour, self.shade)
+    }
+}
+
+/// The derandomised Diversification protocol over integer weights.
+///
+/// Transition rule for scheduled agent `u` observing `v` (§1.2):
+///
+/// * `shade(u) > 0`, same colour, `shade(v) > 0` → `u` decrements its shade;
+/// * `shade(u) == 0`, `shade(v) > 0` → `u` adopts `v`'s colour `j` at shade
+///   `w_j`;
+/// * otherwise → no change.
+///
+/// The expected number of same-colour meetings needed to soften from full
+/// shade is exactly `w_i`, matching the `1/w_i` coin of the randomised rule
+/// in expectation while using `⌈log₂(1 + w_i)⌉` bits of memory and **no**
+/// randomness in the transition itself.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{DerandomisedDiversification, IntWeights};
+///
+/// let p = DerandomisedDiversification::new(IntWeights::new(vec![1, 3])?);
+/// assert_eq!(p.num_colours(), 2);
+/// # Ok::<(), pp_core::WeightsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DerandomisedDiversification {
+    weights: IntWeights,
+}
+
+impl DerandomisedDiversification {
+    /// Creates the protocol for the given integer weight table.
+    pub fn new(weights: IntWeights) -> Self {
+        DerandomisedDiversification { weights }
+    }
+
+    /// The integer weight table.
+    pub fn weights(&self) -> &IntWeights {
+        &self.weights
+    }
+
+    /// Number of colours `k`.
+    pub fn num_colours(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// The fully-dark state of colour `i` (shade `w_i`), the canonical
+    /// starting state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a valid colour.
+    pub fn full_shade(&self, i: usize) -> GreyState {
+        GreyState::new(Colour::new(i), self.weights.get(i))
+    }
+}
+
+impl Protocol for DerandomisedDiversification {
+    type State = GreyState;
+
+    fn transition(
+        &self,
+        me: &GreyState,
+        observed: &[&GreyState],
+        _rng: &mut dyn Rng,
+    ) -> GreyState {
+        let v = observed[0];
+        if me.shade > 0 {
+            // Same colour, both positively shaded: step down one grey level.
+            if v.shade > 0 && me.colour == v.colour {
+                GreyState::new(me.colour, me.shade - 1)
+            } else {
+                *me
+            }
+        } else if v.shade > 0 {
+            // Light agent adopts the observed colour at its top shade.
+            GreyState::new(v.colour, self.weights.get(v.colour.index()))
+        } else {
+            *me
+        }
+    }
+
+    fn name(&self) -> String {
+        "derandomised-diversification".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn protocol(weights: Vec<u32>) -> DerandomisedDiversification {
+        DerandomisedDiversification::new(IntWeights::new(weights).unwrap())
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(9)
+    }
+
+    #[test]
+    fn shaded_same_colour_steps_down() {
+        let p = protocol(vec![3, 2]);
+        let me = GreyState::new(Colour::new(0), 3);
+        let v = GreyState::new(Colour::new(0), 1);
+        assert_eq!(
+            p.transition(&me, &[&v], &mut rng()),
+            GreyState::new(Colour::new(0), 2)
+        );
+    }
+
+    #[test]
+    fn shaded_ignores_other_colours_and_light() {
+        let p = protocol(vec![3, 2]);
+        let me = GreyState::new(Colour::new(0), 2);
+        let other = GreyState::new(Colour::new(1), 2);
+        let light_same = GreyState::new(Colour::new(0), 0);
+        assert_eq!(p.transition(&me, &[&other], &mut rng()), me);
+        assert_eq!(p.transition(&me, &[&light_same], &mut rng()), me);
+    }
+
+    #[test]
+    fn light_adopts_at_full_shade() {
+        let p = protocol(vec![3, 2]);
+        let me = GreyState::new(Colour::new(0), 0);
+        let v = GreyState::new(Colour::new(1), 1);
+        assert_eq!(
+            p.transition(&me, &[&v], &mut rng()),
+            GreyState::new(Colour::new(1), 2)
+        );
+    }
+
+    #[test]
+    fn light_ignores_light() {
+        let p = protocol(vec![3, 2]);
+        let me = GreyState::new(Colour::new(0), 0);
+        let v = GreyState::new(Colour::new(1), 0);
+        assert_eq!(p.transition(&me, &[&v], &mut rng()), me);
+    }
+
+    #[test]
+    fn softening_takes_exactly_weight_meetings() {
+        let p = protocol(vec![4]);
+        let v = GreyState::new(Colour::new(0), 4);
+        let mut me = p.full_shade(0);
+        let mut meetings = 0;
+        let mut r = rng();
+        while !me.is_light() {
+            me = p.transition(&me, &[&v], &mut r);
+            meetings += 1;
+        }
+        assert_eq!(meetings, 4);
+    }
+
+    #[test]
+    fn shade_stays_in_range() {
+        // Property: the shade never exceeds the colour's weight and never
+        // goes negative through any interaction.
+        let p = protocol(vec![2, 5]);
+        let mut r = rng();
+        let states: Vec<GreyState> = (0..2)
+            .flat_map(|c| (0..=p.weights().get(c)).map(move |s| GreyState::new(Colour::new(c), s)))
+            .collect();
+        for me in &states {
+            for v in &states {
+                let out = p.transition(me, &[v], &mut r);
+                let cap = p.weights().get(out.colour().index());
+                assert!(out.shade() <= cap, "{me} meets {v} -> {out}");
+            }
+        }
+    }
+
+    #[test]
+    fn full_shade_constructor() {
+        let p = protocol(vec![2, 5]);
+        assert_eq!(p.full_shade(1), GreyState::new(Colour::new(1), 5));
+        assert_eq!(p.name(), "derandomised-diversification");
+    }
+}

@@ -1,0 +1,331 @@
+//! Exact one-step conditional drifts of the potentials — the quantities
+//! bounded by Lemma 2.9 (for `φ`), Lemma 2.10 (for `ψ`), and Lemma 4.1
+//! (for `σ²`).
+//!
+//! Conditioned on the configuration `ξ(t)`, only `O(k)` transition events
+//! are possible in one time-step, each with a closed-form probability:
+//!
+//! * **softening** of colour `i` (rule 2): the scheduled agent is dark `i`
+//!   and observes another dark `i`, then flips its coin —
+//!   probability `A_i(A_i−1) / (n(n−1)·w_i)`; effect `A_i ↦ A_i−1`,
+//!   `a_i ↦ a_i+1`;
+//! * **adoption** of colour `i` from light colour `j` (rule 1): the
+//!   scheduled agent is light `j` and observes a dark `i` —
+//!   probability `a_j·A_i / (n(n−1))`; effect `a_j ↦ a_j−1`, `A_i ↦ A_i+1`.
+//!
+//! Summing `p_e · Δpotential(e)` over events gives the **exact** drift
+//! `E[potential(t+1) − potential(t) | ξ(t)]`, no Monte Carlo needed. The
+//! lemmas assert these drifts are contractive inside the good set `E`:
+//!
+//! ```text
+//! E[φ(t+1)|F_t] ≤ (1 − c₁/(n·w))·φ(t) + c₂        (Lemma 2.9(1))
+//! E[ψ(t+1)|F_t] ≤ (1 − c₁/n)·ψ(t) + c₂           (Lemma 2.10(1))
+//! E[σ²(t+1)|F_t] ≤ (1 − c₁/n)·σ²(t) + c₂         (Lemma 4.1(1))
+//! ```
+//!
+//! Experiment `drift_lemmas` tabulates the measured contraction
+//! coefficients along real trajectories; the tests here cross-check the
+//! closed forms against one-step Monte Carlo.
+
+use crate::{ConfigStats, Weights};
+
+/// One possible transition event with its probability and count deltas.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Event {
+    probability: f64,
+    /// Colour whose dark count changes, with the delta (−1 soften, +1 adopt).
+    dark_colour: usize,
+    dark_delta: i64,
+    /// Colour whose light count changes, with the delta.
+    light_colour: usize,
+    light_delta: i64,
+}
+
+/// Enumerates all positive-probability events of one time-step.
+fn events(stats: &ConfigStats, weights: &Weights) -> Vec<Event> {
+    assert_eq!(
+        weights.len(),
+        stats.num_colours(),
+        "weight table size mismatch"
+    );
+    let n = stats.population();
+    assert!(n >= 2, "need at least two agents");
+    let denom = (n * (n - 1)) as f64;
+    let k = stats.num_colours();
+    let mut out = Vec::with_capacity(k + k * k);
+    for i in 0..k {
+        let a_dark = stats.dark_count(i) as f64;
+        // Softening of colour i.
+        let p_soften = a_dark * (a_dark - 1.0) / (denom * weights.get(i));
+        if p_soften > 0.0 {
+            out.push(Event {
+                probability: p_soften,
+                dark_colour: i,
+                dark_delta: -1,
+                light_colour: i,
+                light_delta: 1,
+            });
+        }
+        // Adoption of colour i by each light colour j.
+        for j in 0..k {
+            let p_adopt = stats.light_count(j) as f64 * a_dark / denom;
+            if p_adopt > 0.0 {
+                out.push(Event {
+                    probability: p_adopt,
+                    dark_colour: i,
+                    dark_delta: 1,
+                    light_colour: j,
+                    light_delta: -1,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Pairwise-quadratic potential of scaled counts, with one coordinate
+/// shifted: `Σ_{i,j} (x_i/w_i − x_j/w_j)²` where `x = counts` except
+/// `x[shift_at] += shift`.
+fn shifted_quadratic(counts: &[usize], weights: &Weights, shift_at: usize, shift: i64) -> f64 {
+    let k = counts.len() as f64;
+    let mut q1 = 0.0;
+    let mut q2 = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        let mut v = c as f64;
+        if i == shift_at {
+            v += shift as f64;
+        }
+        let q = v / weights.get(i);
+        q1 += q;
+        q2 += q * q;
+    }
+    (2.0 * k * q2 - 2.0 * q1 * q1).max(0.0)
+}
+
+/// Exact conditional drift `E[φ(t+1) − φ(t) | ξ(t)]` of the dark potential.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{drift::expected_phi_drift, ConfigStats, Weights};
+///
+/// let w = Weights::uniform(2);
+/// // Heavily imbalanced dark counts: the drift must push φ down.
+/// let stats = ConfigStats::from_counts(vec![70, 10], vec![10, 10]);
+/// assert!(expected_phi_drift(&stats, &w) < 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the weight table size mismatches or `n < 2`.
+pub fn expected_phi_drift(stats: &ConfigStats, weights: &Weights) -> f64 {
+    let base = crate::potential::phi(stats, weights);
+    events(stats, weights)
+        .iter()
+        .map(|e| {
+            let new =
+                shifted_quadratic(stats.dark_counts(), weights, e.dark_colour, e.dark_delta);
+            e.probability * (new - base)
+        })
+        .sum()
+}
+
+/// Exact conditional drift `E[ψ(t+1) − ψ(t) | ξ(t)]` of the light potential.
+///
+/// # Panics
+///
+/// Panics if the weight table size mismatches or `n < 2`.
+pub fn expected_psi_drift(stats: &ConfigStats, weights: &Weights) -> f64 {
+    let base = crate::potential::psi(stats, weights);
+    events(stats, weights)
+        .iter()
+        .map(|e| {
+            let new =
+                shifted_quadratic(stats.light_counts(), weights, e.light_colour, e.light_delta);
+            e.probability * (new - base)
+        })
+        .sum()
+}
+
+/// Exact conditional drift `E[σ²(t+1) − σ²(t) | ξ(t)]` of the Phase-3
+/// potential `σ² = (A/w − a)²`.
+///
+/// # Panics
+///
+/// Panics if the weight table size mismatches or `n < 2`.
+pub fn expected_sigma_sq_drift(stats: &ConfigStats, weights: &Weights) -> f64 {
+    let w = weights.total();
+    let a_total = stats.total_dark() as f64;
+    let light_total = stats.total_light() as f64;
+    let sigma = a_total / w - light_total;
+    let base = sigma * sigma;
+    events(stats, weights)
+        .iter()
+        .map(|e| {
+            let new_sigma = (a_total + e.dark_delta as f64) / w
+                - (light_total + e.light_delta as f64);
+            e.probability * (new_sigma * new_sigma - base)
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, Diversification};
+    use pp_engine::{Protocol, Simulator};
+    use pp_graph::Complete;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Monte-Carlo estimate of a potential drift from a fixed configuration,
+    /// used to validate the closed forms.
+    fn mc_drift(
+        stats: &ConfigStats,
+        weights: &Weights,
+        potential: impl Fn(&ConfigStats, &Weights) -> f64,
+        trials: u64,
+    ) -> f64 {
+        let k = weights.len();
+        let base = potential(stats, weights);
+        let mut counts: Vec<usize> = Vec::new();
+        // Materialise a population matching the counts.
+        let mut states = Vec::new();
+        for i in 0..k {
+            counts.push(stats.dark_count(i));
+            for _ in 0..stats.dark_count(i) {
+                states.push(crate::AgentState::dark(crate::Colour::new(i)));
+            }
+            for _ in 0..stats.light_count(i) {
+                states.push(crate::AgentState::light(crate::Colour::new(i)));
+            }
+        }
+        let n = states.len();
+        let protocol = Diversification::new(weights.clone());
+        let mut total = 0.0;
+        for seed in 0..trials {
+            let mut sim = Simulator::new(
+                protocol.clone(),
+                Complete::new(n),
+                states.clone(),
+                seed,
+            );
+            sim.step();
+            let after = ConfigStats::from_states(sim.population().states(), k);
+            total += potential(&after, weights) - base;
+        }
+        total / trials as f64
+    }
+
+    #[test]
+    fn phi_drift_matches_monte_carlo() {
+        let weights = Weights::new(vec![1.0, 2.0]).unwrap();
+        let stats = ConfigStats::from_counts(vec![40, 20], vec![10, 10]);
+        let exact = expected_phi_drift(&stats, &weights);
+        let mc = mc_drift(&stats, &weights, crate::potential::phi, 40_000);
+        assert!(
+            (exact - mc).abs() < 0.3 + 0.05 * exact.abs(),
+            "exact {exact} vs MC {mc}"
+        );
+    }
+
+    #[test]
+    fn psi_drift_matches_monte_carlo() {
+        let weights = Weights::new(vec![1.0, 2.0]).unwrap();
+        let stats = ConfigStats::from_counts(vec![30, 30], vec![18, 2]);
+        let exact = expected_psi_drift(&stats, &weights);
+        let mc = mc_drift(&stats, &weights, crate::potential::psi, 40_000);
+        assert!(
+            (exact - mc).abs() < 0.3 + 0.05 * exact.abs(),
+            "exact {exact} vs MC {mc}"
+        );
+    }
+
+    #[test]
+    fn sigma_drift_matches_monte_carlo() {
+        let weights = Weights::new(vec![1.0, 2.0]).unwrap();
+        let stats = ConfigStats::from_counts(vec![50, 25], vec![3, 2]);
+        let exact = expected_sigma_sq_drift(&stats, &weights);
+        let mc = mc_drift(&stats, &weights, crate::potential::sigma_sq, 40_000);
+        assert!(
+            (exact - mc).abs() < 0.5 + 0.05 * exact.abs(),
+            "exact {exact} vs MC {mc}"
+        );
+    }
+
+    #[test]
+    fn imbalanced_phi_has_negative_drift() {
+        // Lemma 2.9(1): inside E the drift is contractive. Use a strongly
+        // imbalanced dark profile with healthy light mass.
+        let weights = Weights::uniform(3);
+        let stats = ConfigStats::from_counts(vec![60, 10, 5], vec![9, 8, 8]);
+        assert!(expected_phi_drift(&stats, &weights) < 0.0);
+    }
+
+    #[test]
+    fn balanced_configuration_has_small_drift() {
+        // At perfect equilibrium (Eq. (7)) the drift is O(1): the additive
+        // c₂ term of the lemma, not a contraction.
+        let weights = Weights::new(vec![1.0, 3.0]).unwrap();
+        // n = 100, w = 4: A = (20, 60), a = (5, 15); φ = 0.
+        let stats = ConfigStats::from_counts(vec![20, 60], vec![5, 15]);
+        let d = expected_phi_drift(&stats, &weights);
+        assert!(d.abs() < 5.0, "drift at equilibrium {d}");
+        assert!(d >= 0.0, "φ = 0 cannot decrease");
+    }
+
+    #[test]
+    fn drift_contraction_along_trajectory() {
+        // Along a real trajectory inside the good set, the measured
+        // contraction coefficient of Lemma 2.9(1) stays positive:
+        // E[Δφ] ≤ −c₁·φ/(n·w) + c₂ with c₁ > 0 whenever φ is large.
+        let weights = Weights::new(vec![1.0, 1.0, 2.0]).unwrap();
+        let n = 300;
+        let states = init::all_dark_single_minority(n, &weights);
+        let mut sim = Simulator::new(
+            Diversification::new(weights.clone()),
+            Complete::new(n),
+            states,
+            5,
+        );
+        // Move past the very beginning so light mass exists.
+        sim.run(5 * n as u64);
+        let mut violations = 0;
+        for _ in 0..50 {
+            sim.run(n as u64);
+            let stats = ConfigStats::from_states(sim.population().states(), 3);
+            let phi_val = crate::potential::phi(&stats, &weights);
+            let drift = expected_phi_drift(&stats, &weights);
+            if phi_val > 100.0 * n as f64 && drift >= 0.0 {
+                violations += 1;
+            }
+        }
+        assert!(
+            violations <= 2,
+            "{violations}/50 high-φ configurations had non-negative drift"
+        );
+    }
+
+    #[test]
+    fn event_probabilities_are_subunit() {
+        let weights = Weights::uniform(2);
+        let stats = ConfigStats::from_counts(vec![5, 5], vec![5, 5]);
+        let total: f64 = events(&stats, &weights).iter().map(|e| e.probability).sum();
+        assert!(total > 0.0 && total <= 1.0, "total event probability {total}");
+    }
+
+    #[test]
+    fn protocol_clone_used_in_mc_is_deterministic() {
+        // Guard for the MC helper itself.
+        let weights = Weights::uniform(2);
+        let p = Diversification::new(weights.clone());
+        let me = crate::AgentState::light(crate::Colour::new(0));
+        let v = crate::AgentState::dark(crate::Colour::new(1));
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        assert_eq!(
+            p.transition(&me, &[&v], &mut r1),
+            p.transition(&me, &[&v], &mut r2)
+        );
+    }
+}

@@ -1,0 +1,84 @@
+//! The **Diversification** population protocol of
+//! *Diversity, Fairness, and Sustainability in Population Protocols*
+//! (Kang, Mallmann-Trenn, Rivera; PODC 2021, arXiv:2105.09926).
+//!
+//! `n` agents each hold one of `k` colours with weights `w_i ≥ 1`
+//! (`w = Σ w_i`), plus one extra bit of memory — the **shade**: *dark*
+//! (confident) or *light* (open to change). When a scheduled agent `u`
+//! observes a random agent `v` (Eq. (2) of the paper):
+//!
+//! 1. `u` light, `v` dark  → `u` adopts `v`'s colour, becomes dark;
+//! 2. `u` dark, `v` dark, same colour `i` → `u` turns light w.p. `1/w_i`;
+//! 3. otherwise → no change.
+//!
+//! The protocol is **good**: *diverse* (each colour's support concentrates
+//! on its fair share `w_i·n/w` within `O(w² n log n)` steps, Theorems 1.3 &
+//! 2.8), *fair* (each agent holds colour `i` a `w_i/w` fraction of time,
+//! Theorem 2.12), and *sustainable* (no colour ever vanishes — rule 2 needs
+//! **two** dark agents of a colour before one can soften, so the last dark
+//! agent of each colour is immortal).
+//!
+//! Crate layout, mirroring the paper:
+//!
+//! * [`Colour`], [`Shade`], [`AgentState`] — the two-field agent state;
+//! * [`Weights`] / [`IntWeights`] — validated weight tables;
+//! * [`Diversification`] — the randomised protocol of Eq. (2);
+//! * [`DerandomisedDiversification`] — the `⌈log₂(1+w_i)⌉`-bit grey-shade
+//!   variant from §1.2 (analysing it is the paper's open problem);
+//! * [`ConfigStats`] — the counts `C_i(t)`, `A_i(t)`, `a_i(t)` of §2;
+//! * [`potential`] — the Lyapunov functions `φ`, `ψ` (Eqs. (10)–(11)) and
+//!   `σ²` of Phase 3;
+//! * [`drift`] — exact one-step conditional drifts of the potentials, the
+//!   quantities Lemmas 2.9/2.10/4.1 bound;
+//! * [`region`] — the nested region ladder `R_j ⊆ S_j` of Phase 1 and the
+//!   good sets `E(δ)` (Eq. (9)), `E'` (Eq. (14)), `Ê`;
+//! * [`checker`] — executable versions of Definition 1.1 (diversity,
+//!   fairness, sustainability);
+//! * [`init`] — initial configurations (all-dark, as the paper assumes);
+//! * [`theory`] — closed-form bounds used as experiment baselines.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_core::{init, ConfigStats, Diversification, Weights};
+//! use pp_engine::Simulator;
+//! use pp_graph::Complete;
+//!
+//! // Three tasks: foraging is 2× as important as brood care or nest repair.
+//! let weights = Weights::new(vec![1.0, 1.0, 2.0])?;
+//! let n = 400;
+//! let states = init::all_dark_balanced(n, &weights);
+//! let protocol = Diversification::new(weights.clone());
+//! let mut sim = Simulator::new(protocol, Complete::new(n), states, 7);
+//! sim.run(200_000);
+//!
+//! let stats = ConfigStats::from_states(sim.population().states(), weights.len());
+//! // Colour 2 (weight 2) should hold about half the population.
+//! let share = stats.colour_count(2) as f64 / n as f64;
+//! assert!((share - 0.5).abs() < 0.15, "share = {share}");
+//! # Ok::<(), pp_core::WeightsError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checker;
+pub mod config;
+pub mod derandomised;
+pub mod drift;
+pub mod init;
+pub mod potential;
+pub mod protocol;
+pub mod region;
+pub mod state;
+pub mod theory;
+pub mod weights;
+
+pub use checker::{DiversityChecker, FairnessTracker, SustainabilityChecker};
+pub use config::ConfigStats;
+pub use derandomised::{DerandomisedDiversification, GreyState};
+pub use potential::{phi, psi, sigma_sq};
+pub use protocol::Diversification;
+pub use region::GoodSet;
+pub use state::{AgentState, Colour, Shade};
+pub use weights::{IntWeights, Weights, WeightsError};

@@ -1,0 +1,176 @@
+//! The Lyapunov potentials of the paper's Phase-2 and Phase-3 analysis.
+//!
+//! * `φ(t) = Σ_i Σ_j (A_i/w_i − A_j/w_j)²` (Eq. (10)) — imbalance of the
+//!   **dark** supports relative to the weights;
+//! * `ψ(t) = Σ_i Σ_j (a_i/w_i − a_j/w_j)²` (Eq. (11)) — the same for the
+//!   **light** supports;
+//! * `σ²(t) = (A/w − a)²` — the Phase-3 potential coupling the dark/light
+//!   totals.
+//!
+//! Lemmas 2.6 and 2.7 show `φ` then `ψ` decay to `O(w·n·log n)` and stay
+//! there for `n⁸` steps; Lemma 2.14 does the same for `σ²` at scale
+//! `n^{3/2}·√log n`. The experiments track all three over time.
+
+use crate::{ConfigStats, Weights};
+
+/// The dark-support potential `φ` of Eq. (10).
+///
+/// Computed via the algebraic identity
+/// `Σ_{i,j} (q_i − q_j)² = 2k·Σ q_i² − 2(Σ q_i)²` with `q_i = A_i/w_i`,
+/// which is `O(k)` instead of `O(k²)` (the tests cross-check the pair sum).
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{phi, ConfigStats, Weights};
+///
+/// let w = Weights::new(vec![1.0, 2.0])?;
+/// // Perfectly weight-proportional dark counts ⇒ φ = 0.
+/// let balanced = ConfigStats::from_counts(vec![10, 20], vec![0, 0]);
+/// assert_eq!(phi(&balanced, &w), 0.0);
+/// # Ok::<(), pp_core::WeightsError>(())
+/// ```
+///
+/// # Panics
+///
+/// Panics if `weights.len() != stats.num_colours()`.
+pub fn phi(stats: &ConfigStats, weights: &Weights) -> f64 {
+    pairwise_quadratic(stats.dark_counts(), weights)
+}
+
+/// The light-support potential `ψ` of Eq. (11).
+///
+/// # Panics
+///
+/// Panics if `weights.len() != stats.num_colours()`.
+pub fn psi(stats: &ConfigStats, weights: &Weights) -> f64 {
+    pairwise_quadratic(stats.light_counts(), weights)
+}
+
+/// The Phase-3 potential `σ²(t) = (A/w − a)²` of Lemma 2.14, which pins the
+/// split between dark and light mass once `φ` and `ψ` are small.
+///
+/// # Panics
+///
+/// Panics if `weights.len() != stats.num_colours()`.
+pub fn sigma_sq(stats: &ConfigStats, weights: &Weights) -> f64 {
+    assert_eq!(
+        weights.len(),
+        stats.num_colours(),
+        "weight table size mismatch"
+    );
+    let sigma = stats.total_dark() as f64 / weights.total() - stats.total_light() as f64;
+    sigma * sigma
+}
+
+/// Shared kernel of `φ`/`ψ`: `Σ_{i,j} (x_i/w_i − x_j/w_j)²` via the
+/// `2k·Q₂ − 2·Q₁²` identity.
+fn pairwise_quadratic(counts: &[usize], weights: &Weights) -> f64 {
+    assert_eq!(weights.len(), counts.len(), "weight table size mismatch");
+    let k = counts.len() as f64;
+    let mut q1 = 0.0;
+    let mut q2 = 0.0;
+    for (i, &c) in counts.iter().enumerate() {
+        let q = c as f64 / weights.get(i);
+        q1 += q;
+        q2 += q * q;
+    }
+    // Clamp tiny negative round-off: the quantity is a sum of squares.
+    (2.0 * k * q2 - 2.0 * q1 * q1).max(0.0)
+}
+
+/// Reference `O(k²)` implementation of the pairwise sum, used by tests and
+/// available for validation.
+pub fn pairwise_quadratic_naive(counts: &[usize], weights: &Weights) -> f64 {
+    assert_eq!(weights.len(), counts.len(), "weight table size mismatch");
+    let q: Vec<f64> = counts
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| c as f64 / weights.get(i))
+        .collect();
+    let mut total = 0.0;
+    for a in &q {
+        for b in &q {
+            total += (a - b) * (a - b);
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w3() -> Weights {
+        Weights::new(vec![1.0, 2.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn phi_zero_iff_proportional() {
+        let w = w3();
+        let balanced = ConfigStats::from_counts(vec![5, 10, 20], vec![0, 0, 0]);
+        assert_eq!(phi(&balanced, &w), 0.0);
+        let skewed = ConfigStats::from_counts(vec![20, 10, 5], vec![0, 0, 0]);
+        assert!(phi(&skewed, &w) > 0.0);
+    }
+
+    #[test]
+    fn psi_uses_light_counts() {
+        let w = w3();
+        let s = ConfigStats::from_counts(vec![99, 0, 0], vec![2, 4, 8]);
+        assert_eq!(psi(&s, &w), 0.0);
+        assert!(phi(&s, &w) > 0.0);
+    }
+
+    #[test]
+    fn closed_form_matches_naive() {
+        let w = Weights::new(vec![1.0, 3.0, 2.0, 5.0]).unwrap();
+        let counts = [7usize, 1, 9, 4];
+        let fast = pairwise_quadratic(&counts, &w);
+        let slow = pairwise_quadratic_naive(&counts, &w);
+        assert!((fast - slow).abs() < 1e-9 * (1.0 + slow));
+    }
+
+    #[test]
+    fn phi_known_value() {
+        // counts (2, 0), weights (1, 1): pairs (0,1) and (1,0) each give 4.
+        let w = Weights::uniform(2);
+        let s = ConfigStats::from_counts(vec![2, 0], vec![0, 0]);
+        assert!((phi(&s, &w) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sigma_sq_zero_at_equilibrium_ratio() {
+        // A/w = a ⇔ σ = 0. With w_total = 3: A = 9, a = 3.
+        let w = Weights::new(vec![1.0, 2.0]).unwrap();
+        let s = ConfigStats::from_counts(vec![3, 6], vec![1, 2]);
+        assert_eq!(sigma_sq(&s, &w), 0.0);
+    }
+
+    #[test]
+    fn sigma_sq_positive_off_ratio() {
+        let w = Weights::new(vec![1.0, 2.0]).unwrap();
+        let s = ConfigStats::from_counts(vec![9, 0], vec![0, 0]);
+        // σ = 9/3 − 0 = 3 ⇒ σ² = 9.
+        assert!((sigma_sq(&s, &w) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn potentials_nonnegative() {
+        let w = w3();
+        for counts in [[0, 0, 50], [17, 3, 30], [50, 0, 0]] {
+            let s = ConfigStats::from_counts(counts.to_vec(), counts.to_vec());
+            assert!(phi(&s, &w) >= 0.0);
+            assert!(psi(&s, &w) >= 0.0);
+            assert!(sigma_sq(&s, &w) >= 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn phi_rejects_mismatch() {
+        let w = Weights::uniform(2);
+        let s = ConfigStats::from_counts(vec![1, 2, 3], vec![0, 0, 0]);
+        phi(&s, &w);
+    }
+}

@@ -1,0 +1,202 @@
+//! The randomised Diversification protocol (Eq. (2) of the paper).
+
+use crate::{AgentState, Shade, Weights};
+use pp_engine::Protocol;
+use rand::{Rng, RngExt};
+
+/// The Diversification protocol: one extra shade bit per agent, pairwise
+/// observations, and the transition rule of Eq. (2).
+///
+/// When the scheduled agent `u` observes agent `v`:
+///
+/// | `u`    | `v`    | outcome |
+/// |--------|--------|---------|
+/// | light  | dark   | `u` ← `(colour(v), dark)` |
+/// | dark `i` | dark `i` (same colour) | `u` ← `(i, light)` with prob. `1/w_i` |
+/// | anything else | | no change |
+///
+/// The second rule is the protocol's only source of downward pressure: it
+/// fires at rate `≈ A_i²/(w_i n²)`, so heavier colours soften more slowly
+/// and equilibrate at proportionally larger supports (`C_i ≈ w_i n / w`).
+/// Because softening requires observing **another** dark agent of the same
+/// colour, the last dark agent of a colour can never change — this is the
+/// sustainability guarantee, enforced by the dynamics rather than by any
+/// checker.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{init, Diversification, Weights};
+/// use pp_engine::Simulator;
+/// use pp_graph::Complete;
+///
+/// let weights = Weights::uniform(4);
+/// let states = init::all_dark_balanced(100, &weights);
+/// let mut sim = Simulator::new(
+///     Diversification::new(weights),
+///     Complete::new(100),
+///     states,
+///     1,
+/// );
+/// sim.run(10_000);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diversification {
+    weights: Weights,
+}
+
+impl Diversification {
+    /// Creates the protocol for the given weight table.
+    pub fn new(weights: Weights) -> Self {
+        Diversification { weights }
+    }
+
+    /// The weight table.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Number of colours `k`.
+    pub fn num_colours(&self) -> usize {
+        self.weights.len()
+    }
+}
+
+impl Protocol for Diversification {
+    type State = AgentState;
+
+    fn transition(
+        &self,
+        me: &AgentState,
+        observed: &[&AgentState],
+        rng: &mut dyn Rng,
+    ) -> AgentState {
+        let v = observed[0];
+        match (me.shade, v.shade) {
+            // Rule 1: light adopts an observed dark colour (and darkens).
+            (Shade::Light, Shade::Dark) => AgentState::dark(v.colour),
+            // Rule 2: two dark agents of the same colour ⇒ soften w.p. 1/w_i.
+            (Shade::Dark, Shade::Dark) if me.colour == v.colour => {
+                let w_i = self.weights.get(me.colour.index());
+                if rng.random_bool(1.0 / w_i) {
+                    AgentState::light(me.colour)
+                } else {
+                    *me
+                }
+            }
+            // Rule 3: every other interaction is a no-op.
+            _ => *me,
+        }
+    }
+
+    fn name(&self) -> String {
+        "diversification".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Colour;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn protocol(weights: Vec<f64>) -> Diversification {
+        Diversification::new(Weights::new(weights).unwrap())
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(12345)
+    }
+
+    #[test]
+    fn light_adopts_dark() {
+        let p = protocol(vec![1.0, 1.0]);
+        let me = AgentState::light(Colour::new(0));
+        let v = AgentState::dark(Colour::new(1));
+        let out = p.transition(&me, &[&v], &mut rng());
+        assert_eq!(out, AgentState::dark(Colour::new(1)));
+    }
+
+    #[test]
+    fn light_ignores_light() {
+        let p = protocol(vec![1.0, 1.0]);
+        let me = AgentState::light(Colour::new(0));
+        let v = AgentState::light(Colour::new(1));
+        assert_eq!(p.transition(&me, &[&v], &mut rng()), me);
+    }
+
+    #[test]
+    fn dark_ignores_light() {
+        let p = protocol(vec![1.0, 1.0]);
+        let me = AgentState::dark(Colour::new(0));
+        let v = AgentState::light(Colour::new(1));
+        assert_eq!(p.transition(&me, &[&v], &mut rng()), me);
+    }
+
+    #[test]
+    fn dark_ignores_different_dark() {
+        let p = protocol(vec![1.0, 1.0]);
+        let me = AgentState::dark(Colour::new(0));
+        let v = AgentState::dark(Colour::new(1));
+        assert_eq!(p.transition(&me, &[&v], &mut rng()), me);
+    }
+
+    #[test]
+    fn unit_weight_always_softens() {
+        // w_i = 1 ⇒ softening probability 1: deterministic uniform partition.
+        let p = protocol(vec![1.0, 1.0]);
+        let me = AgentState::dark(Colour::new(0));
+        let v = AgentState::dark(Colour::new(0));
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(
+                p.transition(&me, &[&v], &mut r),
+                AgentState::light(Colour::new(0))
+            );
+        }
+    }
+
+    #[test]
+    fn softening_rate_tracks_inverse_weight() {
+        let p = protocol(vec![4.0]);
+        let me = AgentState::dark(Colour::new(0));
+        let v = AgentState::dark(Colour::new(0));
+        let mut r = rng();
+        let trials = 100_000;
+        let softened = (0..trials)
+            .filter(|_| p.transition(&me, &[&v], &mut r).is_light())
+            .count();
+        let rate = softened as f64 / trials as f64;
+        assert!((rate - 0.25).abs() < 0.01, "rate = {rate}");
+    }
+
+    #[test]
+    fn colour_never_changes_without_adoption() {
+        // A dark agent's colour can only be kept (or shade flipped) — never
+        // replaced. This is the local form of sustainability.
+        let p = protocol(vec![2.0, 3.0]);
+        let me = AgentState::dark(Colour::new(1));
+        let mut r = rng();
+        for v in [
+            AgentState::dark(Colour::new(0)),
+            AgentState::dark(Colour::new(1)),
+            AgentState::light(Colour::new(0)),
+            AgentState::light(Colour::new(1)),
+        ] {
+            for _ in 0..20 {
+                let out = p.transition(&me, &[&v], &mut r);
+                assert_eq!(out.colour, me.colour, "observed {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let p = protocol(vec![1.0, 2.0]);
+        assert_eq!(p.num_colours(), 2);
+        assert_eq!(p.weights().total(), 3.0);
+        assert_eq!(p.name(), "diversification");
+        assert_eq!(Protocol::observations(&p), 1);
+    }
+}

@@ -1,0 +1,339 @@
+//! The region ladder of Phase 1 and the good sets `E(δ)`, `E'`, `Ê`.
+//!
+//! Phase 1 of the analysis climbs a ladder of nested configuration regions
+//! `R_1 ⊆ S_1`, `R_2 ⊆ S_2 ⊆ S_3 ⊆ S_4` (parametrised by `ε ∈ (0, ¼)`),
+//! each entered quickly and left only with exponentially small probability.
+//! Applying the ladder with `ε = δ/(4w)` yields the multiplicative good set
+//! `E(δ)` of Eq. (9), inside which the Phase-2 potential arguments operate;
+//! `E'` (Eq. (14)) additionally requires `φ ≤ C·w·n`, and `Ê` requires both
+//! potentials `≤ C'·w·n·log n` (Phase 3).
+
+use crate::{phi, psi, ConfigStats, Weights};
+
+/// Checks membership in region `R_1`: the light mass has risen to
+/// `a/n ≥ (1−ε)/(w+1)`.
+///
+/// # Panics
+///
+/// Panics if `eps` is outside `(0, ¼)` or the population is empty.
+pub fn in_r1(stats: &ConfigStats, weights: &Weights, eps: f64) -> bool {
+    check_eps(eps);
+    light_fraction(stats) >= (1.0 - eps) / (weights.total() + 1.0)
+}
+
+/// Checks membership in region `S_1` (`R_1` with slack `2ε`).
+pub fn in_s1(stats: &ConfigStats, weights: &Weights, eps: f64) -> bool {
+    check_eps(eps);
+    light_fraction(stats) >= (1.0 - 2.0 * eps) / (weights.total() + 1.0)
+}
+
+/// Checks membership in `R_2`: every dark support has risen to
+/// `A_i/n ≥ (1−3ε)·w_i/(1+w)`, and the configuration is still in `S_1`.
+pub fn in_r2(stats: &ConfigStats, weights: &Weights, eps: f64) -> bool {
+    in_s1(stats, weights, eps) && dark_lower_bound(stats, weights, 1.0 - 3.0 * eps)
+}
+
+/// Checks membership in `S_2` (`R_2` with slack `4ε`).
+pub fn in_s2(stats: &ConfigStats, weights: &Weights, eps: f64) -> bool {
+    in_s1(stats, weights, eps) && dark_lower_bound(stats, weights, 1.0 - 4.0 * eps)
+}
+
+/// Checks membership in `S_3`: additionally every dark support is bounded
+/// above by `(1 + 4εw)·w_i/(1+w)` — implied by `S_2` (Lemma 2.3) but checked
+/// explicitly.
+pub fn in_s3(stats: &ConfigStats, weights: &Weights, eps: f64) -> bool {
+    in_s2(stats, weights, eps)
+        && dark_upper_bound(stats, weights, 1.0 + 4.0 * eps * weights.total())
+}
+
+/// Checks membership in `S_4`: additionally the light mass is bounded above
+/// by `(1 + 4εw)/(1+w)` — implied by `S_3` (Lemma 2.4).
+pub fn in_s4(stats: &ConfigStats, weights: &Weights, eps: f64) -> bool {
+    in_s3(stats, weights, eps)
+        && light_fraction(stats)
+            <= (1.0 + 4.0 * eps * weights.total()) / (1.0 + weights.total())
+}
+
+fn check_eps(eps: f64) {
+    assert!(
+        eps > 0.0 && eps < 0.25,
+        "the Phase-1 ladder requires eps in (0, 1/4), got {eps}"
+    );
+}
+
+fn light_fraction(stats: &ConfigStats) -> f64 {
+    assert!(stats.population() > 0, "empty population");
+    stats.total_light() as f64 / stats.population() as f64
+}
+
+fn dark_lower_bound(stats: &ConfigStats, weights: &Weights, factor: f64) -> bool {
+    let n = stats.population() as f64;
+    (0..stats.num_colours()).all(|i| {
+        stats.dark_count(i) as f64 / n >= factor * weights.get(i) / (1.0 + weights.total())
+    })
+}
+
+fn dark_upper_bound(stats: &ConfigStats, weights: &Weights, factor: f64) -> bool {
+    let n = stats.population() as f64;
+    (0..stats.num_colours()).all(|i| {
+        stats.dark_count(i) as f64 / n <= factor * weights.get(i) / (1.0 + weights.total())
+    })
+}
+
+/// The multiplicative good set `E(δ)` of Eq. (9): every normalised dark
+/// support `A_i/w_i` and the light total `a` lie within `(1 ± δ)·n/(1+w)`.
+///
+/// Theorem 2.5 shows the process enters `E(δ)` within `O(w² n log n)` steps
+/// and stays for `n¹⁰` steps w.h.p.; the paper fixes `δ = 10⁻⁴` but any
+/// small constant works, and experiments use looser values to keep run
+/// times laptop-scale.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{region::GoodSet, ConfigStats, Weights};
+///
+/// let w = Weights::new(vec![1.0, 3.0])?;
+/// let e = GoodSet::new(w, 0.1);
+/// // Perfect equilibrium for n = 100 (Eq. (7)): A = (20, 60), a = (5, 15).
+/// let stats = ConfigStats::from_counts(vec![20, 60], vec![5, 15]);
+/// assert!(e.contains(&stats));
+/// # Ok::<(), pp_core::WeightsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct GoodSet {
+    weights: Weights,
+    delta: f64,
+}
+
+impl GoodSet {
+    /// Creates `E(δ)` for the given weights.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not in `(0, 1)`.
+    pub fn new(weights: Weights, delta: f64) -> Self {
+        assert!(
+            delta > 0.0 && delta < 1.0,
+            "delta must be in (0, 1), got {delta}"
+        );
+        GoodSet { weights, delta }
+    }
+
+    /// The tolerance `δ`.
+    pub fn delta(&self) -> f64 {
+        self.delta
+    }
+
+    /// The weight table.
+    pub fn weights(&self) -> &Weights {
+        &self.weights
+    }
+
+    /// Returns `true` if the configuration lies in `E(δ)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the stats and weights disagree on `k`.
+    pub fn contains(&self, stats: &ConfigStats) -> bool {
+        assert_eq!(
+            stats.num_colours(),
+            self.weights.len(),
+            "weight table size mismatch"
+        );
+        let n = stats.population() as f64;
+        let centre = n / (1.0 + self.weights.total());
+        let lo = (1.0 - self.delta) * centre;
+        let hi = (1.0 + self.delta) * centre;
+        let darks_ok = (0..stats.num_colours()).all(|i| {
+            let scaled = stats.dark_count(i) as f64 / self.weights.get(i);
+            scaled >= lo && scaled <= hi
+        });
+        let light = stats.total_light() as f64;
+        darks_ok && light >= lo && light <= hi
+    }
+
+    /// The largest relative deviation of any `E(δ)` coordinate from its
+    /// centre `n/(1+w)`: membership holds iff this is `≤ δ`.
+    pub fn max_relative_deviation(&self, stats: &ConfigStats) -> f64 {
+        let n = stats.population() as f64;
+        let centre = n / (1.0 + self.weights.total());
+        let mut worst: f64 = 0.0;
+        for i in 0..stats.num_colours() {
+            let scaled = stats.dark_count(i) as f64 / self.weights.get(i);
+            worst = worst.max((scaled / centre - 1.0).abs());
+        }
+        worst.max((stats.total_light() as f64 / centre - 1.0).abs())
+    }
+
+    /// Distance-to-membership diagnostic: the largest relative violation of
+    /// the `E(δ)` constraints (`0` inside the set). Used by experiments to
+    /// plot convergence toward the set.
+    pub fn violation(&self, stats: &ConfigStats) -> f64 {
+        (self.max_relative_deviation(stats) - self.delta).max(0.0)
+    }
+}
+
+/// The Phase-2 good set `E'` of Eq. (14): `E(δ)` plus `φ ≤ c·w·n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EPrime {
+    good: GoodSet,
+    c: f64,
+}
+
+impl EPrime {
+    /// Creates `E'` with potential constant `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn new(good: GoodSet, c: f64) -> Self {
+        assert!(c > 0.0, "potential constant must be positive");
+        EPrime { good, c }
+    }
+
+    /// Returns `true` if the configuration is in `E(δ)` and `φ ≤ c·w·n`.
+    pub fn contains(&self, stats: &ConfigStats) -> bool {
+        self.good.contains(stats)
+            && phi(stats, self.good.weights())
+                <= self.c * self.good.weights().total() * stats.population() as f64
+    }
+}
+
+/// The Phase-3 good set `Ê`: both potentials bounded by `c·w·n·log n`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EHat {
+    weights: Weights,
+    c: f64,
+}
+
+impl EHat {
+    /// Creates `Ê` with potential constant `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c <= 0`.
+    pub fn new(weights: Weights, c: f64) -> Self {
+        assert!(c > 0.0, "potential constant must be positive");
+        EHat { weights, c }
+    }
+
+    /// Returns `true` if `φ` and `ψ` are both `≤ c·w·n·ln n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population has fewer than 2 agents.
+    pub fn contains(&self, stats: &ConfigStats) -> bool {
+        let n = stats.population();
+        assert!(n >= 2, "population too small");
+        let bound = self.c * self.weights.total() * n as f64 * (n as f64).ln();
+        phi(stats, &self.weights) <= bound && psi(stats, &self.weights) <= bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w2() -> Weights {
+        Weights::new(vec![1.0, 3.0]).unwrap()
+    }
+
+    /// Perfect equilibrium for n = 100 and weights (1, 3).
+    fn equilibrium() -> ConfigStats {
+        ConfigStats::from_counts(vec![20, 60], vec![5, 15])
+    }
+
+    /// Fully dark, heavily skewed start.
+    fn worst_start() -> ConfigStats {
+        ConfigStats::from_counts(vec![99, 1], vec![0, 0])
+    }
+
+    #[test]
+    fn equilibrium_sits_in_every_region() {
+        let w = w2();
+        let s = equilibrium();
+        let eps = 0.1;
+        assert!(in_r1(&s, &w, eps));
+        assert!(in_s1(&s, &w, eps));
+        assert!(in_r2(&s, &w, eps));
+        assert!(in_s2(&s, &w, eps));
+        assert!(in_s3(&s, &w, eps));
+        assert!(in_s4(&s, &w, eps));
+    }
+
+    #[test]
+    fn worst_start_fails_r1() {
+        assert!(!in_r1(&worst_start(), &w2(), 0.1));
+        assert!(!in_s1(&worst_start(), &w2(), 0.1));
+    }
+
+    #[test]
+    fn regions_are_nested() {
+        // R_j ⊆ S_j and S_2 ⊇ R_2: check with a configuration in the gap.
+        let w = w2();
+        let eps = 0.1;
+        // n = 100; a/n = 0.17 sits below (1-ε)/(w+1) = 0.18 but above
+        // (1-2ε)/(w+1) = 0.16.
+        let gap = ConfigStats::from_counts(vec![20, 63], vec![4, 13]);
+        assert!(!in_r1(&gap, &w, eps));
+        assert!(in_s1(&gap, &w, eps));
+    }
+
+    #[test]
+    fn good_set_accepts_equilibrium_rejects_skew() {
+        let e = GoodSet::new(w2(), 0.1);
+        assert!(e.contains(&equilibrium()));
+        assert!(!e.contains(&worst_start()));
+        assert_eq!(e.delta(), 0.1);
+    }
+
+    #[test]
+    fn violation_is_zero_inside_positive_outside() {
+        let e = GoodSet::new(w2(), 0.1);
+        assert_eq!(e.violation(&equilibrium()), 0.0);
+        assert!(e.violation(&worst_start()) > 0.0);
+    }
+
+    #[test]
+    fn violation_decreases_toward_set() {
+        let e = GoodSet::new(w2(), 0.05);
+        let far = ConfigStats::from_counts(vec![80, 10], vec![5, 5]);
+        let near = ConfigStats::from_counts(vec![22, 58], vec![6, 14]);
+        assert!(e.violation(&near) < e.violation(&far));
+    }
+
+    #[test]
+    fn eprime_requires_small_phi() {
+        let w = w2();
+        let good = GoodSet::new(w.clone(), 0.2);
+        let ep = EPrime::new(good, 0.001);
+        // Equilibrium has φ = 0 and is in E(δ).
+        assert!(ep.contains(&equilibrium()));
+        // In E(δ) but with φ just over the bound: widen one dark count.
+        let lopsided = ConfigStats::from_counts(vec![23, 57], vec![5, 15]);
+        let val = phi(&lopsided, &w);
+        assert!(val > 0.001 * w.total() * 100.0, "phi = {val}");
+        assert!(!ep.contains(&lopsided));
+    }
+
+    #[test]
+    fn ehat_bounds_both_potentials() {
+        let w = w2();
+        let eh = EHat::new(w.clone(), 10.0);
+        assert!(eh.contains(&equilibrium()));
+        assert!(!eh.contains(&worst_start()));
+    }
+
+    #[test]
+    #[should_panic(expected = "eps in (0, 1/4)")]
+    fn rejects_large_eps() {
+        in_r1(&equilibrium(), &w2(), 0.3);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta must be in (0, 1)")]
+    fn rejects_bad_delta() {
+        GoodSet::new(w2(), 1.5);
+    }
+}

@@ -1,0 +1,194 @@
+//! Agent state: a colour plus one shade bit.
+
+/// A colour (task/opinion) identifier, indexing into a [`Weights`] table.
+///
+/// A newtype rather than a bare integer so colour indices cannot be mixed up
+/// with agent ids or counts.
+///
+/// [`Weights`]: crate::Weights
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::Colour;
+///
+/// let c = Colour::new(2);
+/// assert_eq!(c.index(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Colour(u32);
+
+impl Colour {
+    /// Creates the colour with index `i`.
+    pub fn new(i: usize) -> Self {
+        Colour(u32::try_from(i).expect("colour index fits in u32"))
+    }
+
+    /// The colour's index into the weight table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<usize> for Colour {
+    fn from(i: usize) -> Self {
+        Colour::new(i)
+    }
+}
+
+impl std::fmt::Display for Colour {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// The extra bit of memory of the Diversification protocol.
+///
+/// *Dark* agents are confident and never change colour directly; *light*
+/// agents adopt the colour of any dark agent they observe. A dark agent can
+/// only soften to light after observing **another dark agent of its own
+/// colour** — the interaction that drives over-represented colours down and
+/// simultaneously guarantees sustainability.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Shade {
+    /// Bit 0: open to change.
+    Light,
+    /// Bit 1: confident in the current colour.
+    Dark,
+}
+
+impl Shade {
+    /// The paper's bit encoding: dark = 1, light = 0.
+    pub fn bit(self) -> u8 {
+        match self {
+            Shade::Light => 0,
+            Shade::Dark => 1,
+        }
+    }
+}
+
+impl std::fmt::Display for Shade {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Shade::Light => write!(f, "light"),
+            Shade::Dark => write!(f, "dark"),
+        }
+    }
+}
+
+/// The full state of one agent: `(c_u(t), b_u(t))` in the paper's notation.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{AgentState, Colour, Shade};
+///
+/// let s = AgentState::dark(Colour::new(0));
+/// assert_eq!(s.shade, Shade::Dark);
+/// assert!(s.is_dark());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgentState {
+    /// The agent's current colour.
+    pub colour: Colour,
+    /// The agent's confidence bit.
+    pub shade: Shade,
+}
+
+impl AgentState {
+    /// A dark-shaded state of the given colour.
+    pub fn dark(colour: Colour) -> Self {
+        AgentState {
+            colour,
+            shade: Shade::Dark,
+        }
+    }
+
+    /// A light-shaded state of the given colour.
+    pub fn light(colour: Colour) -> Self {
+        AgentState {
+            colour,
+            shade: Shade::Light,
+        }
+    }
+
+    /// Returns `true` if the shade is dark.
+    pub fn is_dark(&self) -> bool {
+        self.shade == Shade::Dark
+    }
+
+    /// Returns `true` if the shade is light.
+    pub fn is_light(&self) -> bool {
+        self.shade == Shade::Light
+    }
+
+    /// The index of this state in the `2k`-state space of §2.4, matching
+    /// [`pp_markov::IdealChain`] conventions: dark colours map to `0..k`,
+    /// light colours to `k..2k`.
+    ///
+    /// [`pp_markov::IdealChain`]: https://docs.rs/pp-markov
+    pub fn chain_index(&self, k: usize) -> usize {
+        let i = self.colour.index();
+        assert!(i < k, "colour {i} out of range for k = {k}");
+        match self.shade {
+            Shade::Dark => i,
+            Shade::Light => k + i,
+        }
+    }
+}
+
+impl std::fmt::Display for AgentState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.shade, self.colour)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colour_roundtrip() {
+        let c = Colour::new(7);
+        assert_eq!(c.index(), 7);
+        assert_eq!(Colour::from(7usize), c);
+        assert_eq!(format!("{c}"), "c7");
+    }
+
+    #[test]
+    fn shade_bits_match_paper() {
+        assert_eq!(Shade::Dark.bit(), 1);
+        assert_eq!(Shade::Light.bit(), 0);
+    }
+
+    #[test]
+    fn constructors_and_predicates() {
+        let d = AgentState::dark(Colour::new(1));
+        let l = AgentState::light(Colour::new(1));
+        assert!(d.is_dark() && !d.is_light());
+        assert!(l.is_light() && !l.is_dark());
+        assert_ne!(d, l);
+        assert_eq!(d.colour, l.colour);
+    }
+
+    #[test]
+    fn chain_index_layout() {
+        let k = 3;
+        assert_eq!(AgentState::dark(Colour::new(0)).chain_index(k), 0);
+        assert_eq!(AgentState::dark(Colour::new(2)).chain_index(k), 2);
+        assert_eq!(AgentState::light(Colour::new(0)).chain_index(k), 3);
+        assert_eq!(AgentState::light(Colour::new(2)).chain_index(k), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn chain_index_checks_k() {
+        AgentState::dark(Colour::new(5)).chain_index(3);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = AgentState::light(Colour::new(2));
+        assert_eq!(format!("{s}"), "light c2");
+    }
+}

@@ -1,0 +1,158 @@
+//! Closed-form scales from the paper's theorems, used as baselines by the
+//! experiment harness (measured quantities are divided by these scales; the
+//! theorems predict the ratios stay bounded).
+
+/// The convergence budget of Theorem 1.3: `c · w² · n · ln n` time-steps.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::theory::convergence_budget;
+///
+/// let steps = convergence_budget(1024, 4.0, 2.0);
+/// assert!(steps > 0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 2`, `w < 1`, or `c <= 0`.
+pub fn convergence_budget(n: usize, total_weight: f64, c: f64) -> u64 {
+    assert!(n >= 2, "n must be at least 2");
+    assert!(total_weight >= 1.0, "total weight must be >= 1");
+    assert!(c > 0.0, "constant must be positive");
+    let nf = n as f64;
+    (c * total_weight * total_weight * nf * nf.ln()).ceil() as u64
+}
+
+/// The diversity error scale of Eq. (1): `sqrt(ln n / n)`, the `Õ(1/√n)`
+/// width the colour fractions concentrate to.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn diversity_error_scale(n: usize) -> f64 {
+    assert!(n >= 2, "n must be at least 2");
+    let nf = n as f64;
+    (nf.ln() / nf).sqrt()
+}
+
+/// The Phase-3 additive error scale of Theorem 2.13:
+/// `n^{3/4} · (ln n)^{1/4}`.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn phase3_error_scale(n: usize) -> f64 {
+    assert!(n >= 2, "n must be at least 2");
+    let nf = n as f64;
+    nf.powf(0.75) * nf.ln().powf(0.25)
+}
+
+/// The equilibrium potential scale of Theorem 2.8: `w · n · ln n`, the level
+/// both `φ` and `ψ` decay to and stay below.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `total_weight < 1`.
+pub fn potential_equilibrium_scale(n: usize, total_weight: f64) -> f64 {
+    assert!(n >= 2, "n must be at least 2");
+    assert!(total_weight >= 1.0, "total weight must be >= 1");
+    let nf = n as f64;
+    total_weight * nf * nf.ln()
+}
+
+/// The Phase-2 halving scale of Lemmas 2.6/2.9: the potentials halve every
+/// `O(w · n)` steps.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `total_weight < 1`.
+pub fn phase2_halving_scale(n: usize, total_weight: f64) -> f64 {
+    assert!(n >= 2, "n must be at least 2");
+    assert!(total_weight >= 1.0, "total weight must be >= 1");
+    total_weight * n as f64
+}
+
+/// The broadcast lower bound of §1: spreading a colour held by one agent to
+/// `Θ(n)` agents takes `Ω(n log n)` time-steps — the scale the protocol's
+/// convergence is optimal against (for constant `w`).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn broadcast_lower_bound(n: usize) -> f64 {
+    assert!(n >= 2, "n must be at least 2");
+    let nf = n as f64;
+    nf * nf.ln()
+}
+
+/// The Markov-chain approximation error of §2.4:
+/// `err = (log n / n)^{1/4}`, the per-transition deviation between the real
+/// agent trajectory and the ideal chain `P` (Eq. (20)).
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn mc_approximation_error(n: usize) -> f64 {
+    assert!(n >= 2, "n must be at least 2");
+    let nf = n as f64;
+    (nf.ln() / nf).powf(0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn budget_grows_superlinearly() {
+        let a = convergence_budget(1_000, 4.0, 1.0);
+        let b = convergence_budget(2_000, 4.0, 1.0);
+        assert!(b > 2 * a);
+    }
+
+    #[test]
+    fn budget_quadratic_in_w() {
+        let a = convergence_budget(1_000, 2.0, 1.0);
+        let b = convergence_budget(1_000, 4.0, 1.0);
+        assert!((b as f64 / a as f64 - 4.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn diversity_scale_shrinks() {
+        assert!(diversity_error_scale(10_000) < diversity_error_scale(100));
+        // Θ(sqrt(log n / n)): at n = 10⁴, about sqrt(9.2/10⁴) ≈ 0.03.
+        assert!((diversity_error_scale(10_000) - 0.0303).abs() < 0.01);
+    }
+
+    #[test]
+    fn phase3_scale_sublinear() {
+        // n^{3/4} log^{1/4} n grows but is o(n).
+        let r1 = phase3_error_scale(1_000) / 1_000.0;
+        let r2 = phase3_error_scale(100_000) / 100_000.0;
+        assert!(r2 < r1);
+        assert!(phase3_error_scale(100_000) > phase3_error_scale(1_000));
+    }
+
+    #[test]
+    fn halving_and_equilibrium_scales() {
+        assert!(potential_equilibrium_scale(1_000, 4.0) > phase2_halving_scale(1_000, 4.0));
+        assert_eq!(phase2_halving_scale(100, 3.0), 300.0);
+    }
+
+    #[test]
+    fn broadcast_bound_matches_n_log_n() {
+        assert!((broadcast_lower_bound(100) - 100.0 * 100f64.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mc_error_vanishes() {
+        assert!(mc_approximation_error(1_000_000) < mc_approximation_error(100));
+        assert!(mc_approximation_error(100) < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_tiny_n() {
+        diversity_error_scale(1);
+    }
+}

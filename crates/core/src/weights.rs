@@ -1,0 +1,301 @@
+//! Validated colour-weight tables.
+
+use std::fmt;
+
+/// Error returned when a weight table violates the paper's preconditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WeightsError {
+    /// The table was empty.
+    Empty,
+    /// A weight was below 1 or non-finite (the paper requires `w_i ≥ 1`).
+    InvalidWeight {
+        /// Index of the offending colour.
+        colour: usize,
+        /// The rejected value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for WeightsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WeightsError::Empty => write!(f, "weight table must contain at least one colour"),
+            WeightsError::InvalidWeight { colour, value } => write!(
+                f,
+                "weight of colour {colour} must be finite and >= 1, got {value}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WeightsError {}
+
+/// The colour weights `w_1, …, w_k` of the randomised protocol.
+///
+/// The paper requires every weight to be a real number `≥ 1`; `w` denotes
+/// their sum and `w_i·n/w` is colour `i`'s **fair share** of the population.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::Weights;
+///
+/// let w = Weights::new(vec![1.0, 3.0])?;
+/// assert_eq!(w.len(), 2);
+/// assert_eq!(w.total(), 4.0);
+/// assert_eq!(w.fair_share(1), 0.75);
+/// # Ok::<(), pp_core::WeightsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Weights {
+    values: Vec<f64>,
+    total: f64,
+}
+
+impl Weights {
+    /// Validates and wraps a weight table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightsError::Empty`] for an empty table and
+    /// [`WeightsError::InvalidWeight`] if any weight is non-finite or `< 1`.
+    pub fn new(values: Vec<f64>) -> Result<Self, WeightsError> {
+        if values.is_empty() {
+            return Err(WeightsError::Empty);
+        }
+        for (colour, &value) in values.iter().enumerate() {
+            if !value.is_finite() || value < 1.0 {
+                return Err(WeightsError::InvalidWeight { colour, value });
+            }
+        }
+        let total = values.iter().sum();
+        Ok(Weights { values, total })
+    }
+
+    /// The uniform table of `k` unit weights — the paper's *uniform
+    /// partition* special case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn uniform(k: usize) -> Self {
+        Weights::new(vec![1.0; k]).expect("k >= 1 unit weights are always valid")
+    }
+
+    /// Number of colours `k`.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the table is empty (never true for constructed tables).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Weight `w_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// The total weight `w = Σ w_i`.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Colour `i`'s fair share of the population, `w_i / w ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn fair_share(&self, i: usize) -> f64 {
+        self.values[i] / self.total
+    }
+
+    /// The equilibrium **dark** fraction of colour `i`, `w_i / (1 + w)`
+    /// (Eq. (7) of the paper).
+    pub fn equilibrium_dark_fraction(&self, i: usize) -> f64 {
+        self.values[i] / (1.0 + self.total)
+    }
+
+    /// The equilibrium **light** fraction of colour `i`,
+    /// `(w_i/w) / (1 + w)` (Eq. (7) of the paper).
+    pub fn equilibrium_light_fraction(&self, i: usize) -> f64 {
+        (self.values[i] / self.total) / (1.0 + self.total)
+    }
+
+    /// All weights as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterator over `(colour_index, weight)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.values.iter().copied().enumerate()
+    }
+}
+
+/// Integer colour weights for the derandomised protocol, which requires
+/// `w_i ∈ ℕ, ≥ 1` and gives colour `i` the grey shades `0..=w_i`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::IntWeights;
+///
+/// let w = IntWeights::new(vec![1, 3])?;
+/// assert_eq!(w.total(), 4);
+/// assert_eq!(w.get(1), 3);
+/// // Integer weights lift to the real-valued table of the randomised protocol.
+/// let real = w.to_weights();
+/// assert_eq!(real.total(), 4.0);
+/// # Ok::<(), pp_core::WeightsError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IntWeights {
+    values: Vec<u32>,
+    total: u64,
+}
+
+impl IntWeights {
+    /// Validates and wraps an integer weight table.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WeightsError::Empty`] for an empty table and
+    /// [`WeightsError::InvalidWeight`] if any weight is zero.
+    pub fn new(values: Vec<u32>) -> Result<Self, WeightsError> {
+        if values.is_empty() {
+            return Err(WeightsError::Empty);
+        }
+        for (colour, &value) in values.iter().enumerate() {
+            if value == 0 {
+                return Err(WeightsError::InvalidWeight {
+                    colour,
+                    value: 0.0,
+                });
+            }
+        }
+        let total = values.iter().map(|&v| v as u64).sum();
+        Ok(IntWeights { values, total })
+    }
+
+    /// Number of colours `k`.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if the table is empty (never true for constructed tables).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Weight `w_i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn get(&self, i: usize) -> u32 {
+        self.values[i]
+    }
+
+    /// The total weight `w = Σ w_i`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The equivalent real-valued weight table.
+    pub fn to_weights(&self) -> Weights {
+        Weights::new(self.values.iter().map(|&v| v as f64).collect())
+            .expect("positive integer weights are valid real weights")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_valid_weights() {
+        let w = Weights::new(vec![1.0, 2.5, 4.0]).unwrap();
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.total(), 7.5);
+        assert_eq!(w.get(1), 2.5);
+        assert!((w.fair_share(2) - 4.0 / 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Weights::new(vec![]), Err(WeightsError::Empty));
+        assert_eq!(IntWeights::new(vec![]), Err(WeightsError::Empty));
+    }
+
+    #[test]
+    fn rejects_sub_unit_weight() {
+        let err = Weights::new(vec![1.0, 0.5]).unwrap_err();
+        assert_eq!(
+            err,
+            WeightsError::InvalidWeight {
+                colour: 1,
+                value: 0.5
+            }
+        );
+        assert!(format!("{err}").contains("colour 1"));
+    }
+
+    #[test]
+    fn rejects_nan() {
+        assert!(Weights::new(vec![f64::NAN]).is_err());
+        assert!(Weights::new(vec![f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn uniform_weights() {
+        let w = Weights::uniform(4);
+        assert_eq!(w.total(), 4.0);
+        for i in 0..4 {
+            assert_eq!(w.fair_share(i), 0.25);
+        }
+    }
+
+    #[test]
+    fn equilibrium_fractions_sum_to_one() {
+        // Σ_i [w_i/(1+w) + (w_i/w)/(1+w)] = w/(1+w) + 1/(1+w) = 1.
+        let w = Weights::new(vec![1.0, 2.0, 3.5]).unwrap();
+        let total: f64 = (0..w.len())
+            .map(|i| w.equilibrium_dark_fraction(i) + w.equilibrium_light_fraction(i))
+            .sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fair_shares_sum_to_one() {
+        let w = Weights::new(vec![1.0, 1.5, 9.0]).unwrap();
+        let s: f64 = (0..w.len()).map(|i| w.fair_share(i)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn int_weights_roundtrip() {
+        let iw = IntWeights::new(vec![2, 3]).unwrap();
+        assert_eq!(iw.total(), 5);
+        assert_eq!(iw.get(0), 2);
+        let w = iw.to_weights();
+        assert_eq!(w.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn int_weights_reject_zero() {
+        assert!(IntWeights::new(vec![1, 0]).is_err());
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let w = Weights::new(vec![1.0, 2.0]).unwrap();
+        let pairs: Vec<(usize, f64)> = w.iter().collect();
+        assert_eq!(pairs, vec![(0, 1.0), (1, 2.0)]);
+    }
+}

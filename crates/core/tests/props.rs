@@ -1,0 +1,188 @@
+//! Property-based tests of the Diversification dynamics: the invariants the
+//! paper proves must hold on every trajectory, for every seed.
+
+use pp_core::{init, ConfigStats, DerandomisedDiversification, Diversification, IntWeights, Weights};
+use pp_engine::Simulator;
+use pp_graph::Complete;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn arb_weights() -> impl Strategy<Value = Weights> {
+    (1usize..6, 0u64..1000).prop_map(|(k, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Weights::new((0..k).map(|_| rng.random_range(1.0..6.0)).collect()).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Sustainability (Definition 1.1(3)): on EVERY trajectory, every colour
+    /// keeps at least one dark agent at every step. This is the paper's
+    /// probability-1 claim, so we check it exhaustively along the run.
+    #[test]
+    fn sustainability_invariant(weights in arb_weights(), n_extra in 0usize..40, seed in 0u64..1000) {
+        let k = weights.len();
+        let n = k + 2 + n_extra;
+        let states = init::all_dark_balanced(n, &weights);
+        let mut sim = Simulator::new(
+            Diversification::new(weights.clone()),
+            Complete::new(n),
+            states,
+            seed,
+        );
+        for _ in 0..40 {
+            sim.run(25);
+            let stats = ConfigStats::from_states(sim.population().states(), k);
+            prop_assert!(stats.all_colours_alive(), "a colour lost its last dark agent");
+        }
+    }
+
+    /// The population never changes size and counts always add up to n.
+    #[test]
+    fn counts_conserved(weights in arb_weights(), seed in 0u64..1000) {
+        let k = weights.len();
+        let n = 4 * k + 8;
+        let states = init::all_dark_single_minority(n, &weights);
+        let mut sim = Simulator::new(
+            Diversification::new(weights),
+            Complete::new(n),
+            states,
+            seed,
+        );
+        sim.run(2_000);
+        let stats = ConfigStats::from_states(sim.population().states(), k);
+        let total: usize = (0..k).map(|i| stats.colour_count(i)).sum();
+        prop_assert_eq!(total, n);
+        prop_assert_eq!(stats.total_dark() + stats.total_light(), n);
+    }
+
+    /// Colours can never be invented: the support of the colour set only
+    /// comes from the initial assignment.
+    #[test]
+    fn no_colour_invented(seed in 0u64..1000) {
+        let weights = Weights::uniform(3);
+        let n = 30;
+        // Start with colours 0 and 1 only... but Ω requires all colours
+        // supported; instead check that colour indices stay < k.
+        let states = init::all_dark_balanced(n, &weights);
+        let mut sim = Simulator::new(
+            Diversification::new(weights),
+            Complete::new(n),
+            states,
+            seed,
+        );
+        sim.run(3_000);
+        prop_assert!(sim
+            .population()
+            .states()
+            .iter()
+            .all(|s| s.colour.index() < 3));
+    }
+
+    /// Derandomised protocol: shades stay within 0..=w_i and sustainability
+    /// holds (the last positively-shaded agent of a colour cannot soften:
+    /// stepping down requires observing another positively-shaded agent of
+    /// the same colour... at shade >= 1 it can still step down to 0 only on
+    /// meeting same-colour shaded agents, so the last shaded agent of a
+    /// colour never softens).
+    #[test]
+    fn derandomised_invariants(seed in 0u64..1000, n_extra in 0usize..30) {
+        let iw = IntWeights::new(vec![1, 2, 4]).unwrap();
+        let protocol = DerandomisedDiversification::new(iw.clone());
+        let n = 6 + n_extra;
+        let states = init::grey_balanced(n, &protocol);
+        let mut sim = Simulator::new(protocol.clone(), Complete::new(n), states, seed);
+        for _ in 0..40 {
+            sim.run(25);
+            for s in sim.population().states() {
+                prop_assert!(s.shade() <= iw.get(s.colour().index()));
+            }
+            let stats = ConfigStats::from_grey_states(sim.population().states(), 3);
+            prop_assert!(stats.all_colours_alive());
+        }
+    }
+
+    /// Potentials are non-negative and φ = ψ = 0 exactly at proportional
+    /// configurations, on arbitrary reachable configurations.
+    #[test]
+    fn potentials_nonnegative_along_run(weights in arb_weights(), seed in 0u64..200) {
+        let k = weights.len();
+        let n = 5 * k + 5;
+        let states = init::all_dark_balanced(n, &weights);
+        let mut sim = Simulator::new(
+            Diversification::new(weights.clone()),
+            Complete::new(n),
+            states,
+            seed,
+        );
+        for _ in 0..20 {
+            sim.run(50);
+            let stats = ConfigStats::from_states(sim.population().states(), k);
+            prop_assert!(pp_core::phi(&stats, &weights) >= 0.0);
+            prop_assert!(pp_core::psi(&stats, &weights) >= 0.0);
+            prop_assert!(pp_core::sigma_sq(&stats, &weights) >= 0.0);
+        }
+    }
+
+    /// The closed-form potential matches the naive pairwise sum on reachable
+    /// configurations (not just synthetic count vectors).
+    #[test]
+    fn potential_closed_form_on_trajectories(weights in arb_weights(), seed in 0u64..200) {
+        let k = weights.len();
+        let n = 4 * k + 10;
+        let states = init::all_dark_single_minority(n, &weights);
+        let mut sim = Simulator::new(
+            Diversification::new(weights.clone()),
+            Complete::new(n),
+            states,
+            seed,
+        );
+        sim.run(500);
+        let stats = ConfigStats::from_states(sim.population().states(), k);
+        let fast = pp_core::phi(&stats, &weights);
+        let slow = pp_core::potential::pairwise_quadratic_naive(stats.dark_counts(), &weights);
+        prop_assert!((fast - slow).abs() <= 1e-9 * (1.0 + slow));
+    }
+}
+
+/// End-to-end smoke: with uniform weights the protocol approaches the
+/// uniform partition (deterministic seed, generous tolerance).
+#[test]
+fn uniform_weights_approach_uniform_partition() {
+    let k = 4;
+    let weights = Weights::uniform(k);
+    let n = 800;
+    let states = init::all_dark_single_minority(n, &weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        states,
+        2024,
+    );
+    // Theorem 1.3 budget with a generous constant: w = 4 ⇒ w²·n·ln n ≈ 86k… use 400k.
+    sim.run(400_000);
+    let stats = ConfigStats::from_states(sim.population().states(), k);
+    let err = stats.max_diversity_error(&weights);
+    assert!(err < 0.08, "diversity error {err} too large after convergence");
+}
+
+/// End-to-end smoke for weighted fair share: the heavy colour ends near its
+/// larger share.
+#[test]
+fn weighted_fair_share_reached() {
+    let weights = Weights::new(vec![1.0, 1.0, 2.0]).unwrap();
+    let n = 600;
+    let states = init::all_dark_balanced(n, &weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        states,
+        99,
+    );
+    sim.run(400_000);
+    let stats = ConfigStats::from_states(sim.population().states(), 3);
+    let heavy = stats.colour_fraction(2);
+    assert!((heavy - 0.5).abs() < 0.1, "heavy share {heavy}");
+}

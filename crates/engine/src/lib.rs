@@ -1,0 +1,63 @@
+//! Population-protocol simulation engine.
+//!
+//! This crate is the substrate every protocol in the workspace runs on. It
+//! implements the paper's interaction model exactly: at each discrete
+//! **time-step** a uniformly random agent `u` is scheduled, observes the
+//! state of one (or, for multi-sample baselines like 2-Choices, several)
+//! uniformly random interaction partner(s), and updates its own state
+//! according to the protocol's transition rule. Only the scheduled agent
+//! changes state — a property several of the paper's arguments (notably
+//! sustainability) rely on.
+//!
+//! * [`Protocol`] — the transition rule, implemented by `pp-core`
+//!   (Diversification) and `pp-baselines` (Voter, 2-Choices, …).
+//! * [`Population`] — the vector of agent states.
+//! * [`Simulator`] — the sequential uniform random scheduler, seeded and
+//!   fully deterministic given `(protocol, topology, initial states, seed)`.
+//! * [`replicate()`](replicate()) — parallel independent-seed replication for w.h.p.-style
+//!   statements.
+//! * [`rounds`] — conversions between time-steps and "parallel rounds"
+//!   (`1 round = n steps`).
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_engine::{Population, Protocol, Simulator};
+//! use pp_graph::Complete;
+//! use rand::Rng;
+//!
+//! /// A toy protocol: adopt whatever the observed agent holds.
+//! #[derive(Debug)]
+//! struct Copycat;
+//!
+//! impl Protocol for Copycat {
+//!     type State = u8;
+//!     fn transition(&self, _me: &u8, observed: &[&u8], _rng: &mut dyn Rng) -> u8 {
+//!         *observed[0]
+//!     }
+//!     fn name(&self) -> String {
+//!         "copycat".into()
+//!     }
+//! }
+//!
+//! let states = vec![0u8, 1, 1, 1];
+//! let mut sim = Simulator::new(Copycat, Complete::new(4), states, 42);
+//! sim.run(1_000);
+//! // Copycat is the Voter model; by now it has almost surely hit consensus.
+//! let c = sim.population().count_matching(|&s| s == 1);
+//! assert!(c == 0 || c == 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod population;
+pub mod protocol;
+pub mod replicate;
+pub mod rounds;
+pub mod simulator;
+
+pub use population::Population;
+pub use protocol::Protocol;
+pub use replicate::replicate;
+pub use simulator::Simulator;

@@ -1,0 +1,190 @@
+//! The vector of agent states.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// The states of all agents, indexed by agent id `0..len()`.
+///
+/// A thin, invariant-free wrapper over `Vec<S>` with counting helpers used
+/// by property checkers. Mutation is public on purpose: the adversary crate
+/// implements the paper's structural changes (add agents, inject colours,
+/// recolour) by editing the population directly between time-steps.
+///
+/// # Examples
+///
+/// ```
+/// use pp_engine::Population;
+///
+/// let pop = Population::new(vec!['a', 'b', 'a']);
+/// assert_eq!(pop.len(), 3);
+/// assert_eq!(pop.count_matching(|&c| c == 'a'), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Population<S> {
+    states: Vec<S>,
+}
+
+impl<S> Population<S> {
+    /// Wraps a vector of initial states.
+    pub fn new(states: Vec<S>) -> Self {
+        Population { states }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if there are no agents.
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// State of agent `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`.
+    pub fn state(&self, u: usize) -> &S {
+        &self.states[u]
+    }
+
+    /// Overwrites the state of agent `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`.
+    pub fn set_state(&mut self, u: usize, state: S) {
+        self.states[u] = state;
+    }
+
+    /// Appends a new agent and returns its id.
+    pub fn push(&mut self, state: S) -> usize {
+        self.states.push(state);
+        self.states.len() - 1
+    }
+
+    /// Removes agent `u`, moving the last agent into its slot (`O(1)`), and
+    /// returns the removed state. Agent ids above `u` are renumbered; used
+    /// by the adversary crate, which treats ids as anonymous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`.
+    pub fn swap_remove(&mut self, u: usize) -> S {
+        self.states.swap_remove(u)
+    }
+
+    /// All states, in agent order.
+    pub fn states(&self) -> &[S] {
+        &self.states
+    }
+
+    /// Mutable access to all states (adversary hook).
+    pub fn states_mut(&mut self) -> &mut [S] {
+        &mut self.states
+    }
+
+    /// Iterator over `(agent_id, state)`.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &S)> {
+        self.states.iter().enumerate()
+    }
+
+    /// Consumes the population, returning the state vector.
+    pub fn into_states(self) -> Vec<S> {
+        self.states
+    }
+
+    /// Number of agents whose state satisfies `pred`.
+    pub fn count_matching(&self, pred: impl Fn(&S) -> bool) -> usize {
+        self.states.iter().filter(|s| pred(s)).count()
+    }
+
+    /// Groups agents by `key` and counts each group.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pp_engine::Population;
+    ///
+    /// let pop = Population::new(vec![1u8, 2, 2, 3]);
+    /// let counts = pop.count_by(|&s| s);
+    /// assert_eq!(counts[&2], 2);
+    /// ```
+    pub fn count_by<K: Eq + Hash>(&self, key: impl Fn(&S) -> K) -> HashMap<K, usize> {
+        let mut out = HashMap::new();
+        for s in &self.states {
+            *out.entry(key(s)).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+impl<S> FromIterator<S> for Population<S> {
+    fn from_iter<I: IntoIterator<Item = S>>(iter: I) -> Self {
+        Population {
+            states: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<S> Extend<S> for Population<S> {
+    fn extend<I: IntoIterator<Item = S>>(&mut self, iter: I) {
+        self.states.extend(iter);
+    }
+}
+
+impl<S> std::ops::Index<usize> for Population<S> {
+    type Output = S;
+
+    fn index(&self, u: usize) -> &S {
+        &self.states[u]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_accessors() {
+        let mut pop = Population::new(vec![10, 20]);
+        assert_eq!(pop.len(), 2);
+        assert_eq!(*pop.state(1), 20);
+        pop.set_state(1, 99);
+        assert_eq!(pop[1], 99);
+        assert_eq!(pop.push(7), 2);
+        assert_eq!(pop.len(), 3);
+    }
+
+    #[test]
+    fn counting() {
+        let pop: Population<u8> = [1, 1, 2, 3, 3, 3].into_iter().collect();
+        assert_eq!(pop.count_matching(|&x| x == 3), 3);
+        let by = pop.count_by(|&x| x);
+        assert_eq!(by[&1], 2);
+        assert_eq!(by[&2], 1);
+        assert_eq!(by[&3], 3);
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let pop = Population::new(vec!['x', 'y']);
+        let collected: Vec<(usize, char)> = pop.iter().map(|(i, &c)| (i, c)).collect();
+        assert_eq!(collected, vec![(0, 'x'), (1, 'y')]);
+    }
+
+    #[test]
+    fn extend_and_into_states() {
+        let mut pop = Population::new(vec![1]);
+        pop.extend([2, 3]);
+        assert_eq!(pop.into_states(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_population() {
+        let pop: Population<u8> = Population::new(vec![]);
+        assert!(pop.is_empty());
+        assert_eq!(pop.count_matching(|_| true), 0);
+    }
+}

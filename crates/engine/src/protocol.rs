@@ -1,0 +1,156 @@
+//! The protocol abstraction.
+
+use rand::Rng;
+
+/// A population protocol's local transition rule.
+///
+/// At every time-step the engine schedules one agent `u`, draws
+/// [`observations`](Protocol::observations) random interaction partners of
+/// `u` from the topology, and replaces `u`'s state with
+/// [`transition(me, observed, rng)`](Protocol::transition). **Only the
+/// scheduled agent changes state**, matching the model of the paper (§1.2):
+/// the observed agents are read-only. This asymmetric ("one-way") model is
+/// what makes the sustainability argument work — the last dark agent of a
+/// colour can never be erased by somebody else.
+///
+/// Implementations should be cheap to call: the engine invokes `transition`
+/// once per time-step, and experiments run `Θ(w² n log n)` steps.
+///
+/// The trait is object-safe; sweeps may store `Box<dyn Protocol<State = S>>`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_engine::Protocol;
+/// use rand::Rng;
+///
+/// /// Agents hold a bit and copy the majority of two observed agents.
+/// #[derive(Debug)]
+/// struct TwoSampleMajority;
+///
+/// impl Protocol for TwoSampleMajority {
+///     type State = bool;
+///
+///     fn observations(&self) -> usize {
+///         2
+///     }
+///
+///     fn transition(&self, me: &bool, observed: &[&bool], _rng: &mut dyn Rng) -> bool {
+///         let ones = observed.iter().filter(|&&&b| b).count() + usize::from(*me);
+///         ones >= 2
+///     }
+///
+///     fn name(&self) -> String {
+///         "two-sample-majority".into()
+///     }
+/// }
+/// ```
+pub trait Protocol {
+    /// Per-agent state. Cloned on writes only; observation passes references.
+    type State: Clone + std::fmt::Debug;
+
+    /// Number of partners the scheduled agent observes per activation.
+    ///
+    /// `1` for pairwise protocols (the paper's model); 2-Choices and
+    /// 3-Majority use `2`. Partners are drawn independently and uniformly
+    /// from the scheduled agent's neighbours, so for multi-sample protocols
+    /// the same partner may be observed twice (the standard convention).
+    fn observations(&self) -> usize {
+        1
+    }
+
+    /// Computes the scheduled agent's next state.
+    ///
+    /// `observed` has exactly [`observations`](Protocol::observations)
+    /// entries. The returned state replaces `me`; returning `me.clone()`
+    /// encodes "no change".
+    fn transition(
+        &self,
+        me: &Self::State,
+        observed: &[&Self::State],
+        rng: &mut dyn Rng,
+    ) -> Self::State;
+
+    /// Short protocol name for experiment tables (e.g. `diversification`).
+    fn name(&self) -> String;
+}
+
+impl<P: Protocol + ?Sized> Protocol for &P {
+    type State = P::State;
+
+    fn observations(&self) -> usize {
+        (**self).observations()
+    }
+
+    fn transition(
+        &self,
+        me: &Self::State,
+        observed: &[&Self::State],
+        rng: &mut dyn Rng,
+    ) -> Self::State {
+        (**self).transition(me, observed, rng)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+impl<P: Protocol + ?Sized> Protocol for Box<P> {
+    type State = P::State;
+
+    fn observations(&self) -> usize {
+        (**self).observations()
+    }
+
+    fn transition(
+        &self,
+        me: &Self::State,
+        observed: &[&Self::State],
+        rng: &mut dyn Rng,
+    ) -> Self::State {
+        (**self).transition(me, observed, rng)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[derive(Debug)]
+    struct Incr;
+
+    impl Protocol for Incr {
+        type State = u32;
+
+        fn transition(&self, me: &u32, observed: &[&u32], _rng: &mut dyn Rng) -> u32 {
+            me + *observed[0]
+        }
+
+        fn name(&self) -> String {
+            "incr".into()
+        }
+    }
+
+    #[test]
+    fn default_observations_is_one() {
+        assert_eq!(Incr.observations(), 1);
+    }
+
+    #[test]
+    fn blanket_impls_delegate() {
+        let boxed: Box<dyn Protocol<State = u32>> = Box::new(Incr);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(boxed.transition(&1, &[&2], &mut rng), 3);
+        assert_eq!(boxed.name(), "incr");
+        let by_ref = &Incr;
+        assert_eq!(by_ref.transition(&1, &[&2], &mut rng), 3);
+        assert_eq!(by_ref.observations(), 1);
+    }
+}

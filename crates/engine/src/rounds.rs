@@ -1,0 +1,87 @@
+//! Conversions between time-steps and parallel rounds.
+//!
+//! The paper's scheduler activates a single agent per **time-step**; much of
+//! the population-protocol literature instead reports **parallel rounds**,
+//! where one round corresponds to `n` activations. These helpers convert
+//! between the two conventions so experiment tables can report both.
+
+/// Number of time-steps corresponding to `rounds` parallel rounds for a
+/// population of `n` agents.
+///
+/// # Examples
+///
+/// ```
+/// use pp_engine::rounds::steps_for_rounds;
+///
+/// assert_eq!(steps_for_rounds(100, 3.0), 300);
+/// assert_eq!(steps_for_rounds(100, 0.5), 50);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `rounds` is negative or non-finite.
+pub fn steps_for_rounds(n: usize, rounds: f64) -> u64 {
+    assert!(
+        rounds.is_finite() && rounds >= 0.0,
+        "rounds must be a non-negative finite number, got {rounds}"
+    );
+    (rounds * n as f64).round() as u64
+}
+
+/// Number of parallel rounds corresponding to `steps` time-steps.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn rounds_for_steps(n: usize, steps: u64) -> f64 {
+    assert!(n > 0, "population must be non-empty");
+    steps as f64 / n as f64
+}
+
+/// `n · ln n`, the natural scaling unit of the paper's convergence bounds
+/// (Theorem 1.3 gives `O(w² n log n)` steps).
+///
+/// # Panics
+///
+/// Panics if `n < 2` (the logarithm would be non-positive).
+pub fn n_log_n(n: usize) -> f64 {
+    assert!(n >= 2, "n log n needs n >= 2, got {n}");
+    let nf = n as f64;
+    nf * nf.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let n = 128;
+        let steps = steps_for_rounds(n, 2.5);
+        assert_eq!(steps, 320);
+        assert!((rounds_for_steps(n, steps) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rounds() {
+        assert_eq!(steps_for_rounds(10, 0.0), 0);
+    }
+
+    #[test]
+    fn n_log_n_values() {
+        assert!((n_log_n(2) - 2.0 * 2f64.ln()).abs() < 1e-12);
+        assert!(n_log_n(1000) > 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn rejects_negative_rounds() {
+        steps_for_rounds(10, -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn n_log_n_rejects_small() {
+        n_log_n(1);
+    }
+}

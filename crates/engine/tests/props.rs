@@ -1,0 +1,103 @@
+//! Property-based tests for the engine: scheduler invariants that every
+//! protocol run must satisfy.
+
+use pp_engine::{Protocol, Simulator};
+use pp_graph::{Complete, Cycle, Topology};
+use proptest::prelude::*;
+use rand::Rng;
+
+/// A conservation-friendly protocol: agents carry tokens and the scheduled
+/// agent sets its count to the observed count (Voter on integers).
+#[derive(Debug)]
+struct Adopt;
+
+impl Protocol for Adopt {
+    type State = u32;
+
+    fn transition(&self, _me: &u32, observed: &[&u32], _rng: &mut dyn Rng) -> u32 {
+        *observed[0]
+    }
+
+    fn name(&self) -> String {
+        "adopt".into()
+    }
+}
+
+/// Marks agents that were ever activated.
+#[derive(Debug)]
+struct MarkActive;
+
+impl Protocol for MarkActive {
+    type State = bool;
+
+    fn transition(&self, _me: &bool, _observed: &[&bool], _rng: &mut dyn Rng) -> bool {
+        true
+    }
+
+    fn name(&self) -> String {
+        "mark".into()
+    }
+}
+
+proptest! {
+    #[test]
+    fn population_size_is_invariant(n in 2usize..50, steps in 0u64..2000, seed in 0u64..50) {
+        let mut sim = Simulator::new(Adopt, Complete::new(n), (0..n as u32).collect(), seed);
+        sim.run(steps);
+        prop_assert_eq!(sim.population().len(), n);
+        prop_assert_eq!(sim.step_count(), steps);
+    }
+
+    #[test]
+    fn values_never_invented(n in 2usize..30, steps in 0u64..2000, seed in 0u64..50) {
+        // Adopt only copies existing values, so the value set can only shrink.
+        let init: Vec<u32> = (0..n as u32).collect();
+        let mut sim = Simulator::new(Adopt, Complete::new(n), init.clone(), seed);
+        sim.run(steps);
+        for &s in sim.population().states() {
+            prop_assert!(init.contains(&s));
+        }
+    }
+
+    #[test]
+    fn scheduler_eventually_touches_everyone(n in 2usize..20, seed in 0u64..50) {
+        let mut sim = Simulator::new(MarkActive, Complete::new(n), vec![false; n], seed);
+        // Coupon collector: 20 * n * ln(n) + 200 steps is astronomically safe.
+        let budget = (20.0 * n as f64 * (n as f64).ln()) as u64 + 200;
+        sim.run(budget);
+        prop_assert!(sim.population().states().iter().all(|&b| b));
+    }
+
+    #[test]
+    fn determinism_across_topologies(n in 3usize..20, steps in 0u64..500, seed in 0u64..50) {
+        let run = |seed| {
+            let mut sim = Simulator::new(Adopt, Cycle::new(n), (0..n as u32).collect(), seed);
+            sim.run(steps);
+            sim.into_population().into_states()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    #[test]
+    fn cycle_runs_stay_local(seed in 0u64..20) {
+        // On a cycle, value 0 can only spread one hop per adoption; after few
+        // steps distant agents must still hold their original values.
+        let n = 30;
+        let init: Vec<u32> = (0..n as u32).collect();
+        let mut sim = Simulator::new(Adopt, Cycle::new(n), init, seed);
+        sim.run(3);
+        // At most 3 agents changed.
+        let changed = sim
+            .population()
+            .iter()
+            .filter(|&(i, &s)| s != i as u32)
+            .count();
+        prop_assert!(changed <= 3);
+    }
+}
+
+#[test]
+fn topology_len_checked_against_population() {
+    let sim = Simulator::new(Adopt, Complete::new(5), (0..5).collect(), 0);
+    assert_eq!(sim.topology().len(), sim.population().len());
+}

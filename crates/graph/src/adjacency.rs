@@ -1,0 +1,173 @@
+//! Explicit adjacency-list topologies.
+
+use crate::{check_node, Topology};
+use rand::{Rng, RngExt};
+
+/// A topology stored as explicit neighbour lists.
+///
+/// Backs the random-graph constructors ([`erdos_renyi`](crate::erdos_renyi),
+/// [`random_regular`](crate::random_regular),
+/// [`stochastic_block_model`](crate::stochastic_block_model)) and arbitrary
+/// user-supplied edge sets. Self-loops and duplicate edges are rejected at
+/// construction so the uniform-neighbour sampling contract of
+/// [`Topology::sample_partner`] holds by construction.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{AdjacencyList, Topology};
+///
+/// // A triangle plus a pendant node.
+/// let g = AdjacencyList::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(g.degree(2), 3);
+/// assert_eq!(g.degree(3), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyList {
+    adj: Vec<Vec<usize>>,
+    num_edges: usize,
+    name: String,
+}
+
+impl AdjacencyList {
+    /// Builds a topology on `n` nodes from an undirected edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on self-loops, duplicate edges, or endpoints `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of range for {n} nodes");
+            assert_ne!(u, v, "self-loop at node {u}");
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        for (u, ns) in adj.iter_mut().enumerate() {
+            let before = ns.len();
+            ns.sort_unstable();
+            ns.dedup();
+            assert_eq!(ns.len(), before, "duplicate edge incident to node {u}");
+        }
+        AdjacencyList {
+            adj,
+            num_edges: edges.len(),
+            name: "adjacency".to_string(),
+        }
+    }
+
+    /// Sets the display name used in experiment tables.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Minimum degree over all nodes (`0` for an empty graph).
+    pub fn min_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).min().unwrap_or(0)
+    }
+
+    /// Maximum degree over all nodes (`0` for an empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+impl Topology for AdjacencyList {
+    fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        check_node(u, self.adj.len());
+        self.adj[u].len()
+    }
+
+    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
+        check_node(u, self.adj.len());
+        let ns = &self.adj[u];
+        assert!(!ns.is_empty(), "node {u} is isolated; cannot sample a partner");
+        ns[rng.random_range(0..ns.len())]
+    }
+
+    fn contains_edge(&self, u: usize, v: usize) -> bool {
+        check_node(u, self.adj.len());
+        check_node(v, self.adj.len());
+        self.adj[u].binary_search(&v).is_ok()
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        check_node(u, self.adj.len());
+        self.adj[u].clone()
+    }
+
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn builds_triangle() {
+        let g = AdjacencyList::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.num_edges(), 3);
+        for u in 0..3 {
+            assert_eq!(g.degree(u), 2);
+        }
+        assert!(g.contains_edge(0, 2));
+    }
+
+    #[test]
+    fn sampling_respects_edges() {
+        let g = AdjacencyList::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let v = g.sample_partner(0, &mut rng);
+            assert!(g.contains_edge(0, v));
+            assert_eq!(g.sample_partner(2, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn degree_extremes() {
+        let g = AdjacencyList::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.min_degree(), 1);
+        assert_eq!(g.max_degree(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        AdjacencyList::from_edges(2, &[(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate edge")]
+    fn rejects_duplicate_edge() {
+        AdjacencyList::from_edges(3, &[(0, 1), (1, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "isolated")]
+    fn isolated_node_cannot_sample() {
+        let g = AdjacencyList::from_edges(3, &[(0, 1)]);
+        let mut rng = StdRng::seed_from_u64(2);
+        g.sample_partner(2, &mut rng);
+    }
+
+    #[test]
+    fn with_name_changes_label() {
+        let g = AdjacencyList::from_edges(2, &[(0, 1)]).with_name("er");
+        assert_eq!(g.name(), "er");
+    }
+}

@@ -1,0 +1,118 @@
+//! The complete bipartite graph.
+
+use crate::{check_node, Topology};
+use rand::{Rng, RngExt};
+
+/// The complete bipartite graph `K_{l,r}`: nodes `0..l` on the left side,
+/// `l..l+r` on the right; every left node neighbours every right node.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{CompleteBipartite, Topology};
+///
+/// let g = CompleteBipartite::new(2, 3);
+/// assert_eq!(g.len(), 5);
+/// assert_eq!(g.degree(0), 3);
+/// assert_eq!(g.degree(4), 2);
+/// assert!(g.contains_edge(1, 3));
+/// assert!(!g.contains_edge(0, 1));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CompleteBipartite {
+    left: usize,
+    right: usize,
+}
+
+impl CompleteBipartite {
+    /// Creates `K_{left,right}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either side is empty.
+    pub fn new(left: usize, right: usize) -> Self {
+        assert!(left >= 1 && right >= 1, "both sides must be non-empty");
+        CompleteBipartite { left, right }
+    }
+
+    /// Returns `true` if node `u` is on the left side.
+    pub fn is_left(&self, u: usize) -> bool {
+        check_node(u, self.len());
+        u < self.left
+    }
+}
+
+impl Topology for CompleteBipartite {
+    fn len(&self) -> usize {
+        self.left + self.right
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        check_node(u, self.len());
+        if u < self.left {
+            self.right
+        } else {
+            self.left
+        }
+    }
+
+    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
+        check_node(u, self.len());
+        if u < self.left {
+            self.left + rng.random_range(0..self.right)
+        } else {
+            rng.random_range(0..self.left)
+        }
+    }
+
+    fn contains_edge(&self, u: usize, v: usize) -> bool {
+        check_node(u, self.len());
+        check_node(v, self.len());
+        (u < self.left) != (v < self.left)
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        check_node(u, self.len());
+        if u < self.left {
+            (self.left..self.len()).collect()
+        } else {
+            (0..self.left).collect()
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("bipartite{}x{}", self.left, self.right)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn partners_cross_sides() {
+        let g = CompleteBipartite::new(3, 4);
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..100 {
+            let v = g.sample_partner(1, &mut rng);
+            assert!(!g.is_left(v));
+            let w = g.sample_partner(5, &mut rng);
+            assert!(g.is_left(w));
+        }
+    }
+
+    #[test]
+    fn neighbors_are_other_side() {
+        let g = CompleteBipartite::new(2, 2);
+        assert_eq!(g.neighbors(0), vec![2, 3]);
+        assert_eq!(g.neighbors(3), vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn rejects_empty_side() {
+        CompleteBipartite::new(0, 3);
+    }
+}

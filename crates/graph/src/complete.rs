@@ -1,0 +1,128 @@
+//! The complete graph — the paper's interaction model.
+
+use crate::{check_node, Topology};
+use rand::{Rng, RngExt};
+
+/// The complete graph `K_n`: every agent can observe every other agent.
+///
+/// This is the topology the paper's theorems are stated for. Partner
+/// sampling is `O(1)` and edge-free: a uniform draw from `0..n-1` shifted
+/// past the scheduled agent.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{Complete, Topology};
+///
+/// let g = Complete::new(5);
+/// assert_eq!(g.degree(0), 4);
+/// assert!(g.contains_edge(1, 4));
+/// assert!(!g.contains_edge(2, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Complete {
+    n: usize,
+}
+
+impl Complete {
+    /// Creates a complete graph on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` (a lone agent has nobody to observe).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "complete graph needs at least 2 nodes, got {n}");
+        Complete { n }
+    }
+}
+
+impl Topology for Complete {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        check_node(u, self.n);
+        self.n - 1
+    }
+
+    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
+        check_node(u, self.n);
+        let v = rng.random_range(0..self.n - 1);
+        if v >= u {
+            v + 1
+        } else {
+            v
+        }
+    }
+
+    fn contains_edge(&self, u: usize, v: usize) -> bool {
+        check_node(u, self.n);
+        check_node(v, self.n);
+        u != v
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        check_node(u, self.n);
+        (0..self.n).filter(|&v| v != u).collect()
+    }
+
+    fn name(&self) -> String {
+        "complete".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn never_samples_self() {
+        let g = Complete::new(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        for u in 0..10 {
+            for _ in 0..200 {
+                assert_ne!(g.sample_partner(u, &mut rng), u);
+            }
+        }
+    }
+
+    #[test]
+    fn sampling_is_roughly_uniform() {
+        let g = Complete::new(5);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts = [0u32; 5];
+        let trials = 40_000;
+        for _ in 0..trials {
+            counts[g.sample_partner(2, &mut rng)] += 1;
+        }
+        assert_eq!(counts[2], 0);
+        for (v, &c) in counts.iter().enumerate() {
+            if v != 2 {
+                let frac = c as f64 / trials as f64;
+                assert!((frac - 0.25).abs() < 0.02, "node {v}: {frac}");
+            }
+        }
+    }
+
+    #[test]
+    fn neighbors_exclude_self() {
+        let g = Complete::new(4);
+        assert_eq!(g.neighbors(1), vec![0, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_singleton() {
+        Complete::new(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_node() {
+        let g = Complete::new(3);
+        g.degree(3);
+    }
+}

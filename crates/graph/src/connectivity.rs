@@ -1,0 +1,121 @@
+//! Graph algorithms over [`Topology`] values.
+
+use crate::Topology;
+
+/// Returns `true` if the topology is connected (every node reachable from
+/// node 0 by breadth-first search). The empty graph is considered connected.
+///
+/// Diversification needs a connected interaction graph: on a disconnected
+/// graph the components evolve independently and the global fair-share
+/// statement cannot hold, so experiment setups assert connectivity first.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{is_connected, AdjacencyList, Complete};
+///
+/// assert!(is_connected(&Complete::new(5)));
+/// let split = AdjacencyList::from_edges(4, &[(0, 1), (2, 3)]);
+/// assert!(!is_connected(&split));
+/// ```
+pub fn is_connected<T: Topology + ?Sized>(g: &T) -> bool {
+    let n = g.len();
+    if n == 0 {
+        return true;
+    }
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[0] = true;
+    queue.push_back(0);
+    let mut visited = 1;
+    while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if !seen[v] {
+                seen[v] = true;
+                visited += 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    visited == n
+}
+
+/// Breadth-first distances from `src` to every node; `usize::MAX` marks
+/// unreachable nodes.
+///
+/// # Panics
+///
+/// Panics if `src >= g.len()`.
+pub fn bfs_distances<T: Topology + ?Sized>(g: &T, src: usize) -> Vec<usize> {
+    assert!(src < g.len(), "source {src} out of range");
+    let mut dist = vec![usize::MAX; g.len()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src] = 0;
+    queue.push_back(src);
+    while let Some(u) = queue.pop_front() {
+        for v in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// The diameter (longest shortest path) of a connected topology, or `None`
+/// if the topology is disconnected. `O(n · m)`; intended for small graphs.
+pub fn diameter<T: Topology + ?Sized>(g: &T) -> Option<usize> {
+    let mut best = 0;
+    for u in 0..g.len() {
+        let d = bfs_distances(g, u);
+        let m = *d.iter().max()?;
+        if m == usize::MAX {
+            return None;
+        }
+        best = best.max(m);
+    }
+    Some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AdjacencyList, Complete, Cycle, Path, Star, Torus2d};
+
+    #[test]
+    fn standard_topologies_connected() {
+        assert!(is_connected(&Complete::new(6)));
+        assert!(is_connected(&Cycle::new(6)));
+        assert!(is_connected(&Path::new(6)));
+        assert!(is_connected(&Star::new(6)));
+        assert!(is_connected(&Torus2d::new(3, 4)));
+    }
+
+    #[test]
+    fn detects_disconnection() {
+        let g = AdjacencyList::from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = Path::new(5);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn diameters() {
+        assert_eq!(diameter(&Complete::new(8)), Some(1));
+        assert_eq!(diameter(&Cycle::new(8)), Some(4));
+        assert_eq!(diameter(&Path::new(5)), Some(4));
+        assert_eq!(diameter(&Star::new(5)), Some(2));
+    }
+
+    #[test]
+    fn disconnected_diameter_none() {
+        let g = AdjacencyList::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(diameter(&g), None);
+    }
+}

@@ -1,0 +1,126 @@
+//! The boolean hypercube.
+
+use crate::{check_node, Topology};
+use rand::{Rng, RngExt};
+
+/// The `d`-dimensional boolean hypercube `Q_d`: `2^d` nodes, each adjacent
+/// to the `d` nodes obtained by flipping one bit of its label.
+///
+/// A classic sparse expander-like topology (`O(log n)` degree and
+/// diameter) — the natural midpoint between the complete graph and the
+/// cycle for the future-work topology experiments.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{Hypercube, Topology};
+///
+/// let g = Hypercube::new(4);
+/// assert_eq!(g.len(), 16);
+/// assert_eq!(g.degree(0), 4);
+/// assert!(g.contains_edge(0b0000, 0b0100));
+/// assert!(!g.contains_edge(0b0000, 0b0110));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Hypercube {
+    dim: u32,
+}
+
+impl Hypercube {
+    /// Creates the `dim`-dimensional hypercube.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim` is 0 or above 30 (2³⁰ nodes is past simulation scale).
+    pub fn new(dim: u32) -> Self {
+        assert!(dim >= 1, "hypercube needs dimension >= 1");
+        assert!(dim <= 30, "dimension {dim} too large");
+        Hypercube { dim }
+    }
+
+    /// The dimension `d` (= degree of every node).
+    pub fn dim(&self) -> u32 {
+        self.dim
+    }
+}
+
+impl Topology for Hypercube {
+    fn len(&self) -> usize {
+        1usize << self.dim
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        check_node(u, self.len());
+        self.dim as usize
+    }
+
+    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
+        check_node(u, self.len());
+        let bit = rng.random_range(0..self.dim);
+        u ^ (1usize << bit)
+    }
+
+    fn contains_edge(&self, u: usize, v: usize) -> bool {
+        check_node(u, self.len());
+        check_node(v, self.len());
+        (u ^ v).count_ones() == 1
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        check_node(u, self.len());
+        (0..self.dim).map(|b| u ^ (1usize << b)).collect()
+    }
+
+    fn name(&self) -> String {
+        format!("hypercube(d={})", self.dim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{diameter, is_connected};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn size_and_degree() {
+        let g = Hypercube::new(5);
+        assert_eq!(g.len(), 32);
+        assert_eq!(g.dim(), 5);
+        for u in 0..32 {
+            assert_eq!(g.degree(u), 5);
+        }
+    }
+
+    #[test]
+    fn connected_with_diameter_d() {
+        let g = Hypercube::new(4);
+        assert!(is_connected(&g));
+        assert_eq!(diameter(&g), Some(4));
+    }
+
+    #[test]
+    fn sampling_flips_one_bit() {
+        let g = Hypercube::new(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let v = g.sample_partner(0b101010, &mut rng);
+            assert_eq!((v ^ 0b101010).count_ones(), 1);
+        }
+    }
+
+    #[test]
+    fn neighbors_are_exactly_bit_flips() {
+        let g = Hypercube::new(3);
+        let mut ns = g.neighbors(0b011);
+        ns.sort_unstable();
+        assert_eq!(ns, vec![0b001, 0b010, 0b111]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension >= 1")]
+    fn rejects_dim_zero() {
+        Hypercube::new(0);
+    }
+}

@@ -1,0 +1,148 @@
+//! Interaction topologies for population protocols.
+//!
+//! The paper analyses the Diversification protocol on the **complete graph**
+//! ([`Complete`]), where the scheduled agent samples a uniformly random
+//! *other* agent. Its future-work section asks how the protocol behaves on
+//! other topologies; this crate supplies those too: [`Cycle`], [`Path`],
+//! [`Torus2d`], [`Star`], [`CompleteBipartite`], and random graphs
+//! ([`erdos_renyi`], [`random_regular`], [`stochastic_block_model`]) backed
+//! by an [`AdjacencyList`].
+//!
+//! All topologies implement [`Topology`], whose single hot-path operation is
+//! [`Topology::sample_partner`]: draw a uniformly random neighbour of the
+//! scheduled agent. For the complete graph this is `O(1)` without storing
+//! any edges, which is what lets the engine simulate millions of agents.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_graph::{Complete, Topology};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let g = Complete::new(100);
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let v = g.sample_partner(3, &mut rng);
+//! assert_ne!(v, 3);
+//! assert!(v < 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adjacency;
+pub mod bipartite;
+pub mod complete;
+pub mod connectivity;
+pub mod hypercube;
+pub mod random;
+pub mod smallworld;
+pub mod ring;
+pub mod star;
+pub mod torus;
+
+pub use adjacency::AdjacencyList;
+pub use bipartite::CompleteBipartite;
+pub use complete::Complete;
+pub use connectivity::is_connected;
+pub use hypercube::Hypercube;
+pub use random::{erdos_renyi, random_regular, stochastic_block_model};
+pub use ring::{Cycle, Path};
+pub use smallworld::watts_strogatz;
+pub use star::Star;
+pub use torus::Torus2d;
+
+use rand::Rng;
+
+/// An undirected interaction topology on nodes `0..len()`.
+///
+/// A population protocol schedules an agent `u` and has it observe a
+/// uniformly random neighbour; [`sample_partner`](Topology::sample_partner)
+/// is that draw. Implementations must guarantee the returned node is a
+/// neighbour of `u` chosen uniformly among `u`'s neighbours.
+///
+/// The trait is object-safe so heterogeneous experiment sweeps can store
+/// `Box<dyn Topology>`.
+pub trait Topology: std::fmt::Debug + Send + Sync {
+    /// Number of nodes.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if the topology has no nodes.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Degree of node `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`.
+    fn degree(&self, u: usize) -> usize;
+
+    /// Draws a uniformly random neighbour of `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()` or `u` has no neighbours.
+    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize;
+
+    /// Returns `true` if `{u, v}` is an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()` or `v >= len()`.
+    fn contains_edge(&self, u: usize, v: usize) -> bool;
+
+    /// The neighbours of `u`, in unspecified order. `O(degree)` allocation;
+    /// intended for tests and graph algorithms, not the simulation hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`.
+    fn neighbors(&self, u: usize) -> Vec<usize>;
+
+    /// A short human-readable name for experiment tables (e.g. `complete`).
+    fn name(&self) -> String;
+}
+
+impl<T: Topology + ?Sized> Topology for Box<T> {
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        (**self).degree(u)
+    }
+
+    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
+        (**self).sample_partner(u, rng)
+    }
+
+    fn contains_edge(&self, u: usize, v: usize) -> bool {
+        (**self).contains_edge(u, v)
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        (**self).neighbors(u)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}
+
+/// Asserts `u` is a valid node index for a topology of size `n`.
+pub(crate) fn check_node(u: usize, n: usize) {
+    assert!(u < n, "node index {u} out of range for topology of {n} nodes");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        let g: Box<dyn Topology> = Box::new(Complete::new(4));
+        assert_eq!(g.len(), 4);
+        assert!(!g.is_empty());
+    }
+}

@@ -1,0 +1,227 @@
+//! Random-graph constructors: Erdős–Rényi, random-regular, stochastic block
+//! model.
+
+use crate::AdjacencyList;
+use rand::{Rng, RngExt};
+
+/// Samples an Erdős–Rényi graph `G(n, p)`: each of the `n(n−1)/2` possible
+/// edges is present independently with probability `p`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{erdos_renyi, Topology};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = erdos_renyi(50, 0.2, &mut rng);
+/// assert_eq!(g.len(), 50);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `p` is outside `[0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, rng: &mut dyn Rng) -> AdjacencyList {
+    assert!(n >= 2, "G(n, p) needs n >= 2, got {n}");
+    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            if rng.random_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    AdjacencyList::from_edges(n, &edges).with_name(format!("er(p={p})"))
+}
+
+/// Samples a random `d`-regular graph on `n` nodes via the configuration
+/// model with edge-swap repair: pair up the `n·d` half-edge stubs uniformly
+/// at random, then repeatedly resolve each self-loop or duplicate edge by a
+/// random 2-swap with another pair (which preserves all degrees). Rejection
+/// of whole pairings would need `exp(Θ(d²))` attempts; swap repair converges
+/// in a handful of rounds even for dense degrees.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{random_regular, Topology};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let g = random_regular(20, 4, &mut rng);
+/// assert!((0..20).all(|u| g.degree(u) == 4));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `n·d` is odd, `d == 0`, `d >= n`, or the repair loop fails to
+/// produce a simple graph within 10 000 rounds (practically impossible for
+/// `d < n/4`).
+pub fn random_regular(n: usize, d: usize, rng: &mut dyn Rng) -> AdjacencyList {
+    assert!(d >= 1, "degree must be positive");
+    assert!(d < n, "degree {d} must be below n = {n}");
+    assert!((n * d).is_multiple_of(2), "n*d must be even, got n={n}, d={d}");
+    // Stub list: node u appears d times; Fisher–Yates shuffle, pair up.
+    let mut stubs: Vec<usize> = (0..n).flat_map(|u| std::iter::repeat_n(u, d)).collect();
+    for i in (1..stubs.len()).rev() {
+        let j = rng.random_range(0..=i);
+        stubs.swap(i, j);
+    }
+    let mut pairs: Vec<(usize, usize)> = stubs
+        .chunks_exact(2)
+        .map(|pair| (pair[0], pair[1]))
+        .collect();
+
+    const MAX_REPAIR_ROUNDS: usize = 10_000;
+    for _ in 0..MAX_REPAIR_ROUNDS {
+        let mut seen = std::collections::HashSet::with_capacity(pairs.len());
+        let bad: Vec<usize> = pairs
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, &(u, v))| {
+                if u == v || !seen.insert((u.min(v), u.max(v))) {
+                    Some(idx)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        if bad.is_empty() {
+            return AdjacencyList::from_edges(n, &pairs).with_name(format!("regular(d={d})"));
+        }
+        for idx in bad {
+            let other = rng.random_range(0..pairs.len());
+            if other == idx {
+                continue;
+            }
+            // Degree-preserving 2-swap: (a,b),(c,e) → (a,e),(c,b).
+            let (a, b) = pairs[idx];
+            let (c, e) = pairs[other];
+            pairs[idx] = (a, e);
+            pairs[other] = (c, b);
+        }
+    }
+    panic!("random_regular: repair failed for n={n}, d={d} after {MAX_REPAIR_ROUNDS} rounds");
+}
+
+/// Samples a two-community stochastic block model: `sizes.len()` blocks,
+/// within-block edges with probability `p_in`, cross-block edges with
+/// probability `p_out`.
+///
+/// The paper's related work uses this model for community detection via
+/// population protocols; here it serves as a clustered topology stressor.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{stochastic_block_model, Topology};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let g = stochastic_block_model(&[25, 25], 0.5, 0.05, &mut rng);
+/// assert_eq!(g.len(), 50);
+/// ```
+///
+/// # Panics
+///
+/// Panics if any block is empty, fewer than one block is given, or either
+/// probability is outside `[0, 1]`.
+pub fn stochastic_block_model(
+    sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    rng: &mut dyn Rng,
+) -> AdjacencyList {
+    assert!(!sizes.is_empty(), "need at least one block");
+    assert!(sizes.iter().all(|&s| s > 0), "blocks must be non-empty");
+    for p in [p_in, p_out] {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+    }
+    let n: usize = sizes.iter().sum();
+    let mut block_of = Vec::with_capacity(n);
+    for (b, &s) in sizes.iter().enumerate() {
+        block_of.extend(std::iter::repeat_n(b, s));
+    }
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if block_of[u] == block_of[v] { p_in } else { p_out };
+            if rng.random_bool(p) {
+                edges.push((u, v));
+            }
+        }
+    }
+    AdjacencyList::from_edges(n, &edges).with_name(format!("sbm({} blocks)", sizes.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn er_density_near_p() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100;
+        let p = 0.3;
+        let g = erdos_renyi(n, p, &mut rng);
+        let possible = n * (n - 1) / 2;
+        let density = g.num_edges() as f64 / possible as f64;
+        assert!((density - p).abs() < 0.05, "density {density}");
+    }
+
+    #[test]
+    fn er_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(erdos_renyi(10, 0.0, &mut rng).num_edges(), 0);
+        assert_eq!(erdos_renyi(10, 1.0, &mut rng).num_edges(), 45);
+    }
+
+    #[test]
+    fn regular_is_regular() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for d in [2, 3, 4] {
+            let g = random_regular(30, d, &mut rng);
+            for u in 0..30 {
+                assert_eq!(g.degree(u), d, "d={d}, u={u}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "even")]
+    fn regular_rejects_odd_product() {
+        let mut rng = StdRng::seed_from_u64(4);
+        random_regular(5, 3, &mut rng);
+    }
+
+    #[test]
+    fn sbm_in_block_denser() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = stochastic_block_model(&[40, 40], 0.5, 0.02, &mut rng);
+        let mut within = 0usize;
+        let mut across = 0usize;
+        for u in 0..80 {
+            for v in g.neighbors(u) {
+                if v > u {
+                    if (u < 40) == (v < 40) {
+                        within += 1;
+                    } else {
+                        across += 1;
+                    }
+                }
+            }
+        }
+        assert!(within > 4 * across, "within={within} across={across}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let a = erdos_renyi(20, 0.4, &mut StdRng::seed_from_u64(9));
+        let b = erdos_renyi(20, 0.4, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,198 @@
+//! One-dimensional topologies: cycle and path.
+
+use crate::{check_node, Topology};
+use rand::{Rng, RngExt};
+
+/// The cycle `C_n`: node `u` neighbours `(u−1) mod n` and `(u+1) mod n`.
+///
+/// The sparsest vertex-transitive topology; used for the "other graph
+/// topologies" future-work experiments.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{Cycle, Topology};
+///
+/// let g = Cycle::new(6);
+/// assert_eq!(g.degree(0), 2);
+/// assert!(g.contains_edge(0, 5));
+/// assert!(!g.contains_edge(0, 3));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cycle {
+    n: usize,
+}
+
+impl Cycle {
+    /// Creates a cycle on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 3` (smaller cycles degenerate into multi-edges).
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "cycle needs at least 3 nodes, got {n}");
+        Cycle { n }
+    }
+}
+
+impl Topology for Cycle {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        check_node(u, self.n);
+        2
+    }
+
+    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
+        check_node(u, self.n);
+        if rng.random_bool(0.5) {
+            (u + 1) % self.n
+        } else {
+            (u + self.n - 1) % self.n
+        }
+    }
+
+    fn contains_edge(&self, u: usize, v: usize) -> bool {
+        check_node(u, self.n);
+        check_node(v, self.n);
+        let d = u.abs_diff(v);
+        d == 1 || d == self.n - 1
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        check_node(u, self.n);
+        vec![(u + self.n - 1) % self.n, (u + 1) % self.n]
+    }
+
+    fn name(&self) -> String {
+        "cycle".to_string()
+    }
+}
+
+/// The path `P_n`: nodes `0..n` in a line; the endpoints have degree 1.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{Path, Topology};
+///
+/// let g = Path::new(4);
+/// assert_eq!(g.degree(0), 1);
+/// assert_eq!(g.degree(1), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Path {
+    n: usize,
+}
+
+impl Path {
+    /// Creates a path on `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "path needs at least 2 nodes, got {n}");
+        Path { n }
+    }
+}
+
+impl Topology for Path {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        check_node(u, self.n);
+        if u == 0 || u == self.n - 1 {
+            1
+        } else {
+            2
+        }
+    }
+
+    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
+        check_node(u, self.n);
+        if u == 0 {
+            1
+        } else if u == self.n - 1 {
+            self.n - 2
+        } else if rng.random_bool(0.5) {
+            u + 1
+        } else {
+            u - 1
+        }
+    }
+
+    fn contains_edge(&self, u: usize, v: usize) -> bool {
+        check_node(u, self.n);
+        check_node(v, self.n);
+        u.abs_diff(v) == 1
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        check_node(u, self.n);
+        let mut out = Vec::with_capacity(2);
+        if u > 0 {
+            out.push(u - 1);
+        }
+        if u + 1 < self.n {
+            out.push(u + 1);
+        }
+        out
+    }
+
+    fn name(&self) -> String {
+        "path".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cycle_wraps_around() {
+        let g = Cycle::new(5);
+        assert_eq!(g.neighbors(0), vec![4, 1]);
+        assert_eq!(g.neighbors(4), vec![3, 0]);
+    }
+
+    #[test]
+    fn cycle_samples_only_neighbors() {
+        let g = Cycle::new(7);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let v = g.sample_partner(3, &mut rng);
+            assert!(v == 2 || v == 4);
+        }
+    }
+
+    #[test]
+    fn path_endpoints() {
+        let g = Path::new(4);
+        assert_eq!(g.neighbors(0), vec![1]);
+        assert_eq!(g.neighbors(3), vec![2]);
+        assert_eq!(g.neighbors(2), vec![1, 3]);
+        let mut rng = StdRng::seed_from_u64(9);
+        assert_eq!(g.sample_partner(0, &mut rng), 1);
+        assert_eq!(g.sample_partner(3, &mut rng), 2);
+    }
+
+    #[test]
+    fn path_edges() {
+        let g = Path::new(3);
+        assert!(g.contains_edge(0, 1));
+        assert!(!g.contains_edge(0, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn cycle_rejects_small() {
+        Cycle::new(2);
+    }
+}

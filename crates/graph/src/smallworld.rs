@@ -1,0 +1,140 @@
+//! Watts–Strogatz small-world graphs.
+
+use crate::AdjacencyList;
+use rand::{Rng, RngExt};
+
+/// Samples a Watts–Strogatz small-world graph: a ring lattice where every
+/// node connects to its `k` nearest neighbours on each side, with each
+/// "forward" edge rewired to a uniformly random non-duplicate endpoint with
+/// probability `p`.
+///
+/// `p = 0` is the pure lattice (cycle-like, slow mixing); `p = 1` is close
+/// to a random graph (fast mixing). Sweeping `p` interpolates the topology
+/// experiments between the cycle and the well-mixed regime.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{watts_strogatz, Topology};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let g = watts_strogatz(40, 2, 0.1, &mut rng);
+/// assert_eq!(g.len(), 40);
+/// // Total edge count is preserved by rewiring: n·k.
+/// assert_eq!(g.num_edges(), 80);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`, `2k + 1 > n` (the lattice would self-intersect), or
+/// `p ∉ [0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, rng: &mut dyn Rng) -> AdjacencyList {
+    assert!(k >= 1, "each side needs at least one neighbour");
+    assert!(2 * k < n, "lattice needs n >= 2k+1 (n={n}, k={k})");
+    assert!((0.0..=1.0).contains(&p), "rewire probability must be in [0, 1], got {p}");
+
+    // Edge set as normalised pairs for O(1) duplicate checks.
+    let mut edges: std::collections::HashSet<(usize, usize)> =
+        std::collections::HashSet::with_capacity(n * k);
+    let norm = |u: usize, v: usize| (u.min(v), u.max(v));
+    for u in 0..n {
+        for hop in 1..=k {
+            edges.insert(norm(u, (u + hop) % n));
+        }
+    }
+
+    // Rewire each original forward edge with probability p.
+    for u in 0..n {
+        for hop in 1..=k {
+            let v = (u + hop) % n;
+            if !rng.random_bool(p) {
+                continue;
+            }
+            let old = norm(u, v);
+            if !edges.contains(&old) {
+                continue; // already rewired away by an earlier step
+            }
+            // Choose a fresh endpoint avoiding self-loops and duplicates.
+            let mut attempts = 0;
+            loop {
+                let w = rng.random_range(0..n);
+                let cand = norm(u, w);
+                if w != u && !edges.contains(&cand) {
+                    edges.remove(&old);
+                    edges.insert(cand);
+                    break;
+                }
+                attempts += 1;
+                if attempts > 100 {
+                    break; // node saturated; keep the lattice edge
+                }
+            }
+        }
+    }
+
+    let edge_list: Vec<(usize, usize)> = edges.into_iter().collect();
+    AdjacencyList::from_edges(n, &edge_list).with_name(format!("smallworld(k={k},p={p})"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::connectivity::{diameter, is_connected};
+    use crate::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn p_zero_is_the_lattice() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = watts_strogatz(20, 2, 0.0, &mut rng);
+        for u in 0..20 {
+            assert_eq!(g.degree(u), 4, "node {u}");
+            assert!(g.contains_edge(u, (u + 1) % 20));
+            assert!(g.contains_edge(u, (u + 2) % 20));
+        }
+    }
+
+    #[test]
+    fn rewiring_preserves_edge_count() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for p in [0.0, 0.3, 1.0] {
+            let g = watts_strogatz(60, 3, p, &mut rng);
+            assert_eq!(g.num_edges(), 180, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn rewiring_shrinks_diameter() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let lattice = watts_strogatz(100, 2, 0.0, &mut rng);
+        let small = watts_strogatz(100, 2, 0.3, &mut rng);
+        let d_lattice = diameter(&lattice).expect("lattice connected");
+        if let Some(d_small) = diameter(&small) {
+            assert!(
+                d_small < d_lattice,
+                "small-world diameter {d_small} vs lattice {d_lattice}"
+            );
+        }
+    }
+
+    #[test]
+    fn usually_connected_at_moderate_p() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut connected = 0;
+        for _ in 0..10 {
+            if is_connected(&watts_strogatz(50, 3, 0.2, &mut rng)) {
+                connected += 1;
+            }
+        }
+        assert!(connected >= 8, "only {connected}/10 connected");
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2k+1")]
+    fn rejects_oversized_k() {
+        let mut rng = StdRng::seed_from_u64(5);
+        watts_strogatz(6, 3, 0.1, &mut rng);
+    }
+}

@@ -1,0 +1,123 @@
+//! The star graph.
+
+use crate::{check_node, Topology};
+use rand::{Rng, RngExt};
+
+/// The star `S_n`: node 0 is the hub, nodes `1..n` are leaves attached only
+/// to the hub.
+///
+/// An extreme-degree-skew topology used to stress the protocol where the
+/// uniform-neighbour assumption of the complete graph fails hardest.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{Star, Topology};
+///
+/// let g = Star::new(5);
+/// assert_eq!(g.degree(0), 4);
+/// assert_eq!(g.degree(3), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Star {
+    n: usize,
+}
+
+impl Star {
+    /// Creates a star on `n` nodes (1 hub + `n − 1` leaves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "star needs at least 2 nodes, got {n}");
+        Star { n }
+    }
+
+    /// Index of the hub node (always 0).
+    pub fn hub(&self) -> usize {
+        0
+    }
+}
+
+impl Topology for Star {
+    fn len(&self) -> usize {
+        self.n
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        check_node(u, self.n);
+        if u == 0 {
+            self.n - 1
+        } else {
+            1
+        }
+    }
+
+    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
+        check_node(u, self.n);
+        if u == 0 {
+            rng.random_range(1..self.n)
+        } else {
+            0
+        }
+    }
+
+    fn contains_edge(&self, u: usize, v: usize) -> bool {
+        check_node(u, self.n);
+        check_node(v, self.n);
+        (u == 0) != (v == 0)
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        check_node(u, self.n);
+        if u == 0 {
+            (1..self.n).collect()
+        } else {
+            vec![0]
+        }
+    }
+
+    fn name(&self) -> String {
+        "star".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn leaves_always_sample_hub() {
+        let g = Star::new(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        for leaf in 1..6 {
+            assert_eq!(g.sample_partner(leaf, &mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn hub_samples_leaves() {
+        let g = Star::new(6);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            let v = g.sample_partner(0, &mut rng);
+            assert!((1..6).contains(&v));
+        }
+    }
+
+    #[test]
+    fn edges_only_touch_hub() {
+        let g = Star::new(4);
+        assert!(g.contains_edge(0, 2));
+        assert!(!g.contains_edge(1, 2));
+        assert!(!g.contains_edge(0, 0));
+    }
+
+    #[test]
+    fn hub_is_zero() {
+        assert_eq!(Star::new(3).hub(), 0);
+    }
+}

@@ -1,0 +1,152 @@
+//! The two-dimensional torus grid.
+
+use crate::{check_node, Topology};
+use rand::{Rng, RngExt};
+
+/// A `rows × cols` grid with wrap-around edges (a 4-regular torus).
+///
+/// Node `u` sits at `(u / cols, u % cols)` and neighbours its four axis
+/// neighbours modulo the grid dimensions.
+///
+/// # Examples
+///
+/// ```
+/// use pp_graph::{Torus2d, Topology};
+///
+/// let g = Torus2d::new(4, 5);
+/// assert_eq!(g.len(), 20);
+/// assert_eq!(g.degree(7), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Torus2d {
+    rows: usize,
+    cols: usize,
+}
+
+impl Torus2d {
+    /// Creates a torus with `rows` rows and `cols` columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 3 (smaller wrap-arounds collapse
+    /// into multi-edges).
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(
+            rows >= 3 && cols >= 3,
+            "torus needs both dimensions >= 3, got {rows}x{cols}"
+        );
+        Torus2d { rows, cols }
+    }
+
+    /// Grid coordinates of node `u`.
+    pub fn coords(&self, u: usize) -> (usize, usize) {
+        check_node(u, self.len());
+        (u / self.cols, u % self.cols)
+    }
+
+    /// Node index at grid coordinates `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= rows` or `c >= cols`.
+    pub fn node(&self, r: usize, c: usize) -> usize {
+        assert!(r < self.rows && c < self.cols, "coords ({r},{c}) out of range");
+        r * self.cols + c
+    }
+
+    fn neighbor_in_direction(&self, u: usize, dir: usize) -> usize {
+        let (r, c) = (u / self.cols, u % self.cols);
+        match dir {
+            0 => self.node((r + 1) % self.rows, c),
+            1 => self.node((r + self.rows - 1) % self.rows, c),
+            2 => self.node(r, (c + 1) % self.cols),
+            _ => self.node(r, (c + self.cols - 1) % self.cols),
+        }
+    }
+}
+
+impl Topology for Torus2d {
+    fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn degree(&self, u: usize) -> usize {
+        check_node(u, self.len());
+        4
+    }
+
+    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
+        check_node(u, self.len());
+        let dir = rng.random_range(0..4);
+        self.neighbor_in_direction(u, dir)
+    }
+
+    fn contains_edge(&self, u: usize, v: usize) -> bool {
+        check_node(u, self.len());
+        check_node(v, self.len());
+        (0..4).any(|d| self.neighbor_in_direction(u, d) == v)
+    }
+
+    fn neighbors(&self, u: usize) -> Vec<usize> {
+        check_node(u, self.len());
+        (0..4).map(|d| self.neighbor_in_direction(u, d)).collect()
+    }
+
+    fn name(&self) -> String {
+        format!("torus{}x{}", self.rows, self.cols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn coords_roundtrip() {
+        let g = Torus2d::new(3, 4);
+        for u in 0..g.len() {
+            let (r, c) = g.coords(u);
+            assert_eq!(g.node(r, c), u);
+        }
+    }
+
+    #[test]
+    fn four_distinct_neighbors() {
+        let g = Torus2d::new(4, 4);
+        for u in 0..g.len() {
+            let mut ns = g.neighbors(u);
+            ns.sort_unstable();
+            ns.dedup();
+            assert_eq!(ns.len(), 4, "node {u}");
+            assert!(!ns.contains(&u));
+        }
+    }
+
+    #[test]
+    fn wraparound_edges_exist() {
+        let g = Torus2d::new(3, 3);
+        // (0,0) and (0,2) are horizontal wrap neighbours.
+        assert!(g.contains_edge(g.node(0, 0), g.node(0, 2)));
+        // (0,0) and (2,0) are vertical wrap neighbours.
+        assert!(g.contains_edge(g.node(0, 0), g.node(2, 0)));
+        assert!(!g.contains_edge(g.node(0, 0), g.node(1, 1)));
+    }
+
+    #[test]
+    fn sampling_stays_adjacent() {
+        let g = Torus2d::new(5, 3);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let v = g.sample_partner(7, &mut rng);
+            assert!(g.contains_edge(7, v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 3")]
+    fn rejects_thin_torus() {
+        Torus2d::new(2, 5);
+    }
+}

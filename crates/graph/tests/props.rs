@@ -1,0 +1,110 @@
+//! Property-based tests: every topology obeys the `Topology` contract.
+
+use pp_graph::{
+    erdos_renyi, random_regular, AdjacencyList, Complete, CompleteBipartite, Cycle, Path, Star,
+    Topology, Torus2d,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Checks the core contract on every node of `g`:
+/// sampled partners are valid neighbours, degrees match neighbour lists,
+/// edges are symmetric, and no node neighbours itself.
+fn check_contract<T: Topology>(g: &T, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for u in 0..g.len() {
+        let ns = g.neighbors(u);
+        assert_eq!(ns.len(), g.degree(u), "degree mismatch at {u}");
+        assert!(!ns.contains(&u), "self-neighbour at {u}");
+        for &v in &ns {
+            assert!(g.contains_edge(u, v), "listed neighbour not an edge: {u}-{v}");
+            assert!(g.contains_edge(v, u), "edge not symmetric: {u}-{v}");
+        }
+        if g.degree(u) > 0 {
+            for _ in 0..8 {
+                let v = g.sample_partner(u, &mut rng);
+                assert!(ns.contains(&v), "sampled non-neighbour {v} of {u}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn complete_contract(n in 2usize..60, seed in 0u64..100) {
+        check_contract(&Complete::new(n), seed);
+    }
+
+    #[test]
+    fn cycle_contract(n in 3usize..60, seed in 0u64..100) {
+        check_contract(&Cycle::new(n), seed);
+    }
+
+    #[test]
+    fn path_contract(n in 2usize..60, seed in 0u64..100) {
+        check_contract(&Path::new(n), seed);
+    }
+
+    #[test]
+    fn star_contract(n in 2usize..60, seed in 0u64..100) {
+        check_contract(&Star::new(n), seed);
+    }
+
+    #[test]
+    fn torus_contract(r in 3usize..8, c in 3usize..8, seed in 0u64..100) {
+        check_contract(&Torus2d::new(r, c), seed);
+    }
+
+    #[test]
+    fn bipartite_contract(l in 1usize..20, r in 1usize..20, seed in 0u64..100) {
+        check_contract(&CompleteBipartite::new(l, r), seed);
+    }
+
+    #[test]
+    fn er_contract(n in 2usize..40, p in 0.0f64..1.0, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, p, &mut rng);
+        check_contract(&g, seed.wrapping_add(1));
+    }
+
+    #[test]
+    fn regular_contract(half_n in 4usize..15, d in 2usize..4, seed in 0u64..50) {
+        // Even n ensures n*d is even for any d.
+        let n = 2 * half_n;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_regular(n, d, &mut rng);
+        check_contract(&g, seed.wrapping_add(1));
+        for u in 0..n {
+            prop_assert_eq!(g.degree(u), d);
+        }
+    }
+
+    #[test]
+    fn adjacency_edge_count(n in 2usize..30, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, 0.5, &mut rng);
+        let degree_sum: usize = (0..n).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn complete_partner_uniformity(n in 3usize..12, seed in 0u64..20) {
+        // Chi-squared-ish sanity: every neighbour hit at least once over many draws.
+        let g = Complete::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut hit = vec![false; n];
+        for _ in 0..(n * 60) {
+            hit[g.sample_partner(0, &mut rng)] = true;
+        }
+        prop_assert!(!hit[0]);
+        prop_assert!(hit[1..].iter().all(|&h| h));
+    }
+}
+
+#[test]
+fn adjacency_from_edges_matches_manual() {
+    let g = AdjacencyList::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+    check_contract(&g, 99);
+    assert_eq!(g.num_edges(), 4);
+}

@@ -1,0 +1,102 @@
+//! Chernoff–Hoeffding bounds for Markov chains (the paper's Theorem A.2,
+//! after Chung, Lam, Liu, Mitzenmacher 2012).
+
+/// Evaluates the tail bound of Theorem A.2: for an ergodic chain with
+/// stationary distribution `π`, (1/8)-mixing time `t_mix`, and hit count
+/// `N_i` of state `i` over `t` steps,
+///
+/// ```text
+/// P(|N_i − π_i·t| ≥ δ·π_i·t) ≤ c · exp(−δ²·π_i·t / (72·t_mix))
+/// ```
+///
+/// This function returns the exponential factor with `c = 1`; the paper's
+/// constant `c` is absolute and does not affect the shape experiments check.
+///
+/// # Examples
+///
+/// ```
+/// use pp_markov::chernoff_mc_bound;
+///
+/// let loose = chernoff_mc_bound(0.1, 0.5, 1_000, 5);
+/// let tight = chernoff_mc_bound(0.1, 0.5, 100_000, 5);
+/// assert!(tight < loose); // more steps ⇒ sharper concentration
+/// ```
+///
+/// # Panics
+///
+/// Panics if `delta <= 0`, `pi_i ∉ (0, 1]`, or `t_mix == 0`.
+pub fn chernoff_mc_bound(delta: f64, pi_i: f64, t: u64, t_mix: u64) -> f64 {
+    assert!(delta > 0.0, "delta must be positive, got {delta}");
+    assert!(pi_i > 0.0 && pi_i <= 1.0, "pi_i must be in (0, 1], got {pi_i}");
+    assert!(t_mix > 0, "mixing time must be positive");
+    (-delta * delta * pi_i * t as f64 / (72.0 * t_mix as f64)).exp()
+}
+
+/// The deviation width `δ·π_i·t` such that the Theorem A.2 bound equals the
+/// failure probability `n^{-r}`: solves for the absolute deviation
+/// `|N_i − π_i t|` that holds w.p. `1 − n^{-r}`,
+/// i.e. `c·sqrt(π_i · t · log n · t_mix)` up to the absolute constant.
+///
+/// This is the `O(sqrt(π⁺(D_ℓ) · t · log n))` width used at the end of §2.4.
+///
+/// # Panics
+///
+/// Panics if arguments are non-positive where positivity is required.
+pub fn chernoff_mc_width(pi_i: f64, t: u64, t_mix: u64, n: u64, r: f64) -> f64 {
+    assert!(pi_i > 0.0 && pi_i <= 1.0, "pi_i must be in (0, 1]");
+    assert!(t_mix > 0, "mixing time must be positive");
+    assert!(n >= 2, "population must have at least 2 agents");
+    assert!(r > 0.0, "exponent r must be positive");
+    // exp(−δ² π t / (72 t_mix)) = n^{−r}  ⇒  δ π t = sqrt(72 r π t t_mix ln n).
+    (72.0 * r * pi_i * t as f64 * t_mix as f64 * (n as f64).ln()).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bound_decreases_in_t() {
+        let b1 = chernoff_mc_bound(0.2, 0.3, 1_000, 10);
+        let b2 = chernoff_mc_bound(0.2, 0.3, 10_000, 10);
+        assert!(b2 < b1);
+    }
+
+    #[test]
+    fn bound_decreases_in_delta() {
+        let small = chernoff_mc_bound(0.01, 0.3, 10_000, 10);
+        let large = chernoff_mc_bound(0.5, 0.3, 10_000, 10);
+        assert!(large < small);
+    }
+
+    #[test]
+    fn bound_increases_in_tmix() {
+        let fast = chernoff_mc_bound(0.1, 0.3, 10_000, 2);
+        let slow = chernoff_mc_bound(0.1, 0.3, 10_000, 50);
+        assert!(slow > fast);
+    }
+
+    #[test]
+    fn bound_in_unit_interval() {
+        let b = chernoff_mc_bound(0.1, 0.5, 100, 5);
+        assert!(b > 0.0 && b <= 1.0);
+    }
+
+    #[test]
+    fn width_scales_like_sqrt_t() {
+        let w1 = chernoff_mc_width(0.5, 10_000, 5, 1024, 2.0);
+        let w4 = chernoff_mc_width(0.5, 40_000, 5, 1024, 2.0);
+        assert!((w4 / w1 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn width_and_bound_are_consistent() {
+        // Plugging the width back into the bound yields exactly n^{-r}.
+        let (pi, t, tmix, n, r) = (0.4, 50_000u64, 7u64, 4096u64, 3.0);
+        let width = chernoff_mc_width(pi, t, tmix, n, r);
+        let delta = width / (pi * t as f64);
+        let bound = chernoff_mc_bound(delta, pi, t, tmix);
+        let target = (n as f64).powf(-r);
+        assert!((bound / target - 1.0).abs() < 1e-9, "{bound} vs {target}");
+    }
+}

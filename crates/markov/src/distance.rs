@@ -1,0 +1,79 @@
+//! Distances between probability distributions.
+
+/// Total-variation distance `½ Σ_i |p_i − q_i|` between two distributions on
+/// the same finite state space.
+///
+/// # Examples
+///
+/// ```
+/// use pp_markov::total_variation;
+///
+/// assert_eq!(total_variation(&[1.0, 0.0], &[0.0, 1.0]), 1.0);
+/// assert_eq!(total_variation(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or contain non-finite values.
+pub fn total_variation(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    assert!(
+        p.iter().chain(q.iter()).all(|x| x.is_finite()),
+        "non-finite probability"
+    );
+    0.5 * p.iter().zip(q).map(|(a, b)| (a - b).abs()).sum::<f64>()
+}
+
+/// Maximum absolute coordinate difference `max_i |p_i − q_i|` (ℓ∞ distance).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn linf_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    p.iter()
+        .zip(q)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_is_symmetric() {
+        let p = [0.2, 0.3, 0.5];
+        let q = [0.5, 0.25, 0.25];
+        assert!((total_variation(&p, &q) - total_variation(&q, &p)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn tv_bounds() {
+        let p = [0.1, 0.9];
+        let q = [0.9, 0.1];
+        let d = total_variation(&p, &q);
+        assert!((0.0..=1.0).contains(&d));
+        assert!((d - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tv_triangle_inequality() {
+        let p = [0.2, 0.8];
+        let q = [0.5, 0.5];
+        let r = [0.9, 0.1];
+        assert!(total_variation(&p, &r) <= total_variation(&p, &q) + total_variation(&q, &r) + 1e-15);
+    }
+
+    #[test]
+    fn linf_examples() {
+        assert_eq!(linf_distance(&[0.0, 1.0], &[0.25, 0.75]), 0.25);
+        assert_eq!(linf_distance(&[0.5], &[0.5]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn rejects_mismatch() {
+        total_variation(&[1.0], &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,174 @@
+//! Biased-random-walk absorption formulas (the paper's Theorem A.1,
+//! after Feller XIV.2–3).
+//!
+//! Phase 1 of the paper's analysis couples protocol statistics (`a(t)`, the
+//! number of light agents; under-represented colour counts) with biased
+//! random walks on `[0, b]` and reads off hitting probabilities and times
+//! from these classical formulas. The experiment harness uses them to
+//! cross-check the coupling numerically.
+
+use rand::{Rng, RngExt};
+
+/// A gambler's-ruin walk on `{0, 1, …, b}` with up-probability `p`,
+/// absorbing barriers at `0` and `b`, started at `s`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_markov::GamblersRuin;
+///
+/// let walk = GamblersRuin::new(0.6, 10, 5);
+/// // Upward bias ⇒ much likelier to end at b than at 0.
+/// assert!(walk.prob_hit_top() > 0.85);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GamblersRuin {
+    p: f64,
+    b: u64,
+    s: u64,
+}
+
+impl GamblersRuin {
+    /// Creates a walk with up-probability `p`, barrier `b`, start `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1)`, `p == ½` (the unbiased case has different
+    /// formulas and is not needed by the paper), `b == 0`, or `s > b`.
+    pub fn new(p: f64, b: u64, s: u64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "p must be in (0, 1), got {p}");
+        assert!(p != 0.5, "formulas require a biased walk (p != 1/2)");
+        assert!(b > 0, "barrier must be positive");
+        assert!(s <= b, "start {s} beyond barrier {b}");
+        GamblersRuin { p, b, s }
+    }
+
+    /// `ρ = (1 − p)/p`, the classical odds ratio.
+    fn rho(&self) -> f64 {
+        (1.0 - self.p) / self.p
+    }
+
+    /// Probability the walk is absorbed at `b` (Theorem A.1):
+    /// `(ρ^s − 1) / (ρ^b − 1)`.
+    pub fn prob_hit_top(&self) -> f64 {
+        if self.s == self.b {
+            return 1.0;
+        }
+        if self.s == 0 {
+            return 0.0;
+        }
+        let rho = self.rho();
+        (rho.powf(self.s as f64) - 1.0) / (rho.powf(self.b as f64) - 1.0)
+    }
+
+    /// Probability the walk is absorbed at `0`: `(ρ^b − ρ^s) / (ρ^b − 1)`.
+    pub fn prob_hit_bottom(&self) -> f64 {
+        1.0 - self.prob_hit_top()
+    }
+
+    /// Expected number of steps until absorption (Theorem A.1):
+    /// `s/(1−2p) − (b/(1−2p)) · (1 − ρ^s)/(1 − ρ^b)`.
+    pub fn expected_absorption_time(&self) -> f64 {
+        let rho = self.rho();
+        let denom = 1.0 - 2.0 * self.p;
+        self.s as f64 / denom
+            - (self.b as f64 / denom) * (1.0 - rho.powf(self.s as f64))
+                / (1.0 - rho.powf(self.b as f64))
+    }
+
+    /// Simulates the walk once; returns `(absorbed_at_top, steps)`.
+    ///
+    /// Used by tests to validate the closed forms.
+    pub fn simulate(&self, rng: &mut dyn Rng) -> (bool, u64) {
+        let mut x = self.s;
+        let mut steps = 0u64;
+        while x != 0 && x != self.b {
+            if rng.random_bool(self.p) {
+                x += 1;
+            } else {
+                x -= 1;
+            }
+            steps += 1;
+        }
+        (x == self.b, steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn absorption_probs_sum_to_one() {
+        let w = GamblersRuin::new(0.3, 20, 7);
+        assert!((w.prob_hit_top() + w.prob_hit_bottom() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn boundary_starts() {
+        assert_eq!(GamblersRuin::new(0.6, 10, 10).prob_hit_top(), 1.0);
+        assert_eq!(GamblersRuin::new(0.6, 10, 0).prob_hit_top(), 0.0);
+    }
+
+    #[test]
+    fn upward_bias_raises_top_probability() {
+        let down = GamblersRuin::new(0.4, 10, 5).prob_hit_top();
+        let up = GamblersRuin::new(0.6, 10, 5).prob_hit_top();
+        assert!(up > 0.5 && down < 0.5);
+        // Symmetry: P_top(p, s) = P_bottom(1-p, b-s).
+        let mirror = GamblersRuin::new(0.6, 10, 5).prob_hit_bottom();
+        assert!((down - mirror).abs() < 1e-12);
+    }
+
+    #[test]
+    fn formulas_match_simulation() {
+        let w = GamblersRuin::new(0.55, 12, 4);
+        let mut rng = StdRng::seed_from_u64(42);
+        let trials = 20_000;
+        let mut tops = 0u32;
+        let mut total_steps = 0u64;
+        for _ in 0..trials {
+            let (top, steps) = w.simulate(&mut rng);
+            tops += u32::from(top);
+            total_steps += steps;
+        }
+        let emp_top = tops as f64 / trials as f64;
+        let emp_time = total_steps as f64 / trials as f64;
+        assert!(
+            (emp_top - w.prob_hit_top()).abs() < 0.02,
+            "empirical {emp_top} vs exact {}",
+            w.prob_hit_top()
+        );
+        assert!(
+            (emp_time - w.expected_absorption_time()).abs() / w.expected_absorption_time() < 0.05,
+            "empirical {emp_time} vs exact {}",
+            w.expected_absorption_time()
+        );
+    }
+
+    #[test]
+    fn strong_bias_makes_escape_exponentially_unlikely() {
+        // Lemma 2.1-style use: with upward bias, hitting 0 from the middle
+        // is exponentially unlikely in the barrier width.
+        let near = GamblersRuin::new(0.6, 10, 5).prob_hit_bottom();
+        let far = GamblersRuin::new(0.6, 40, 20).prob_hit_bottom();
+        assert!(far < near * near, "far {far}, near {near}");
+    }
+
+    #[test]
+    fn expected_time_positive_and_bounded() {
+        let w = GamblersRuin::new(0.7, 30, 10);
+        let t = w.expected_absorption_time();
+        assert!(t > 0.0);
+        // With strong upward drift, time ≈ distance/drift = 20 / 0.4 = 50.
+        assert!((t - 50.0).abs() < 5.0, "t = {t}");
+    }
+
+    #[test]
+    #[should_panic(expected = "biased")]
+    fn rejects_unbiased() {
+        GamblersRuin::new(0.5, 10, 5);
+    }
+}

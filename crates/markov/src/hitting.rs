@@ -1,0 +1,212 @@
+//! Expected hitting times via the fundamental-matrix linear system.
+//!
+//! The paper's Phase-1 argument reads expected absorption times off the
+//! closed forms of Theorem A.1 (birth–death chains). This module provides
+//! the general tool: for any finite chain and target set `T`, the expected
+//! hitting times `h(i) = E[inf{t : X_t ∈ T} | X_0 = i]` solve
+//!
+//! ```text
+//! h(i) = 0                       for i ∈ T,
+//! h(i) = 1 + Σ_j P(i,j)·h(j)    otherwise,
+//! ```
+//!
+//! a linear system solved here by Gaussian elimination. The tests
+//! cross-check against the gambler's-ruin closed form and simulation.
+
+use crate::TransitionMatrix;
+
+/// Expected number of steps to first reach any state in `targets`, from
+/// every start state (`0.0` on the targets themselves).
+///
+/// Returns `None` if some state cannot reach the target set (the system is
+/// singular — the hitting time is infinite).
+///
+/// # Examples
+///
+/// ```
+/// use pp_markov::{hitting_times, TransitionMatrix};
+///
+/// // Lazy walk on {0, 1, 2} drifting right.
+/// let p = TransitionMatrix::from_rows(vec![
+///     vec![0.5, 0.5, 0.0],
+///     vec![0.0, 0.5, 0.5],
+///     vec![0.0, 0.0, 1.0],
+/// ]);
+/// let h = hitting_times(&p, &[2]).unwrap();
+/// assert_eq!(h[2], 0.0);
+/// assert!((h[1] - 2.0).abs() < 1e-9); // geometric(1/2) mean
+/// assert!((h[0] - 4.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `targets` is empty or names an out-of-range state.
+pub fn hitting_times(p: &TransitionMatrix, targets: &[usize]) -> Option<Vec<f64>> {
+    assert!(!targets.is_empty(), "need at least one target state");
+    let n = p.num_states();
+    let mut is_target = vec![false; n];
+    for &t in targets {
+        assert!(t < n, "target state {t} out of range");
+        is_target[t] = true;
+    }
+    // Transient states, in order.
+    let transient: Vec<usize> = (0..n).filter(|&i| !is_target[i]).collect();
+    let m = transient.len();
+    if m == 0 {
+        return Some(vec![0.0; n]);
+    }
+    let index_of: std::collections::HashMap<usize, usize> = transient
+        .iter()
+        .enumerate()
+        .map(|(pos, &state)| (state, pos))
+        .collect();
+
+    // Solve (I − Q) h = 1 where Q is the transient-to-transient block.
+    let mut a = vec![0.0; m * m];
+    let mut b = vec![1.0; m];
+    for (row, &i) in transient.iter().enumerate() {
+        for (col, &j) in transient.iter().enumerate() {
+            a[row * m + col] = (if row == col { 1.0 } else { 0.0 }) - p.prob(i, j);
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    for col in 0..m {
+        let pivot_row = (col..m).max_by(|&r1, &r2| {
+            a[r1 * m + col]
+                .abs()
+                .partial_cmp(&a[r2 * m + col].abs())
+                .expect("finite")
+        })?;
+        if a[pivot_row * m + col].abs() < 1e-12 {
+            return None; // target unreachable from some state
+        }
+        if pivot_row != col {
+            for j in 0..m {
+                a.swap(col * m + j, pivot_row * m + j);
+            }
+            b.swap(col, pivot_row);
+        }
+        for row in (col + 1)..m {
+            let factor = a[row * m + col] / a[col * m + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..m {
+                a[row * m + j] -= factor * a[col * m + j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    let mut x = vec![0.0; m];
+    for row in (0..m).rev() {
+        let mut acc = b[row];
+        for j in (row + 1)..m {
+            acc -= a[row * m + j] * x[j];
+        }
+        x[row] = acc / a[row * m + row];
+    }
+    if x.iter().any(|v| !v.is_finite() || *v < -1e-9) {
+        return None;
+    }
+
+    let mut h = vec![0.0; n];
+    for (state, &pos) in &index_of {
+        h[*state] = x[pos];
+    }
+    Some(h)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GamblersRuin;
+    use crate::Walk;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds the gambler's-ruin chain on {0..=b} with up-probability p.
+    fn ruin_chain(p: f64, b: usize) -> TransitionMatrix {
+        let n = b + 1;
+        let mut rows = vec![vec![0.0; n]; n];
+        rows[0][0] = 1.0;
+        rows[b][b] = 1.0;
+        for i in 1..b {
+            rows[i][i + 1] = p;
+            rows[i][i - 1] = 1.0 - p;
+        }
+        TransitionMatrix::from_rows(rows)
+    }
+
+    #[test]
+    fn matches_gamblers_ruin_closed_form() {
+        let (p, b, s) = (0.6, 12usize, 5usize);
+        let chain = ruin_chain(p, b);
+        let h = hitting_times(&chain, &[0, b]).unwrap();
+        let exact = GamblersRuin::new(p, b as u64, s as u64).expected_absorption_time();
+        assert!(
+            (h[s] - exact).abs() < 1e-9,
+            "fundamental matrix {} vs Feller closed form {exact}",
+            h[s]
+        );
+    }
+
+    #[test]
+    fn matches_simulation() {
+        let p = TransitionMatrix::from_rows(vec![
+            vec![0.2, 0.5, 0.3],
+            vec![0.4, 0.1, 0.5],
+            vec![0.3, 0.3, 0.4],
+        ]);
+        let h = hitting_times(&p, &[2]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let trials = 50_000;
+        let mut total = 0u64;
+        for _ in 0..trials {
+            // Simulate until hitting state 2 from state 0.
+            let w = Walk::simulate(&p, 0, 1_000, &mut rng);
+            let hit = w.states().iter().position(|&s| s == 2).expect("hit within 1000");
+            total += hit as u64;
+        }
+        let emp = total as f64 / trials as f64;
+        assert!((emp - h[0]).abs() < 0.05, "empirical {emp} vs exact {}", h[0]);
+    }
+
+    #[test]
+    fn unreachable_target_is_none() {
+        let p = TransitionMatrix::from_rows(vec![
+            vec![1.0, 0.0], // absorbing at 0
+            vec![0.5, 0.5],
+        ]);
+        assert!(hitting_times(&p, &[1]).is_none());
+    }
+
+    #[test]
+    fn target_states_have_zero_time() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.5, 0.5]]);
+        let h = hitting_times(&p, &[0]).unwrap();
+        assert_eq!(h[0], 0.0);
+        assert!((h[1] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn all_states_target_is_all_zero() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.5, 0.5]]);
+        assert_eq!(hitting_times(&p, &[0, 1]).unwrap(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn ideal_chain_hitting_time_scales_with_n() {
+        // Reaching the light shade of a heavy colour takes longer for
+        // larger populations (each transition has probability Θ(1/n)).
+        use crate::IdealChain;
+        let h_small = {
+            let c = IdealChain::new(&[1.0, 2.0], 50);
+            hitting_times(c.matrix(), &[c.light(1)]).unwrap()[c.dark(1)]
+        };
+        let h_large = {
+            let c = IdealChain::new(&[1.0, 2.0], 500);
+            hitting_times(c.matrix(), &[c.light(1)]).unwrap()[c.dark(1)]
+        };
+        assert!(h_large > 5.0 * h_small, "{h_small} -> {h_large}");
+    }
+}

@@ -1,0 +1,257 @@
+//! The ideal single-agent chain `P` of §2.4 and its `±err` perturbations.
+
+use crate::TransitionMatrix;
+
+/// The `2k`-state Markov chain `M` of §2.4 describing one agent's trajectory
+/// when the population is in perfect equilibrium.
+///
+/// States are the dark colours `D_1..D_k` (indices `0..k`) and the light
+/// colours `L_1..L_k` (indices `k..2k`). For a population of `n` agents with
+/// weights `w_1..w_k`, `w = Σ w_i`, the transition probabilities are
+///
+/// ```text
+/// P(L_j, D_i) = w_i / ((1 + w)·n)            for all i, j
+/// P(L_i, L_i) = 1 − w / ((1 + w)·n)
+/// P(D_i, L_i) = 1 / ((1 + w)·n)
+/// P(D_i, D_i) = 1 − 1 / ((1 + w)·n)
+/// ```
+///
+/// with stationary distribution `π(D_i) = w_i/(1+w)` and
+/// `π(L_i) = (w_i/w)/(1+w)` (the paper's Eqs. (18)–(19)).
+///
+/// # Examples
+///
+/// ```
+/// use pp_markov::{stationary_solve, IdealChain};
+///
+/// let chain = IdealChain::new(&[1.0, 1.0, 2.0], 500);
+/// let exact = chain.exact_stationary();
+/// let solved = stationary_solve(chain.matrix());
+/// for (a, b) in exact.iter().zip(&solved) {
+///     assert!((a - b).abs() < 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct IdealChain {
+    weights: Vec<f64>,
+    total_weight: f64,
+    n: usize,
+    matrix: TransitionMatrix,
+}
+
+impl IdealChain {
+    /// Builds the ideal chain for the given colour weights and population
+    /// size `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no weights are given, any weight is below 1 (the paper
+    /// requires `w_i ≥ 1`), or `n < 2`.
+    pub fn new(weights: &[f64], n: usize) -> Self {
+        assert!(!weights.is_empty(), "need at least one colour");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w >= 1.0),
+            "all weights must be finite and >= 1"
+        );
+        assert!(n >= 2, "population needs at least 2 agents");
+        let k = weights.len();
+        let w: f64 = weights.iter().sum();
+        let denom = (1.0 + w) * n as f64;
+        let mut rows = vec![vec![0.0; 2 * k]; 2 * k];
+        for i in 0..k {
+            // Dark state D_i.
+            rows[i][k + i] = 1.0 / denom;
+            rows[i][i] = 1.0 - 1.0 / denom;
+        }
+        for j in 0..k {
+            // Light state L_j.
+            for i in 0..k {
+                rows[k + j][i] = weights[i] / denom;
+            }
+            rows[k + j][k + j] = 1.0 - w / denom;
+        }
+        IdealChain {
+            weights: weights.to_vec(),
+            total_weight: w,
+            n,
+            matrix: TransitionMatrix::from_rows(rows),
+        }
+    }
+
+    /// Number of colours `k`.
+    pub fn num_colours(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// State index of the dark shade of colour `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    pub fn dark(&self, i: usize) -> usize {
+        assert!(i < self.weights.len(), "colour {i} out of range");
+        i
+    }
+
+    /// State index of the light shade of colour `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= k`.
+    pub fn light(&self, i: usize) -> usize {
+        assert!(i < self.weights.len(), "colour {i} out of range");
+        self.weights.len() + i
+    }
+
+    /// The underlying transition matrix.
+    pub fn matrix(&self) -> &TransitionMatrix {
+        &self.matrix
+    }
+
+    /// The closed-form stationary distribution
+    /// `π(D_i) = w_i/(1+w)`, `π(L_i) = (w_i/w)/(1+w)`.
+    pub fn exact_stationary(&self) -> Vec<f64> {
+        let k = self.weights.len();
+        let w = self.total_weight;
+        let mut pi = vec![0.0; 2 * k];
+        for (i, &wi) in self.weights.iter().enumerate() {
+            pi[i] = wi / (1.0 + w);
+            pi[k + i] = (wi / w) / (1.0 + w);
+        }
+        pi
+    }
+
+    /// Stationary probability of holding colour `i` in **either** shade:
+    /// `π(D_i) + π(L_i) = (w_i/w)·(1 + w)/(1 + w) = w_i/w`.
+    ///
+    /// This is the fairness target of Definition 1.1(2).
+    pub fn colour_occupancy(&self, i: usize) -> f64 {
+        let pi = self.exact_stationary();
+        pi[self.dark(i)] + pi[self.light(i)]
+    }
+
+    /// The perturbed chain `P⁺_{D_ℓ}` of §2.4 that stochastically speeds up
+    /// visits to `D_target` by `err` per transition (and `k·err` on the
+    /// `L_i → D_target` transitions), used to majorise the real trajectory.
+    ///
+    /// Pass a negative `err` to obtain `P⁻_{D_ℓ}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target >= k` or `|err|` is large enough to push any entry
+    /// outside `[0, 1]`.
+    pub fn perturbed_toward_dark(&self, target: usize, err: f64) -> TransitionMatrix {
+        let k = self.weights.len();
+        assert!(target < k, "target colour {target} out of range");
+        let p = &self.matrix;
+        let mut rows: Vec<Vec<f64>> = (0..2 * k).map(|i| p.row(i).to_vec()).collect();
+        // Dark rows.
+        for i in 0..k {
+            if i == target {
+                rows[i][k + i] -= err; // P(D_ℓ, L_ℓ) − err: leave the target more slowly.
+                rows[i][i] += err;
+            } else {
+                rows[i][k + i] += err; // P(D_i, L_i) + err: leave other darks faster.
+                rows[i][i] -= err;
+            }
+        }
+        // Light rows: tilt the colour choice toward the target.
+        for j in 0..k {
+            rows[k + j][target] += k as f64 * err;
+            for (i, entry) in rows[k + j].iter_mut().enumerate().take(k) {
+                if i != target {
+                    *entry -= err;
+                }
+            }
+            rows[k + j][k + j] -= err;
+        }
+        TransitionMatrix::from_rows(rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{mixing_time, stationary_solve, total_variation};
+
+    #[test]
+    fn exact_stationary_matches_solver() {
+        let chain = IdealChain::new(&[1.0, 2.0, 4.0], 64);
+        let exact = chain.exact_stationary();
+        let solved = stationary_solve(chain.matrix());
+        assert!(total_variation(&exact, &solved) < 1e-9);
+    }
+
+    #[test]
+    fn stationary_values_match_paper_formulas() {
+        let chain = IdealChain::new(&[1.0, 3.0], 100);
+        let pi = chain.exact_stationary();
+        // w = 4: π(D_1) = 1/5, π(D_2) = 3/5, π(L_1) = 1/20, π(L_2) = 3/20.
+        assert!((pi[chain.dark(0)] - 0.2).abs() < 1e-12);
+        assert!((pi[chain.dark(1)] - 0.6).abs() < 1e-12);
+        assert!((pi[chain.light(0)] - 0.05).abs() < 1e-12);
+        assert!((pi[chain.light(1)] - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn colour_occupancy_is_fair_share() {
+        let weights = [1.0, 2.0, 5.0];
+        let w: f64 = weights.iter().sum();
+        let chain = IdealChain::new(&weights, 256);
+        for (i, &wi) in weights.iter().enumerate() {
+            assert!((chain.colour_occupancy(i) - wi / w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn chain_is_ergodic() {
+        let chain = IdealChain::new(&[1.0, 1.0], 10);
+        assert!(chain.matrix().is_ergodic());
+    }
+
+    #[test]
+    fn chain_mixes() {
+        // Small n keeps self-loop mass moderate so mixing is fast enough to compute.
+        let chain = IdealChain::new(&[1.0, 1.0], 4);
+        assert!(mixing_time(chain.matrix(), 0.125, 2_000).is_some());
+    }
+
+    #[test]
+    fn perturbed_chain_is_stochastic_and_biased() {
+        let chain = IdealChain::new(&[1.0, 2.0], 50);
+        let err = 1e-4;
+        let plus = chain.perturbed_toward_dark(0, err);
+        let minus = chain.perturbed_toward_dark(0, -err);
+        let pi_plus = stationary_solve(&plus);
+        let pi_minus = stationary_solve(&minus);
+        let pi = chain.exact_stationary();
+        let d = chain.dark(0);
+        assert!(pi_plus[d] > pi[d], "{} vs {}", pi_plus[d], pi[d]);
+        assert!(pi_minus[d] < pi[d], "{} vs {}", pi_minus[d], pi[d]);
+    }
+
+    #[test]
+    fn perturbation_shift_is_order_err() {
+        // π⁺(D_ℓ) = π(D_ℓ) + O(err), §2.4.
+        let chain = IdealChain::new(&[1.0, 1.0, 2.0], 64);
+        let pi = chain.exact_stationary();
+        for &err in &[1e-5, 1e-4] {
+            let plus = stationary_solve(&chain.perturbed_toward_dark(1, err));
+            let shift = (plus[1] - pi[1]).abs();
+            // The shift is O(err · n): bounded by a constant times err times n.
+            assert!(shift < 200.0 * err * 64.0, "err {err}: shift {shift}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_target() {
+        IdealChain::new(&[1.0, 1.0], 10).perturbed_toward_dark(5, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1")]
+    fn rejects_small_weights() {
+        IdealChain::new(&[0.5, 1.0], 10);
+    }
+}

@@ -1,0 +1,57 @@
+//! Finite Markov chains for the Diversification paper's §2.4 analysis.
+//!
+//! The paper proves **fairness** by approximating the trajectory of a single
+//! agent with a `2k`-state Markov chain `P` describing the system in
+//! "perfect equilibrium", then sandwiching the real trajectory between two
+//! perturbed chains `P⁺` and `P⁻` and applying a Chernoff bound for Markov
+//! chains (their Theorem A.2). This crate implements every piece of that
+//! machinery from scratch:
+//!
+//! * [`TransitionMatrix`] — dense row-stochastic matrices with structural
+//!   checks (irreducibility, period);
+//! * [`stationary`] — stationary distributions via direct linear solve and
+//!   power iteration (cross-validated in tests);
+//! * [`total_variation`] / [`mixing_time`] — distance and mixing estimates;
+//! * [`walk`] — trajectory simulation, hit counts, and empirical transition
+//!   frequencies;
+//! * [`gambler`] — the biased-random-walk absorption formulas of their
+//!   Theorem A.1 (Feller XIV.2–3), used in the Phase-1 analysis;
+//! * [`ideal`] — the equilibrium chain `P` of §2.4 for a given weight
+//!   vector, its exact stationary distribution, and the `±err`
+//!   perturbations `P⁺`/`P⁻`;
+//! * [`chernoff`] — the hit-count concentration bound of Theorem A.2.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_markov::ideal::IdealChain;
+//!
+//! // Colours with weights 1 and 3 (w = 4).
+//! let chain = IdealChain::new(&[1.0, 3.0], 100);
+//! let pi = chain.exact_stationary();
+//! // π(D_2) = w_2 / (1 + w) = 3/5.
+//! assert!((pi[chain.dark(1)] - 0.6).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chernoff;
+pub mod distance;
+pub mod gambler;
+pub mod hitting;
+pub mod ideal;
+pub mod matrix;
+pub mod mixing;
+pub mod stationary;
+pub mod walk;
+
+pub use chernoff::chernoff_mc_bound;
+pub use distance::total_variation;
+pub use gambler::GamblersRuin;
+pub use hitting::hitting_times;
+pub use ideal::IdealChain;
+pub use matrix::TransitionMatrix;
+pub use mixing::mixing_time;
+pub use stationary::{stationary_power, stationary_solve};
+pub use walk::Walk;

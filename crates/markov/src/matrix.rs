@@ -1,0 +1,279 @@
+//! Dense row-stochastic transition matrices.
+
+/// A dense row-stochastic matrix over states `0..n`.
+///
+/// Entry `(i, j)` is the probability of moving from state `i` to state `j`
+/// in one step. Construction validates non-negativity and row sums, so every
+/// `TransitionMatrix` in the workspace is a genuine Markov chain.
+///
+/// # Examples
+///
+/// ```
+/// use pp_markov::TransitionMatrix;
+///
+/// let p = TransitionMatrix::from_rows(vec![
+///     vec![0.9, 0.1],
+///     vec![0.5, 0.5],
+/// ]);
+/// assert_eq!(p.num_states(), 2);
+/// assert_eq!(p.prob(0, 1), 0.1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransitionMatrix {
+    n: usize,
+    data: Vec<f64>,
+}
+
+/// Tolerance for row-sum validation.
+const ROW_SUM_TOL: f64 = 1e-9;
+
+impl TransitionMatrix {
+    /// Builds a matrix from explicit rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square and non-empty, any entry is
+    /// negative or non-finite, or any row does not sum to 1 (±1e-9).
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let n = rows.len();
+        assert!(n > 0, "transition matrix must be non-empty");
+        let mut data = Vec::with_capacity(n * n);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), n, "row {i} has length {} != {n}", row.len());
+            let mut sum = 0.0;
+            for &p in row {
+                assert!(
+                    p.is_finite() && p >= 0.0,
+                    "row {i} contains invalid probability {p}"
+                );
+                sum += p;
+            }
+            assert!(
+                (sum - 1.0).abs() <= ROW_SUM_TOL,
+                "row {i} sums to {sum}, not 1"
+            );
+            data.extend_from_slice(row);
+        }
+        TransitionMatrix { n, data }
+    }
+
+    /// The identity chain (every state absorbing) on `n` states.
+    pub fn identity(n: usize) -> Self {
+        assert!(n > 0, "transition matrix must be non-empty");
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            data[i * n + i] = 1.0;
+        }
+        TransitionMatrix { n, data }
+    }
+
+    /// Number of states.
+    pub fn num_states(&self) -> usize {
+        self.n
+    }
+
+    /// Transition probability from `i` to `j`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn prob(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "state index out of range");
+        self.data[i * self.n + j]
+    }
+
+    /// Row `i` as a slice (the distribution of the next state from `i`).
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.n, "state index out of range");
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// One step of the chain applied to a distribution: returns `μP`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mu.len() != num_states()`.
+    pub fn step_distribution(&self, mu: &[f64]) -> Vec<f64> {
+        assert_eq!(mu.len(), self.n, "distribution length mismatch");
+        let mut out = vec![0.0; self.n];
+        for (i, &m) in mu.iter().enumerate() {
+            if m == 0.0 {
+                continue;
+            }
+            for (j, o) in out.iter_mut().enumerate() {
+                *o += m * self.data[i * self.n + j];
+            }
+        }
+        out
+    }
+
+    /// Matrix product `self · other` (two-step chain).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions differ.
+    pub fn compose(&self, other: &TransitionMatrix) -> TransitionMatrix {
+        assert_eq!(self.n, other.n, "dimension mismatch");
+        let n = self.n;
+        let mut data = vec![0.0; n * n];
+        for i in 0..n {
+            for k in 0..n {
+                let p = self.data[i * n + k];
+                if p == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    data[i * n + j] += p * other.data[k * n + j];
+                }
+            }
+        }
+        TransitionMatrix { n, data }
+    }
+
+    /// Returns `true` if every state can reach every other state through
+    /// positive-probability transitions (single communicating class).
+    pub fn is_irreducible(&self) -> bool {
+        (0..self.n).all(|s| self.reachable_from(s).iter().all(|&r| r))
+    }
+
+    fn reachable_from(&self, src: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![src];
+        seen[src] = true;
+        while let Some(u) = stack.pop() {
+            for (v, visited) in seen.iter_mut().enumerate() {
+                if !*visited && self.data[u * self.n + v] > 0.0 {
+                    *visited = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// The period of an irreducible chain: the gcd of all cycle lengths.
+    /// A period of 1 means aperiodic (hence ergodic, for irreducible chains).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chain is not irreducible.
+    pub fn period(&self) -> usize {
+        assert!(self.is_irreducible(), "period is defined for irreducible chains");
+        // BFS from state 0; gcd of (level(u) + 1 - level(v)) over edges.
+        let mut level = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        level[0] = 0;
+        queue.push_back(0);
+        let mut g: usize = 0;
+        while let Some(u) = queue.pop_front() {
+            for v in 0..self.n {
+                if self.data[u * self.n + v] <= 0.0 {
+                    continue;
+                }
+                if level[v] == usize::MAX {
+                    level[v] = level[u] + 1;
+                    queue.push_back(v);
+                } else {
+                    let diff = (level[u] + 1).abs_diff(level[v]);
+                    g = gcd(g, diff);
+                }
+            }
+        }
+        if g == 0 {
+            // No non-tree closed walk found; can only happen for the
+            // single-state chain.
+            1
+        } else {
+            g
+        }
+    }
+
+    /// Returns `true` if the chain is irreducible and aperiodic.
+    pub fn is_ergodic(&self) -> bool {
+        self.is_irreducible() && self.period() == 1
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_state() -> TransitionMatrix {
+        TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.5, 0.5]])
+    }
+
+    #[test]
+    fn builds_and_reads() {
+        let p = two_state();
+        assert_eq!(p.num_states(), 2);
+        assert_eq!(p.prob(1, 0), 0.5);
+        assert_eq!(p.row(0), &[0.9, 0.1]);
+    }
+
+    #[test]
+    fn step_distribution_conserves_mass() {
+        let p = two_state();
+        let mu = p.step_distribution(&[1.0, 0.0]);
+        assert!((mu.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(mu, vec![0.9, 0.1]);
+    }
+
+    #[test]
+    fn compose_is_two_steps() {
+        let p = two_state();
+        let p2 = p.compose(&p);
+        let direct = p.step_distribution(&p.step_distribution(&[1.0, 0.0]));
+        let via = p2.step_distribution(&[1.0, 0.0]);
+        for (a, b) in direct.iter().zip(&via) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn identity_is_absorbing() {
+        let p = TransitionMatrix::identity(3);
+        assert_eq!(p.prob(1, 1), 1.0);
+        assert_eq!(p.prob(1, 2), 0.0);
+        assert!(!p.is_irreducible());
+    }
+
+    #[test]
+    fn irreducibility() {
+        assert!(two_state().is_irreducible());
+        let absorbing =
+            TransitionMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.5, 0.5]]);
+        assert!(!absorbing.is_irreducible());
+    }
+
+    #[test]
+    fn period_of_cycle_is_two() {
+        let flip = TransitionMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+        assert_eq!(flip.period(), 2);
+        assert!(!flip.is_ergodic());
+    }
+
+    #[test]
+    fn lazy_chain_is_ergodic() {
+        assert!(two_state().is_ergodic());
+    }
+
+    #[test]
+    #[should_panic(expected = "sums to")]
+    fn rejects_non_stochastic() {
+        TransitionMatrix::from_rows(vec![vec![0.5, 0.4], vec![0.5, 0.5]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid probability")]
+    fn rejects_negative() {
+        TransitionMatrix::from_rows(vec![vec![1.1, -0.1], vec![0.5, 0.5]]);
+    }
+}

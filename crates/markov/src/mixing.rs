@@ -1,0 +1,105 @@
+//! Mixing-time estimation.
+
+use crate::{stationary_solve, total_variation, TransitionMatrix};
+
+/// The `ε`-mixing time: the smallest `t` such that from **every** starting
+/// state, the `t`-step distribution is within total variation `ε` of the
+/// stationary distribution.
+///
+/// Computed by iterated matrix powers (doubling would change constants;
+/// linear stepping keeps the exact hitting `t`). `O(t · n³)` — intended for
+/// the small (`2k`-state) chains of §2.4, where the paper invokes the
+/// finiteness of the mixing time before applying Theorem A.2.
+///
+/// Returns `None` if the bound is not reached within `max_t` steps.
+///
+/// # Examples
+///
+/// ```
+/// use pp_markov::{mixing_time, TransitionMatrix};
+///
+/// let p = TransitionMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.5, 0.5]]);
+/// // Mixes in one step.
+/// assert_eq!(mixing_time(&p, 0.25, 10), Some(1));
+/// ```
+///
+/// # Panics
+///
+/// Panics if `eps` is not in `(0, 1)` or the chain has no unique stationary
+/// distribution.
+pub fn mixing_time(p: &TransitionMatrix, eps: f64, max_t: usize) -> Option<usize> {
+    assert!(eps > 0.0 && eps < 1.0, "eps must be in (0, 1), got {eps}");
+    let pi = stationary_solve(p);
+    let n = p.num_states();
+    let mut power = p.clone();
+    for t in 1..=max_t {
+        let worst = (0..n)
+            .map(|i| total_variation(power.row(i), &pi))
+            .fold(0.0, f64::max);
+        if worst <= eps {
+            return Some(t);
+        }
+        if t < max_t {
+            power = power.compose(p);
+        }
+    }
+    None
+}
+
+/// The worst-case total-variation distance to stationarity after exactly
+/// `t` steps, `max_i TV(Pᵗ(i, ·), π)`.
+pub fn distance_at(p: &TransitionMatrix, t: usize) -> f64 {
+    let pi = stationary_solve(p);
+    let mut power = TransitionMatrix::identity(p.num_states());
+    for _ in 0..t {
+        power = power.compose(p);
+    }
+    (0..p.num_states())
+        .map(|i| total_variation(power.row(i), &pi))
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lazy_flip(alpha: f64) -> TransitionMatrix {
+        TransitionMatrix::from_rows(vec![
+            vec![1.0 - alpha, alpha],
+            vec![alpha, 1.0 - alpha],
+        ])
+    }
+
+    #[test]
+    fn faster_chains_mix_faster() {
+        let slow = mixing_time(&lazy_flip(0.05), 0.125, 1000).unwrap();
+        let fast = mixing_time(&lazy_flip(0.45), 0.125, 1000).unwrap();
+        assert!(fast < slow, "fast {fast} slow {slow}");
+    }
+
+    #[test]
+    fn distance_decreases_with_t() {
+        let p = lazy_flip(0.2);
+        let d1 = distance_at(&p, 1);
+        let d5 = distance_at(&p, 5);
+        let d20 = distance_at(&p, 20);
+        assert!(d1 >= d5 && d5 >= d20);
+        assert!(d20 < 0.01);
+    }
+
+    #[test]
+    fn timeout_returns_none() {
+        // A period-2 chain never mixes.
+        let flip = TransitionMatrix::from_rows(vec![vec![0.0, 1.0], vec![1.0, 0.0]]);
+        // Its stationary solve still works (uniform), but TV oscillates at 1.
+        assert_eq!(mixing_time(&flip, 0.1, 50), None);
+    }
+
+    #[test]
+    fn mixing_time_is_monotone_in_eps() {
+        let p = lazy_flip(0.1);
+        let loose = mixing_time(&p, 0.25, 1000).unwrap();
+        let tight = mixing_time(&p, 0.01, 1000).unwrap();
+        assert!(tight >= loose);
+    }
+}

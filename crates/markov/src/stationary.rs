@@ -1,0 +1,193 @@
+//! Stationary distributions.
+
+use crate::{total_variation, TransitionMatrix};
+
+/// Computes the stationary distribution by directly solving the linear
+/// system `πP = π`, `Σπ = 1` with Gaussian elimination (partial pivoting).
+///
+/// Exact up to floating-point error; `O(n³)`. Requires the chain to have a
+/// unique stationary distribution (irreducible); for reducible chains the
+/// solver may return one of several solutions or fail.
+///
+/// # Examples
+///
+/// ```
+/// use pp_markov::{stationary_solve, TransitionMatrix};
+///
+/// let p = TransitionMatrix::from_rows(vec![vec![0.9, 0.1], vec![0.5, 0.5]]);
+/// let pi = stationary_solve(&p);
+/// // Detailed balance: pi = (5/6, 1/6).
+/// assert!((pi[0] - 5.0 / 6.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the linear system is numerically singular.
+pub fn stationary_solve(p: &TransitionMatrix) -> Vec<f64> {
+    let n = p.num_states();
+    // Build A = Pᵀ − I, then replace the last equation with Σπ = 1.
+    // Solve A π = b with b = (0, …, 0, 1).
+    let mut a = vec![0.0; n * n];
+    for i in 0..n {
+        for j in 0..n {
+            a[i * n + j] = p.prob(j, i) - if i == j { 1.0 } else { 0.0 };
+        }
+    }
+    for j in 0..n {
+        a[(n - 1) * n + j] = 1.0;
+    }
+    let mut b = vec![0.0; n];
+    b[n - 1] = 1.0;
+
+    // Gaussian elimination with partial pivoting.
+    for col in 0..n {
+        let pivot_row = (col..n)
+            .max_by(|&r1, &r2| {
+                a[r1 * n + col]
+                    .abs()
+                    .partial_cmp(&a[r2 * n + col].abs())
+                    .expect("finite matrix")
+            })
+            .expect("non-empty range");
+        let pivot = a[pivot_row * n + col];
+        assert!(
+            pivot.abs() > 1e-12,
+            "singular system: chain may be reducible (pivot {pivot} at column {col})"
+        );
+        if pivot_row != col {
+            for j in 0..n {
+                a.swap(col * n + j, pivot_row * n + j);
+            }
+            b.swap(col, pivot_row);
+        }
+        for row in (col + 1)..n {
+            let factor = a[row * n + col] / a[col * n + col];
+            if factor == 0.0 {
+                continue;
+            }
+            for j in col..n {
+                a[row * n + j] -= factor * a[col * n + j];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for j in (row + 1)..n {
+            acc -= a[row * n + j] * x[j];
+        }
+        x[row] = acc / a[row * n + row];
+    }
+    // Clean tiny negative round-off and renormalise.
+    for v in &mut x {
+        if *v < 0.0 && *v > -1e-9 {
+            *v = 0.0;
+        }
+    }
+    let sum: f64 = x.iter().sum();
+    assert!(sum > 0.0, "stationary solve produced a zero vector");
+    for v in &mut x {
+        *v /= sum;
+    }
+    x
+}
+
+/// Computes the stationary distribution by power iteration from the uniform
+/// distribution, stopping when successive iterates are within `tol` in total
+/// variation or after `max_iters` steps.
+///
+/// Slower convergence than [`stationary_solve`] but `O(n²)` per step and
+/// robust; the test-suite cross-validates the two.
+///
+/// # Panics
+///
+/// Panics if `tol <= 0` or convergence is not reached within `max_iters`.
+pub fn stationary_power(p: &TransitionMatrix, tol: f64, max_iters: usize) -> Vec<f64> {
+    assert!(tol > 0.0, "tolerance must be positive");
+    let n = p.num_states();
+    let mut mu = vec![1.0 / n as f64; n];
+    for _ in 0..max_iters {
+        // Half-lazy step damps period-2 oscillation without moving the fixed point.
+        let next_raw = p.step_distribution(&mu);
+        let next: Vec<f64> = next_raw
+            .iter()
+            .zip(&mu)
+            .map(|(a, b)| 0.5 * a + 0.5 * b)
+            .collect();
+        if total_variation(&next, &mu) < tol {
+            return next;
+        }
+        mu = next;
+    }
+    panic!("power iteration did not converge within {max_iters} iterations");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_ish_chain(n: usize) -> TransitionMatrix {
+        // Deterministic pseudo-random rows normalised to 1.
+        let mut rows = Vec::with_capacity(n);
+        let mut x = 12345u64;
+        for _ in 0..n {
+            let mut row: Vec<f64> = (0..n)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    ((x >> 33) as f64 / (1u64 << 31) as f64) + 0.05
+                })
+                .collect();
+            let s: f64 = row.iter().sum();
+            for v in &mut row {
+                *v /= s;
+            }
+            rows.push(row);
+        }
+        TransitionMatrix::from_rows(rows)
+    }
+
+    #[test]
+    fn solve_two_state_exact() {
+        let p = TransitionMatrix::from_rows(vec![vec![0.7, 0.3], vec![0.6, 0.4]]);
+        // π ∝ (q, p) for the 2-state chain: π0 = 0.6/(0.3+0.6) = 2/3.
+        let pi = stationary_solve(&p);
+        assert!((pi[0] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((pi[1] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_is_fixed_point() {
+        let p = random_ish_chain(6);
+        let pi = stationary_solve(&p);
+        let stepped = p.step_distribution(&pi);
+        assert!(total_variation(&pi, &stepped) < 1e-10);
+    }
+
+    #[test]
+    fn power_matches_solve() {
+        let p = random_ish_chain(5);
+        let a = stationary_solve(&p);
+        let b = stationary_power(&p, 1e-12, 100_000);
+        assert!(total_variation(&a, &b) < 1e-8);
+    }
+
+    #[test]
+    fn uniform_chain_has_uniform_stationary() {
+        let n = 4;
+        let p = TransitionMatrix::from_rows(vec![vec![0.25; 4]; 4]);
+        let pi = stationary_solve(&p);
+        for &v in &pi {
+            assert!((v - 1.0 / n as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn stationary_sums_to_one() {
+        let p = random_ish_chain(8);
+        let pi = stationary_solve(&p);
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(pi.iter().all(|&v| v >= 0.0));
+    }
+}

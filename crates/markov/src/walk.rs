@@ -1,0 +1,226 @@
+//! Trajectory simulation, hit counts, and empirical transition frequencies.
+
+use crate::TransitionMatrix;
+use rand::{Rng, RngExt};
+
+/// A simulated trajectory of a finite Markov chain.
+///
+/// Used by the fairness experiment (t9): simulate the ideal chain `P` of
+/// §2.4, count hits per state, and compare against both the stationary
+/// distribution and the hit counts of real agents in the protocol.
+///
+/// # Examples
+///
+/// ```
+/// use pp_markov::{TransitionMatrix, Walk};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let p = TransitionMatrix::from_rows(vec![vec![0.5, 0.5], vec![0.5, 0.5]]);
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let walk = Walk::simulate(&p, 0, 1_000, &mut rng);
+/// assert_eq!(walk.len(), 1_001); // includes the start state
+/// let hits = walk.hit_counts(2);
+/// assert_eq!(hits[0] + hits[1], 1_001);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Walk {
+    states: Vec<usize>,
+}
+
+impl Walk {
+    /// Simulates `steps` transitions starting from `start`, recording the
+    /// start state and every subsequent state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` is out of range.
+    pub fn simulate(
+        p: &TransitionMatrix,
+        start: usize,
+        steps: usize,
+        rng: &mut dyn Rng,
+    ) -> Self {
+        assert!(start < p.num_states(), "start state out of range");
+        let mut states = Vec::with_capacity(steps + 1);
+        let mut cur = start;
+        states.push(cur);
+        for _ in 0..steps {
+            cur = sample_row(p.row(cur), rng);
+            states.push(cur);
+        }
+        Walk { states }
+    }
+
+    /// Wraps an externally recorded state sequence (e.g. one agent's states
+    /// extracted from a protocol run).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sequence is empty.
+    pub fn from_states(states: Vec<usize>) -> Self {
+        assert!(!states.is_empty(), "a walk must contain at least the start state");
+        Walk { states }
+    }
+
+    /// Number of recorded states (steps + 1).
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if the walk is empty (never happens for constructed walks).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The recorded state sequence.
+    pub fn states(&self) -> &[usize] {
+        &self.states
+    }
+
+    /// Number of visits to each of `num_states` states, `N_i(t)` in the
+    /// paper's notation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any recorded state is `>= num_states`.
+    pub fn hit_counts(&self, num_states: usize) -> Vec<u64> {
+        let mut counts = vec![0u64; num_states];
+        for &s in &self.states {
+            assert!(s < num_states, "state {s} out of range {num_states}");
+            counts[s] += 1;
+        }
+        counts
+    }
+
+    /// Fraction of time spent in each state.
+    pub fn occupancy(&self, num_states: usize) -> Vec<f64> {
+        let counts = self.hit_counts(num_states);
+        let total = self.states.len() as f64;
+        counts.into_iter().map(|c| c as f64 / total).collect()
+    }
+
+    /// Empirical transition frequencies: entry `(i, j)` is
+    /// `#transitions i→j / #visits to i` (among non-terminal visits).
+    /// States never left get a self-loop row so the result is a valid
+    /// transition matrix.
+    pub fn empirical_transitions(&self, num_states: usize) -> TransitionMatrix {
+        let mut counts = vec![0u64; num_states * num_states];
+        let mut outs = vec![0u64; num_states];
+        for w in self.states.windows(2) {
+            let (i, j) = (w[0], w[1]);
+            assert!(i < num_states && j < num_states, "state out of range");
+            counts[i * num_states + j] += 1;
+            outs[i] += 1;
+        }
+        let rows: Vec<Vec<f64>> = (0..num_states)
+            .map(|i| {
+                if outs[i] == 0 {
+                    let mut row = vec![0.0; num_states];
+                    row[i] = 1.0;
+                    row
+                } else {
+                    (0..num_states)
+                        .map(|j| counts[i * num_states + j] as f64 / outs[i] as f64)
+                        .collect()
+                }
+            })
+            .collect();
+        TransitionMatrix::from_rows(rows)
+    }
+}
+
+/// Samples an index from a probability row by inverse-CDF scan.
+fn sample_row(row: &[f64], rng: &mut dyn Rng) -> usize {
+    let u: f64 = rng.random_range(0.0..1.0);
+    let mut acc = 0.0;
+    for (j, &p) in row.iter().enumerate() {
+        acc += p;
+        if u < acc {
+            return j;
+        }
+    }
+    // Floating-point slack: return the last state with positive probability.
+    row.iter()
+        .rposition(|&p| p > 0.0)
+        .expect("row has positive mass")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn chain() -> TransitionMatrix {
+        TransitionMatrix::from_rows(vec![vec![0.8, 0.2], vec![0.3, 0.7]])
+    }
+
+    #[test]
+    fn walk_lengths() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let w = Walk::simulate(&chain(), 0, 100, &mut rng);
+        assert_eq!(w.len(), 101);
+        assert!(!w.is_empty());
+        assert_eq!(w.states()[0], 0);
+    }
+
+    #[test]
+    fn hit_counts_total() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let w = Walk::simulate(&chain(), 1, 500, &mut rng);
+        let hits = w.hit_counts(2);
+        assert_eq!(hits.iter().sum::<u64>(), 501);
+    }
+
+    #[test]
+    fn occupancy_approaches_stationary() {
+        let p = chain();
+        let pi = crate::stationary_solve(&p);
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = Walk::simulate(&p, 0, 200_000, &mut rng);
+        let occ = w.occupancy(2);
+        for (o, s) in occ.iter().zip(&pi) {
+            assert!((o - s).abs() < 0.01, "occ {o} vs pi {s}");
+        }
+    }
+
+    #[test]
+    fn empirical_transitions_recover_matrix() {
+        let p = chain();
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = Walk::simulate(&p, 0, 300_000, &mut rng);
+        let emp = w.empirical_transitions(2);
+        for i in 0..2 {
+            for j in 0..2 {
+                assert!(
+                    (emp.prob(i, j) - p.prob(i, j)).abs() < 0.01,
+                    "({i},{j}): {} vs {}",
+                    emp.prob(i, j),
+                    p.prob(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unvisited_state_gets_self_loop() {
+        let w = Walk::from_states(vec![0, 0, 0]);
+        let emp = w.empirical_transitions(2);
+        assert_eq!(emp.prob(1, 1), 1.0);
+        assert_eq!(emp.prob(0, 0), 1.0);
+    }
+
+    #[test]
+    fn deterministic_row_sampling() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..100 {
+            assert_eq!(sample_row(&[0.0, 1.0, 0.0], &mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least the start")]
+    fn from_states_rejects_empty() {
+        Walk::from_states(vec![]);
+    }
+}

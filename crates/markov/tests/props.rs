@@ -1,0 +1,139 @@
+//! Property-based tests for the Markov-chain substrate.
+
+use pp_markov::{
+    stationary_power, stationary_solve, total_variation, GamblersRuin, IdealChain,
+    TransitionMatrix, Walk,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: a random row-stochastic matrix with strictly positive entries
+/// (hence irreducible and aperiodic).
+fn positive_chain(n: usize) -> impl Strategy<Value = TransitionMatrix> {
+    prop::collection::vec(prop::collection::vec(0.05f64..1.0, n), n).prop_map(|raw| {
+        let rows: Vec<Vec<f64>> = raw
+            .into_iter()
+            .map(|row| {
+                let s: f64 = row.iter().sum();
+                row.into_iter().map(|v| v / s).collect()
+            })
+            .collect();
+        TransitionMatrix::from_rows(rows)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn solve_gives_fixed_point(p in positive_chain(5)) {
+        let pi = stationary_solve(&p);
+        prop_assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let stepped = p.step_distribution(&pi);
+        prop_assert!(total_variation(&pi, &stepped) < 1e-8);
+    }
+
+    #[test]
+    fn power_and_solve_agree(p in positive_chain(4)) {
+        let a = stationary_solve(&p);
+        let b = stationary_power(&p, 1e-12, 200_000);
+        prop_assert!(total_variation(&a, &b) < 1e-6);
+    }
+
+    #[test]
+    fn positive_chains_are_ergodic(p in positive_chain(4)) {
+        prop_assert!(p.is_ergodic());
+    }
+
+    #[test]
+    fn composition_preserves_stochasticity(p in positive_chain(4), q in positive_chain(4)) {
+        let r = p.compose(&q);
+        for i in 0..4 {
+            let sum: f64 = r.row(i).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert!(r.row(i).iter().all(|&v| v >= -1e-12));
+        }
+    }
+
+    #[test]
+    fn step_distribution_preserves_mass(p in positive_chain(5), seed in 0u64..1000) {
+        // Random start distribution.
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let mut mu: Vec<f64> = (0..5).map(|_| rng.random_range(0.01..1.0)).collect();
+        let s: f64 = mu.iter().sum();
+        for v in &mut mu { *v /= s; }
+        let out = p.step_distribution(&mu);
+        prop_assert!((out.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gambler_probabilities_valid(
+        p in 0.05f64..0.95,
+        b in 2u64..40,
+        s_frac in 0.0f64..1.0,
+    ) {
+        prop_assume!((p - 0.5).abs() > 1e-3);
+        let s = ((b as f64 * s_frac) as u64).min(b);
+        let w = GamblersRuin::new(p, b, s);
+        let top = w.prob_hit_top();
+        prop_assert!((0.0..=1.0).contains(&top));
+        prop_assert!((top + w.prob_hit_bottom() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gambler_top_prob_monotone_in_start(p in 0.55f64..0.9, b in 3u64..30) {
+        let mut prev = 0.0;
+        for s in 0..=b {
+            let cur = GamblersRuin::new(p, b, s).prob_hit_top();
+            prop_assert!(cur >= prev - 1e-12, "s={s}: {cur} < {prev}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn ideal_chain_stationary_is_exact(
+        k in 1usize..6,
+        n in 2usize..500,
+        seed in 0u64..100,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let weights: Vec<f64> = (0..k).map(|_| rng.random_range(1.0..8.0)).collect();
+        let chain = IdealChain::new(&weights, n);
+        let exact = chain.exact_stationary();
+        prop_assert!((exact.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let solved = stationary_solve(chain.matrix());
+        prop_assert!(total_variation(&exact, &solved) < 1e-7);
+    }
+
+    #[test]
+    fn ideal_colour_occupancy_sums_to_one(k in 1usize..6, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::RngExt;
+        let weights: Vec<f64> = (0..k).map(|_| rng.random_range(1.0..5.0)).collect();
+        let chain = IdealChain::new(&weights, 64);
+        let total: f64 = (0..k).map(|i| chain.colour_occupancy(i)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn walk_hits_sum_to_length(p in positive_chain(4), steps in 0usize..2000, seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Walk::simulate(&p, 0, steps, &mut rng);
+        let hits = w.hit_counts(4);
+        prop_assert_eq!(hits.iter().sum::<u64>() as usize, steps + 1);
+    }
+
+    #[test]
+    fn empirical_transitions_are_stochastic(p in positive_chain(3), seed in 0u64..100) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let w = Walk::simulate(&p, 0, 500, &mut rng);
+        let emp = w.empirical_transitions(3);
+        for i in 0..3 {
+            let s: f64 = emp.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+}

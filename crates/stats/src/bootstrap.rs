@@ -1,0 +1,106 @@
+//! Bootstrap confidence intervals for seed-level aggregates.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Percentile-bootstrap confidence interval for the mean of `xs`.
+///
+/// Resamples `xs` with replacement `resamples` times and returns the
+/// `(lo, hi)` percentile bounds at confidence `level` (e.g. `0.95`).
+/// The resampling RNG is seeded with `seed` so the interval is reproducible.
+///
+/// Returns `None` for an empty sample.
+///
+/// # Examples
+///
+/// ```
+/// use pp_stats::bootstrap_mean_ci;
+///
+/// let xs: Vec<f64> = (0..50).map(|i| (i % 7) as f64).collect();
+/// let (lo, hi) = bootstrap_mean_ci(&xs, 200, 0.95, 1).unwrap();
+/// let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+/// assert!(lo <= mean && mean <= hi);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `level` is not strictly inside `(0, 1)` or `resamples == 0`.
+pub fn bootstrap_mean_ci(
+    xs: &[f64],
+    resamples: usize,
+    level: f64,
+    seed: u64,
+) -> Option<(f64, f64)> {
+    assert!(resamples > 0, "bootstrap requires at least one resample");
+    assert!(
+        level > 0.0 && level < 1.0,
+        "confidence level must be in (0, 1), got {level}"
+    );
+    if xs.is_empty() {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = xs.len();
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut sum = 0.0;
+        for _ in 0..n {
+            sum += xs[rng.random_range(0..n)];
+        }
+        means.push(sum / n as f64);
+    }
+    means.sort_by(|a, b| a.partial_cmp(b).expect("finite means"));
+    let alpha = (1.0 - level) / 2.0;
+    let lo = crate::quantiles::quantile_sorted(&means, alpha);
+    let hi = crate::quantiles::quantile_sorted(&means, 1.0 - alpha);
+    Some((lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_contains_sample_mean() {
+        let xs: Vec<f64> = (0..100).map(|i| ((i * 31) % 17) as f64).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let (lo, hi) = bootstrap_mean_ci(&xs, 500, 0.95, 42).unwrap();
+        assert!(lo <= mean && mean <= hi, "{lo} {mean} {hi}");
+        assert!(lo < hi);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let xs = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let a = bootstrap_mean_ci(&xs, 100, 0.9, 7);
+        let b = bootstrap_mean_ci(&xs, 100, 0.9, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_sample_collapses() {
+        let xs = [4.0; 20];
+        let (lo, hi) = bootstrap_mean_ci(&xs, 100, 0.95, 3).unwrap();
+        assert_eq!(lo, 4.0);
+        assert_eq!(hi, 4.0);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(bootstrap_mean_ci(&[], 10, 0.9, 0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn rejects_bad_level() {
+        bootstrap_mean_ci(&[1.0], 10, 1.0, 0);
+    }
+
+    #[test]
+    fn wider_level_gives_wider_interval() {
+        let xs: Vec<f64> = (0..60).map(|i| (i as f64).sin() * 5.0).collect();
+        let (lo90, hi90) = bootstrap_mean_ci(&xs, 400, 0.90, 11).unwrap();
+        let (lo99, hi99) = bootstrap_mean_ci(&xs, 400, 0.99, 11).unwrap();
+        assert!(hi99 - lo99 >= hi90 - lo90);
+    }
+}

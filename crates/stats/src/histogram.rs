@@ -1,0 +1,217 @@
+//! Fixed-width histograms.
+
+/// A histogram with uniform bins over a closed range `[lo, hi]`.
+///
+/// Samples outside the range are clamped into the first/last bin and counted
+/// separately as underflow/overflow, so no data is silently dropped.
+///
+/// # Examples
+///
+/// ```
+/// use pp_stats::Histogram;
+///
+/// let mut h = Histogram::new(0.0, 10.0, 5);
+/// for x in [0.5, 1.5, 2.5, 2.6, 9.9] {
+///     h.record(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bin_count(1), 2); // 2.5 and 2.6 fall in [2, 4)
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+    count: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with `bins` uniform bins over `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`, either bound is non-finite, or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
+        assert!(lo < hi, "histogram requires lo < hi (got {lo} >= {hi})");
+        assert!(bins > 0, "histogram requires at least one bin");
+        Histogram {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+            count: 0,
+        }
+    }
+
+    /// Records one sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn record(&mut self, x: f64) {
+        assert!(!x.is_nan(), "Histogram::record: NaN sample");
+        self.count += 1;
+        if x < self.lo {
+            self.underflow += 1;
+            self.bins[0] += 1;
+            return;
+        }
+        if x > self.hi {
+            self.overflow += 1;
+            let last = self.bins.len() - 1;
+            self.bins[last] += 1;
+            return;
+        }
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+        self.bins[idx] += 1;
+    }
+
+    /// Total number of recorded samples (including clamped ones).
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Number of samples that fell below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Number of samples that fell above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Count in bin `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= num_bins()`.
+    pub fn bin_count(&self, idx: usize) -> u64 {
+        self.bins[idx]
+    }
+
+    /// Lower edge of bin `idx`.
+    pub fn bin_lo(&self, idx: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        self.lo + idx as f64 * width
+    }
+
+    /// Iterator over `(bin_lower_edge, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (f64, u64)> + '_ {
+        (0..self.bins.len()).map(|i| (self.bin_lo(i), self.bins[i]))
+    }
+
+    /// Approximate quantile from binned data (`q` in `[0, 1]`).
+    ///
+    /// Returns the lower edge of the bin in which the `q`-quantile falls, or
+    /// `None` for an empty histogram.
+    pub fn approx_quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut cum = 0;
+        for (i, &c) in self.bins.iter().enumerate() {
+            cum += c;
+            if cum >= target {
+                return Some(self.bin_lo(i));
+            }
+        }
+        Some(self.bin_lo(self.bins.len() - 1))
+    }
+
+    /// Renders the histogram as rows of `lower_edge count bar` text, the bar
+    /// scaled to `width` characters.
+    pub fn render(&self, width: usize) -> String {
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (edge, c) in self.iter() {
+            let bar = "#".repeat((c as usize * width).div_euclid(max as usize));
+            out.push_str(&format!("{edge:>12.4} {c:>8} {bar}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bins_cover_range() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        for i in 0..10 {
+            h.record(i as f64 / 10.0 + 0.05);
+        }
+        for i in 0..10 {
+            assert_eq!(h.bin_count(i), 1, "bin {i}");
+        }
+        assert_eq!(h.count(), 10);
+        assert_eq!(h.underflow(), 0);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn upper_bound_goes_to_last_bin() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(1.0);
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn out_of_range_clamped_and_counted() {
+        let mut h = Histogram::new(0.0, 1.0, 4);
+        h.record(-5.0);
+        h.record(7.0);
+        assert_eq!(h.underflow(), 1);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.count(), 2);
+    }
+
+    #[test]
+    fn approx_quantile_monotone() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.record(i as f64);
+        }
+        let q10 = h.approx_quantile(0.1).unwrap();
+        let q50 = h.approx_quantile(0.5).unwrap();
+        let q90 = h.approx_quantile(0.9).unwrap();
+        assert!(q10 <= q50 && q50 <= q90);
+        assert!((q50 - 49.0).abs() <= 2.0);
+    }
+
+    #[test]
+    fn empty_quantile_is_none() {
+        let h = Histogram::new(0.0, 1.0, 4);
+        assert_eq!(h.approx_quantile(0.5), None);
+    }
+
+    #[test]
+    fn render_is_nonempty() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.record(0.1);
+        let s = h.render(10);
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    #[should_panic(expected = "lo < hi")]
+    fn rejects_bad_range() {
+        Histogram::new(1.0, 1.0, 4);
+    }
+}

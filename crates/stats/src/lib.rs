@@ -1,0 +1,53 @@
+//! Numerical substrate for the population-protocol experiment harness.
+//!
+//! This crate is deliberately dependency-light: it provides exactly the
+//! statistics the reproduction of *Diversity, Fairness, and Sustainability
+//! in Population Protocols* (PODC 2021) needs to turn raw simulation traces
+//! into the quantities the paper's theorems talk about:
+//!
+//! * [`OnlineStats`] — streaming mean/variance/extrema (Welford), used for
+//!   per-seed aggregation without storing traces;
+//! * [`Histogram`] — fixed-width binning for distributional summaries;
+//! * [`quantiles`] — exact order statistics on small samples;
+//! * [`regression`] — least-squares and log–log fits, used to estimate the
+//!   scaling exponents the theorems predict (e.g. the `1/√n` diversity error
+//!   of Eq. (1) or the `n log n` convergence time of Theorem 1.3);
+//! * [`TimeSeries`] — strided trace recording with window reductions;
+//! * [`bootstrap`] — seed-level confidence intervals;
+//! * [`table`] — plain-text aligned tables for experiment output.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_stats::OnlineStats;
+//!
+//! let mut s = OnlineStats::new();
+//! for x in [1.0, 2.0, 3.0, 4.0] {
+//!     s.push(x);
+//! }
+//! assert_eq!(s.mean(), 2.5);
+//! assert_eq!(s.len(), 4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod concentration;
+pub mod histogram;
+pub mod online;
+pub mod quantiles;
+pub mod regression;
+pub mod series;
+pub mod summary;
+pub mod table;
+
+pub use bootstrap::bootstrap_mean_ci;
+pub use concentration::DriftParams;
+pub use histogram::Histogram;
+pub use online::OnlineStats;
+pub use quantiles::{median, quantile};
+pub use regression::{linear_fit, loglog_fit, Fit};
+pub use series::TimeSeries;
+pub use summary::Summary;
+pub use table::Table;

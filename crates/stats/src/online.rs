@@ -1,0 +1,245 @@
+//! Streaming moment accumulation (Welford's algorithm).
+
+/// Streaming mean, variance and extrema over a sequence of `f64` samples.
+///
+/// Uses Welford's numerically stable online algorithm, so it can absorb
+/// millions of simulation samples in `O(1)` memory. Two accumulators can be
+/// [merged](OnlineStats::merge) (Chan's parallel variant), which the
+/// experiment harness uses to combine per-seed statistics.
+///
+/// # Examples
+///
+/// ```
+/// use pp_stats::OnlineStats;
+///
+/// let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].iter().copied().collect();
+/// assert_eq!(s.mean(), 5.0);
+/// assert!((s.population_variance() - 4.0).abs() < 1e-12);
+/// assert_eq!(s.min(), 2.0);
+/// assert_eq!(s.max(), 9.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OnlineStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl OnlineStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        OnlineStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Absorbs one sample.
+    ///
+    /// Non-finite samples are counted in [`len`](Self::len) but would poison
+    /// the moments, so they are rejected with a panic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN or infinite.
+    pub fn push(&mut self, x: f64) {
+        assert!(x.is_finite(), "OnlineStats::push: non-finite sample {x}");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples absorbed so far.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns `true` if no sample has been absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean of the samples; `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (denominator `n`); `0.0` for fewer than one sample.
+    pub fn population_variance(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Sample variance (denominator `n - 1`); `0.0` for fewer than two samples.
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.sample_variance().sqrt()
+    }
+
+    /// Standard error of the mean (`std_dev / sqrt(n)`); `0.0` when empty.
+    pub fn std_err(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.std_dev() / (self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample seen; `+inf` when empty.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample seen; `-inf` when empty.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator into this one (Chan's parallel update).
+    ///
+    /// The result is identical (up to floating-point rounding) to having
+    /// pushed all samples into a single accumulator.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pp_stats::OnlineStats;
+    ///
+    /// let mut a: OnlineStats = [1.0, 2.0].iter().copied().collect();
+    /// let b: OnlineStats = [3.0, 4.0].iter().copied().collect();
+    /// a.merge(&b);
+    /// assert_eq!(a.mean(), 2.5);
+    /// assert_eq!(a.len(), 4);
+    /// ```
+    pub fn merge(&mut self, other: &OnlineStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl FromIterator<f64> for OnlineStats {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        let mut s = OnlineStats::new();
+        for x in iter {
+            s.push(x);
+        }
+        s
+    }
+}
+
+impl Extend<f64> for OnlineStats {
+    fn extend<I: IntoIterator<Item = f64>>(&mut self, iter: I) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_stats_are_neutral() {
+        let s = OnlineStats::new();
+        assert!(s.is_empty());
+        assert_eq!(s.len(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.sample_variance(), 0.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn single_sample() {
+        let mut s = OnlineStats::new();
+        s.push(42.0);
+        assert_eq!(s.mean(), 42.0);
+        assert_eq!(s.min(), 42.0);
+        assert_eq!(s.max(), 42.0);
+        assert_eq!(s.sample_variance(), 0.0);
+    }
+
+    #[test]
+    fn known_variance() {
+        let s: OnlineStats = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .iter()
+            .copied()
+            .collect();
+        assert!((s.population_variance() - 4.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 32.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let all: OnlineStats = xs.iter().copied().collect();
+        let mut a: OnlineStats = xs[..37].iter().copied().collect();
+        let b: OnlineStats = xs[37..].iter().copied().collect();
+        a.merge(&b);
+        assert_eq!(a.len(), all.len());
+        assert!((a.mean() - all.mean()).abs() < 1e-10);
+        assert!((a.sample_variance() - all.sample_variance()).abs() < 1e-10);
+        assert_eq!(a.min(), all.min());
+        assert_eq!(a.max(), all.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: OnlineStats = [1.0, 2.0, 3.0].iter().copied().collect();
+        let before = a;
+        a.merge(&OnlineStats::new());
+        assert_eq!(a, before);
+
+        let mut e = OnlineStats::new();
+        e.merge(&before);
+        assert_eq!(e, before);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn rejects_nan() {
+        OnlineStats::new().push(f64::NAN);
+    }
+
+    #[test]
+    fn extend_works() {
+        let mut s = OnlineStats::new();
+        s.extend([1.0, 2.0, 3.0]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.mean(), 2.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Exact order statistics on in-memory samples.
+
+/// Returns the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of `xs` using linear
+/// interpolation between order statistics (type-7, the R/NumPy default).
+///
+/// Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// use pp_stats::quantile;
+///
+/// let xs = [1.0, 2.0, 3.0, 4.0];
+/// assert_eq!(quantile(&xs, 0.0), Some(1.0));
+/// assert_eq!(quantile(&xs, 1.0), Some(4.0));
+/// assert_eq!(quantile(&xs, 0.5), Some(2.5));
+/// ```
+///
+/// # Panics
+///
+/// Panics if any sample is NaN.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    assert!(xs.iter().all(|x| !x.is_nan()), "quantile: NaN sample");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Like [`quantile`] but assumes `xs` is already sorted ascending, avoiding
+/// the copy and sort. Behaviour is unspecified for unsorted input.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let q = q.clamp(0.0, 1.0);
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = pos - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+/// Median of `xs` (the `0.5`-quantile); `None` when empty.
+///
+/// # Examples
+///
+/// ```
+/// use pp_stats::median;
+///
+/// assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+/// assert_eq!(median(&[]), None);
+/// ```
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Interquartile range (`q75 − q25`); `None` when empty.
+pub fn iqr(xs: &[f64]) -> Option<f64> {
+    Some(quantile(xs, 0.75)? - quantile(xs, 0.25)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[1.0, 2.0, 3.0]), Some(2.0));
+        assert_eq!(median(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let xs = [5.0, 1.0, 3.0];
+        assert_eq!(quantile(&xs, 0.0), Some(1.0));
+        assert_eq!(quantile(&xs, 1.0), Some(5.0));
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile(&xs, 0.25), Some(2.5));
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[7.0], 0.3), Some(7.0));
+    }
+
+    #[test]
+    fn empty_returns_none() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(iqr(&[]), None);
+    }
+
+    #[test]
+    fn iqr_of_uniform() {
+        let xs: Vec<f64> = (0..=100).map(f64::from).collect();
+        assert!((iqr(&xs).unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn out_of_range_q_clamped() {
+        let xs = [1.0, 2.0];
+        assert_eq!(quantile(&xs, -3.0), Some(1.0));
+        assert_eq!(quantile(&xs, 9.0), Some(2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn rejects_nan() {
+        quantile(&[1.0, f64::NAN], 0.5);
+    }
+}

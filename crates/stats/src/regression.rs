@@ -1,0 +1,191 @@
+//! Least-squares fits, used to estimate scaling exponents.
+//!
+//! The reproduction checks *shapes*, not constants: e.g. Theorem 1.3 predicts
+//! convergence time `Θ(w² n log n)`, so the harness fits
+//! `log T = a + b · log(n log n)` and checks `b ≈ 1`; Eq. (1) predicts a
+//! diversity error `Õ(1/√n)`, so the harness checks a log–log slope `≈ −1/2`.
+
+/// Result of a simple linear regression `y ≈ intercept + slope · x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination in `[0, 1]` (1 = perfect fit).
+    pub r_squared: f64,
+}
+
+impl Fit {
+    /// Predicted value at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.intercept + self.slope * x
+    }
+}
+
+impl std::fmt::Display for Fit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "y = {:.4} + {:.4}·x (R² = {:.4})",
+            self.intercept, self.slope, self.r_squared
+        )
+    }
+}
+
+/// Ordinary least-squares fit of `y ≈ a + b·x`.
+///
+/// Returns `None` if fewer than two points are supplied or all `x` are equal
+/// (the slope would be undefined).
+///
+/// # Examples
+///
+/// ```
+/// use pp_stats::linear_fit;
+///
+/// let xs = [0.0, 1.0, 2.0, 3.0];
+/// let ys = [1.0, 3.0, 5.0, 7.0];
+/// let fit = linear_fit(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// assert!((fit.r_squared - 1.0).abs() < 1e-12);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `xs.len() != ys.len()` or any value is non-finite.
+pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
+    assert_eq!(xs.len(), ys.len(), "linear_fit: mismatched lengths");
+    assert!(
+        xs.iter().chain(ys.iter()).all(|v| v.is_finite()),
+        "linear_fit: non-finite input"
+    );
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = xs.iter().sum::<f64>() / nf;
+    let mean_y = ys.iter().sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (&x, &y) in xs.iter().zip(ys) {
+        sxx += (x - mean_x) * (x - mean_x);
+        sxy += (x - mean_x) * (y - mean_y);
+        syy += (y - mean_y) * (y - mean_y);
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Some(Fit {
+        slope,
+        intercept,
+        r_squared,
+    })
+}
+
+/// Fits `y ≈ C · x^b` by regressing `ln y` on `ln x`; the returned
+/// [`Fit::slope`] is the scaling exponent `b`.
+///
+/// Returns `None` if fewer than two valid points remain, all `x` coincide, or
+/// any input is non-positive (logarithm undefined).
+///
+/// # Examples
+///
+/// ```
+/// use pp_stats::loglog_fit;
+///
+/// // y = 3·x²
+/// let xs = [1.0, 2.0, 4.0, 8.0];
+/// let ys: Vec<f64> = xs.iter().map(|x| 3.0 * x * x).collect();
+/// let fit = loglog_fit(&xs, &ys).unwrap();
+/// assert!((fit.slope - 2.0).abs() < 1e-9);
+/// ```
+pub fn loglog_fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
+    assert_eq!(xs.len(), ys.len(), "loglog_fit: mismatched lengths");
+    if xs.iter().chain(ys.iter()).any(|&v| v <= 0.0 || !v.is_finite()) {
+        return None;
+    }
+    let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();
+    let ly: Vec<f64> = ys.iter().map(|y| y.ln()).collect();
+    linear_fit(&lx, &ly)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_line() {
+        let xs: Vec<f64> = (0..10).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -0.5 * x + 4.0).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!((f.slope + 0.5).abs() < 1e-12);
+        assert!((f.intercept - 4.0).abs() < 1e-12);
+        assert!((f.r_squared - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let xs = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let ys = [0.1, 0.9, 2.2, 2.8, 4.1];
+        let f = linear_fit(&xs, &ys).unwrap();
+        assert!(f.r_squared < 1.0);
+        assert!(f.r_squared > 0.98);
+        assert!((f.slope - 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn degenerate_x_is_none() {
+        assert!(linear_fit(&[1.0, 1.0], &[0.0, 5.0]).is_none());
+        assert!(linear_fit(&[1.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn loglog_recovers_exponent() {
+        let xs: [f64; 3] = [10.0, 100.0, 1000.0];
+        let ys: Vec<f64> = xs.iter().map(|x| 7.0 * x.powf(0.5)).collect();
+        let f = loglog_fit(&xs, &ys).unwrap();
+        assert!((f.slope - 0.5).abs() < 1e-9);
+        assert!((f.intercept.exp() - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn loglog_rejects_nonpositive() {
+        assert!(loglog_fit(&[1.0, 2.0], &[0.0, 1.0]).is_none());
+        assert!(loglog_fit(&[-1.0, 2.0], &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn predict_is_affine() {
+        let f = Fit {
+            slope: 2.0,
+            intercept: 1.0,
+            r_squared: 1.0,
+        };
+        assert_eq!(f.predict(3.0), 7.0);
+    }
+
+    #[test]
+    fn display_contains_parts() {
+        let f = Fit {
+            slope: 2.0,
+            intercept: 1.0,
+            r_squared: 0.99,
+        };
+        let s = format!("{f}");
+        assert!(s.contains("2.0000"));
+        assert!(s.contains("R²"));
+    }
+
+    #[test]
+    fn constant_y_has_r2_one() {
+        let f = linear_fit(&[0.0, 1.0, 2.0], &[3.0, 3.0, 3.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.r_squared, 1.0);
+    }
+}

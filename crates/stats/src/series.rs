@@ -1,0 +1,259 @@
+//! Strided time-series recording with window reductions.
+
+/// A recorded trace of `(time_step, value)` pairs.
+///
+/// Simulations run for millions of steps; recording every step would be
+/// wasteful, so a `TimeSeries` records only every `stride`-th offered sample.
+/// Window reductions (`max`, `mean over [a, b]`, …) operate on the recorded
+/// points, which is what the paper's "holds for all `t` in the window"
+/// statements are checked against.
+///
+/// # Examples
+///
+/// ```
+/// use pp_stats::TimeSeries;
+///
+/// let mut ts = TimeSeries::with_stride(2);
+/// for t in 0..10u64 {
+///     ts.offer(t, t as f64);
+/// }
+/// assert_eq!(ts.len(), 5); // t = 0, 2, 4, 6, 8
+/// assert_eq!(ts.max_in(0, 10), Some(8.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct TimeSeries {
+    stride: u64,
+    times: Vec<u64>,
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series that records every offered sample.
+    pub fn new() -> Self {
+        Self::with_stride(1)
+    }
+
+    /// Creates a series that records samples whose time is a multiple of
+    /// `stride`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stride == 0`.
+    pub fn with_stride(stride: u64) -> Self {
+        assert!(stride > 0, "TimeSeries stride must be positive");
+        TimeSeries {
+            stride,
+            times: Vec::new(),
+            values: Vec::new(),
+        }
+    }
+
+    /// Offers a sample; it is recorded iff `t % stride == 0`.
+    ///
+    /// Returns `true` when the sample was recorded.
+    pub fn offer(&mut self, t: u64, value: f64) -> bool {
+        if t.is_multiple_of(self.stride) {
+            self.push(t, value);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Records a sample unconditionally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or `t` is not strictly after the last
+    /// recorded time (times must be strictly increasing).
+    pub fn push(&mut self, t: u64, value: f64) {
+        assert!(!value.is_nan(), "TimeSeries::push: NaN value");
+        if let Some(&last) = self.times.last() {
+            assert!(t > last, "TimeSeries times must increase (last {last}, got {t})");
+        }
+        self.times.push(t);
+        self.values.push(value);
+    }
+
+    /// Number of recorded points.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Returns `true` if nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// Recorded times, ascending.
+    pub fn times(&self) -> &[u64] {
+        &self.times
+    }
+
+    /// Recorded values, aligned with [`times`](Self::times).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Iterator over `(t, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, f64)> + '_ {
+        self.times.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Indices of recorded points with `from ≤ t < to`.
+    fn window_range(&self, from: u64, to: u64) -> std::ops::Range<usize> {
+        let lo = self.times.partition_point(|&t| t < from);
+        let hi = self.times.partition_point(|&t| t < to);
+        lo..hi
+    }
+
+    /// Maximum recorded value in the half-open time window `[from, to)`.
+    pub fn max_in(&self, from: u64, to: u64) -> Option<f64> {
+        self.values[self.window_range(from, to)]
+            .iter()
+            .copied()
+            .reduce(f64::max)
+    }
+
+    /// Minimum recorded value in `[from, to)`.
+    pub fn min_in(&self, from: u64, to: u64) -> Option<f64> {
+        self.values[self.window_range(from, to)]
+            .iter()
+            .copied()
+            .reduce(f64::min)
+    }
+
+    /// Mean of recorded values in `[from, to)`.
+    pub fn mean_in(&self, from: u64, to: u64) -> Option<f64> {
+        let r = self.window_range(from, to);
+        if r.is_empty() {
+            return None;
+        }
+        let vals = &self.values[r];
+        Some(vals.iter().sum::<f64>() / vals.len() as f64)
+    }
+
+    /// First recorded time at which the value is `≤ threshold`, or `None`.
+    ///
+    /// This is the hitting-time primitive used for τ₁/τ₂/τ₃ measurements:
+    /// e.g. "the first step at which potential φ drops below `C·w·n·log n`".
+    pub fn first_time_leq(&self, threshold: f64) -> Option<u64> {
+        self.iter().find(|&(_, v)| v <= threshold).map(|(t, _)| t)
+    }
+
+    /// First recorded time at which the value is `≥ threshold`, or `None`.
+    pub fn first_time_geq(&self, threshold: f64) -> Option<u64> {
+        self.iter().find(|&(_, v)| v >= threshold).map(|(t, _)| t)
+    }
+
+    /// The **settling time**: the first recorded time `t` such that the
+    /// value is `≤ threshold` at `t` and at every later recorded time, or
+    /// `None` if the series ends above the threshold.
+    ///
+    /// This is the statistic the paper's phase milestones need: a process
+    /// may start below a bound trivially (e.g. `ψ(0) = 0` for an all-dark
+    /// start), rise, and only later *stabilise* below it; "stabilises and
+    /// stays" is what Theorem 2.8's "for all `t` in the interval" asserts.
+    pub fn settling_time_leq(&self, threshold: f64) -> Option<u64> {
+        let last_above = self
+            .values
+            .iter()
+            .rposition(|&v| v > threshold);
+        match last_above {
+            None => self.times.first().copied(),
+            Some(idx) if idx + 1 < self.times.len() => Some(self.times[idx + 1]),
+            Some(_) => None,
+        }
+    }
+
+    /// Last recorded `(t, value)` pair.
+    pub fn last(&self) -> Option<(u64, f64)> {
+        Some((*self.times.last()?, *self.values.last()?))
+    }
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> TimeSeries {
+        let mut ts = TimeSeries::new();
+        for t in 0..10u64 {
+            ts.push(t, 10.0 - t as f64);
+        }
+        ts
+    }
+
+    #[test]
+    fn stride_filters() {
+        let mut ts = TimeSeries::with_stride(3);
+        for t in 0..10u64 {
+            ts.offer(t, t as f64);
+        }
+        assert_eq!(ts.times(), &[0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn window_reductions() {
+        let ts = ramp();
+        assert_eq!(ts.max_in(2, 5), Some(8.0));
+        assert_eq!(ts.min_in(2, 5), Some(6.0));
+        assert_eq!(ts.mean_in(2, 5), Some(7.0));
+        assert_eq!(ts.max_in(100, 200), None);
+    }
+
+    #[test]
+    fn hitting_times() {
+        let ts = ramp();
+        // values: 10, 9, 8, ..., 1 at t = 0..9
+        assert_eq!(ts.first_time_leq(7.5), Some(3));
+        assert_eq!(ts.first_time_leq(0.5), None);
+        assert_eq!(ts.first_time_geq(10.0), Some(0));
+    }
+
+    #[test]
+    fn settling_time_skips_trivial_start() {
+        // Starts below, rises above, settles below: settling time is after
+        // the last excursion, not the trivial start.
+        let mut ts = TimeSeries::new();
+        for (t, v) in [(0, 0.0), (1, 5.0), (2, 3.0), (3, 1.0), (4, 0.5)] {
+            ts.push(t, v);
+        }
+        assert_eq!(ts.first_time_leq(2.0), Some(0));
+        assert_eq!(ts.settling_time_leq(2.0), Some(3));
+        // Never settles if it ends above.
+        assert_eq!(ts.settling_time_leq(0.4), None);
+        // Settles immediately if never above.
+        assert_eq!(ts.settling_time_leq(10.0), Some(0));
+    }
+
+    #[test]
+    fn window_is_half_open() {
+        let ts = ramp();
+        assert_eq!(ts.max_in(0, 1), Some(10.0));
+        assert_eq!(ts.max_in(1, 1), None);
+    }
+
+    #[test]
+    fn last_and_len() {
+        let ts = ramp();
+        assert_eq!(ts.last(), Some((9, 1.0)));
+        assert_eq!(ts.len(), 10);
+        assert!(!ts.is_empty());
+        assert!(TimeSeries::new().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "must increase")]
+    fn rejects_time_going_backwards() {
+        let mut ts = TimeSeries::new();
+        ts.push(5, 1.0);
+        ts.push(5, 2.0);
+    }
+}

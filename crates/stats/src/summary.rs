@@ -1,0 +1,125 @@
+//! One-shot descriptive summaries of finite samples.
+
+use crate::quantiles::quantile;
+
+/// Descriptive statistics of a finite sample, computed once from a slice.
+///
+/// Used by the experiment harness to summarise per-seed measurements
+/// (hitting times, error widths) into the rows printed by each experiment.
+///
+/// # Examples
+///
+/// ```
+/// use pp_stats::Summary;
+///
+/// let s = Summary::from_slice(&[1.0, 2.0, 3.0, 4.0, 100.0]).unwrap();
+/// assert_eq!(s.n, 5);
+/// assert_eq!(s.median, 3.0);
+/// assert_eq!(s.max, 100.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (n − 1 denominator).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25 % quantile.
+    pub q25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75 % quantile.
+    pub q75: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; `None` for an empty slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sample is NaN.
+    pub fn from_slice(xs: &[f64]) -> Option<Self> {
+        if xs.is_empty() {
+            return None;
+        }
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n < 2 {
+            0.0
+        } else {
+            xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+        };
+        Some(Summary {
+            n,
+            mean,
+            std_dev: var.sqrt(),
+            min: quantile(xs, 0.0)?,
+            q25: quantile(xs, 0.25)?,
+            median: quantile(xs, 0.5)?,
+            q75: quantile(xs, 0.75)?,
+            max: quantile(xs, 1.0)?,
+        })
+    }
+
+    /// Standard error of the mean.
+    pub fn std_err(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.std_dev / (self.n as f64).sqrt()
+        }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.4} sd={:.4} min={:.4} med={:.4} max={:.4}",
+            self.n, self.mean, self.std_dev, self.min, self.median, self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summarises_known_sample() {
+        let s = Summary::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 5.0);
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(Summary::from_slice(&[]).is_none());
+    }
+
+    #[test]
+    fn singleton_has_zero_spread() {
+        let s = Summary::from_slice(&[3.0]).unwrap();
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.min, 3.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.std_err(), 0.0);
+    }
+
+    #[test]
+    fn display_mentions_fields() {
+        let s = Summary::from_slice(&[1.0, 2.0]).unwrap();
+        let txt = format!("{s}");
+        assert!(txt.contains("n=2"));
+        assert!(txt.contains("mean="));
+    }
+}

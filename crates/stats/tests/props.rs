@@ -1,0 +1,110 @@
+//! Property-based tests for the statistics substrate.
+
+use pp_stats::{linear_fit, loglog_fit, median, quantile, Histogram, OnlineStats, Summary};
+use proptest::prelude::*;
+
+fn finite_samples() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e6f64..1e6f64, 1..200)
+}
+
+proptest! {
+    #[test]
+    fn online_mean_matches_naive(xs in finite_samples()) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let naive = xs.iter().sum::<f64>() / xs.len() as f64;
+        prop_assert!((s.mean() - naive).abs() < 1e-6 * (1.0 + naive.abs()));
+    }
+
+    #[test]
+    fn online_extrema_are_tight(xs in finite_samples()) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(s.min(), min);
+        prop_assert_eq!(s.max(), max);
+    }
+
+    #[test]
+    fn merge_is_order_independent(xs in finite_samples(), split in 0usize..200) {
+        let split = split.min(xs.len());
+        let mut a: OnlineStats = xs[..split].iter().copied().collect();
+        let b: OnlineStats = xs[split..].iter().copied().collect();
+        a.merge(&b);
+        let whole: OnlineStats = xs.iter().copied().collect();
+        prop_assert_eq!(a.len(), whole.len());
+        prop_assert!((a.mean() - whole.mean()).abs() < 1e-6 * (1.0 + whole.mean().abs()));
+    }
+
+    #[test]
+    fn variance_is_nonnegative(xs in finite_samples()) {
+        let s: OnlineStats = xs.iter().copied().collect();
+        prop_assert!(s.sample_variance() >= -1e-9);
+        prop_assert!(s.population_variance() >= -1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(xs in finite_samples(), q1 in 0.0f64..1.0, q2 in 0.0f64..1.0) {
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        let a = quantile(&xs, lo).unwrap();
+        let b = quantile(&xs, hi).unwrap();
+        prop_assert!(a <= b + 1e-12);
+    }
+
+    #[test]
+    fn quantile_within_range(xs in finite_samples(), q in 0.0f64..1.0) {
+        let v = quantile(&xs, q).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-12 && v <= max + 1e-12);
+    }
+
+    #[test]
+    fn median_between_extremes(xs in finite_samples()) {
+        let m = median(&xs).unwrap();
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min && m <= max);
+    }
+
+    #[test]
+    fn histogram_conserves_count(xs in finite_samples()) {
+        let mut h = Histogram::new(-1e6, 1e6, 32);
+        for &x in &xs {
+            h.record(x);
+        }
+        prop_assert_eq!(h.count() as usize, xs.len());
+        let binned: u64 = (0..h.num_bins()).map(|i| h.bin_count(i)).sum();
+        prop_assert_eq!(binned as usize, xs.len());
+    }
+
+    #[test]
+    fn linear_fit_recovers_exact_lines(
+        slope in -100.0f64..100.0,
+        intercept in -100.0f64..100.0,
+        n in 3usize..40,
+    ) {
+        let xs: Vec<f64> = (0..n).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| intercept + slope * x).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        prop_assert!((f.slope - slope).abs() < 1e-6 * (1.0 + slope.abs()));
+        prop_assert!((f.intercept - intercept).abs() < 1e-5 * (1.0 + intercept.abs()));
+    }
+
+    #[test]
+    fn loglog_fit_recovers_powers(exp in -2.0f64..2.0, scale in 0.1f64..100.0) {
+        let xs: Vec<f64> = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0].to_vec();
+        let ys: Vec<f64> = xs.iter().map(|x| scale * x.powf(exp)).collect();
+        let f = loglog_fit(&xs, &ys).unwrap();
+        prop_assert!((f.slope - exp).abs() < 1e-6);
+    }
+
+    #[test]
+    fn summary_orders_quantiles(xs in finite_samples()) {
+        let s = Summary::from_slice(&xs).unwrap();
+        prop_assert!(s.min <= s.q25);
+        prop_assert!(s.q25 <= s.median);
+        prop_assert!(s.median <= s.q75);
+        prop_assert!(s.q75 <= s.max);
+        prop_assert!(s.mean >= s.min && s.mean <= s.max);
+    }
+}

@@ -1,0 +1,108 @@
+//! Ant-colony task allocation — the paper's motivating scenario.
+//!
+//! A colony of ants allocates itself across tasks of unequal importance
+//! (foraging matters most). The environment then interferes, exactly as the
+//! introduction describes:
+//!
+//! 1. a raid kills a third of the colony ("too many foragers fell victim to
+//!    other ant colonies");
+//! 2. the nest overheats and fanning becomes a brand-new task ("an ant
+//!    notices that the nest temperature is too hot and starts fanning");
+//! 3. the brood matures and brood care is no longer needed ("a task is
+//!    fulfilled and no longer necessary").
+//!
+//! After every shock the colony re-balances onto the fair shares of the
+//! remaining tasks — without any ant knowing the task list.
+//!
+//! ```sh
+//! cargo run --release --example ant_colony
+//! ```
+
+use population_diversity::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const TASKS: [&str; 5] = ["forage", "brood", "nest", "defend", "fan"];
+
+fn print_allocation(label: &str, sim: &Simulator<Diversification, Complete>, k: usize) {
+    let stats = ConfigStats::from_states(sim.population().states(), k);
+    let n = stats.population();
+    print!("{label:<34} n={n:>5} |");
+    for (i, task) in TASKS.iter().enumerate().take(k) {
+        print!(" {task}: {:>5.1}%", 100.0 * stats.colour_count(i) as f64 / n as f64);
+    }
+    println!();
+}
+
+fn main() -> Result<(), population_diversity::core::WeightsError> {
+    // Task weights: foraging 4, brood care 2, nest repair 1, defence 1,
+    // fanning 2 — fanning starts UNUSED (no ant performs it yet).
+    let weights = Weights::new(vec![4.0, 2.0, 1.0, 1.0, 2.0])?;
+    let k = weights.len();
+    let n = 3_000;
+
+    // Initial colony: everyone piled onto the first four tasks evenly.
+    let mut counts = [n / 4, n / 4, n / 4, n / 4, 0];
+    counts[0] += n - counts.iter().sum::<usize>();
+    let states: Vec<AgentState> = counts
+        .iter()
+        .enumerate()
+        .flat_map(|(i, &c)| std::iter::repeat_n(AgentState::dark(Colour::new(i)), c))
+        .collect();
+
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        states,
+        7,
+    );
+    let mut shock_rng = StdRng::seed_from_u64(8);
+    let settle = population_diversity::core::theory::convergence_budget(n, weights.total(), 4.0);
+
+    println!("task weights: forage=4 brood=2 nest=1 defend=1 fan=2 (fan initially unmanned)\n");
+    print_allocation("start", &sim, k);
+
+    sim.run(settle);
+    print_allocation("settled", &sim, k);
+
+    // Shock 1: a raid kills 1/3 of the colony.
+    apply(&Shock::RemoveAgents { count: n / 3 }, &mut sim, &mut shock_rng);
+    print_allocation("after raid (-1/3 of ants)", &sim, k);
+    sim.run(settle);
+    print_allocation("re-settled", &sim, k);
+
+    // Shock 2: the nest overheats; a few ants start fanning (new task,
+    // injected dark so sustainability covers it).
+    apply(
+        &Shock::InjectColour {
+            colour: Colour::new(4),
+            recruits: 20,
+        },
+        &mut sim,
+        &mut shock_rng,
+    );
+    print_allocation("nest too hot: 20 ants start fanning", &sim, k);
+    sim.run(settle);
+    print_allocation("re-settled (fanning at fair share)", &sim, k);
+
+    // Shock 3: the brood matures; brood care is retired.
+    apply(
+        &Shock::RetireColour {
+            colour: Colour::new(1),
+            replacement: Colour::new(0),
+        },
+        &mut sim,
+        &mut shock_rng,
+    );
+    print_allocation("brood matured: task retired", &sim, k);
+    sim.run(settle);
+    print_allocation("re-settled (no brood care)", &sim, k);
+
+    let stats = ConfigStats::from_states(sim.population().states(), k);
+    assert_eq!(stats.colour_count(1), 0, "retired task should stay retired");
+    for i in [0usize, 2, 3, 4] {
+        assert!(stats.dark_count(i) >= 1, "live task {i} lost its last confident ant");
+    }
+    println!("\nretired task stayed retired; every live task kept at least one confident ant.");
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! Diversity in a dynamic environment: sustained churn.
+//!
+//! One-off shocks (see `ant_colony.rs`) are the easy case. Here the
+//! environment never stops: every few time-steps a random agent is replaced
+//! by a fresh dark agent of a random colour (workers die and are born,
+//! opinions get reset by external events). Diversification holds the
+//! population in a *dynamic* equilibrium whose distance from the fair share
+//! degrades gracefully with the churn rate — and sustainability never
+//! breaks, because churn only ever adds confident agents.
+//!
+//! ```sh
+//! cargo run --release --example dynamic_environment
+//! ```
+
+use population_diversity::adversary::error_under_churn;
+use population_diversity::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn converged(
+    n: usize,
+    weights: &Weights,
+    seed: u64,
+) -> Simulator<Diversification, Complete> {
+    let states = init::all_dark_balanced(n, weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        states,
+        seed,
+    );
+    sim.run(population_diversity::core::theory::convergence_budget(
+        n,
+        weights.total(),
+        4.0,
+    ));
+    sim
+}
+
+fn main() -> Result<(), population_diversity::core::WeightsError> {
+    let weights = Weights::new(vec![1.0, 1.0, 2.0, 4.0])?;
+    let n = 1_000;
+    let horizon = (30.0 * n as f64 * (n as f64).ln()) as u64;
+
+    println!("n = {n}, weights = (1,1,2,4); churn = 1 random agent reset per interval\n");
+    println!(
+        "{:>22} {:>26} {:>16}",
+        "reset interval (steps)", "mean diversity error", "still diverse?"
+    );
+
+    // Sweep the churn rate over three orders of magnitude.
+    for interval in [10u64, 100, 1_000, 10_000, 100_000] {
+        let mut sim = converged(n, &weights, 5);
+        let mut rng = StdRng::seed_from_u64(interval);
+        let err = error_under_churn(&mut sim, &weights, interval, horizon, &mut rng);
+        let stats = ConfigStats::from_states(sim.population().states(), weights.len());
+        println!(
+            "{interval:>22} {err:>26.4} {:>16}",
+            if stats.all_colours_alive() && err < 0.3 {
+                "yes"
+            } else {
+                "NO"
+            }
+        );
+    }
+
+    println!(
+        "\nchurn-free baseline (Eq. (1)): ~{:.4}",
+        population_diversity::core::theory::diversity_error_scale(n)
+    );
+    println!("slower churn → error approaches the churn-free concentration width.");
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! Quickstart: run the Diversification protocol and watch the population
+//! settle on its weighted fair shares.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use population_diversity::prelude::*;
+
+fn main() -> Result<(), population_diversity::core::WeightsError> {
+    // Four colours; colour weights say how much of the population each
+    // deserves: fair shares are w_i / w = 1/8, 1/8, 2/8, 4/8.
+    let weights = Weights::new(vec![1.0, 1.0, 2.0, 4.0])?;
+    let n = 2_000;
+    let seed = 42;
+
+    // Every agent starts dark (confident); colours are spread round-robin,
+    // far from the weighted fair split.
+    let states = init::all_dark_balanced(n, &weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        states,
+        seed,
+    );
+
+    println!("n = {n}, weights = {:?}, seed = {seed}", weights.as_slice());
+    println!("{:>12} {:>8} {:>8} {:>8} {:>8} {:>10}", "step", "c0", "c1", "c2", "c3", "max err");
+
+    // The paper's Theorem 1.3: convergence within O(w² n log n) steps.
+    let budget = population_diversity::core::theory::convergence_budget(n, weights.total(), 4.0);
+    let checkpoints = 10;
+    for _ in 0..checkpoints {
+        sim.run(budget / checkpoints);
+        let stats = ConfigStats::from_states(sim.population().states(), weights.len());
+        println!(
+            "{:>12} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>10.4}",
+            sim.step_count(),
+            stats.colour_fraction(0),
+            stats.colour_fraction(1),
+            stats.colour_fraction(2),
+            stats.colour_fraction(3),
+            stats.max_diversity_error(&weights),
+        );
+    }
+
+    let stats = ConfigStats::from_states(sim.population().states(), weights.len());
+    println!(
+        "\nfair shares: {:?}",
+        (0..weights.len()).map(|i| weights.fair_share(i)).collect::<Vec<_>>()
+    );
+    println!(
+        "final diversity error: {:.4} (Eq. (1) predicts Õ(1/sqrt(n)) = {:.4})",
+        stats.max_diversity_error(&weights),
+        population_diversity::core::theory::diversity_error_scale(n),
+    );
+    assert!(stats.all_colours_alive(), "sustainability violated?!");
+    println!("all colours alive: true (sustainability, Definition 1.1(3))");
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! **population-diversity** — a reproduction of
+//! *Diversity, Fairness, and Sustainability in Population Protocols*
+//! (Nan Kang, Frederik Mallmann-Trenn, Nicolás Rivera; PODC 2021,
+//! arXiv:2105.09926).
+//!
+//! The paper proposes the **Diversification** protocol: `n` anonymous
+//! agents, each holding one of `k` weighted colours plus a single
+//! confidence bit, converge to — and indefinitely sustain — a population
+//! split proportional to the colour weights, with each agent spending its
+//! time fairly across colours and no colour ever going extinct.
+//!
+//! This crate is an umbrella over the workspace:
+//!
+//! * [`core`] (`pp-core`) — the protocol, its derandomised variant,
+//!   potentials, regions, and property checkers;
+//! * [`engine`] (`pp-engine`) — the population-protocol simulator;
+//! * [`graph`] (`pp-graph`) — interaction topologies;
+//! * [`markov`] (`pp-markov`) — the §2.4 Markov-chain machinery;
+//! * [`baselines`] (`pp-baselines`) — Voter, 2-Choices, 3-Majority,
+//!   Anti-Voter, averaging, and ablations;
+//! * [`adversary`] (`pp-adversary`) — structural shocks and recovery
+//!   measurement;
+//! * [`stats`] (`pp-stats`) — the numerical substrate.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use population_diversity::prelude::*;
+//!
+//! // Three tasks; the third is twice as important.
+//! let weights = Weights::new(vec![1.0, 1.0, 2.0])?;
+//! let n = 400;
+//! let states = init::all_dark_balanced(n, &weights);
+//! let mut sim = Simulator::new(
+//!     Diversification::new(weights.clone()),
+//!     Complete::new(n),
+//!     states,
+//!     42,
+//! );
+//! sim.run(200_000);
+//!
+//! let stats = ConfigStats::from_states(sim.population().states(), weights.len());
+//! assert!(stats.max_diversity_error(&weights) < 0.15);
+//! assert!(stats.all_colours_alive());
+//! # Ok::<(), population_diversity::core::WeightsError>(())
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios (ant task
+//! allocation, portfolio diversification, consensus-vs-diversity) and
+//! EXPERIMENTS.md for the paper-vs-measured record.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use pp_adversary as adversary;
+pub use pp_baselines as baselines;
+pub use pp_core as core;
+pub use pp_engine as engine;
+pub use pp_graph as graph;
+pub use pp_markov as markov;
+pub use pp_stats as stats;
+
+/// The most common imports, re-exported flat.
+pub mod prelude {
+    pub use pp_adversary::{apply, recovery_time, Schedule, Shock};
+    pub use pp_core::{
+        init, phi, psi, region::GoodSet, sigma_sq, AgentState, Colour, ConfigStats,
+        DerandomisedDiversification, Diversification, DiversityChecker, FairnessTracker,
+        IntWeights, Shade, SustainabilityChecker, Weights,
+    };
+    pub use pp_engine::{replicate, Population, Protocol, Simulator};
+    pub use pp_graph::{Complete, Cycle, Topology, Torus2d};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_compiles_and_links() {
+        use crate::prelude::*;
+        let w = Weights::uniform(2);
+        assert_eq!(w.len(), 2);
+        let g = Complete::new(4);
+        assert_eq!(g.len(), 4);
+    }
+}

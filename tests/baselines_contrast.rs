@@ -1,0 +1,110 @@
+//! Integration contrast tests: the consensus baselines do what they are
+//! built for (kill diversity); Diversification does the opposite; the
+//! trivial global-sampling strawman fails robustness.
+
+use pp_baselines::{ThreeMajority, TrivialProportional, TwoChoices, Voter};
+use population_diversity::prelude::*;
+
+fn first_extinction<P>(protocol: P, n: usize, k: usize, budget: u64, seed: u64) -> Option<u64>
+where
+    P: Protocol<State = Colour>,
+{
+    let states: Vec<Colour> = (0..n).map(|u| Colour::new(u % k)).collect();
+    let mut sim = Simulator::new(protocol, Complete::new(n), states, seed);
+    sim.run_until(budget, n as u64, |pop, _| {
+        let counts = pop.count_by(|&c| c);
+        (0..k).any(|i| !counts.contains_key(&Colour::new(i)))
+    })
+}
+
+#[test]
+fn consensus_protocols_lose_a_colour() {
+    let n = 200;
+    let budget = (n * n * 30) as u64;
+    assert!(first_extinction(Voter, n, 4, budget, 1).is_some(), "voter");
+    assert!(
+        first_extinction(TwoChoices, n, 4, budget, 1).is_some(),
+        "2-choices"
+    );
+    assert!(
+        first_extinction(ThreeMajority, n, 4, budget, 1).is_some(),
+        "3-majority"
+    );
+}
+
+#[test]
+fn diversification_never_loses_a_colour_in_same_budget() {
+    let n = 200;
+    let k = 4;
+    let weights = Weights::uniform(k);
+    let states = init::all_dark_balanced(n, &weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights),
+        Complete::new(n),
+        states,
+        1,
+    );
+    let budget = (n * n * 30) as u64;
+    let extinct = sim.run_until(budget, n as u64, |pop, _| {
+        let stats = ConfigStats::from_states(pop.states(), k);
+        (0..k).any(|i| stats.colour_count(i) == 0)
+    });
+    assert_eq!(extinct, None, "diversification lost a colour");
+}
+
+#[test]
+fn trivial_protocol_is_not_robust_to_retirement() {
+    // Retire colour 0 by recolouring its supporters; the trivial protocol
+    // resurrects it immediately because agents sample from the global table.
+    let n = 200;
+    let weights = Weights::uniform(3);
+    let states: Vec<Colour> = (0..n).map(|u| Colour::new(1 + (u % 2))).collect();
+    let mut sim = Simulator::new(
+        TrivialProportional::new(weights),
+        Complete::new(n),
+        states,
+        2,
+    );
+    sim.run(20_000);
+    let dead_support = sim.population().count_matching(|&c| c == Colour::new(0));
+    assert!(
+        dead_support > 0,
+        "trivial protocol should keep resampling the retired colour"
+    );
+}
+
+#[test]
+fn diversification_respects_retirement() {
+    // The same scenario under Diversification: nobody holds colour 0, so it
+    // can never come back (local observations only).
+    let universe = Weights::uniform(3);
+    let n = 200;
+    let states: Vec<AgentState> = (0..n)
+        .map(|u| AgentState::dark(Colour::new(1 + (u % 2))))
+        .collect();
+    let mut sim = Simulator::new(
+        Diversification::new(universe),
+        Complete::new(n),
+        states,
+        2,
+    );
+    sim.run(200_000);
+    let stats = ConfigStats::from_states(sim.population().states(), 3);
+    assert_eq!(stats.colour_count(0), 0, "retired colour resurrected");
+    // And the two live colours split the population evenly.
+    assert!((stats.colour_fraction(1) - 0.5).abs() < 0.12);
+}
+
+#[test]
+fn anti_voter_is_the_k2_unweighted_special_case() {
+    // Anti-Voter sustains two colours at 1/2 each — Diversification with
+    // uniform weights generalises this to any k and any weights.
+    use pp_baselines::AntiVoter;
+    let n = 200;
+    let states: Vec<Colour> = (0..n).map(|u| Colour::new(u % 2)).collect();
+    let mut sim = Simulator::new(AntiVoter, Complete::new(n), states, 3);
+    sim.run(100_000);
+    let ones = sim.population().count_matching(|&c| c == Colour::new(1));
+    let frac = ones as f64 / n as f64;
+    assert!((frac - 0.5).abs() < 0.15, "anti-voter share {frac}");
+}

@@ -1,0 +1,173 @@
+//! End-to-end integration tests: the paper's three headline properties, each
+//! exercised through the full stack (core protocol + engine + graph +
+//! checkers).
+
+use population_diversity::prelude::*;
+
+fn converged(
+    n: usize,
+    weights: &Weights,
+    seed: u64,
+) -> Simulator<Diversification, Complete> {
+    let states = init::all_dark_balanced(n, weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        states,
+        seed,
+    );
+    sim.run(population_diversity::core::theory::convergence_budget(
+        n,
+        weights.total(),
+        4.0,
+    ));
+    sim
+}
+
+#[test]
+fn diversity_theorem_1_3() {
+    // After O(w² n log n) steps every colour fraction is within
+    // O(sqrt(log n / n)) of its fair share, and stays there for a window.
+    let n = 2_000;
+    let weights = Weights::new(vec![1.0, 2.0, 5.0]).unwrap();
+    let mut sim = converged(n, &weights, 77);
+    let mut checker = DiversityChecker::new(weights.clone(), 6.0);
+    let window = (2.0 * n as f64 * (n as f64).ln()) as u64;
+    sim.run_observed(window, n as u64, |_, pop| {
+        checker.observe(&ConfigStats::from_states(pop.states(), 3));
+    });
+    assert!(
+        checker.holds(),
+        "worst diversity error {} exceeds 6·sqrt(ln n / n) = {}",
+        checker.worst_error(),
+        6.0 * population_diversity::core::theory::diversity_error_scale(n)
+    );
+}
+
+#[test]
+fn equilibrium_eq_7_both_shades() {
+    // Theorem 2.13: dark counts ≈ w_i n/(1+w), light counts ≈ (w_i/w) n/(1+w).
+    let n = 4_000;
+    let weights = Weights::new(vec![1.0, 3.0]).unwrap();
+    let sim = converged(n, &weights, 3);
+    let stats = ConfigStats::from_states(sim.population().states(), 2);
+    let scale = population_diversity::core::theory::phase3_error_scale(n);
+    assert!(
+        stats.max_dark_equilibrium_error(&weights) < 6.0 * scale,
+        "dark error {} vs scale {scale}",
+        stats.max_dark_equilibrium_error(&weights)
+    );
+    assert!(
+        stats.max_light_equilibrium_error(&weights) < 6.0 * scale,
+        "light error {} vs scale {scale}",
+        stats.max_light_equilibrium_error(&weights)
+    );
+}
+
+#[test]
+fn sustainability_over_long_window() {
+    let n = 500;
+    let weights = Weights::new(vec![1.0, 1.0, 4.0]).unwrap();
+    let states = init::all_dark_single_minority(n, &weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        states,
+        9,
+    );
+    let mut checker = SustainabilityChecker::new();
+    for _ in 0..400 {
+        sim.run(500);
+        checker.observe(
+            &ConfigStats::from_states(sim.population().states(), 3),
+            sim.step_count(),
+        );
+    }
+    assert!(checker.holds(), "violation at {:?}", checker.first_violation());
+    assert!(checker.min_dark_seen() >= 1);
+}
+
+#[test]
+fn fairness_agents_rotate_through_colours() {
+    let n = 150;
+    let weights = Weights::new(vec![1.0, 1.0, 2.0]).unwrap();
+    let mut sim = converged(n, &weights, 13);
+    let mut tracker = FairnessTracker::new(n, 3);
+    let snapshots = 6_000;
+    for _ in 0..snapshots {
+        sim.run(n as u64);
+        tracker.record(sim.population().states());
+    }
+    // Every agent's occupancy of the heavy colour should be near 1/2, and
+    // of each light colour near 1/4.
+    let dev = tracker.max_deviation(&weights);
+    assert!(dev < 0.15, "max fairness deviation {dev}");
+}
+
+#[test]
+fn adversary_injection_recovers_and_spreads() {
+    // Robustness: inject a brand-new colour dark; it must reach a share
+    // near its fair share and never die.
+    let universe = Weights::uniform(3);
+    let n = 400;
+    // Colours 0 and 1 split the population; colour 2 absent.
+    let mut states = Vec::with_capacity(n);
+    for u in 0..n {
+        states.push(AgentState::dark(Colour::new(u % 2)));
+    }
+    let mut sim = Simulator::new(
+        Diversification::new(universe.clone()),
+        Complete::new(n),
+        states,
+        21,
+    );
+    sim.run(100_000);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(22);
+    apply(
+        &Shock::InjectColour {
+            colour: Colour::new(2),
+            recruits: 5,
+        },
+        &mut sim,
+        &mut rng,
+    );
+    sim.run(population_diversity::core::theory::convergence_budget(n, 3.0, 16.0));
+    let stats = ConfigStats::from_states(sim.population().states(), 3);
+    let share = stats.colour_fraction(2);
+    assert!(
+        (share - 1.0 / 3.0).abs() < 0.12,
+        "injected colour share {share} far from 1/3"
+    );
+}
+
+#[test]
+fn derandomised_matches_randomised_equilibrium() {
+    let n = 1_000;
+    let iw = IntWeights::new(vec![1, 2, 4]).unwrap();
+    let weights = iw.to_weights();
+    let protocol = DerandomisedDiversification::new(iw);
+    let states = init::grey_balanced(n, &protocol);
+    let mut sim = Simulator::new(protocol, Complete::new(n), states, 31);
+    sim.run(population_diversity::core::theory::convergence_budget(
+        n,
+        weights.total(),
+        4.0,
+    ));
+    let stats = ConfigStats::from_grey_states(sim.population().states(), 3);
+    assert!(
+        stats.max_diversity_error(&weights) < 0.1,
+        "derandomised error {}",
+        stats.max_diversity_error(&weights)
+    );
+}
+
+#[test]
+fn replicated_runs_are_reproducible() {
+    // The whole pipeline is deterministic given seeds.
+    let run = || {
+        let weights = Weights::uniform(3);
+        let sim = converged(300, &weights, 1234);
+        sim.into_population().into_states()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,112 @@
+//! Integration test of the §2.4 machinery: a real agent's trajectory under
+//! the full protocol is statistically indistinguishable (at the paper's
+//! error scale) from the ideal equilibrium chain `P`.
+
+use population_diversity::core::checker::TrajectoryRecorder;
+use population_diversity::markov::{stationary_solve, total_variation, IdealChain, Walk};
+use population_diversity::prelude::*;
+
+#[test]
+fn agent_occupancy_matches_ideal_stationary() {
+    let n = 300;
+    let weights = Weights::new(vec![1.0, 1.0, 2.0]).unwrap();
+    let k = weights.len();
+    let states = init::all_dark_balanced(n, &weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        states,
+        51,
+    );
+    sim.run(population_diversity::core::theory::convergence_budget(
+        n,
+        weights.total(),
+        4.0,
+    ));
+
+    let mut recorder = TrajectoryRecorder::new(7, k);
+    recorder.record(sim.population().states());
+    for _ in 0..3_000_000u64 {
+        sim.step();
+        recorder.record(sim.population().states());
+    }
+    let walk = Walk::from_states(recorder.into_states());
+    let chain = IdealChain::new(weights.as_slice(), n);
+    let pi = chain.exact_stationary();
+    let occupancy = walk.occupancy(2 * k);
+
+    let tv = total_variation(&occupancy, &pi);
+    assert!(tv < 0.06, "occupancy TV distance to pi: {tv}");
+
+    // Colour-level fairness: dark + light occupancy per colour ≈ w_i/w.
+    for i in 0..k {
+        let measured = occupancy[chain.dark(i)] + occupancy[chain.light(i)];
+        let target = weights.fair_share(i);
+        assert!(
+            (measured - target).abs() < 0.08,
+            "colour {i}: measured {measured} vs fair share {target}"
+        );
+    }
+}
+
+#[test]
+fn empirical_transitions_match_ideal_chain() {
+    let n = 150;
+    let weights = Weights::new(vec![1.0, 2.0]).unwrap();
+    let k = weights.len();
+    let states = init::all_dark_balanced(n, &weights);
+    let mut sim = Simulator::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        states,
+        52,
+    );
+    sim.run(population_diversity::core::theory::convergence_budget(
+        n,
+        weights.total(),
+        4.0,
+    ));
+
+    let mut recorder = TrajectoryRecorder::new(0, k);
+    recorder.record(sim.population().states());
+    for _ in 0..4_000_000u64 {
+        sim.step();
+        recorder.record(sim.population().states());
+    }
+    let walk = Walk::from_states(recorder.into_states());
+    let empirical = walk.empirical_transitions(2 * k);
+    let ideal = IdealChain::new(weights.as_slice(), n);
+
+    // Eq. (20): per-entry error err = O((log n / n)^{1/4} / n)… we allow the
+    // constant to be generous and additionally scale with the entry size.
+    let err_scale = population_diversity::core::theory::mc_approximation_error(n) / n as f64;
+    for i in 0..2 * k {
+        for j in 0..2 * k {
+            let diff = (empirical.prob(i, j) - ideal.matrix().prob(i, j)).abs();
+            if i == j {
+                continue; // diagonal absorbs the complement; covered by off-diagonals
+            }
+            assert!(
+                diff < 5.0 * err_scale + 3.0 * ideal.matrix().prob(i, j),
+                "entry ({i},{j}): empirical {} vs ideal {} (scale {err_scale})",
+                empirical.prob(i, j),
+                ideal.matrix().prob(i, j)
+            );
+        }
+    }
+}
+
+#[test]
+fn perturbed_chains_sandwich_the_ideal() {
+    // The majorisation device of §2.4: π⁻(D_ℓ) ≤ π(D_ℓ) ≤ π⁺(D_ℓ).
+    let chain = IdealChain::new(&[1.0, 1.0, 2.0], 200);
+    let err = population_diversity::core::theory::mc_approximation_error(200) / 2000.0;
+    for target in 0..3 {
+        let pi = chain.exact_stationary();
+        let plus = stationary_solve(&chain.perturbed_toward_dark(target, err));
+        let minus = stationary_solve(&chain.perturbed_toward_dark(target, -err));
+        let d = chain.dark(target);
+        assert!(minus[d] <= pi[d] + 1e-12, "target {target}");
+        assert!(plus[d] >= pi[d] - 1e-12, "target {target}");
+    }
+}
