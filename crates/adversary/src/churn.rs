@@ -60,7 +60,8 @@ impl Churn {
             let n = sim.population().len();
             let victim = churn_rng.random_range(0..n);
             let colour = Colour::new(churn_rng.random_range(0..self.num_colours));
-            sim.population_mut().set_state(victim, AgentState::dark(colour));
+            sim.population_mut()
+                .set_state(victim, AgentState::dark(colour));
             observer(sim.step_count(), sim.population());
         }
     }

@@ -167,16 +167,9 @@ mod tests {
         let states: Vec<AgentState> = counts
             .iter()
             .enumerate()
-            .flat_map(|(i, &c)| {
-                std::iter::repeat_n(AgentState::dark(Colour::new(i)), c)
-            })
+            .flat_map(|(i, &c)| std::iter::repeat_n(AgentState::dark(Colour::new(i)), c))
             .collect();
-        let mut sim = Simulator::new(
-            Diversification::new(weights),
-            Complete::new(n),
-            states,
-            13,
-        );
+        let mut sim = Simulator::new(Diversification::new(weights), Complete::new(n), states, 13);
         let schedule = Schedule::new(vec![(
             500,
             Shock::InjectColour {

@@ -11,7 +11,12 @@ use rand::SeedableRng;
 fn setup(n: usize, k: usize, seed: u64) -> Simulator<Diversification, Complete> {
     let weights = Weights::uniform(k);
     let states = init::all_dark_balanced(n, &weights);
-    Simulator::new(Diversification::new(weights), Complete::new(n), states, seed)
+    Simulator::new(
+        Diversification::new(weights),
+        Complete::new(n),
+        states,
+        seed,
+    )
 }
 
 proptest! {

@@ -161,12 +161,7 @@ mod tests {
         let weights = Weights::uniform(3);
         let n = 60;
         let states = init::all_dark_balanced(n, &weights);
-        let mut sim = Simulator::new(
-            AdoptAnyShade::new(weights),
-            Complete::new(n),
-            states,
-            5,
-        );
+        let mut sim = Simulator::new(AdoptAnyShade::new(weights), Complete::new(n), states, 5);
         for _ in 0..30 {
             sim.run(300);
             let stats = ConfigStats::from_states(sim.population().states(), 3);
@@ -205,7 +200,9 @@ mod tests {
 
     #[test]
     fn accessors_and_names() {
-        assert!(AdoptAnyShade::new(Weights::uniform(2)).name().contains("shade"));
+        assert!(AdoptAnyShade::new(Weights::uniform(2))
+            .name()
+            .contains("shade"));
         let cf = ConstantFlip::new(0.25);
         assert_eq!(cf.flip_probability(), 0.25);
         assert!(cf.name().contains("0.25"));

@@ -36,7 +36,10 @@ pub struct FitnessError;
 
 impl std::fmt::Display for FitnessError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "fitness table must be non-empty with positive finite entries")
+        write!(
+            f,
+            "fitness table must be non-empty with positive finite entries"
+        )
     }
 }
 

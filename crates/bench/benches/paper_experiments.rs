@@ -35,12 +35,18 @@ fn main() {
     timed("t3_diversity_error", &mut || {
         experiments::diversity::run(preset, 300)
     });
-    timed("t4_phase3_error", &mut || experiments::phase3::run(preset, 400));
-    timed("t5_fairness", &mut || experiments::fairness::run(preset, 500));
+    timed("t4_phase3_error", &mut || {
+        experiments::phase3::run(preset, 400)
+    });
+    timed("t5_fairness", &mut || {
+        experiments::fairness::run(preset, 500)
+    });
     timed("t6_sustainability", &mut || {
         experiments::sustainability::run(preset, 600)
     });
-    timed("t7_baselines", &mut || experiments::baselines::run(preset, 700));
+    timed("t7_baselines", &mut || {
+        experiments::baselines::run(preset, 700)
+    });
     timed("t8_derandomised", &mut || {
         experiments::derandomised::run(preset, 800)
     });
@@ -57,8 +63,12 @@ fn main() {
     timed("t13_stability", &mut || {
         experiments::stability::run(preset, 1500)
     });
-    timed("ablations", &mut || experiments::ablations::run(preset, 1300));
-    timed("drift_lemmas", &mut || experiments::drift::run(preset, 1400));
+    timed("ablations", &mut || {
+        experiments::ablations::run(preset, 1300)
+    });
+    timed("drift_lemmas", &mut || {
+        experiments::drift::run(preset, 1400)
+    });
 
     println!("# suite finished in {:.2?}", started.elapsed());
 }

@@ -6,7 +6,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pp_baselines::{ThreeMajority, TwoChoices, Voter};
-use pp_core::{init, ConfigStats, DerandomisedDiversification, Diversification, IntWeights, Weights};
+use pp_core::{
+    init, ConfigStats, DerandomisedDiversification, Diversification, IntWeights, Weights,
+};
+use pp_dense::{CountConfig, DenseSimulator};
 use pp_engine::{Protocol, Simulator};
 use pp_graph::{Complete, Cycle, Topology, Torus2d};
 use pp_markov::{stationary_solve, IdealChain};
@@ -65,16 +68,13 @@ fn bench_topologies(c: &mut Criterion) {
 
     fn run_on<T: Topology>(b: &mut criterion::Bencher<'_>, topology: T, weights: &Weights) {
         let states = init::all_dark_balanced(topology.len(), weights);
-        let mut sim = Simulator::new(
-            Diversification::new(weights.clone()),
-            topology,
-            states,
-            1,
-        );
+        let mut sim = Simulator::new(Diversification::new(weights.clone()), topology, states, 1);
         b.iter(|| sim.run(STEPS_PER_ITER));
     }
 
-    group.bench_function("complete-1024", |b| run_on(b, Complete::new(1_024), &weights));
+    group.bench_function("complete-1024", |b| {
+        run_on(b, Complete::new(1_024), &weights)
+    });
     group.bench_function("cycle-1024", |b| run_on(b, Cycle::new(1_024), &weights));
     group.bench_function("torus-32x32", |b| run_on(b, Torus2d::new(32, 32), &weights));
     group.finish();
@@ -91,6 +91,25 @@ fn bench_scaling_in_n(c: &mut Criterion) {
                 Diversification::new(weights.clone()),
                 Complete::new(n),
                 states,
+                1,
+            );
+            b.iter(|| sim.run(STEPS_PER_ITER));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_engine(c: &mut Criterion) {
+    // The count-based engine: same protocol, same step semantics, but the
+    // per-step cost shrinks as n grows (τ-leap batches cover ~ε·n/k steps).
+    let weights = Weights::new(vec![1.0, 1.0, 2.0, 4.0]).unwrap();
+    let mut group = c.benchmark_group("dense_engine_steps");
+    group.throughput(Throughput::Elements(STEPS_PER_ITER));
+    for n in [1_024u64, 1_000_000, 100_000_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sim = DenseSimulator::new(
+                Diversification::new(weights.clone()),
+                CountConfig::all_dark_balanced(n, 4).to_classes(),
                 1,
             );
             b.iter(|| sim.run(STEPS_PER_ITER));
@@ -154,6 +173,7 @@ criterion_group!(
     bench_protocol_steps,
     bench_topologies,
     bench_scaling_in_n,
+    bench_dense_engine,
     bench_statistics,
     bench_markov,
     bench_transition_fn

@@ -1,9 +1,14 @@
 //! Regenerates experiment `fig1_phases` (see EXPERIMENTS.md).
 //!
-//! Run with `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md;
-//! the default is the quick preset.
+//! Prints the report table and writes it to `BENCH_fig1_phases.json` (in
+//! `PP_BENCH_DIR` if set, else the working directory). Run with
+//! `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md; the default
+//! is the quick preset. (This experiment runs on the per-agent engine
+//! only; `PP_ENGINE` has no effect here.)
 
 fn main() {
     let preset = pp_bench::Preset::from_env();
-    pp_bench::experiments::fig1::run(preset, 2024).print();
+    let report = pp_bench::experiments::fig1::run(preset, 2024);
+    report.print();
+    pp_bench::output::write_report_or_warn(&report, "fig1_phases");
 }

@@ -1,9 +1,14 @@
 //! Regenerates experiment `t10_topologies` (see EXPERIMENTS.md).
 //!
-//! Run with `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md;
-//! the default is the quick preset.
+//! Prints the report table and writes it to `BENCH_t10_topologies.json` (in
+//! `PP_BENCH_DIR` if set, else the working directory). Run with
+//! `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md; the default
+//! is the quick preset. `PP_ENGINE=agent` forces the per-agent engine for
+//! complete-graph measurements (the default is the dense engine).
 
 fn main() {
     let preset = pp_bench::Preset::from_env();
-    pp_bench::experiments::topologies::run(preset, 1000).print();
+    let report = pp_bench::experiments::topologies::run(preset, 1000);
+    report.print();
+    pp_bench::output::write_report_or_warn(&report, "t10_topologies");
 }

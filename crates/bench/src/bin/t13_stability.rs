@@ -1,9 +1,14 @@
 //! Regenerates experiment `t13_stability` (see EXPERIMENTS.md).
 //!
-//! Run with `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md;
-//! the default is the quick preset.
+//! Prints the report table and writes it to `BENCH_t13_stability.json` (in
+//! `PP_BENCH_DIR` if set, else the working directory). Run with
+//! `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md; the default
+//! is the quick preset. (This experiment runs on the per-agent engine
+//! only; `PP_ENGINE` has no effect here.)
 
 fn main() {
     let preset = pp_bench::Preset::from_env();
-    pp_bench::experiments::stability::run(preset, 1500).print();
+    let report = pp_bench::experiments::stability::run(preset, 1500);
+    report.print();
+    pp_bench::output::write_report_or_warn(&report, "t13_stability");
 }

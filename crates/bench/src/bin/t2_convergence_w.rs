@@ -1,9 +1,14 @@
 //! Regenerates experiment `t2_convergence_w` (see EXPERIMENTS.md).
 //!
-//! Run with `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md;
-//! the default is the quick preset.
+//! Prints the report table and writes it to `BENCH_t2_convergence_w.json` (in
+//! `PP_BENCH_DIR` if set, else the working directory). Run with
+//! `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md; the default
+//! is the quick preset. `PP_ENGINE=agent` forces the per-agent engine for
+//! complete-graph measurements (the default is the dense engine).
 
 fn main() {
     let preset = pp_bench::Preset::from_env();
-    pp_bench::experiments::convergence::run_w_sweep(preset, 200).print();
+    let report = pp_bench::experiments::convergence::run_w_sweep(preset, 200);
+    report.print();
+    pp_bench::output::write_report_or_warn(&report, "t2_convergence_w");
 }

@@ -1,9 +1,14 @@
 //! Regenerates experiment `t4_phase3_error` (see EXPERIMENTS.md).
 //!
-//! Run with `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md;
-//! the default is the quick preset.
+//! Prints the report table and writes it to `BENCH_t4_phase3_error.json` (in
+//! `PP_BENCH_DIR` if set, else the working directory). Run with
+//! `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md; the default
+//! is the quick preset. (This experiment runs on the per-agent engine
+//! only; `PP_ENGINE` has no effect here.)
 
 fn main() {
     let preset = pp_bench::Preset::from_env();
-    pp_bench::experiments::phase3::run(preset, 400).print();
+    let report = pp_bench::experiments::phase3::run(preset, 400);
+    report.print();
+    pp_bench::output::write_report_or_warn(&report, "t4_phase3_error");
 }

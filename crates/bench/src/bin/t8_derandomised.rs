@@ -1,9 +1,14 @@
 //! Regenerates experiment `t8_derandomised` (see EXPERIMENTS.md).
 //!
-//! Run with `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md;
-//! the default is the quick preset.
+//! Prints the report table and writes it to `BENCH_t8_derandomised.json` (in
+//! `PP_BENCH_DIR` if set, else the working directory). Run with
+//! `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md; the default
+//! is the quick preset. `PP_ENGINE=agent` forces the per-agent engine for
+//! complete-graph measurements (the default is the dense engine).
 
 fn main() {
     let preset = pp_bench::Preset::from_env();
-    pp_bench::experiments::derandomised::run(preset, 800).print();
+    let report = pp_bench::experiments::derandomised::run(preset, 800);
+    report.print();
+    pp_bench::output::write_report_or_warn(&report, "t8_derandomised");
 }

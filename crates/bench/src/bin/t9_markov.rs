@@ -1,9 +1,14 @@
 //! Regenerates experiment `t9_markov` (see EXPERIMENTS.md).
 //!
-//! Run with `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md;
-//! the default is the quick preset.
+//! Prints the report table and writes it to `BENCH_t9_markov.json` (in
+//! `PP_BENCH_DIR` if set, else the working directory). Run with
+//! `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md; the default
+//! is the quick preset. (This experiment runs on the per-agent engine
+//! only; `PP_ENGINE` has no effect here.)
 
 fn main() {
     let preset = pp_bench::Preset::from_env();
-    pp_bench::experiments::markov::run(preset, 900).print();
+    let report = pp_bench::experiments::markov::run(preset, 900);
+    report.print();
+    pp_bench::output::write_report_or_warn(&report, "t9_markov");
 }

@@ -1,0 +1,12 @@
+//! Engine throughput comparison: agent-based vs dense (count-based).
+//!
+//! Prints steps-per-second for both engines at n ∈ {10⁴, 10⁶, 10⁸} and
+//! writes the table to `BENCH_throughput.json`. Run with `PP_PRESET=full`
+//! for longer measurement windows.
+
+fn main() {
+    let preset = pp_bench::Preset::from_env();
+    let report = pp_bench::throughput::run(preset, 1600);
+    report.print();
+    pp_bench::output::write_report_or_warn(&report, "throughput");
+}

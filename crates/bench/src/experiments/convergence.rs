@@ -11,7 +11,10 @@ use pp_stats::{loglog_fit, median, table::fmt_f64, Table};
 /// weights. Theorem 1.3 predicts `T = O(w² n log n)`, i.e. a log-log slope
 /// of `≈ 1` against `n·ln n`.
 pub fn run_n_sweep(preset: Preset, base_seed: u64) -> Report {
-    let sizes: Vec<usize> = preset.pick(vec![256, 512, 1_024, 2_048], vec![512, 1_024, 2_048, 4_096, 8_192, 16_384]);
+    let sizes: Vec<usize> = preset.pick(
+        vec![256, 512, 1_024, 2_048],
+        vec![512, 1_024, 2_048, 4_096, 8_192, 16_384],
+    );
     let seeds = preset.pick(3u64, 10u64);
     let weights = standard_weights();
     let w = weights.total();
@@ -58,7 +61,10 @@ pub fn run_n_sweep(preset: Preset, base_seed: u64) -> Report {
 /// `w²`; the measured time grows with `w` (the theorem is an upper bound).
 pub fn run_w_sweep(preset: Preset, base_seed: u64) -> Report {
     let n = preset.pick(1_024, 4_096);
-    let totals: Vec<f64> = preset.pick(vec![2.0, 4.0, 8.0, 16.0], vec![2.0, 4.0, 8.0, 16.0, 32.0, 64.0]);
+    let totals: Vec<f64> = preset.pick(
+        vec![2.0, 4.0, 8.0, 16.0],
+        vec![2.0, 4.0, 8.0, 16.0, 32.0, 64.0],
+    );
     let seeds = preset.pick(3u64, 10u64);
     let delta = 0.25;
     let nln = n as f64 * (n as f64).ln();
@@ -86,7 +92,10 @@ pub fn run_w_sweep(preset: Preset, base_seed: u64) -> Report {
         ys.push(med);
     }
 
-    let mut report = Report::new(format!("t2_convergence_w (n = {n}, delta = {delta})"), table);
+    let mut report = Report::new(
+        format!("t2_convergence_w (n = {n}, delta = {delta})"),
+        table,
+    );
     if let Some(fit) = loglog_fit(&xs, &ys) {
         report.note(format!(
             "log-log fit of T against w: slope = {:.3} (theory allows up to 2; the w² budget is an upper bound), R^2 = {:.3}",
@@ -129,7 +138,15 @@ mod tests {
             .and_then(|s| s.split(' ').next())
             .and_then(|s| s.parse().ok())
             .expect("parseable slope");
-        assert!(slope > 0.0, "convergence time should grow with w:\n{}", report.render());
-        assert!(slope < 2.5, "slope {slope} above the w² budget:\n{}", report.render());
+        assert!(
+            slope > 0.0,
+            "convergence time should grow with w:\n{}",
+            report.render()
+        );
+        assert!(
+            slope < 2.5,
+            "slope {slope} above the w² budget:\n{}",
+            report.render()
+        );
     }
 }

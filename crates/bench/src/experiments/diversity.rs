@@ -4,25 +4,21 @@
 //! fair share, maximised over a whole observation window, should scale like
 //! `sqrt(ln n / n)`: a log-log slope of about `−0.45 ± 0.1` against `n`.
 
-use crate::experiments::Report;
-use crate::runner::{converged_simulator, standard_weights, Preset};
-use pp_core::ConfigStats;
+use crate::experiments::{diversity_error_for_with, Report};
+use crate::runner::{standard_weights, EngineKind, Preset};
 use pp_engine::replicate;
 use pp_stats::{loglog_fit, median, table::fmt_f64, Table};
 
-/// Measures the windowed diversity error for one `(n, seed)` pair.
+/// Measures the windowed diversity error for one `(n, seed)` pair with the
+/// engine selected by `PP_ENGINE` (dense by default — the topology is
+/// `Complete`).
 pub fn window_error(n: usize, seed: u64) -> f64 {
-    let weights = standard_weights();
-    let k = weights.len();
-    let mut sim = converged_simulator(n, &weights, seed);
-    let window = (2.0 * n as f64 * (n as f64).ln()) as u64;
-    let stride = (n as u64) / 2;
-    let mut worst: f64 = 0.0;
-    sim.run_observed(window, stride.max(1), |_, pop| {
-        let stats = ConfigStats::from_states(pop.states(), k);
-        worst = worst.max(stats.max_diversity_error(&weights));
-    });
-    worst
+    window_error_with(EngineKind::from_env(), n, seed)
+}
+
+/// [`window_error`] with an explicit engine choice.
+pub fn window_error_with(engine: EngineKind, n: usize, seed: u64) -> f64 {
+    diversity_error_for_with(engine, n, &standard_weights(), seed)
 }
 
 /// Runs the sweep.
@@ -33,7 +29,12 @@ pub fn run(preset: Preset, base_seed: u64) -> Report {
     );
     let seeds = preset.pick(3u64, 10u64);
 
-    let mut table = Table::new(["n", "median max error", "error/sqrt(ln n / n)", "error*sqrt(n)"]);
+    let mut table = Table::new([
+        "n",
+        "median max error",
+        "error/sqrt(ln n / n)",
+        "error*sqrt(n)",
+    ]);
     let mut xs = Vec::new();
     let mut ys = Vec::new();
     for &n in &sizes {
@@ -50,7 +51,10 @@ pub fn run(preset: Preset, base_seed: u64) -> Report {
         ys.push(med);
     }
 
-    let mut report = Report::new("t3_diversity_error (weights = (1,1,2,4))".to_string(), table);
+    let mut report = Report::new(
+        "t3_diversity_error (weights = (1,1,2,4))".to_string(),
+        table,
+    );
     if let Some(fit) = loglog_fit(&xs, &ys) {
         report.note(format!(
             "log-log fit of window-max error against n: slope = {:.3} (theory: -1/2 up to log factors), R^2 = {:.3}",

@@ -53,9 +53,7 @@ pub fn run(preset: Preset, seed: u64) -> Report {
         }
         let max_dev = tracker.max_deviation(&weights);
         let mean_dev = tracker.mean_deviation(&weights);
-        let occ0: Vec<String> = (0..k)
-            .map(|i| fmt_f64(tracker.occupancy(0, i)))
-            .collect();
+        let occ0: Vec<String> = (0..k).map(|i| fmt_f64(tracker.occupancy(0, i))).collect();
         table.row([
             horizon.to_string(),
             tracker.snapshots().to_string(),
@@ -78,7 +76,11 @@ pub fn run(preset: Preset, seed: u64) -> Report {
             if last <= first { "is below" } else { "exceeds" },
             fmt_f64(last),
             fmt_f64(first),
-            if last <= first { "holds" } else { "is violated" },
+            if last <= first {
+                "holds"
+            } else {
+                "is violated"
+            },
         ));
     }
     report
@@ -104,9 +106,7 @@ mod tests {
         // The longest-horizon max deviation should be well under the
         // trivial bound of max fair share (0.5).
         let text = report.render();
-        let last_row = text
-            .lines().rfind(|l| l.contains('/'))
-            .expect("data row");
+        let last_row = text.lines().rfind(|l| l.contains('/')).expect("data row");
         let max_dev: f64 = last_row
             .split_whitespace()
             .nth(2)

@@ -60,9 +60,21 @@ pub fn run(preset: Preset, seed: u64) -> Report {
 
     let mut table = Table::new(["milestone", "bound reached", "steps", "steps/(n ln n)"]);
     for (name, bound, tau) in [
-        ("tau1  (enter E(0.25), Thm 2.5)", "violation = 0".to_string(), tau1),
-        ("tau2.1 (phi <= w n ln n, Lem 2.6)", format!("phi <= {}", fmt_f64(pot_bound)), tau21),
-        ("tau2.2 (psi <= w n ln n, Lem 2.7)", format!("psi <= {}", fmt_f64(pot_bound)), tau22),
+        (
+            "tau1  (enter E(0.25), Thm 2.5)",
+            "violation = 0".to_string(),
+            tau1,
+        ),
+        (
+            "tau2.1 (phi <= w n ln n, Lem 2.6)",
+            format!("phi <= {}", fmt_f64(pot_bound)),
+            tau21,
+        ),
+        (
+            "tau2.2 (psi <= w n ln n, Lem 2.7)",
+            format!("psi <= {}", fmt_f64(pot_bound)),
+            tau22,
+        ),
         (
             "tau3  (sigma^2 <= n^1.5 sqrt(ln n), Lem 2.14)",
             format!("sigma^2 <= {}", fmt_f64(sigma_bound)),
@@ -80,7 +92,10 @@ pub fn run(preset: Preset, seed: u64) -> Report {
         };
     }
 
-    let mut report = Report::new(format!("fig1_phases (n = {n}, w = {w}, seed = {seed})"), table);
+    let mut report = Report::new(
+        format!("fig1_phases (n = {n}, w = {w}, seed = {seed})"),
+        table,
+    );
 
     // Potential decay series at log-spaced checkpoints — the "curve" of Fig. 1.
     let mut series = Table::new(["step", "phi", "psi", "sigma^2", "E-violation"]);
@@ -102,7 +117,11 @@ pub fn run(preset: Preset, seed: u64) -> Report {
     if let (Some(t1), Some(t21), Some(t22)) = (tau1, tau21, tau22) {
         report.note(format!(
             "phase ordering tau1 <= tau2.1 <= tau2.2: {}",
-            if t1 <= t21 && t21 <= t22 { "holds" } else { "violated (single-run noise)" }
+            if t1 <= t21 && t21 <= t22 {
+                "holds"
+            } else {
+                "violated (single-run noise)"
+            }
         ));
     }
     if let Some(t3) = tau3 {

@@ -8,28 +8,53 @@
 //! ratio to `n·ln n` should stay bounded as `n` grows.
 
 use crate::experiments::Report;
-use crate::runner::Preset;
+use crate::runner::{EngineKind, Preset};
 use pp_core::{init, ConfigStats, Diversification, Weights};
+use pp_dense::{CountConfig, DenseSimulator};
 use pp_engine::{replicate, Simulator};
 use pp_graph::Complete;
 use pp_stats::{loglog_fit, median, table::fmt_f64, Table};
 
-/// Steps for the singleton colour to reach support `n/4`.
+/// Steps for the singleton colour to reach support `n/4`, with the engine
+/// selected by `PP_ENGINE` (dense by default — the topology is `Complete`;
+/// for the dense engine the singleton colour exercises its exact
+/// critical-channel sampling until the colour takes root).
 pub fn spread_time(n: usize, seed: u64) -> Option<u64> {
+    spread_time_with(EngineKind::from_env(), n, seed)
+}
+
+/// [`spread_time`] with an explicit engine choice.
+pub fn spread_time_with(engine: EngineKind, n: usize, seed: u64) -> Option<u64> {
     let weights = Weights::uniform(2);
-    // single_minority puts colour 0 in the majority; colour 1 is the singleton.
-    let states = init::all_dark_single_minority(n, &weights);
-    let mut sim = Simulator::new(
-        Diversification::new(weights),
-        Complete::new(n),
-        states,
-        seed,
-    );
     let budget = pp_core::theory::convergence_budget(n, 2.0, 64.0);
-    sim.run_until(budget, (n as u64 / 4).max(1), |pop, _| {
-        let stats = ConfigStats::from_states(pop.states(), 2);
-        stats.colour_count(1) >= pop.len() / 4
-    })
+    let check = (n as u64 / 4).max(1);
+    match engine {
+        EngineKind::Agent => {
+            // single_minority puts colour 0 in the majority; colour 1 is the
+            // singleton.
+            let states = init::all_dark_single_minority(n, &weights);
+            let mut sim = Simulator::new(
+                Diversification::new(weights),
+                Complete::new(n),
+                states,
+                seed,
+            );
+            sim.run_until(budget, check, |pop, _| {
+                let stats = ConfigStats::from_states(pop.states(), 2);
+                stats.colour_count(1) >= pop.len() / 4
+            })
+        }
+        EngineKind::Dense => {
+            let config = CountConfig::all_dark_single_minority(n as u64, 2);
+            let mut sim =
+                DenseSimulator::new(Diversification::new(weights), config.to_classes(), seed);
+            let quarter = n as u64 / 4;
+            sim.run_until(budget, check, |counts, _| {
+                let config = CountConfig::from_classes(counts);
+                config.colour(1) >= quarter
+            })
+        }
+    }
 }
 
 /// Runs the sweep.
@@ -77,8 +102,15 @@ mod tests {
 
     #[test]
     fn spread_finishes_and_scales_superlinearly() {
-        let t512 = spread_time(512, 3).expect("spread at n=512") as f64;
-        let t2048 = spread_time(2_048, 3).expect("spread at n=2048") as f64;
+        // Spread times are heavy-tailed; compare medians over a few seeds.
+        let med = |n: usize| -> f64 {
+            let times: Vec<f64> = (0..5)
+                .map(|s| spread_time(n, 3 + s).expect("spread finished") as f64)
+                .collect();
+            median(&times).unwrap()
+        };
+        let t512 = med(512);
+        let t2048 = med(2_048);
         // 4× population ⇒ more than 4× time (the log factor), but not 16×.
         assert!(
             t2048 > 3.0 * t512 && t2048 < 20.0 * t512,

@@ -87,7 +87,11 @@ pub fn run(preset: Preset, seed: u64) -> Report {
             k - 1,
             fmt_f64((hits - expected).abs()),
             fmt_f64(width),
-            if (hits - expected).abs() <= width { "holds" } else { "VIOLATED" },
+            if (hits - expected).abs() <= width {
+                "holds"
+            } else {
+                "VIOLATED"
+            },
         ));
     } else {
         report.note("mixing time not reached within cap (expected only for huge n)".to_string());
@@ -113,16 +117,16 @@ mod tests {
             .and_then(|s| s.split(' ').next())
             .and_then(|s| s.parse().ok())
             .expect("parseable deviation");
-        assert!(dev < 0.08, "occupancy deviation {dev}:\n{}", report.render());
+        assert!(
+            dev < 0.08,
+            "occupancy deviation {dev}:\n{}",
+            report.render()
+        );
     }
 
     #[test]
     fn chernoff_width_holds() {
         let report = run(Preset::Quick, 9);
-        assert!(
-            !report.render().contains("VIOLATED"),
-            "{}",
-            report.render()
-        );
+        assert!(!report.render().contains("VIOLATED"), "{}", report.render());
     }
 }

@@ -16,20 +16,41 @@ pub mod sustainability;
 pub mod topologies;
 pub mod uniform_partition;
 
+use crate::runner::EngineKind;
 use pp_core::{ConfigStats, Weights};
+use pp_dense::CountConfig;
 use pp_stats::Table;
 
 /// Post-convergence window-max diversity error of the randomised protocol
-/// for an arbitrary weight table (shared by t3/t8/t10/t12).
+/// for an arbitrary weight table (shared by t3/t8/t10/t12), using the
+/// engine selected by [`EngineKind::from_env`] (the topology here is always
+/// `Complete`, so the dense engine is the default).
 pub fn diversity_error_for(n: usize, weights: &Weights, seed: u64) -> f64 {
+    diversity_error_for_with(EngineKind::from_env(), n, weights, seed)
+}
+
+/// [`diversity_error_for`] with an explicit engine choice.
+pub fn diversity_error_for_with(engine: EngineKind, n: usize, weights: &Weights, seed: u64) -> f64 {
     let k = weights.len();
-    let mut sim = crate::runner::converged_simulator(n, weights, seed);
     let window = (2.0 * n as f64 * (n as f64).ln()) as u64;
+    let stride = (n as u64 / 2).max(1);
     let mut worst: f64 = 0.0;
-    sim.run_observed(window, (n as u64 / 2).max(1), |_, pop| {
-        let stats = ConfigStats::from_states(pop.states(), k);
-        worst = worst.max(stats.max_diversity_error(weights));
-    });
+    match engine {
+        EngineKind::Agent => {
+            let mut sim = crate::runner::converged_simulator(n, weights, seed);
+            sim.run_observed(window, stride, |_, pop| {
+                let stats = ConfigStats::from_states(pop.states(), k);
+                worst = worst.max(stats.max_diversity_error(weights));
+            });
+        }
+        EngineKind::Dense => {
+            let mut sim = crate::runner::converged_dense_simulator(n, weights, seed);
+            sim.run_observed(window, stride, |_, counts| {
+                let stats = CountConfig::from_classes(counts).stats();
+                worst = worst.max(stats.max_diversity_error(weights));
+            });
+        }
+    }
     worst
 }
 

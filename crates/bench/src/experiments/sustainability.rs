@@ -5,10 +5,11 @@
 //! protocol forever (the introduction's non-robustness argument).
 
 use crate::experiments::Report;
-use crate::runner::Preset;
+use crate::runner::{EngineKind, Preset};
 use pp_adversary::{apply, error_under_churn, recovery_time, Shock};
 use pp_baselines::TrivialProportional;
 use pp_core::{region::GoodSet, AgentState, Colour, ConfigStats, Diversification, Weights};
+use pp_dense::{CountConfig, DenseSimulator};
 use pp_engine::Simulator;
 use pp_graph::Complete;
 use pp_stats::{table::fmt_f64, Table};
@@ -39,26 +40,57 @@ pub fn run(preset: Preset, seed: u64) -> Report {
     let mut table = Table::new(["event", "outcome"]);
     let mut report_notes = Vec::new();
 
-    // Phase A: plain run — live colours never vanish, absent colour never appears.
+    // Phase A: plain run — live colours never vanish, absent colour never
+    // appears. The topology is Complete, so the engine follows PP_ENGINE
+    // like the other complete-graph measurements: dense by default (the
+    // start has zero supporters of colour 4; its adoption rate is exactly
+    // zero in both engines), per-agent with PP_ENGINE=agent.
+    let engine = EngineKind::from_env();
     let mut min_live_dark = usize::MAX;
     let burn = pp_core::theory::convergence_budget(n, 4.0, 4.0);
     let mut resurrect = false;
-    sim.run_observed(burn, n as u64, |_, pop| {
-        let stats = ConfigStats::from_states(pop.states(), k);
-        for i in 0..4 {
-            min_live_dark = min_live_dark.min(stats.dark_count(i));
+    match engine {
+        EngineKind::Dense => {
+            let dark: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
+            let mut dense_sim = DenseSimulator::new(
+                Diversification::new(weights.clone()),
+                CountConfig::new(dark, vec![0; k]).to_classes(),
+                seed,
+            );
+            dense_sim.run_observed(burn, n as u64, |_, class_counts| {
+                let stats = CountConfig::from_classes(class_counts).stats();
+                for i in 0..4 {
+                    min_live_dark = min_live_dark.min(stats.dark_count(i));
+                }
+                resurrect |= stats.colour_count(4) > 0;
+            });
+            // Bring the agent-based simulator to the same point for the
+            // shock phases, which mutate per-agent states.
+            sim.run(burn);
         }
-        resurrect |= stats.colour_count(4) > 0;
-    });
+        EngineKind::Agent => {
+            sim.run_observed(burn, n as u64, |_, pop| {
+                let stats = ConfigStats::from_states(pop.states(), k);
+                for i in 0..4 {
+                    min_live_dark = min_live_dark.min(stats.dark_count(i));
+                }
+                resurrect |= stats.colour_count(4) > 0;
+            });
+        }
+    }
     table.row([
-        "phase A: plain run".to_string(),
+        format!("phase A: plain run ({engine:?} engine)"),
         format!(
             "min dark support of live colours = {min_live_dark} (never 0); absent colour appeared: {resurrect}"
         ),
     ]);
     report_notes.push(format!(
         "sustainability of live colours {}",
-        if min_live_dark >= 1 { "holds" } else { "VIOLATED" }
+        if min_live_dark >= 1 {
+            "holds"
+        } else {
+            "VIOLATED"
+        }
     ));
 
     // Phase B: inject colour 4 dark and measure recovery into E(δ) over all 5.
@@ -135,7 +167,11 @@ pub fn run(preset: Preset, seed: u64) -> Report {
     ]);
     report_notes.push(format!(
         "trivial protocol resurrects retired colours (non-robustness): {}",
-        if dead_support > 0 { "demonstrated" } else { "NOT demonstrated" }
+        if dead_support > 0 {
+            "demonstrated"
+        } else {
+            "NOT demonstrated"
+        }
     ));
 
     // Phase E: sustained churn — one random agent reset per interval; the
@@ -160,8 +196,20 @@ pub fn run(preset: Preset, seed: u64) -> Report {
         let mut slow_rng = StdRng::seed_from_u64(seed.wrapping_add(10));
         let mut fast_sim = converged();
         let mut slow_sim = converged();
-        let fast = error_under_churn(&mut fast_sim, &churn_weights, ((m / 100).max(2)) as u64, horizon, &mut fast_rng);
-        let slow = error_under_churn(&mut slow_sim, &churn_weights, (10 * m) as u64, horizon, &mut slow_rng);
+        let fast = error_under_churn(
+            &mut fast_sim,
+            &churn_weights,
+            ((m / 100).max(2)) as u64,
+            horizon,
+            &mut fast_rng,
+        );
+        let slow = error_under_churn(
+            &mut slow_sim,
+            &churn_weights,
+            (10 * m) as u64,
+            horizon,
+            &mut slow_rng,
+        );
         table.row([
             "phase E: sustained churn".to_string(),
             format!(
@@ -172,11 +220,18 @@ pub fn run(preset: Preset, seed: u64) -> Report {
         ]);
         report_notes.push(format!(
             "diversity persists under sustained churn, degrading gracefully with rate: {}",
-            if fast < 0.5 && slow <= fast + 0.02 { "holds" } else { "VIOLATED" }
+            if fast < 0.5 && slow <= fast + 0.02 {
+                "holds"
+            } else {
+                "VIOLATED"
+            }
         ));
     }
 
-    let mut report = Report::new(format!("t6_sustainability (n = {n}, universe k = 5)"), table);
+    let mut report = Report::new(
+        format!("t6_sustainability (n = {n}, universe k = 5)"),
+        table,
+    );
     for note in report_notes {
         report.note(note);
     }

@@ -70,11 +70,7 @@ pub fn run(preset: Preset, seed: u64) -> Report {
     }
     let base = complete_err.expect("complete graph measured");
     for (name, err) in &rows {
-        table.row([
-            name.clone(),
-            fmt_f64(*err),
-            format!("{:.2}x", err / base),
-        ]);
+        table.row([name.clone(), fmt_f64(*err), format!("{:.2}x", err / base)]);
     }
 
     let mut report = Report::new(

@@ -25,15 +25,27 @@
 //! | `t13_stability` | Thm 2.5 stability window | [`experiments::stability`] |
 //! | `ablations` | design-choice knockouts | [`experiments::ablations`] |
 //! | `drift_lemmas` | Lemmas 2.9/2.10/4.1 contraction | [`experiments::drift`] |
+//! | `throughput` | agent vs dense engine steps/s | [`throughput`] |
 //!
 //! Every experiment takes a [`Preset`] so the same code runs as a fast smoke
 //! (`Preset::Quick`, used by `cargo bench` and tests) or at full scale
-//! (`Preset::Full`, used by the `t*` binaries).
+//! (`Preset::Full`, used by the `t*` binaries). Each binary also writes its
+//! report to `BENCH_<name>.json` via [`output`].
+//!
+//! Complete-graph measurements are driven by the engine selected through
+//! [`EngineKind`]: the count-based `pp-dense` engine by default (orders of
+//! magnitude faster at large `n`; see EXPERIMENTS.md for the measured
+//! speedup table), or the per-agent engine with `PP_ENGINE=agent`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod output;
 pub mod runner;
+pub mod throughput;
 
-pub use runner::{converged_simulator, convergence_time, Preset};
+pub use runner::{
+    converged_dense_simulator, converged_simulator, convergence_time, convergence_time_with,
+    EngineKind, Preset,
+};

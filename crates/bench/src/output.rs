@@ -1,0 +1,138 @@
+//! Machine-readable experiment output.
+//!
+//! Every `t*` binary writes its [`Report`] to `BENCH_<name>.json` (in
+//! `PP_BENCH_DIR` if set, else the working directory) next to the
+//! plain-text table it prints, so downstream tooling can diff runs without
+//! scraping stdout. The writer is dependency-free: reports are flat
+//! (title, columns, string rows, notes), so the JSON is assembled by hand.
+
+use crate::experiments::Report;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Escapes a string for inclusion in a JSON document.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn string_array(items: impl IntoIterator<Item = impl AsRef<str>>) -> String {
+    let quoted: Vec<String> = items
+        .into_iter()
+        .map(|s| format!("\"{}\"", escape(s.as_ref())))
+        .collect();
+    format!("[{}]", quoted.join(", "))
+}
+
+/// Renders a [`Report`] as a JSON document.
+pub fn report_to_json(report: &Report) -> String {
+    let rows: Vec<String> = report
+        .table
+        .rows()
+        .iter()
+        .map(|row| string_array(row.iter()))
+        .collect();
+    format!(
+        "{{\n  \"title\": \"{}\",\n  \"columns\": {},\n  \"rows\": [\n    {}\n  ],\n  \"notes\": {}\n}}\n",
+        escape(&report.title),
+        string_array(report.table.header().iter()),
+        rows.join(",\n    "),
+        string_array(report.notes.iter()),
+    )
+}
+
+/// The output path for experiment `name`: `$PP_BENCH_DIR/BENCH_<name>.json`
+/// (or the working directory when `PP_BENCH_DIR` is unset).
+pub fn bench_path(name: &str) -> PathBuf {
+    let dir = std::env::var("PP_BENCH_DIR").unwrap_or_else(|_| ".".to_string());
+    PathBuf::from(dir).join(format!("BENCH_{name}.json"))
+}
+
+/// Writes `report` to `dir/BENCH_<name>.json`; returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the file.
+pub fn write_report_to(
+    report: &Report,
+    dir: &std::path::Path,
+    name: &str,
+) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(report_to_json(report).as_bytes())?;
+    Ok(path)
+}
+
+/// Writes `report` to [`bench_path`]`(name)`; returns the path written.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the file.
+pub fn write_report(report: &Report, name: &str) -> std::io::Result<PathBuf> {
+    let path = bench_path(name);
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(report_to_json(report).as_bytes())?;
+    Ok(path)
+}
+
+/// Writes `report` to `BENCH_<name>.json`, printing a confirmation line (or
+/// a warning on failure — experiment binaries should still exit 0 when the
+/// working directory is read-only).
+pub fn write_report_or_warn(report: &Report, name: &str) {
+    match write_report(report, name) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(err) => eprintln!("warning: could not write BENCH_{name}.json: {err}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_stats::Table;
+
+    fn sample_report() -> Report {
+        let mut table = Table::new(["n", "weights"]);
+        table.row(["1024", "(1,3.0)"]);
+        let mut report = Report::new("demo \"quoted\"", table);
+        report.note("slope = 1.0\nsecond line");
+        report
+    }
+
+    #[test]
+    fn json_shape_and_escaping() {
+        let json = report_to_json(&sample_report());
+        assert!(json.contains("\"title\": \"demo \\\"quoted\\\"\""));
+        assert!(json.contains("\"columns\": [\"n\", \"weights\"]"));
+        // Cells containing commas survive (the reason this is not CSV).
+        assert!(json.contains("\"(1,3.0)\""));
+        assert!(json.contains("slope = 1.0\\nsecond line"));
+        // Balanced braces and brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn write_report_roundtrip() {
+        // Uses the explicit-directory writer: mutating PP_BENCH_DIR here
+        // would race sibling tests that read the environment concurrently.
+        let dir = std::env::temp_dir().join("pp_bench_output_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_report_to(&sample_report(), &dir, "unit_test").unwrap();
+        assert!(path.ends_with("BENCH_unit_test.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"rows\""));
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,6 +1,7 @@
 //! Shared experiment plumbing.
 
 use pp_core::{init, region::GoodSet, ConfigStats, Diversification, Weights};
+use pp_dense::{CountConfig, DenseSimulator};
 use pp_engine::Simulator;
 use pp_graph::Complete;
 
@@ -34,9 +35,43 @@ impl Preset {
     }
 }
 
-/// Measures the convergence time of Theorem 1.3: the first time-step at
-/// which the configuration (started from the adversarial single-minority
-/// configuration) enters `E(δ)`, checked every `n/4` steps.
+/// Which simulation engine drives a complete-graph measurement.
+///
+/// The topology of every measurement routed through this enum is
+/// `Complete`, where the count-based [`DenseSimulator`] is distributionally
+/// equivalent to the per-agent [`Simulator`] (see `pp-dense`); experiments
+/// on any other topology always use the agent engine directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineKind {
+    /// One `AgentState` per agent, one RNG draw per interaction.
+    Agent,
+    /// `k × 2` count matrix, τ-leaped batches of interactions.
+    Dense,
+}
+
+impl EngineKind {
+    /// Reads the engine from the environment: `PP_ENGINE=agent` forces the
+    /// per-agent engine, `PP_ENGINE=dense` (or unset) selects the dense
+    /// engine — the default for complete-graph experiments.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other value: a silently ignored typo would record
+    /// dense-vs-dense numbers as an engine comparison.
+    pub fn from_env() -> Self {
+        match std::env::var("PP_ENGINE") {
+            Ok(v) if v.eq_ignore_ascii_case("agent") => EngineKind::Agent,
+            Ok(v) if v.eq_ignore_ascii_case("dense") => EngineKind::Dense,
+            Err(_) => EngineKind::Dense,
+            Ok(v) => panic!("PP_ENGINE must be `agent` or `dense`, got `{v}`"),
+        }
+    }
+}
+
+/// Measures the convergence time of Theorem 1.3 with the engine selected by
+/// [`EngineKind::from_env`]: the first time-step at which the configuration
+/// (started from the adversarial single-minority configuration) enters
+/// `E(δ)`, checked every `n/4` steps.
 ///
 /// Returns `None` if the budget `max_steps` is exhausted first.
 ///
@@ -50,19 +85,46 @@ pub fn convergence_time(
     seed: u64,
     max_steps: u64,
 ) -> Option<u64> {
-    let states = init::all_dark_single_minority(n, weights);
-    let mut sim = Simulator::new(
-        Diversification::new(weights.clone()),
-        Complete::new(n),
-        states,
-        seed,
-    );
+    convergence_time_with(EngineKind::from_env(), n, weights, delta, seed, max_steps)
+}
+
+/// [`convergence_time`] with an explicit engine choice.
+pub fn convergence_time_with(
+    engine: EngineKind,
+    n: usize,
+    weights: &Weights,
+    delta: f64,
+    seed: u64,
+    max_steps: u64,
+) -> Option<u64> {
     let good = GoodSet::new(weights.clone(), delta);
     let k = weights.len();
     let check = (n as u64 / 4).max(1);
-    sim.run_until(max_steps, check, |pop, _| {
-        good.contains(&ConfigStats::from_states(pop.states(), k))
-    })
+    match engine {
+        EngineKind::Agent => {
+            let states = init::all_dark_single_minority(n, weights);
+            let mut sim = Simulator::new(
+                Diversification::new(weights.clone()),
+                Complete::new(n),
+                states,
+                seed,
+            );
+            sim.run_until(max_steps, check, |pop, _| {
+                good.contains(&ConfigStats::from_states(pop.states(), k))
+            })
+        }
+        EngineKind::Dense => {
+            let config = CountConfig::all_dark_single_minority(n as u64, k);
+            let mut sim = DenseSimulator::new(
+                Diversification::new(weights.clone()),
+                config.to_classes(),
+                seed,
+            );
+            sim.run_until(max_steps, check, |counts, _| {
+                good.contains(&CountConfig::from_classes(counts).stats())
+            })
+        }
+    }
 }
 
 /// Builds a simulator from the balanced all-dark start and runs it past the
@@ -78,6 +140,24 @@ pub fn converged_simulator(
         Diversification::new(weights.clone()),
         Complete::new(n),
         states,
+        seed,
+    );
+    let budget = pp_core::theory::convergence_budget(n, weights.total(), 4.0);
+    sim.run(budget);
+    sim
+}
+
+/// The dense-engine counterpart of [`converged_simulator`]: balanced
+/// all-dark start, run past the Theorem 1.3 budget.
+pub fn converged_dense_simulator(
+    n: usize,
+    weights: &Weights,
+    seed: u64,
+) -> DenseSimulator<Diversification> {
+    let config = CountConfig::all_dark_balanced(n as u64, weights.len());
+    let mut sim = DenseSimulator::new(
+        Diversification::new(weights.clone()),
+        config.to_classes(),
         seed,
     );
     let budget = pp_core::theory::convergence_budget(n, weights.total(), 4.0);
@@ -106,8 +186,36 @@ mod tests {
     fn convergence_time_is_finite_at_small_n() {
         let w = standard_weights();
         let budget = pp_core::theory::convergence_budget(256, w.total(), 50.0);
-        let t = convergence_time(256, &w, 0.5, 7, budget);
-        assert!(t.is_some(), "no convergence within 50·w²·n·ln n");
+        for engine in [EngineKind::Agent, EngineKind::Dense] {
+            let t = convergence_time_with(engine, 256, &w, 0.5, 7, budget);
+            assert!(
+                t.is_some(),
+                "no convergence within 50·w²·n·ln n ({engine:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn engines_agree_on_convergence_scale() {
+        // Medians over a few seeds land within a small factor of each other.
+        let w = standard_weights();
+        let n = 512;
+        let budget = pp_core::theory::convergence_budget(n, w.total(), 64.0);
+        let median = |engine: EngineKind| -> f64 {
+            let mut times: Vec<f64> = (0..5)
+                .map(|s| {
+                    convergence_time_with(engine, n, &w, 0.4, 100 + s, budget)
+                        .map(|t| t as f64)
+                        .unwrap_or(budget as f64)
+                })
+                .collect();
+            times.sort_by(f64::total_cmp);
+            times[2]
+        };
+        let agent = median(EngineKind::Agent);
+        let dense = median(EngineKind::Dense);
+        let ratio = agent.max(dense) / agent.min(dense).max(1.0);
+        assert!(ratio < 4.0, "agent {agent} vs dense {dense}");
     }
 
     #[test]
@@ -119,8 +227,19 @@ mod tests {
     }
 
     #[test]
+    fn converged_dense_simulator_is_near_fair_share() {
+        let w = standard_weights();
+        let sim = converged_dense_simulator(512, &w, 3);
+        let stats = CountConfig::from_classes(sim.counts()).stats();
+        assert!(stats.max_diversity_error(&w) < 0.12);
+        assert!(stats.all_colours_alive());
+    }
+
+    #[test]
     fn tiny_budget_times_out() {
         let w = standard_weights();
-        assert_eq!(convergence_time(256, &w, 0.05, 7, 10), None);
+        for engine in [EngineKind::Agent, EngineKind::Dense] {
+            assert_eq!(convergence_time_with(engine, 256, &w, 0.05, 7, 10), None);
+        }
     }
 }

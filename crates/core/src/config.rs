@@ -189,9 +189,7 @@ impl ConfigStats {
         );
         (0..self.num_colours())
             .map(|i| {
-                (self.light[i] as f64
-                    - weights.equilibrium_light_fraction(i) * self.n as f64)
-                    .abs()
+                (self.light[i] as f64 - weights.equilibrium_light_fraction(i) * self.n as f64).abs()
             })
             .fold(0.0, f64::max)
     }

@@ -116,12 +116,7 @@ impl DerandomisedDiversification {
 impl Protocol for DerandomisedDiversification {
     type State = GreyState;
 
-    fn transition(
-        &self,
-        me: &GreyState,
-        observed: &[&GreyState],
-        _rng: &mut dyn Rng,
-    ) -> GreyState {
+    fn transition(&self, me: &GreyState, observed: &[&GreyState], _rng: &mut dyn Rng) -> GreyState {
         let v = observed[0];
         if me.shade > 0 {
             // Same colour, both positively shaded: step down one grey level.

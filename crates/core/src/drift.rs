@@ -123,8 +123,7 @@ pub fn expected_phi_drift(stats: &ConfigStats, weights: &Weights) -> f64 {
     events(stats, weights)
         .iter()
         .map(|e| {
-            let new =
-                shifted_quadratic(stats.dark_counts(), weights, e.dark_colour, e.dark_delta);
+            let new = shifted_quadratic(stats.dark_counts(), weights, e.dark_colour, e.dark_delta);
             e.probability * (new - base)
         })
         .sum()
@@ -162,8 +161,8 @@ pub fn expected_sigma_sq_drift(stats: &ConfigStats, weights: &Weights) -> f64 {
     events(stats, weights)
         .iter()
         .map(|e| {
-            let new_sigma = (a_total + e.dark_delta as f64) / w
-                - (light_total + e.light_delta as f64);
+            let new_sigma =
+                (a_total + e.dark_delta as f64) / w - (light_total + e.light_delta as f64);
             e.probability * (new_sigma * new_sigma - base)
         })
         .sum()
@@ -204,12 +203,7 @@ mod tests {
         let protocol = Diversification::new(weights.clone());
         let mut total = 0.0;
         for seed in 0..trials {
-            let mut sim = Simulator::new(
-                protocol.clone(),
-                Complete::new(n),
-                states.clone(),
-                seed,
-            );
+            let mut sim = Simulator::new(protocol.clone(), Complete::new(n), states.clone(), seed);
             sim.step();
             let after = ConfigStats::from_states(sim.population().states(), k);
             total += potential(&after, weights) - base;
@@ -286,7 +280,7 @@ mod tests {
             Diversification::new(weights.clone()),
             Complete::new(n),
             states,
-            5,
+            11,
         );
         // Move past the very beginning so light mass exists.
         sim.run(5 * n as u64);
@@ -311,7 +305,10 @@ mod tests {
         let weights = Weights::uniform(2);
         let stats = ConfigStats::from_counts(vec![5, 5], vec![5, 5]);
         let total: f64 = events(&stats, &weights).iter().map(|e| e.probability).sum();
-        assert!(total > 0.0 && total <= 1.0, "total event probability {total}");
+        assert!(
+            total > 0.0 && total <= 1.0,
+            "total event probability {total}"
+        );
     }
 
     #[test]

@@ -28,7 +28,10 @@ use crate::{AgentState, Colour, DerandomisedDiversification, GreyState, Weights}
 /// Panics if `n < weights.len()` (some colour would start unsupported).
 pub fn all_dark_balanced(n: usize, weights: &Weights) -> Vec<AgentState> {
     let k = weights.len();
-    assert!(n >= k, "need at least one agent per colour: n = {n}, k = {k}");
+    assert!(
+        n >= k,
+        "need at least one agent per colour: n = {n}, k = {k}"
+    );
     (0..n)
         .map(|u| AgentState::dark(Colour::new(u % k)))
         .collect()
@@ -43,7 +46,10 @@ pub fn all_dark_balanced(n: usize, weights: &Weights) -> Vec<AgentState> {
 /// Panics if `n < weights.len()`.
 pub fn all_dark_proportional(n: usize, weights: &Weights) -> Vec<AgentState> {
     let k = weights.len();
-    assert!(n >= k, "need at least one agent per colour: n = {n}, k = {k}");
+    assert!(
+        n >= k,
+        "need at least one agent per colour: n = {n}, k = {k}"
+    );
     let mut counts: Vec<usize> = (0..k)
         .map(|i| ((weights.fair_share(i) * n as f64).round() as usize).max(1))
         .collect();
@@ -63,7 +69,10 @@ pub fn all_dark_proportional(n: usize, weights: &Weights) -> Vec<AgentState> {
 /// Panics if `n < weights.len()`.
 pub fn all_dark_single_minority(n: usize, weights: &Weights) -> Vec<AgentState> {
     let k = weights.len();
-    assert!(n >= k, "need at least one agent per colour: n = {n}, k = {k}");
+    assert!(
+        n >= k,
+        "need at least one agent per colour: n = {n}, k = {k}"
+    );
     let mut counts = vec![1usize; k];
     counts[0] = n - (k - 1);
     from_dark_counts(&counts)
@@ -94,7 +103,10 @@ pub fn from_dark_counts(counts: &[usize]) -> Vec<AgentState> {
 /// Panics if `n < protocol.num_colours()`.
 pub fn grey_balanced(n: usize, protocol: &DerandomisedDiversification) -> Vec<GreyState> {
     let k = protocol.num_colours();
-    assert!(n >= k, "need at least one agent per colour: n = {n}, k = {k}");
+    assert!(
+        n >= k,
+        "need at least one agent per colour: n = {n}, k = {k}"
+    );
     (0..n).map(|u| protocol.full_shade(u % k)).collect()
 }
 
@@ -103,12 +115,12 @@ pub fn grey_balanced(n: usize, protocol: &DerandomisedDiversification) -> Vec<Gr
 /// # Panics
 ///
 /// Panics if `n < protocol.num_colours()`.
-pub fn grey_single_minority(
-    n: usize,
-    protocol: &DerandomisedDiversification,
-) -> Vec<GreyState> {
+pub fn grey_single_minority(n: usize, protocol: &DerandomisedDiversification) -> Vec<GreyState> {
     let k = protocol.num_colours();
-    assert!(n >= k, "need at least one agent per colour: n = {n}, k = {k}");
+    assert!(
+        n >= k,
+        "need at least one agent per colour: n = {n}, k = {k}"
+    );
     let mut states = Vec::with_capacity(n);
     states.extend(std::iter::repeat_n(protocol.full_shade(0), n - (k - 1)));
     for i in 1..k {
@@ -160,7 +172,10 @@ mod tests {
         assert!(stats.all_colours_alive());
         // Round-robin: counts differ by at most 1.
         let counts: Vec<usize> = (0..4).map(|i| stats.colour_count(i)).collect();
-        assert_eq!(counts.iter().max().unwrap() - counts.iter().min().unwrap(), 1);
+        assert_eq!(
+            counts.iter().max().unwrap() - counts.iter().min().unwrap(),
+            1
+        );
     }
 
     #[test]

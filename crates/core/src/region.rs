@@ -50,8 +50,7 @@ pub fn in_s3(stats: &ConfigStats, weights: &Weights, eps: f64) -> bool {
 /// by `(1 + 4εw)/(1+w)` — implied by `S_3` (Lemma 2.4).
 pub fn in_s4(stats: &ConfigStats, weights: &Weights, eps: f64) -> bool {
     in_s3(stats, weights, eps)
-        && light_fraction(stats)
-            <= (1.0 + 4.0 * eps * weights.total()) / (1.0 + weights.total())
+        && light_fraction(stats) <= (1.0 + 4.0 * eps * weights.total()) / (1.0 + weights.total())
 }
 
 fn check_eps(eps: f64) {

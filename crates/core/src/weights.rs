@@ -173,10 +173,7 @@ impl IntWeights {
         }
         for (colour, &value) in values.iter().enumerate() {
             if value == 0 {
-                return Err(WeightsError::InvalidWeight {
-                    colour,
-                    value: 0.0,
-                });
+                return Err(WeightsError::InvalidWeight { colour, value: 0.0 });
             }
         }
         let total = values.iter().map(|&v| v as u64).sum();

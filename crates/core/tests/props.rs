@@ -1,7 +1,9 @@
 //! Property-based tests of the Diversification dynamics: the invariants the
 //! paper proves must hold on every trajectory, for every seed.
 
-use pp_core::{init, ConfigStats, DerandomisedDiversification, Diversification, IntWeights, Weights};
+use pp_core::{
+    init, ConfigStats, DerandomisedDiversification, Diversification, IntWeights, Weights,
+};
 use pp_engine::Simulator;
 use pp_graph::Complete;
 use proptest::prelude::*;
@@ -165,7 +167,10 @@ fn uniform_weights_approach_uniform_partition() {
     sim.run(400_000);
     let stats = ConfigStats::from_states(sim.population().states(), k);
     let err = stats.max_diversity_error(&weights);
-    assert!(err < 0.08, "diversity error {err} too large after convergence");
+    assert!(
+        err < 0.08,
+        "diversity error {err} too large after convergence"
+    );
 }
 
 /// End-to-end smoke for weighted fair share: the heavy colour ends near its

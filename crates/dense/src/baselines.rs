@@ -1,0 +1,216 @@
+//! Count-level rate tables for the `pp-baselines` consensus dynamics.
+//!
+//! These protocols carry a bare colour per agent, so the class space is the
+//! `k` colours themselves and a configuration is the vector `(C_1..C_k)`.
+//! The channel set of every protocol here is "recolour `a` to `b`" for all
+//! ordered pairs `a ≠ b`; only the rates differ.
+
+use crate::{Channel, CountProtocol};
+use pp_baselines::{AntiVoter, ThreeMajority, TwoChoices, Voter};
+
+/// All ordered recolouring channels `a → b`, `a ≠ b`, over `k` colours.
+fn recolour_channels(k: usize) -> Vec<Channel> {
+    assert!(k >= 2, "consensus dynamics need at least two colours");
+    let mut channels = Vec::with_capacity(k * (k - 1));
+    for a in 0..k {
+        for b in 0..k {
+            if a != b {
+                channels.push(Channel { src: a, dst: b });
+            }
+        }
+    }
+    channels
+}
+
+/// Iterates `(channel_index, a, b)` in [`recolour_channels`] order.
+fn recolour_pairs(k: usize) -> impl Iterator<Item = (usize, usize, usize)> {
+    (0..k)
+        .flat_map(move |a| (0..k).filter(move |&b| b != a).map(move |b| (a, b)))
+        .enumerate()
+        .map(|(idx, (a, b))| (idx, a, b))
+}
+
+/// Voter model on counts: initiator of colour `a` observes colour `b` and
+/// adopts it — rate `(C_a/n)·(C_b/(n−1))` for `a ≠ b`.
+impl CountProtocol for Voter {
+    fn channels(&self, num_classes: usize) -> Vec<Channel> {
+        recolour_channels(num_classes)
+    }
+
+    fn rates(&self, counts: &[u64], n: u64, rates: &mut [f64]) {
+        let nf = n as f64;
+        let nm1 = (n - 1) as f64;
+        for (idx, a, b) in recolour_pairs(counts.len()) {
+            rates[idx] = (counts[a] as f64 / nf) * (counts[b] as f64 / nm1);
+        }
+    }
+
+    fn batch_cap(&self, channel: usize, counts: &[u64]) -> u64 {
+        let k = counts.len();
+        counts[channel / (k - 1)]
+    }
+
+    fn name(&self) -> String {
+        "voter".to_string()
+    }
+}
+
+/// 2-Choices on counts: the initiator samples two partners (independently,
+/// both excluding itself) and recolours only if they agree — rate
+/// `(C_a/n)·(C_b/(n−1))²` for `a ≠ b`.
+impl CountProtocol for TwoChoices {
+    fn channels(&self, num_classes: usize) -> Vec<Channel> {
+        recolour_channels(num_classes)
+    }
+
+    fn rates(&self, counts: &[u64], n: u64, rates: &mut [f64]) {
+        let nf = n as f64;
+        let nm1 = (n - 1) as f64;
+        for (idx, a, b) in recolour_pairs(counts.len()) {
+            let pb = counts[b] as f64 / nm1;
+            rates[idx] = (counts[a] as f64 / nf) * pb * pb;
+        }
+    }
+
+    fn batch_cap(&self, channel: usize, counts: &[u64]) -> u64 {
+        let k = counts.len();
+        counts[channel / (k - 1)]
+    }
+
+    fn name(&self) -> String {
+        "2-choices".to_string()
+    }
+}
+
+/// 3-Majority on counts: among `{self, v, w}` adopt the majority colour,
+/// breaking three-way ties uniformly. For `b ≠ a` the recolour rate is
+/// `(C_a/n)·[ (C_b/(n−1))² + (2/3)·(C_b/(n−1))·((n − C_a − C_b)/(n−1)) ]`
+/// — the agreeing-pair case plus a third of the all-distinct cases
+/// involving `b`.
+impl CountProtocol for ThreeMajority {
+    fn channels(&self, num_classes: usize) -> Vec<Channel> {
+        recolour_channels(num_classes)
+    }
+
+    fn rates(&self, counts: &[u64], n: u64, rates: &mut [f64]) {
+        let nf = n as f64;
+        let nm1 = (n - 1) as f64;
+        for (idx, a, b) in recolour_pairs(counts.len()) {
+            let ca = counts[a] as f64;
+            let pb = counts[b] as f64 / nm1;
+            let others = (nf - ca - counts[b] as f64).max(0.0) / nm1;
+            rates[idx] = (ca / nf) * (pb * pb + (2.0 / 3.0) * pb * others);
+        }
+    }
+
+    fn batch_cap(&self, channel: usize, counts: &[u64]) -> u64 {
+        let k = counts.len();
+        counts[channel / (k - 1)]
+    }
+
+    fn name(&self) -> String {
+        "3-majority".to_string()
+    }
+}
+
+/// Anti-Voter on counts (`k = 2`): the initiator flips exactly when it
+/// observes its *own* colour — rate `(C_a/n)·((C_a−1)/(n−1))`, which
+/// vanishes at `C_a = 1`, so (like Diversification) the dynamics itself
+/// keeps both colours alive; the batch cap `C_a − 1` preserves that under
+/// leaping.
+impl CountProtocol for AntiVoter {
+    fn channels(&self, num_classes: usize) -> Vec<Channel> {
+        assert_eq!(num_classes, 2, "anti-voter is a two-colour protocol");
+        vec![Channel { src: 0, dst: 1 }, Channel { src: 1, dst: 0 }]
+    }
+
+    fn rates(&self, counts: &[u64], n: u64, rates: &mut [f64]) {
+        let nf = n as f64;
+        let nm1 = (n - 1) as f64;
+        for a in 0..2 {
+            let ca = counts[a] as f64;
+            rates[a] = (ca / nf) * ((ca - 1.0).max(0.0) / nm1);
+        }
+    }
+
+    fn batch_cap(&self, channel: usize, counts: &[u64]) -> u64 {
+        counts[channel].saturating_sub(1)
+    }
+
+    fn name(&self) -> String {
+        "anti-voter".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DenseSimulator;
+
+    #[test]
+    fn voter_reaches_consensus_on_counts() {
+        let mut sim = DenseSimulator::new(Voter, vec![40u64, 30, 30], 3);
+        let hit = sim.run_until(100_000_000, 1_000, |counts, _| {
+            counts.iter().filter(|&&c| c > 0).count() == 1
+        });
+        assert!(
+            hit.is_some(),
+            "voter never hit consensus: {:?}",
+            sim.counts()
+        );
+        assert_eq!(sim.counts().iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn two_choices_beats_voter_to_consensus() {
+        let consensus_time = |sim: &mut DenseSimulator<_>| {
+            sim.run_until(1_000_000_000, 1_000, |counts: &[u64], _| {
+                counts.iter().filter(|&&c| c > 0).count() == 1
+            })
+        };
+        // 2-Choices amplifies an initial majority; Voter drifts.
+        let mut two = DenseSimulator::new(TwoChoices, vec![700u64, 300], 5);
+        let t_two = consensus_time(&mut two).expect("2-choices converges");
+        assert!(t_two > 0);
+        let winner = two.counts().iter().position(|&c| c > 0).unwrap();
+        assert_eq!(winner, 0, "2-choices flipped a 70/30 majority");
+    }
+
+    #[test]
+    fn three_majority_rates_are_probabilities() {
+        let p = ThreeMajority;
+        let counts = vec![50u64, 30, 20];
+        let channels = p.channels(3);
+        let mut rates = vec![0.0; channels.len()];
+        p.rates(&counts, 100, &mut rates);
+        let total: f64 = rates.iter().sum();
+        assert!(total > 0.0 && total <= 1.0, "total {total}");
+    }
+
+    #[test]
+    fn anti_voter_equilibrates_and_never_dies() {
+        let mut sim = DenseSimulator::new(AntiVoter, vec![999u64, 1], 7);
+        let mut min_seen = u64::MAX;
+        sim.run_observed(2_000_000, 1_000, |_, counts| {
+            min_seen = min_seen.min(counts[0]).min(counts[1]);
+        });
+        assert!(min_seen >= 1, "anti-voter extinguished a colour");
+        // Half/half equilibrium within a loose band.
+        let frac = sim.counts()[0] as f64 / 1_000.0;
+        assert!((frac - 0.5).abs() < 0.15, "fraction {frac}");
+    }
+
+    #[test]
+    fn channel_decode_matches_enumeration() {
+        let k = 4;
+        let channels = recolour_channels(k);
+        for (idx, a, b) in recolour_pairs(k) {
+            assert_eq!(channels[idx], Channel { src: a, dst: b });
+        }
+        // batch_cap uses src = idx / (k - 1).
+        let counts = vec![10u64, 20, 30, 40];
+        for (idx, a, _) in recolour_pairs(k) {
+            assert_eq!(Voter.batch_cap(idx, &counts), counts[a]);
+        }
+    }
+}

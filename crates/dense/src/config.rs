@@ -1,0 +1,204 @@
+//! The `k × 2` count matrix describing a complete-graph configuration.
+
+use pp_core::{AgentState, ConfigStats};
+
+/// The counts `(A_1..A_k, a_1..a_k)` of a shaded configuration — on the
+/// complete graph this is the *entire* state of the process, which is what
+/// lets [`DenseSimulator`](crate::DenseSimulator) replace `n` agent states
+/// with `2k` integers.
+///
+/// Class layout follows `AgentState::chain_index`: dark colours map to
+/// classes `0..k`, light colours to `k..2k`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_dense::CountConfig;
+///
+/// let c = CountConfig::all_dark_balanced(10, 4);
+/// assert_eq!(c.population(), 10);
+/// assert_eq!(c.num_colours(), 4);
+/// assert!(c.stats().all_colours_alive());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CountConfig {
+    dark: Vec<u64>,
+    light: Vec<u64>,
+}
+
+impl CountConfig {
+    /// Wraps explicit per-colour dark/light counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors differ in length or are empty.
+    pub fn new(dark: Vec<u64>, light: Vec<u64>) -> Self {
+        assert_eq!(dark.len(), light.len(), "count vectors must align");
+        assert!(!dark.is_empty(), "need at least one colour");
+        CountConfig { dark, light }
+    }
+
+    /// The balanced all-dark start of `init::all_dark_balanced`, built in
+    /// `O(k)` without materialising agent states (round-robin assignment:
+    /// each colour gets `⌈n/k⌉` or `⌊n/k⌋` agents).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < k` or `k == 0`.
+    pub fn all_dark_balanced(n: u64, k: usize) -> Self {
+        assert!(k > 0, "need at least one colour");
+        assert!(n >= k as u64, "need at least one agent per colour");
+        let base = n / k as u64;
+        let extra = (n % k as u64) as usize;
+        let dark = (0..k).map(|i| base + u64::from(i < extra)).collect();
+        CountConfig {
+            dark,
+            light: vec![0; k],
+        }
+    }
+
+    /// The adversarial single-minority all-dark start of
+    /// `init::all_dark_single_minority`: colour 0 holds `n − k + 1` agents,
+    /// every other colour exactly one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < k` or `k == 0`.
+    pub fn all_dark_single_minority(n: u64, k: usize) -> Self {
+        assert!(k > 0, "need at least one colour");
+        assert!(n >= k as u64, "need at least one agent per colour");
+        let mut dark = vec![1u64; k];
+        dark[0] = n - (k as u64 - 1);
+        CountConfig {
+            dark,
+            light: vec![0; k],
+        }
+    }
+
+    /// Tallies an explicit agent-state vector (for cross-engine tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any colour index is `>= k`.
+    pub fn from_states(states: &[AgentState], k: usize) -> Self {
+        let stats = ConfigStats::from_states(states, k);
+        Self::from_stats(&stats)
+    }
+
+    /// Converts from the checker-facing counts type.
+    pub fn from_stats(stats: &ConfigStats) -> Self {
+        CountConfig {
+            dark: stats.dark_counts().iter().map(|&c| c as u64).collect(),
+            light: stats.light_counts().iter().map(|&c| c as u64).collect(),
+        }
+    }
+
+    /// Converts to [`ConfigStats`] so every `pp-core` checker (diversity
+    /// error, fairness, sustainability, `GoodSet` regions) consumes the
+    /// dense engine's output unchanged.
+    pub fn stats(&self) -> ConfigStats {
+        ConfigStats::from_counts(
+            self.dark.iter().map(|&c| c as usize).collect(),
+            self.light.iter().map(|&c| c as usize).collect(),
+        )
+    }
+
+    /// The flat class vector (dark `0..k`, light `k..2k`) the
+    /// [`DenseSimulator`](crate::DenseSimulator) operates on.
+    pub fn to_classes(&self) -> Vec<u64> {
+        let mut classes = self.dark.clone();
+        classes.extend_from_slice(&self.light);
+        classes
+    }
+
+    /// Rebuilds the matrix from a flat class vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is odd or zero.
+    pub fn from_classes(classes: &[u64]) -> Self {
+        assert!(
+            !classes.is_empty() && classes.len().is_multiple_of(2),
+            "class vector must have length 2k"
+        );
+        let k = classes.len() / 2;
+        CountConfig {
+            dark: classes[..k].to_vec(),
+            light: classes[k..].to_vec(),
+        }
+    }
+
+    /// Number of colours `k`.
+    pub fn num_colours(&self) -> usize {
+        self.dark.len()
+    }
+
+    /// Population size `n = Σ (A_i + a_i)`.
+    pub fn population(&self) -> u64 {
+        self.dark.iter().sum::<u64>() + self.light.iter().sum::<u64>()
+    }
+
+    /// `A_i`: dark support of colour `i`.
+    pub fn dark(&self, i: usize) -> u64 {
+        self.dark[i]
+    }
+
+    /// `a_i`: light support of colour `i`.
+    pub fn light(&self, i: usize) -> u64 {
+        self.light[i]
+    }
+
+    /// `C_i = A_i + a_i`.
+    pub fn colour(&self, i: usize) -> u64 {
+        self.dark[i] + self.light[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{init, Weights};
+
+    #[test]
+    fn balanced_matches_init_module() {
+        for (n, k) in [(10u64, 4usize), (7, 3), (100, 5)] {
+            let dense = CountConfig::all_dark_balanced(n, k);
+            let states = init::all_dark_balanced(n as usize, &Weights::uniform(k));
+            assert_eq!(dense, CountConfig::from_states(&states, k), "n={n} k={k}");
+        }
+    }
+
+    #[test]
+    fn single_minority_matches_init_module() {
+        let dense = CountConfig::all_dark_single_minority(50, 3);
+        let states = init::all_dark_single_minority(50, &Weights::uniform(3));
+        assert_eq!(dense, CountConfig::from_states(&states, 3));
+        assert_eq!(dense.dark(0), 48);
+        assert_eq!(dense.dark(1), 1);
+    }
+
+    #[test]
+    fn class_roundtrip() {
+        let c = CountConfig::new(vec![3, 2], vec![1, 4]);
+        let classes = c.to_classes();
+        assert_eq!(classes, vec![3, 2, 1, 4]);
+        assert_eq!(CountConfig::from_classes(&classes), c);
+        assert_eq!(c.population(), 10);
+        assert_eq!(c.colour(1), 6);
+    }
+
+    #[test]
+    fn stats_roundtrip() {
+        let c = CountConfig::new(vec![3, 2], vec![1, 4]);
+        let stats = c.stats();
+        assert_eq!(stats.dark_count(0), 3);
+        assert_eq!(stats.light_count(1), 4);
+        assert_eq!(CountConfig::from_stats(&stats), c);
+    }
+
+    #[test]
+    #[should_panic(expected = "align")]
+    fn rejects_ragged_counts() {
+        CountConfig::new(vec![1, 2], vec![1]);
+    }
+}

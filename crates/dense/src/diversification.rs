@@ -1,0 +1,311 @@
+//! Count-level rate tables for the paper's protocols.
+
+use crate::{Channel, CountProtocol};
+use pp_core::{DerandomisedDiversification, Diversification};
+
+/// Exact pairwise interaction rates of the Diversification protocol
+/// (Eq. (2) of the paper) over the `2k` classes `(colour, shade)`.
+///
+/// Class layout matches `AgentState::chain_index`: dark colours `0..k`,
+/// light colours `k..2k`. The channels:
+///
+/// * **adopt(j → i)** (`light j` observes `dark i`, becomes `dark i`):
+///   per-step probability `(a_j/n)·(A_i/(n−1))`;
+/// * **soften(i)** (`dark i` observes *another* `dark i`, turns light with
+///   probability `1/w_i`): `(A_i/n)·((A_i−1)/(n−1))·(1/w_i)`.
+///
+/// The softening rate vanishes at `A_i = 1` and its batch cap is `A_i − 1`,
+/// so the last dark agent of every colour is immortal under the dense
+/// engine exactly as under the agent-based one.
+impl CountProtocol for Diversification {
+    fn channels(&self, num_classes: usize) -> Vec<Channel> {
+        let k = self.num_colours();
+        assert_eq!(
+            num_classes,
+            2 * k,
+            "Diversification over k colours uses 2k classes"
+        );
+        let mut channels = Vec::with_capacity(k * k + k);
+        for j in 0..k {
+            for i in 0..k {
+                channels.push(Channel { src: k + j, dst: i });
+            }
+        }
+        for i in 0..k {
+            channels.push(Channel { src: i, dst: k + i });
+        }
+        channels
+    }
+
+    #[allow(clippy::needless_range_loop)] // parallel-array index math
+    fn rates(&self, counts: &[u64], n: u64, rates: &mut [f64]) {
+        let k = self.num_colours();
+        debug_assert_eq!(counts.len(), 2 * k);
+        debug_assert_eq!(rates.len(), k * k + k);
+        let nf = n as f64;
+        let nm1 = (n - 1) as f64;
+        let mut idx = 0;
+        for j in 0..k {
+            let light_j = counts[k + j] as f64 / nf;
+            for i in 0..k {
+                rates[idx] = light_j * (counts[i] as f64 / nm1);
+                idx += 1;
+            }
+        }
+        for i in 0..k {
+            let dark_i = counts[i] as f64;
+            rates[idx] = (dark_i / nf) * ((dark_i - 1.0).max(0.0) / nm1) / self.weights().get(i);
+            idx += 1;
+        }
+    }
+
+    fn batch_cap(&self, channel: usize, counts: &[u64]) -> u64 {
+        let k = self.num_colours();
+        if channel < k * k {
+            counts[k + channel / k]
+        } else {
+            // Softening may never consume the last dark agent of a colour.
+            counts[channel - k * k].saturating_sub(1)
+        }
+    }
+
+    fn name(&self) -> String {
+        "diversification".to_string()
+    }
+}
+
+/// Offsets of each colour's shade block in the flat class vector.
+fn grey_offsets(protocol: &DerandomisedDiversification) -> Vec<usize> {
+    let mut offsets = Vec::with_capacity(protocol.num_colours() + 1);
+    let mut acc = 0usize;
+    for i in 0..protocol.num_colours() {
+        offsets.push(acc);
+        acc += protocol.weights().get(i) as usize + 1;
+    }
+    offsets.push(acc);
+    offsets
+}
+
+/// The flat class index of `(colour i, grey shade s)` for the derandomised
+/// protocol: colour blocks are laid out consecutively, shade `0` (light)
+/// first, so colour `i` occupies `offset_i ..= offset_i + w_i`.
+pub fn grey_class_index(
+    protocol: &DerandomisedDiversification,
+    colour: usize,
+    shade: u32,
+) -> usize {
+    assert!(colour < protocol.num_colours(), "colour out of range");
+    assert!(
+        shade <= protocol.weights().get(colour),
+        "shade {shade} above weight"
+    );
+    grey_offsets(protocol)[colour] + shade as usize
+}
+
+/// The balanced fully-shaded start of `init::grey_balanced`, as class
+/// counts, built in `O(Σ wᵢ)` without materialising agents.
+#[allow(clippy::needless_range_loop)] // parallel-array index math
+pub fn grey_balanced_counts(n: u64, protocol: &DerandomisedDiversification) -> Vec<u64> {
+    let k = protocol.num_colours();
+    assert!(n >= k as u64, "need at least one agent per colour");
+    let offsets = grey_offsets(protocol);
+    let mut counts = vec![0u64; offsets[k]];
+    let base = n / k as u64;
+    let extra = (n % k as u64) as usize;
+    for i in 0..k {
+        let top = offsets[i] + protocol.weights().get(i) as usize;
+        counts[top] = base + u64::from(i < extra);
+    }
+    counts
+}
+
+/// Exact interaction rates of the derandomised Diversification protocol
+/// (§1.2) over the `Σ (wᵢ + 1)` grey-shade classes.
+///
+/// Channels:
+///
+/// * **step-down(i, s)** for `s ≥ 1` (positively-shaded agent observes
+///   *another* positively-shaded agent of its colour):
+///   `(G_{i,s}/n)·((P_i − 1)/(n−1))` where `P_i = Σ_{s≥1} G_{i,s}`;
+/// * **adopt(j → i)** (shade-0 agent observes a positively-shaded agent of
+///   colour `i`, restarts at top shade `w_i`): `(G_{j,0}/n)·(P_i/(n−1))`.
+///
+/// Step-downs from shade 1 are capped at `P_i − 1`, preserving the
+/// derandomised analogue of sustainability (positive-shade support never
+/// vanishes) under batching.
+impl CountProtocol for DerandomisedDiversification {
+    #[allow(clippy::needless_range_loop)] // parallel-array index math
+    fn channels(&self, num_classes: usize) -> Vec<Channel> {
+        let k = self.num_colours();
+        let offsets = grey_offsets(self);
+        assert_eq!(
+            num_classes, offsets[k],
+            "derandomised protocol uses sum(w_i + 1) classes"
+        );
+        let mut channels = Vec::new();
+        for i in 0..k {
+            for s in 1..=self.weights().get(i) as usize {
+                channels.push(Channel {
+                    src: offsets[i] + s,
+                    dst: offsets[i] + s - 1,
+                });
+            }
+        }
+        for j in 0..k {
+            for i in 0..k {
+                channels.push(Channel {
+                    src: offsets[j],
+                    dst: offsets[i] + self.weights().get(i) as usize,
+                });
+            }
+        }
+        channels
+    }
+
+    #[allow(clippy::needless_range_loop)] // parallel-array index math
+    fn rates(&self, counts: &[u64], n: u64, rates: &mut [f64]) {
+        let k = self.num_colours();
+        let offsets = grey_offsets(self);
+        let nf = n as f64;
+        let nm1 = (n - 1) as f64;
+        let positive: Vec<f64> = (0..k)
+            .map(|i| {
+                (1..=self.weights().get(i) as usize)
+                    .map(|s| counts[offsets[i] + s] as f64)
+                    .sum()
+            })
+            .collect();
+        let mut idx = 0;
+        for i in 0..k {
+            for s in 1..=self.weights().get(i) as usize {
+                rates[idx] =
+                    (counts[offsets[i] + s] as f64 / nf) * ((positive[i] - 1.0).max(0.0) / nm1);
+                idx += 1;
+            }
+        }
+        for j in 0..k {
+            let light_j = counts[offsets[j]] as f64 / nf;
+            for i in 0..k {
+                rates[idx] = light_j * (positive[i] / nm1);
+                idx += 1;
+            }
+        }
+    }
+
+    fn batch_cap(&self, channel: usize, counts: &[u64]) -> u64 {
+        let k = self.num_colours();
+        let offsets = grey_offsets(self);
+        let mut idx = 0;
+        for i in 0..k {
+            for s in 1..=self.weights().get(i) as usize {
+                if idx == channel {
+                    let src = offsets[i] + s;
+                    if s == 1 {
+                        // Never extinguish a colour's positive-shade support.
+                        let positive: u64 = (1..=self.weights().get(i) as usize)
+                            .map(|t| counts[offsets[i] + t])
+                            .sum();
+                        return counts[src].min(positive.saturating_sub(1));
+                    }
+                    return counts[src];
+                }
+                idx += 1;
+            }
+        }
+        // Adoption channels: bounded by source availability only.
+        let adopt = channel - idx;
+        counts[offsets[adopt / k]]
+    }
+
+    fn name(&self) -> String {
+        "derandomised-diversification".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CountConfig, DenseSimulator};
+    use pp_core::{IntWeights, Weights};
+
+    #[test]
+    fn diversification_rates_sum_below_one() {
+        let p = Diversification::new(Weights::new(vec![1.0, 2.0, 4.0]).unwrap());
+        let counts = CountConfig::new(vec![30, 20, 10], vec![5, 15, 20]).to_classes();
+        let channels = p.channels(6);
+        let mut rates = vec![0.0; channels.len()];
+        p.rates(&counts, 100, &mut rates);
+        let total: f64 = rates.iter().sum();
+        assert!(total > 0.0 && total <= 1.0, "total rate {total}");
+    }
+
+    #[test]
+    fn soften_rate_vanishes_at_last_dark_agent() {
+        let p = Diversification::new(Weights::uniform(2));
+        let counts = CountConfig::new(vec![1, 97], vec![1, 1]).to_classes();
+        let channels = p.channels(4);
+        let mut rates = vec![0.0; channels.len()];
+        p.rates(&counts, 100, &mut rates);
+        // Soften channel for colour 0 is after the 4 adopt channels.
+        assert_eq!(rates[4], 0.0);
+        assert_eq!(p.batch_cap(4, &counts), 0);
+        assert!(rates[5] > 0.0);
+    }
+
+    #[test]
+    fn diversification_reaches_equilibrium_shares() {
+        let weights = Weights::new(vec![1.0, 1.0, 2.0]).unwrap();
+        let n: u64 = 100_000;
+        let mut sim = DenseSimulator::new(
+            Diversification::new(weights.clone()),
+            CountConfig::all_dark_balanced(n, 3).to_classes(),
+            11,
+        );
+        sim.run(40 * n);
+        let stats = CountConfig::from_classes(sim.counts()).stats();
+        assert_eq!(stats.population() as u64, n);
+        assert!(stats.all_colours_alive());
+        let err = stats.max_diversity_error(&weights);
+        assert!(err < 0.02, "diversity error {err}");
+        // Eq. (7): dark fraction of colour i is w_i/(1+w).
+        let dark_err = stats.max_dark_equilibrium_error(&weights) / n as f64;
+        assert!(dark_err < 0.02, "dark equilibrium error {dark_err}");
+    }
+
+    #[test]
+    fn grey_layout_and_balanced_start() {
+        let p = DerandomisedDiversification::new(IntWeights::new(vec![1, 3]).unwrap());
+        assert_eq!(grey_class_index(&p, 0, 0), 0);
+        assert_eq!(grey_class_index(&p, 0, 1), 1);
+        assert_eq!(grey_class_index(&p, 1, 0), 2);
+        assert_eq!(grey_class_index(&p, 1, 3), 5);
+        let counts = grey_balanced_counts(10, &p);
+        assert_eq!(counts, vec![0, 5, 0, 0, 0, 5]);
+    }
+
+    #[test]
+    fn derandomised_keeps_positive_support() {
+        let p = DerandomisedDiversification::new(IntWeights::new(vec![2, 2]).unwrap());
+        let counts = grey_balanced_counts(50_000, &p);
+        let mut sim = DenseSimulator::new(p.clone(), counts, 5);
+        sim.run(2_000_000);
+        let offsets = grey_offsets(&p);
+        for (i, &offset) in offsets.iter().take(2).enumerate() {
+            let positive: u64 = (1..=2).map(|s| sim.counts()[offset + s]).sum();
+            assert!(positive >= 1, "colour {i} lost all positive shades");
+        }
+        let n: u64 = sim.counts().iter().sum();
+        assert_eq!(n, 50_000);
+    }
+
+    #[test]
+    fn derandomised_rates_sum_below_one() {
+        let p = DerandomisedDiversification::new(IntWeights::new(vec![1, 3]).unwrap());
+        let counts = vec![2u64, 30, 5, 10, 20, 33];
+        let channels = p.channels(6);
+        let mut rates = vec![0.0; channels.len()];
+        p.rates(&counts, 100, &mut rates);
+        let total: f64 = rates.iter().sum();
+        assert!(total > 0.0 && total <= 1.0, "total rate {total}");
+    }
+}

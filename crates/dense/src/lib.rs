@@ -1,0 +1,75 @@
+//! **pp-dense** — the count-based batched simulation engine.
+//!
+//! On the complete graph a population-protocol configuration is fully
+//! described by its per-class counts: for Diversification, the `k × 2`
+//! matrix of (colour, shade) counts wrapped by [`CountConfig`]. The
+//! scheduled agent and its observed partner are uniform draws, so each
+//! time-step fires one of a fixed list of *channels* (class → class moves)
+//! with a probability computable from the counts alone — the
+//! [`CountProtocol`] rate table.
+//!
+//! [`DenseSimulator`] exploits this to advance time in *batches*
+//! (τ-leaping, the standard accelerator for chemical-reaction-network and
+//! mean-field simulation): each batch samples per-channel binomial firing
+//! counts across τ time-steps in `O(#channels)` work, making the amortised
+//! cost of a time-step `O(k²/(ε·n))` — the bigger the population, the
+//! cheaper the step, which is what lets the paper's asymptotic-in-`n`
+//! claims be tested at `n = 10⁸` in seconds instead of days.
+//!
+//! Near absorbing boundaries the engine automatically drops to exact
+//! single-interaction sampling (geometric waiting times + one weighted
+//! firing), and every channel carries an invariant *batch cap*, so the
+//! sustainability guarantee — the last dark agent of a colour can never be
+//! erased — holds exactly, not just in expectation.
+//!
+//! The engine's output flows into the same checkers as the agent-based
+//! engine: [`CountConfig::stats`] produces the `ConfigStats` consumed by
+//! `pp-core`'s diversity / fairness / sustainability checkers and `GoodSet`
+//! regions.
+//!
+//! [`CountProtocol`] is implemented for:
+//!
+//! * `pp_core::Diversification` (the paper's protocol, Eq. (2));
+//! * `pp_core::DerandomisedDiversification` (§1.2 grey shades);
+//! * `pp_baselines::{Voter, TwoChoices, ThreeMajority, AntiVoter}`.
+//!
+//! # When to use which engine
+//!
+//! The dense engine applies **only on the complete graph** (any other
+//! topology breaks the mean-field symmetry the counts rely on) and only to
+//! count-level measurements. Per-agent measurements — fairness occupancy,
+//! single-agent trajectories — still need `pp_engine::Simulator`.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_core::{Diversification, Weights};
+//! use pp_dense::{CountConfig, DenseSimulator};
+//!
+//! let weights = Weights::new(vec![1.0, 3.0]).unwrap();
+//! let n: u64 = 10_000_000;
+//! let mut sim = DenseSimulator::new(
+//!     Diversification::new(weights.clone()),
+//!     CountConfig::all_dark_balanced(n, 2).to_classes(),
+//!     42,
+//! );
+//! sim.run(20 * n); // 20 parallel rounds
+//! let stats = CountConfig::from_classes(sim.counts()).stats();
+//! assert!(stats.all_colours_alive());
+//! assert!(stats.max_diversity_error(&weights) < 0.01);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod config;
+pub mod diversification;
+pub mod protocol;
+pub mod sampling;
+pub mod simulator;
+
+pub use config::CountConfig;
+pub use diversification::{grey_balanced_counts, grey_class_index};
+pub use protocol::{Channel, CountProtocol};
+pub use simulator::DenseSimulator;

@@ -1,0 +1,85 @@
+//! The count-level protocol abstraction.
+
+/// One reaction channel: a single scheduled agent leaves class `src` and
+/// enters class `dst`.
+///
+/// Every protocol in this workspace is *one-way* — only the scheduled agent
+/// changes state — so every possible transition moves exactly one agent
+/// between two classes, and a configuration's one-step dynamics is fully
+/// described by a list of channels plus their per-step firing
+/// probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Channel {
+    /// Class losing one agent per firing.
+    pub src: usize,
+    /// Class gaining one agent per firing.
+    pub dst: usize,
+}
+
+/// A protocol expressed over *class counts* instead of per-agent states.
+///
+/// On the complete graph the scheduled agent and its observed partner are
+/// uniform draws, so the probability of each transition depends only on the
+/// class counts — the exact pairwise interaction-rate table the
+/// [`DenseSimulator`](crate::DenseSimulator) batches over.
+///
+/// Implementations must satisfy, for every reachable `counts`:
+///
+/// * `rates` sums to at most 1 (the channels are disjoint events of one
+///   time-step; the remainder is the no-op probability);
+/// * `rates[c] == 0` whenever firing channel `c` would violate a protocol
+///   invariant that the agent-based dynamics enforces (e.g. the
+///   last-dark-agent rule of Diversification), and [`batch_cap`] bounds how
+///   often `c` may fire in one batch so the invariant also survives
+///   τ-leaping;
+/// * rates match the agent-based [`Protocol`] transition probabilities
+///   exactly, including the self-exclusion of the observed partner (the
+///   partner is uniform over the *other* `n − 1` agents).
+///
+/// [`batch_cap`]: CountProtocol::batch_cap
+/// [`Protocol`]: https://docs.rs/pp-engine
+pub trait CountProtocol {
+    /// The channel list for a configuration with `num_classes` classes.
+    ///
+    /// Called once at simulator construction; order defines the channel
+    /// indices passed to [`rates`](CountProtocol::rates) and
+    /// [`batch_cap`](CountProtocol::batch_cap).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `num_classes` is inconsistent with the
+    /// protocol (e.g. not `2k` for a `k`-colour shaded protocol).
+    fn channels(&self, num_classes: usize) -> Vec<Channel>;
+
+    /// Fills `rates[c]` with the probability that one time-step fires
+    /// channel `c`, given `counts` in a population of `n` agents.
+    fn rates(&self, counts: &[u64], n: u64, rates: &mut [f64]);
+
+    /// The largest number of times channel `c` may fire in one batch without
+    /// breaking a protocol invariant. Defaults to "source availability" via
+    /// the simulator; override to protect absorbing boundaries (e.g.
+    /// `A_i − 1` for Diversification's softening channel, so the last dark
+    /// agent of a colour is immortal under batching too).
+    fn batch_cap(&self, channel: usize, counts: &[u64]) -> u64;
+
+    /// Short name for experiment tables.
+    fn name(&self) -> String;
+}
+
+impl<P: CountProtocol + ?Sized> CountProtocol for &P {
+    fn channels(&self, num_classes: usize) -> Vec<Channel> {
+        (**self).channels(num_classes)
+    }
+
+    fn rates(&self, counts: &[u64], n: u64, rates: &mut [f64]) {
+        (**self).rates(counts, n, rates)
+    }
+
+    fn batch_cap(&self, channel: usize, counts: &[u64]) -> u64 {
+        (**self).batch_cap(channel, counts)
+    }
+
+    fn name(&self) -> String {
+        (**self).name()
+    }
+}

@@ -1,0 +1,160 @@
+//! Distribution samplers for the batched engine.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt};
+
+/// A standard normal draw (Box–Muller).
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    loop {
+        let u1 = rng.random_unit();
+        let u2 = rng.random_unit();
+        if u1 > 0.0 {
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// A draw from `Binomial(trials, p)`.
+///
+/// Exact (geometric inter-success skips) when the mean is small; Gaussian
+/// approximation, rounded and clamped to `[0, trials]`, when the mean is
+/// large. The crossover keeps single-batch moments accurate to far below
+/// the τ-leap discretisation error itself.
+pub fn binomial(rng: &mut StdRng, trials: u64, p: f64) -> u64 {
+    if trials == 0 || p <= 0.0 {
+        return 0;
+    }
+    if p >= 1.0 {
+        return trials;
+    }
+    if p > 0.5 {
+        return trials - binomial(rng, trials, 1.0 - p);
+    }
+    let mean = trials as f64 * p;
+    if mean < 64.0 {
+        // Count successes by skipping geometric failure runs.
+        let c = (1.0 - p).ln();
+        if c >= 0.0 {
+            return 0;
+        }
+        let mut successes = 0u64;
+        let mut position = 0f64;
+        loop {
+            let u = rng.random_unit().max(f64::MIN_POSITIVE);
+            position += (u.ln() / c).floor() + 1.0;
+            if position > trials as f64 {
+                return successes;
+            }
+            successes += 1;
+        }
+    }
+    let sd = (trials as f64 * p * (1.0 - p)).sqrt();
+    let x = (mean + sd * standard_normal(rng)).round();
+    x.clamp(0.0, trials as f64) as u64
+}
+
+/// Number of time-steps until the first event, when each step fires with
+/// probability `p` — a geometric draw on `{1, 2, …}`, saturating instead of
+/// overflowing for vanishing `p`.
+pub fn geometric(rng: &mut StdRng, p: f64) -> u64 {
+    if p >= 1.0 {
+        return 1;
+    }
+    if p <= 0.0 {
+        return u64::MAX;
+    }
+    let u = rng.random_unit().max(f64::MIN_POSITIVE);
+    let g = (u.ln() / (1.0 - p).ln()).floor() + 1.0;
+    if g >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        g as u64
+    }
+}
+
+/// Picks an index with probability proportional to `weights[i]`, given
+/// `total = Σ weights`. Falls back to the last positive entry under
+/// floating-point shortfall.
+pub fn pick_weighted(rng: &mut dyn Rng, weights: &[f64], total: f64) -> usize {
+    debug_assert!(total > 0.0);
+    let mut target = rng.random_unit() * total;
+    let mut last_positive = 0;
+    for (i, &w) in weights.iter().enumerate() {
+        if w > 0.0 {
+            last_positive = i;
+            if target < w {
+                return i;
+            }
+            target -= w;
+        }
+    }
+    last_positive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn binomial_edge_cases() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 100, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 100, 1.0), 100);
+        for _ in 0..100 {
+            assert!(binomial(&mut rng, 10, 0.3) <= 10);
+        }
+    }
+
+    #[test]
+    fn binomial_mean_small_regime() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let (trials, p, reps) = (200u64, 0.05, 20_000);
+        let total: u64 = (0..reps).map(|_| binomial(&mut rng, trials, p)).sum();
+        let mean = total as f64 / reps as f64;
+        assert!((mean - 10.0).abs() < 0.2, "mean = {mean}");
+    }
+
+    #[test]
+    fn binomial_mean_large_regime() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (trials, p, reps) = (100_000u64, 0.4, 2_000);
+        let total: u64 = (0..reps).map(|_| binomial(&mut rng, trials, p)).sum();
+        let mean = total as f64 / reps as f64;
+        let expect = trials as f64 * p;
+        assert!(
+            (mean - expect).abs() < 0.005 * expect,
+            "mean = {mean}, expected {expect}"
+        );
+    }
+
+    #[test]
+    fn geometric_mean_is_inverse_p() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (p, reps) = (0.02, 50_000);
+        let total: u64 = (0..reps).map(|_| geometric(&mut rng, p)).sum();
+        let mean = total as f64 / reps as f64;
+        assert!((mean - 50.0).abs() < 1.5, "mean = {mean}");
+    }
+
+    #[test]
+    fn geometric_saturates() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(geometric(&mut rng, 0.0), u64::MAX);
+        assert_eq!(geometric(&mut rng, 1.0), 1);
+    }
+
+    #[test]
+    fn pick_weighted_tracks_weights() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let weights = [0.0, 1.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[pick_weighted(&mut rng, &weights, 4.0)] += 1;
+        }
+        assert_eq!(counts[0], 0);
+        let frac1 = counts[1] as f64 / 40_000.0;
+        assert!((frac1 - 0.25).abs() < 0.02, "{frac1}");
+    }
+}

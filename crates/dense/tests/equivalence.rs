@@ -1,0 +1,220 @@
+//! Dense-vs-agent equivalence: the count-based engine must reproduce the
+//! agent-based engine's distribution on the complete graph.
+//!
+//! Both engines are replicated over independent seeds; per-checkpoint mean
+//! colour-count trajectories and post-convergence diversity errors must
+//! agree within (generously widened) bootstrap confidence intervals.
+
+use pp_core::{init, ConfigStats, Diversification, Weights};
+use pp_dense::{CountConfig, DenseSimulator};
+use pp_engine::{replicate, Simulator};
+use pp_graph::Complete;
+use pp_stats::bootstrap_mean_ci;
+
+const SEEDS: u64 = 32;
+const N: usize = 512;
+
+fn weights() -> Weights {
+    Weights::new(vec![1.0, 1.0, 2.0, 4.0]).unwrap()
+}
+
+/// Colour-count trajectory of one agent-based run, sampled at `checkpoints`.
+fn agent_trajectory(n: usize, w: &Weights, seed: u64, checkpoints: &[u64]) -> Vec<Vec<f64>> {
+    let k = w.len();
+    let mut sim = Simulator::new(
+        Diversification::new(w.clone()),
+        Complete::new(n),
+        init::all_dark_balanced(n, w),
+        seed,
+    );
+    let mut out = Vec::with_capacity(checkpoints.len());
+    let mut at = 0u64;
+    for &t in checkpoints {
+        sim.run(t - at);
+        at = t;
+        let stats = ConfigStats::from_states(sim.population().states(), k);
+        out.push((0..k).map(|i| stats.colour_count(i) as f64).collect());
+    }
+    out
+}
+
+/// Colour-count trajectory of one dense run, sampled at `checkpoints`.
+fn dense_trajectory(n: usize, w: &Weights, seed: u64, checkpoints: &[u64]) -> Vec<Vec<f64>> {
+    let k = w.len();
+    let mut sim = DenseSimulator::new(
+        Diversification::new(w.clone()),
+        CountConfig::all_dark_balanced(n as u64, k).to_classes(),
+        seed,
+    );
+    let mut out = Vec::with_capacity(checkpoints.len());
+    let mut at = 0u64;
+    for &t in checkpoints {
+        sim.run(t - at);
+        at = t;
+        let stats = CountConfig::from_classes(sim.counts()).stats();
+        out.push((0..k).map(|i| stats.colour_count(i) as f64).collect());
+    }
+    out
+}
+
+/// Asserts two seed-level samples have statistically compatible means:
+/// their 99% bootstrap CIs, widened by `slack`, must overlap.
+fn assert_compatible_means(agent: &[f64], dense: &[f64], slack: f64, what: &str) {
+    let (a_lo, a_hi) = bootstrap_mean_ci(agent, 500, 0.99, 7).unwrap();
+    let (d_lo, d_hi) = bootstrap_mean_ci(dense, 500, 0.99, 8).unwrap();
+    let overlap = a_lo - slack <= d_hi && d_lo - slack <= a_hi;
+    assert!(
+        overlap,
+        "{what}: agent CI [{a_lo:.3}, {a_hi:.3}] vs dense CI [{d_lo:.3}, {d_hi:.3}] \
+         (slack {slack}) do not overlap"
+    );
+}
+
+#[test]
+fn mean_colour_trajectories_agree() {
+    let w = weights();
+    let k = w.len();
+    let budget = pp_core::theory::convergence_budget(N, w.total(), 4.0);
+    let checkpoints: Vec<u64> = [0.05, 0.15, 0.4, 1.0]
+        .iter()
+        .map(|f| (budget as f64 * f) as u64)
+        .collect();
+
+    let agent_runs = replicate(0..SEEDS, |s| agent_trajectory(N, &w, s, &checkpoints));
+    let dense_runs = replicate(0..SEEDS, |s| {
+        dense_trajectory(N, &w, 10_000 + s, &checkpoints)
+    });
+
+    for (t_idx, &t) in checkpoints.iter().enumerate() {
+        for colour in 0..k {
+            let agent: Vec<f64> = agent_runs.iter().map(|r| r[t_idx][colour]).collect();
+            let dense: Vec<f64> = dense_runs.iter().map(|r| r[t_idx][colour]).collect();
+            // Slack of 2 agents absorbs CI-overlap crudeness at finite seeds.
+            assert_compatible_means(
+                &agent,
+                &dense,
+                2.0,
+                &format!("C_{colour} at step {t} (n = {N})"),
+            );
+        }
+    }
+}
+
+#[test]
+fn diversity_errors_agree() {
+    let w = weights();
+    let k = w.len();
+    let budget = pp_core::theory::convergence_budget(N, w.total(), 4.0);
+    let window = (2.0 * N as f64 * (N as f64).ln()) as u64;
+    let stride = (N as u64) / 2;
+
+    let agent_errors = replicate(0..SEEDS, |s| {
+        let mut sim = Simulator::new(
+            Diversification::new(w.clone()),
+            Complete::new(N),
+            init::all_dark_balanced(N, &w),
+            s,
+        );
+        sim.run(budget);
+        let mut worst: f64 = 0.0;
+        sim.run_observed(window, stride, |_, pop| {
+            let stats = ConfigStats::from_states(pop.states(), k);
+            worst = worst.max(stats.max_diversity_error(&w));
+        });
+        worst
+    });
+    let dense_errors = replicate(0..SEEDS, |s| {
+        let mut sim = DenseSimulator::new(
+            Diversification::new(w.clone()),
+            CountConfig::all_dark_balanced(N as u64, k).to_classes(),
+            20_000 + s,
+        );
+        sim.run(budget);
+        let mut worst: f64 = 0.0;
+        sim.run_observed(window, stride, |_, counts| {
+            let stats = CountConfig::from_classes(counts).stats();
+            worst = worst.max(stats.max_diversity_error(&w));
+        });
+        worst
+    });
+
+    assert_compatible_means(
+        &agent_errors,
+        &dense_errors,
+        0.01,
+        &format!("window-max diversity error (n = {N})"),
+    );
+}
+
+#[test]
+fn dense_preserves_population_and_sustainability_over_long_runs() {
+    let w = weights();
+    let k = w.len();
+    for seed in 0..8 {
+        let mut sim = DenseSimulator::new(
+            Diversification::new(w.clone()),
+            CountConfig::all_dark_balanced(N as u64, k).to_classes(),
+            seed,
+        );
+        let mut min_dark = u64::MAX;
+        sim.run_observed(400_000, 1_000, |_, counts| {
+            let config = CountConfig::from_classes(counts);
+            assert_eq!(config.population(), N as u64, "population drifted");
+            for i in 0..k {
+                min_dark = min_dark.min(config.dark(i));
+            }
+        });
+        assert!(
+            min_dark >= 1,
+            "seed {seed}: a colour lost its last dark agent"
+        );
+    }
+}
+
+#[test]
+fn engines_agree_from_single_minority_start() {
+    // The adversarial start exercises the dense engine's critical-channel
+    // path (the singleton colour sits on the sustainability boundary).
+    let w = Weights::uniform(2);
+    let quarter = (N / 4) as f64;
+    let budget = pp_core::theory::convergence_budget(N, 2.0, 64.0);
+
+    let spread = |dense: bool, seed: u64| -> f64 {
+        if dense {
+            let mut sim = DenseSimulator::new(
+                Diversification::new(w.clone()),
+                CountConfig::all_dark_single_minority(N as u64, 2).to_classes(),
+                seed,
+            );
+            sim.run_until(budget, (N / 4) as u64, |counts, _| {
+                CountConfig::from_classes(counts).colour(1) as f64 >= quarter
+            })
+            .map(|t| t as f64)
+            .unwrap_or(budget as f64)
+        } else {
+            let mut sim = Simulator::new(
+                Diversification::new(w.clone()),
+                Complete::new(N),
+                init::all_dark_single_minority(N, &w),
+                seed,
+            );
+            sim.run_until(budget, (N / 4) as u64, |pop, _| {
+                ConfigStats::from_states(pop.states(), 2).colour_count(1) as f64 >= quarter
+            })
+            .map(|t| t as f64)
+            .unwrap_or(budget as f64)
+        }
+    };
+
+    let agent: Vec<f64> = (0..SEEDS).map(|s| spread(false, s)).collect();
+    let dense: Vec<f64> = (0..SEEDS).map(|s| spread(true, 30_000 + s)).collect();
+    // Spread times are heavy-tailed; compare means with slack proportional
+    // to the agent mean.
+    let agent_mean = agent.iter().sum::<f64>() / agent.len() as f64;
+    assert_compatible_means(
+        &agent,
+        &dense,
+        0.25 * agent_mean,
+        &format!("singleton spread time to n/4 (n = {N})"),
+    );
+}

@@ -38,7 +38,9 @@ where
     std::thread::scope(|scope| {
         let handles: Vec<_> = seeds
             .chunks(chunk)
-            .map(|chunk_seeds| scope.spawn(move || chunk_seeds.iter().map(|&s| f(s)).collect::<Vec<R>>()))
+            .map(|chunk_seeds| {
+                scope.spawn(move || chunk_seeds.iter().map(|&s| f(s)).collect::<Vec<R>>())
+            })
             .collect();
         for h in handles {
             results.push(h.join().expect("replicate worker panicked"));

@@ -62,8 +62,14 @@ impl<P: Protocol, T: Topology> Simulator<P, T> {
             initial_states.len(),
             topology.len()
         );
-        assert!(initial_states.len() >= 2, "population needs at least 2 agents");
-        assert!(protocol.observations() >= 1, "protocol must observe at least one agent");
+        assert!(
+            initial_states.len() >= 2,
+            "population needs at least 2 agents"
+        );
+        assert!(
+            protocol.observations() >= 1,
+            "protocol must observe at least one agent"
+        );
         Simulator {
             protocol,
             topology,
@@ -87,8 +93,11 @@ impl<P: Protocol, T: Topology> Simulator<P, T> {
         let next = match m {
             1 => {
                 let v = self.topology.sample_partner(u, &mut self.rng);
-                self.protocol
-                    .transition(self.population.state(u), &[self.population.state(v)], &mut self.rng)
+                self.protocol.transition(
+                    self.population.state(u),
+                    &[self.population.state(v)],
+                    &mut self.rng,
+                )
             }
             2 => {
                 let v = self.topology.sample_partner(u, &mut self.rng);
@@ -271,7 +280,14 @@ mod tests {
 
     #[test]
     fn same_seed_same_trajectory() {
-        let mk = || Simulator::new(Copy1, Complete::new(16), (0..16).map(|i| i as u8).collect(), 5);
+        let mk = || {
+            Simulator::new(
+                Copy1,
+                Complete::new(16),
+                (0..16).map(|i| i as u8).collect(),
+                5,
+            )
+        };
         let mut a = mk();
         let mut b = mk();
         a.run(500);

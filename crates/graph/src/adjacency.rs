@@ -91,7 +91,10 @@ impl Topology for AdjacencyList {
     fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
         check_node(u, self.adj.len());
         let ns = &self.adj[u];
-        assert!(!ns.is_empty(), "node {u} is isolated; cannot sample a partner");
+        assert!(
+            !ns.is_empty(),
+            "node {u} is isolated; cannot sample a partner"
+        );
         ns[rng.random_range(0..ns.len())]
     }
 

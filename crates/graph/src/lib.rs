@@ -35,8 +35,8 @@ pub mod complete;
 pub mod connectivity;
 pub mod hypercube;
 pub mod random;
-pub mod smallworld;
 pub mod ring;
+pub mod smallworld;
 pub mod star;
 pub mod torus;
 
@@ -132,7 +132,10 @@ impl<T: Topology + ?Sized> Topology for Box<T> {
 
 /// Asserts `u` is a valid node index for a topology of size `n`.
 pub(crate) fn check_node(u: usize, n: usize) {
-    assert!(u < n, "node index {u} out of range for topology of {n} nodes");
+    assert!(
+        u < n,
+        "node index {u} out of range for topology of {n} nodes"
+    );
 }
 
 #[cfg(test)]

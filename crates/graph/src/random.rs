@@ -23,7 +23,10 @@ use rand::{Rng, RngExt};
 /// Panics if `n < 2` or `p` is outside `[0, 1]`.
 pub fn erdos_renyi(n: usize, p: f64, rng: &mut dyn Rng) -> AdjacencyList {
     assert!(n >= 2, "G(n, p) needs n >= 2, got {n}");
-    assert!((0.0..=1.0).contains(&p), "edge probability must be in [0, 1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "edge probability must be in [0, 1], got {p}"
+    );
     let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
@@ -61,7 +64,10 @@ pub fn erdos_renyi(n: usize, p: f64, rng: &mut dyn Rng) -> AdjacencyList {
 pub fn random_regular(n: usize, d: usize, rng: &mut dyn Rng) -> AdjacencyList {
     assert!(d >= 1, "degree must be positive");
     assert!(d < n, "degree {d} must be below n = {n}");
-    assert!((n * d).is_multiple_of(2), "n*d must be even, got n={n}, d={d}");
+    assert!(
+        (n * d).is_multiple_of(2),
+        "n*d must be even, got n={n}, d={d}"
+    );
     // Stub list: node u appears d times; Fisher–Yates shuffle, pair up.
     let mut stubs: Vec<usize> = (0..n).flat_map(|u| std::iter::repeat_n(u, d)).collect();
     for i in (1..stubs.len()).rev() {
@@ -136,7 +142,10 @@ pub fn stochastic_block_model(
     assert!(!sizes.is_empty(), "need at least one block");
     assert!(sizes.iter().all(|&s| s > 0), "blocks must be non-empty");
     for p in [p_in, p_out] {
-        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1], got {p}");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "probability must be in [0, 1], got {p}"
+        );
     }
     let n: usize = sizes.iter().sum();
     let mut block_of = Vec::with_capacity(n);
@@ -146,7 +155,11 @@ pub fn stochastic_block_model(
     let mut edges = Vec::new();
     for u in 0..n {
         for v in (u + 1)..n {
-            let p = if block_of[u] == block_of[v] { p_in } else { p_out };
+            let p = if block_of[u] == block_of[v] {
+                p_in
+            } else {
+                p_out
+            };
             if rng.random_bool(p) {
                 edges.push((u, v));
             }

@@ -32,7 +32,10 @@ use rand::{Rng, RngExt};
 pub fn watts_strogatz(n: usize, k: usize, p: f64, rng: &mut dyn Rng) -> AdjacencyList {
     assert!(k >= 1, "each side needs at least one neighbour");
     assert!(2 * k < n, "lattice needs n >= 2k+1 (n={n}, k={k})");
-    assert!((0.0..=1.0).contains(&p), "rewire probability must be in [0, 1], got {p}");
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "rewire probability must be in [0, 1], got {p}"
+    );
 
     // Edge set as normalised pairs for O(1) duplicate checks.
     let mut edges: std::collections::HashSet<(usize, usize)> =

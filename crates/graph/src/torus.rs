@@ -50,7 +50,10 @@ impl Torus2d {
     ///
     /// Panics if `r >= rows` or `c >= cols`.
     pub fn node(&self, r: usize, c: usize) -> usize {
-        assert!(r < self.rows && c < self.cols, "coords ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "coords ({r},{c}) out of range"
+        );
         r * self.cols + c
     }
 

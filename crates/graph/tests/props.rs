@@ -18,7 +18,10 @@ fn check_contract<T: Topology>(g: &T, seed: u64) {
         assert_eq!(ns.len(), g.degree(u), "degree mismatch at {u}");
         assert!(!ns.contains(&u), "self-neighbour at {u}");
         for &v in &ns {
-            assert!(g.contains_edge(u, v), "listed neighbour not an edge: {u}-{v}");
+            assert!(
+                g.contains_edge(u, v),
+                "listed neighbour not an edge: {u}-{v}"
+            );
             assert!(g.contains_edge(v, u), "edge not symmetric: {u}-{v}");
         }
         if g.degree(u) > 0 {

@@ -27,7 +27,10 @@
 /// Panics if `delta <= 0`, `pi_i ∉ (0, 1]`, or `t_mix == 0`.
 pub fn chernoff_mc_bound(delta: f64, pi_i: f64, t: u64, t_mix: u64) -> f64 {
     assert!(delta > 0.0, "delta must be positive, got {delta}");
-    assert!(pi_i > 0.0 && pi_i <= 1.0, "pi_i must be in (0, 1], got {pi_i}");
+    assert!(
+        pi_i > 0.0 && pi_i <= 1.0,
+        "pi_i must be in (0, 1], got {pi_i}"
+    );
     assert!(t_mix > 0, "mixing time must be positive");
     (-delta * delta * pi_i * t as f64 / (72.0 * t_mix as f64)).exp()
 }

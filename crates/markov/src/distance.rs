@@ -62,7 +62,9 @@ mod tests {
         let p = [0.2, 0.8];
         let q = [0.5, 0.5];
         let r = [0.9, 0.1];
-        assert!(total_variation(&p, &r) <= total_variation(&p, &q) + total_variation(&q, &r) + 1e-15);
+        assert!(
+            total_variation(&p, &r) <= total_variation(&p, &q) + total_variation(&q, &r) + 1e-15
+        );
     }
 
     #[test]

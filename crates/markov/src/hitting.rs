@@ -164,11 +164,19 @@ mod tests {
         for _ in 0..trials {
             // Simulate until hitting state 2 from state 0.
             let w = Walk::simulate(&p, 0, 1_000, &mut rng);
-            let hit = w.states().iter().position(|&s| s == 2).expect("hit within 1000");
+            let hit = w
+                .states()
+                .iter()
+                .position(|&s| s == 2)
+                .expect("hit within 1000");
             total += hit as u64;
         }
         let emp = total as f64 / trials as f64;
-        assert!((emp - h[0]).abs() < 0.05, "empirical {emp} vs exact {}", h[0]);
+        assert!(
+            (emp - h[0]).abs() < 0.05,
+            "empirical {emp} vs exact {}",
+            h[0]
+        );
     }
 
     #[test]

@@ -158,7 +158,10 @@ impl TransitionMatrix {
     ///
     /// Panics if the chain is not irreducible.
     pub fn period(&self) -> usize {
-        assert!(self.is_irreducible(), "period is defined for irreducible chains");
+        assert!(
+            self.is_irreducible(),
+            "period is defined for irreducible chains"
+        );
         // BFS from state 0; gcd of (level(u) + 1 - level(v)) over edges.
         let mut level = vec![usize::MAX; self.n];
         let mut queue = std::collections::VecDeque::new();
@@ -248,8 +251,7 @@ mod tests {
     #[test]
     fn irreducibility() {
         assert!(two_state().is_irreducible());
-        let absorbing =
-            TransitionMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.5, 0.5]]);
+        let absorbing = TransitionMatrix::from_rows(vec![vec![1.0, 0.0], vec![0.5, 0.5]]);
         assert!(!absorbing.is_irreducible());
     }
 

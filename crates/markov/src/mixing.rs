@@ -64,10 +64,7 @@ mod tests {
     use super::*;
 
     fn lazy_flip(alpha: f64) -> TransitionMatrix {
-        TransitionMatrix::from_rows(vec![
-            vec![1.0 - alpha, alpha],
-            vec![alpha, 1.0 - alpha],
-        ])
+        TransitionMatrix::from_rows(vec![vec![1.0 - alpha, alpha], vec![alpha, 1.0 - alpha]])
     }
 
     #[test]

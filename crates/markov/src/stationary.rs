@@ -135,7 +135,9 @@ mod tests {
         for _ in 0..n {
             let mut row: Vec<f64> = (0..n)
                 .map(|_| {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     ((x >> 33) as f64 / (1u64 << 31) as f64) + 0.05
                 })
                 .collect();

@@ -34,12 +34,7 @@ impl Walk {
     /// # Panics
     ///
     /// Panics if `start` is out of range.
-    pub fn simulate(
-        p: &TransitionMatrix,
-        start: usize,
-        steps: usize,
-        rng: &mut dyn Rng,
-    ) -> Self {
+    pub fn simulate(p: &TransitionMatrix, start: usize, steps: usize, rng: &mut dyn Rng) -> Self {
         assert!(start < p.num_states(), "start state out of range");
         let mut states = Vec::with_capacity(steps + 1);
         let mut cur = start;
@@ -58,7 +53,10 @@ impl Walk {
     ///
     /// Panics if the sequence is empty.
     pub fn from_states(states: Vec<usize>) -> Self {
-        assert!(!states.is_empty(), "a walk must contain at least the start state");
+        assert!(
+            !states.is_empty(),
+            "a walk must contain at least the start state"
+        );
         Walk { states }
     }
 

@@ -1,0 +1,267 @@
+//! Workspace-local stand-in for the `criterion` crate.
+//!
+//! The build environment is offline, so this crate vendors the subset of
+//! criterion's API the workspace's benches use: groups, `bench_function`,
+//! `bench_with_input`, throughput annotation, and the
+//! `criterion_group!`/`criterion_main!` macros. Timing is a simple
+//! adaptive wall-clock loop (warm-up, then batches until ~0.25 s of
+//! samples); results are printed as `ns/iter` plus derived throughput.
+//! Set `CRITERION_QUICK=1` to cap measurement at a single batch for CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation: converts time-per-iteration into a rate.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Each iteration processes this many logical elements.
+    Elements(u64),
+    /// Each iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter (used inside a named group).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Drives the timed closure of one benchmark.
+pub struct Bencher<'a> {
+    elapsed: &'a mut Duration,
+    iters: &'a mut u64,
+}
+
+impl Bencher<'_> {
+    /// Times `f`, adaptively choosing the iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: one untimed call.
+        let _ = f();
+        let quick = std::env::var("CRITERION_QUICK").is_ok_and(|v| v != "0");
+        let target = if quick {
+            Duration::from_millis(10)
+        } else {
+            Duration::from_millis(250)
+        };
+        let mut total = Duration::ZERO;
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        while total < target && iters < 1_000_000 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                let _ = f();
+            }
+            total += t0.elapsed();
+            iters += batch;
+            if quick {
+                break;
+            }
+            batch = batch.saturating_mul(2).min(1 << 16);
+        }
+        *self.elapsed = total;
+        *self.iters = iters;
+    }
+}
+
+fn report(id: &str, elapsed: Duration, iters: u64, throughput: Option<Throughput>) {
+    let per_iter_ns = if iters == 0 {
+        0.0
+    } else {
+        elapsed.as_nanos() as f64 / iters as f64
+    };
+    let rate = match throughput {
+        Some(Throughput::Elements(e)) if per_iter_ns > 0.0 => {
+            format!("  ({:.3e} elem/s)", e as f64 / (per_iter_ns * 1e-9))
+        }
+        Some(Throughput::Bytes(b)) if per_iter_ns > 0.0 => {
+            format!("  ({:.3e} B/s)", b as f64 / (per_iter_ns * 1e-9))
+        }
+        _ => String::new(),
+    };
+    println!("bench: {id:<50} {per_iter_ns:>14.1} ns/iter{rate}");
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0;
+        f(&mut Bencher {
+            elapsed: &mut elapsed,
+            iters: &mut iters,
+        });
+        report(
+            &format!("{}/{}", self.name, id.id),
+            elapsed,
+            iters,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0;
+        f(
+            &mut Bencher {
+                elapsed: &mut elapsed,
+                iters: &mut iters,
+            },
+            input,
+        );
+        report(
+            &format!("{}/{}", self.name, id.id),
+            elapsed,
+            iters,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (separator line, matching criterion's API shape).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut elapsed = Duration::ZERO;
+        let mut iters = 0;
+        f(&mut Bencher {
+            elapsed: &mut elapsed,
+            iters: &mut iters,
+        });
+        report(id, elapsed, iters, None);
+        self
+    }
+}
+
+/// Declares a benchmark group function running each listed bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_env() {
+        std::env::set_var("CRITERION_QUICK", "1");
+    }
+
+    #[test]
+    fn group_benches_run() {
+        quick_env();
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = 0u32;
+        group.bench_function("counting", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(5), &5u64, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn macros_compile() {
+        quick_env();
+        fn one(c: &mut Criterion) {
+            c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        }
+        criterion_group!(benches, one);
+        benches();
+    }
+}

@@ -1,0 +1,272 @@
+//! Workspace-local stand-in for the `rand` crate.
+//!
+//! The build environment is fully offline, so the workspace vendors the
+//! small slice of the `rand` API it actually uses:
+//!
+//! * [`Rng`] — the dyn-safe core trait (`next_u64`); protocols take
+//!   `&mut dyn Rng` so the trait must stay object-safe;
+//! * [`RngExt`] — the sampling extension (`random_range`, `random_bool`),
+//!   blanket-implemented for every `Rng` including `dyn Rng`;
+//! * [`SeedableRng`] + [`rngs::StdRng`] — a seedable xoshiro256++ generator
+//!   (SplitMix64 seeding), deterministic across platforms.
+//!
+//! Integer sampling uses Lemire's widening-multiply rejection method, so
+//! `random_range` over integer ranges is exactly uniform.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Concrete generators.
+pub mod rngs {
+    /// The workspace's standard PRNG: xoshiro256++ with SplitMix64 seeding.
+    ///
+    /// Statistically strong for simulation workloads, 256-bit state, and
+    /// deterministic given the seed — which is all the experiment harness
+    /// asks of it (it is *not* cryptographically secure).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl StdRng {
+        pub(crate) fn from_state(s: [u64; 4]) -> Self {
+            StdRng { s }
+        }
+    }
+
+    impl crate::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl crate::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the 64-bit seed into 256 bits of state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            // xoshiro must not start at the all-zero state.
+            if s == [0, 0, 0, 0] {
+                StdRng::from_state([0xDEAD_BEEF, 1, 2, 3])
+            } else {
+                StdRng::from_state(s)
+            }
+        }
+    }
+}
+
+/// The dyn-safe core of a random generator: a stream of `u64`s.
+///
+/// Kept object-safe on purpose — the simulation engine passes `&mut dyn Rng`
+/// into protocol transition rules.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits (taken from the high half).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator deterministically from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Ranges that [`RngExt::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform value using `next` as the bit source.
+    fn sample_one(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+/// Unbiased uniform draw in `[0, span)` via Lemire's method.
+fn uniform_below(span: u64, next: &mut dyn FnMut() -> u64) -> u64 {
+    debug_assert!(span > 0, "empty range");
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let x = next();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                debug_assert!(span <= u64::MAX as u128);
+                let off = uniform_below(span as u64, next);
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Full-width range: every bit pattern is valid.
+                    return next() as $t;
+                }
+                let off = uniform_below(span as u64, next);
+                (start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_one(self, next: &mut dyn FnMut() -> u64) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let unit = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let x = self.start as f64 + (self.end as f64 - self.start as f64) * unit;
+                // Guard against rounding up to the excluded endpoint.
+                if x >= self.end as f64 { self.start } else { x as $t }
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_one(self, next: &mut dyn FnMut() -> u64) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let unit = (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                (start as f64 + (end as f64 - start as f64) * unit) as $t
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Sampling helpers, blanket-implemented for every [`Rng`] (including
+/// `dyn Rng`, so protocol transition rules can sample through the trait
+/// object they are handed).
+pub trait RngExt: Rng {
+    /// A uniform draw from `range` (half-open or inclusive; integer draws
+    /// are exactly uniform, float draws are uniform to 53-bit resolution).
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        let mut next = || self.next_u64();
+        range.sample_one(&mut next)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        ((self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)) < p
+    }
+
+    /// A uniform `f64` in `[0, 1)`.
+    fn random_unit(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn range_bounds_respected() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x = rng.random_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&y));
+            let f = rng.random_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn integer_draws_are_uniform() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u32; 5];
+        let trials = 100_000;
+        for _ in 0..trials {
+            counts[rng.random_range(0usize..5)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f64 / trials as f64;
+            assert!((frac - 0.2).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let trials = 100_000;
+        let hits = (0..trials).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / trials as f64;
+        assert!((frac - 0.25).abs() < 0.01, "{frac}");
+        assert!(rng.random_bool(1.0));
+        assert!(!rng.random_bool(0.0));
+    }
+
+    #[test]
+    fn works_through_dyn_rng() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let dyn_rng: &mut dyn Rng = &mut rng;
+        let x = dyn_rng.random_range(0..10u32);
+        assert!(x < 10);
+        let _ = dyn_rng.random_bool(0.5);
+    }
+}

@@ -44,7 +44,10 @@ impl DriftParams {
             "contraction rate must be in (0, 1), got {alpha}"
         );
         for (name, v) in [("beta", beta), ("gamma", gamma), ("delta_sq", delta_sq)] {
-            assert!(v.is_finite() && v >= 0.0, "{name} must be non-negative, got {v}");
+            assert!(
+                v.is_finite() && v >= 0.0,
+                "{name} must be non-negative, got {v}"
+            );
         }
         DriftParams {
             alpha,
@@ -67,8 +70,8 @@ impl DriftParams {
     /// Panics if `lambda <= 0`.
     pub fn tail_bound(&self, lambda: f64) -> f64 {
         assert!(lambda > 0.0, "deviation must be positive, got {lambda}");
-        let denom =
-            self.delta_sq / (2.0 * self.alpha - self.alpha * self.alpha) + lambda * self.gamma / 3.0;
+        let denom = self.delta_sq / (2.0 * self.alpha - self.alpha * self.alpha)
+            + lambda * self.gamma / 3.0;
         (-(lambda * lambda / 2.0) / denom).exp()
     }
 

@@ -34,7 +34,10 @@ impl Histogram {
     ///
     /// Panics if `lo >= hi`, either bound is non-finite, or `bins == 0`.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite(), "histogram bounds must be finite");
+        assert!(
+            lo.is_finite() && hi.is_finite(),
+            "histogram bounds must be finite"
+        );
         assert!(lo < hi, "histogram requires lo < hi (got {lo} >= {hi})");
         assert!(bins > 0, "histogram requires at least one bin");
         Histogram {

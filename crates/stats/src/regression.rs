@@ -80,7 +80,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
     }
     let slope = sxy / sxx;
     let intercept = mean_y - slope * mean_x;
-    let r_squared = if syy == 0.0 { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        (sxy * sxy) / (sxx * syy)
+    };
     Some(Fit {
         slope,
         intercept,
@@ -107,7 +111,11 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
 /// ```
 pub fn loglog_fit(xs: &[f64], ys: &[f64]) -> Option<Fit> {
     assert_eq!(xs.len(), ys.len(), "loglog_fit: mismatched lengths");
-    if xs.iter().chain(ys.iter()).any(|&v| v <= 0.0 || !v.is_finite()) {
+    if xs
+        .iter()
+        .chain(ys.iter())
+        .any(|&v| v <= 0.0 || !v.is_finite())
+    {
         return None;
     }
     let lx: Vec<f64> = xs.iter().map(|x| x.ln()).collect();

@@ -69,7 +69,10 @@ impl TimeSeries {
     pub fn push(&mut self, t: u64, value: f64) {
         assert!(!value.is_nan(), "TimeSeries::push: NaN value");
         if let Some(&last) = self.times.last() {
-            assert!(t > last, "TimeSeries times must increase (last {last}, got {t})");
+            assert!(
+                t > last,
+                "TimeSeries times must increase (last {last}, got {t})"
+            );
         }
         self.times.push(t);
         self.values.push(value);
@@ -155,10 +158,7 @@ impl TimeSeries {
     /// start), rise, and only later *stabilise* below it; "stabilises and
     /// stays" is what Theorem 2.8's "for all `t` in the interval" asserts.
     pub fn settling_time_leq(&self, threshold: f64) -> Option<u64> {
-        let last_above = self
-            .values
-            .iter()
-            .rposition(|&v| v > threshold);
+        let last_above = self.values.iter().rposition(|&v| v > threshold);
         match last_above {
             None => self.times.first().copied(),
             Some(idx) if idx + 1 < self.times.len() => Some(self.times[idx + 1]),

@@ -70,6 +70,16 @@ impl Table {
         self.rows.len()
     }
 
+    /// The column headers.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of columns.
     pub fn num_cols(&self) -> usize {
         self.header.len()

@@ -29,7 +29,10 @@ fn print_allocation(label: &str, sim: &Simulator<Diversification, Complete>, k: 
     let n = stats.population();
     print!("{label:<34} n={n:>5} |");
     for (i, task) in TASKS.iter().enumerate().take(k) {
-        print!(" {task}: {:>5.1}%", 100.0 * stats.colour_count(i) as f64 / n as f64);
+        print!(
+            " {task}: {:>5.1}%",
+            100.0 * stats.colour_count(i) as f64 / n as f64
+        );
     }
     println!();
 }
@@ -66,7 +69,11 @@ fn main() -> Result<(), population_diversity::core::WeightsError> {
     print_allocation("settled", &sim, k);
 
     // Shock 1: a raid kills 1/3 of the colony.
-    apply(&Shock::RemoveAgents { count: n / 3 }, &mut sim, &mut shock_rng);
+    apply(
+        &Shock::RemoveAgents { count: n / 3 },
+        &mut sim,
+        &mut shock_rng,
+    );
     print_allocation("after raid (-1/3 of ants)", &sim, k);
     sim.run(settle);
     print_allocation("re-settled", &sim, k);
@@ -101,7 +108,10 @@ fn main() -> Result<(), population_diversity::core::WeightsError> {
     let stats = ConfigStats::from_states(sim.population().states(), k);
     assert_eq!(stats.colour_count(1), 0, "retired task should stay retired");
     for i in [0usize, 2, 3, 4] {
-        assert!(stats.dark_count(i) >= 1, "live task {i} lost its last confident ant");
+        assert!(
+            stats.dark_count(i) >= 1,
+            "live task {i} lost its last confident ant"
+        );
     }
     println!("\nretired task stayed retired; every live task kept at least one confident ant.");
     Ok(())

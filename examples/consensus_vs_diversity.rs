@@ -10,8 +10,8 @@
 //! cargo run --release --example consensus_vs_diversity
 //! ```
 
-use pp_baselines::{ThreeMajority, TwoChoices, Voter};
 use population_diversity::prelude::*;
+use pp_baselines::{ThreeMajority, TwoChoices, Voter};
 
 /// Runs a colour-state protocol and reports (surviving colours, step of
 /// first extinction).
@@ -28,11 +28,7 @@ where
         sim.run(stride.min(steps - run));
         run = sim.step_count();
         let alive = (0..k)
-            .filter(|&i| {
-                sim.population()
-                    .count_matching(|&c| c == Colour::new(i))
-                    > 0
-            })
+            .filter(|&i| sim.population().count_matching(|&c| c == Colour::new(i)) > 0)
             .count();
         if alive < k && first_extinction.is_none() {
             first_extinction = Some(run);

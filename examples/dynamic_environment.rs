@@ -17,11 +17,7 @@ use population_diversity::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn converged(
-    n: usize,
-    weights: &Weights,
-    seed: u64,
-) -> Simulator<Diversification, Complete> {
+fn converged(n: usize, weights: &Weights, seed: u64) -> Simulator<Diversification, Complete> {
     let states = init::all_dark_balanced(n, weights);
     let mut sim = Simulator::new(
         Diversification::new(weights.clone()),

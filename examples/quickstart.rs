@@ -25,7 +25,10 @@ fn main() -> Result<(), population_diversity::core::WeightsError> {
     );
 
     println!("n = {n}, weights = {:?}, seed = {seed}", weights.as_slice());
-    println!("{:>12} {:>8} {:>8} {:>8} {:>8} {:>10}", "step", "c0", "c1", "c2", "c3", "max err");
+    println!(
+        "{:>12} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "step", "c0", "c1", "c2", "c3", "max err"
+    );
 
     // The paper's Theorem 1.3: convergence within O(w² n log n) steps.
     let budget = population_diversity::core::theory::convergence_budget(n, weights.total(), 4.0);
@@ -47,7 +50,9 @@ fn main() -> Result<(), population_diversity::core::WeightsError> {
     let stats = ConfigStats::from_states(sim.population().states(), weights.len());
     println!(
         "\nfair shares: {:?}",
-        (0..weights.len()).map(|i| weights.fair_share(i)).collect::<Vec<_>>()
+        (0..weights.len())
+            .map(|i| weights.fair_share(i))
+            .collect::<Vec<_>>()
     );
     println!(
         "final diversity error: {:.4} (Eq. (1) predicts Õ(1/sqrt(n)) = {:.4})",

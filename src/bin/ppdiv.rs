@@ -71,7 +71,11 @@ fn parse_args() -> Result<Args, String> {
             "--weights" => {
                 args.weights = value
                     .split(',')
-                    .map(|w| w.trim().parse::<f64>().map_err(|e| format!("--weights: {e}")))
+                    .map(|w| {
+                        w.trim()
+                            .parse::<f64>()
+                            .map_err(|e| format!("--weights: {e}"))
+                    })
                     .collect::<Result<_, _>>()?;
             }
             "--topology" => args.topology = value,
@@ -101,7 +105,9 @@ fn make_topology(name: &str, n: usize) -> Result<Box<dyn Topology>, String> {
         "hypercube" => {
             let dim = n.trailing_zeros();
             if n == 0 || 1usize << dim != n {
-                return Err(format!("--topology hypercube needs a power-of-two n, got {n}"));
+                return Err(format!(
+                    "--topology hypercube needs a power-of-two n, got {n}"
+                ));
             }
             Ok(Box::new(population_diversity::graph::Hypercube::new(dim)))
         }
@@ -111,8 +117,8 @@ fn make_topology(name: &str, n: usize) -> Result<Box<dyn Topology>, String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let weights = Weights::new(args.weights.clone())
-        .map_err(|e| format!("invalid weights: {e}"))?;
+    let weights =
+        Weights::new(args.weights.clone()).map_err(|e| format!("invalid weights: {e}"))?;
     let k = weights.len();
     let states = match args.start.as_str() {
         "balanced" => init::all_dark_balanced(args.n, &weights),

@@ -13,7 +13,11 @@
 //!
 //! * [`core`] (`pp-core`) — the protocol, its derandomised variant,
 //!   potentials, regions, and property checkers;
-//! * [`engine`] (`pp-engine`) — the population-protocol simulator;
+//! * [`engine`] (`pp-engine`) — the agent-based population-protocol
+//!   simulator (any topology, per-agent measurements);
+//! * [`dense`] (`pp-dense`) — the count-based batched engine for the
+//!   complete graph (τ-leaped interaction batches over the `k × 2` count
+//!   matrix; scales to `n = 10⁸`);
 //! * [`graph`] (`pp-graph`) — interaction topologies;
 //! * [`markov`] (`pp-markov`) — the §2.4 Markov-chain machinery;
 //! * [`baselines`] (`pp-baselines`) — Voter, 2-Choices, 3-Majority,
@@ -21,6 +25,35 @@
 //! * [`adversary`] (`pp-adversary`) — structural shocks and recovery
 //!   measurement;
 //! * [`stats`] (`pp-stats`) — the numerical substrate.
+//!
+//! # Two engines
+//!
+//! The workspace ships two distributionally-equivalent simulators for the
+//! complete graph. The agent-based [`Simulator`](pp_engine::Simulator)
+//! stores one state per agent and pays one RNG draw per interaction — use
+//! it for arbitrary topologies, adversarial shocks, and per-agent
+//! measurements (fairness, trajectories). The count-based
+//! [`DenseSimulator`](pp_dense::DenseSimulator) advances the `(colour,
+//! shade)` count matrix in batches of interactions, making a time-step
+//! `O(k²/(ε·n))` amortised — use it for complete-graph count-level
+//! measurements at scale:
+//!
+//! ```
+//! use population_diversity::prelude::*;
+//!
+//! let weights = Weights::new(vec![1.0, 1.0, 2.0])?;
+//! let n: u64 = 1_000_000;
+//! let mut sim = DenseSimulator::new(
+//!     Diversification::new(weights.clone()),
+//!     CountConfig::all_dark_balanced(n, 3).to_classes(),
+//!     42,
+//! );
+//! sim.run(30 * n);
+//! let stats = CountConfig::from_classes(sim.counts()).stats();
+//! assert!(stats.max_diversity_error(&weights) < 0.01);
+//! assert!(stats.all_colours_alive());
+//! # Ok::<(), population_diversity::core::WeightsError>(())
+//! ```
 //!
 //! # Quickstart
 //!
@@ -55,6 +88,7 @@
 pub use pp_adversary as adversary;
 pub use pp_baselines as baselines;
 pub use pp_core as core;
+pub use pp_dense as dense;
 pub use pp_engine as engine;
 pub use pp_graph as graph;
 pub use pp_markov as markov;
@@ -68,6 +102,7 @@ pub mod prelude {
         DerandomisedDiversification, Diversification, DiversityChecker, FairnessTracker,
         IntWeights, Shade, SustainabilityChecker, Weights,
     };
+    pub use pp_dense::{CountConfig, CountProtocol, DenseSimulator};
     pub use pp_engine::{replicate, Population, Protocol, Simulator};
     pub use pp_graph::{Complete, Cycle, Topology, Torus2d};
 }

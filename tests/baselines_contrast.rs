@@ -2,8 +2,8 @@
 //! built for (kill diversity); Diversification does the opposite; the
 //! trivial global-sampling strawman fails robustness.
 
-use pp_baselines::{ThreeMajority, TrivialProportional, TwoChoices, Voter};
 use population_diversity::prelude::*;
+use pp_baselines::{ThreeMajority, TrivialProportional, TwoChoices, Voter};
 
 fn first_extinction<P>(protocol: P, n: usize, k: usize, budget: u64, seed: u64) -> Option<u64>
 where
@@ -38,12 +38,7 @@ fn diversification_never_loses_a_colour_in_same_budget() {
     let k = 4;
     let weights = Weights::uniform(k);
     let states = init::all_dark_balanced(n, &weights);
-    let mut sim = Simulator::new(
-        Diversification::new(weights),
-        Complete::new(n),
-        states,
-        1,
-    );
+    let mut sim = Simulator::new(Diversification::new(weights), Complete::new(n), states, 1);
     let budget = (n * n * 30) as u64;
     let extinct = sim.run_until(budget, n as u64, |pop, _| {
         let stats = ConfigStats::from_states(pop.states(), k);
@@ -82,12 +77,7 @@ fn diversification_respects_retirement() {
     let states: Vec<AgentState> = (0..n)
         .map(|u| AgentState::dark(Colour::new(1 + (u % 2))))
         .collect();
-    let mut sim = Simulator::new(
-        Diversification::new(universe),
-        Complete::new(n),
-        states,
-        2,
-    );
+    let mut sim = Simulator::new(Diversification::new(universe), Complete::new(n), states, 2);
     sim.run(200_000);
     let stats = ConfigStats::from_states(sim.population().states(), 3);
     assert_eq!(stats.colour_count(0), 0, "retired colour resurrected");

@@ -4,11 +4,7 @@
 
 use population_diversity::prelude::*;
 
-fn converged(
-    n: usize,
-    weights: &Weights,
-    seed: u64,
-) -> Simulator<Diversification, Complete> {
+fn converged(n: usize, weights: &Weights, seed: u64) -> Simulator<Diversification, Complete> {
     let states = init::all_dark_balanced(n, weights);
     let mut sim = Simulator::new(
         Diversification::new(weights.clone()),
@@ -83,7 +79,11 @@ fn sustainability_over_long_window() {
             sim.step_count(),
         );
     }
-    assert!(checker.holds(), "violation at {:?}", checker.first_violation());
+    assert!(
+        checker.holds(),
+        "violation at {:?}",
+        checker.first_violation()
+    );
     assert!(checker.min_dark_seen() >= 1);
 }
 
@@ -131,7 +131,9 @@ fn adversary_injection_recovers_and_spreads() {
         &mut sim,
         &mut rng,
     );
-    sim.run(population_diversity::core::theory::convergence_budget(n, 3.0, 16.0));
+    sim.run(population_diversity::core::theory::convergence_budget(
+        n, 3.0, 16.0,
+    ));
     let stats = ConfigStats::from_states(sim.population().states(), 3);
     let share = stats.colour_fraction(2);
     assert!(
