@@ -8,9 +8,9 @@
 //! whose error grows with the churn rate — measured by
 //! [`error_under_churn`].
 
-use pp_core::{AgentState, Colour, ConfigStats, Weights};
-use pp_engine::{Protocol, Simulator};
-use pp_graph::Complete;
+use pp_core::{packed::config_stats_from_packed, AgentState, Colour, ConfigStats, Weights};
+use pp_engine::{PackedProtocol, PackedSimulator, Protocol, Simulator};
+use pp_graph::{Complete, Topology};
 use rand::{Rng, RngExt};
 
 /// A sustained single-agent-reset churn process.
@@ -65,6 +65,32 @@ impl Churn {
             observer(sim.step_count(), sim.population());
         }
     }
+    /// [`run`](Self::run) on the packed fast-path engine, over an arbitrary
+    /// topology: same churn process (one uniformly random agent reset to a
+    /// random dark colour every [`interval`](Self::interval) steps), same
+    /// `churn_rng` consumption, so a packed and a generic run sharing both
+    /// seeds produce identical trajectories.
+    pub fn run_packed<P, T>(
+        &self,
+        sim: &mut PackedSimulator<P, T>,
+        total_steps: u64,
+        churn_rng: &mut dyn Rng,
+        mut observer: impl FnMut(u64, &[u32]),
+    ) where
+        P: PackedProtocol<State = AgentState>,
+        T: Topology,
+    {
+        let end = sim.step_count() + total_steps;
+        while sim.step_count() < end {
+            let burst = self.interval.min(end - sim.step_count());
+            sim.run(burst);
+            let n = sim.len();
+            let victim = churn_rng.random_range(0..n);
+            let colour = Colour::new(churn_rng.random_range(0..self.num_colours));
+            sim.set_state(victim, &AgentState::dark(colour));
+            observer(sim.step_count(), sim.states_packed());
+        }
+    }
 }
 
 /// Mean diversity error of a converged Diversification system subjected to
@@ -88,6 +114,36 @@ where
     let mut samples = 0u64;
     churn.run(sim, horizon, churn_rng, |_, pop| {
         let stats = ConfigStats::from_states(pop.states(), k);
+        total += stats.max_diversity_error(weights);
+        samples += 1;
+    });
+    if samples == 0 {
+        0.0
+    } else {
+        total / samples as f64
+    }
+}
+
+/// [`error_under_churn`] on the packed fast-path engine, over an arbitrary
+/// topology — how churn interacts with graph structure at scales the
+/// generic engine cannot reach.
+pub fn error_under_churn_packed<P, T>(
+    sim: &mut PackedSimulator<P, T>,
+    weights: &Weights,
+    interval: u64,
+    horizon: u64,
+    churn_rng: &mut dyn Rng,
+) -> f64
+where
+    P: PackedProtocol<State = AgentState>,
+    T: Topology,
+{
+    let churn = Churn::new(interval, weights.len());
+    let k = weights.len();
+    let mut total = 0.0;
+    let mut samples = 0u64;
+    churn.run_packed(sim, horizon, churn_rng, |_, states| {
+        let stats = config_stats_from_packed(states, k);
         total += stats.max_diversity_error(weights);
         samples += 1;
     });
@@ -165,5 +221,64 @@ mod tests {
     #[should_panic(expected = "interval must be positive")]
     fn rejects_zero_interval() {
         Churn::new(0, 2);
+    }
+
+    #[test]
+    fn packed_churn_matches_generic_trajectory() {
+        // Same engine seed + same churn seed ⇒ identical states after every
+        // reset, on the complete graph where both engines apply.
+        let weights = Weights::new(vec![1.0, 2.0, 4.0]).unwrap();
+        let n = 96;
+        let states = init::all_dark_balanced(n, &weights);
+        let mut generic = Simulator::new(
+            Diversification::new(weights.clone()),
+            Complete::new(n),
+            states.clone(),
+            17,
+        );
+        let mut fast = PackedSimulator::new(
+            Diversification::new(weights.clone()),
+            Complete::new(n),
+            &states,
+            17,
+        );
+        let churn = Churn::new(40, weights.len());
+        let mut rng_a = StdRng::seed_from_u64(8);
+        let mut rng_b = StdRng::seed_from_u64(8);
+        let mut generic_snaps = Vec::new();
+        churn.run(&mut generic, 4_000, &mut rng_a, |t, pop| {
+            generic_snaps.push((t, pop.states().to_vec()));
+        });
+        let mut i = 0;
+        churn.run_packed(&mut fast, 4_000, &mut rng_b, |t, packed| {
+            let (gt, gstates) = &generic_snaps[i];
+            assert_eq!(t, *gt);
+            let unpacked: Vec<AgentState> = packed
+                .iter()
+                .map(|&p| pp_core::packed::unpack_state(p))
+                .collect();
+            assert_eq!(&unpacked, gstates, "diverged at step {t}");
+            i += 1;
+        });
+        assert_eq!(i, generic_snaps.len());
+    }
+
+    #[test]
+    fn packed_churn_error_tracks_generic() {
+        let weights = Weights::uniform(3);
+        let n = 150;
+        let states = init::all_dark_balanced(n, &weights);
+        let mut fast = PackedSimulator::new(
+            Diversification::new(weights.clone()),
+            Complete::new(n),
+            &states,
+            9,
+        );
+        fast.run(pp_core::theory::convergence_budget(n, weights.total(), 4.0));
+        let mut rng = StdRng::seed_from_u64(10);
+        let err = error_under_churn_packed(&mut fast, &weights, 1_000, 200_000, &mut rng);
+        assert!(err < 0.25, "packed churn error {err}");
+        let stats = config_stats_from_packed(fast.states_packed(), 3);
+        assert!(stats.all_colours_alive());
     }
 }

@@ -1,7 +1,12 @@
 //! Consensus dynamics: Voter, 2-Choices, 3-Majority, Anti-Voter.
+//!
+//! Each protocol also implements [`PackedProtocol`] (packing a [`Colour`]
+//! as its raw index), so the baselines run on `pp_engine`'s monomorphized
+//! fast path with trajectories identical to the generic engine under a
+//! shared seed.
 
 use pp_core::Colour;
-use pp_engine::Protocol;
+use pp_engine::{PackedProtocol, Protocol};
 use rand::{Rng, RngExt};
 
 /// The Voter model: the scheduled agent adopts the observed colour.
@@ -21,7 +26,7 @@ use rand::{Rng, RngExt};
 /// let mut rng = StdRng::seed_from_u64(0);
 /// let me = Colour::new(0);
 /// let seen = Colour::new(3);
-/// assert_eq!(Voter.transition(&me, &[&seen], &mut rng), seen);
+/// assert_eq!(Protocol::transition(&Voter, &me, &[&seen], &mut rng), seen);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct Voter;
@@ -35,6 +40,27 @@ impl Protocol for Voter {
 
     fn name(&self) -> String {
         "voter".to_string()
+    }
+}
+
+impl PackedProtocol for Voter {
+    type State = Colour;
+
+    fn pack(&self, s: &Colour) -> u32 {
+        s.index() as u32
+    }
+
+    fn unpack(&self, p: u32) -> Colour {
+        Colour::new(p as usize)
+    }
+
+    #[inline]
+    fn transition<R: Rng>(&self, _me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+        observed[0]
+    }
+
+    fn name(&self) -> String {
+        Protocol::name(self)
     }
 }
 
@@ -63,6 +89,33 @@ impl Protocol for TwoChoices {
 
     fn name(&self) -> String {
         "2-choices".to_string()
+    }
+}
+
+impl PackedProtocol for TwoChoices {
+    type State = Colour;
+
+    const OBSERVATIONS: usize = 2;
+
+    fn pack(&self, s: &Colour) -> u32 {
+        s.index() as u32
+    }
+
+    fn unpack(&self, p: u32) -> Colour {
+        Colour::new(p as usize)
+    }
+
+    #[inline]
+    fn transition<R: Rng>(&self, me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+        if observed[0] == observed[1] {
+            observed[0]
+        } else {
+            me
+        }
+    }
+
+    fn name(&self) -> String {
+        Protocol::name(self)
     }
 }
 
@@ -97,6 +150,41 @@ impl Protocol for ThreeMajority {
 
     fn name(&self) -> String {
         "3-majority".to_string()
+    }
+}
+
+impl PackedProtocol for ThreeMajority {
+    type State = Colour;
+
+    const OBSERVATIONS: usize = 2;
+
+    fn pack(&self, s: &Colour) -> u32 {
+        s.index() as u32
+    }
+
+    fn unpack(&self, p: u32) -> Colour {
+        Colour::new(p as usize)
+    }
+
+    #[inline]
+    fn transition<R: Rng>(&self, me: u32, observed: &[u32], rng: &mut R) -> u32 {
+        let (a, b) = (observed[0], observed[1]);
+        if a == b {
+            return a;
+        }
+        if a == me || b == me {
+            return me;
+        }
+        // Same tiebreak draw as the generic rule.
+        match rng.random_range(0..3) {
+            0 => me,
+            1 => a,
+            _ => b,
+        }
+    }
+
+    fn name(&self) -> String {
+        Protocol::name(self)
     }
 }
 
@@ -136,11 +224,36 @@ impl Protocol for AntiVoter {
     }
 }
 
+impl PackedProtocol for AntiVoter {
+    type State = Colour;
+
+    fn pack(&self, s: &Colour) -> u32 {
+        s.index() as u32
+    }
+
+    fn unpack(&self, p: u32) -> Colour {
+        Colour::new(p as usize)
+    }
+
+    #[inline]
+    fn transition<R: Rng>(&self, _me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+        match observed[0] {
+            0 => 1,
+            1 => 0,
+            i => panic!("anti-voter is a two-colour protocol, got colour {i}"),
+        }
+    }
+
+    fn name(&self) -> String {
+        Protocol::name(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pp_engine::Simulator;
-    use pp_graph::Complete;
+    use pp_engine::{PackedSimulator, Simulator};
+    use pp_graph::{Complete, Torus2d};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -167,8 +280,14 @@ mod tests {
     fn two_choices_needs_agreement() {
         let me = Colour::new(0);
         let (a, b) = (Colour::new(1), Colour::new(2));
-        assert_eq!(TwoChoices.transition(&me, &[&a, &b], &mut rng()), me);
-        assert_eq!(TwoChoices.transition(&me, &[&a, &a], &mut rng()), a);
+        assert_eq!(
+            Protocol::transition(&TwoChoices, &me, &[&a, &b], &mut rng()),
+            me
+        );
+        assert_eq!(
+            Protocol::transition(&TwoChoices, &me, &[&a, &a], &mut rng()),
+            a
+        );
         assert_eq!(TwoChoices.observations(), 2);
     }
 
@@ -177,17 +296,25 @@ mod tests {
         let me = Colour::new(0);
         let (a, b) = (Colour::new(1), Colour::new(1));
         // Pair majority among samples.
-        assert_eq!(ThreeMajority.transition(&me, &[&a, &b], &mut rng()), a);
+        assert_eq!(
+            Protocol::transition(&ThreeMajority, &me, &[&a, &b], &mut rng()),
+            a
+        );
         // Self + one sample majority.
         let same = Colour::new(0);
         assert_eq!(
-            ThreeMajority.transition(&me, &[&same, &Colour::new(2)], &mut rng()),
+            Protocol::transition(&ThreeMajority, &me, &[&same, &Colour::new(2)], &mut rng()),
             me
         );
         // All distinct: result is one of the three.
         let mut r = rng();
         for _ in 0..50 {
-            let out = ThreeMajority.transition(&me, &[&Colour::new(1), &Colour::new(2)], &mut r);
+            let out = Protocol::transition(
+                &ThreeMajority,
+                &me,
+                &[&Colour::new(1), &Colour::new(2)],
+                &mut r,
+            );
             assert!(out.index() <= 2);
         }
     }
@@ -198,7 +325,12 @@ mod tests {
         let mut r = rng();
         let mut counts = [0u32; 3];
         for _ in 0..30_000 {
-            let out = ThreeMajority.transition(&me, &[&Colour::new(1), &Colour::new(2)], &mut r);
+            let out = Protocol::transition(
+                &ThreeMajority,
+                &me,
+                &[&Colour::new(1), &Colour::new(2)],
+                &mut r,
+            );
             counts[out.index()] += 1;
         }
         for &c in &counts {
@@ -224,7 +356,7 @@ mod tests {
         assert_eq!(AntiVoter::opposite(Colour::new(1)), Colour::new(0));
         let mut r = rng();
         assert_eq!(
-            AntiVoter.transition(&Colour::new(0), &[&Colour::new(0)], &mut r),
+            Protocol::transition(&AntiVoter, &Colour::new(0), &[&Colour::new(0)], &mut r),
             Colour::new(1)
         );
     }
@@ -244,5 +376,29 @@ mod tests {
     #[should_panic(expected = "two-colour")]
     fn anti_voter_rejects_third_colour() {
         AntiVoter::opposite(Colour::new(2));
+    }
+
+    /// Every packed baseline reproduces its generic trajectory exactly
+    /// under a shared seed — including 3-Majority's probabilistic tiebreak
+    /// (m = 2 with a conditional third draw).
+    #[test]
+    fn packed_baselines_match_generic_trajectories() {
+        fn check<P>(protocol: P, k: usize, seed: u64)
+        where
+            P: Protocol<State = Colour> + PackedProtocol<State = Colour> + Clone,
+        {
+            let n = 64;
+            let init = colours(n, k);
+            let topology = Torus2d::new(8, 8);
+            let mut fast = PackedSimulator::new(protocol.clone(), topology, &init, seed);
+            let mut reference = Simulator::new(protocol, topology, init, seed);
+            fast.run(20_000);
+            reference.run(20_000);
+            assert_eq!(fast.states_unpacked(), reference.population().states());
+        }
+        check(Voter, 4, 21);
+        check(TwoChoices, 4, 22);
+        check(ThreeMajority, 4, 23);
+        check(AntiVoter, 2, 24);
     }
 }

@@ -10,8 +10,8 @@ use pp_core::{
     init, ConfigStats, DerandomisedDiversification, Diversification, IntWeights, Weights,
 };
 use pp_dense::{CountConfig, DenseSimulator};
-use pp_engine::{Protocol, Simulator};
-use pp_graph::{Complete, Cycle, Topology, Torus2d};
+use pp_engine::{PackedSimulator, Protocol, Simulator};
+use pp_graph::{random_regular, Complete, Cycle, Topology, Torus2d};
 use pp_markov::{stationary_solve, IdealChain};
 
 const STEPS_PER_ITER: u64 = 10_000;
@@ -99,6 +99,55 @@ fn bench_scaling_in_n(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_packed_engine(c: &mut Criterion) {
+    // The general-graph fast path at n = 10⁵ (the ISSUE-2 acceptance
+    // scale): packed monomorphized stepping vs the generic engine behind
+    // `Box<dyn Topology>`, exactly as t10 ran before the fast path.
+    let n = 100_000;
+    let weights = Weights::new(vec![1.0, 1.0, 2.0, 4.0]).unwrap();
+    let mut group = c.benchmark_group("general_graph_steps");
+    group.throughput(Throughput::Elements(STEPS_PER_ITER));
+
+    fn packed_on<T: Topology>(b: &mut criterion::Bencher<'_>, topology: T, weights: &Weights) {
+        let states = init::all_dark_balanced(topology.len(), weights);
+        let mut sim =
+            PackedSimulator::new(Diversification::new(weights.clone()), topology, &states, 1);
+        b.iter(|| sim.run(STEPS_PER_ITER));
+    }
+
+    fn dyn_on(b: &mut criterion::Bencher<'_>, topology: Box<dyn Topology>, weights: &Weights) {
+        let states = init::all_dark_balanced(topology.len(), weights);
+        let mut sim = Simulator::new(Diversification::new(weights.clone()), topology, states, 1);
+        b.iter(|| sim.run(STEPS_PER_ITER));
+    }
+
+    use rand::{rngs::StdRng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(2);
+    // Packed runs the CSR lowering; the generic baseline keeps the
+    // `Vec<Vec>` builder representation t10 used before the fast path.
+    let regular = random_regular(n, 8, &mut rng);
+
+    group.bench_function("packed/ring-100k", |b| {
+        packed_on(b, Cycle::new(n), &weights)
+    });
+    group.bench_function("agent-dyn/ring-100k", |b| {
+        dyn_on(b, Box::new(Cycle::new(n)), &weights)
+    });
+    group.bench_function("packed/torus-100k", |b| {
+        packed_on(b, Torus2d::new(250, 400), &weights)
+    });
+    group.bench_function("agent-dyn/torus-100k", |b| {
+        dyn_on(b, Box::new(Torus2d::new(250, 400)), &weights)
+    });
+    group.bench_function("packed/regular8-100k", |b| {
+        packed_on(b, regular.to_csr(), &weights)
+    });
+    group.bench_function("agent-dyn/regular8-100k", |b| {
+        dyn_on(b, Box::new(regular.clone()), &weights)
+    });
+    group.finish();
+}
+
 fn bench_dense_engine(c: &mut Criterion) {
     // The count-based engine: same protocol, same step semantics, but the
     // per-step cost shrinks as n grows (τ-leap batches cover ~ε·n/k steps).
@@ -173,6 +222,7 @@ criterion_group!(
     bench_protocol_steps,
     bench_topologies,
     bench_scaling_in_n,
+    bench_packed_engine,
     bench_dense_engine,
     bench_statistics,
     bench_markov,

@@ -1,10 +1,10 @@
 //! Regenerates experiment `t10_topologies` (see EXPERIMENTS.md).
 //!
 //! Prints the report table and writes it to `BENCH_t10_topologies.json` (in
-//! `PP_BENCH_DIR` if set, else the working directory). Run with
-//! `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md; the default
-//! is the quick preset. `PP_ENGINE=agent` forces the per-agent engine for
-//! complete-graph measurements (the default is the dense engine).
+//! `PP_BENCH_DIR` if set, else the working directory). Runs on the packed
+//! fast-path engine (`pp_engine::PackedSimulator` over CSR/structured
+//! topologies): quick preset covers `n = 1024` (the old full scale), full
+//! preset `n = 65 536` across all seven families.
 
 fn main() {
     let preset = pp_bench::Preset::from_env();

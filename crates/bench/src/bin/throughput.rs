@@ -1,8 +1,10 @@
-//! Engine throughput comparison: agent-based vs dense (count-based).
+//! Engine throughput comparison across the three tiers.
 //!
-//! Prints steps-per-second for both engines at n ∈ {10⁴, 10⁶, 10⁸} and
-//! writes the table to `BENCH_throughput.json`. Run with `PP_PRESET=full`
-//! for longer measurement windows.
+//! Prints steps-per-second for the agent vs dense engines on the complete
+//! graph at n ∈ {10⁴, 10⁶, 10⁸}, and for the generic-dyn vs packed engines
+//! on ring/torus/random-regular at n = 10⁵, then writes the table to
+//! `BENCH_throughput.json`. Run with `PP_PRESET=full` for longer
+//! measurement windows.
 
 fn main() {
     let preset = pp_bench::Preset::from_env();

@@ -6,63 +6,139 @@
 //! (and the measured shape) is that well-mixing graphs (complete, dense ER,
 //! random-regular, torus) stay close to the fair share while the cycle —
 //! diameter `n/2` — lags far behind at equal budget.
+//!
+//! Runs on the packed fast path ([`PackedSimulator`]): random families are
+//! lowered to [`Csr`], structured families stay arithmetic, and the whole
+//! (family × seed) grid is scheduled through one work-stealing pool
+//! ([`sweep_grid`]). That lifts the comparison from the generic engine's
+//! `n = 1024` ceiling to `n = 65 536` at full preset.
 
 use crate::experiments::Report;
 use crate::runner::{standard_weights, Preset};
-use pp_core::{init, ConfigStats, Diversification};
-use pp_engine::Simulator;
+use pp_core::{init, packed::config_stats_from_packed, Diversification, Weights};
+use pp_engine::{sweep_grid, PackedSimulator};
 use pp_graph::{
-    erdos_renyi, random_regular, watts_strogatz, Complete, Cycle, Hypercube, Topology, Torus2d,
+    erdos_renyi, random_regular, watts_strogatz, Complete, Csr, Cycle, Hypercube, Topology, Torus2d,
 };
 use pp_stats::{table::fmt_f64, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-/// Window-max diversity error on an arbitrary topology after a fixed budget.
-fn error_on(topology: Box<dyn Topology>, seed: u64) -> f64 {
-    let weights = standard_weights();
+/// One topology family instance, concrete so every simulation below is
+/// fully monomorphized (no `Box<dyn Topology>` in the hot path).
+#[derive(Debug, Clone)]
+enum FastTopo {
+    Complete(Complete),
+    Csr(Csr),
+    Hypercube(Hypercube),
+    Torus(Torus2d),
+    Cycle(Cycle),
+}
+
+impl FastTopo {
+    fn name(&self) -> String {
+        match self {
+            FastTopo::Complete(t) => t.name(),
+            FastTopo::Csr(t) => t.name(),
+            FastTopo::Hypercube(t) => t.name(),
+            FastTopo::Torus(t) => t.name(),
+            FastTopo::Cycle(t) => t.name(),
+        }
+    }
+
+    /// Window-max diversity error after the fixed budget, on the packed
+    /// engine (dispatching once per *run*, not once per interaction).
+    fn error_on(&self, weights: &Weights, seed: u64) -> f64 {
+        match self.clone() {
+            FastTopo::Complete(t) => error_on_packed(t, weights, seed),
+            FastTopo::Csr(t) => error_on_packed(t, weights, seed),
+            FastTopo::Hypercube(t) => error_on_packed(t, weights, seed),
+            FastTopo::Torus(t) => error_on_packed(t, weights, seed),
+            FastTopo::Cycle(t) => error_on_packed(t, weights, seed),
+        }
+    }
+}
+
+/// Window-max diversity error on one topology after a `30·n·ln n` budget,
+/// sampled over a `2·n·ln n` trailing window.
+fn error_on_packed<T: Topology>(topology: T, weights: &Weights, seed: u64) -> f64 {
     let n = topology.len();
     let k = weights.len();
-    let states = init::all_dark_balanced(n, &weights);
-    let mut sim = Simulator::new(
+    let states = init::all_dark_balanced(n, weights);
+    let mut sim = PackedSimulator::new(
         Diversification::new(weights.clone()),
         topology,
-        states,
+        &states,
         seed,
     );
     let nln = n as f64 * (n as f64).ln();
     sim.run((30.0 * nln) as u64);
     let mut worst: f64 = 0.0;
-    sim.run_observed((2.0 * nln) as u64, (n as u64 / 2).max(1), |_, pop| {
-        let stats = ConfigStats::from_states(pop.states(), k);
-        worst = worst.max(stats.max_diversity_error(&weights));
+    sim.run_observed((2.0 * nln) as u64, (n as u64 / 2).max(1), |_, packed| {
+        let stats = config_stats_from_packed(packed, k);
+        worst = worst.max(stats.max_diversity_error(weights));
     });
     worst
 }
 
+/// Samples an ER graph with average degree `avg_deg`, retrying (with a
+/// perturbed seed) until every node has a neighbour — at `n = 65 536` and
+/// degree 16 an isolated node appears in ~1 run in 150, and an isolated
+/// node cannot interact at all.
+fn connected_enough_er(n: usize, avg_deg: f64, seed: u64) -> Csr {
+    let p = avg_deg / n as f64;
+    for attempt in 0..16 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(attempt * 7919));
+        let g = erdos_renyi(n, p, &mut rng);
+        if g.min_degree() >= 1 {
+            return g.to_csr().with_name(format!("er(avg deg={avg_deg})"));
+        }
+    }
+    panic!("no isolated-node-free G({n}, {p}) sample in 16 attempts");
+}
+
+/// The seven families, at size `n = side²`.
+fn build_families(side: usize, seed: u64) -> Vec<FastTopo> {
+    let n = side * side;
+    let mut gen_rng = StdRng::seed_from_u64(seed.wrapping_add(100));
+    let dim = (n as f64).log2() as u32; // n is a power of four, so exact.
+    vec![
+        FastTopo::Complete(Complete::new(n)),
+        FastTopo::Csr(random_regular(n, 8, &mut gen_rng).to_csr()),
+        FastTopo::Csr(connected_enough_er(n, 16.0, seed)),
+        FastTopo::Hypercube(Hypercube::new(dim)),
+        FastTopo::Csr(watts_strogatz(n, 4, 0.1, &mut gen_rng).to_csr()),
+        FastTopo::Torus(Torus2d::new(side, side)),
+        FastTopo::Cycle(Cycle::new(n)),
+    ]
+}
+
 /// Runs the comparison.
 pub fn run(preset: Preset, seed: u64) -> Report {
-    let side = preset.pick(16usize, 32);
-    let n = side * side; // 256 or 1024, a perfect square for the torus.
-    let mut gen_rng = StdRng::seed_from_u64(seed.wrapping_add(100));
+    // Quick now runs what used to be the *full* scale (n = 1024); full
+    // rides the packed engine up to n = 65 536.
+    let side = preset.pick(32usize, 256);
+    let n = side * side;
+    let reps = preset.pick(2u64, 3);
+    let weights = standard_weights();
 
-    let dim = (n as f64).log2() as u32; // n is a power of four, so exact.
-    let topologies: Vec<Box<dyn Topology>> = vec![
-        Box::new(Complete::new(n)),
-        Box::new(random_regular(n, 8, &mut gen_rng)),
-        Box::new(erdos_renyi(n, 16.0 / n as f64, &mut gen_rng)),
-        Box::new(Hypercube::new(dim)),
-        Box::new(watts_strogatz(n, 4, 0.1, &mut gen_rng)),
-        Box::new(Torus2d::new(side, side)),
-        Box::new(Cycle::new(n)),
-    ];
+    let families = build_families(side, seed);
+    let seeds: Vec<u64> = (0..reps).map(|r| seed.wrapping_add(r)).collect();
+    let grid = sweep_grid(families.len(), &seeds, |job, s| {
+        families[job].error_on(&weights, s)
+    });
 
-    let mut table = Table::new(["topology", "window-max diversity error", "vs complete"]);
+    let mut table = Table::new([
+        "topology",
+        "window-max diversity error",
+        "vs complete",
+        "seeds",
+    ]);
     let mut complete_err = None;
     let mut rows = Vec::new();
-    for topology in topologies {
-        let name = topology.name();
-        let err = error_on(topology, seed);
+    for (family, errors) in families.iter().zip(&grid) {
+        let name = family.name();
+        let err = errors.iter().sum::<f64>() / errors.len() as f64;
         if name == "complete" {
             complete_err = Some(err);
         }
@@ -70,11 +146,19 @@ pub fn run(preset: Preset, seed: u64) -> Report {
     }
     let base = complete_err.expect("complete graph measured");
     for (name, err) in &rows {
-        table.row([name.clone(), fmt_f64(*err), format!("{:.2}x", err / base)]);
+        table.row([
+            name.clone(),
+            fmt_f64(*err),
+            format!("{:.2}x", err / base),
+            reps.to_string(),
+        ]);
     }
 
     let mut report = Report::new(
-        format!("t10_topologies (n = {n}, weights = (1,1,2,4), budget = 30 n ln n)"),
+        format!(
+            "t10_topologies (n = {n}, weights = (1,1,2,4), budget = 30 n ln n, \
+             packed fast-path engine)"
+        ),
         table,
     );
     let cycle_err = rows
@@ -86,6 +170,11 @@ pub fn run(preset: Preset, seed: u64) -> Report {
         "well-mixing graphs track the complete graph; the cycle lags by {:.1}x at equal budget \
          (diameter Θ(n) vs Θ(1)) — the trade-off the future-work section anticipates.",
         cycle_err / base
+    ));
+    report.note(format!(
+        "engine: PackedSimulator (u32 packed states, monomorphized per family, CSR for the \
+         random graphs), {} (family × seed) runs through one work-stealing pool.",
+        families.len() as u64 * reps
     ));
     report
 }
@@ -112,5 +201,12 @@ mod tests {
             cycle > complete,
             "cycle ({cycle}) should lag complete ({complete}):\n{text}"
         );
+    }
+
+    #[test]
+    fn er_retry_never_returns_isolated_nodes() {
+        let g = connected_enough_er(256, 8.0, 3);
+        assert!(g.min_degree() >= 1);
+        assert_eq!(g.len(), 256);
     }
 }

@@ -23,6 +23,8 @@
 //! * [`Colour`], [`Shade`], [`AgentState`] — the two-field agent state;
 //! * [`Weights`] / [`IntWeights`] — validated weight tables;
 //! * [`Diversification`] — the randomised protocol of Eq. (2);
+//! * [`packed`] — the `colour << 1 | shade` `u32` encoding that runs the
+//!   protocol on `pp_engine`'s monomorphized fast path;
 //! * [`DerandomisedDiversification`] — the `⌈log₂(1+w_i)⌉`-bit grey-shade
 //!   variant from §1.2 (analysing it is the paper's open problem);
 //! * [`ConfigStats`] — the counts `C_i(t)`, `A_i(t)`, `a_i(t)` of §2;
@@ -67,6 +69,7 @@ pub mod config;
 pub mod derandomised;
 pub mod drift;
 pub mod init;
+pub mod packed;
 pub mod potential;
 pub mod protocol;
 pub mod region;

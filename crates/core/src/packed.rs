@@ -1,0 +1,246 @@
+//! Packed `u32` encoding of the Diversification state, for the
+//! monomorphized fast path of `pp_engine`.
+//!
+//! The agent state `(colour, shade)` packs into a single `u32` as
+//! `colour << 1 | shade_bit` (dark = 1, matching
+//! [`Shade::bit`]). Rule 1 of the protocol — light adopts an observed dark
+//! state wholesale — then becomes a plain copy of the observed word, and
+//! rule 2's colour comparison a single integer equality.
+//!
+//! [`PackedProtocol`] is implemented directly on [`Diversification`], so
+//! the packed engine runs the *same protocol value* as the generic engine;
+//! randomness is consumed identically (one `random_bool(1/w_i)` draw,
+//! exactly when two dark agents of the same colour meet), which makes
+//! shared-seed trajectories of the two engines equal bit for bit — see the
+//! equivalence tests at the bottom of this module.
+
+use crate::{AgentState, ConfigStats, Diversification};
+use pp_engine::PackedProtocol;
+use rand::{Rng, RngExt};
+
+/// Packs an agent state as `colour << 1 | shade_bit`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{packed, AgentState, Colour};
+///
+/// let s = AgentState::dark(Colour::new(3));
+/// assert_eq!(packed::pack_state(&s), 0b111);
+/// assert_eq!(packed::unpack_state(0b111), s);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the colour index does not fit in 31 bits.
+pub fn pack_state(state: &AgentState) -> u32 {
+    let c = u32::try_from(state.colour.index()).expect("colour index fits in u32");
+    assert!(c < (1 << 31), "colour index {c} too large to pack");
+    (c << 1) | u32::from(state.shade.bit())
+}
+
+/// Inverse of [`pack_state`].
+pub fn unpack_state(packed: u32) -> AgentState {
+    let colour = crate::Colour::new((packed >> 1) as usize);
+    if packed & 1 == 1 {
+        AgentState::dark(colour)
+    } else {
+        AgentState::light(colour)
+    }
+}
+
+/// Tallies a packed population into [`ConfigStats`], without unpacking.
+///
+/// # Panics
+///
+/// Panics if any packed colour index is `>= k`.
+pub fn config_stats_from_packed(states: &[u32], k: usize) -> ConfigStats {
+    let mut dark = vec![0usize; k];
+    let mut light = vec![0usize; k];
+    for &p in states {
+        let i = (p >> 1) as usize;
+        assert!(i < k, "packed colour {i} out of range for k = {k}");
+        if p & 1 == 1 {
+            dark[i] += 1;
+        } else {
+            light[i] += 1;
+        }
+    }
+    ConfigStats::from_counts(dark, light)
+}
+
+impl PackedProtocol for Diversification {
+    type State = AgentState;
+
+    fn pack(&self, state: &AgentState) -> u32 {
+        pack_state(state)
+    }
+
+    fn unpack(&self, packed: u32) -> AgentState {
+        unpack_state(packed)
+    }
+
+    #[inline]
+    fn transition<R: Rng>(&self, me: u32, observed: &[u32], rng: &mut R) -> u32 {
+        let v = observed[0];
+        if me & 1 == 0 {
+            // Rule 1: light adopts an observed dark state wholesale (a dark
+            // packed word *is* `dark(colour)`); light–light is a no-op.
+            if v & 1 == 1 {
+                v
+            } else {
+                me
+            }
+        } else if v == me {
+            // Rule 2: two dark agents of the same colour ⇒ soften w.p.
+            // 1/w_i. Same single draw as the generic transition.
+            if rng.random_bool(self.weights().inverse((me >> 1) as usize)) {
+                me & !1
+            } else {
+                me
+            }
+        } else {
+            // Rule 3: every other interaction is a no-op.
+            me
+        }
+    }
+
+    fn name(&self) -> String {
+        "diversification".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{init, Colour, Shade, Weights};
+    use pp_engine::{PackedSimulator, Protocol, Simulator};
+    use pp_graph::{Complete, Csr, Cycle, Hypercube, Star, Topology, Torus2d};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn weights() -> Weights {
+        Weights::new(vec![1.0, 1.0, 2.0, 4.0]).unwrap()
+    }
+
+    #[test]
+    fn pack_roundtrip() {
+        for i in 0..6 {
+            for s in [Shade::Dark, Shade::Light] {
+                let state = AgentState {
+                    colour: Colour::new(i),
+                    shade: s,
+                };
+                assert_eq!(unpack_state(pack_state(&state)), state);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_transition_matches_generic_case_by_case() {
+        let p = Diversification::new(weights());
+        let cases = [
+            (
+                AgentState::light(Colour::new(0)),
+                AgentState::dark(Colour::new(2)),
+            ),
+            (
+                AgentState::light(Colour::new(1)),
+                AgentState::light(Colour::new(2)),
+            ),
+            (
+                AgentState::dark(Colour::new(3)),
+                AgentState::dark(Colour::new(3)),
+            ),
+            (
+                AgentState::dark(Colour::new(3)),
+                AgentState::dark(Colour::new(1)),
+            ),
+            (
+                AgentState::dark(Colour::new(2)),
+                AgentState::light(Colour::new(2)),
+            ),
+        ];
+        for (me, v) in cases {
+            // Identical RNG states ⇒ identical outcomes, including the
+            // probabilistic rule-2 draw.
+            let mut ra = StdRng::seed_from_u64(99);
+            let mut rb = StdRng::seed_from_u64(99);
+            for _ in 0..200 {
+                let generic = Protocol::transition(&p, &me, &[&v], &mut ra);
+                let packed =
+                    PackedProtocol::transition(&p, pack_state(&me), &[pack_state(&v)], &mut rb);
+                assert_eq!(pack_state(&generic), packed, "me={me}, v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn config_stats_from_packed_matches_unpacked() {
+        let w = weights();
+        let states = init::all_dark_single_minority(100, &w);
+        let packed: Vec<u32> = states.iter().map(pack_state).collect();
+        assert_eq!(
+            config_stats_from_packed(&packed, 4),
+            ConfigStats::from_states(&states, 4)
+        );
+    }
+
+    /// The tentpole guarantee: on every topology family, the packed fast
+    /// path reproduces the generic engine's trajectory exactly under a
+    /// shared seed.
+    #[test]
+    fn shared_seed_trajectories_match_generic_engine() {
+        fn check<T: Topology + Clone>(topology: T, n: usize, seed: u64) {
+            let w = weights();
+            let states = init::all_dark_balanced(n, &w);
+            let mut fast = PackedSimulator::new(
+                Diversification::new(w.clone()),
+                topology.clone(),
+                &states,
+                seed,
+            );
+            let mut reference = Simulator::new(Diversification::new(w), topology, states, seed);
+            for _ in 0..10 {
+                fast.run(2_000);
+                reference.run(2_000);
+                assert_eq!(
+                    fast.states_unpacked(),
+                    reference.population().states(),
+                    "diverged on {} by step {}",
+                    fast.topology().name(),
+                    fast.step_count()
+                );
+            }
+        }
+        check(Complete::new(64), 64, 11);
+        check(Cycle::new(64), 64, 12);
+        check(Torus2d::new(8, 8), 64, 13);
+        check(Hypercube::new(6), 64, 14);
+        check(Star::new(64), 64, 15);
+        check(
+            Csr::from_topology(&Torus2d::new(8, 8)).with_name("torus-csr"),
+            64,
+            16,
+        );
+    }
+
+    /// A `Box<dyn Topology>` reference simulator (the way `t10` used to
+    /// run) over the *same* CSR also matches — the fast path removes the
+    /// dispatch, not the dynamics. (Exact equality needs the same
+    /// representation on both sides: an arithmetic `Cycle` and its CSR
+    /// lowering agree in distribution but consume the RNG differently.)
+    #[test]
+    fn matches_boxed_dyn_reference() {
+        let w = weights();
+        let n = 100;
+        let states = init::all_dark_balanced(n, &w);
+        let csr = Csr::from_topology(&Cycle::new(n));
+        let boxed: Box<dyn Topology> = Box::new(csr.clone());
+        let mut fast = PackedSimulator::new(Diversification::new(w.clone()), csr, &states, 5);
+        let mut reference = Simulator::new(Diversification::new(w), boxed, states, 5);
+        fast.run(50_000);
+        reference.run(50_000);
+        assert_eq!(fast.states_unpacked(), reference.population().states());
+    }
+}

@@ -77,8 +77,7 @@ impl Protocol for Diversification {
             (Shade::Light, Shade::Dark) => AgentState::dark(v.colour),
             // Rule 2: two dark agents of the same colour ⇒ soften w.p. 1/w_i.
             (Shade::Dark, Shade::Dark) if me.colour == v.colour => {
-                let w_i = self.weights.get(me.colour.index());
-                if rng.random_bool(1.0 / w_i) {
+                if rng.random_bool(self.weights.inverse(me.colour.index())) {
                     AgentState::light(me.colour)
                 } else {
                     *me

@@ -49,6 +49,7 @@ impl std::error::Error for WeightsError {}
 #[derive(Debug, Clone, PartialEq)]
 pub struct Weights {
     values: Vec<f64>,
+    inverses: Vec<f64>,
     total: f64,
 }
 
@@ -69,7 +70,12 @@ impl Weights {
             }
         }
         let total = values.iter().sum();
-        Ok(Weights { values, total })
+        let inverses = values.iter().map(|w| 1.0 / w).collect();
+        Ok(Weights {
+            values,
+            inverses,
+            total,
+        })
     }
 
     /// The uniform table of `k` unit weights — the paper's *uniform
@@ -99,6 +105,18 @@ impl Weights {
     /// Panics if `i >= len()`.
     pub fn get(&self, i: usize) -> f64 {
         self.values[i]
+    }
+
+    /// `1 / w_i`, precomputed at construction — the softening probability
+    /// of rule 2, looked up once per dark–dark interaction on the hot path
+    /// instead of re-dividing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn inverse(&self, i: usize) -> f64 {
+        self.inverses[i]
     }
 
     /// The total weight `w = Σ w_i`.

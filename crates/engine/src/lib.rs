@@ -14,8 +14,14 @@
 //! * [`Population`] — the vector of agent states.
 //! * [`Simulator`] — the sequential uniform random scheduler, seeded and
 //!   fully deterministic given `(protocol, topology, initial states, seed)`.
+//! * [`PackedProtocol`] + [`PackedSimulator`] — the monomorphized
+//!   packed-state fast path: `u32` SoA states, zero `dyn` dispatch per
+//!   interaction, trajectory-identical to [`Simulator`] under a shared
+//!   seed.
 //! * [`replicate()`](replicate()) — parallel independent-seed replication for w.h.p.-style
-//!   statements.
+//!   statements, scheduled by work-stealing.
+//! * [`sweep_grid()`](sweep_grid()) — (job × seed) grids through one shared
+//!   work-stealing pool.
 //! * [`rounds`] — conversions between time-steps and "parallel rounds"
 //!   (`1 round = n steps`).
 //!
@@ -51,13 +57,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod packed;
 pub mod population;
 pub mod protocol;
 pub mod replicate;
 pub mod rounds;
 pub mod simulator;
+pub mod sweep;
 
+pub use packed::{PackedProtocol, PackedSimulator, MAX_PACKED_OBSERVATIONS};
 pub use population::Population;
 pub use protocol::Protocol;
 pub use replicate::replicate;
 pub use simulator::Simulator;
+pub use sweep::sweep_grid;

@@ -1,5 +1,7 @@
 //! Parallel independent-seed replication.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 /// Runs `f(seed)` for every seed, in parallel across available cores, and
 /// returns the results in seed order.
 ///
@@ -7,6 +9,13 @@
 /// them by replicating a measurement over independent seeds and reporting
 /// the spread. `f` must be deterministic given its seed for the results to
 /// be reproducible.
+///
+/// Work is distributed by an atomic claim index rather than contiguous
+/// chunks: each worker repeatedly claims the next unclaimed seed. When
+/// per-seed costs are heterogeneous — a cycle run takes far longer than a
+/// complete-graph run in the topology sweeps — chunking leaves threads idle
+/// behind the slowest chunk, while stealing keeps all cores busy until the
+/// queue drains. Results are still returned in seed order.
 ///
 /// # Examples
 ///
@@ -32,21 +41,30 @@ where
     if threads == 1 {
         return seeds.into_iter().map(f).collect();
     }
-    let chunk = seeds.len().div_ceil(threads);
-    let f = &f;
-    let mut results: Vec<Vec<R>> = Vec::with_capacity(threads);
+    let next = AtomicUsize::new(0);
+    let (f, seeds_ref, next_ref) = (&f, &seeds[..], &next);
+    let mut indexed: Vec<(usize, R)> = Vec::with_capacity(seeds.len());
     std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .chunks(chunk)
-            .map(|chunk_seeds| {
-                scope.spawn(move || chunk_seeds.iter().map(|&s| f(s)).collect::<Vec<R>>())
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next_ref.fetch_add(1, Ordering::Relaxed);
+                        let Some(&seed) = seeds_ref.get(i) else {
+                            return local;
+                        };
+                        local.push((i, f(seed)));
+                    }
+                })
             })
             .collect();
         for h in handles {
-            results.push(h.join().expect("replicate worker panicked"));
+            indexed.extend(h.join().expect("replicate worker panicked"));
         }
     });
-    results.into_iter().flatten().collect()
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
 }
 
 #[cfg(test)]
@@ -87,5 +105,23 @@ mod tests {
         let seeds = [5u64, 1, 9, 9, 2];
         let out = replicate(seeds, |s| s);
         assert_eq!(out, seeds);
+    }
+
+    #[test]
+    fn heterogeneous_costs_keep_seed_order() {
+        // Early seeds are made far more expensive than late ones, so under
+        // work-stealing the *completion* order scrambles; the returned
+        // order must still match the seed order.
+        let out = replicate(0..32, |s| {
+            let spins = if s < 4 { 200_000 } else { 10 };
+            let mut acc = s;
+            for i in 0..spins {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            (s, acc)
+        });
+        for (i, &(s, _)) in out.iter().enumerate() {
+            assert_eq!(s, i as u64);
+        }
     }
 }

@@ -5,6 +5,11 @@ use pp_graph::Topology;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+/// Observation counts up to this bound are gathered into fixed stack
+/// buffers; beyond it the engine falls back to heap allocation (no protocol
+/// in the workspace observes more than 2 partners).
+const STACK_OBSERVATIONS: usize = 8;
+
 /// Drives a [`Protocol`] on a [`Population`] over a [`Topology`] with the
 /// paper's scheduler: each time-step activates one uniformly random agent,
 /// which observes uniformly random neighbour(s) and updates its own state.
@@ -107,6 +112,21 @@ impl<P: Protocol, T: Topology> Simulator<P, T> {
                     &[self.population.state(v), self.population.state(w)],
                     &mut self.rng,
                 )
+            }
+            m if m <= STACK_OBSERVATIONS => {
+                // Fixed stack buffers: no per-step heap allocation on the
+                // multi-observation path. RNG draw order matches the former
+                // Vec-collecting code exactly (all partners first).
+                let mut partners = [0usize; STACK_OBSERVATIONS];
+                for p in partners.iter_mut().take(m) {
+                    *p = self.topology.sample_partner(u, &mut self.rng);
+                }
+                let me = self.population.state(u);
+                let mut refs: [&P::State; STACK_OBSERVATIONS] = [me; STACK_OBSERVATIONS];
+                for (r, &v) in refs.iter_mut().zip(partners.iter().take(m)) {
+                    *r = self.population.state(v);
+                }
+                self.protocol.transition(me, &refs[..m], &mut self.rng)
             }
             _ => {
                 let partners: Vec<usize> = (0..m)
@@ -307,7 +327,8 @@ mod tests {
 
     #[test]
     fn observation_arity_respected() {
-        for m in [1, 2, 3, 5] {
+        // 3 and 5 hit the stack-buffer arm, 12 the heap fallback.
+        for m in [1, 2, 3, 5, 12] {
             let mut sim = Simulator::new(CountObs(m), Complete::new(8), vec![0; 8], 3);
             sim.run(50);
             // Any agent that was activated now stores m.

@@ -1,6 +1,6 @@
 //! Explicit adjacency-list topologies.
 
-use crate::{check_node, Topology};
+use crate::{check_node, Csr, Topology};
 use rand::{Rng, RngExt};
 
 /// A topology stored as explicit neighbour lists.
@@ -76,6 +76,30 @@ impl AdjacencyList {
     pub fn max_degree(&self) -> usize {
         self.adj.iter().map(Vec::len).max().unwrap_or(0)
     }
+
+    /// Lowers this validated builder into the flat [`Csr`] simulation
+    /// format: contiguous `offsets`/`neighbors` arrays, one slice read per
+    /// partner draw instead of chasing `Vec<Vec<usize>>`. Per-node
+    /// neighbour order is preserved, so sampling consumes the RNG
+    /// identically in either representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has more than `u32::MAX` nodes.
+    pub fn to_csr(&self) -> Csr {
+        Csr::from_adjacency(self)
+    }
+
+    #[inline]
+    fn sample_impl<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        check_node(u, self.adj.len());
+        let ns = &self.adj[u];
+        assert!(
+            !ns.is_empty(),
+            "node {u} is isolated; cannot sample a partner"
+        );
+        ns[rng.random_index(ns.len())]
+    }
 }
 
 impl Topology for AdjacencyList {
@@ -88,14 +112,12 @@ impl Topology for AdjacencyList {
         self.adj[u].len()
     }
 
-    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
-        check_node(u, self.adj.len());
-        let ns = &self.adj[u];
-        assert!(
-            !ns.is_empty(),
-            "node {u} is isolated; cannot sample a partner"
-        );
-        ns[rng.random_range(0..ns.len())]
+    fn sample_partner(&self, u: usize, mut rng: &mut dyn Rng) -> usize {
+        self.sample_impl(u, &mut rng)
+    }
+
+    fn sample_partner_mono<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        self.sample_impl(u, rng)
     }
 
     fn contains_edge(&self, u: usize, v: usize) -> bool {

@@ -40,6 +40,16 @@ impl CompleteBipartite {
         check_node(u, self.len());
         u < self.left
     }
+
+    #[inline]
+    fn sample_impl<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        check_node(u, self.len());
+        if u < self.left {
+            self.left + rng.random_index(self.right)
+        } else {
+            rng.random_index(self.left)
+        }
+    }
 }
 
 impl Topology for CompleteBipartite {
@@ -56,13 +66,12 @@ impl Topology for CompleteBipartite {
         }
     }
 
-    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
-        check_node(u, self.len());
-        if u < self.left {
-            self.left + rng.random_range(0..self.right)
-        } else {
-            rng.random_range(0..self.left)
-        }
+    fn sample_partner(&self, u: usize, mut rng: &mut dyn Rng) -> usize {
+        self.sample_impl(u, &mut rng)
+    }
+
+    fn sample_partner_mono<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        self.sample_impl(u, rng)
     }
 
     fn contains_edge(&self, u: usize, v: usize) -> bool {

@@ -34,6 +34,17 @@ impl Complete {
         assert!(n >= 2, "complete graph needs at least 2 nodes, got {n}");
         Complete { n }
     }
+
+    #[inline]
+    fn sample_impl<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        check_node(u, self.n);
+        let v = rng.random_index(self.n - 1);
+        if v >= u {
+            v + 1
+        } else {
+            v
+        }
+    }
 }
 
 impl Topology for Complete {
@@ -46,14 +57,12 @@ impl Topology for Complete {
         self.n - 1
     }
 
-    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
-        check_node(u, self.n);
-        let v = rng.random_range(0..self.n - 1);
-        if v >= u {
-            v + 1
-        } else {
-            v
-        }
+    fn sample_partner(&self, u: usize, mut rng: &mut dyn Rng) -> usize {
+        self.sample_impl(u, &mut rng)
+    }
+
+    fn sample_partner_mono<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        self.sample_impl(u, rng)
     }
 
     fn contains_edge(&self, u: usize, v: usize) -> bool {

@@ -42,6 +42,13 @@ impl Hypercube {
     pub fn dim(&self) -> u32 {
         self.dim
     }
+
+    #[inline]
+    fn sample_impl<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        check_node(u, self.len());
+        let bit = rng.random_index(self.dim as usize);
+        u ^ (1usize << bit)
+    }
 }
 
 impl Topology for Hypercube {
@@ -54,10 +61,12 @@ impl Topology for Hypercube {
         self.dim as usize
     }
 
-    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
-        check_node(u, self.len());
-        let bit = rng.random_range(0..self.dim);
-        u ^ (1usize << bit)
+    fn sample_partner(&self, u: usize, mut rng: &mut dyn Rng) -> usize {
+        self.sample_impl(u, &mut rng)
+    }
+
+    fn sample_partner_mono<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        self.sample_impl(u, rng)
     }
 
     fn contains_edge(&self, u: usize, v: usize) -> bool {

@@ -33,6 +33,7 @@ pub mod adjacency;
 pub mod bipartite;
 pub mod complete;
 pub mod connectivity;
+pub mod csr;
 pub mod hypercube;
 pub mod random;
 pub mod ring;
@@ -44,6 +45,7 @@ pub use adjacency::AdjacencyList;
 pub use bipartite::CompleteBipartite;
 pub use complete::Complete;
 pub use connectivity::is_connected;
+pub use csr::Csr;
 pub use hypercube::Hypercube;
 pub use random::{erdos_renyi, random_regular, stochastic_block_model};
 pub use ring::{Cycle, Path};
@@ -84,6 +86,27 @@ pub trait Topology: std::fmt::Debug + Send + Sync {
     ///
     /// Panics if `u >= len()` or `u` has no neighbours.
     fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize;
+
+    /// Monomorphized partner draw: identical distribution (and identical
+    /// RNG consumption) to [`sample_partner`](Topology::sample_partner), but
+    /// generic over the RNG so a concrete topology compiles to a direct,
+    /// inlinable call chain with no `dyn` dispatch anywhere — the hot-path
+    /// entry point of `pp_engine`'s packed batch simulator.
+    ///
+    /// The default delegates to the object-safe method (coercing `&mut R`
+    /// to `&mut dyn Rng`); every concrete topology in this crate overrides
+    /// it with a shared inline implementation. Excluded from vtables via
+    /// `where Self: Sized`, so the trait stays object-safe.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()` or `u` has no neighbours.
+    fn sample_partner_mono<R: Rng>(&self, u: usize, rng: &mut R) -> usize
+    where
+        Self: Sized,
+    {
+        self.sample_partner(u, rng)
+    }
 
     /// Returns `true` if `{u, v}` is an edge.
     ///

@@ -7,6 +7,12 @@ use rand::{Rng, RngExt};
 /// Samples an Erdős–Rényi graph `G(n, p)`: each of the `n(n−1)/2` possible
 /// edges is present independently with probability `p`.
 ///
+/// Sampling walks the edge index space with geometric skip lengths
+/// (Batagelj–Brandes), so the cost is `O(n + m)` — one RNG draw per
+/// *present* edge rather than one per *possible* edge. Sparse graphs at
+/// `n = 10⁵⁺` (the scale of the fast-path topology experiments) generate in
+/// milliseconds where the naive `O(n²)` scan needs minutes.
+///
 /// # Examples
 ///
 /// ```
@@ -28,10 +34,29 @@ pub fn erdos_renyi(n: usize, p: f64, rng: &mut dyn Rng) -> AdjacencyList {
         "edge probability must be in [0, 1], got {p}"
     );
     let mut edges = Vec::new();
-    for u in 0..n {
-        for v in (u + 1)..n {
-            if rng.random_bool(p) {
+    if p >= 1.0 {
+        for u in 0..n {
+            for v in (u + 1)..n {
                 edges.push((u, v));
+            }
+        }
+    } else if p > 0.0 {
+        // Batagelj–Brandes: enumerate the lower triangle row-major and jump
+        // ahead by Geometric(p) between present edges.
+        let log_q = (1.0 - p).ln();
+        let max_skip = (n * n) as f64;
+        let mut row: usize = 1;
+        let mut col: i64 = -1;
+        while row < n {
+            let r = rng.random_unit();
+            let skip = ((1.0 - r).ln() / log_q).floor().min(max_skip);
+            col += 1 + skip as i64;
+            while row < n && col >= row as i64 {
+                col -= row as i64;
+                row += 1;
+            }
+            if row < n {
+                edges.push((col as usize, row));
             }
         }
     }

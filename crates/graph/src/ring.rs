@@ -33,6 +33,16 @@ impl Cycle {
         assert!(n >= 3, "cycle needs at least 3 nodes, got {n}");
         Cycle { n }
     }
+
+    #[inline]
+    fn sample_impl<R: Rng + ?Sized>(&self, u: usize, rng: &mut R) -> usize {
+        check_node(u, self.n);
+        if rng.random_bool(0.5) {
+            (u + 1) % self.n
+        } else {
+            (u + self.n - 1) % self.n
+        }
+    }
 }
 
 impl Topology for Cycle {
@@ -46,12 +56,11 @@ impl Topology for Cycle {
     }
 
     fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
-        check_node(u, self.n);
-        if rng.random_bool(0.5) {
-            (u + 1) % self.n
-        } else {
-            (u + self.n - 1) % self.n
-        }
+        self.sample_impl(u, rng)
+    }
+
+    fn sample_partner_mono<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        self.sample_impl(u, rng)
     }
 
     fn contains_edge(&self, u: usize, v: usize) -> bool {
@@ -97,6 +106,20 @@ impl Path {
         assert!(n >= 2, "path needs at least 2 nodes, got {n}");
         Path { n }
     }
+
+    #[inline]
+    fn sample_impl<R: Rng + ?Sized>(&self, u: usize, rng: &mut R) -> usize {
+        check_node(u, self.n);
+        if u == 0 {
+            1
+        } else if u == self.n - 1 {
+            self.n - 2
+        } else if rng.random_bool(0.5) {
+            u + 1
+        } else {
+            u - 1
+        }
+    }
 }
 
 impl Topology for Path {
@@ -114,16 +137,11 @@ impl Topology for Path {
     }
 
     fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
-        check_node(u, self.n);
-        if u == 0 {
-            1
-        } else if u == self.n - 1 {
-            self.n - 2
-        } else if rng.random_bool(0.5) {
-            u + 1
-        } else {
-            u - 1
-        }
+        self.sample_impl(u, rng)
+    }
+
+    fn sample_partner_mono<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        self.sample_impl(u, rng)
     }
 
     fn contains_edge(&self, u: usize, v: usize) -> bool {

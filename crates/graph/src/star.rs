@@ -38,6 +38,17 @@ impl Star {
     pub fn hub(&self) -> usize {
         0
     }
+
+    #[inline]
+    fn sample_impl<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        check_node(u, self.n);
+        if u == 0 {
+            // Same stream as `random_range(1..n)`: span n−1, offset 1.
+            1 + rng.random_index(self.n - 1)
+        } else {
+            0
+        }
+    }
 }
 
 impl Topology for Star {
@@ -54,13 +65,12 @@ impl Topology for Star {
         }
     }
 
-    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
-        check_node(u, self.n);
-        if u == 0 {
-            rng.random_range(1..self.n)
-        } else {
-            0
-        }
+    fn sample_partner(&self, u: usize, mut rng: &mut dyn Rng) -> usize {
+        self.sample_impl(u, &mut rng)
+    }
+
+    fn sample_partner_mono<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        self.sample_impl(u, rng)
     }
 
     fn contains_edge(&self, u: usize, v: usize) -> bool {

@@ -21,6 +21,11 @@ use rand::{Rng, RngExt};
 pub struct Torus2d {
     rows: usize,
     cols: usize,
+    /// `ceil(2^64 / cols)` — Lemire's exact division-by-constant constant,
+    /// so the hot partner draw replaces the hardware `div` in `u % cols`
+    /// with one widening multiply. `0` disables the fast path when the node
+    /// count exceeds `u32::MAX` (exactness is only guaranteed below 2³²).
+    cols_magic: u64,
 }
 
 impl Torus2d {
@@ -35,7 +40,71 @@ impl Torus2d {
             rows >= 3 && cols >= 3,
             "torus needs both dimensions >= 3, got {rows}x{cols}"
         );
-        Torus2d { rows, cols }
+        let cols_magic = if rows
+            .checked_mul(cols)
+            .is_some_and(|n| n <= u32::MAX as usize)
+        {
+            u64::MAX / cols as u64 + 1
+        } else {
+            0
+        };
+        Torus2d {
+            rows,
+            cols,
+            cols_magic,
+        }
+    }
+
+    /// `u % cols` via reciprocal multiplication (exact for node counts
+    /// below 2³², which [`new`](Self::new) verified).
+    #[inline]
+    fn mod_cols(&self, u: usize) -> usize {
+        if self.cols_magic != 0 {
+            let q = ((self.cols_magic as u128 * u as u128) >> 64) as usize;
+            u - q * self.cols
+        } else {
+            u % self.cols
+        }
+    }
+
+    #[inline]
+    fn sample_impl<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        let n = self.rows * self.cols;
+        check_node(u, n);
+        // Same four directions (and order) as `neighbor_in_direction`, in
+        // division-free index arithmetic: row moves are ± cols with a wrap
+        // test, column moves need only `u % cols`.
+        match rng.random_index(4) {
+            0 => {
+                let v = u + self.cols;
+                if v >= n {
+                    v - n
+                } else {
+                    v
+                }
+            }
+            1 => {
+                if u >= self.cols {
+                    u - self.cols
+                } else {
+                    u + n - self.cols
+                }
+            }
+            2 => {
+                if self.mod_cols(u) + 1 == self.cols {
+                    u + 1 - self.cols
+                } else {
+                    u + 1
+                }
+            }
+            _ => {
+                if self.mod_cols(u) == 0 {
+                    u + self.cols - 1
+                } else {
+                    u - 1
+                }
+            }
+        }
     }
 
     /// Grid coordinates of node `u`.
@@ -57,6 +126,7 @@ impl Torus2d {
         r * self.cols + c
     }
 
+    #[inline]
     fn neighbor_in_direction(&self, u: usize, dir: usize) -> usize {
         let (r, c) = (u / self.cols, u % self.cols);
         match dir {
@@ -78,10 +148,12 @@ impl Topology for Torus2d {
         4
     }
 
-    fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
-        check_node(u, self.len());
-        let dir = rng.random_range(0..4);
-        self.neighbor_in_direction(u, dir)
+    fn sample_partner(&self, u: usize, mut rng: &mut dyn Rng) -> usize {
+        self.sample_impl(u, &mut rng)
+    }
+
+    fn sample_partner_mono<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
+        self.sample_impl(u, rng)
     }
 
     fn contains_edge(&self, u: usize, v: usize) -> bool {
@@ -151,5 +223,32 @@ mod tests {
     #[should_panic(expected = ">= 3")]
     fn rejects_thin_torus() {
         Torus2d::new(2, 5);
+    }
+
+    #[test]
+    fn fast_sampling_covers_exactly_the_neighbors() {
+        // The division-free sampler must reach the same 4 nodes as the
+        // reference `neighbor_in_direction` arithmetic, at every position
+        // (interior, row wrap, column wrap).
+        let g = Torus2d::new(5, 7);
+        let mut rng = StdRng::seed_from_u64(3);
+        for u in 0..g.len() {
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..120 {
+                seen.insert(g.sample_partner(u, &mut rng));
+            }
+            let expect: std::collections::HashSet<usize> = g.neighbors(u).into_iter().collect();
+            assert_eq!(seen, expect, "node {u}");
+        }
+    }
+
+    #[test]
+    fn reciprocal_mod_matches_hardware_mod() {
+        for (r, c) in [(3usize, 3usize), (5, 7), (64, 1000), (250, 400)] {
+            let g = Torus2d::new(r, c);
+            for u in (0..r * c).step_by(((r * c) / 97).max(1)) {
+                assert_eq!(g.mod_cols(u), u % c, "u={u}, cols={c}");
+            }
+        }
     }
 }

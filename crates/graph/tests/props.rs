@@ -1,12 +1,13 @@
-//! Property-based tests: every topology obeys the `Topology` contract.
+//! Property-based tests: every topology obeys the `Topology` contract, and
+//! every family's CSR lowering samples partners from the same distribution.
 
 use pp_graph::{
-    erdos_renyi, random_regular, AdjacencyList, Complete, CompleteBipartite, Cycle, Path, Star,
-    Topology, Torus2d,
+    erdos_renyi, random_regular, stochastic_block_model, watts_strogatz, AdjacencyList, Complete,
+    CompleteBipartite, Csr, Cycle, Hypercube, Path, Star, Topology, Torus2d,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 /// Checks the core contract on every node of `g`:
 /// sampled partners are valid neighbours, degrees match neighbour lists,
@@ -30,6 +31,61 @@ fn check_contract<T: Topology>(g: &T, seed: u64) {
                 assert!(ns.contains(&v), "sampled non-neighbour {v} of {u}");
             }
         }
+    }
+}
+
+/// Checks that the CSR lowering of `g` is *the same graph* (identical
+/// neighbour sets) and that its partner sampling is uniform over each
+/// neighbour set: an exact-count chi-square test per node against the
+/// uniform expectation. Because the draws are seeded, the check is
+/// deterministic; the threshold `df + 4·√(2·df) + 12` has negligible mass
+/// above it under uniformity but is crossed quickly by any biased sampler.
+///
+/// Both samplers draw `random_index(degree)` over the same sorted slice
+/// order, so CSR-vs-builder agreement is in fact draw-for-draw; the
+/// chi-square additionally covers lowerings of the arithmetic families,
+/// whose native samplers consume the RNG differently.
+fn check_csr_distribution<T: Topology>(g: &T, seed: u64) {
+    let csr = Csr::from_topology(g);
+    assert_eq!(csr.len(), g.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    for u in 0..g.len() {
+        let mut expect = g.neighbors(u);
+        expect.sort_unstable();
+        assert_eq!(csr.neighbors(u), expect, "neighbour set changed at {u}");
+    }
+    // Chi-square on a handful of nodes (spread across the graph).
+    let stride = (g.len() / 5).max(1);
+    for u in (0..g.len()).step_by(stride) {
+        let d = g.degree(u);
+        if d == 0 {
+            continue;
+        }
+        let per_cell = 300usize;
+        let trials = per_cell * d;
+        let neighbors = csr.neighbors(u);
+        let mut counts = vec![0usize; d];
+        for _ in 0..trials {
+            let v = csr.sample_partner(u, &mut rng);
+            let slot = neighbors
+                .binary_search(&v)
+                .expect("sampled a non-neighbour");
+            counts[slot] += 1;
+        }
+        let expected = per_cell as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let diff = c as f64 - expected;
+                diff * diff / expected
+            })
+            .sum();
+        let df = (d - 1).max(1) as f64;
+        let threshold = df + 4.0 * (2.0 * df).sqrt() + 12.0;
+        assert!(
+            chi2 < threshold,
+            "chi-square {chi2:.1} over threshold {threshold:.1} at node {u} (degree {d})"
+        );
     }
 }
 
@@ -89,6 +145,86 @@ proptest! {
         let g = erdos_renyi(n, 0.5, &mut rng);
         let degree_sum: usize = (0..n).map(|u| g.degree(u)).sum();
         prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn csr_distribution_complete(n in 2usize..24, seed in 0u64..12) {
+        check_csr_distribution(&Complete::new(n), seed);
+    }
+
+    #[test]
+    fn csr_distribution_cycle(n in 3usize..40, seed in 0u64..12) {
+        check_csr_distribution(&Cycle::new(n), seed);
+    }
+
+    #[test]
+    fn csr_distribution_path(n in 2usize..40, seed in 0u64..12) {
+        check_csr_distribution(&Path::new(n), seed);
+    }
+
+    #[test]
+    fn csr_distribution_star(n in 2usize..24, seed in 0u64..12) {
+        check_csr_distribution(&Star::new(n), seed);
+    }
+
+    #[test]
+    fn csr_distribution_torus(r in 3usize..6, c in 3usize..6, seed in 0u64..12) {
+        check_csr_distribution(&Torus2d::new(r, c), seed);
+    }
+
+    #[test]
+    fn csr_distribution_hypercube(d in 1u32..5, seed in 0u64..12) {
+        check_csr_distribution(&Hypercube::new(d), seed);
+    }
+
+    #[test]
+    fn csr_distribution_bipartite(l in 1usize..10, r in 1usize..10, seed in 0u64..12) {
+        check_csr_distribution(&CompleteBipartite::new(l, r), seed);
+    }
+
+    #[test]
+    fn csr_distribution_er(n in 2usize..24, seed in 0u64..12) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, 0.4, &mut rng);
+        check_csr_distribution(&g, seed.wrapping_add(1));
+    }
+
+    #[test]
+    fn csr_distribution_regular(half_n in 4usize..10, d in 2usize..4, seed in 0u64..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_regular(2 * half_n, d, &mut rng);
+        check_csr_distribution(&g, seed.wrapping_add(1));
+    }
+
+    #[test]
+    fn csr_distribution_smallworld(n in 9usize..30, seed in 0u64..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = watts_strogatz(n, 2, 0.2, &mut rng);
+        check_csr_distribution(&g, seed.wrapping_add(1));
+    }
+
+    #[test]
+    fn csr_distribution_sbm(a in 3usize..10, b in 3usize..10, seed in 0u64..8) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = stochastic_block_model(&[a, b], 0.7, 0.2, &mut rng);
+        check_csr_distribution(&g, seed.wrapping_add(1));
+    }
+
+    #[test]
+    fn csr_mono_and_dyn_sampling_agree(n in 3usize..30, seed in 0u64..20) {
+        // The monomorphized and object-safe entry points share one
+        // implementation; from equal RNG states they return equal draws.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, 0.6, &mut rng);
+        let csr = g.to_csr();
+        let mut ra = StdRng::seed_from_u64(seed.wrapping_add(1));
+        let mut rb = StdRng::seed_from_u64(seed.wrapping_add(1));
+        for u in 0..n {
+            if csr.degree(u) > 0 {
+                let dyn_rng: &mut dyn Rng = &mut ra;
+                prop_assert_eq!(csr.sample_partner(u, dyn_rng), csr.sample_partner_mono(u, &mut rb));
+            }
+        }
     }
 
     #[test]

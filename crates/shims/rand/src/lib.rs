@@ -110,16 +110,25 @@ pub trait SampleRange<T> {
 }
 
 /// Unbiased uniform draw in `[0, span)` via Lemire's method.
+///
+/// The rejection threshold `(2^64 − span) mod span` — a hardware division —
+/// is only computed when the low product half falls below `span`
+/// (probability `span / 2^64`, i.e. effectively never at simulation spans).
+/// Since `threshold < span`, a low half `≥ span` is always accepted, so the
+/// accept/reject decisions — and therefore the output stream — are
+/// bit-identical to the eager-threshold form.
 fn uniform_below(span: u64, next: &mut dyn FnMut() -> u64) -> u64 {
     debug_assert!(span > 0, "empty range");
-    let threshold = span.wrapping_neg() % span;
-    loop {
-        let x = next();
-        let m = (x as u128) * (span as u128);
-        if (m as u64) >= threshold {
-            return (m >> 64) as u64;
+    let mut x = next();
+    let mut m = (x as u128) * (span as u128);
+    if (m as u64) < span {
+        let threshold = span.wrapping_neg() % span;
+        while (m as u64) < threshold {
+            x = next();
+            m = (x as u128) * (span as u128);
         }
     }
+    (m >> 64) as u64
 }
 
 macro_rules! impl_int_range {
@@ -186,6 +195,37 @@ pub trait RngExt: Rng {
     fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
         let mut next = || self.next_u64();
         range.sample_one(&mut next)
+    }
+
+    /// Monomorphized uniform draw in `[0, span)`.
+    ///
+    /// Exactly the same Lemire rejection stream as
+    /// `random_range(0..span)` — identical `next_u64` consumption and
+    /// identical outputs — but compiled without the `dyn FnMut` hop that
+    /// `random_range` routes bit generation through, so on a concrete RNG
+    /// the whole draw inlines. This is the scheduling/partner draw of the
+    /// packed simulation fast path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `span == 0`.
+    #[inline]
+    fn random_index(&mut self, span: usize) -> usize
+    where
+        Self: Sized,
+    {
+        assert!(span > 0, "cannot sample from empty range");
+        let span = span as u64;
+        let mut m = (self.next_u64() as u128) * (span as u128);
+        if (m as u64) < span {
+            // Rejection is possible only here; same deferred-threshold
+            // decisions as `uniform_below`.
+            let threshold = span.wrapping_neg() % span;
+            while (m as u64) < threshold {
+                m = (self.next_u64() as u128) * (span as u128);
+            }
+        }
+        (m >> 64) as usize
     }
 
     /// Returns `true` with probability `p` (clamped to `[0, 1]`).
@@ -259,6 +299,20 @@ mod tests {
         assert!((frac - 0.25).abs() < 0.01, "{frac}");
         assert!(rng.random_bool(1.0));
         assert!(!rng.random_bool(0.0));
+    }
+
+    #[test]
+    fn random_index_matches_random_range_stream() {
+        // Same algorithm ⇒ same draws from the same RNG state, for spans
+        // with and without Lemire rejection.
+        for span in [1usize, 2, 3, 7, 10, 1000, (1 << 60) + 3] {
+            let mut a = StdRng::seed_from_u64(11);
+            let mut b = StdRng::seed_from_u64(11);
+            for _ in 0..500 {
+                assert_eq!(a.random_index(span), b.random_range(0..span), "span {span}");
+            }
+            assert_eq!(a, b, "RNG states diverged for span {span}");
+        }
     }
 
     #[test]

@@ -26,17 +26,21 @@
 //!   measurement;
 //! * [`stats`] (`pp-stats`) — the numerical substrate.
 //!
-//! # Two engines
+//! # Three engine tiers
 //!
-//! The workspace ships two distributionally-equivalent simulators for the
-//! complete graph. The agent-based [`Simulator`](pp_engine::Simulator)
-//! stores one state per agent and pays one RNG draw per interaction — use
-//! it for arbitrary topologies, adversarial shocks, and per-agent
-//! measurements (fairness, trajectories). The count-based
-//! [`DenseSimulator`](pp_dense::DenseSimulator) advances the `(colour,
-//! shade)` count matrix in batches of interactions, making a time-step
-//! `O(k²/(ε·n))` amortised — use it for complete-graph count-level
-//! measurements at scale:
+//! The workspace ships three behaviour-equivalent simulators. The generic
+//! agent-based [`Simulator`](pp_engine::Simulator) is the reference: any
+//! topology, any state type, per-agent measurements (fairness,
+//! trajectories, adversarial shocks). The packed
+//! [`PackedSimulator`](pp_engine::PackedSimulator) runs the same dynamics
+//! — bit-for-bit identical trajectories under a shared seed — over `u32`
+//! packed states with the protocol, topology ([`Csr`](pp_graph::Csr) or
+//! arithmetic), and RNG all statically dispatched; it is the engine for
+//! *general-graph* experiments at `n ≥ 10⁵`. The count-based
+//! [`DenseSimulator`](pp_dense::DenseSimulator) applies only on the
+//! complete graph, advancing the `(colour, shade)` count matrix in
+//! τ-leaped batches, `O(k²/(ε·n))` amortised per step — use it for
+//! complete-graph count-level measurements at scale:
 //!
 //! ```
 //! use population_diversity::prelude::*;
@@ -103,8 +107,10 @@ pub mod prelude {
         IntWeights, Shade, SustainabilityChecker, Weights,
     };
     pub use pp_dense::{CountConfig, CountProtocol, DenseSimulator};
-    pub use pp_engine::{replicate, Population, Protocol, Simulator};
-    pub use pp_graph::{Complete, Cycle, Topology, Torus2d};
+    pub use pp_engine::{
+        replicate, sweep_grid, PackedProtocol, PackedSimulator, Population, Protocol, Simulator,
+    };
+    pub use pp_graph::{Complete, Csr, Cycle, Topology, Torus2d};
 }
 
 #[cfg(test)]

@@ -173,3 +173,63 @@ fn replicated_runs_are_reproducible() {
     };
     assert_eq!(run(), run());
 }
+
+#[test]
+fn packed_fast_path_full_stack() {
+    // The packed engine through the umbrella prelude: Diversification on a
+    // torus at a size the generic engine would crawl through in a test,
+    // budget 30·n·ln n, landing near the fair shares with every colour
+    // alive.
+    let n = 16_384;
+    let weights = Weights::new(vec![1.0, 1.0, 2.0, 4.0]).unwrap();
+    let states = init::all_dark_balanced(n, &weights);
+    let mut sim = PackedSimulator::new(
+        Diversification::new(weights.clone()),
+        Torus2d::new(128, 128),
+        &states,
+        99,
+    );
+    sim.run((30.0 * n as f64 * (n as f64).ln()) as u64);
+    let stats = population_diversity::core::packed::config_stats_from_packed(
+        sim.states_packed(),
+        weights.len(),
+    );
+    assert!(
+        stats.max_diversity_error(&weights) < 0.1,
+        "packed torus error {}",
+        stats.max_diversity_error(&weights)
+    );
+    assert!(stats.all_colours_alive());
+}
+
+#[test]
+fn packed_sweep_grid_full_stack() {
+    // A miniature of the t10 sweep: (topology × seed) cells through the
+    // work-stealing grid, CSR for one family, arithmetic for the other.
+    let weights = Weights::uniform(3);
+    let n = 256;
+    let states = init::all_dark_balanced(n, &weights);
+    let grid = sweep_grid(2, &[5, 6, 7], |job, seed| {
+        let run = |mut sim: PackedSimulator<Diversification, Csr>| {
+            sim.run(100_000);
+            population_diversity::core::packed::config_stats_from_packed(sim.states_packed(), 3)
+                .max_diversity_error(&weights)
+        };
+        let topo = if job == 0 {
+            Csr::from_topology(&Complete::new(n))
+        } else {
+            Csr::from_topology(&Cycle::new(n))
+        };
+        run(PackedSimulator::new(
+            Diversification::new(weights.clone()),
+            topo,
+            &states,
+            seed,
+        ))
+    });
+    assert_eq!(grid.len(), 2);
+    assert_eq!(grid[0].len(), 3);
+    // Complete mixes at least as well as the cycle on average.
+    let mean = |row: &[f64]| row.iter().sum::<f64>() / row.len() as f64;
+    assert!(mean(&grid[0]) <= mean(&grid[1]) + 0.05);
+}
