@@ -151,3 +151,83 @@ proptest! {
         prop_assert!(out.shade == Shade::Dark || out == me);
     }
 }
+
+/// Satellite guarantee for the turbo engine's `u8` storage: for every
+/// packed protocol in the workspace and every state with `k ≤ 127`
+/// colours, the `u32` packed word fits a byte and the u32 ↔ u8 roundtrip
+/// is lossless all the way back to the decoded state.
+mod u8_roundtrip {
+    use super::*;
+    use pp_core::Diversification;
+    use pp_engine::{PackedProtocol, TurboWord};
+
+    /// Packs with `P`, narrows to `u8`, widens back, unpacks; every hop
+    /// must be lossless.
+    fn assert_roundtrip<P: PackedProtocol>(protocol: &P, state: &P::State)
+    where
+        P::State: PartialEq + Clone,
+    {
+        let wide = protocol.pack(state);
+        assert!(
+            u8::fits_in(wide),
+            "packed word {wide} of {:?} does not fit u8",
+            state
+        );
+        let narrow: u8 = TurboWord::narrow(wide);
+        assert_eq!(narrow.widen(), wide, "u8 -> u32 widening changed the word");
+        assert_eq!(
+            &protocol.unpack(narrow.widen()),
+            state,
+            "u8 roundtrip changed the decoded state"
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn diversification_states_roundtrip(colour in 0usize..127, dark in any::<bool>()) {
+            // The protocol value itself does not affect the codec; a small
+            // uniform table suffices for constructing it.
+            let protocol = Diversification::new(Weights::uniform(127));
+            let state = AgentState {
+                colour: Colour::new(colour),
+                shade: if dark { Shade::Dark } else { Shade::Light },
+            };
+            assert_roundtrip(&protocol, &state);
+        }
+
+        #[test]
+        fn voter_states_roundtrip(colour in 0usize..127) {
+            assert_roundtrip(&Voter, &Colour::new(colour));
+        }
+
+        #[test]
+        fn two_choices_states_roundtrip(colour in 0usize..127) {
+            assert_roundtrip(&TwoChoices, &Colour::new(colour));
+        }
+
+        #[test]
+        fn three_majority_states_roundtrip(colour in 0usize..127) {
+            assert_roundtrip(&ThreeMajority, &Colour::new(colour));
+        }
+
+        #[test]
+        fn anti_voter_states_roundtrip(colour in 0usize..2) {
+            assert_roundtrip(&AntiVoter, &Colour::new(colour));
+        }
+    }
+
+    /// The documented boundary: colour 127 dark is the largest
+    /// Diversification word that fits a byte; colour 128 does not fit.
+    #[test]
+    fn boundary_colour_127_fits_128_does_not() {
+        assert!(pp_core::packed::fits_u8(127));
+        assert!(pp_core::packed::fits_u8(128));
+        assert!(!pp_core::packed::fits_u8(129));
+        let protocol = Diversification::new(Weights::uniform(4));
+        let word = PackedProtocol::pack(&protocol, &AgentState::dark(Colour::new(127)));
+        assert_eq!(word, 255);
+        assert!(u8::fits_in(word));
+        let over = PackedProtocol::pack(&protocol, &AgentState::dark(Colour::new(128)));
+        assert!(!u8::fits_in(over));
+    }
+}

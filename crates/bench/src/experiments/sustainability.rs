@@ -33,7 +33,7 @@ pub fn run(preset: Preset, seed: u64) -> Report {
     let mut sim = Simulator::new(
         Diversification::new(weights.clone()),
         Complete::new(n),
-        states,
+        states.clone(),
         seed,
     );
     let mut shock_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
@@ -76,6 +76,27 @@ pub fn run(preset: Preset, seed: u64) -> Report {
                 }
                 resurrect |= stats.colour_count(4) > 0;
             });
+        }
+        EngineKind::Turbo => {
+            // Reuse the exact initial configuration above — colour 4 is
+            // intentionally absent, which `init::from_dark_counts` would
+            // reject.
+            let mut turbo_sim = pp_engine::TurboSimulator::<_, _, u8>::new(
+                Diversification::new(weights.clone()),
+                pp_graph::Complete::new(n),
+                &states,
+                seed,
+            );
+            turbo_sim.run_observed(burn, n as u64, |_, words| {
+                let stats = pp_core::packed::config_stats_from_words(words, k);
+                for i in 0..4 {
+                    min_live_dark = min_live_dark.min(stats.dark_count(i));
+                }
+                resurrect |= stats.colour_count(4) > 0;
+            });
+            // Bring the agent-based simulator to the same point for the
+            // shock phases, which mutate per-agent states.
+            sim.run(burn);
         }
     }
     table.row([

@@ -49,15 +49,60 @@ pub fn unpack_state(packed: u32) -> AgentState {
     }
 }
 
-/// Tallies a packed population into [`ConfigStats`], without unpacking.
+/// Whether every Diversification state with `k` colours packs into a byte.
+///
+/// The largest packed word is `((k − 1) << 1) | 1`, which fits `u8` exactly
+/// when `k ≤ 128`; the workspace advertises the round bound `k ≤ 127`,
+/// comfortably inside it.
+pub fn fits_u8(k: usize) -> bool {
+    k >= 1 && ((k - 1) << 1 | 1) <= u8::MAX as usize
+}
+
+/// Packs an agent state into a byte, for the turbo engine's `u8` state
+/// storage (quarter the footprint of the `u32` array; an `n = 10⁶`
+/// population fits in under 1 MB).
+///
+/// Same encoding as [`pack_state`], narrowed: `colour << 1 | shade_bit`.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{packed, AgentState, Colour};
+///
+/// let s = AgentState::dark(Colour::new(3));
+/// assert_eq!(packed::pack_state_u8(&s), 0b111);
+/// assert_eq!(packed::unpack_state_u8(0b111), s);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the colour index is 128 or above (see [`fits_u8`]).
+pub fn pack_state_u8(state: &AgentState) -> u8 {
+    let wide = pack_state(state);
+    u8::try_from(wide).unwrap_or_else(|_| {
+        panic!(
+            "colour {} does not fit u8 packing (k must be <= 127)",
+            state.colour.index()
+        )
+    })
+}
+
+/// Inverse of [`pack_state_u8`].
+pub fn unpack_state_u8(packed: u8) -> AgentState {
+    unpack_state(packed as u32)
+}
+
+/// Tallies a turbo-engine state array (either word width) into
+/// [`ConfigStats`], without unpacking.
 ///
 /// # Panics
 ///
 /// Panics if any packed colour index is `>= k`.
-pub fn config_stats_from_packed(states: &[u32], k: usize) -> ConfigStats {
+pub fn config_stats_from_words<W: pp_engine::TurboWord>(states: &[W], k: usize) -> ConfigStats {
     let mut dark = vec![0usize; k];
     let mut light = vec![0usize; k];
-    for &p in states {
+    for w in states {
+        let p = w.widen();
         let i = (p >> 1) as usize;
         assert!(i < k, "packed colour {i} out of range for k = {k}");
         if p & 1 == 1 {
@@ -67,6 +112,15 @@ pub fn config_stats_from_packed(states: &[u32], k: usize) -> ConfigStats {
         }
     }
     ConfigStats::from_counts(dark, light)
+}
+
+/// Tallies a packed population into [`ConfigStats`], without unpacking.
+///
+/// # Panics
+///
+/// Panics if any packed colour index is `>= k`.
+pub fn config_stats_from_packed(states: &[u32], k: usize) -> ConfigStats {
+    config_stats_from_words(states, k)
 }
 
 impl PackedProtocol for Diversification {
@@ -103,6 +157,36 @@ impl PackedProtocol for Diversification {
             // Rule 3: every other interaction is a no-op.
             me
         }
+    }
+
+    /// The turbo-path transition: same distribution as
+    /// [`transition`](PackedProtocol::transition), compiled branch-free.
+    ///
+    /// The exact rule draws randomness only when two dark agents of the
+    /// same colour meet, which makes the rule-2 branch data-dependent and
+    /// unpredictable — and on the turbo batch path there is no serial RNG
+    /// latency to hide the mispredict flush behind. Here all three rules
+    /// collapse into mask arithmetic over the engine-supplied entropy
+    /// word:
+    ///
+    /// * rules 1 and 3 reduce to an arithmetic select on
+    ///   `(me light) & (v dark)`;
+    /// * rule 2's soften becomes an integer compare of `aux`'s low 32
+    ///   bits against the per-colour threshold `⌊2³²/w_i⌋` — a
+    ///   `Bernoulli(1/w_i)` draw with bias below `2⁻³²`, far outside
+    ///   what the statistical harness (or any feasible ensemble) can
+    ///   resolve.
+    #[inline]
+    fn transition_turbo<R: Rng>(&self, me: u32, observed: &[u32], aux: u64, _rng: &mut R) -> u32 {
+        let v = observed[0];
+        let soften = (aux & 0xFFFF_FFFF) < self.weights().inverse_bits((me >> 1) as usize);
+        // Rules 1/3: light adopts an observed dark word, else keeps.
+        let adopt = ((me & 1) ^ 1) & (v & 1);
+        let mask = adopt.wrapping_neg();
+        let r1 = (v & mask) | (me & !mask);
+        // Rule 2: a dark pair of one colour clears the shade bit w.p. 1/w_i.
+        let s2 = (me & 1) & u32::from(v == me) & u32::from(soften);
+        r1 & !s2
     }
 
     fn name(&self) -> String {
@@ -173,6 +257,88 @@ mod tests {
                 assert_eq!(pack_state(&generic), packed, "me={me}, v={v}");
             }
         }
+    }
+
+    #[test]
+    fn u8_codec_roundtrips_through_k_127() {
+        for i in 0..128 {
+            for s in [Shade::Dark, Shade::Light] {
+                let state = AgentState {
+                    colour: Colour::new(i),
+                    shade: s,
+                };
+                let byte = pack_state_u8(&state);
+                assert_eq!(unpack_state_u8(byte), state);
+                // The byte is the narrowed u32 word, bit for bit.
+                assert_eq!(byte as u32, pack_state(&state));
+            }
+        }
+        assert!(fits_u8(1));
+        assert!(fits_u8(127));
+        assert!(fits_u8(128));
+        assert!(!fits_u8(129));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit u8")]
+    fn u8_codec_rejects_colour_128() {
+        pack_state_u8(&AgentState::dark(Colour::new(128)));
+    }
+
+    #[test]
+    fn config_stats_from_words_matches_both_widths() {
+        let w = weights();
+        let states = init::all_dark_single_minority(100, &w);
+        let wide: Vec<u32> = states.iter().map(pack_state).collect();
+        let narrow: Vec<u8> = states.iter().map(pack_state_u8).collect();
+        let expect = ConfigStats::from_states(&states, 4);
+        assert_eq!(config_stats_from_words(&wide, 4), expect);
+        assert_eq!(config_stats_from_words(&narrow, 4), expect);
+    }
+
+    /// The branchless turbo transition is deterministic-case identical to
+    /// the exact rule and matches rule 2's soften probability empirically.
+    #[test]
+    fn turbo_transition_matches_exact_distribution() {
+        let p = Diversification::new(weights());
+        let mut rng = StdRng::seed_from_u64(17);
+        // Deterministic cases: light/dark combinations where no randomness
+        // may influence the outcome.
+        let light0 = pack_state(&AgentState::light(Colour::new(0)));
+        let dark2 = pack_state(&AgentState::dark(Colour::new(2)));
+        let dark3 = pack_state(&AgentState::dark(Colour::new(3)));
+        for _ in 0..100 {
+            let aux = rng.next_u64();
+            assert_eq!(
+                PackedProtocol::transition_turbo(&p, light0, &[dark2], aux, &mut rng),
+                dark2,
+                "light must adopt observed dark"
+            );
+            assert_eq!(
+                PackedProtocol::transition_turbo(&p, dark3, &[dark2], aux, &mut rng),
+                dark3,
+                "dark pair of different colours is a no-op"
+            );
+            assert_eq!(
+                PackedProtocol::transition_turbo(&p, light0, &[light0], aux, &mut rng),
+                light0,
+                "light-light is a no-op"
+            );
+        }
+        // Probabilistic case: dark pair of colour 3 (weight 4) softens
+        // w.p. 1/4.
+        let trials = 200_000;
+        let softened = (0..trials)
+            .filter(|_| {
+                let aux = rng.next_u64();
+                PackedProtocol::transition_turbo(&p, dark3, &[dark3], aux, &mut rng) == dark3 & !1
+            })
+            .count();
+        let frac = softened as f64 / trials as f64;
+        assert!(
+            (frac - 0.25).abs() < 0.005,
+            "soften frequency {frac} (expected 1/4)"
+        );
     }
 
     #[test]

@@ -50,6 +50,11 @@ impl std::error::Error for WeightsError {}
 pub struct Weights {
     values: Vec<f64>,
     inverses: Vec<f64>,
+    /// `⌊2³² / w_i⌋` per colour: the integer soften threshold the turbo
+    /// transition compares 32 uniform bits against — a `Bernoulli(1/w_i)`
+    /// draw with bias below `2⁻³²`, precomputed here so the hot path is
+    /// one load and one integer compare (no float conversion).
+    inverse_bits: Vec<u64>,
     total: f64,
 }
 
@@ -70,10 +75,15 @@ impl Weights {
             }
         }
         let total = values.iter().sum();
-        let inverses = values.iter().map(|w| 1.0 / w).collect();
+        let inverses: Vec<f64> = values.iter().map(|w| 1.0 / w).collect();
+        let inverse_bits = inverses
+            .iter()
+            .map(|&p| (p * 4_294_967_296.0) as u64)
+            .collect();
         Ok(Weights {
             values,
             inverses,
+            inverse_bits,
             total,
         })
     }
@@ -117,6 +127,17 @@ impl Weights {
     #[inline]
     pub fn inverse(&self, i: usize) -> f64 {
         self.inverses[i]
+    }
+
+    /// The integer soften threshold `⌊2³²/w_i⌋` (see the field docs);
+    /// `uniform_32_bits < inverse_bits(i)` is a `Bernoulli(1/w_i)` draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    #[inline]
+    pub fn inverse_bits(&self, i: usize) -> u64 {
+        self.inverse_bits[i]
     }
 
     /// The total weight `w = Σ w_i`.

@@ -1,15 +1,23 @@
 //! Dense-vs-agent equivalence: the count-based engine must reproduce the
 //! agent-based engine's distribution on the complete graph.
 //!
-//! Both engines are replicated over independent seeds; per-checkpoint mean
-//! colour-count trajectories and post-convergence diversity errors must
-//! agree within (generously widened) bootstrap confidence intervals.
+//! Runs both engines over independent seed ensembles and hands the
+//! per-seed observables to the workspace-wide statistical-equivalence
+//! harness (`pp_stats::equivalence`) — the same Bonferroni-corrected
+//! chi-square / KS / moment battery that guards the turbo engine — instead
+//! of the ad-hoc bootstrap-CI-overlap checks this file used to carry.
+//!
+//! The dense engine's τ-leaping is second-order accurate (midpoint rate
+//! re-evaluation), so its per-checkpoint bias is far below the
+//! seed-ensemble noise floor these tests resolve; the near-boundary
+//! channels are simulated exactly, which the sustainability invariant test
+//! at the bottom pins without any statistics.
 
 use pp_core::{init, ConfigStats, Diversification, Weights};
 use pp_dense::{CountConfig, DenseSimulator};
 use pp_engine::{replicate, Simulator};
 use pp_graph::Complete;
-use pp_stats::bootstrap_mean_ci;
+use pp_stats::EquivalenceSuite;
 
 const SEEDS: u64 = 32;
 const N: usize = 512;
@@ -57,21 +65,8 @@ fn dense_trajectory(n: usize, w: &Weights, seed: u64, checkpoints: &[u64]) -> Ve
     out
 }
 
-/// Asserts two seed-level samples have statistically compatible means:
-/// their 99% bootstrap CIs, widened by `slack`, must overlap.
-fn assert_compatible_means(agent: &[f64], dense: &[f64], slack: f64, what: &str) {
-    let (a_lo, a_hi) = bootstrap_mean_ci(agent, 500, 0.99, 7).unwrap();
-    let (d_lo, d_hi) = bootstrap_mean_ci(dense, 500, 0.99, 8).unwrap();
-    let overlap = a_lo - slack <= d_hi && d_lo - slack <= a_hi;
-    assert!(
-        overlap,
-        "{what}: agent CI [{a_lo:.3}, {a_hi:.3}] vs dense CI [{d_lo:.3}, {d_hi:.3}] \
-         (slack {slack}) do not overlap"
-    );
-}
-
 #[test]
-fn mean_colour_trajectories_agree() {
+fn colour_trajectories_agree() {
     let w = weights();
     let k = w.len();
     let budget = pp_core::theory::convergence_budget(N, w.total(), 4.0);
@@ -85,19 +80,20 @@ fn mean_colour_trajectories_agree() {
         dense_trajectory(N, &w, 10_000 + s, &checkpoints)
     });
 
+    let mut suite = EquivalenceSuite::new("dense-vs-agent: colour trajectories", 1e-3);
     for (t_idx, &t) in checkpoints.iter().enumerate() {
         for colour in 0..k {
             let agent: Vec<f64> = agent_runs.iter().map(|r| r[t_idx][colour]).collect();
             let dense: Vec<f64> = dense_runs.iter().map(|r| r[t_idx][colour]).collect();
-            // Slack of 2 agents absorbs CI-overlap crudeness at finite seeds.
-            assert_compatible_means(
+            suite.check_moments(format!("C_{colour} @ step {t} (n = {N})"), &agent, &dense);
+            suite.check_distribution(
+                format!("C_{colour} @ step {t} (n = {N}) [KS]"),
                 &agent,
                 &dense,
-                2.0,
-                &format!("C_{colour} at step {t} (n = {N})"),
             );
         }
     }
+    suite.assert_pass();
 }
 
 #[test]
@@ -138,12 +134,18 @@ fn diversity_errors_agree() {
         worst
     });
 
-    assert_compatible_means(
+    let mut suite = EquivalenceSuite::new("dense-vs-agent: diversity error", 1e-3);
+    suite.check_moments(
+        format!("window-max diversity error (n = {N})"),
         &agent_errors,
         &dense_errors,
-        0.01,
-        &format!("window-max diversity error (n = {N})"),
     );
+    suite.check_distribution(
+        format!("window-max diversity error (n = {N}) [KS]"),
+        &agent_errors,
+        &dense_errors,
+    );
+    suite.assert_pass();
 }
 
 #[test]
@@ -174,7 +176,9 @@ fn dense_preserves_population_and_sustainability_over_long_runs() {
 #[test]
 fn engines_agree_from_single_minority_start() {
     // The adversarial start exercises the dense engine's critical-channel
-    // path (the singleton colour sits on the sustainability boundary).
+    // path (the singleton colour sits on the sustainability boundary);
+    // spread times to n/4 are heavy-tailed, exactly what the KS test is
+    // for.
     let w = Weights::uniform(2);
     let quarter = (N / 4) as f64;
     let budget = pp_core::theory::convergence_budget(N, 2.0, 64.0);
@@ -206,15 +210,19 @@ fn engines_agree_from_single_minority_start() {
         }
     };
 
-    let agent: Vec<f64> = (0..SEEDS).map(|s| spread(false, s)).collect();
-    let dense: Vec<f64> = (0..SEEDS).map(|s| spread(true, 30_000 + s)).collect();
-    // Spread times are heavy-tailed; compare means with slack proportional
-    // to the agent mean.
-    let agent_mean = agent.iter().sum::<f64>() / agent.len() as f64;
-    assert_compatible_means(
+    let agent: Vec<f64> = replicate(0..SEEDS, |s| spread(false, s));
+    let dense: Vec<f64> = replicate(0..SEEDS, |s| spread(true, 30_000 + s));
+
+    let mut suite = EquivalenceSuite::new("dense-vs-agent: singleton spread", 1e-3);
+    suite.check_distribution(
+        format!("singleton spread time to n/4 (n = {N})"),
         &agent,
         &dense,
-        0.25 * agent_mean,
-        &format!("singleton spread time to n/4 (n = {N})"),
     );
+    suite.check_moments(
+        format!("singleton spread time to n/4 (n = {N})"),
+        &agent,
+        &dense,
+    );
+    suite.assert_pass();
 }

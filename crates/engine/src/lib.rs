@@ -18,6 +18,11 @@
 //!   packed-state fast path: `u32` SoA states, zero `dyn` dispatch per
 //!   interaction, trajectory-identical to [`Simulator`] under a shared
 //!   seed.
+//! * [`TurboSimulator`] — the counter-based relaxed-equivalence turbo
+//!   engine: per-step `CounterRng` streams resolved in prefetchable
+//!   batches, optional `u8` state storage ([`TurboWord`]); same process
+//!   distribution as the exact engines, verified statistically by the
+//!   `pp-stats` harness instead of draw-for-draw.
 //! * [`replicate()`](replicate()) — parallel independent-seed replication for w.h.p.-style
 //!   statements, scheduled by work-stealing.
 //! * [`sweep_grid()`](sweep_grid()) — (job × seed) grids through one shared
@@ -64,6 +69,7 @@ pub mod replicate;
 pub mod rounds;
 pub mod simulator;
 pub mod sweep;
+pub mod turbo;
 
 pub use packed::{PackedProtocol, PackedSimulator, MAX_PACKED_OBSERVATIONS};
 pub use population::Population;
@@ -71,3 +77,4 @@ pub use protocol::Protocol;
 pub use replicate::replicate;
 pub use simulator::Simulator;
 pub use sweep::sweep_grid;
+pub use turbo::{TurboSimulator, TurboWord};

@@ -97,6 +97,36 @@ pub trait PackedProtocol: Send + Sync {
     /// entries.
     fn transition<R: rand::Rng>(&self, me: u32, observed: &[u32], rng: &mut R) -> u32;
 
+    /// The transition rule as the relaxed-equivalence turbo engine calls it.
+    ///
+    /// Must produce the same **distribution** over next states as
+    /// [`transition`](PackedProtocol::transition) given uniform
+    /// randomness, but — unlike `transition`, which must consume
+    /// randomness draw-for-draw like the generic engine — it may spend its
+    /// entropy however it likes. `aux` is a per-step entropy word whose
+    /// **low 32 bits** are uniform and independent of the step's
+    /// scheduling/partner indices (to the engine-documented `O(d/2³²)`);
+    /// overrides use it to make probabilistic rules branch-free — compare
+    /// against an integer threshold instead of conditionally drawing, at
+    /// a bias of `O(2⁻³²)` that is far below the statistical harness's
+    /// resolution. Protocols that need more entropy than one word can
+    /// fall back to `rng`, an independent counter stream for this step.
+    ///
+    /// The default ignores `aux` and delegates to `transition`; override
+    /// only as a measured optimisation. The `pp-stats` equivalence harness
+    /// verifies the distributional claim for every override.
+    #[inline]
+    fn transition_turbo<R: rand::Rng>(
+        &self,
+        me: u32,
+        observed: &[u32],
+        aux: u64,
+        rng: &mut R,
+    ) -> u32 {
+        let _ = aux;
+        self.transition(me, observed, rng)
+    }
+
     /// Short protocol name for experiment tables.
     fn name(&self) -> String;
 }

@@ -101,3 +101,62 @@ fn topology_len_checked_against_population() {
     let sim = Simulator::new(Adopt, Complete::new(5), (0..5).collect(), 0);
     assert_eq!(sim.topology().len(), sim.population().len());
 }
+
+/// Satellite guarantee for the work-stealing sweep: scheduling is pure
+/// plumbing. Whatever interleaving the thread pool produces, the results
+/// of `sweep_grid` must be **byte-identical** to a sequential reference
+/// run of the same deterministic per-cell function — here a real packed
+/// simulation per (job, seed) cell, so the test exercises the exact usage
+/// pattern of the topology experiments.
+#[test]
+fn sweep_grid_matches_sequential_reference_byte_for_byte() {
+    use pp_engine::{sweep_grid, PackedProtocol, PackedSimulator};
+
+    #[derive(Debug, Clone)]
+    struct PackedAdopt;
+
+    impl PackedProtocol for PackedAdopt {
+        type State = u32;
+
+        fn pack(&self, s: &u32) -> u32 {
+            *s
+        }
+
+        fn unpack(&self, p: u32) -> u32 {
+            p
+        }
+
+        fn transition<R: rand::Rng>(&self, _me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+            observed[0]
+        }
+
+        fn name(&self) -> String {
+            "packed-adopt".into()
+        }
+    }
+
+    // Heterogeneous cell costs (different sizes and step counts), so the
+    // work-stealing pool genuinely scrambles completion order.
+    let sizes = [24usize, 96, 48, 160];
+    let seeds: Vec<u64> = (0..6).collect();
+    let cell = |job: usize, seed: u64| -> Vec<u32> {
+        let n = sizes[job];
+        let init: Vec<u32> = (0..n as u32).collect();
+        let mut sim = PackedSimulator::new(PackedAdopt, Cycle::new(n), &init, seed);
+        sim.run(n as u64 * 40);
+        sim.states_packed().to_vec()
+    };
+
+    let pooled = sweep_grid(sizes.len(), &seeds, cell);
+    // Sequential reference: plain nested loops, no pool.
+    let reference: Vec<Vec<Vec<u32>>> = (0..sizes.len())
+        .map(|job| seeds.iter().map(|&s| cell(job, s)).collect())
+        .collect();
+    assert_eq!(
+        pooled, reference,
+        "work-stealing sweep diverged from the sequential reference"
+    );
+
+    // And the pooled result is itself reproducible run to run.
+    assert_eq!(pooled, sweep_grid(sizes.len(), &seeds, cell));
+}

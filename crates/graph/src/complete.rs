@@ -65,6 +65,14 @@ impl Topology for Complete {
         self.sample_impl(u, rng)
     }
 
+    fn sample_partner_turbo(&self, u: usize, bits: u64) -> usize {
+        check_node(u, self.n);
+        // Multiply-shift over n−1 (bias (n−1)/2⁶⁴), then the usual shift
+        // past the scheduled agent; branch-free.
+        let v = ((bits as u128 * (self.n - 1) as u128) >> 64) as usize;
+        v + usize::from(v >= u)
+    }
+
     fn contains_edge(&self, u: usize, v: usize) -> bool {
         check_node(u, self.n);
         check_node(v, self.n);

@@ -158,6 +158,20 @@ impl Topology for Csr {
         self.sample_impl(u, rng)
     }
 
+    fn sample_partner_turbo(&self, u: usize, bits: u64) -> usize {
+        // Multiply-shift over the degree (bias d/2^64) instead of Lemire
+        // rejection; otherwise identical to the exact sampler.
+        let (start, degree) = if self.uniform_degree != 0 {
+            (u * self.uniform_degree, self.uniform_degree)
+        } else {
+            let start = self.offsets[u];
+            (start, self.offsets[u + 1] - start)
+        };
+        assert!(degree > 0, "node {u} is isolated; cannot sample a partner");
+        let idx = ((bits as u128 * degree as u128) >> 64) as usize;
+        self.neighbors[start + idx] as usize
+    }
+
     fn contains_edge(&self, u: usize, v: usize) -> bool {
         check_node(v, self.len());
         self.neighbor_slice(u).binary_search(&(v as u32)).is_ok()

@@ -108,6 +108,39 @@ pub trait Topology: std::fmt::Debug + Send + Sync {
         self.sample_partner(u, rng)
     }
 
+    /// Relaxed-equivalence partner draw for the turbo engine: picks a
+    /// uniform neighbour of `u` from the 64 uniform random bits in `bits`
+    /// instead of a sequential RNG stream.
+    ///
+    /// Unlike [`sample_partner_mono`](Topology::sample_partner_mono), this
+    /// draw is **not** required to consume randomness like the reference
+    /// engine — only to produce the right distribution (to within bias far
+    /// below statistical resolution, e.g. a multiply-shift `O(d/2⁶⁴)`
+    /// remainder instead of Lemire rejection). That freedom lets the
+    /// structured topologies implement it branch-free and division-free:
+    /// the turbo engine's batch pass has no serial RNG chain to hide a
+    /// mispredicted branch or a 30-cycle hardware divide behind, so on
+    /// that path the classic arithmetic samplers (`% n`, 50/50 branches)
+    /// dominate the step cost. Overrides use the **high** bits of `bits`
+    /// first; the engine hands the low 32 bits to the protocol transition,
+    /// and the documented correlation between fields is `O(d/2³²)` — far
+    /// below what the statistical-equivalence harness can resolve.
+    ///
+    /// The default delegates to `sample_partner_mono` over a one-shot
+    /// [`CounterRng`](rand::rngs::CounterRng) seeded from `bits`, which is
+    /// correct (if slower) for every topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()` or `u` has no neighbours.
+    #[inline]
+    fn sample_partner_turbo(&self, u: usize, bits: u64) -> usize
+    where
+        Self: Sized,
+    {
+        self.sample_partner_mono(u, &mut rand::rngs::CounterRng::from_state(bits))
+    }
+
     /// Returns `true` if `{u, v}` is an edge.
     ///
     /// # Panics

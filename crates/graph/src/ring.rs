@@ -63,6 +63,20 @@ impl Topology for Cycle {
         self.sample_impl(u, rng)
     }
 
+    fn sample_partner_turbo(&self, u: usize, bits: u64) -> usize {
+        check_node(u, self.n);
+        // Direction from the top bit; ±1 with wrap. `select_unpredictable`
+        // guarantees conditional moves: a 50/50 direction *branch* would
+        // mispredict every other step, and on the turbo batch path there
+        // is no serial RNG latency to hide the flush behind (LLVM happily
+        // rewrites mask arithmetic back into branches otherwise).
+        let delta = std::hint::select_unpredictable(bits >> 63 != 0, 1, self.n - 1);
+        let v = u + delta;
+        // Both arms are evaluated eagerly, so the untaken subtraction must
+        // wrap instead of underflowing.
+        std::hint::select_unpredictable(v >= self.n, v.wrapping_sub(self.n), v)
+    }
+
     fn contains_edge(&self, u: usize, v: usize) -> bool {
         check_node(u, self.n);
         check_node(v, self.n);

@@ -107,6 +107,34 @@ impl Torus2d {
         }
     }
 
+    /// Branch-free partner draw for the turbo engine: direction from the
+    /// top two bits of `bits`, all four candidate neighbours computed and
+    /// selected with conditional moves (`select_unpredictable` — a random
+    /// 4-way *branch* would mispredict ~3 steps in 4, which is exactly
+    /// what makes the exact sampler slow on the batch path).
+    #[inline]
+    fn sample_turbo_impl(&self, u: usize, bits: u64) -> usize {
+        let n = self.rows * self.cols;
+        check_node(u, n);
+        let dir = (bits >> 62) as usize;
+        let c = self.mod_cols(u);
+        use std::hint::select_unpredictable as sel;
+        let sign = dir & 1 == 0;
+        // Both arms of each select are evaluated eagerly, so untaken
+        // subtractions must wrap instead of underflowing.
+        // Row move: u ± cols mod n, as one selected offset + one wrap.
+        let row = {
+            let v = u + sel(sign, self.cols, n - self.cols);
+            sel(v >= n, v.wrapping_sub(n), v)
+        };
+        // Column move: c ± 1 mod cols, re-anchored to u's row.
+        let col = {
+            let cc = c + sel(sign, 1, self.cols - 1);
+            u - c + sel(cc >= self.cols, cc.wrapping_sub(self.cols), cc)
+        };
+        sel(dir & 2 == 0, row, col)
+    }
+
     /// Grid coordinates of node `u`.
     pub fn coords(&self, u: usize) -> (usize, usize) {
         check_node(u, self.len());
@@ -154,6 +182,10 @@ impl Topology for Torus2d {
 
     fn sample_partner_mono<R: Rng>(&self, u: usize, rng: &mut R) -> usize {
         self.sample_impl(u, rng)
+    }
+
+    fn sample_partner_turbo(&self, u: usize, bits: u64) -> usize {
+        self.sample_turbo_impl(u, bits)
     }
 
     fn contains_edge(&self, u: usize, v: usize) -> bool {

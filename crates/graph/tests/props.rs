@@ -247,3 +247,70 @@ fn adjacency_from_edges_matches_manual() {
     check_contract(&g, 99);
     assert_eq!(g.num_edges(), 4);
 }
+
+/// The relaxed-equivalence turbo partner draw: for every family that
+/// overrides it (complete, cycle, torus, CSR) and for the default
+/// implementation, each drawn partner must be a genuine neighbour and the
+/// draw must be uniform over the neighbour set when fed SplitMix64 words —
+/// exactly how the turbo engine feeds it. The chi-square threshold is the
+/// same `df + 4·√(2·df) + 12` used for the CSR sampling checks.
+#[test]
+fn turbo_partner_draws_are_uniform_neighbours() {
+    fn check<T: Topology>(g: &T, label: &str) {
+        let golden = 0x9E37_79B9_7F4A_7C15u64;
+        let mut pos = 0xDEAD_BEEF_u64;
+        // Every node (bounded for the big families), all neighbours.
+        let stride = (g.len() / 16).max(1);
+        for u in (0..g.len()).step_by(stride) {
+            let d = g.degree(u);
+            if d == 0 {
+                continue;
+            }
+            let neighbors = {
+                let mut ns = g.neighbors(u);
+                ns.sort_unstable();
+                ns
+            };
+            let per_cell = 250usize;
+            let mut counts = vec![0usize; d];
+            for _ in 0..per_cell * d {
+                pos = pos.wrapping_add(golden);
+                let bits = rand::rngs::splitmix64(pos);
+                let v = g.sample_partner_turbo(u, bits);
+                let slot = neighbors
+                    .binary_search(&v)
+                    .unwrap_or_else(|_| panic!("{label}: non-neighbour {v} of {u}"));
+                counts[slot] += 1;
+            }
+            let expected = per_cell as f64;
+            let chi2: f64 = counts
+                .iter()
+                .map(|&c| {
+                    let diff = c as f64 - expected;
+                    diff * diff / expected
+                })
+                .sum();
+            let df = (d - 1).max(1) as f64;
+            let threshold = df + 4.0 * (2.0 * df).sqrt() + 12.0;
+            assert!(
+                chi2 < threshold,
+                "{label}: chi-square {chi2:.1} over threshold {threshold:.1} at node {u} (degree {d})"
+            );
+        }
+    }
+
+    // Families with branch-free overrides, including wrap edge cases
+    // (nodes on every torus border, ring endpoints).
+    check(&Complete::new(37), "complete");
+    check(&Cycle::new(3), "cycle-min");
+    check(&Cycle::new(101), "cycle");
+    check(&Torus2d::new(3, 5), "torus-min");
+    check(&Torus2d::new(7, 9), "torus");
+    let mut rng = StdRng::seed_from_u64(4);
+    check(&erdos_renyi(64, 0.15, &mut rng).to_csr(), "er-csr");
+    check(&random_regular(60, 7, &mut rng).to_csr(), "regular-csr");
+    // A family without an override exercises the default (CounterRng
+    // fallback) path.
+    check(&Hypercube::new(5), "hypercube-default");
+    check(&Star::new(17), "star-default");
+}

@@ -18,6 +18,114 @@
 
 /// Concrete generators.
 pub mod rngs {
+    /// A counter-based generator: an independent SplitMix64 output stream
+    /// per `(seed, counter)` key.
+    ///
+    /// Where [`StdRng`] is *sequential* — each draw advances one shared
+    /// 256-bit state, so draw `t + 1` cannot begin before draw `t`
+    /// finishes — `CounterRng` derives its whole stream from a single
+    /// 64-bit key. Streams for different counters are computed
+    /// independently, so a simulation that keys one stream per time-step
+    /// (`for_step(seed, t)`) can resolve the randomness of thousands of
+    /// future steps in a batch with no serial dependency between them.
+    /// This is the relaxed-equivalence trade of the turbo engine: the
+    /// joint draw sequence is no longer bit-identical to the sequential
+    /// stream, but each draw is still uniform and draws are independent
+    /// across steps, which is all the process distribution depends on.
+    ///
+    /// The generator is SplitMix64 over a Weyl sequence: the key fixes the
+    /// starting point, every draw adds the golden-ratio increment and
+    /// returns the finalizer mix of the new position. SplitMix64's
+    /// finalizer is a bijection on `u64`, and the full-period Weyl walk
+    /// never revisits a position within 2⁶⁴ draws, so per-stream outputs
+    /// are equidistributed; it passes BigCrush as seeded here. The entire
+    /// state is one `u64` ([`state`](CounterRng::state) /
+    /// [`from_state`](CounterRng::from_state)), so a stream can be parked
+    /// in a batch buffer and resumed later for pennies.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::rngs::CounterRng;
+    /// use rand::Rng;
+    ///
+    /// // Streams are deterministic per (seed, counter) …
+    /// let mut a = CounterRng::for_step(7, 1000);
+    /// let mut b = CounterRng::for_step(7, 1000);
+    /// assert_eq!(a.next_u64(), b.next_u64());
+    /// // … and unrelated across counters.
+    /// let mut c = CounterRng::for_step(7, 1001);
+    /// assert_ne!(a.next_u64(), c.next_u64());
+    /// ```
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct CounterRng {
+        x: u64,
+    }
+
+    /// The golden-ratio Weyl increment of SplitMix64.
+    pub const GOLDEN: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// SplitMix64's finalizer: a well-mixing bijection on `u64`
+    /// (Stafford's MurmurHash3 variant 13 constants).
+    ///
+    /// This is the counter-based randomness primitive the turbo simulation
+    /// engine builds on: `splitmix64(base + t · GOLDEN)` is draw `t` of a
+    /// stream with no serial dependency between draws, so a batch of
+    /// draws compiles to independent straight-line arithmetic.
+    #[inline]
+    pub fn splitmix64(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    use splitmix64 as mix;
+
+    impl CounterRng {
+        /// The stream for key `(seed, counter)`.
+        ///
+        /// The key is hashed (not merely XORed) into the Weyl start, so
+        /// related keys — consecutive counters, consecutive seeds — start
+        /// at unrelated positions and low-entropy seeds are safe.
+        #[inline]
+        pub fn for_step(seed: u64, counter: u64) -> Self {
+            // Two rounds of the finalizer over an injective combination:
+            // distinct (seed, counter) pairs with counter < 2⁶³ map to
+            // distinct starts (mix is a bijection and the combination
+            // seed-then-counter is fed through sequentially).
+            CounterRng {
+                x: mix(mix(seed ^ GOLDEN).wrapping_add(counter.wrapping_mul(GOLDEN))),
+            }
+        }
+
+        /// Resumes a stream parked with [`state`](Self::state).
+        #[inline]
+        pub fn from_state(x: u64) -> Self {
+            CounterRng { x }
+        }
+
+        /// The full generator state; feed to
+        /// [`from_state`](Self::from_state) to resume the stream.
+        #[inline]
+        pub fn state(&self) -> u64 {
+            self.x
+        }
+    }
+
+    impl crate::Rng for CounterRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            self.x = self.x.wrapping_add(GOLDEN);
+            mix(self.x)
+        }
+    }
+
+    impl crate::SeedableRng for CounterRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            CounterRng::for_step(seed, 0)
+        }
+    }
+
     /// The workspace's standard PRNG: xoshiro256++ with SplitMix64 seeding.
     ///
     /// Statistically strong for simulation workloads, 256-bit state, and
@@ -249,8 +357,81 @@ impl<R: Rng + ?Sized> RngExt for R {}
 
 #[cfg(test)]
 mod tests {
-    use super::rngs::StdRng;
+    use super::rngs::{CounterRng, StdRng};
     use super::*;
+
+    #[test]
+    fn counter_rng_deterministic_and_resumable() {
+        let mut a = CounterRng::for_step(3, 77);
+        let mut b = CounterRng::for_step(3, 77);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        // Park mid-stream, resume elsewhere: identical continuation.
+        let parked = a.state();
+        let tail: Vec<u64> = (0..20).map(|_| a.next_u64()).collect();
+        let mut resumed = CounterRng::from_state(parked);
+        let resumed_tail: Vec<u64> = (0..20).map(|_| resumed.next_u64()).collect();
+        assert_eq!(tail, resumed_tail);
+    }
+
+    #[test]
+    fn counter_rng_streams_differ_across_keys() {
+        // Consecutive counters and consecutive seeds must not produce
+        // overlapping or correlated prefixes.
+        let prefix = |seed, counter| -> Vec<u64> {
+            let mut r = CounterRng::for_step(seed, counter);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let base = prefix(0, 0);
+        assert_ne!(base, prefix(0, 1));
+        assert_ne!(base, prefix(1, 0));
+        assert_ne!(prefix(5, 1000), prefix(5, 1001));
+    }
+
+    #[test]
+    fn counter_rng_uniformity() {
+        // Aggregate across many per-step streams, the way the turbo
+        // engine consumes them: small-range draws must be uniform.
+        let mut counts = [0u32; 7];
+        let trials_per_stream = 4;
+        let streams = 25_000u64;
+        for t in 0..streams {
+            let mut r = CounterRng::for_step(42, t);
+            for _ in 0..trials_per_stream {
+                counts[r.random_range(0usize..7)] += 1;
+            }
+        }
+        let total = (streams * trials_per_stream) as f64;
+        for &c in &counts {
+            let frac = c as f64 / total;
+            assert!((frac - 1.0 / 7.0).abs() < 0.01, "bucket fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn counter_rng_bit_balance() {
+        // Each output bit is ~50/50 across per-step streams.
+        let mut ones = [0u32; 64];
+        let streams = 20_000u64;
+        for t in 0..streams {
+            let x = CounterRng::for_step(9, t).next_u64();
+            for (bit, slot) in ones.iter_mut().enumerate() {
+                *slot += ((x >> bit) & 1) as u32;
+            }
+        }
+        for (bit, &c) in ones.iter().enumerate() {
+            let frac = c as f64 / streams as f64;
+            assert!((frac - 0.5).abs() < 0.02, "bit {bit} fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn counter_rng_seedable() {
+        let mut a = CounterRng::seed_from_u64(11);
+        let mut b = CounterRng::for_step(11, 0);
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
 
     #[test]
     fn deterministic_given_seed() {

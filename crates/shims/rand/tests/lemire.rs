@@ -1,0 +1,217 @@
+//! Regression pin for the deferred-threshold Lemire sampler.
+//!
+//! `uniform_below` / `random_index` defer the `(2^64 − span) mod span`
+//! rejection threshold — a hardware division — until the widening
+//! multiply's low half falls below `span`. The deferral is sound because
+//! `threshold < span`: a low half `≥ span` can never be rejected, so the
+//! accept/reject decisions (and hence outputs *and* RNG consumption) must
+//! be bit-identical to the straightforward eager-threshold formulation.
+//! This suite pins that claim against a reference implementation across the
+//! bound edge cases where the modular arithmetic is most fragile: powers of
+//! two (threshold 0), `bound = 1`, `u32::MAX`, and spans just above 2³².
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// Textbook Lemire with the threshold computed eagerly, before the first
+/// accept test. The gold standard the shipped sampler must match.
+fn reference_lemire(span: u64, rng: &mut impl Rng) -> u64 {
+    assert!(span > 0);
+    let threshold = span.wrapping_neg() % span;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) >= threshold {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+/// Counts `next_u64` calls, so tests can pin RNG *consumption* (one
+/// rejected draw consumed vs skipped would silently desynchronize
+/// shared-seed trajectories) in addition to outputs.
+struct CountingRng<R> {
+    inner: R,
+    draws: u64,
+}
+
+impl<R: Rng> Rng for CountingRng<R> {
+    fn next_u64(&mut self) -> u64 {
+        self.draws += 1;
+        self.inner.next_u64()
+    }
+}
+
+/// Replays a fixed script of raw values, panicking if over-consumed.
+struct ScriptedRng {
+    values: Vec<u64>,
+    at: usize,
+}
+
+impl Rng for ScriptedRng {
+    fn next_u64(&mut self) -> u64 {
+        let v = self.values[self.at];
+        self.at += 1;
+        v
+    }
+}
+
+/// The edge-case spans: 1, small non-powers, powers of two (threshold is
+/// exactly 0), `u32::MAX` and its neighbours (the 32/64-bit seam), and
+/// spans near 2⁶³ where the rejection probability is largest (~1/2).
+fn edge_spans() -> Vec<u64> {
+    vec![
+        1,
+        2,
+        3,
+        4,
+        5,
+        7,
+        8,
+        16,
+        1 << 20,
+        (1 << 20) + 1,
+        u32::MAX as u64 - 1,
+        u32::MAX as u64,
+        u32::MAX as u64 + 1,
+        u32::MAX as u64 + 2,
+        (1 << 62) + 11,
+        1 << 63,
+        (1 << 63) + 1,
+        u64::MAX - 1,
+        u64::MAX,
+    ]
+}
+
+#[test]
+fn deferred_threshold_matches_reference_outputs_and_consumption() {
+    for span in edge_spans() {
+        let mut shipped = CountingRng {
+            inner: StdRng::seed_from_u64(0xA11CE ^ span),
+            draws: 0,
+        };
+        let mut reference = CountingRng {
+            inner: StdRng::seed_from_u64(0xA11CE ^ span),
+            draws: 0,
+        };
+        // 2 000 draws gives spans near 2⁶³ (reject probability ≈ 1/2)
+        // ~1000 expected rejections, exercising the deferred branch hard.
+        for i in 0..2_000 {
+            let got = shipped.random_range(0..span);
+            let want = reference_lemire(span, &mut reference);
+            assert_eq!(got, want, "span {span}, draw {i}: output diverged");
+            assert_eq!(
+                shipped.draws, reference.draws,
+                "span {span}, draw {i}: RNG consumption diverged"
+            );
+            assert!(got < span, "span {span}: out-of-range sample {got}");
+        }
+    }
+}
+
+#[test]
+fn random_index_pins_to_reference_at_usize_edges() {
+    // The monomorphized fast-path sampler must make the same decisions.
+    for span in [1usize, 2, 3, 4, 8, 1 << 16, u32::MAX as usize] {
+        let mut shipped = CountingRng {
+            inner: StdRng::seed_from_u64(0xB0B ^ span as u64),
+            draws: 0,
+        };
+        let mut reference = CountingRng {
+            inner: StdRng::seed_from_u64(0xB0B ^ span as u64),
+            draws: 0,
+        };
+        for i in 0..1_000 {
+            let got = shipped.inner.random_index(span);
+            shipped.draws = 0; // random_index talks to inner directly
+            let want = reference_lemire(span as u64, &mut reference) as usize;
+            assert_eq!(got, want, "span {span}, draw {i}");
+        }
+    }
+}
+
+#[test]
+fn bound_one_never_rejects_and_returns_zero() {
+    // span = 1 ⇒ threshold = 0 ⇒ every draw accepts with value 0, and
+    // exactly one u64 is consumed per sample.
+    let mut rng = CountingRng {
+        inner: StdRng::seed_from_u64(5),
+        draws: 0,
+    };
+    for i in 1..=500u64 {
+        assert_eq!(rng.random_range(0..1u64), 0);
+        assert_eq!(rng.draws, i, "bound 1 must consume exactly one draw");
+    }
+}
+
+#[test]
+fn power_of_two_bounds_never_reject() {
+    // Powers of two divide 2⁶⁴ exactly: threshold = 0, so one draw per
+    // sample no matter what the raw value is.
+    for shift in [1u32, 2, 8, 16, 31, 32, 33, 62, 63] {
+        let span = 1u64 << shift;
+        let mut rng = CountingRng {
+            inner: StdRng::seed_from_u64(shift as u64),
+            draws: 0,
+        };
+        for i in 1..=300u64 {
+            let x = rng.random_range(0..span);
+            assert!(x < span);
+            assert_eq!(rng.draws, i, "2^{shift} must never reject");
+        }
+    }
+}
+
+#[test]
+fn scripted_rejection_path_is_taken_exactly_when_reference_rejects() {
+    // span = 2⁶³ + 1 ⇒ threshold = (2⁶⁴ − span) mod span = 2⁶³ − 1.
+    // A raw draw x maps to low half (x·span) mod 2⁶⁴ = (x·2⁶³ + x) mod 2⁶⁴.
+    // x = 1 gives low half 2⁶³ + 1 ≥ span − 1… pick values by construction:
+    let span: u64 = (1 << 63) + 1;
+    let threshold = span.wrapping_neg() % span;
+    assert_eq!(threshold, (1 << 63) - 1, "edge-case arithmetic changed");
+    // Find one rejecting and one accepting raw value.
+    let low_half = |x: u64| (x as u128 * span as u128) as u64;
+    let rejecting = (0..200u64)
+        .find(|&x| low_half(x) < threshold)
+        .expect("a rejecting raw value below 200");
+    let accepting = (0..200u64)
+        .find(|&x| low_half(x) >= threshold)
+        .expect("an accepting raw value below 200");
+    // Shipped sampler must consume both rejected draws, then accept.
+    let mut scripted = ScriptedRng {
+        values: vec![rejecting, rejecting, accepting],
+        at: 0,
+    };
+    let got = scripted.random_range(0..span);
+    assert_eq!(scripted.at, 3, "must consume exactly the two rejections");
+    assert_eq!(got, ((accepting as u128 * span as u128) >> 64) as u64);
+}
+
+#[test]
+fn full_width_inclusive_range_is_identity() {
+    // 0..=u64::MAX cannot use Lemire (span overflows); every raw bit
+    // pattern is returned as-is, one draw per sample.
+    let mut a = StdRng::seed_from_u64(31);
+    let mut b = StdRng::seed_from_u64(31);
+    for _ in 0..200 {
+        assert_eq!(a.random_range(0..=u64::MAX), b.next_u64());
+    }
+}
+
+#[test]
+fn u32_max_bound_agrees_across_integer_widths() {
+    // The same span sampled through u32, u64, and usize ranges must make
+    // identical decisions (they share one u64-space implementation).
+    let span = u32::MAX;
+    let mut a = StdRng::seed_from_u64(77);
+    let mut b = StdRng::seed_from_u64(77);
+    let mut c = StdRng::seed_from_u64(77);
+    for _ in 0..1_000 {
+        let x32 = a.random_range(0..span);
+        let x64 = b.random_range(0..span as u64);
+        let xus = c.random_range(0..span as usize);
+        assert_eq!(x32 as u64, x64);
+        assert_eq!(x64, xus as u64);
+    }
+}

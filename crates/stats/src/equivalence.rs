@@ -1,0 +1,531 @@
+//! The statistical-equivalence harness.
+//!
+//! The workspace runs the same population process on engines with two
+//! different correctness contracts. The **bit-exact tier**
+//! (`Simulator` ↔ `PackedSimulator`) is tested by trajectory equality
+//! under a shared seed. The **statistical tier** (`DenseSimulator`, the
+//! turbo engine) promises only that the *process distribution* is
+//! unchanged — so its contract test is a hypothesis-testing problem: run
+//! both engines over an ensemble of independent seeds, reduce each run to
+//! per-seed observables, and test that the two ensembles are samples from
+//! one distribution.
+//!
+//! This module is that test, shared by every statistical-tier comparison
+//! (dense-vs-agent and turbo-vs-packed) so the methodology is written down
+//! once:
+//!
+//! * [`chi_square_two_sample`] — categorical observables (terminal-state
+//!   histograms across a seed ensemble);
+//! * [`ks_two_sample`] — continuous observables (convergence-time
+//!   distributions);
+//! * [`mean_z_test`] / [`variance_z_test`] — moment checks (diversity-error
+//!   trajectories at checkpoints);
+//! * [`EquivalenceSuite`] — collects many labelled tests over a
+//!   protocol × topology grid and applies a Bonferroni-corrected
+//!   family-wise threshold, so growing the grid never quietly inflates the
+//!   false-alarm rate.
+//!
+//! All tests are two-sided at the suite's `alpha`; with the fixed seeds the
+//! test-suites use, outcomes are deterministic.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_stats::equivalence::EquivalenceSuite;
+//!
+//! let a = [5.0, 6.0, 5.5, 6.1, 5.2, 5.9, 6.3, 5.4];
+//! let b = [5.8, 5.1, 6.2, 5.6, 5.3, 6.0, 5.7, 5.95];
+//! let mut suite = EquivalenceSuite::new("demo", 1e-3);
+//! suite.check_distribution("toy observable", &a, &b);
+//! suite.check_moments("toy observable", &a, &b);
+//! assert!(suite.passed());
+//! suite.assert_pass();
+//! ```
+
+use crate::gof::{chi2_sf, ks_sf, normal_sf};
+
+/// One hypothesis test's outcome: the statistic and its p-value under the
+/// null "both ensembles are drawn from the same distribution".
+#[derive(Debug, Clone)]
+pub struct TestResult {
+    /// The test statistic (chi-square, KS `D`, or `|z|`).
+    pub statistic: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+    /// Human-readable context for failure messages (df, sample sizes,
+    /// observed means, …).
+    pub detail: String,
+}
+
+/// Two-sample chi-square test on category counts.
+///
+/// `a` and `b` are counts over the same categories (e.g. how many seeds
+/// ended in each terminal state class). Uses the unequal-total two-sample
+/// statistic `Σ (√(N_b/N_a)·a_i − √(N_a/N_b)·b_i)² / (a_i + b_i)` with
+/// `df = (#non-empty categories) − 1` (one df is absorbed because the
+/// statistic conditions on the totals).
+///
+/// Categories where both samples are empty are skipped. For validity the
+/// expected count per tested category should not be tiny; use
+/// [`pool_sparse_categories`] first when in doubt.
+///
+/// If at most one non-empty category remains, both ensembles sit entirely
+/// in the same cell: the observable is constant and carries no
+/// distributional signal, so the test degenerates to a pass (`p = 1`).
+///
+/// # Panics
+///
+/// Panics if the slices' lengths differ or either sample is empty.
+pub fn chi_square_two_sample(a: &[u64], b: &[u64]) -> TestResult {
+    assert_eq!(a.len(), b.len(), "category count mismatch");
+    let na: u64 = a.iter().sum();
+    let nb: u64 = b.iter().sum();
+    assert!(na > 0 && nb > 0, "chi-square needs non-empty samples");
+    let ka = (nb as f64 / na as f64).sqrt();
+    let kb = (na as f64 / nb as f64).sqrt();
+    let mut stat = 0.0;
+    let mut used = 0usize;
+    for (&ai, &bi) in a.iter().zip(b) {
+        let total = ai + bi;
+        if total == 0 {
+            continue;
+        }
+        used += 1;
+        let diff = ka * ai as f64 - kb * bi as f64;
+        stat += diff * diff / total as f64;
+    }
+    if used < 2 {
+        return TestResult {
+            statistic: 0.0,
+            p_value: 1.0,
+            detail: format!("degenerate: one shared category, N = ({na}, {nb})"),
+        };
+    }
+    let df = (used - 1) as f64;
+    TestResult {
+        statistic: stat,
+        p_value: chi2_sf(stat, df),
+        detail: format!("chi2 = {stat:.3}, df = {df}, N = ({na}, {nb})"),
+    }
+}
+
+/// Pools trailing sparse categories so every tested cell has a combined
+/// count of at least `min_total`.
+///
+/// Categories are merged greedily from the highest index downward into
+/// their predecessor — appropriate for ordered histograms whose tails are
+/// thin. Returns the pooled pair of count vectors (always at least two
+/// categories if the inputs had two non-empty ones).
+pub fn pool_sparse_categories(a: &[u64], b: &[u64], min_total: u64) -> (Vec<u64>, Vec<u64>) {
+    assert_eq!(a.len(), b.len(), "category count mismatch");
+    let mut pa = a.to_vec();
+    let mut pb = b.to_vec();
+    let mut i = pa.len();
+    while i > 1 {
+        i -= 1;
+        if pa[i] + pb[i] < min_total {
+            pa[i - 1] += pa[i];
+            pb[i - 1] += pb[i];
+            pa.remove(i);
+            pb.remove(i);
+        }
+    }
+    (pa, pb)
+}
+
+/// Two-sample Kolmogorov–Smirnov test.
+///
+/// Compares the empirical CDFs of two continuous ensembles (convergence
+/// times, terminal errors); p-value from the asymptotic Kolmogorov
+/// distribution with the Stephens small-sample correction
+/// `λ = (√Nₑ + 0.12 + 0.11/√Nₑ)·D`, `Nₑ = n_a·n_b/(n_a + n_b)`.
+///
+/// Ties are handled correctly (the CDF gap is evaluated only between
+/// distinct values).
+///
+/// # Panics
+///
+/// Panics if either sample is empty or any value is NaN.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    assert!(
+        sa.iter().chain(sb.iter()).all(|x| !x.is_nan()),
+        "KS sample contains NaN"
+    );
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let mut d: f64 = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    let ne = na * nb / (na + nb);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    TestResult {
+        statistic: d,
+        p_value: ks_sf(lambda),
+        detail: format!("D = {d:.4}, n = ({}, {})", sa.len(), sb.len()),
+    }
+}
+
+fn mean_var(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1.0);
+    (mean, var)
+}
+
+/// Welch two-sample z-test on means.
+///
+/// `z = (x̄_a − x̄_b) / √(s²_a/n_a + s²_b/n_b)`, two-sided normal p-value —
+/// appropriate for the seed-ensemble sizes the harness runs (≥ ~20). If
+/// both ensembles are exactly constant and equal the test passes with
+/// `p = 1`.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than two values.
+pub fn mean_z_test(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(a.len() >= 2 && b.len() >= 2, "mean test needs n >= 2");
+    let (ma, va) = mean_var(a);
+    let (mb, vb) = mean_var(b);
+    let se = (va / a.len() as f64 + vb / b.len() as f64).sqrt();
+    let z = if se > 0.0 {
+        (ma - mb).abs() / se
+    } else if ma == mb {
+        0.0
+    } else {
+        f64::INFINITY
+    };
+    TestResult {
+        statistic: z,
+        p_value: 2.0 * normal_sf(z),
+        detail: format!("mean {ma:.4} vs {mb:.4}, |z| = {z:.3}"),
+    }
+}
+
+/// Two-sample z-test on variances, using the empirical fourth moment for
+/// the standard error (`Var(s²) ≈ (m₄ − s⁴)/n`), which stays calibrated
+/// for the non-normal, often skewed observables simulations produce —
+/// **provided the ensembles are not tiny**: below ~20 samples the
+/// empirical `m₄` badly underestimates the spread of `s²` and the test
+/// false-rejects; prefer
+/// [`EquivalenceSuite::check_moments`], which applies that floor.
+///
+/// If both ensembles are exactly constant the test passes with `p = 1`.
+///
+/// # Panics
+///
+/// Panics if either sample has fewer than four values (the fourth moment
+/// is meaningless below that).
+pub fn variance_z_test(a: &[f64], b: &[f64]) -> TestResult {
+    assert!(a.len() >= 4 && b.len() >= 4, "variance test needs n >= 4");
+    let se2 = |xs: &[f64]| -> (f64, f64) {
+        let (mean, var) = mean_var(xs);
+        let n = xs.len() as f64;
+        let m4 = xs.iter().map(|x| (x - mean).powi(4)).sum::<f64>() / n;
+        ((m4 - var * var).max(0.0) / n, var)
+    };
+    let (sa, va) = se2(a);
+    let (sb, vb) = se2(b);
+    let se = (sa + sb).sqrt();
+    let z = if se > 0.0 {
+        (va - vb).abs() / se
+    } else if va == vb {
+        0.0
+    } else {
+        f64::INFINITY
+    };
+    TestResult {
+        statistic: z,
+        p_value: 2.0 * normal_sf(z),
+        detail: format!("var {va:.4} vs {vb:.4}, |z| = {z:.3}"),
+    }
+}
+
+/// A battery of labelled equivalence tests with one family-wise error
+/// budget.
+///
+/// Tests are recorded with [`record`](Self::record) (or the typed
+/// `check_*` helpers) and judged together: the suite fails iff any test's
+/// p-value falls below the **Bonferroni-corrected** threshold
+/// `alpha / #tests`. That keeps the family-wise false-alarm probability at
+/// `alpha` no matter how many protocol × topology cells a comparison
+/// sweeps, so adding coverage never makes the suite flakier.
+#[derive(Debug)]
+pub struct EquivalenceSuite {
+    name: String,
+    alpha: f64,
+    results: Vec<(String, TestResult)>,
+}
+
+impl EquivalenceSuite {
+    /// Smallest ensemble [`check_moments`](Self::check_moments) runs the
+    /// variance test at. Empirically, the normal approximation with an
+    /// empirical fourth-moment standard error is calibrated from ~20
+    /// samples up; at 8 seeds it rejects identical engines at
+    /// `p < 10⁻⁸`.
+    pub const VARIANCE_TEST_MIN_N: usize = 20;
+
+    /// Creates an empty suite with family-wise error budget `alpha`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < alpha < 1`.
+    pub fn new(name: impl Into<String>, alpha: f64) -> Self {
+        assert!(
+            (0.0..1.0).contains(&alpha) && alpha > 0.0,
+            "bad alpha {alpha}"
+        );
+        EquivalenceSuite {
+            name: name.into(),
+            alpha,
+            results: Vec::new(),
+        }
+    }
+
+    /// Records one test outcome under `label`.
+    pub fn record(&mut self, label: impl Into<String>, result: TestResult) {
+        self.results.push((label.into(), result));
+    }
+
+    /// Chi-square check on categorical counts (sparse cells pooled to a
+    /// combined count of ≥ 8 first).
+    pub fn check_counts(&mut self, label: impl Into<String>, a: &[u64], b: &[u64]) {
+        let (pa, pb) = pool_sparse_categories(a, b, 8);
+        self.record(label, chi_square_two_sample(&pa, &pb));
+    }
+
+    /// KS check on continuous per-seed observables.
+    pub fn check_distribution(&mut self, label: impl Into<String>, a: &[f64], b: &[f64]) {
+        self.record(label, ks_two_sample(a, b));
+    }
+
+    /// Moment checks on per-seed observables: always the mean test, plus
+    /// the variance test when both ensembles have at least
+    /// [`VARIANCE_TEST_MIN_N`](Self::VARIANCE_TEST_MIN_N) samples — below
+    /// that the fourth-moment standard error is uncalibrated and
+    /// [`variance_z_test`] false-rejects identical distributions.
+    pub fn check_moments(&mut self, label: impl Into<String>, a: &[f64], b: &[f64]) {
+        let label = label.into();
+        self.record(format!("{label} [mean]"), mean_z_test(a, b));
+        if a.len() >= Self::VARIANCE_TEST_MIN_N && b.len() >= Self::VARIANCE_TEST_MIN_N {
+            self.record(format!("{label} [variance]"), variance_z_test(a, b));
+        }
+    }
+
+    /// Number of recorded tests.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// Whether no tests have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The per-test threshold: `alpha / #tests`.
+    pub fn threshold(&self) -> f64 {
+        self.alpha / self.results.len().max(1) as f64
+    }
+
+    /// The recorded tests whose p-value falls below the corrected
+    /// threshold.
+    pub fn failures(&self) -> Vec<&(String, TestResult)> {
+        let thr = self.threshold();
+        self.results
+            .iter()
+            .filter(|(_, r)| r.p_value < thr)
+            .collect()
+    }
+
+    /// `true` iff at least one test was recorded and none failed.
+    pub fn passed(&self) -> bool {
+        !self.results.is_empty() && self.failures().is_empty()
+    }
+
+    /// Renders every recorded test as one line: pass/fail marker, label,
+    /// statistic, p-value.
+    pub fn render(&self) -> String {
+        let thr = self.threshold();
+        let mut out = format!(
+            "equivalence suite `{}`: {} tests, alpha = {} (per-test threshold {thr:.2e})\n",
+            self.name,
+            self.results.len(),
+            self.alpha
+        );
+        for (label, r) in &self.results {
+            let mark = if r.p_value < thr { "FAIL" } else { "  ok" };
+            out.push_str(&format!(
+                "{mark}  p = {:<10.3e} {label}  ({})\n",
+                r.p_value, r.detail
+            ));
+        }
+        out
+    }
+
+    /// Panics with the rendered table unless [`passed`](Self::passed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the suite is empty (a vacuous pass would hide a harness
+    /// wiring bug) or any test fails the corrected threshold.
+    pub fn assert_pass(&self) {
+        assert!(
+            !self.results.is_empty(),
+            "equivalence suite `{}` recorded no tests",
+            self.name
+        );
+        assert!(
+            self.failures().is_empty(),
+            "statistical equivalence rejected:\n{}",
+            self.render()
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn normalish(seed: u64, n: usize, shift: f64) -> Vec<f64> {
+        // Sum of 8 uniforms: symmetric, light-tailed, fast.
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..8).map(|_| rng.random_unit()).sum::<f64>() + shift)
+            .collect()
+    }
+
+    #[test]
+    fn identical_distributions_pass() {
+        let a = normalish(1, 200, 0.0);
+        let b = normalish(2, 200, 0.0);
+        let mut suite = EquivalenceSuite::new("same", 1e-3);
+        suite.check_distribution("ks", &a, &b);
+        suite.check_moments("moments", &a, &b);
+        suite.check_counts("cats", &[50, 60, 45, 45], &[55, 52, 48, 45]);
+        suite.assert_pass();
+        assert!(suite.passed());
+        assert_eq!(suite.len(), 4);
+    }
+
+    #[test]
+    fn shifted_mean_is_caught() {
+        let a = normalish(3, 200, 0.0);
+        let b = normalish(4, 200, 0.8); // ~1.0 sd shift of the sum-of-8
+        let mut suite = EquivalenceSuite::new("shift", 1e-3);
+        suite.check_distribution("ks", &a, &b);
+        suite.check_moments("moments", &a, &b);
+        assert!(!suite.passed());
+        let failures = suite.failures();
+        assert!(
+            failures.iter().any(|(l, _)| l.contains("mean")),
+            "mean test should flag the shift:\n{}",
+            suite.render()
+        );
+        assert!(
+            failures.iter().any(|(l, _)| l.contains("ks")),
+            "KS should flag the shift:\n{}",
+            suite.render()
+        );
+    }
+
+    #[test]
+    fn inflated_variance_is_caught() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let a = normalish(5, 300, 0.0);
+        let b: Vec<f64> = normalish(6, 300, 0.0)
+            .into_iter()
+            .map(|x| 4.0 + (x - 4.0) * 2.0 + 0.0 * rng.random_unit())
+            .collect();
+        let mut suite = EquivalenceSuite::new("var", 1e-3);
+        suite.check_moments("moments", &a, &b);
+        assert!(!suite.passed());
+        assert!(
+            suite.failures().iter().any(|(l, _)| l.contains("variance")),
+            "variance test should flag the scaling:\n{}",
+            suite.render()
+        );
+    }
+
+    #[test]
+    fn biased_categories_are_caught() {
+        let a = [100u64, 100, 100, 100];
+        let b = [160u64, 80, 80, 80];
+        let mut suite = EquivalenceSuite::new("cat", 1e-3);
+        suite.check_counts("histogram", &a, &b);
+        assert!(!suite.passed(), "{}", suite.render());
+    }
+
+    #[test]
+    fn sparse_pooling_merges_thin_tails() {
+        // The thin tail cells (2+1, 1+2, 0+1 — and the merged 3+4 still
+        // below 8) collapse into the second cell.
+        let (pa, pb) = pool_sparse_categories(&[40, 30, 2, 1, 0], &[38, 33, 1, 2, 1], 8);
+        assert_eq!(pa, vec![40, 33]);
+        assert_eq!(pb, vec![38, 37]);
+        assert_eq!(pa.iter().sum::<u64>(), 73);
+        assert_eq!(pb.iter().sum::<u64>(), 75);
+        // Everything merged when all cells are thin.
+        let (pa, pb) = pool_sparse_categories(&[1, 1, 1], &[1, 1, 1], 100);
+        assert_eq!(pa.len(), 1);
+        assert_eq!(pb.len(), 1);
+    }
+
+    #[test]
+    fn ks_handles_ties_and_constant_samples() {
+        let a = [1.0, 1.0, 1.0, 2.0, 2.0];
+        let b = [1.0, 1.0, 2.0, 2.0, 2.0];
+        let r = ks_two_sample(&a, &b);
+        assert!((r.statistic - 0.2).abs() < 1e-12, "D = {}", r.statistic);
+        // Identical constants: D = 0, p = 1.
+        let r = ks_two_sample(&[3.0; 10], &[3.0; 10]);
+        assert_eq!(r.statistic, 0.0);
+        assert!((r.p_value - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_equal_moments_pass() {
+        let r = mean_z_test(&[2.0; 8], &[2.0; 8]);
+        assert_eq!(r.statistic, 0.0);
+        let r = variance_z_test(&[2.0; 8], &[2.0; 8]);
+        assert_eq!(r.statistic, 0.0);
+    }
+
+    #[test]
+    fn bonferroni_threshold_scales_with_suite_size() {
+        let mut suite = EquivalenceSuite::new("thr", 0.01);
+        let a = normalish(7, 50, 0.0);
+        let b = normalish(8, 50, 0.0);
+        for i in 0..10 {
+            suite.check_distribution(format!("t{i}"), &a, &b);
+        }
+        assert!((suite.threshold() - 0.001).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "recorded no tests")]
+    fn empty_suite_cannot_pass_vacuously() {
+        EquivalenceSuite::new("empty", 0.001).assert_pass();
+    }
+
+    #[test]
+    #[should_panic(expected = "statistical equivalence rejected")]
+    fn assert_pass_panics_with_report() {
+        let mut suite = EquivalenceSuite::new("bad", 1e-3);
+        suite.check_counts("histogram", &[400, 100], &[100, 400]);
+        suite.assert_pass();
+    }
+}

@@ -14,7 +14,11 @@
 //!   of Eq. (1) or the `n log n` convergence time of Theorem 1.3);
 //! * [`TimeSeries`] — strided trace recording with window reductions;
 //! * [`bootstrap`] — seed-level confidence intervals;
-//! * [`table`] — plain-text aligned tables for experiment output.
+//! * [`table`] — plain-text aligned tables for experiment output;
+//! * [`gof`] + [`equivalence`] — the statistical-equivalence harness:
+//!   chi-square / KS / moment two-sample tests with Bonferroni-corrected
+//!   suites ([`EquivalenceSuite`]), the contract test for every engine
+//!   that promises distributional (rather than bit-exact) equivalence.
 //!
 //! # Examples
 //!
@@ -34,6 +38,8 @@
 
 pub mod bootstrap;
 pub mod concentration;
+pub mod equivalence;
+pub mod gof;
 pub mod histogram;
 pub mod online;
 pub mod quantiles;
@@ -44,6 +50,11 @@ pub mod table;
 
 pub use bootstrap::bootstrap_mean_ci;
 pub use concentration::DriftParams;
+pub use equivalence::{
+    chi_square_two_sample, ks_two_sample, mean_z_test, variance_z_test, EquivalenceSuite,
+    TestResult,
+};
+pub use gof::{chi2_sf, ks_sf, normal_sf};
 pub use histogram::Histogram;
 pub use online::OnlineStats;
 pub use quantiles::{median, quantile};

@@ -26,17 +26,23 @@
 //!   measurement;
 //! * [`stats`] (`pp-stats`) — the numerical substrate.
 //!
-//! # Three engine tiers
+//! # Four engine tiers, two equivalence contracts
 //!
-//! The workspace ships three behaviour-equivalent simulators. The generic
-//! agent-based [`Simulator`](pp_engine::Simulator) is the reference: any
-//! topology, any state type, per-agent measurements (fairness,
-//! trajectories, adversarial shocks). The packed
+//! The workspace ships four behaviour-equivalent simulators under two
+//! contracts. **Bit-exact tier:** the generic agent-based
+//! [`Simulator`](pp_engine::Simulator) is the reference — any topology,
+//! any state type, per-agent measurements (fairness, trajectories,
+//! adversarial shocks) — and the packed
 //! [`PackedSimulator`](pp_engine::PackedSimulator) runs the same dynamics
 //! — bit-for-bit identical trajectories under a shared seed — over `u32`
 //! packed states with the protocol, topology ([`Csr`](pp_graph::Csr) or
-//! arithmetic), and RNG all statically dispatched; it is the engine for
-//! *general-graph* experiments at `n ≥ 10⁵`. The count-based
+//! arithmetic), and RNG all statically dispatched. **Statistical tier**
+//! (same process distribution, verified by the
+//! [`pp_stats::equivalence`](pp_stats::equivalence) harness rather than
+//! trajectory equality): the [`TurboSimulator`](pp_engine::TurboSimulator)
+//! replaces the sequential RNG with counter-based per-step randomness —
+//! branch-free, rejection-free, optionally `u8`-stored — for general-graph
+//! runs past the exact engines' serial-stream ceiling, and the count-based
 //! [`DenseSimulator`](pp_dense::DenseSimulator) applies only on the
 //! complete graph, advancing the `(colour, shade)` count matrix in
 //! τ-leaped batches, `O(k²/(ε·n))` amortised per step — use it for
@@ -109,6 +115,7 @@ pub mod prelude {
     pub use pp_dense::{CountConfig, CountProtocol, DenseSimulator};
     pub use pp_engine::{
         replicate, sweep_grid, PackedProtocol, PackedSimulator, Population, Protocol, Simulator,
+        TurboSimulator,
     };
     pub use pp_graph::{Complete, Csr, Cycle, Topology, Torus2d};
 }
