@@ -11,7 +11,7 @@ use crate::experiments::Report;
 use crate::runner::{EngineKind, Preset};
 use pp_core::{init, ConfigStats, Diversification, Weights};
 use pp_dense::{CountConfig, DenseSimulator};
-use pp_engine::{replicate, Simulator, TurboSimulator};
+use pp_engine::{replicate, ShardedSimulator, Simulator, TurboSimulator};
 use pp_graph::Complete;
 use pp_stats::{loglog_fit, median, table::fmt_f64, Table};
 
@@ -57,6 +57,19 @@ pub fn spread_time_with(engine: EngineKind, n: usize, seed: u64) -> Option<u64> 
         EngineKind::Turbo => {
             let states = init::all_dark_single_minority(n, &weights);
             let mut sim = TurboSimulator::<_, _, u8>::new(
+                Diversification::new(weights),
+                Complete::new(n),
+                &states,
+                seed,
+            );
+            sim.run_until(budget, check, |words, _| {
+                let stats = pp_core::packed::config_stats_from_words(words, 2);
+                stats.colour_count(1) >= n / 4
+            })
+        }
+        EngineKind::Sharded => {
+            let states = init::all_dark_single_minority(n, &weights);
+            let mut sim = ShardedSimulator::<_, _, u8>::new(
                 Diversification::new(weights),
                 Complete::new(n),
                 &states,

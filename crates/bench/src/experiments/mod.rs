@@ -65,6 +65,21 @@ pub fn diversity_error_for_with(engine: EngineKind, n: usize, weights: &Weights,
                 });
             }
         }
+        EngineKind::Sharded => {
+            if pp_core::packed::fits_u8(k) {
+                let mut sim = crate::runner::converged_sharded_simulator::<u8>(n, weights, seed);
+                sim.run_observed(window, stride, |_, words| {
+                    let stats = pp_core::packed::config_stats_from_words(words, k);
+                    worst = worst.max(stats.max_diversity_error(weights));
+                });
+            } else {
+                let mut sim = crate::runner::converged_sharded_simulator::<u32>(n, weights, seed);
+                sim.run_observed(window, stride, |_, words| {
+                    let stats = pp_core::packed::config_stats_from_words(words, k);
+                    worst = worst.max(stats.max_diversity_error(weights));
+                });
+            }
+        }
     }
     worst
 }

@@ -98,6 +98,24 @@ pub fn run(preset: Preset, seed: u64) -> Report {
             // shock phases, which mutate per-agent states.
             sim.run(burn);
         }
+        EngineKind::Sharded => {
+            let mut sharded_sim = pp_engine::ShardedSimulator::<_, _, u8>::new(
+                Diversification::new(weights.clone()),
+                pp_graph::Complete::new(n),
+                &states,
+                seed,
+            );
+            sharded_sim.run_observed(burn, n as u64, |_, words| {
+                let stats = pp_core::packed::config_stats_from_words(words, k);
+                for i in 0..4 {
+                    min_live_dark = min_live_dark.min(stats.dark_count(i));
+                }
+                resurrect |= stats.colour_count(4) > 0;
+            });
+            // Bring the agent-based simulator to the same point for the
+            // shock phases, which mutate per-agent states.
+            sim.run(burn);
+        }
     }
     table.row([
         format!("phase A: plain run ({engine:?} engine)"),

@@ -14,9 +14,9 @@
 //! `n = 1024` ceiling to `n = 65 536` at full preset.
 
 use crate::experiments::Report;
-use crate::runner::{standard_weights, Preset};
+use crate::runner::{standard_weights, EngineKind, Preset};
 use pp_core::{init, packed::config_stats_from_packed, Diversification, Weights};
-use pp_engine::{sweep_grid, PackedSimulator};
+use pp_engine::{sweep_grid, PackedSimulator, ShardedSimulator};
 use pp_graph::{
     erdos_renyi, random_regular, watts_strogatz, Complete, Csr, Cycle, Hypercube, Topology, Torus2d,
 };
@@ -46,10 +46,19 @@ impl FastTopo {
         }
     }
 
-    /// Window-max diversity error after the fixed budget, on the packed
-    /// engine (dispatching once per *run*, not once per interaction).
+    /// Window-max diversity error after the fixed budget. Runs on the
+    /// packed engine by default (dispatching once per *run*, not once per
+    /// interaction); `PP_ENGINE=sharded` reroutes every family onto the
+    /// graph-partitioned engine, which uses the machine's cores for each
+    /// single run instead of only fanning seeds.
     fn error_on(&self, weights: &Weights, seed: u64) -> f64 {
+        let sharded = EngineKind::from_env() == EngineKind::Sharded;
         match self.clone() {
+            FastTopo::Complete(t) if sharded => error_on_sharded(t, weights, seed),
+            FastTopo::Csr(t) if sharded => error_on_sharded(t, weights, seed),
+            FastTopo::Hypercube(t) if sharded => error_on_sharded(t, weights, seed),
+            FastTopo::Torus(t) if sharded => error_on_sharded(t, weights, seed),
+            FastTopo::Cycle(t) if sharded => error_on_sharded(t, weights, seed),
             FastTopo::Complete(t) => error_on_packed(t, weights, seed),
             FastTopo::Csr(t) => error_on_packed(t, weights, seed),
             FastTopo::Hypercube(t) => error_on_packed(t, weights, seed),
@@ -59,11 +68,52 @@ impl FastTopo {
     }
 }
 
-/// Window-max diversity error on one topology after a `30·n·ln n` budget,
-/// sampled over a `2·n·ln n` trailing window.
+/// The engine surface the shared budget/window driver needs; implemented
+/// for both fast-tier engines so the experiment's burn-in, window, and
+/// stride live in exactly one place ([`windowed_error`]).
+trait ErrorEngine {
+    fn burn(&mut self, steps: u64);
+    fn observe(&mut self, steps: u64, stride: u64, f: &mut dyn FnMut(&[u32]));
+}
+
+impl<P: pp_engine::PackedProtocol, T: Topology> ErrorEngine for PackedSimulator<P, T> {
+    fn burn(&mut self, steps: u64) {
+        self.run(steps);
+    }
+
+    fn observe(&mut self, steps: u64, stride: u64, f: &mut dyn FnMut(&[u32])) {
+        self.run_observed(steps, stride, |_, packed| f(packed));
+    }
+}
+
+impl<P: pp_engine::PackedProtocol, T: Topology> ErrorEngine for ShardedSimulator<P, T, u8> {
+    fn burn(&mut self, steps: u64) {
+        self.run(steps);
+    }
+
+    fn observe(&mut self, steps: u64, stride: u64, f: &mut dyn FnMut(&[u32])) {
+        self.run_observed(steps, stride, |_, packed| f(packed));
+    }
+}
+
+/// Window-max diversity error after a `30·n·ln n` budget, sampled over a
+/// `2·n·ln n` trailing window — one definition shared by both engine
+/// arms, so a budget or observable change cannot drift between them.
+fn windowed_error(sim: &mut dyn ErrorEngine, n: usize, weights: &Weights) -> f64 {
+    let k = weights.len();
+    let nln = n as f64 * (n as f64).ln();
+    sim.burn((30.0 * nln) as u64);
+    let mut worst: f64 = 0.0;
+    sim.observe((2.0 * nln) as u64, (n as u64 / 2).max(1), &mut |packed| {
+        let stats = config_stats_from_packed(packed, k);
+        worst = worst.max(stats.max_diversity_error(weights));
+    });
+    worst
+}
+
+/// [`windowed_error`] on the packed fast path.
 fn error_on_packed<T: Topology>(topology: T, weights: &Weights, seed: u64) -> f64 {
     let n = topology.len();
-    let k = weights.len();
     let states = init::all_dark_balanced(n, weights);
     let mut sim = PackedSimulator::new(
         Diversification::new(weights.clone()),
@@ -71,14 +121,21 @@ fn error_on_packed<T: Topology>(topology: T, weights: &Weights, seed: u64) -> f6
         &states,
         seed,
     );
-    let nln = n as f64 * (n as f64).ln();
-    sim.run((30.0 * nln) as u64);
-    let mut worst: f64 = 0.0;
-    sim.run_observed((2.0 * nln) as u64, (n as u64 / 2).max(1), |_, packed| {
-        let stats = config_stats_from_packed(packed, k);
-        worst = worst.max(stats.max_diversity_error(weights));
-    });
-    worst
+    windowed_error(&mut sim, n, weights)
+}
+
+/// [`windowed_error`] on the graph-partitioned engine (`u8` storage,
+/// `k = 4` fits a byte): the same budget and window, multi-core per run.
+fn error_on_sharded<T: Topology>(topology: T, weights: &Weights, seed: u64) -> f64 {
+    let n = topology.len();
+    let states = init::all_dark_balanced(n, weights);
+    let mut sim = ShardedSimulator::<_, _, u8>::new(
+        Diversification::new(weights.clone()),
+        topology,
+        &states,
+        seed,
+    );
+    windowed_error(&mut sim, n, weights)
 }
 
 /// Samples an ER graph with average degree `avg_deg`, retrying (with a
@@ -171,9 +228,13 @@ pub fn run(preset: Preset, seed: u64) -> Report {
          (diameter Θ(n) vs Θ(1)) — the trade-off the future-work section anticipates.",
         cycle_err / base
     ));
+    let engine_note = if EngineKind::from_env() == EngineKind::Sharded {
+        "ShardedSimulator (graph-partitioned multi-core, u8 states, PP_ENGINE=sharded)"
+    } else {
+        "PackedSimulator (u32 packed states, monomorphized per family, CSR for the random graphs)"
+    };
     report.note(format!(
-        "engine: PackedSimulator (u32 packed states, monomorphized per family, CSR for the \
-         random graphs), {} (family × seed) runs through one work-stealing pool.",
+        "engine: {engine_note}, {} (family × seed) runs through one work-stealing pool.",
         families.len() as u64 * reps
     ));
     report

@@ -4,7 +4,7 @@ use pp_core::{
     init, packed::config_stats_from_words, region::GoodSet, ConfigStats, Diversification, Weights,
 };
 use pp_dense::{CountConfig, DenseSimulator};
-use pp_engine::{Simulator, TurboSimulator};
+use pp_engine::{ShardedSimulator, Simulator, TurboSimulator};
 use pp_graph::Complete;
 
 /// Experiment scale: `Quick` presets finish in seconds (used by
@@ -54,11 +54,17 @@ pub enum EngineKind {
     /// equivalent to the agent engine; verified by the `pp-stats`
     /// harness.
     Turbo,
+    /// Graph-partitioned multi-core engine (`ShardedSimulator`): turbo's
+    /// counter-based scheduling, node set split across per-core shards,
+    /// boundary interactions merged deterministically between blocks.
+    /// Statistical tier, verified by the `pp-stats` harness.
+    Sharded,
 }
 
 impl EngineKind {
     /// Reads the engine from the environment: `PP_ENGINE=agent` forces the
     /// per-agent engine, `PP_ENGINE=turbo` the relaxed-equivalence turbo
+    /// engine, `PP_ENGINE=sharded` the graph-partitioned multi-core
     /// engine, and `PP_ENGINE=dense` (or unset) selects the dense engine —
     /// the default for complete-graph experiments.
     ///
@@ -71,8 +77,11 @@ impl EngineKind {
             Ok(v) if v.eq_ignore_ascii_case("agent") => EngineKind::Agent,
             Ok(v) if v.eq_ignore_ascii_case("dense") => EngineKind::Dense,
             Ok(v) if v.eq_ignore_ascii_case("turbo") => EngineKind::Turbo,
+            Ok(v) if v.eq_ignore_ascii_case("sharded") => EngineKind::Sharded,
             Err(_) => EngineKind::Dense,
-            Ok(v) => panic!("PP_ENGINE must be `agent`, `dense`, or `turbo`, got `{v}`"),
+            Ok(v) => {
+                panic!("PP_ENGINE must be `agent`, `dense`, `turbo`, or `sharded`, got `{v}`")
+            }
         }
     }
 }
@@ -157,6 +166,30 @@ pub fn convergence_time_with(
                 })
             }
         }
+        EngineKind::Sharded => {
+            let states = init::all_dark_single_minority(n, weights);
+            if pp_core::packed::fits_u8(k) {
+                let mut sim = ShardedSimulator::<_, _, u8>::new(
+                    Diversification::new(weights.clone()),
+                    Complete::new(n),
+                    &states,
+                    seed,
+                );
+                sim.run_until(max_steps, check, |words, _| {
+                    good.contains(&config_stats_from_words(words, k))
+                })
+            } else {
+                let mut sim = ShardedSimulator::<_, _, u32>::new(
+                    Diversification::new(weights.clone()),
+                    Complete::new(n),
+                    &states,
+                    seed,
+                );
+                sim.run_until(max_steps, check, |words, _| {
+                    good.contains(&config_stats_from_words(words, k))
+                })
+            }
+        }
     }
 }
 
@@ -223,6 +256,33 @@ pub fn converged_turbo_simulator<W: pp_engine::TurboWord>(
     sim
 }
 
+/// The sharded-engine counterpart of [`converged_simulator`]: balanced
+/// all-dark start, run past the Theorem 1.3 budget on the
+/// graph-partitioned engine (threads from the shared pool budget).
+/// Callers pick the storage word like for
+/// [`converged_turbo_simulator`]: `u8` when
+/// [`pp_core::packed::fits_u8`] holds, `u32` otherwise.
+///
+/// # Panics
+///
+/// Panics if a packed state overflows the chosen storage word `W`.
+pub fn converged_sharded_simulator<W: pp_engine::TurboWord>(
+    n: usize,
+    weights: &Weights,
+    seed: u64,
+) -> ShardedSimulator<Diversification, Complete, W> {
+    let states = init::all_dark_balanced(n, weights);
+    let mut sim = ShardedSimulator::<_, _, W>::new(
+        Diversification::new(weights.clone()),
+        Complete::new(n),
+        &states,
+        seed,
+    );
+    let budget = pp_core::theory::convergence_budget(n, weights.total(), 4.0);
+    sim.run(budget);
+    sim
+}
+
 /// The weight table used by most experiments: `k = 4`, weights `(1, 1, 2, 4)`
 /// (total `w = 8`) — small enough for fast runs, skewed enough that weighted
 /// fair shares differ visibly from uniform.
@@ -244,7 +304,12 @@ mod tests {
     fn convergence_time_is_finite_at_small_n() {
         let w = standard_weights();
         let budget = pp_core::theory::convergence_budget(256, w.total(), 50.0);
-        for engine in [EngineKind::Agent, EngineKind::Dense, EngineKind::Turbo] {
+        for engine in [
+            EngineKind::Agent,
+            EngineKind::Dense,
+            EngineKind::Turbo,
+            EngineKind::Sharded,
+        ] {
             let t = convergence_time_with(engine, 256, &w, 0.5, 7, budget);
             assert!(
                 t.is_some(),
@@ -294,6 +359,15 @@ mod tests {
     }
 
     #[test]
+    fn converged_sharded_simulator_is_near_fair_share() {
+        let w = standard_weights();
+        let sim = converged_sharded_simulator::<u8>(512, &w, 3);
+        let stats = pp_core::packed::config_stats_from_words(&sim.states_packed(), w.len());
+        assert!(stats.max_diversity_error(&w) < 0.12);
+        assert!(stats.all_colours_alive());
+    }
+
+    #[test]
     fn converged_dense_simulator_is_near_fair_share() {
         let w = standard_weights();
         let sim = converged_dense_simulator(512, &w, 3);
@@ -305,7 +379,12 @@ mod tests {
     #[test]
     fn tiny_budget_times_out() {
         let w = standard_weights();
-        for engine in [EngineKind::Agent, EngineKind::Dense, EngineKind::Turbo] {
+        for engine in [
+            EngineKind::Agent,
+            EngineKind::Dense,
+            EngineKind::Turbo,
+            EngineKind::Sharded,
+        ] {
             assert_eq!(convergence_time_with(engine, 256, &w, 0.05, 7, 10), None);
         }
     }

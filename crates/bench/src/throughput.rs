@@ -1,5 +1,6 @@
-//! Engine throughput comparison across the three tiers: generic agent
-//! engine, packed general-graph fast path, count-based dense engine.
+//! Engine throughput comparison across the engine tiers: generic agent
+//! engine, packed general-graph fast path, turbo counter-based engine,
+//! graph-partitioned sharded engine, count-based dense engine.
 //!
 //! Part 1 runs the Diversification protocol on the complete graph with the
 //! generic and dense engines across population sizes. The dense engine's
@@ -12,13 +13,18 @@
 //! as the topology experiments used it (`Box<dyn Topology>` dispatch per
 //! partner draw) versus [`PackedSimulator`] (bit-exact fast path) versus
 //! [`TurboSimulator`] (counter-based relaxed-equivalence engine, `u8`
-//! states) on ring, torus, and random-regular graphs at `n = 10⁵`.
+//! states) versus [`ShardedSimulator`] (graph-partitioned multi-core) on
+//! ring, torus, and random-regular graphs at `n = 10⁵`.
+//!
+//! Part 3 is the multi-core acceptance row: turbo vs sharded at
+//! `n = 10⁶` on the torus, with the sharded/turbo ratio and the core
+//! count recorded in the notes (the CI jobs surface it per runner).
 
 use crate::experiments::Report;
 use crate::runner::{standard_weights, Preset};
 use pp_core::{init, Diversification};
 use pp_dense::{CountConfig, DenseSimulator};
-use pp_engine::{PackedSimulator, Simulator, TurboSimulator};
+use pp_engine::{pool, PackedSimulator, ShardedSimulator, Simulator, TurboSimulator};
 use pp_graph::{random_regular, Complete, Cycle, Topology, Torus2d};
 use pp_stats::{table::fmt_f64, Table};
 use rand::rngs::StdRng;
@@ -136,44 +142,77 @@ pub fn measure_turbo_graph<T: Topology>(topology: T, seed: u64, budget_secs: f64
     measure_loop(n as u64, budget_secs, |b| sim.run(b))
 }
 
-/// One general-graph engine comparison: generic-dyn vs packed vs turbo on
-/// the same topology. Returns `(agent, packed, turbo)`.
-pub fn measure_graph_trio<T: Topology + Clone + 'static>(
+/// Times the graph-partitioned sharded engine on the same workload:
+/// default shard/block layout (one shard per core, capped by population),
+/// worker threads from the shared pool budget, `u8` state storage.
+pub fn measure_sharded_graph<T: Topology>(topology: T, seed: u64, budget_secs: f64) -> Measurement {
+    let weights = standard_weights();
+    let n = topology.len();
+    let states = init::all_dark_balanced(n, &weights);
+    let mut sim =
+        ShardedSimulator::<_, _, u8>::new(Diversification::new(weights), topology, &states, seed);
+    measure_loop(n as u64, budget_secs, |b| sim.run(b))
+}
+
+/// One general-graph engine comparison: generic-dyn vs packed vs turbo vs
+/// sharded on the same topology. Returns
+/// `(agent, packed, turbo, sharded)`.
+#[allow(clippy::type_complexity)]
+pub fn measure_graph_quartet<T: Topology + Clone + 'static>(
     topology: T,
     seed: u64,
     budget_secs: f64,
-) -> (Measurement, Measurement, Measurement) {
+) -> (Measurement, Measurement, Measurement, Measurement) {
     let agent = measure_agent_graph(Box::new(topology.clone()), seed, budget_secs);
     let packed = measure_packed_graph(topology.clone(), seed, budget_secs);
-    let turbo = measure_turbo_graph(topology, seed, budget_secs);
-    (agent, packed, turbo)
+    let turbo = measure_turbo_graph(topology.clone(), seed, budget_secs);
+    let sharded = measure_sharded_graph(topology, seed, budget_secs);
+    (agent, packed, turbo, sharded)
 }
 
 /// Runs the general-graph engine comparison at `n = 10⁵`: ring, torus,
-/// and random-regular (CSR), generic-dyn vs packed vs turbo. Returns
-/// `(name, agent, packed, turbo)` rows.
+/// and random-regular (CSR), generic-dyn vs packed vs turbo vs sharded.
+/// Returns `(name, agent, packed, turbo, sharded)` rows.
 #[allow(clippy::type_complexity)]
 pub fn run_graph_suite(
     seed: u64,
     budget_secs: f64,
-) -> Vec<(String, Measurement, Measurement, Measurement)> {
+) -> Vec<(String, Measurement, Measurement, Measurement, Measurement)> {
     let n = 100_000;
     let mut rng = StdRng::seed_from_u64(seed);
     let regular = random_regular(n, 8, &mut rng);
     let mut out = Vec::new();
-    let (a, p, t) = measure_graph_trio(Cycle::new(n), seed, budget_secs);
-    out.push(("ring".to_string(), a, p, t));
-    let (a, p, t) = measure_graph_trio(Torus2d::new(250, 400), seed, budget_secs);
-    out.push(("torus".to_string(), a, p, t));
+    let (a, p, t, s) = measure_graph_quartet(Cycle::new(n), seed, budget_secs);
+    out.push(("ring".to_string(), a, p, t, s));
+    let (a, p, t, s) = measure_graph_quartet(Torus2d::new(250, 400), seed, budget_secs);
+    out.push(("torus".to_string(), a, p, t, s));
     // The generic baseline runs the builder representation (`Vec<Vec>`
-    // adjacency) t10 used before this fast path existed; packed and turbo
+    // adjacency) t10 used before this fast path existed; the fast tiers
     // run its CSR lowering.
     let agent = measure_agent_graph(Box::new(regular.clone()), seed, budget_secs);
     let csr = regular.to_csr();
     let packed = measure_packed_graph(csr.clone(), seed, budget_secs);
-    let turbo = measure_turbo_graph(csr, seed, budget_secs);
-    out.push(("random-regular(d=8)".to_string(), agent, packed, turbo));
+    let turbo = measure_turbo_graph(csr.clone(), seed, budget_secs);
+    let sharded = measure_sharded_graph(csr, seed, budget_secs);
+    out.push((
+        "random-regular(d=8)".to_string(),
+        agent,
+        packed,
+        turbo,
+        sharded,
+    ));
     out
+}
+
+/// The turbo-vs-sharded comparison at `n = 10⁶` on the torus — the scale
+/// of the multi-core acceptance target (`sharded ≥ 1.5× turbo on ≥ 2
+/// cores`; single-core fallback within 0.9× of turbo). Returns
+/// `(turbo, sharded)`.
+pub fn run_sharded_scale(seed: u64, budget_secs: f64) -> (Measurement, Measurement) {
+    let topology = Torus2d::new(1_000, 1_000);
+    let turbo = measure_turbo_graph(topology, seed, budget_secs);
+    let sharded = measure_sharded_graph(topology, seed, budget_secs);
+    (turbo, sharded)
 }
 
 /// Runs the engine comparison.
@@ -264,7 +303,7 @@ pub fn run(preset: Preset, seed: u64) -> Report {
     // Part 2: the general-graph engines, on the topologies the t10
     // experiments sweep.
     let graph_budget = preset.pick(0.15, 0.6);
-    for (name, agent, packed, turbo) in run_graph_suite(seed, graph_budget) {
+    for (name, agent, packed, turbo, sharded) in run_graph_suite(seed, graph_budget) {
         table.row([
             "100000".to_string(),
             format!("agent-dyn {name}"),
@@ -298,16 +337,56 @@ pub fn run(preset: Preset, seed: u64) -> Report {
             "-".to_string(),
             "-".to_string(),
         ]);
+        let sharded_speedup = sharded.steps_per_second() / agent.steps_per_second();
+        let sharded_vs_turbo = sharded.steps_per_second() / turbo.steps_per_second();
+        table.row([
+            "100000".to_string(),
+            format!("sharded {name}"),
+            sharded.steps.to_string(),
+            fmt_f64(sharded.seconds),
+            fmt_f64(sharded.steps_per_second() / 1e6),
+            fmt_f64(sharded_speedup),
+            "-".to_string(),
+            "-".to_string(),
+        ]);
         notes.push(format!(
-            "{name} @ n = 10^5: turbo {:.3e} vs packed {:.3e} vs agent-dyn {:.3e} steps/s (turbo/packed {vs_packed:.2}x, packed/agent {speedup:.2}x)",
+            "{name} @ n = 10^5: sharded {:.3e} vs turbo {:.3e} vs packed {:.3e} vs agent-dyn {:.3e} steps/s \
+             (sharded/turbo {sharded_vs_turbo:.2}x, turbo/packed {vs_packed:.2}x, packed/agent {speedup:.2}x)",
+            sharded.steps_per_second(),
             turbo.steps_per_second(),
             packed.steps_per_second(),
             agent.steps_per_second(),
         ));
     }
 
+    // Part 3: the multi-core acceptance scale — turbo vs sharded at
+    // n = 10⁶ on the torus, with however many cores this runner grants.
+    {
+        let (turbo, sharded) = run_sharded_scale(seed, preset.pick(0.3, 1.0));
+        let ratio = sharded.steps_per_second() / turbo.steps_per_second();
+        for (engine, m) in [("turbo", &turbo), ("sharded", &sharded)] {
+            table.row([
+                "1000000".to_string(),
+                format!("{engine} torus"),
+                m.steps.to_string(),
+                fmt_f64(m.seconds),
+                fmt_f64(m.steps_per_second() / 1e6),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+        }
+        notes.push(format!(
+            "torus @ n = 10^6: sharded {:.3e} vs turbo {:.3e} steps/s (sharded/turbo {ratio:.2}x \
+             on {} available core(s); target ≥ 1.5x on ≥ 2 cores, ≥ 0.9x single-core fallback)",
+            sharded.steps_per_second(),
+            turbo.steps_per_second(),
+            pool::parallelism(),
+        ));
+    }
+
     let mut report = Report::new(
-        "throughput (Diversification; complete graph: agent vs dense; general graphs: agent-dyn vs packed vs turbo; weights = (1,1,2,4))",
+        "throughput (Diversification; complete graph: agent vs dense; general graphs: agent-dyn vs packed vs turbo vs sharded; weights = (1,1,2,4))",
         table,
     );
     for note in notes {
@@ -358,10 +437,11 @@ mod tests {
         // suite asserts progress only, and the CI throughput job records
         // the full numbers on every run.
         let assert_ratio = !cfg!(debug_assertions) && std::env::var("PP_PERF_ASSERT").is_ok();
-        for (name, agent, packed, turbo) in run_graph_suite(5, 0.15) {
+        for (name, agent, packed, turbo, sharded) in run_graph_suite(5, 0.15) {
             assert!(agent.steps > 0, "{name}: agent engine made no progress");
             assert!(packed.steps > 0, "{name}: packed engine made no progress");
             assert!(turbo.steps > 0, "{name}: turbo engine made no progress");
+            assert!(sharded.steps > 0, "{name}: sharded engine made no progress");
             if assert_ratio {
                 let floor = 1.15;
                 let speedup = packed.steps_per_second() / agent.steps_per_second();

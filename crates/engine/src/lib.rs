@@ -63,10 +63,12 @@
 #![warn(missing_docs)]
 
 pub mod packed;
+pub mod pool;
 pub mod population;
 pub mod protocol;
 pub mod replicate;
 pub mod rounds;
+pub mod sharded;
 pub mod simulator;
 pub mod sweep;
 pub mod turbo;
@@ -75,6 +77,7 @@ pub use packed::{PackedProtocol, PackedSimulator, MAX_PACKED_OBSERVATIONS};
 pub use population::Population;
 pub use protocol::Protocol;
 pub use replicate::replicate;
+pub use sharded::ShardedSimulator;
 pub use simulator::Simulator;
 pub use sweep::sweep_grid;
 pub use turbo::{TurboSimulator, TurboWord};

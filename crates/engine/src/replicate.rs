@@ -1,5 +1,6 @@
 //! Parallel independent-seed replication.
 
+use crate::pool;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `f(seed)` for every seed, in parallel across available cores, and
@@ -16,6 +17,12 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 /// complete-graph run in the topology sweeps — chunking leaves threads idle
 /// behind the slowest chunk, while stealing keeps all cores busy until the
 /// queue drains. Results are still returned in seed order.
+///
+/// Worker threads come from the crate-wide [`pool`] budget and the calling
+/// thread claims seeds alongside them, so nested parallelism — a
+/// [`ShardedSimulator`](crate::ShardedSimulator) run inside a seed
+/// closure, or a `replicate` inside a `sweep_grid` cell — degrades to
+/// inline execution instead of oversubscribing the machine.
 ///
 /// # Examples
 ///
@@ -34,31 +41,29 @@ where
     if seeds.is_empty() {
         return Vec::new();
     }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
-        .min(seeds.len());
-    if threads == 1 {
+    let lease = pool::lease(seeds.len().saturating_sub(1).min(pool::parallelism() - 1));
+    if lease.workers() == 0 {
         return seeds.into_iter().map(f).collect();
     }
     let next = AtomicUsize::new(0);
     let (f, seeds_ref, next_ref) = (&f, &seeds[..], &next);
+    let claim_loop = move || {
+        let mut local = Vec::new();
+        loop {
+            let i = next_ref.fetch_add(1, Ordering::Relaxed);
+            let Some(&seed) = seeds_ref.get(i) else {
+                return local;
+            };
+            local.push((i, f(seed)));
+        }
+    };
     let mut indexed: Vec<(usize, R)> = Vec::with_capacity(seeds.len());
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..threads)
-            .map(|_| {
-                scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = next_ref.fetch_add(1, Ordering::Relaxed);
-                        let Some(&seed) = seeds_ref.get(i) else {
-                            return local;
-                        };
-                        local.push((i, f(seed)));
-                    }
-                })
-            })
+        let handles: Vec<_> = (0..lease.workers())
+            .map(|_| scope.spawn(claim_loop))
             .collect();
+        // The caller works the same claim queue instead of idling.
+        indexed.extend(claim_loop());
         for h in handles {
             indexed.extend(h.join().expect("replicate worker panicked"));
         }
@@ -105,6 +110,19 @@ mod tests {
         let seeds = [5u64, 1, 9, 9, 2];
         let out = replicate(seeds, |s| s);
         assert_eq!(out, seeds);
+    }
+
+    #[test]
+    fn nested_replicate_degrades_to_inline() {
+        // An inner replicate inside a seed closure must not multiply
+        // thread counts: whatever the outer call leased, inner calls see a
+        // reduced budget and still return correct, ordered results.
+        let out = replicate(0..8, |s| {
+            let inner = replicate(0..4, move |t| s * 10 + t);
+            assert_eq!(inner, (0..4).map(|t| s * 10 + t).collect::<Vec<_>>());
+            s
+        });
+        assert_eq!(out, (0..8).collect::<Vec<_>>());
     }
 
     #[test]

@@ -1,0 +1,1096 @@
+//! The graph-partitioned multi-core engine.
+//!
+//! Every engine tier so far runs one simulation on one thread;
+//! [`replicate`](crate::replicate) only parallelises *across* seeds. This
+//! module parallelises a **single run**: the node set is split into
+//! shards by a [`Partition`] (contiguous ranges for geometric numberings,
+//! index-striped for the complete graph — each topology picks via
+//! [`Topology::preferred_partition`]), and the shards step concurrently.
+//!
+//! # Scheduling contract
+//!
+//! The engine keeps the turbo tier's counter-based scheduling **exactly**:
+//! one global SplitMix64 Weyl walk assigns each time-step `t` a uniform
+//! agent via a multiply-shift draw. Every shard scans the same walk and
+//! processes the steps whose scheduled agent it owns — so the activation
+//! sequence (which agent acts at which step) has the same distribution as
+//! the sequential engines', including the multinomial split of any window
+//! of steps across shards. Owned steps draw their partner and transition
+//! entropy from a per-shard stream keyed `(seed, shard, block)`
+//! ([`CounterRng::for_shard`]), so shards never contend for randomness
+//! and the whole trajectory is a pure function of
+//! `(protocol, topology, initial states, seed, shards, block)` —
+//! **independent of how many threads execute it**.
+//!
+//! # Boundary reconciliation
+//!
+//! A shard applies an interaction immediately only when the scheduled
+//! agent *and* every observed partner are shard-local. Cross-shard
+//! interactions cannot read remote state mid-block (the owner may be
+//! mid-write), so they are queued — `(step offset, agent, partners,
+//! entropy)` — and applied between blocks in one deterministic merge,
+//! ordered by global step position (offsets are unique: each step has one
+//! owner). The relaxation is therefore a bounded *reordering*: within one
+//! block of `B` steps, cross-shard interactions execute after the block's
+//! local ones, each delayed by less than `B` steps, i.e. less than `B/n`
+//! parallel rounds. With the default block (`B ≤ n/16`) that is a ≤ 1/16
+//! round perturbation carried by the cut fraction
+//! ([`Partition::cross_edge_fraction`]) of interactions — on partitioned
+//! geometric families (rings, tori) the cut is `O(shards/√n)` and the
+//! bias is orders of magnitude below the statistical harness's
+//! resolution; on expanders and the complete graph the cut approaches
+//! `(shards−1)/shards`, which keeps the engine *correct* (verified by
+//! `tests/sharded_equivalence.rs`) but serialises most interactions
+//! through the merge — prefer turbo there. Total interaction counts are
+//! preserved exactly: every scheduled step executes exactly once, local
+//! or merged.
+//!
+//! # Threads
+//!
+//! `run` leases workers from the crate-wide [`pool`] budget — nested use
+//! (a sharded run inside `replicate`) degrades to single-threaded inline
+//! execution instead of oversubscribing. Workers are spawned **once per
+//! `run` call** and stay parked on channels across all of the run's
+//! blocks; shard state moves to a worker and back each block (two pointer
+//! moves), and the reconciliation merge runs on the calling thread while
+//! workers wait for the next block.
+
+use crate::packed::MAX_PACKED_OBSERVATIONS;
+use crate::pool;
+use crate::{PackedProtocol, Population, TurboWord};
+use pp_graph::{Partition, PartitionKind, Topology};
+use rand::rngs::{splitmix64, CounterRng, GOLDEN};
+use std::sync::mpsc::{channel, Receiver, Sender};
+
+/// A cross-shard interaction awaiting the block-boundary merge.
+#[derive(Debug, Clone, Copy)]
+struct Deferred {
+    /// Step position within the current block (unique across shards).
+    offset: u32,
+    /// Scheduled agent (global id).
+    agent: u32,
+    /// Observed partners (global ids); first `OBSERVATIONS` entries used.
+    partners: [u32; MAX_PACKED_OBSERVATIONS],
+    /// The step's last partner word: transition `aux` entropy, and the
+    /// parking spot of the step's fallback RNG stream.
+    entropy: u64,
+}
+
+/// One shard's state: the packed words of its members (in
+/// [`Partition::local_index`] order) plus its pending boundary queue.
+#[derive(Debug)]
+struct Shard<W> {
+    states: Vec<W>,
+    queue: Vec<Deferred>,
+}
+
+// Manual impl: `W` need not be `Default` for an empty shard to exist
+// (`std::mem::take` uses this as the hole left while a shard visits a
+// worker thread).
+impl<W> Default for Shard<W> {
+    fn default() -> Self {
+        Shard {
+            states: Vec::new(),
+            queue: Vec::new(),
+        }
+    }
+}
+
+/// A finished shard travelling back from a worker to the caller.
+type ShardReturn<W> = (usize, Shard<W>);
+
+/// One block's work order for one worker thread.
+struct Job<W> {
+    block_index: u64,
+    block_start: u64,
+    from: u64,
+    to: u64,
+    batch: Vec<(usize, Shard<W>)>,
+}
+
+/// The graph-partitioned parallel simulator.
+///
+/// Same scheduling model and state encoding as
+/// [`TurboSimulator`](crate::TurboSimulator) — counter-based randomness,
+/// packed `u32` protocol words in [`TurboWord`] storage — but the node
+/// set is partitioned and shard-local interaction blocks run in parallel,
+/// with cross-shard interactions applied in a deterministic merge between
+/// blocks (see the module docs for the exact contract). Statistical-tier
+/// engine: verified against the bit-exact engines by the `pp-stats`
+/// equivalence harness (`tests/sharded_equivalence.rs`).
+///
+/// # Examples
+///
+/// ```
+/// use pp_engine::{PackedProtocol, ShardedSimulator};
+/// use pp_graph::Cycle;
+/// use rand::Rng;
+///
+/// #[derive(Debug)]
+/// struct PackedVoter;
+///
+/// impl PackedProtocol for PackedVoter {
+///     type State = u8;
+///     fn pack(&self, s: &u8) -> u32 {
+///         *s as u32
+///     }
+///     fn unpack(&self, p: u32) -> u8 {
+///         p as u8
+///     }
+///     fn transition<R: Rng>(&self, _me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+///         observed[0]
+///     }
+///     fn name(&self) -> String {
+///         "packed-voter".into()
+///     }
+/// }
+///
+/// let states: Vec<u8> = (0..64).collect();
+/// let mut sim = ShardedSimulator::<_, _, u8>::new(PackedVoter, Cycle::new(64), &states, 7)
+///     .with_layout(4, 32);
+/// sim.run(10_000);
+/// assert_eq!(sim.step_count(), 10_000);
+/// ```
+#[derive(Debug)]
+pub struct ShardedSimulator<P: PackedProtocol, T: Topology, W: TurboWord = u32> {
+    protocol: P,
+    topology: T,
+    partition: Partition,
+    shards: Vec<Shard<W>>,
+    step: u64,
+    seed: u64,
+    /// Start of the global schedule walk (same derivation as the turbo
+    /// engine's); step `t`'s scheduling word is position `t` of the walk.
+    weyl_base: u64,
+    block: u64,
+    last_threads: usize,
+    double_count_boundary: bool,
+}
+
+/// Shard count `run` plans for by default: one per available core, but at
+/// least `MIN_NODES_PER_SHARD` nodes per shard — below that the per-block
+/// schedule scan and merge overheads outweigh any parallel win.
+fn auto_shards(n: usize) -> usize {
+    const MIN_NODES_PER_SHARD: usize = 4096;
+    pool::parallelism().min(n / MIN_NODES_PER_SHARD).max(1)
+}
+
+/// Default block length: short enough that the boundary-reordering window
+/// stays well under a parallel round, long enough to amortise the
+/// per-block hand-off (two channel moves per shard) and merge.
+fn auto_block(n: usize) -> u64 {
+    (n as u64 / 16).clamp(256, 16384)
+}
+
+impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
+    /// Creates a simulator at time-step 0 with the topology's preferred
+    /// partition layout, one shard per available core (capped so shards
+    /// stay large enough to be worth a thread), and the default block
+    /// length. Override with [`with_layout`](Self::with_layout).
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as
+    /// [`from_packed`](Self::from_packed).
+    pub fn new(protocol: P, topology: T, initial_states: &[P::State], seed: u64) -> Self {
+        let packed = initial_states.iter().map(|s| protocol.pack(s)).collect();
+        Self::from_packed(protocol, topology, packed, seed)
+    }
+
+    /// Creates a simulator from already-packed (`u32`) states, narrowing
+    /// them into `W` storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the number of states does not match the topology size,
+    /// the population is smaller than 2, `P::OBSERVATIONS` is 0 or above
+    /// [`MAX_PACKED_OBSERVATIONS`], the topology exceeds `u32::MAX` nodes,
+    /// or any packed state overflows the storage word `W`.
+    pub fn from_packed(protocol: P, topology: T, states: Vec<u32>, seed: u64) -> Self {
+        let n = states.len();
+        assert_eq!(
+            n,
+            topology.len(),
+            "population size {n} != topology size {}",
+            topology.len()
+        );
+        assert!(n >= 2, "population needs at least 2 agents");
+        assert!(
+            u32::try_from(n).is_ok(),
+            "sharded queues store node ids as u32; {n} agents is too many"
+        );
+        assert!(
+            (1..=MAX_PACKED_OBSERVATIONS).contains(&P::OBSERVATIONS),
+            "packed protocol must observe 1..={MAX_PACKED_OBSERVATIONS} agents, got {}",
+            P::OBSERVATIONS
+        );
+        let partition = Partition::new(n, auto_shards(n), topology.preferred_partition());
+        let mut sim = ShardedSimulator {
+            protocol,
+            topology,
+            partition,
+            shards: Vec::new(),
+            step: 0,
+            seed,
+            // Hashed, so related seeds start unrelated walks (same
+            // derivation as the turbo engine).
+            weyl_base: splitmix64(seed ^ 0xA076_1D64_78BD_642F),
+            block: auto_block(n),
+            last_threads: 1,
+            double_count_boundary: false,
+        };
+        sim.scatter(states);
+        sim
+    }
+
+    /// Overrides the shard count and block length (in time-steps). The
+    /// partition layout stays the topology's preferred kind; the
+    /// trajectory is a function of both parameters (and the seed), so
+    /// comparisons must fix them.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is 0 or exceeds the population, or if `block`
+    /// is 0 or above `u32::MAX` (queue offsets are stored as `u32`).
+    pub fn with_layout(mut self, shards: usize, block: u64) -> Self {
+        assert!(block > 0, "block length must be positive");
+        assert!(
+            block <= u32::MAX as u64,
+            "block length {block} overflows queue offsets"
+        );
+        assert_eq!(self.step, 0, "layout must be chosen before stepping");
+        let states = self.states_packed();
+        self.partition = Partition::new(
+            self.partition.len(),
+            shards,
+            self.topology.preferred_partition(),
+        );
+        self.block = block;
+        self.scatter(states);
+        self
+    }
+
+    /// Distributes packed global states into per-shard local arrays.
+    fn scatter(&mut self, states: Vec<u32>) {
+        let partition = &self.partition;
+        let mut shards: Vec<Shard<W>> = (0..partition.shards())
+            .map(|s| Shard {
+                states: Vec::with_capacity(partition.size(s)),
+                queue: Vec::new(),
+            })
+            .collect();
+        for (u, p) in states.into_iter().enumerate() {
+            shards[partition.shard_of(u)].states.push(W::narrow(p));
+        }
+        self.shards = shards;
+    }
+
+    /// Test-and-verification hook: when enabled, every boundary
+    /// interaction is applied **twice** in the reconciliation merge — the
+    /// canonical double-count bug of parallel simulators. The statistical
+    /// equivalence harness must reject a simulator with this flag set
+    /// (`tests/sharded_equivalence.rs` demonstrates rejection at
+    /// `p < 10⁻⁶`), which is the evidence that the harness would catch a
+    /// real reconciliation bug.
+    #[doc(hidden)]
+    pub fn inject_boundary_double_count(&mut self, enabled: bool) {
+        self.double_count_boundary = enabled;
+    }
+
+    /// Runs `steps` time-steps, taking worker threads from the shared
+    /// [`pool`] budget (single-threaded inline when none are free — same
+    /// trajectory either way).
+    pub fn run(&mut self, steps: u64) {
+        let want = self.partition.shards().min(pool::parallelism()) - 1;
+        let lease = pool::lease(want);
+        let threads = lease.workers() + 1;
+        self.run_with_threads(steps, threads);
+    }
+
+    /// [`run`](Self::run) with an explicit thread count, bypassing the
+    /// shared pool budget — for benchmarks and for tests of the
+    /// thread-count-independence contract. Capped at the shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads == 0`.
+    pub fn run_with_threads(&mut self, steps: u64, threads: usize) {
+        assert!(threads >= 1, "need at least the calling thread");
+        let threads = threads.min(self.partition.shards());
+        self.last_threads = threads;
+        let deadline = self.step + steps;
+        if threads == 1 {
+            self.run_inline(deadline);
+        } else {
+            self.run_threaded(deadline, threads);
+        }
+    }
+
+    /// The bounds of the segment starting at `step`: the enclosing
+    /// block's `(index, start)` and the segment end (block end or
+    /// deadline, whichever is first).
+    fn segment_bounds(&self, deadline: u64) -> (u64, u64, u64) {
+        let block_index = self.step / self.block;
+        let block_start = block_index * self.block;
+        let seg_end = deadline.min(block_start + self.block);
+        (block_index, block_start, seg_end)
+    }
+
+    fn run_inline(&mut self, deadline: u64) {
+        while self.step < deadline {
+            let (block_index, block_start, seg_end) = self.segment_bounds(deadline);
+            let ctx = SegmentCtx {
+                partition: &self.partition,
+                weyl_base: self.weyl_base,
+                seed: self.seed,
+                block_index,
+                block_start,
+                from: self.step,
+                to: seg_end,
+            };
+            for (s, shard) in self.shards.iter_mut().enumerate() {
+                process_segment(&self.protocol, &self.topology, s, shard, &ctx);
+            }
+            self.step = seg_end;
+            if self.step == block_start + self.block {
+                reconcile(
+                    &self.protocol,
+                    &self.partition,
+                    &mut self.shards,
+                    self.double_count_boundary,
+                );
+            }
+        }
+    }
+
+    fn run_threaded(&mut self, deadline: u64, threads: usize) {
+        // Split borrows so worker closures can hold the protocol,
+        // topology, and partition immutably while the caller moves shard
+        // state in and out of the channels.
+        let ShardedSimulator {
+            protocol,
+            topology,
+            partition,
+            shards,
+            step,
+            seed,
+            weyl_base,
+            block,
+            double_count_boundary,
+            ..
+        } = self;
+        let (protocol, topology, partition) = (&*protocol, &*topology, &*partition);
+        let (weyl_base, seed, block) = (*weyl_base, *seed, *block);
+        let nshards = partition.shards();
+        std::thread::scope(|scope| {
+            let (done_tx, done_rx): (Sender<ShardReturn<W>>, Receiver<ShardReturn<W>>) = channel();
+            let mut job_txs: Vec<Sender<Job<W>>> = Vec::with_capacity(threads - 1);
+            for _ in 1..threads {
+                let (job_tx, job_rx): (Sender<Job<W>>, Receiver<Job<W>>) = channel();
+                job_txs.push(job_tx);
+                let done_tx = done_tx.clone();
+                scope.spawn(move || {
+                    while let Ok(job) = job_rx.recv() {
+                        let ctx = SegmentCtx {
+                            partition,
+                            weyl_base,
+                            seed,
+                            block_index: job.block_index,
+                            block_start: job.block_start,
+                            from: job.from,
+                            to: job.to,
+                        };
+                        for (s, mut shard) in job.batch {
+                            process_segment(protocol, topology, s, &mut shard, &ctx);
+                            done_tx
+                                .send((s, shard))
+                                .expect("sharded caller hung up mid-run");
+                        }
+                    }
+                });
+            }
+            // Workers hold the only remaining senders: if one panics and
+            // drops its clone while the caller waits in `done_rx.recv()`,
+            // the channel must close so the caller fails fast instead of
+            // deadlocking on a result that will never arrive.
+            drop(done_tx);
+            while *step < deadline {
+                let block_index = *step / block;
+                let block_start = block_index * block;
+                let seg_end = deadline.min(block_start + block);
+                // Shards are dealt round-robin over threads; thread 0 is
+                // the caller. Hand remote batches out first so workers
+                // start while the caller does its own share.
+                let mut sent = 0usize;
+                for (k, job_tx) in job_txs.iter().enumerate() {
+                    let batch: Vec<(usize, Shard<W>)> = ((k + 1)..nshards)
+                        .step_by(threads)
+                        .map(|s| (s, std::mem::take(&mut shards[s])))
+                        .collect();
+                    sent += batch.len();
+                    job_tx
+                        .send(Job {
+                            block_index,
+                            block_start,
+                            from: *step,
+                            to: seg_end,
+                            batch,
+                        })
+                        .expect("sharded worker died");
+                }
+                let ctx = SegmentCtx {
+                    partition,
+                    weyl_base,
+                    seed,
+                    block_index,
+                    block_start,
+                    from: *step,
+                    to: seg_end,
+                };
+                for s in (0..nshards).step_by(threads) {
+                    process_segment(protocol, topology, s, &mut shards[s], &ctx);
+                }
+                for _ in 0..sent {
+                    let (s, shard) = done_rx.recv().expect("sharded worker died");
+                    shards[s] = shard;
+                }
+                *step = seg_end;
+                if *step == block_start + block {
+                    reconcile(protocol, partition, shards, *double_count_boundary);
+                }
+            }
+            drop(job_txs); // workers drain and exit; scope joins them
+        });
+    }
+
+    /// Runs until `pred(packed_states, step)` holds, checking every
+    /// `check_every` steps (and once before the first step), for at most
+    /// `max_steps` steps. Returns the step count at which the predicate
+    /// first held, or `None` on timeout.
+    ///
+    /// The observed states are gathered in global agent order; boundary
+    /// interactions of a block still in flight are pending until the
+    /// block completes (module docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every == 0`.
+    pub fn run_until(
+        &mut self,
+        max_steps: u64,
+        check_every: u64,
+        mut pred: impl FnMut(&[u32], u64) -> bool,
+    ) -> Option<u64> {
+        assert!(check_every > 0, "check_every must be positive");
+        let deadline = self.step + max_steps;
+        if pred(&self.states_packed(), self.step) {
+            return Some(self.step);
+        }
+        while self.step < deadline {
+            let burst = check_every.min(deadline - self.step);
+            self.run(burst);
+            if pred(&self.states_packed(), self.step) {
+                return Some(self.step);
+            }
+        }
+        None
+    }
+
+    /// Runs `steps` time-steps, invoking `observer(step, packed_states)`
+    /// before the first step and after every `every`-th step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    pub fn run_observed(&mut self, steps: u64, every: u64, mut observer: impl FnMut(u64, &[u32])) {
+        assert!(every > 0, "observation interval must be positive");
+        observer(self.step, &self.states_packed());
+        let deadline = self.step + steps;
+        while self.step < deadline {
+            let burst = every.min(deadline - self.step);
+            self.run(burst);
+            observer(self.step, &self.states_packed());
+        }
+    }
+
+    /// Number of agents.
+    pub fn len(&self) -> usize {
+        self.partition.len()
+    }
+
+    /// Returns `true` if there are no agents (impossible by construction,
+    /// provided for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.partition.len() == 0
+    }
+
+    /// Number of time-steps executed so far.
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// The seed this simulator was created with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The node partition driving shard decomposition.
+    pub fn partition(&self) -> &Partition {
+        &self.partition
+    }
+
+    /// Block length in time-steps (boundary interactions are merged at
+    /// block ends).
+    pub fn block(&self) -> u64 {
+        self.block
+    }
+
+    /// Threads used by the most recent `run` call (1 until the first run,
+    /// or whenever the shared pool had no free workers).
+    pub fn last_threads(&self) -> usize {
+        self.last_threads
+    }
+
+    /// The population widened to packed `u32` form, in global agent
+    /// order.
+    pub fn states_packed(&self) -> Vec<u32> {
+        let mut out = vec![0u32; self.partition.len()];
+        for (s, shard) in self.shards.iter().enumerate() {
+            for (j, w) in shard.states.iter().enumerate() {
+                out[self.partition.global_index(s, j)] = w.widen();
+            }
+        }
+        out
+    }
+
+    /// Decodes the full population into generic states.
+    pub fn states_unpacked(&self) -> Vec<P::State> {
+        self.states_packed()
+            .into_iter()
+            .map(|p| self.protocol.unpack(p))
+            .collect()
+    }
+
+    /// Decodes the population into a generic-engine [`Population`], for
+    /// checkers written against the reference types.
+    pub fn population(&self) -> Population<P::State> {
+        Population::new(self.states_unpacked())
+    }
+
+    /// Decoded state of agent `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`.
+    pub fn state(&self, u: usize) -> P::State {
+        let w = self.shards[self.partition.shard_of(u)].states[self.partition.local_index(u)];
+        self.protocol.unpack(w.widen())
+    }
+
+    /// Overwrites the state of agent `u` — the hook adversarial processes
+    /// use to apply structural changes between time-steps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()` or the packed state overflows `W`.
+    pub fn set_state(&mut self, u: usize, state: &P::State) {
+        let w = W::narrow(self.protocol.pack(state));
+        self.shards[self.partition.shard_of(u)].states[self.partition.local_index(u)] = w;
+    }
+
+    /// The protocol under simulation.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The interaction topology.
+    pub fn topology(&self) -> &T {
+        &self.topology
+    }
+}
+
+/// The per-segment constants shared by every shard of one block segment.
+struct SegmentCtx<'a> {
+    partition: &'a Partition,
+    weyl_base: u64,
+    seed: u64,
+    block_index: u64,
+    block_start: u64,
+    from: u64,
+    to: u64,
+}
+
+/// Advances shard `s` over the schedule steps `[from, to)` of one block:
+/// scans the global schedule walk, processes owned steps (applying
+/// shard-local interactions, queueing cross-shard ones), and leaves the
+/// queue ready for the block-boundary merge.
+fn process_segment<P: PackedProtocol, T: Topology, W: TurboWord>(
+    protocol: &P,
+    topology: &T,
+    s: usize,
+    shard: &mut Shard<W>,
+    ctx: &SegmentCtx<'_>,
+) {
+    // Monomorphize the scan over the partition layout so the per-step
+    // ownership test and local-index map compile to two compares
+    // (contiguous), one remainder (strided), or nothing at all
+    // (single shard — the one-core fallback, which must stay within a
+    // few percent of the turbo engine).
+    if ctx.partition.shards() == 1 {
+        scan_segment::<P, T, W, false, true>(protocol, topology, s, shard, ctx)
+    } else {
+        match ctx.partition.kind() {
+            PartitionKind::Contiguous => {
+                scan_segment::<P, T, W, false, false>(protocol, topology, s, shard, ctx)
+            }
+            PartitionKind::Strided => {
+                scan_segment::<P, T, W, true, false>(protocol, topology, s, shard, ctx)
+            }
+        }
+    }
+}
+
+/// The shard-scan hot loop; `STRIDED`/`SINGLE` select the ownership
+/// arithmetic at compile time (`SINGLE`: everything is owned and local —
+/// the checks vanish). `inline(never)` for the same reason as the turbo
+/// batch loop: called with whole blocks (call overhead is nil) and
+/// keeping it a standalone entry-aligned symbol makes its code layout
+/// independent of the caller.
+#[inline(never)]
+fn scan_segment<
+    P: PackedProtocol,
+    T: Topology,
+    W: TurboWord,
+    const STRIDED: bool,
+    const SINGLE: bool,
+>(
+    protocol: &P,
+    topology: &T,
+    s: usize,
+    shard: &mut Shard<W>,
+    ctx: &SegmentCtx<'_>,
+) {
+    let partition = ctx.partition;
+    let n = partition.len();
+    let m = P::OBSERVATIONS;
+    let nshards = partition.shards();
+    let (lo, hi) = if STRIDED || SINGLE {
+        (0, 0)
+    } else {
+        let r = partition.range(s);
+        (r.start, r.end)
+    };
+    let owns = |u: usize| {
+        if SINGLE {
+            true
+        } else if STRIDED {
+            u % nshards == s
+        } else {
+            u >= lo && u < hi
+        }
+    };
+    let local_of = |u: usize| {
+        if SINGLE {
+            u
+        } else if STRIDED {
+            u / nshards
+        } else {
+            u - lo
+        }
+    };
+
+    let mut stream = CounterRng::for_shard(ctx.seed, s as u64, ctx.block_index);
+    if ctx.from > ctx.block_start {
+        // Resuming mid-block: realign the shard stream by counting the
+        // owned steps already executed in this block. The rescan touches
+        // only the schedule walk (hash + compare per step, no state), and
+        // the Weyl stream skips the counted draws in O(1).
+        let mut pos = ctx
+            .weyl_base
+            .wrapping_add(ctx.block_start.wrapping_mul(GOLDEN));
+        let mut owned_before = 0u64;
+        for _ in ctx.block_start..ctx.from {
+            pos = pos.wrapping_add(GOLDEN);
+            let x = splitmix64(pos);
+            if owns(((x as u128 * n as u128) >> 64) as usize) {
+                owned_before += 1;
+            }
+        }
+        stream.advance_by(owned_before * m as u64);
+    }
+
+    let states = shard.states.as_mut_slice();
+    let mut pos = ctx.weyl_base.wrapping_add(ctx.from.wrapping_mul(GOLDEN));
+    for t in ctx.from..ctx.to {
+        pos = pos.wrapping_add(GOLDEN);
+        let x = splitmix64(pos);
+        // Multiply-shift scheduling draw (bias n/2^64) — the same word
+        // every other shard computes for this step; exactly one owns it.
+        let u = ((x as u128 * n as u128) >> 64) as usize;
+        if !owns(u) {
+            continue;
+        }
+        let mut partners = [0u32; MAX_PACKED_OBSERVATIONS];
+        let mut observed = [0u32; MAX_PACKED_OBSERVATIONS];
+        let mut last = 0u64;
+        let mut local = true;
+        for j in 0..m {
+            last = rand::Rng::next_u64(&mut stream);
+            let v = topology.sample_partner_turbo(u, last);
+            partners[j] = v as u32;
+            if owns(v) {
+                // Read the observed state in the same pass; wasted only
+                // when a later partner turns out remote (rare on the
+                // partitioned geometric families).
+                observed[j] = states[local_of(v)].widen();
+            } else {
+                local = false;
+            }
+        }
+        if local {
+            let lu = local_of(u);
+            let me = states[lu].widen();
+            // Transition entropy rides the last partner word, exactly as
+            // in the turbo engine; the fallback stream is parked one hash
+            // away.
+            let mut rng = CounterRng::from_state(last ^ GOLDEN);
+            let next = protocol.transition_turbo(me, &observed[..m], last, &mut rng);
+            states[lu] = W::narrow(next);
+        } else {
+            shard.queue.push(Deferred {
+                offset: (t - ctx.block_start) as u32,
+                agent: u as u32,
+                partners,
+                entropy: last,
+            });
+        }
+    }
+}
+
+/// Applies every queued boundary interaction of the just-finished block
+/// in global step order. Offsets are unique across shards (each step has
+/// exactly one owner), so the merged order — and therefore the trajectory
+/// — is deterministic regardless of which thread ran which shard.
+fn reconcile<P: PackedProtocol, W: TurboWord>(
+    protocol: &P,
+    partition: &Partition,
+    shards: &mut [Shard<W>],
+    double_count: bool,
+) {
+    let m = P::OBSERVATIONS;
+    let total: usize = shards.iter().map(|sh| sh.queue.len()).sum();
+    if total == 0 {
+        return;
+    }
+    let mut merged: Vec<Deferred> = Vec::with_capacity(total);
+    for sh in shards.iter_mut() {
+        merged.append(&mut sh.queue);
+    }
+    merged.sort_unstable_by_key(|d| d.offset);
+    let read = |shards: &[Shard<W>], u: usize| -> u32 {
+        shards[partition.shard_of(u)].states[partition.local_index(u)].widen()
+    };
+    for d in &merged {
+        let mut observed = [0u32; MAX_PACKED_OBSERVATIONS];
+        for (slot, &v) in observed.iter_mut().zip(&d.partners).take(m) {
+            *slot = read(shards, v as usize);
+        }
+        let me = read(shards, d.agent as usize);
+        let mut rng = CounterRng::from_state(d.entropy ^ GOLDEN);
+        let mut next = protocol.transition_turbo(me, &observed[..m], d.entropy, &mut rng);
+        if double_count {
+            // Injected bug (see `inject_boundary_double_count`): the
+            // interaction fires a second time.
+            next = protocol.transition_turbo(next, &observed[..m], d.entropy, &mut rng);
+        }
+        let u = d.agent as usize;
+        shards[partition.shard_of(u)].states[partition.local_index(u)] = W::narrow(next);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::{Complete, Cycle, Torus2d};
+    use rand::Rng;
+
+    /// Voter dynamics over raw u32 labels.
+    #[derive(Debug, Clone)]
+    struct Copy1;
+
+    impl PackedProtocol for Copy1 {
+        type State = u32;
+
+        fn pack(&self, s: &u32) -> u32 {
+            *s
+        }
+
+        fn unpack(&self, p: u32) -> u32 {
+            p
+        }
+
+        fn transition<R: Rng>(&self, _me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+            observed[0]
+        }
+
+        fn name(&self) -> String {
+            "copy".into()
+        }
+    }
+
+    /// Two-sample protocol exercising the m = 2 arm.
+    #[derive(Debug, Clone)]
+    struct MaxOfTwo;
+
+    impl PackedProtocol for MaxOfTwo {
+        type State = u32;
+
+        const OBSERVATIONS: usize = 2;
+
+        fn pack(&self, s: &u32) -> u32 {
+            *s
+        }
+
+        fn unpack(&self, p: u32) -> u32 {
+            p
+        }
+
+        fn transition<R: Rng>(&self, me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+            me.max(observed[0]).max(observed[1])
+        }
+
+        fn name(&self) -> String {
+            "max2".into()
+        }
+    }
+
+    fn sim(seed: u64, shards: usize, block: u64) -> ShardedSimulator<Copy1, Cycle, u32> {
+        let init: Vec<u32> = (0..96).collect();
+        ShardedSimulator::new(Copy1, Cycle::new(96), &init, seed).with_layout(shards, block)
+    }
+
+    #[test]
+    fn deterministic_given_seed_and_split_runs_agree() {
+        let mut a = sim(9, 4, 32);
+        let mut b = sim(9, 4, 32);
+        a.run(10_000);
+        // Different burst splits, including mid-block pauses: identical
+        // trajectory (pending queues and stream realignment carry over).
+        b.run(37);
+        b.run(63);
+        b.run(4_900);
+        b.run(5_000);
+        assert_eq!(a.states_packed(), b.states_packed());
+        assert_eq!(b.step_count(), 10_000);
+        let mut c = sim(10, 4, 32);
+        c.run(10_000);
+        assert_ne!(a.states_packed(), c.states_packed());
+    }
+
+    #[test]
+    fn trajectory_is_thread_count_independent() {
+        let mut reference = sim(3, 4, 32);
+        reference.run_with_threads(8_000, 1);
+        for threads in [2usize, 3, 4] {
+            let mut parallel = sim(3, 4, 32);
+            parallel.run_with_threads(8_000, threads);
+            assert_eq!(
+                parallel.states_packed(),
+                reference.states_packed(),
+                "{threads} threads diverged from sequential"
+            );
+            assert_eq!(parallel.last_threads(), threads.min(4));
+        }
+    }
+
+    #[test]
+    fn layout_is_trajectory_relevant_but_both_converge() {
+        // Different shard counts give different (equally valid)
+        // trajectories of the same process.
+        let mut a = sim(5, 2, 32);
+        let mut b = sim(5, 4, 32);
+        a.run(5_000);
+        b.run(5_000);
+        assert_eq!(a.step_count(), b.step_count());
+    }
+
+    #[test]
+    fn u8_storage_matches_u32_storage_exactly() {
+        let init: Vec<u32> = (0..64).map(|u| u % 200).collect();
+        let mut wide = ShardedSimulator::<_, _, u32>::new(Copy1, Torus2d::new(8, 8), &init, 4)
+            .with_layout(4, 16);
+        let mut narrow = ShardedSimulator::<_, _, u8>::new(Copy1, Torus2d::new(8, 8), &init, 4)
+            .with_layout(4, 16);
+        for _ in 0..5 {
+            wide.run(3_000);
+            narrow.run(3_000);
+            assert_eq!(wide.states_packed(), narrow.states_packed());
+        }
+    }
+
+    #[test]
+    fn voter_reaches_consensus_on_strided_complete() {
+        // The complete graph partitions strided; nearly every interaction
+        // takes the reconciliation path and consensus must still arrive.
+        let init: Vec<u32> = (0..32).collect();
+        let mut sim = ShardedSimulator::<_, _, u32>::new(Copy1, Complete::new(32), &init, 5)
+            .with_layout(4, 16);
+        assert_eq!(
+            sim.partition().kind(),
+            pp_graph::PartitionKind::Strided,
+            "complete graph should prefer striding"
+        );
+        let hit = sim.run_until(2_000_000, 64, |states, _| {
+            states.iter().all(|&s| s == states[0])
+        });
+        assert!(hit.is_some(), "voter consensus not reached");
+    }
+
+    #[test]
+    fn max_of_two_floods_the_torus() {
+        let init: Vec<u32> = (0..48).collect();
+        let mut sim = ShardedSimulator::<_, _, u32>::new(MaxOfTwo, Torus2d::new(6, 8), &init, 2)
+            .with_layout(3, 16);
+        let hit = sim.run_until(1_000_000, 48, |states, _| states.iter().all(|&s| s == 47));
+        assert!(hit.is_some(), "maximum did not flood the torus");
+    }
+
+    #[test]
+    fn exhausted_pool_never_oversubscribes() {
+        // With the worker budget leased away, `run` must not push the
+        // combined thread usage past the machine budget — the nested-use
+        // guarantee (e.g. a sharded run inside `replicate`). Tokens are
+        // conserved, so the bound holds no matter how sibling tests
+        // interleave on the shared global pool; on a quiet pool the hog
+        // takes everything and the run degrades to 1 thread.
+        let hog = crate::pool::lease(usize::MAX);
+        let mut s = sim(1, 4, 32);
+        s.run(2_000);
+        assert!(
+            hog.workers() + s.last_threads() <= crate::pool::parallelism(),
+            "hog {} + run {} threads exceed budget {}",
+            hog.workers(),
+            s.last_threads(),
+            crate::pool::parallelism()
+        );
+        drop(hog);
+        // Identical trajectory regardless of the degraded threading.
+        let mut reference = sim(1, 4, 32);
+        reference.run_with_threads(2_000, 1);
+        assert_eq!(s.states_packed(), reference.states_packed());
+    }
+
+    /// Voter that panics when a marked agent is scheduled — drives the
+    /// worker-panic path.
+    #[derive(Debug, Clone)]
+    struct PanicOn(u32);
+
+    impl PackedProtocol for PanicOn {
+        type State = u32;
+
+        fn pack(&self, s: &u32) -> u32 {
+            *s
+        }
+
+        fn unpack(&self, p: u32) -> u32 {
+            p
+        }
+
+        fn transition<R: Rng>(&self, me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+            assert!(me != self.0, "marked agent scheduled");
+            observed[0]
+        }
+
+        fn name(&self) -> String {
+            "panic-on".into()
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // Agent 30 lives in shard 1 (96 nodes / 4 contiguous shards),
+        // which two-thread dealing assigns to the spawned worker; its
+        // panic must surface to the caller (the closed done-channel fails
+        // fast) rather than hanging the run.
+        let init: Vec<u32> = (0..96).collect();
+        let mut sim = ShardedSimulator::<_, _, u32>::new(PanicOn(30), Cycle::new(96), &init, 3)
+            .with_layout(4, 32);
+        sim.run_with_threads(100_000, 2);
+    }
+
+    #[test]
+    fn sharded_inside_replicate_is_deterministic() {
+        let runs = crate::replicate(0..4, |seed| {
+            let mut s = sim(seed, 4, 32);
+            s.run(3_000);
+            (s.last_threads(), s.states_packed())
+        });
+        for (seed, (threads, states)) in runs.into_iter().enumerate() {
+            assert!(threads <= crate::pool::parallelism());
+            let mut reference = sim(seed as u64, 4, 32);
+            reference.run_with_threads(3_000, 1);
+            assert_eq!(states, reference.states_packed(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn observer_and_accessors() {
+        let init: Vec<u32> = vec![5, 6, 7, 8];
+        let mut sim =
+            ShardedSimulator::<_, _, u32>::new(Copy1, Cycle::new(4), &init, 1).with_layout(2, 8);
+        assert_eq!(sim.len(), 4);
+        assert!(!sim.is_empty());
+        assert_eq!(sim.seed(), 1);
+        assert_eq!(sim.block(), 8);
+        assert_eq!(sim.partition().shards(), 2);
+        assert_eq!(sim.state(2), 7);
+        sim.set_state(2, &9);
+        assert_eq!(sim.states_packed(), vec![5, 6, 9, 8]);
+        assert_eq!(sim.states_unpacked(), vec![5, 6, 9, 8]);
+        assert_eq!(sim.population().states(), &[5, 6, 9, 8]);
+        assert_eq!(PackedProtocol::name(sim.protocol()), "copy");
+        assert_eq!(sim.topology().len(), 4);
+        let mut seen = Vec::new();
+        sim.run_observed(10, 4, |t, _| seen.push(t));
+        assert_eq!(seen, vec![0, 4, 8, 10]);
+        assert_eq!(sim.step_count(), 10);
+    }
+
+    #[test]
+    fn default_layout_scales_with_machine() {
+        let init: Vec<u32> = (0..8192).collect();
+        let sim = ShardedSimulator::<_, _, u32>::new(Copy1, Cycle::new(8192), &init, 0);
+        assert!(sim.partition().shards() >= 1);
+        assert!(sim.partition().shards() <= crate::pool::parallelism().max(1));
+        assert!(sim.block() >= 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "population size")]
+    fn rejects_size_mismatch() {
+        ShardedSimulator::<_, _, u32>::new(Copy1, Cycle::new(4), &[1u32, 2, 3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block length must be positive")]
+    fn rejects_zero_block() {
+        let init: Vec<u32> = (0..8).collect();
+        let _ =
+            ShardedSimulator::<_, _, u32>::new(Copy1, Cycle::new(8), &init, 0).with_layout(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty shards")]
+    fn rejects_more_shards_than_agents() {
+        let init: Vec<u32> = (0..4).collect();
+        let _ =
+            ShardedSimulator::<_, _, u32>::new(Copy1, Cycle::new(4), &init, 0).with_layout(5, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u8")]
+    fn u8_storage_rejects_wide_states() {
+        ShardedSimulator::<_, _, u8>::new(Copy1, Cycle::new(3), &[1u32, 300, 2], 0);
+    }
+}

@@ -74,6 +74,13 @@ impl Topology for CompleteBipartite {
         self.sample_impl(u, rng)
     }
 
+    fn preferred_partition(&self) -> crate::PartitionKind {
+        // Nodes are numbered side-by-side, so contiguous ranges would put
+        // whole sides into single shards (every edge crosses sides);
+        // striding spreads both sides over every shard instead.
+        crate::PartitionKind::Strided
+    }
+
     fn contains_edge(&self, u: usize, v: usize) -> bool {
         check_node(u, self.len());
         check_node(v, self.len());

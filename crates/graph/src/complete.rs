@@ -73,6 +73,13 @@ impl Topology for Complete {
         v + usize::from(v >= u)
     }
 
+    fn preferred_partition(&self) -> crate::PartitionKind {
+        // Every balanced layout cuts the same number of K_n edges;
+        // striding is preferred so shard sub-populations stay
+        // representative of index-patterned initial configurations.
+        crate::PartitionKind::Strided
+    }
+
     fn contains_edge(&self, u: usize, v: usize) -> bool {
         check_node(u, self.n);
         check_node(v, self.n);

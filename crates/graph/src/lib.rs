@@ -35,6 +35,7 @@ pub mod complete;
 pub mod connectivity;
 pub mod csr;
 pub mod hypercube;
+pub mod partition;
 pub mod random;
 pub mod ring;
 pub mod smallworld;
@@ -47,6 +48,7 @@ pub use complete::Complete;
 pub use connectivity::is_connected;
 pub use csr::Csr;
 pub use hypercube::Hypercube;
+pub use partition::{Partition, PartitionKind};
 pub use random::{erdos_renyi, random_regular, stochastic_block_model};
 pub use ring::{Cycle, Path};
 pub use smallworld::watts_strogatz;
@@ -141,6 +143,21 @@ pub trait Topology: std::fmt::Debug + Send + Sync {
         self.sample_partner_mono(u, &mut rand::rngs::CounterRng::from_state(bits))
     }
 
+    /// The node-partition layout this topology prefers when a partitioned
+    /// engine splits its node set across shards (see
+    /// [`Partition`](crate::Partition)).
+    ///
+    /// The default is [`PartitionKind::Contiguous`], which cuts few edges
+    /// wherever the node numbering is geometric (rings, row-major tori,
+    /// CSR lowerings of them). Index-symmetric families whose cut cannot
+    /// be reduced by any layout — the complete graph, the complete
+    /// bipartite graph — override this to
+    /// [`PartitionKind::Strided`] so each shard's sub-population stays
+    /// representative of index-patterned initial configurations.
+    fn preferred_partition(&self) -> PartitionKind {
+        PartitionKind::Contiguous
+    }
+
     /// Returns `true` if `{u, v}` is an edge.
     ///
     /// # Panics
@@ -171,6 +188,10 @@ impl<T: Topology + ?Sized> Topology for Box<T> {
 
     fn sample_partner(&self, u: usize, rng: &mut dyn Rng) -> usize {
         (**self).sample_partner(u, rng)
+    }
+
+    fn preferred_partition(&self) -> PartitionKind {
+        (**self).preferred_partition()
     }
 
     fn contains_edge(&self, u: usize, v: usize) -> bool {

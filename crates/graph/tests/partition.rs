@@ -1,0 +1,171 @@
+//! Partitioner properties: every family's node set is covered exactly
+//! once, and boundary-edge extraction agrees with a brute-force scan.
+
+use pp_graph::{
+    erdos_renyi, random_regular, stochastic_block_model, watts_strogatz, Complete,
+    CompleteBipartite, Csr, Cycle, Hypercube, Partition, Path, Star, Topology, Torus2d,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Checks the exact-cover contract of both layouts over `g`'s node set:
+/// every node belongs to exactly one shard, local/global index maps are
+/// inverse bijections, member iteration matches `shard_of`, and sizes are
+/// balanced to within one.
+fn check_exact_cover<T: Topology>(g: &T, shards: usize) {
+    let n = g.len();
+    let shards = shards.min(n).max(1);
+    for p in [
+        Partition::contiguous(n, shards),
+        Partition::strided(n, shards),
+    ] {
+        let mut owner = vec![usize::MAX; n];
+        for s in 0..p.shards() {
+            for u in p.members(s) {
+                assert!(u < n, "member {u} out of range");
+                assert_eq!(owner[u], usize::MAX, "node {u} covered twice ({p:?})");
+                owner[u] = s;
+            }
+        }
+        assert!(
+            owner.iter().all(|&s| s != usize::MAX),
+            "some node uncovered ({p:?})"
+        );
+        let mut sizes = vec![0usize; p.shards()];
+        for (u, &member_owner) in owner.iter().enumerate() {
+            let s = p.shard_of(u);
+            assert_eq!(s, member_owner, "shard_of disagrees with members at {u}");
+            assert_eq!(
+                p.global_index(s, p.local_index(u)),
+                u,
+                "index maps not inverse"
+            );
+            sizes[s] += 1;
+        }
+        let (min, max) = (
+            sizes.iter().min().copied().unwrap(),
+            sizes.iter().max().copied().unwrap(),
+        );
+        assert!(max - min <= 1, "unbalanced shard sizes {sizes:?}");
+        for (s, &size) in sizes.iter().enumerate() {
+            assert_eq!(size, p.size(s), "size() disagrees at shard {s}");
+        }
+    }
+}
+
+/// Checks `boundary_edges` against a brute-force scan over every node
+/// pair of the CSR lowering of `g`, for both layouts.
+fn check_boundary_extraction<T: Topology>(g: &T, shards: usize) {
+    let n = g.len();
+    let shards = shards.min(n).max(1);
+    let csr = Csr::from_topology(g);
+    for p in [
+        Partition::contiguous(n, shards),
+        Partition::strided(n, shards),
+    ] {
+        let mut brute = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if csr.contains_edge(u, v) && p.shard_of(u) != p.shard_of(v) {
+                    brute.push((u as u32, v as u32));
+                }
+            }
+        }
+        assert_eq!(p.boundary_edges(&csr), brute, "layout {:?}", p.kind());
+    }
+}
+
+proptest! {
+    #[test]
+    fn complete_partitions(n in 2usize..40, shards in 1usize..6) {
+        let g = Complete::new(n);
+        check_exact_cover(&g, shards);
+        check_boundary_extraction(&g, shards);
+    }
+
+    #[test]
+    fn cycle_partitions(n in 3usize..40, shards in 1usize..6) {
+        let g = Cycle::new(n);
+        check_exact_cover(&g, shards);
+        check_boundary_extraction(&g, shards);
+    }
+
+    #[test]
+    fn path_partitions(n in 2usize..40, shards in 1usize..6) {
+        let g = Path::new(n);
+        check_exact_cover(&g, shards);
+        check_boundary_extraction(&g, shards);
+    }
+
+    #[test]
+    fn star_partitions(n in 2usize..40, shards in 1usize..6) {
+        let g = Star::new(n);
+        check_exact_cover(&g, shards);
+        check_boundary_extraction(&g, shards);
+    }
+
+    #[test]
+    fn bipartite_partitions(l in 1usize..12, r in 1usize..12, shards in 1usize..6) {
+        let g = CompleteBipartite::new(l, r);
+        check_exact_cover(&g, shards);
+        check_boundary_extraction(&g, shards);
+    }
+
+    #[test]
+    fn torus_partitions(rows in 3usize..7, cols in 3usize..7, shards in 1usize..6) {
+        let g = Torus2d::new(rows, cols);
+        check_exact_cover(&g, shards);
+        check_boundary_extraction(&g, shards);
+    }
+
+    #[test]
+    fn hypercube_partitions(dim in 1u32..5, shards in 1usize..6) {
+        let g = Hypercube::new(dim);
+        check_exact_cover(&g, shards);
+        check_boundary_extraction(&g, shards);
+    }
+
+    #[test]
+    fn erdos_renyi_partitions(n in 2usize..30, p in 0.0f64..1.0, shards in 1usize..6, seed in 0u64..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = erdos_renyi(n, p, &mut rng);
+        check_exact_cover(&g, shards);
+        check_boundary_extraction(&g, shards);
+    }
+
+    #[test]
+    fn random_regular_partitions(half_n in 3usize..12, d in 2usize..4, shards in 1usize..6, seed in 0u64..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = random_regular(2 * half_n, d, &mut rng);
+        check_exact_cover(&g, shards);
+        check_boundary_extraction(&g, shards);
+    }
+
+    #[test]
+    fn watts_strogatz_partitions(n in 9usize..30, shards in 1usize..6, seed in 0u64..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = watts_strogatz(n, 2, 0.2, &mut rng);
+        check_exact_cover(&g, shards);
+        check_boundary_extraction(&g, shards);
+    }
+
+    #[test]
+    fn sbm_partitions(a in 3usize..10, b in 3usize..10, shards in 1usize..6, seed in 0u64..20) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = stochastic_block_model(&[a, b], 0.7, 0.2, &mut rng);
+        check_exact_cover(&g, shards);
+        check_boundary_extraction(&g, shards);
+    }
+}
+
+#[test]
+fn contiguous_cuts_beat_strided_on_the_ring() {
+    // The reason the engine partitions geometric families contiguously:
+    // a 60-cycle in 4 contiguous shards cuts 4 edges; strided cuts all 60.
+    let csr = Csr::from_topology(&Cycle::new(60));
+    let contiguous = Partition::contiguous(60, 4);
+    let strided = Partition::strided(60, 4);
+    assert_eq!(contiguous.boundary_edges(&csr).len(), 4);
+    assert_eq!(strided.boundary_edges(&csr).len(), 60);
+}
