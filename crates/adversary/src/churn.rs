@@ -7,10 +7,14 @@
 //! uniformly random colour. Diversity then holds in a *dynamic* equilibrium
 //! whose error grows with the churn rate — measured by
 //! [`error_under_churn`].
+//!
+//! Everything here is generic over the [`Engine`] contract: the same
+//! churn process (and the same `churn_rng` stream) drives the generic,
+//! packed, turbo, sharded, and dense tiers, so the fastest engine that
+//! fits the topology also carries the adversarial workload.
 
-use pp_core::{packed::config_stats_from_packed, AgentState, Colour, ConfigStats, Weights};
-use pp_engine::{PackedProtocol, PackedSimulator, Protocol, Simulator};
-use pp_graph::{Complete, Topology};
+use pp_core::{packed::config_stats_from_class_counts, AgentState, Colour, Weights};
+use pp_engine::Engine;
 use rand::{Rng, RngExt};
 
 /// A sustained single-agent-reset churn process.
@@ -41,44 +45,23 @@ impl Churn {
         self.interval
     }
 
-    /// Runs the simulator for `total_steps`, applying one churn reset every
-    /// [`interval`](Self::interval) steps, and calls `observer` after each
-    /// reset.
-    pub fn run<P>(
+    /// The general churn loop, for any engine and any reset law: runs the
+    /// engine for `total_steps`, and every [`interval`](Self::interval)
+    /// steps resets one uniformly random agent to `reset(churn_rng)`,
+    /// calling `observer` after each reset.
+    ///
+    /// Per event the RNG stream is consumed as `victim` first, then
+    /// whatever `reset` draws — fixed so that runs on different engine
+    /// tiers sharing a churn seed see identical churn decisions.
+    pub fn run_with<E>(
         &self,
-        sim: &mut Simulator<P, Complete>,
+        sim: &mut E,
         total_steps: u64,
         churn_rng: &mut dyn Rng,
-        mut observer: impl FnMut(u64, &pp_engine::Population<AgentState>),
+        mut reset: impl FnMut(&mut dyn Rng) -> E::State,
+        mut observer: impl FnMut(u64, &E),
     ) where
-        P: Protocol<State = AgentState>,
-    {
-        let end = sim.step_count() + total_steps;
-        while sim.step_count() < end {
-            let burst = self.interval.min(end - sim.step_count());
-            sim.run(burst);
-            let n = sim.population().len();
-            let victim = churn_rng.random_range(0..n);
-            let colour = Colour::new(churn_rng.random_range(0..self.num_colours));
-            sim.population_mut()
-                .set_state(victim, AgentState::dark(colour));
-            observer(sim.step_count(), sim.population());
-        }
-    }
-    /// [`run`](Self::run) on the packed fast-path engine, over an arbitrary
-    /// topology: same churn process (one uniformly random agent reset to a
-    /// random dark colour every [`interval`](Self::interval) steps), same
-    /// `churn_rng` consumption, so a packed and a generic run sharing both
-    /// seeds produce identical trajectories.
-    pub fn run_packed<P, T>(
-        &self,
-        sim: &mut PackedSimulator<P, T>,
-        total_steps: u64,
-        churn_rng: &mut dyn Rng,
-        mut observer: impl FnMut(u64, &[u32]),
-    ) where
-        P: PackedProtocol<State = AgentState>,
-        T: Topology,
+        E: Engine + ?Sized,
     {
         let end = sim.step_count() + total_steps;
         while sim.step_count() < end {
@@ -86,64 +69,56 @@ impl Churn {
             sim.run(burst);
             let n = sim.len();
             let victim = churn_rng.random_range(0..n);
-            let colour = Colour::new(churn_rng.random_range(0..self.num_colours));
-            sim.set_state(victim, &AgentState::dark(colour));
-            observer(sim.step_count(), sim.states_packed());
+            let state = reset(churn_rng);
+            sim.set_state(victim, &state);
+            observer(sim.step_count(), sim);
         }
+    }
+
+    /// [`run_with`](Self::run_with) specialised to the paper's shaded
+    /// states: each reset installs a **dark** agent of a uniformly random
+    /// colour out of `num_colours`.
+    pub fn run<E>(
+        &self,
+        sim: &mut E,
+        total_steps: u64,
+        churn_rng: &mut dyn Rng,
+        observer: impl FnMut(u64, &E),
+    ) where
+        E: Engine<State = AgentState> + ?Sized,
+    {
+        let k = self.num_colours;
+        self.run_with(
+            sim,
+            total_steps,
+            churn_rng,
+            |rng| AgentState::dark(Colour::new(rng.random_range(0..k))),
+            observer,
+        );
     }
 }
 
 /// Mean diversity error of a converged Diversification system subjected to
-/// churn of the given `interval` for `horizon` steps.
+/// churn of the given `interval` for `horizon` steps, on any engine tier.
 ///
 /// Faster churn (smaller interval) yields larger dynamic-equilibrium error;
 /// `interval → ∞` recovers the churn-free Eq. (1) error.
-pub fn error_under_churn<P>(
-    sim: &mut Simulator<P, Complete>,
+pub fn error_under_churn<E>(
+    sim: &mut E,
     weights: &Weights,
     interval: u64,
     horizon: u64,
     churn_rng: &mut dyn Rng,
 ) -> f64
 where
-    P: Protocol<State = AgentState>,
+    E: Engine<State = AgentState> + ?Sized,
 {
     let churn = Churn::new(interval, weights.len());
     let k = weights.len();
     let mut total = 0.0;
     let mut samples = 0u64;
-    churn.run(sim, horizon, churn_rng, |_, pop| {
-        let stats = ConfigStats::from_states(pop.states(), k);
-        total += stats.max_diversity_error(weights);
-        samples += 1;
-    });
-    if samples == 0 {
-        0.0
-    } else {
-        total / samples as f64
-    }
-}
-
-/// [`error_under_churn`] on the packed fast-path engine, over an arbitrary
-/// topology — how churn interacts with graph structure at scales the
-/// generic engine cannot reach.
-pub fn error_under_churn_packed<P, T>(
-    sim: &mut PackedSimulator<P, T>,
-    weights: &Weights,
-    interval: u64,
-    horizon: u64,
-    churn_rng: &mut dyn Rng,
-) -> f64
-where
-    P: PackedProtocol<State = AgentState>,
-    T: Topology,
-{
-    let churn = Churn::new(interval, weights.len());
-    let k = weights.len();
-    let mut total = 0.0;
-    let mut samples = 0u64;
-    churn.run_packed(sim, horizon, churn_rng, |_, states| {
-        let stats = config_stats_from_packed(states, k);
+    churn.run(sim, horizon, churn_rng, |_, e| {
+        let stats = config_stats_from_class_counts(&e.class_counts(), k);
         total += stats.max_diversity_error(weights);
         samples += 1;
     });
@@ -157,7 +132,9 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pp_core::{init, Diversification};
+    use pp_core::{init, ConfigStats, Diversification};
+    use pp_engine::{PackedSimulator, Simulator, TurboSimulator};
+    use pp_graph::{Complete, Torus2d};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -180,8 +157,8 @@ mod tests {
         let churn = Churn::new(50, 3);
         let mut rng = StdRng::seed_from_u64(2);
         let mut events = 0;
-        churn.run(&mut sim, 5_000, &mut rng, |_, pop| {
-            assert_eq!(pop.len(), 120);
+        churn.run(&mut sim, 5_000, &mut rng, |_, e| {
+            assert_eq!(e.len(), 120);
             events += 1;
         });
         assert_eq!(events, 100);
@@ -226,7 +203,8 @@ mod tests {
     #[test]
     fn packed_churn_matches_generic_trajectory() {
         // Same engine seed + same churn seed ⇒ identical states after every
-        // reset, on the complete graph where both engines apply.
+        // reset, on the complete graph where both engines apply — now
+        // through the one generic churn loop.
         let weights = Weights::new(vec![1.0, 2.0, 4.0]).unwrap();
         let n = 96;
         let states = init::all_dark_balanced(n, &weights);
@@ -246,39 +224,38 @@ mod tests {
         let mut rng_a = StdRng::seed_from_u64(8);
         let mut rng_b = StdRng::seed_from_u64(8);
         let mut generic_snaps = Vec::new();
-        churn.run(&mut generic, 4_000, &mut rng_a, |t, pop| {
-            generic_snaps.push((t, pop.states().to_vec()));
+        churn.run(&mut generic, 4_000, &mut rng_a, |t, e| {
+            generic_snaps.push((t, e.snapshot()));
         });
         let mut i = 0;
-        churn.run_packed(&mut fast, 4_000, &mut rng_b, |t, packed| {
+        churn.run(&mut fast, 4_000, &mut rng_b, |t, e| {
             let (gt, gstates) = &generic_snaps[i];
             assert_eq!(t, *gt);
-            let unpacked: Vec<AgentState> = packed
-                .iter()
-                .map(|&p| pp_core::packed::unpack_state(p))
-                .collect();
-            assert_eq!(&unpacked, gstates, "diverged at step {t}");
+            assert_eq!(&e.snapshot(), gstates, "diverged at step {t}");
             i += 1;
         });
         assert_eq!(i, generic_snaps.len());
     }
 
     #[test]
-    fn packed_churn_error_tracks_generic() {
+    fn turbo_churn_error_stays_diverse_on_a_graph() {
+        // The adversary-on-the-fast-path combination the refactor exists
+        // for: churn on the turbo engine over a non-complete topology.
         let weights = Weights::uniform(3);
-        let n = 150;
+        let n = 256;
         let states = init::all_dark_balanced(n, &weights);
-        let mut fast = PackedSimulator::new(
+        let mut sim = TurboSimulator::<_, _, u8>::new(
             Diversification::new(weights.clone()),
-            Complete::new(n),
+            Torus2d::new(16, 16),
             &states,
             9,
         );
-        fast.run(pp_core::theory::convergence_budget(n, weights.total(), 4.0));
+        sim.run(pp_core::theory::convergence_budget(n, weights.total(), 4.0));
         let mut rng = StdRng::seed_from_u64(10);
-        let err = error_under_churn_packed(&mut fast, &weights, 1_000, 200_000, &mut rng);
-        assert!(err < 0.25, "packed churn error {err}");
-        let stats = config_stats_from_packed(fast.states_packed(), 3);
+        let err = error_under_churn(&mut sim, &weights, 1_000, 200_000, &mut rng);
+        assert!(err < 0.3, "turbo churn error {err}");
+        let stats =
+            config_stats_from_class_counts(&pp_engine::Engine::class_counts(&sim), weights.len());
         assert!(stats.all_colours_alive());
     }
 }

@@ -15,6 +15,16 @@
 //!   the good set `E(δ)` after a shock, the quantitative form of the
 //!   robustness claim.
 //!
+//! Everything is generic over the
+//! [`pp_engine::Engine`](pp_engine::Engine) contract, so the same
+//! adversarial processes run on the generic reference engine, the packed
+//! and turbo fast paths, the sharded multi-core engine, and (for
+//! complete-graph workloads) the count-based dense engine — whichever
+//! tier is fastest for the topology at hand. Shock and churn RNG streams
+//! are consumed identically on every tier, which keeps bit-exact tiers
+//! bit-exact under adversarial runs too; see
+//! `tests/adversary_equivalence.rs` for the contract tests.
+//!
 //! # Examples
 //!
 //! ```

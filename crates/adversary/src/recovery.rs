@@ -1,37 +1,38 @@
 //! Recovery-time measurement: the quantitative robustness claim.
 
 use crate::{apply, Shock};
-use pp_core::{region::GoodSet, AgentState, ConfigStats};
-use pp_engine::{Protocol, Simulator};
-use pp_graph::Complete;
+use pp_core::{packed::config_stats_from_class_counts, region::GoodSet, AgentState};
+use pp_engine::Engine;
 use rand::Rng;
 
-/// Applies `shock` to a (presumably converged) simulator and returns the
-/// number of further time-steps until the configuration re-enters the good
-/// set `E(δ)`, checking every `check_every` steps; `None` if it does not
-/// recover within `max_steps`.
+/// Applies `shock` to a (presumably converged) engine of any tier and
+/// returns the number of further time-steps until the configuration
+/// re-enters the good set `E(δ)`, checking every `check_every` steps;
+/// `None` if it does not recover within `max_steps`.
 ///
 /// The paper's robustness statement — "even when an adversary adds agents
 /// and colours, the protocol quickly returns into a state of diversity and
-/// fairness" — predicts recovery in `O(w² n log n)` steps; experiment
-/// `t6_sustainability` reports this measurement across shock types.
+/// fairness" — predicts recovery in `O(w² n log n)` steps; experiments
+/// `t6_sustainability` and `t14_adversary` report this measurement across
+/// shock types and engine tiers.
 ///
 /// # Examples
 ///
 /// ```
 /// use pp_adversary::{recovery_time, Shock};
 /// use pp_core::{init, region::GoodSet, Colour, Diversification, Weights};
-/// use pp_engine::Simulator;
+/// use pp_engine::PackedSimulator;
 /// use pp_graph::Complete;
 /// use rand::{rngs::StdRng, SeedableRng};
 ///
 /// let weights = Weights::uniform(2);
 /// let n = 200;
 /// let states = init::all_dark_balanced(n, &weights);
-/// let mut sim = Simulator::new(
+/// // Any engine tier works; here the packed fast path.
+/// let mut sim = PackedSimulator::new(
 ///     Diversification::new(weights.clone()),
 ///     Complete::new(n),
-///     states,
+///     &states,
 ///     5,
 /// );
 /// sim.run(100_000); // converge first
@@ -50,9 +51,10 @@ use rand::Rng;
 ///
 /// # Panics
 ///
-/// Panics if `check_every == 0`.
-pub fn recovery_time<P>(
-    sim: &mut Simulator<P, Complete>,
+/// Panics if `check_every == 0`, or if the shock itself panics (resizing
+/// shocks on non-resizable topology families, populations shrunk below 2).
+pub fn recovery_time<E>(
+    sim: &mut E,
     shock: &Shock,
     good: &GoodSet,
     shock_rng: &mut dyn Rng,
@@ -60,13 +62,13 @@ pub fn recovery_time<P>(
     check_every: u64,
 ) -> Option<u64>
 where
-    P: Protocol<State = AgentState>,
+    E: Engine<State = AgentState> + ?Sized,
 {
     apply(shock, sim, shock_rng);
     let start = sim.step_count();
     let k = good.weights().len();
-    sim.run_until(max_steps, check_every, |pop, _| {
-        good.contains(&ConfigStats::from_states(pop.states(), k))
+    sim.run_until(max_steps, check_every, &mut |counts, _| {
+        good.contains(&config_stats_from_class_counts(counts, k))
     })
     .map(|hit| hit - start)
 }
@@ -75,6 +77,8 @@ where
 mod tests {
     use super::*;
     use pp_core::{init, Colour, Diversification, Weights};
+    use pp_engine::{Simulator, TurboSimulator};
+    use pp_graph::Complete;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -125,6 +129,37 @@ mod tests {
             150,
         );
         assert!(t.is_some(), "no recovery from agent addition");
+    }
+
+    #[test]
+    fn recovers_on_the_turbo_tier_too() {
+        // The same measurement on the counter-based fast engine, including
+        // a population-resizing shock (AddAgents → Complete::resized).
+        let weights = Weights::uniform(2);
+        let n = 150;
+        let states = init::all_dark_balanced(n, &weights);
+        let mut sim = TurboSimulator::<_, _, u8>::new(
+            Diversification::new(weights.clone()),
+            Complete::new(n),
+            &states,
+            21,
+        );
+        sim.run(60_000);
+        let good = GoodSet::new(weights, 0.3);
+        let mut rng = StdRng::seed_from_u64(25);
+        let t = recovery_time(
+            &mut sim,
+            &Shock::AddAgents {
+                count: 80,
+                state: AgentState::dark(Colour::new(1)),
+            },
+            &good,
+            &mut rng,
+            3_000_000,
+            150,
+        );
+        assert!(t.is_some(), "no turbo recovery from agent addition");
+        assert_eq!(pp_engine::Engine::len(&sim), n + 80);
     }
 
     #[test]

@@ -2,8 +2,7 @@
 
 use crate::{apply, Shock};
 use pp_core::AgentState;
-use pp_engine::{Population, Protocol, Simulator};
-use pp_graph::Complete;
+use pp_engine::Engine;
 use rand::Rng;
 
 /// A sequence of `(step, shock)` pairs applied to a run in step order.
@@ -47,7 +46,7 @@ impl Schedule {
         &self.events
     }
 
-    /// Runs the simulator for `total_steps`, applying each shock when the
+    /// Runs any engine tier for `total_steps`, applying each shock when the
     /// step counter reaches its scheduled step, and invoking `observer`
     /// after every shock and at the end.
     ///
@@ -57,15 +56,15 @@ impl Schedule {
     ///
     /// # Panics
     ///
-    /// Panics if a scheduled step lies before the simulator's current step.
-    pub fn run<P>(
+    /// Panics if a scheduled step lies before the engine's current step.
+    pub fn run<E>(
         &self,
-        sim: &mut Simulator<P, Complete>,
+        sim: &mut E,
         total_steps: u64,
         shock_rng: &mut dyn Rng,
-        mut observer: impl FnMut(u64, &Population<AgentState>),
+        mut observer: impl FnMut(u64, &E),
     ) where
-        P: Protocol<State = AgentState>,
+        E: Engine<State = AgentState> + ?Sized,
     {
         let end = sim.step_count() + total_steps;
         for &(step, ref shock) in &self.events {
@@ -79,19 +78,23 @@ impl Schedule {
             }
             sim.run(step - sim.step_count());
             apply(shock, sim, shock_rng);
-            observer(sim.step_count(), sim.population());
+            observer(sim.step_count(), sim);
         }
         if sim.step_count() < end {
             sim.run(end - sim.step_count());
         }
-        observer(sim.step_count(), sim.population());
+        observer(sim.step_count(), sim);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pp_core::{init, Colour, ConfigStats, Diversification, Weights};
+    use pp_core::{
+        init, packed::config_stats_from_class_counts, Colour, ConfigStats, Diversification, Weights,
+    };
+    use pp_engine::{PackedSimulator, Simulator};
+    use pp_graph::{Complete, Topology};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -127,11 +130,40 @@ mod tests {
         ]);
         let mut rng = StdRng::seed_from_u64(9);
         let mut sizes = Vec::new();
-        schedule.run(&mut sim, 1_000, &mut rng, |step, pop| {
-            sizes.push((step, pop.len()));
+        schedule.run(&mut sim, 1_000, &mut rng, |step, e| {
+            sizes.push((step, e.len()));
         });
         assert_eq!(sizes, vec![(200, 40), (400, 35), (1_000, 35)]);
         assert_eq!(sim.step_count(), 1_000);
+    }
+
+    #[test]
+    fn schedule_runs_on_the_packed_tier() {
+        // The same schedule on the packed engine: sizes track the shocks
+        // and the topology follows the population.
+        let weights = Weights::uniform(2);
+        let states = init::all_dark_balanced(30, &weights);
+        let mut sim =
+            PackedSimulator::new(Diversification::new(weights), Complete::new(30), &states, 1);
+        let schedule = Schedule::new(vec![
+            (
+                200,
+                Shock::AddAgents {
+                    count: 10,
+                    state: AgentState::dark(Colour::new(0)),
+                },
+            ),
+            (400, Shock::RemoveAgents { count: 5 }),
+        ]);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut sizes = Vec::new();
+        schedule.run(&mut sim, 1_000, &mut rng, |step, e| {
+            sizes.push((step, e.len()));
+        });
+        assert_eq!(sizes, vec![(200, 40), (400, 35), (1_000, 35)]);
+        assert_eq!(sim.topology().len(), 35);
+        let stats = config_stats_from_class_counts(&pp_engine::Engine::class_counts(&sim), 2);
+        assert_eq!(stats.population(), 35);
     }
 
     #[test]

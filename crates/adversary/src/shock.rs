@@ -1,8 +1,7 @@
 //! Individual structural changes.
 
 use pp_core::{AgentState, Colour};
-use pp_engine::{Protocol, Simulator};
-use pp_graph::Complete;
+use pp_engine::Engine;
 use rand::{Rng, RngExt};
 
 /// A structural change an adversary (or the environment) applies to a
@@ -48,65 +47,79 @@ pub enum Shock {
     },
 }
 
-/// Applies a shock to the simulator, resizing the complete-graph topology
-/// when the population grows or shrinks.
+/// Applies a shock to any engine tier between time-steps, through the
+/// [`Engine`] structural-mutation surface: recolourings rewrite states,
+/// agent addition/removal resizes the population (and therefore the
+/// topology, via [`Topology::resized`](pp_graph::Topology::resized)).
+///
+/// RNG consumption is identical across tiers — the same `rng` stream
+/// recruits the same agent indices on the generic, packed, turbo, and
+/// sharded engines — so a generic and a packed run sharing both seeds
+/// stay bit-identical through arbitrary shock sequences (verified by
+/// `tests/adversary_equivalence.rs`).
 ///
 /// # Panics
 ///
-/// Panics if the shock would leave fewer than 2 agents, or if a recolouring
-/// names an agent colour outside the population's weight universe (checked
-/// downstream by `ConfigStats`).
-pub fn apply<P>(shock: &Shock, sim: &mut Simulator<P, Complete>, rng: &mut dyn Rng)
+/// Panics if the shock would leave fewer than 2 agents, if a resizing
+/// shock hits a topology family without a canonical resize, or if a
+/// recolouring names an agent colour outside the population's weight
+/// universe (checked downstream by `ConfigStats`).
+pub fn apply<E>(shock: &Shock, sim: &mut E, rng: &mut dyn Rng)
 where
-    P: Protocol<State = AgentState>,
+    E: Engine<State = AgentState> + ?Sized,
 {
     match *shock {
         Shock::AddAgents { count, state } => {
-            for _ in 0..count {
-                sim.population_mut().push(state);
-            }
-            let n = sim.population().len();
-            sim.set_topology(Complete::new(n));
+            // One bulk resize, not `count` pushes: push_agent is O(n) on
+            // the copy-rebuild tiers (sharded re-partitions per call), and
+            // the shock consumes no RNG, so the bulk path is identical.
+            let mut states = sim.snapshot();
+            states.extend(std::iter::repeat_n(state, count));
+            sim.set_states(&states);
         }
         Shock::InjectColour { colour, recruits } => {
-            let n = sim.population().len();
+            let n = sim.len();
             assert!(
                 recruits <= n,
                 "cannot recruit {recruits} agents from a population of {n}"
             );
-            // Sample distinct agents by partial Fisher–Yates over indices.
+            // Sample distinct agents by partial Fisher–Yates over indices,
+            // against a snapshot so the draw stays a uniform distinct-agent
+            // sample on every tier (including the dense adapter's
+            // canonical ordering).
+            let mut states = sim.snapshot();
             let mut indices: Vec<usize> = (0..n).collect();
             for slot in 0..recruits {
                 let pick = rng.random_range(slot..n);
                 indices.swap(slot, pick);
-                sim.population_mut()
-                    .set_state(indices[slot], AgentState::dark(colour));
+                states[indices[slot]] = AgentState::dark(colour);
             }
+            sim.set_states(&states);
         }
         Shock::RetireColour {
             colour,
             replacement,
         } => {
             assert_ne!(colour, replacement, "retirement must change the colour");
-            for s in sim.population_mut().states_mut() {
+            let mut states = sim.snapshot();
+            for s in &mut states {
                 if s.colour == colour {
                     *s = AgentState::dark(replacement);
                 }
             }
+            sim.set_states(&states);
         }
         Shock::RemoveAgents { count } => {
-            let n = sim.population().len();
+            let n = sim.len();
             assert!(
                 n.saturating_sub(count) >= 2,
                 "removing {count} of {n} agents would leave fewer than 2"
             );
             for _ in 0..count {
-                let len = sim.population().len();
+                let len = sim.len();
                 let victim = rng.random_range(0..len);
-                sim.population_mut().swap_remove(victim);
+                sim.swap_remove_agent(victim);
             }
-            let n = sim.population().len();
-            sim.set_topology(Complete::new(n));
         }
     }
 }
@@ -115,7 +128,8 @@ where
 mod tests {
     use super::*;
     use pp_core::{init, ConfigStats, Diversification, Weights};
-    use pp_graph::Topology;
+    use pp_engine::{PackedSimulator, Simulator, TurboSimulator};
+    use pp_graph::{Complete, Topology};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -205,6 +219,66 @@ mod tests {
         assert_eq!(sim.population().len(), 20);
         assert_eq!(sim.topology().len(), 20);
         sim.run(100);
+    }
+
+    #[test]
+    fn shocks_apply_identically_on_every_fast_tier() {
+        // Same shock stream on the generic, packed, and turbo engines ⇒
+        // identical post-shock configurations (no simulation steps in
+        // between, so this isolates the structural surface itself).
+        let weights = Weights::uniform(3);
+        let states = init::all_dark_balanced(24, &weights);
+        let shocks = [
+            Shock::AddAgents {
+                count: 6,
+                state: AgentState::dark(Colour::new(2)),
+            },
+            Shock::InjectColour {
+                colour: Colour::new(1),
+                recruits: 9,
+            },
+            Shock::RetireColour {
+                colour: Colour::new(0),
+                replacement: Colour::new(2),
+            },
+            Shock::RemoveAgents { count: 8 },
+        ];
+        let mut generic = Simulator::new(
+            Diversification::new(weights.clone()),
+            Complete::new(24),
+            states.clone(),
+            1,
+        );
+        let mut packed = PackedSimulator::new(
+            Diversification::new(weights.clone()),
+            Complete::new(24),
+            &states,
+            1,
+        );
+        let mut turbo = TurboSimulator::<_, _, u8>::new(
+            Diversification::new(weights.clone()),
+            Complete::new(24),
+            &states,
+            1,
+        );
+        let mut rng_a = StdRng::seed_from_u64(9);
+        let mut rng_b = StdRng::seed_from_u64(9);
+        let mut rng_c = StdRng::seed_from_u64(9);
+        for shock in &shocks {
+            apply(shock, &mut generic, &mut rng_a);
+            apply(shock, &mut packed, &mut rng_b);
+            apply(shock, &mut turbo, &mut rng_c);
+            assert_eq!(
+                generic.population().states(),
+                &packed.states_unpacked()[..],
+                "packed diverged after {shock:?}"
+            );
+            assert_eq!(
+                generic.population().states(),
+                &turbo.states_unpacked()[..],
+                "turbo diverged after {shock:?}"
+            );
+        }
     }
 
     #[test]

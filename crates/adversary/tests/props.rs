@@ -128,8 +128,8 @@ proptest! {
         let mut sim = setup(n, 3, seed);
         let churn = Churn::new(interval, 3);
         let mut rng = StdRng::seed_from_u64(seed);
-        churn.run(&mut sim, 20 * interval, &mut rng, |_, pop| {
-            assert_eq!(pop.len(), n);
+        churn.run(&mut sim, 20 * interval, &mut rng, |_, e| {
+            assert_eq!(e.population().len(), n);
         });
         prop_assert!(sim
             .population()

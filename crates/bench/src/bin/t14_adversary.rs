@@ -1,0 +1,15 @@
+//! Regenerates experiment `t14_adversary` (see EXPERIMENTS.md).
+//!
+//! Prints the report table and writes it to `BENCH_t14_adversary.json` (in
+//! `PP_BENCH_DIR` if set, else the working directory). Run with
+//! `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md; the default
+//! is the quick preset. The grid itself sweeps **all** engine tiers —
+//! every shock and churn measurement runs on agent, dense, packed, turbo,
+//! and sharded through the generic `Engine` path.
+
+fn main() {
+    let preset = pp_bench::Preset::from_env();
+    let report = pp_bench::experiments::adversary::run(preset, 1_400);
+    report.print();
+    pp_bench::output::write_report_or_warn(&report, "t14_adversary");
+}

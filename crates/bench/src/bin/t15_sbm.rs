@@ -1,0 +1,15 @@
+//! Regenerates experiment `t15_sbm_blocks` (see EXPERIMENTS.md).
+//!
+//! Prints the report table and writes it to `BENCH_t15_sbm_blocks.json` (in
+//! `PP_BENCH_DIR` if set, else the working directory). Run with
+//! `PP_PRESET=full` for the `n = 65 536` scale recorded in EXPERIMENTS.md;
+//! the default is the quick preset. `PP_ENGINE` selects the tier (packed
+//! by default; `sharded` aligns shards with the community-contiguous
+//! blocks).
+
+fn main() {
+    let preset = pp_bench::Preset::from_env();
+    let report = pp_bench::experiments::sbm::run(preset, 1_500);
+    report.print();
+    pp_bench::output::write_report_or_warn(&report, "t15_sbm_blocks");
+}

@@ -4,12 +4,17 @@
 //! We track the exact per-agent occupancy of every colour at two horizons;
 //! fairness predicts the worst per-agent deviation shrinks as the horizon
 //! grows (the `o(1)` in the theorem).
+//!
+//! Occupancy tracking needs **stable per-agent identity**, which every
+//! tier except the count-based dense engine provides; under the dense
+//! default, `PP_ENGINE` is mapped to the packed fast path
+//! ([`EngineKind::per_agent`]) and the report notes the tier that ran.
+//! The tracker streams each snapshot straight out of the engine
+//! ([`FairnessTracker::record_engine`]) — no per-snapshot allocation.
 
 use crate::experiments::Report;
-use crate::runner::Preset;
-use pp_core::{init, Diversification, FairnessTracker, Weights};
-use pp_engine::Simulator;
-use pp_graph::Complete;
+use crate::runner::{build_engine, EngineKind, Preset};
+use pp_core::{init, FairnessTracker, Weights};
 use pp_stats::{table::fmt_f64, Table};
 
 /// Runs the experiment.
@@ -17,13 +22,9 @@ pub fn run(preset: Preset, seed: u64) -> Report {
     let n = preset.pick(128, 512);
     let weights = Weights::new(vec![1.0, 1.0, 2.0]).expect("static table");
     let k = weights.len();
+    let engine = EngineKind::from_env().per_agent();
     let states = init::all_dark_balanced(n, &weights);
-    let mut sim = Simulator::new(
-        Diversification::new(weights.clone()),
-        Complete::new(n),
-        states,
-        seed,
-    );
+    let mut sim = build_engine(engine, &weights, states, seed);
     // Burn in past the Theorem 1.3 budget.
     sim.run(pp_core::theory::convergence_budget(n, weights.total(), 4.0));
 
@@ -48,7 +49,7 @@ pub fn run(preset: Preset, seed: u64) -> Report {
         let stride = n as u64;
         while recorded * stride < horizon {
             sim.run(stride);
-            tracker.record(sim.population().states());
+            tracker.record_engine(&*sim);
             recorded += 1;
         }
         let max_dev = tracker.max_deviation(&weights);
@@ -65,7 +66,11 @@ pub fn run(preset: Preset, seed: u64) -> Report {
     }
 
     let mut report = Report::new(
-        format!("t5_fairness (n = {n}, weights = (1,1,2), fair shares 0.25/0.25/0.5)"),
+        format!(
+            "t5_fairness (n = {n}, weights = (1,1,2), fair shares 0.25/0.25/0.5, \
+             {} engine)",
+            engine.name()
+        ),
         table,
     );
     if deviations.len() >= 2 {

@@ -8,11 +8,9 @@
 //! ratio to `n·ln n` should stay bounded as `n` grows.
 
 use crate::experiments::Report;
-use crate::runner::{EngineKind, Preset};
-use pp_core::{init, ConfigStats, Diversification, Weights};
-use pp_dense::{CountConfig, DenseSimulator};
-use pp_engine::{replicate, ShardedSimulator, Simulator, TurboSimulator};
-use pp_graph::Complete;
+use crate::runner::{build_engine, EngineKind, Preset};
+use pp_core::{init, packed::config_stats_from_class_counts, Weights};
+use pp_engine::replicate;
 use pp_stats::{loglog_fit, median, table::fmt_f64, Table};
 
 /// Steps for the singleton colour to reach support `n/4`, with the engine
@@ -23,64 +21,19 @@ pub fn spread_time(n: usize, seed: u64) -> Option<u64> {
     spread_time_with(EngineKind::from_env(), n, seed)
 }
 
-/// [`spread_time`] with an explicit engine choice.
+/// [`spread_time`] with an explicit engine choice — one generic code path
+/// for every tier.
 pub fn spread_time_with(engine: EngineKind, n: usize, seed: u64) -> Option<u64> {
     let weights = Weights::uniform(2);
     let budget = pp_core::theory::convergence_budget(n, 2.0, 64.0);
     let check = (n as u64 / 4).max(1);
-    match engine {
-        EngineKind::Agent => {
-            // single_minority puts colour 0 in the majority; colour 1 is the
-            // singleton.
-            let states = init::all_dark_single_minority(n, &weights);
-            let mut sim = Simulator::new(
-                Diversification::new(weights),
-                Complete::new(n),
-                states,
-                seed,
-            );
-            sim.run_until(budget, check, |pop, _| {
-                let stats = ConfigStats::from_states(pop.states(), 2);
-                stats.colour_count(1) >= pop.len() / 4
-            })
-        }
-        EngineKind::Dense => {
-            let config = CountConfig::all_dark_single_minority(n as u64, 2);
-            let mut sim =
-                DenseSimulator::new(Diversification::new(weights), config.to_classes(), seed);
-            let quarter = n as u64 / 4;
-            sim.run_until(budget, check, |counts, _| {
-                let config = CountConfig::from_classes(counts);
-                config.colour(1) >= quarter
-            })
-        }
-        EngineKind::Turbo => {
-            let states = init::all_dark_single_minority(n, &weights);
-            let mut sim = TurboSimulator::<_, _, u8>::new(
-                Diversification::new(weights),
-                Complete::new(n),
-                &states,
-                seed,
-            );
-            sim.run_until(budget, check, |words, _| {
-                let stats = pp_core::packed::config_stats_from_words(words, 2);
-                stats.colour_count(1) >= n / 4
-            })
-        }
-        EngineKind::Sharded => {
-            let states = init::all_dark_single_minority(n, &weights);
-            let mut sim = ShardedSimulator::<_, _, u8>::new(
-                Diversification::new(weights),
-                Complete::new(n),
-                &states,
-                seed,
-            );
-            sim.run_until(budget, check, |words, _| {
-                let stats = pp_core::packed::config_stats_from_words(words, 2);
-                stats.colour_count(1) >= n / 4
-            })
-        }
-    }
+    // single_minority puts colour 0 in the majority; colour 1 is the
+    // singleton.
+    let states = init::all_dark_single_minority(n, &weights);
+    let mut sim = build_engine(engine, &weights, states, seed);
+    sim.run_until(budget, check, &mut |counts, _| {
+        config_stats_from_class_counts(counts, 2).colour_count(1) >= n / 4
+    })
 }
 
 /// Runs the sweep.

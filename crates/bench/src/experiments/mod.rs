@@ -1,6 +1,7 @@
 //! One module per experiment; ids match DESIGN.md §4.
 
 pub mod ablations;
+pub mod adversary;
 pub mod baselines;
 pub mod convergence;
 pub mod derandomised;
@@ -11,14 +12,14 @@ pub mod fig1;
 pub mod lower_bound;
 pub mod markov;
 pub mod phase3;
+pub mod sbm;
 pub mod stability;
 pub mod sustainability;
 pub mod topologies;
 pub mod uniform_partition;
 
 use crate::runner::EngineKind;
-use pp_core::{ConfigStats, Weights};
-use pp_dense::CountConfig;
+use pp_core::{packed::config_stats_from_class_counts, Weights};
 use pp_stats::Table;
 
 /// Post-convergence window-max diversity error of the randomised protocol
@@ -29,58 +30,18 @@ pub fn diversity_error_for(n: usize, weights: &Weights, seed: u64) -> f64 {
     diversity_error_for_with(EngineKind::from_env(), n, weights, seed)
 }
 
-/// [`diversity_error_for`] with an explicit engine choice.
+/// [`diversity_error_for`] with an explicit engine choice — one generic
+/// code path for every tier (the `Engine` trait's class-count observer).
 pub fn diversity_error_for_with(engine: EngineKind, n: usize, weights: &Weights, seed: u64) -> f64 {
     let k = weights.len();
     let window = (2.0 * n as f64 * (n as f64).ln()) as u64;
     let stride = (n as u64 / 2).max(1);
     let mut worst: f64 = 0.0;
-    match engine {
-        EngineKind::Agent => {
-            let mut sim = crate::runner::converged_simulator(n, weights, seed);
-            sim.run_observed(window, stride, |_, pop| {
-                let stats = ConfigStats::from_states(pop.states(), k);
-                worst = worst.max(stats.max_diversity_error(weights));
-            });
-        }
-        EngineKind::Dense => {
-            let mut sim = crate::runner::converged_dense_simulator(n, weights, seed);
-            sim.run_observed(window, stride, |_, counts| {
-                let stats = CountConfig::from_classes(counts).stats();
-                worst = worst.max(stats.max_diversity_error(weights));
-            });
-        }
-        EngineKind::Turbo => {
-            if pp_core::packed::fits_u8(k) {
-                let mut sim = crate::runner::converged_turbo_simulator::<u8>(n, weights, seed);
-                sim.run_observed(window, stride, |_, words| {
-                    let stats = pp_core::packed::config_stats_from_words(words, k);
-                    worst = worst.max(stats.max_diversity_error(weights));
-                });
-            } else {
-                let mut sim = crate::runner::converged_turbo_simulator::<u32>(n, weights, seed);
-                sim.run_observed(window, stride, |_, words| {
-                    let stats = pp_core::packed::config_stats_from_words(words, k);
-                    worst = worst.max(stats.max_diversity_error(weights));
-                });
-            }
-        }
-        EngineKind::Sharded => {
-            if pp_core::packed::fits_u8(k) {
-                let mut sim = crate::runner::converged_sharded_simulator::<u8>(n, weights, seed);
-                sim.run_observed(window, stride, |_, words| {
-                    let stats = pp_core::packed::config_stats_from_words(words, k);
-                    worst = worst.max(stats.max_diversity_error(weights));
-                });
-            } else {
-                let mut sim = crate::runner::converged_sharded_simulator::<u32>(n, weights, seed);
-                sim.run_observed(window, stride, |_, words| {
-                    let stats = pp_core::packed::config_stats_from_words(words, k);
-                    worst = worst.max(stats.max_diversity_error(weights));
-                });
-            }
-        }
-    }
+    let mut sim = crate::runner::converged_engine(engine, n, weights, seed);
+    sim.run_observed(window, stride, &mut |_, counts| {
+        let stats = config_stats_from_class_counts(counts, k);
+        worst = worst.max(stats.max_diversity_error(weights));
+    });
     worst
 }
 

@@ -3,13 +3,21 @@
 //! root and the system recovers its fair shares; a *retired* colour stays
 //! retired under Diversification but haunts the trivial global-sampling
 //! protocol forever (the introduction's non-robustness argument).
+//!
+//! Every phase — the plain run *and* the shock/churn phases — runs on the
+//! engine selected by `PP_ENGINE`, through the generic
+//! [`Engine`](pp_engine::Engine) surface: the adversary suite itself is
+//! engine-generic, so the whole experiment rides the dense tier by
+//! default and any fast tier on request (no more falling back to the
+//! agent engine for the mutating phases).
 
 use crate::experiments::Report;
-use crate::runner::{EngineKind, Preset};
+use crate::runner::{build_engine, EngineKind, Preset};
 use pp_adversary::{apply, error_under_churn, recovery_time, Shock};
 use pp_baselines::TrivialProportional;
-use pp_core::{region::GoodSet, AgentState, Colour, ConfigStats, Diversification, Weights};
-use pp_dense::{CountConfig, DenseSimulator};
+use pp_core::{
+    packed::config_stats_from_class_counts, region::GoodSet, AgentState, Colour, Weights,
+};
 use pp_engine::Simulator;
 use pp_graph::Complete;
 use pp_stats::{table::fmt_f64, Table};
@@ -30,95 +38,27 @@ pub fn run(preset: Preset, seed: u64) -> Report {
         .enumerate()
         .flat_map(|(i, &c)| std::iter::repeat_n(AgentState::dark(Colour::new(i)), c))
         .collect();
-    let mut sim = Simulator::new(
-        Diversification::new(weights.clone()),
-        Complete::new(n),
-        states.clone(),
-        seed,
-    );
+    let engine = EngineKind::from_env();
+    let mut sim = build_engine(engine, &weights, states, seed);
     let mut shock_rng = StdRng::seed_from_u64(seed.wrapping_add(1));
     let mut table = Table::new(["event", "outcome"]);
     let mut report_notes = Vec::new();
 
     // Phase A: plain run — live colours never vanish, absent colour never
-    // appears. The topology is Complete, so the engine follows PP_ENGINE
-    // like the other complete-graph measurements: dense by default (the
-    // start has zero supporters of colour 4; its adoption rate is exactly
-    // zero in both engines), per-agent with PP_ENGINE=agent.
-    let engine = EngineKind::from_env();
+    // appears (the start has zero supporters of colour 4; its adoption
+    // rate is exactly zero on every tier).
     let mut min_live_dark = usize::MAX;
     let burn = pp_core::theory::convergence_budget(n, 4.0, 4.0);
     let mut resurrect = false;
-    match engine {
-        EngineKind::Dense => {
-            let dark: Vec<u64> = counts.iter().map(|&c| c as u64).collect();
-            let mut dense_sim = DenseSimulator::new(
-                Diversification::new(weights.clone()),
-                CountConfig::new(dark, vec![0; k]).to_classes(),
-                seed,
-            );
-            dense_sim.run_observed(burn, n as u64, |_, class_counts| {
-                let stats = CountConfig::from_classes(class_counts).stats();
-                for i in 0..4 {
-                    min_live_dark = min_live_dark.min(stats.dark_count(i));
-                }
-                resurrect |= stats.colour_count(4) > 0;
-            });
-            // Bring the agent-based simulator to the same point for the
-            // shock phases, which mutate per-agent states.
-            sim.run(burn);
+    sim.run_observed(burn, n as u64, &mut |_, class_counts| {
+        let stats = config_stats_from_class_counts(class_counts, k);
+        for i in 0..4 {
+            min_live_dark = min_live_dark.min(stats.dark_count(i));
         }
-        EngineKind::Agent => {
-            sim.run_observed(burn, n as u64, |_, pop| {
-                let stats = ConfigStats::from_states(pop.states(), k);
-                for i in 0..4 {
-                    min_live_dark = min_live_dark.min(stats.dark_count(i));
-                }
-                resurrect |= stats.colour_count(4) > 0;
-            });
-        }
-        EngineKind::Turbo => {
-            // Reuse the exact initial configuration above — colour 4 is
-            // intentionally absent, which `init::from_dark_counts` would
-            // reject.
-            let mut turbo_sim = pp_engine::TurboSimulator::<_, _, u8>::new(
-                Diversification::new(weights.clone()),
-                pp_graph::Complete::new(n),
-                &states,
-                seed,
-            );
-            turbo_sim.run_observed(burn, n as u64, |_, words| {
-                let stats = pp_core::packed::config_stats_from_words(words, k);
-                for i in 0..4 {
-                    min_live_dark = min_live_dark.min(stats.dark_count(i));
-                }
-                resurrect |= stats.colour_count(4) > 0;
-            });
-            // Bring the agent-based simulator to the same point for the
-            // shock phases, which mutate per-agent states.
-            sim.run(burn);
-        }
-        EngineKind::Sharded => {
-            let mut sharded_sim = pp_engine::ShardedSimulator::<_, _, u8>::new(
-                Diversification::new(weights.clone()),
-                pp_graph::Complete::new(n),
-                &states,
-                seed,
-            );
-            sharded_sim.run_observed(burn, n as u64, |_, words| {
-                let stats = pp_core::packed::config_stats_from_words(words, k);
-                for i in 0..4 {
-                    min_live_dark = min_live_dark.min(stats.dark_count(i));
-                }
-                resurrect |= stats.colour_count(4) > 0;
-            });
-            // Bring the agent-based simulator to the same point for the
-            // shock phases, which mutate per-agent states.
-            sim.run(burn);
-        }
-    }
+        resurrect |= stats.colour_count(4) > 0;
+    });
     table.row([
-        format!("phase A: plain run ({engine:?} engine)"),
+        format!("phase A: plain run ({} engine)", engine.name()),
         format!(
             "min dark support of live colours = {min_live_dark} (never 0); absent colour appeared: {resurrect}"
         ),
@@ -132,11 +72,12 @@ pub fn run(preset: Preset, seed: u64) -> Report {
         }
     ));
 
-    // Phase B: inject colour 4 dark and measure recovery into E(δ) over all 5.
+    // Phase B: inject colour 4 dark and measure recovery into E(δ) over all
+    // 5 — on the same engine, through the generic adversary suite.
     let good = GoodSet::new(weights.clone(), 0.35);
     let budget = pp_core::theory::convergence_budget(n, weights.total(), 64.0);
     let rec = recovery_time(
-        &mut sim,
+        &mut *sim,
         &Shock::InjectColour {
             colour: Colour::new(4),
             recruits: (n / 10).max(2),
@@ -169,12 +110,12 @@ pub fn run(preset: Preset, seed: u64) -> Report {
             colour: Colour::new(0),
             replacement: Colour::new(1),
         },
-        &mut sim,
+        &mut *sim,
         &mut shock_rng,
     );
     let mut resurrected = false;
-    sim.run_observed((10.0 * nln) as u64, n as u64, |_, pop| {
-        let stats = ConfigStats::from_states(pop.states(), k);
+    sim.run_observed((10.0 * nln) as u64, n as u64, &mut |_, class_counts| {
+        let stats = config_stats_from_class_counts(class_counts, k);
         resurrected |= stats.colour_count(0) > 0;
     });
     table.row([
@@ -188,6 +129,8 @@ pub fn run(preset: Preset, seed: u64) -> Report {
 
     // Phase D: the same retirement under the trivial proportional protocol —
     // it keeps resampling the dead colour (the intro's non-robustness).
+    // TrivialProportional has no fast-path encoding, so this contrast
+    // phase stays on the generic engine regardless of PP_ENGINE.
     let trivial_weights = Weights::new(vec![1.0, 1.0, 1.0, 1.0]).expect("static");
     let trivial_states: Vec<Colour> = (0..n).map(|u| Colour::new(1 + (u % 3))).collect();
     let mut trivial_sim = Simulator::new(
@@ -215,18 +158,13 @@ pub fn run(preset: Preset, seed: u64) -> Report {
 
     // Phase E: sustained churn — one random agent reset per interval; the
     // dynamic-equilibrium error grows with the churn rate but diversity and
-    // sustainability survive.
+    // sustainability survive. Same engine tier as the rest of the phases.
     {
         let churn_weights = Weights::uniform(4);
         let m = preset.pick(300, 1_200);
         let converged = || {
             let states = pp_core::init::all_dark_balanced(m, &churn_weights);
-            let mut sim = Simulator::new(
-                Diversification::new(churn_weights.clone()),
-                Complete::new(m),
-                states,
-                seed.wrapping_add(9),
-            );
+            let mut sim = build_engine(engine, &churn_weights, states, seed.wrapping_add(9));
             sim.run(pp_core::theory::convergence_budget(m, 4.0, 4.0));
             sim
         };
@@ -236,14 +174,14 @@ pub fn run(preset: Preset, seed: u64) -> Report {
         let mut fast_sim = converged();
         let mut slow_sim = converged();
         let fast = error_under_churn(
-            &mut fast_sim,
+            &mut *fast_sim,
             &churn_weights,
             ((m / 100).max(2)) as u64,
             horizon,
             &mut fast_rng,
         );
         let slow = error_under_churn(
-            &mut slow_sim,
+            &mut *slow_sim,
             &churn_weights,
             (10 * m) as u64,
             horizon,
@@ -268,7 +206,10 @@ pub fn run(preset: Preset, seed: u64) -> Report {
     }
 
     let mut report = Report::new(
-        format!("t6_sustainability (n = {n}, universe k = 5)"),
+        format!(
+            "t6_sustainability (n = {n}, universe k = 5, {} engine end-to-end)",
+            engine.name()
+        ),
         table,
     );
     for note in report_notes {

@@ -4,19 +4,22 @@
 //! Same protocol, same budget (`30·n·ln n` steps), different interaction
 //! graphs. The paper's analysis needs the complete graph; the expectation
 //! (and the measured shape) is that well-mixing graphs (complete, dense ER,
-//! random-regular, torus) stay close to the fair share while the cycle —
-//! diameter `n/2` — lags far behind at equal budget.
+//! random-regular, torus, within-community SBM) stay close to the fair
+//! share while the cycle — diameter `n/2` — lags far behind at equal
+//! budget.
 //!
-//! Runs on the packed fast path ([`PackedSimulator`]): random families are
-//! lowered to [`Csr`], structured families stay arithmetic, and the whole
-//! (family × seed) grid is scheduled through one work-stealing pool
-//! ([`sweep_grid`]). That lifts the comparison from the generic engine's
-//! `n = 1024` ceiling to `n = 65 536` at full preset.
+//! Every family runs through the generic [`Engine`](pp_engine::Engine)
+//! path: `PP_ENGINE` selects the tier (packed by default — the dense
+//! complete-graph default maps to its per-agent sibling via
+//! [`EngineKind::per_agent`]), and the whole (family × seed) grid is
+//! scheduled through one work-stealing pool ([`sweep_grid`]). The packed
+//! tier lifts the comparison from the generic engine's `n = 1024` ceiling
+//! to `n = 65 536` at full preset.
 
 use crate::experiments::Report;
-use crate::runner::{standard_weights, EngineKind, Preset};
-use pp_core::{init, packed::config_stats_from_packed, Diversification, Weights};
-use pp_engine::{sweep_grid, PackedSimulator, ShardedSimulator};
+use crate::runner::{build_graph_engine, standard_weights, EngineKind, Preset};
+use pp_core::{init, packed::config_stats_from_class_counts, AgentState, Weights};
+use pp_engine::{sweep_grid, Engine};
 use pp_graph::{
     erdos_renyi, random_regular, watts_strogatz, Complete, Csr, Cycle, Hypercube, Topology, Torus2d,
 };
@@ -46,96 +49,50 @@ impl FastTopo {
         }
     }
 
-    /// Window-max diversity error after the fixed budget. Runs on the
-    /// packed engine by default (dispatching once per *run*, not once per
-    /// interaction); `PP_ENGINE=sharded` reroutes every family onto the
-    /// graph-partitioned engine, which uses the machine's cores for each
-    /// single run instead of only fanning seeds.
+    /// Window-max diversity error after the fixed budget, on whichever
+    /// engine tier `PP_ENGINE` selects. The match below dispatches the
+    /// *topology* (keeping each family monomorphized); the engine
+    /// dispatch happens once, inside [`build_graph_engine`].
     fn error_on(&self, weights: &Weights, seed: u64) -> f64 {
-        let sharded = EngineKind::from_env() == EngineKind::Sharded;
         match self.clone() {
-            FastTopo::Complete(t) if sharded => error_on_sharded(t, weights, seed),
-            FastTopo::Csr(t) if sharded => error_on_sharded(t, weights, seed),
-            FastTopo::Hypercube(t) if sharded => error_on_sharded(t, weights, seed),
-            FastTopo::Torus(t) if sharded => error_on_sharded(t, weights, seed),
-            FastTopo::Cycle(t) if sharded => error_on_sharded(t, weights, seed),
-            FastTopo::Complete(t) => error_on_packed(t, weights, seed),
-            FastTopo::Csr(t) => error_on_packed(t, weights, seed),
-            FastTopo::Hypercube(t) => error_on_packed(t, weights, seed),
-            FastTopo::Torus(t) => error_on_packed(t, weights, seed),
-            FastTopo::Cycle(t) => error_on_packed(t, weights, seed),
+            FastTopo::Complete(t) => error_on_engine(t, weights, seed),
+            FastTopo::Csr(t) => error_on_engine(t, weights, seed),
+            FastTopo::Hypercube(t) => error_on_engine(t, weights, seed),
+            FastTopo::Torus(t) => error_on_engine(t, weights, seed),
+            FastTopo::Cycle(t) => error_on_engine(t, weights, seed),
         }
     }
 }
 
-/// The engine surface the shared budget/window driver needs; implemented
-/// for both fast-tier engines so the experiment's burn-in, window, and
-/// stride live in exactly one place ([`windowed_error`]).
-trait ErrorEngine {
-    fn burn(&mut self, steps: u64);
-    fn observe(&mut self, steps: u64, stride: u64, f: &mut dyn FnMut(&[u32]));
-}
-
-impl<P: pp_engine::PackedProtocol, T: Topology> ErrorEngine for PackedSimulator<P, T> {
-    fn burn(&mut self, steps: u64) {
-        self.run(steps);
-    }
-
-    fn observe(&mut self, steps: u64, stride: u64, f: &mut dyn FnMut(&[u32])) {
-        self.run_observed(steps, stride, |_, packed| f(packed));
-    }
-}
-
-impl<P: pp_engine::PackedProtocol, T: Topology> ErrorEngine for ShardedSimulator<P, T, u8> {
-    fn burn(&mut self, steps: u64) {
-        self.run(steps);
-    }
-
-    fn observe(&mut self, steps: u64, stride: u64, f: &mut dyn FnMut(&[u32])) {
-        self.run_observed(steps, stride, |_, packed| f(packed));
-    }
-}
-
 /// Window-max diversity error after a `30·n·ln n` budget, sampled over a
-/// `2·n·ln n` trailing window — one definition shared by both engine
-/// arms, so a budget or observable change cannot drift between them.
-fn windowed_error(sim: &mut dyn ErrorEngine, n: usize, weights: &Weights) -> f64 {
+/// `2·n·ln n` trailing window — one definition for every engine tier and
+/// family, so a budget or observable change cannot drift between them.
+fn windowed_error(sim: &mut dyn Engine<State = AgentState>, n: usize, weights: &Weights) -> f64 {
     let k = weights.len();
     let nln = n as f64 * (n as f64).ln();
-    sim.burn((30.0 * nln) as u64);
+    sim.run((30.0 * nln) as u64);
     let mut worst: f64 = 0.0;
-    sim.observe((2.0 * nln) as u64, (n as u64 / 2).max(1), &mut |packed| {
-        let stats = config_stats_from_packed(packed, k);
-        worst = worst.max(stats.max_diversity_error(weights));
-    });
+    sim.run_observed(
+        (2.0 * nln) as u64,
+        (n as u64 / 2).max(1),
+        &mut |_, counts| {
+            let stats = config_stats_from_class_counts(counts, k);
+            worst = worst.max(stats.max_diversity_error(weights));
+        },
+    );
     worst
 }
 
-/// [`windowed_error`] on the packed fast path.
-fn error_on_packed<T: Topology>(topology: T, weights: &Weights, seed: u64) -> f64 {
+/// [`windowed_error`] on a freshly built engine of the env-selected tier.
+fn error_on_engine<T>(topology: T, weights: &Weights, seed: u64) -> f64
+where
+    T: Topology + Clone + Send + Sync + 'static,
+{
+    let kind = EngineKind::from_env().per_agent();
     let n = topology.len();
     let states = init::all_dark_balanced(n, weights);
-    let mut sim = PackedSimulator::new(
-        Diversification::new(weights.clone()),
-        topology,
-        &states,
-        seed,
-    );
-    windowed_error(&mut sim, n, weights)
-}
-
-/// [`windowed_error`] on the graph-partitioned engine (`u8` storage,
-/// `k = 4` fits a byte): the same budget and window, multi-core per run.
-fn error_on_sharded<T: Topology>(topology: T, weights: &Weights, seed: u64) -> f64 {
-    let n = topology.len();
-    let states = init::all_dark_balanced(n, weights);
-    let mut sim = ShardedSimulator::<_, _, u8>::new(
-        Diversification::new(weights.clone()),
-        topology,
-        &states,
-        seed,
-    );
-    windowed_error(&mut sim, n, weights)
+    let mut sim = build_graph_engine(kind, weights, topology, states, seed);
+    windowed_error(&mut *sim, n, weights)
 }
 
 /// Samples an ER graph with average degree `avg_deg`, retrying (with a
@@ -154,7 +111,9 @@ fn connected_enough_er(n: usize, avg_deg: f64, seed: u64) -> Csr {
     panic!("no isolated-node-free G({n}, {p}) sample in 16 attempts");
 }
 
-/// The seven families, at size `n = side²`.
+/// The eight families, at size `n = side²`. The SBM is t15's sampler
+/// ([`crate::experiments::sbm::sample_sbm`]) — one set of community
+/// parameters for both experiments.
 fn build_families(side: usize, seed: u64) -> Vec<FastTopo> {
     let n = side * side;
     let mut gen_rng = StdRng::seed_from_u64(seed.wrapping_add(100));
@@ -163,6 +122,7 @@ fn build_families(side: usize, seed: u64) -> Vec<FastTopo> {
         FastTopo::Complete(Complete::new(n)),
         FastTopo::Csr(random_regular(n, 8, &mut gen_rng).to_csr()),
         FastTopo::Csr(connected_enough_er(n, 16.0, seed)),
+        FastTopo::Csr(crate::experiments::sbm::sample_sbm(n, seed)),
         FastTopo::Hypercube(Hypercube::new(dim)),
         FastTopo::Csr(watts_strogatz(n, 4, 0.1, &mut gen_rng).to_csr()),
         FastTopo::Torus(Torus2d::new(side, side)),
@@ -172,8 +132,8 @@ fn build_families(side: usize, seed: u64) -> Vec<FastTopo> {
 
 /// Runs the comparison.
 pub fn run(preset: Preset, seed: u64) -> Report {
-    // Quick now runs what used to be the *full* scale (n = 1024); full
-    // rides the packed engine up to n = 65 536.
+    // Quick runs what used to be the *full* scale (n = 1024); full rides
+    // the fast tiers up to n = 65 536.
     let side = preset.pick(32usize, 256);
     let n = side * side;
     let reps = preset.pick(2u64, 3);
@@ -211,10 +171,12 @@ pub fn run(preset: Preset, seed: u64) -> Report {
         ]);
     }
 
+    let kind = EngineKind::from_env().per_agent();
     let mut report = Report::new(
         format!(
             "t10_topologies (n = {n}, weights = (1,1,2,4), budget = 30 n ln n, \
-             packed fast-path engine)"
+             {} engine)",
+            kind.name()
         ),
         table,
     );
@@ -228,13 +190,11 @@ pub fn run(preset: Preset, seed: u64) -> Report {
          (diameter Θ(n) vs Θ(1)) — the trade-off the future-work section anticipates.",
         cycle_err / base
     ));
-    let engine_note = if EngineKind::from_env() == EngineKind::Sharded {
-        "ShardedSimulator (graph-partitioned multi-core, u8 states, PP_ENGINE=sharded)"
-    } else {
-        "PackedSimulator (u32 packed states, monomorphized per family, CSR for the random graphs)"
-    };
     report.note(format!(
-        "engine: {engine_note}, {} (family × seed) runs through one work-stealing pool.",
+        "engine: {} via the generic Engine path (PP_ENGINE selects any tier), \
+         {} (family × seed) runs through one work-stealing pool; \
+         sbm nodes are community-contiguous so contiguous shards align with blocks.",
+        kind.name(),
         families.len() as u64 * reps
     ));
     report
@@ -262,6 +222,13 @@ mod tests {
             cycle > complete,
             "cycle ({cycle}) should lag complete ({complete}):\n{text}"
         );
+        // The clustered SBM is well-mixing within blocks: globally it must
+        // track the dense families, not the cycle.
+        let sbm = value("sbm(blocks=4)");
+        assert!(
+            sbm < cycle,
+            "sbm ({sbm}) should beat the cycle ({cycle}):\n{text}"
+        );
     }
 
     #[test]
@@ -269,5 +236,13 @@ mod tests {
         let g = connected_enough_er(256, 8.0, 3);
         assert!(g.min_degree() >= 1);
         assert_eq!(g.len(), 256);
+    }
+
+    #[test]
+    fn sbm_family_is_contiguous_and_connected_enough() {
+        let g = crate::experiments::sbm::sample_sbm(256, 3);
+        assert!(g.min_degree() >= 1);
+        assert_eq!(g.len(), 256);
+        assert_eq!(g.preferred_partition(), pp_graph::PartitionKind::Contiguous);
     }
 }

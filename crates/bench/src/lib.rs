@@ -23,6 +23,8 @@
 //! | `t11_lower_bound` | Ω(n log n) broadcast | [`experiments::lower_bound`] |
 //! | `t12_uniform_partition` | `w_i = 1` special case | [`experiments::uniform_partition`] |
 //! | `t13_stability` | Thm 2.5 stability window | [`experiments::stability`] |
+//! | `t14_adversary` | robustness × engine-tier grid | [`experiments::adversary`] |
+//! | `t15_sbm_blocks` | diversity within SBM communities | [`experiments::sbm`] |
 //! | `ablations` | design-choice knockouts | [`experiments::ablations`] |
 //! | `drift_lemmas` | Lemmas 2.9/2.10/4.1 contraction | [`experiments::drift`] |
 //! | `throughput` | agent vs dense engine steps/s | [`throughput`] |
@@ -32,10 +34,15 @@
 //! (`Preset::Full`, used by the `t*` binaries). Each binary also writes its
 //! report to `BENCH_<name>.json` via [`output`].
 //!
-//! Complete-graph measurements are driven by the engine selected through
-//! [`EngineKind`]: the count-based `pp-dense` engine by default (orders of
-//! magnitude faster at large `n`; see EXPERIMENTS.md for the measured
-//! speedup table), or the per-agent engine with `PP_ENGINE=agent`.
+//! Measurements are driven by the engine selected through [`EngineKind`]
+//! and built at exactly one dispatch point
+//! ([`runner::build_engine`] / [`runner::build_graph_engine`]); every
+//! experiment then drives a `Box<dyn pp_engine::Engine>` generically.
+//! Complete-graph experiments default to the count-based `pp-dense`
+//! engine (orders of magnitude faster at large `n`; see EXPERIMENTS.md
+//! for the measured speedup table); `PP_ENGINE` selects `agent`,
+//! `packed`, `turbo`, or `sharded` for any experiment, including the
+//! adversarial ones.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,6 +53,6 @@ pub mod runner;
 pub mod throughput;
 
 pub use runner::{
-    converged_dense_simulator, converged_simulator, convergence_time, convergence_time_with,
-    EngineKind, Preset,
+    build_engine, build_graph_engine, converged_engine, converged_simulator, convergence_time,
+    convergence_time_with, DivEngine, EngineKind, Preset,
 };

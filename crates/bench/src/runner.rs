@@ -1,11 +1,19 @@
 //! Shared experiment plumbing.
+//!
+//! Engine selection lives here, and **only** here: [`build_engine`] /
+//! [`build_graph_engine`] are the bench layer's single dispatch point from
+//! [`EngineKind`] to a concrete simulator, returning a
+//! `Box<dyn Engine<State = AgentState>>` every experiment drives through
+//! the generic [`Engine`](pp_engine::Engine) surface. Adding an engine
+//! tier (or a workload) no longer touches every experiment file.
 
 use pp_core::{
-    init, packed::config_stats_from_words, region::GoodSet, ConfigStats, Diversification, Weights,
+    init, packed::config_stats_from_class_counts, region::GoodSet, AgentState, Diversification,
+    Weights,
 };
-use pp_dense::{CountConfig, DenseSimulator};
-use pp_engine::{ShardedSimulator, Simulator, TurboSimulator};
-use pp_graph::Complete;
+use pp_dense::DenseEngine;
+use pp_engine::{Engine, PackedSimulator, ShardedSimulator, Simulator, TurboSimulator};
+use pp_graph::{Complete, Topology};
 
 /// Experiment scale: `Quick` presets finish in seconds (used by
 /// `cargo bench` and the test-suite), `Full` presets are the scales quoted
@@ -28,28 +36,41 @@ impl Preset {
     }
 
     /// Reads the preset from the process environment: `PP_PRESET=full`
-    /// selects [`Preset::Full`], anything else (or unset) is quick.
+    /// selects [`Preset::Full`], `PP_PRESET=quick` (or unset) is quick.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any other value, matching [`EngineKind::from_env`]: a
+    /// silently ignored typo (`PP_PRESET=ful`) would record quick-preset
+    /// numbers as full-scale results.
     pub fn from_env() -> Self {
         match std::env::var("PP_PRESET") {
             Ok(v) if v.eq_ignore_ascii_case("full") => Preset::Full,
-            _ => Preset::Quick,
+            Ok(v) if v.eq_ignore_ascii_case("quick") => Preset::Quick,
+            Err(_) => Preset::Quick,
+            Ok(v) => panic!("PP_PRESET must be `quick` or `full`, got `{v}`"),
         }
     }
 }
 
-/// Which simulation engine drives a complete-graph measurement.
+/// Which simulation engine tier drives a measurement.
 ///
-/// The topology of every measurement routed through this enum is
-/// `Complete`, where the count-based [`DenseSimulator`] is distributionally
-/// equivalent to the per-agent [`Simulator`] (see `pp-dense`); experiments
-/// on any other topology always use the agent engine directly.
+/// Complete-graph measurements default to the count-based dense engine
+/// (distributionally equivalent to the per-agent engines there, and
+/// orders of magnitude faster at large `n`); `PP_ENGINE` reroutes every
+/// experiment onto any other tier through the same generic code path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EngineKind {
-    /// One `AgentState` per agent, one RNG draw per interaction.
+    /// One `AgentState` per agent, one RNG draw per interaction — the
+    /// generic reference engine.
     Agent,
-    /// `k × 2` count matrix, τ-leaped batches of interactions.
+    /// `k × 2` count matrix, τ-leaped batches of interactions
+    /// (complete graph only).
     Dense,
-    /// Per-agent `u8` states with counter-based relaxed-equivalence
+    /// Monomorphized `u32` SoA fast path (`PackedSimulator`) — bit-exact
+    /// twin of the agent engine under a shared seed.
+    Packed,
+    /// Per-agent `u8`/`u32` states with counter-based relaxed-equivalence
     /// randomness (`TurboSimulator`) — statistically, not bit-exactly,
     /// equivalent to the agent engine; verified by the `pp-stats`
     /// harness.
@@ -62,11 +83,10 @@ pub enum EngineKind {
 }
 
 impl EngineKind {
-    /// Reads the engine from the environment: `PP_ENGINE=agent` forces the
-    /// per-agent engine, `PP_ENGINE=turbo` the relaxed-equivalence turbo
-    /// engine, `PP_ENGINE=sharded` the graph-partitioned multi-core
-    /// engine, and `PP_ENGINE=dense` (or unset) selects the dense engine —
-    /// the default for complete-graph experiments.
+    /// Reads the engine from the environment: `PP_ENGINE` set to `agent`,
+    /// `packed`, `turbo`, or `sharded` forces that tier; `dense` (or
+    /// unset) selects the dense engine — the default for complete-graph
+    /// experiments.
     ///
     /// # Panics
     ///
@@ -76,13 +96,133 @@ impl EngineKind {
         match std::env::var("PP_ENGINE") {
             Ok(v) if v.eq_ignore_ascii_case("agent") => EngineKind::Agent,
             Ok(v) if v.eq_ignore_ascii_case("dense") => EngineKind::Dense,
+            Ok(v) if v.eq_ignore_ascii_case("packed") => EngineKind::Packed,
             Ok(v) if v.eq_ignore_ascii_case("turbo") => EngineKind::Turbo,
             Ok(v) if v.eq_ignore_ascii_case("sharded") => EngineKind::Sharded,
             Err(_) => EngineKind::Dense,
             Ok(v) => {
-                panic!("PP_ENGINE must be `agent`, `dense`, `turbo`, or `sharded`, got `{v}`")
+                panic!(
+                    "PP_ENGINE must be `agent`, `dense`, `packed`, `turbo`, or `sharded`, got `{v}`"
+                )
             }
         }
+    }
+
+    /// The nearest tier with **per-agent identity**: [`Dense`] maps to
+    /// [`Packed`] (its bit-exact per-agent sibling), everything else is
+    /// itself.
+    ///
+    /// Two experiment classes need this: general-graph workloads (the
+    /// count-based engine exists only on the complete graph) and
+    /// per-agent instrumentation (fairness occupancy — the dense engine
+    /// has no stable agent identity to track). Using the mapping instead
+    /// of a panic keeps `PP_ENGINE` unset (= dense) working for every
+    /// `t*` bin; reports note the tier that actually ran.
+    ///
+    /// [`Dense`]: EngineKind::Dense
+    /// [`Packed`]: EngineKind::Packed
+    pub fn per_agent(self) -> Self {
+        match self {
+            EngineKind::Dense => EngineKind::Packed,
+            other => other,
+        }
+    }
+
+    /// Short lowercase name for tables and notes.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Agent => "agent",
+            EngineKind::Dense => "dense",
+            EngineKind::Packed => "packed",
+            EngineKind::Turbo => "turbo",
+            EngineKind::Sharded => "sharded",
+        }
+    }
+}
+
+/// A boxed engine running Diversification — the currency of the generic
+/// experiment path.
+pub type DivEngine = Box<dyn Engine<State = AgentState>>;
+
+/// Builds a Diversification engine of the selected tier over an arbitrary
+/// topology, from explicit initial states — the bench layer's **single**
+/// engine-dispatch point.
+///
+/// # Panics
+///
+/// Panics for [`EngineKind::Dense`]: the count-based engine relies on
+/// complete-graph mean-field symmetry that no display-name check can
+/// establish for an arbitrary `T`, so only [`build_engine`] — which
+/// constructs the `Complete` topology itself — builds it; general-graph
+/// experiments map the dense default away first via
+/// [`EngineKind::per_agent`]. Also panics if the state count does not
+/// match the topology size.
+pub fn build_graph_engine<T>(
+    kind: EngineKind,
+    weights: &Weights,
+    topology: T,
+    states: Vec<AgentState>,
+    seed: u64,
+) -> DivEngine
+where
+    T: Topology + Clone + Send + Sync + 'static,
+{
+    let k = weights.len();
+    let protocol = Diversification::new(weights.clone());
+    match kind {
+        EngineKind::Agent => Box::new(Simulator::new(protocol, topology, states, seed)),
+        EngineKind::Dense => {
+            panic!(
+                "the dense engine applies only on the complete graph, not `{}`; \
+                 build it through build_engine, or map the kind away with \
+                 EngineKind::per_agent() first",
+                topology.name()
+            );
+        }
+        EngineKind::Packed => Box::new(PackedSimulator::new(protocol, topology, &states, seed)),
+        EngineKind::Turbo => {
+            if pp_core::packed::fits_u8(k) {
+                Box::new(TurboSimulator::<_, _, u8>::new(
+                    protocol, topology, &states, seed,
+                ))
+            } else {
+                Box::new(TurboSimulator::<_, _, u32>::new(
+                    protocol, topology, &states, seed,
+                ))
+            }
+        }
+        EngineKind::Sharded => {
+            if pp_core::packed::fits_u8(k) {
+                Box::new(ShardedSimulator::<_, _, u8>::new(
+                    protocol, topology, &states, seed,
+                ))
+            } else {
+                Box::new(ShardedSimulator::<_, _, u32>::new(
+                    protocol, topology, &states, seed,
+                ))
+            }
+        }
+    }
+}
+
+/// [`build_graph_engine`] on the complete graph — the builder behind every
+/// complete-graph measurement (where all five tiers, including dense,
+/// apply).
+pub fn build_engine(
+    kind: EngineKind,
+    weights: &Weights,
+    states: Vec<AgentState>,
+    seed: u64,
+) -> DivEngine {
+    let n = states.len();
+    match kind {
+        EngineKind::Dense => Box::new(DenseEngine::from_states(
+            Diversification::new(weights.clone()),
+            &states,
+            weights.len(),
+            seed,
+        )),
+        other => build_graph_engine(other, weights, Complete::new(n), states, seed),
     }
 }
 
@@ -106,7 +246,8 @@ pub fn convergence_time(
     convergence_time_with(EngineKind::from_env(), n, weights, delta, seed, max_steps)
 }
 
-/// [`convergence_time`] with an explicit engine choice.
+/// [`convergence_time`] with an explicit engine choice — one generic code
+/// path for every tier.
 pub fn convergence_time_with(
     engine: EngineKind,
     n: usize,
@@ -118,84 +259,20 @@ pub fn convergence_time_with(
     let good = GoodSet::new(weights.clone(), delta);
     let k = weights.len();
     let check = (n as u64 / 4).max(1);
-    match engine {
-        EngineKind::Agent => {
-            let states = init::all_dark_single_minority(n, weights);
-            let mut sim = Simulator::new(
-                Diversification::new(weights.clone()),
-                Complete::new(n),
-                states,
-                seed,
-            );
-            sim.run_until(max_steps, check, |pop, _| {
-                good.contains(&ConfigStats::from_states(pop.states(), k))
-            })
-        }
-        EngineKind::Dense => {
-            let config = CountConfig::all_dark_single_minority(n as u64, k);
-            let mut sim = DenseSimulator::new(
-                Diversification::new(weights.clone()),
-                config.to_classes(),
-                seed,
-            );
-            sim.run_until(max_steps, check, |counts, _| {
-                good.contains(&CountConfig::from_classes(counts).stats())
-            })
-        }
-        EngineKind::Turbo => {
-            let states = init::all_dark_single_minority(n, weights);
-            if pp_core::packed::fits_u8(k) {
-                let mut sim = TurboSimulator::<_, _, u8>::new(
-                    Diversification::new(weights.clone()),
-                    Complete::new(n),
-                    &states,
-                    seed,
-                );
-                sim.run_until(max_steps, check, |words, _| {
-                    good.contains(&config_stats_from_words(words, k))
-                })
-            } else {
-                let mut sim = TurboSimulator::<_, _, u32>::new(
-                    Diversification::new(weights.clone()),
-                    Complete::new(n),
-                    &states,
-                    seed,
-                );
-                sim.run_until(max_steps, check, |words, _| {
-                    good.contains(&config_stats_from_words(words, k))
-                })
-            }
-        }
-        EngineKind::Sharded => {
-            let states = init::all_dark_single_minority(n, weights);
-            if pp_core::packed::fits_u8(k) {
-                let mut sim = ShardedSimulator::<_, _, u8>::new(
-                    Diversification::new(weights.clone()),
-                    Complete::new(n),
-                    &states,
-                    seed,
-                );
-                sim.run_until(max_steps, check, |words, _| {
-                    good.contains(&config_stats_from_words(words, k))
-                })
-            } else {
-                let mut sim = ShardedSimulator::<_, _, u32>::new(
-                    Diversification::new(weights.clone()),
-                    Complete::new(n),
-                    &states,
-                    seed,
-                );
-                sim.run_until(max_steps, check, |words, _| {
-                    good.contains(&config_stats_from_words(words, k))
-                })
-            }
-        }
-    }
+    let states = init::all_dark_single_minority(n, weights);
+    let mut sim = build_engine(engine, weights, states, seed);
+    sim.run_until(max_steps, check, &mut |counts, _| {
+        good.contains(&config_stats_from_class_counts(counts, k))
+    })
 }
 
 /// Builds a simulator from the balanced all-dark start and runs it past the
 /// Theorem 1.3 budget (`c·w²·n·ln n` with `c = 4`), returning it in its
 /// (w.h.p.) converged state.
+///
+/// The concrete-type twin of [`converged_engine`], for experiments that
+/// need the generic engine's own API (per-agent trajectories, protocol
+/// access).
 pub fn converged_simulator(
     n: usize,
     weights: &Weights,
@@ -213,71 +290,11 @@ pub fn converged_simulator(
     sim
 }
 
-/// The dense-engine counterpart of [`converged_simulator`]: balanced
-/// all-dark start, run past the Theorem 1.3 budget.
-pub fn converged_dense_simulator(
-    n: usize,
-    weights: &Weights,
-    seed: u64,
-) -> DenseSimulator<Diversification> {
-    let config = CountConfig::all_dark_balanced(n as u64, weights.len());
-    let mut sim = DenseSimulator::new(
-        Diversification::new(weights.clone()),
-        config.to_classes(),
-        seed,
-    );
-    let budget = pp_core::theory::convergence_budget(n, weights.total(), 4.0);
-    sim.run(budget);
-    sim
-}
-
-/// The turbo-engine counterpart of [`converged_simulator`]: balanced
-/// all-dark start, run past the Theorem 1.3 budget on the
-/// relaxed-equivalence engine. Callers pick the storage word: `u8` when
-/// [`pp_core::packed::fits_u8`] holds (`k ≤ 127`), `u32` otherwise.
-///
-/// # Panics
-///
-/// Panics if a packed state overflows the chosen storage word `W`.
-pub fn converged_turbo_simulator<W: pp_engine::TurboWord>(
-    n: usize,
-    weights: &Weights,
-    seed: u64,
-) -> TurboSimulator<Diversification, Complete, W> {
+/// Balanced all-dark start on the selected tier, run past the Theorem 1.3
+/// budget — the engine-generic counterpart of [`converged_simulator`].
+pub fn converged_engine(kind: EngineKind, n: usize, weights: &Weights, seed: u64) -> DivEngine {
     let states = init::all_dark_balanced(n, weights);
-    let mut sim = TurboSimulator::<_, _, W>::new(
-        Diversification::new(weights.clone()),
-        Complete::new(n),
-        &states,
-        seed,
-    );
-    let budget = pp_core::theory::convergence_budget(n, weights.total(), 4.0);
-    sim.run(budget);
-    sim
-}
-
-/// The sharded-engine counterpart of [`converged_simulator`]: balanced
-/// all-dark start, run past the Theorem 1.3 budget on the
-/// graph-partitioned engine (threads from the shared pool budget).
-/// Callers pick the storage word like for
-/// [`converged_turbo_simulator`]: `u8` when
-/// [`pp_core::packed::fits_u8`] holds, `u32` otherwise.
-///
-/// # Panics
-///
-/// Panics if a packed state overflows the chosen storage word `W`.
-pub fn converged_sharded_simulator<W: pp_engine::TurboWord>(
-    n: usize,
-    weights: &Weights,
-    seed: u64,
-) -> ShardedSimulator<Diversification, Complete, W> {
-    let states = init::all_dark_balanced(n, weights);
-    let mut sim = ShardedSimulator::<_, _, W>::new(
-        Diversification::new(weights.clone()),
-        Complete::new(n),
-        &states,
-        seed,
-    );
+    let mut sim = build_engine(kind, weights, states, seed);
     let budget = pp_core::theory::convergence_budget(n, weights.total(), 4.0);
     sim.run(budget);
     sim
@@ -290,9 +307,19 @@ pub fn standard_weights() -> Weights {
     Weights::new(vec![1.0, 1.0, 2.0, 4.0]).expect("static table is valid")
 }
 
+/// Every engine tier, in the order reports list them.
+pub const ALL_ENGINES: [EngineKind; 5] = [
+    EngineKind::Agent,
+    EngineKind::Dense,
+    EngineKind::Packed,
+    EngineKind::Turbo,
+    EngineKind::Sharded,
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pp_core::ConfigStats;
 
     #[test]
     fn preset_pick() {
@@ -301,15 +328,23 @@ mod tests {
     }
 
     #[test]
-    fn convergence_time_is_finite_at_small_n() {
-        let w = standard_weights();
-        let budget = pp_core::theory::convergence_budget(256, w.total(), 50.0);
-        for engine in [
+    fn per_agent_maps_only_dense() {
+        assert_eq!(EngineKind::Dense.per_agent(), EngineKind::Packed);
+        for kind in [
             EngineKind::Agent,
-            EngineKind::Dense,
+            EngineKind::Packed,
             EngineKind::Turbo,
             EngineKind::Sharded,
         ] {
+            assert_eq!(kind.per_agent(), kind);
+        }
+    }
+
+    #[test]
+    fn convergence_time_is_finite_at_small_n() {
+        let w = standard_weights();
+        let budget = pp_core::theory::convergence_budget(256, w.total(), 50.0);
+        for engine in ALL_ENGINES {
             let t = convergence_time_with(engine, 256, &w, 0.5, 7, budget);
             assert!(
                 t.is_some(),
@@ -342,6 +377,22 @@ mod tests {
     }
 
     #[test]
+    fn agent_and_packed_builders_are_bit_exact_twins() {
+        // The builder must not perturb the bit-exact tier pairing: same
+        // seed through both kinds ⇒ identical class counts along the run.
+        let w = standard_weights();
+        let states = init::all_dark_balanced(128, &w);
+        let mut a = build_engine(EngineKind::Agent, &w, states.clone(), 11);
+        let mut p = build_engine(EngineKind::Packed, &w, states, 11);
+        for _ in 0..5 {
+            a.run(2_000);
+            p.run(2_000);
+            assert_eq!(a.class_counts(), p.class_counts());
+        }
+        assert_eq!(a.snapshot(), p.snapshot());
+    }
+
+    #[test]
     fn converged_simulator_is_near_fair_share() {
         let w = standard_weights();
         let sim = converged_simulator(512, &w, 3);
@@ -350,42 +401,32 @@ mod tests {
     }
 
     #[test]
-    fn converged_turbo_simulator_is_near_fair_share() {
+    fn converged_engine_is_near_fair_share_on_every_tier() {
         let w = standard_weights();
-        let sim = converged_turbo_simulator::<u8>(512, &w, 3);
-        let stats = pp_core::packed::config_stats_from_words(sim.states_words(), w.len());
-        assert!(stats.max_diversity_error(&w) < 0.12);
-        assert!(stats.all_colours_alive());
-    }
-
-    #[test]
-    fn converged_sharded_simulator_is_near_fair_share() {
-        let w = standard_weights();
-        let sim = converged_sharded_simulator::<u8>(512, &w, 3);
-        let stats = pp_core::packed::config_stats_from_words(&sim.states_packed(), w.len());
-        assert!(stats.max_diversity_error(&w) < 0.12);
-        assert!(stats.all_colours_alive());
-    }
-
-    #[test]
-    fn converged_dense_simulator_is_near_fair_share() {
-        let w = standard_weights();
-        let sim = converged_dense_simulator(512, &w, 3);
-        let stats = CountConfig::from_classes(sim.counts()).stats();
-        assert!(stats.max_diversity_error(&w) < 0.12);
-        assert!(stats.all_colours_alive());
+        for kind in ALL_ENGINES {
+            let sim = converged_engine(kind, 512, &w, 3);
+            let stats = config_stats_from_class_counts(&sim.class_counts(), w.len());
+            assert!(
+                stats.max_diversity_error(&w) < 0.12,
+                "{kind:?} not near fair share"
+            );
+            assert!(stats.all_colours_alive(), "{kind:?} lost a colour");
+        }
     }
 
     #[test]
     fn tiny_budget_times_out() {
         let w = standard_weights();
-        for engine in [
-            EngineKind::Agent,
-            EngineKind::Dense,
-            EngineKind::Turbo,
-            EngineKind::Sharded,
-        ] {
+        for engine in ALL_ENGINES {
             assert_eq!(convergence_time_with(engine, 256, &w, 0.05, 7, 10), None);
         }
+    }
+
+    #[test]
+    #[should_panic(expected = "only on the complete graph")]
+    fn dense_rejects_general_graphs() {
+        let w = standard_weights();
+        let states = init::all_dark_balanced(64, &w);
+        build_graph_engine(EngineKind::Dense, &w, pp_graph::Cycle::new(64), states, 1);
     }
 }

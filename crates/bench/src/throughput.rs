@@ -19,9 +19,16 @@
 //! Part 3 is the multi-core acceptance row: turbo vs sharded at
 //! `n = 10⁶` on the torus, with the sharded/turbo ratio and the core
 //! count recorded in the notes (the CI jobs surface it per runner).
+//!
+//! Part 4 is the adversary fast path: churn-driven runs through the
+//! generic `Engine` surface on the packed, turbo, and sharded tiers —
+//! the workload the `Engine` refactor moved off the generic engine. The
+//! churn overhead should be noise (one reset per `n/10` steps), so these
+//! rows certify that adversarial workloads keep each tier's step rate.
 
 use crate::experiments::Report;
-use crate::runner::{standard_weights, Preset};
+use crate::runner::{build_graph_engine, standard_weights, EngineKind, Preset};
+use pp_adversary::Churn;
 use pp_core::{init, Diversification};
 use pp_dense::{CountConfig, DenseSimulator};
 use pp_engine::{pool, PackedSimulator, ShardedSimulator, Simulator, TurboSimulator};
@@ -215,6 +222,33 @@ pub fn run_sharded_scale(seed: u64, budget_secs: f64) -> (Measurement, Measureme
     (turbo, sharded)
 }
 
+/// Times a churn-driven run through the generic `Engine` path: the
+/// Diversification protocol on the `n = 10⁵` torus, one uniformly random
+/// agent reset per `n/10` steps, on the tier selected by `kind`.
+///
+/// This is the adversary-on-the-fast-path measurement: the churn loop
+/// (`pp_adversary::Churn::run`) is engine-generic, so the only per-tier
+/// code is the constructor.
+pub fn measure_churn_graph(kind: EngineKind, seed: u64, budget_secs: f64) -> Measurement {
+    let weights = standard_weights();
+    let n = 100_000usize;
+    let states = init::all_dark_balanced(n, &weights);
+    let mut sim = build_graph_engine(kind, &weights, Torus2d::new(250, 400), states, seed);
+    let churn = Churn::new(n as u64 / 10, weights.len());
+    let mut rng = StdRng::seed_from_u64(seed);
+    let start = Instant::now();
+    let mut steps = 0u64;
+    let batch = n as u64; // ten churn events per batch
+    while start.elapsed().as_secs_f64() < budget_secs {
+        churn.run(&mut *sim, batch, &mut rng, |_, _| {});
+        steps += batch;
+    }
+    Measurement {
+        steps,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
 /// Runs the engine comparison.
 pub fn run(preset: Preset, seed: u64) -> Report {
     let sizes: Vec<u64> = preset.pick(
@@ -385,8 +419,44 @@ pub fn run(preset: Preset, seed: u64) -> Report {
         ));
     }
 
+    // Part 4: adversarial churn through the generic Engine path, per fast
+    // tier — the workload × engine combinations the Engine trait makes a
+    // constructor argument.
+    {
+        let churn_budget = preset.pick(0.15, 0.6);
+        let mut rates = Vec::new();
+        for kind in [EngineKind::Packed, EngineKind::Turbo, EngineKind::Sharded] {
+            let m = measure_churn_graph(kind, seed, churn_budget);
+            table.row([
+                "100000".to_string(),
+                format!("{}+churn torus", kind.name()),
+                m.steps.to_string(),
+                fmt_f64(m.seconds),
+                fmt_f64(m.steps_per_second() / 1e6),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+            rates.push((kind, m.steps_per_second()));
+        }
+        let rate = |k: EngineKind| rates.iter().find(|(kk, _)| *kk == k).map(|&(_, r)| r);
+        if let (Some(p), Some(t), Some(s)) = (
+            rate(EngineKind::Packed),
+            rate(EngineKind::Turbo),
+            rate(EngineKind::Sharded),
+        ) {
+            notes.push(format!(
+                "churn (1 reset per n/10 steps) @ n = 10^5 torus: turbo {t:.3e} vs packed {p:.3e} \
+                 vs sharded {s:.3e} steps/s (turbo+churn/packed+churn {:.2}x, sharded+churn/turbo+churn {:.2}x) \
+                 — the adversary rides the fast tiers through the generic Engine path",
+                t / p,
+                s / t,
+            ));
+        }
+    }
+
     let mut report = Report::new(
-        "throughput (Diversification; complete graph: agent vs dense; general graphs: agent-dyn vs packed vs turbo vs sharded; weights = (1,1,2,4))",
+        "throughput (Diversification; complete graph: agent vs dense; general graphs: agent-dyn vs packed vs turbo vs sharded; +churn rows via the generic Engine path; weights = (1,1,2,4))",
         table,
     );
     for note in notes {
@@ -466,6 +536,14 @@ mod tests {
                     packed.steps_per_second()
                 );
             }
+        }
+    }
+
+    #[test]
+    fn churn_rides_every_fast_tier() {
+        for kind in [EngineKind::Packed, EngineKind::Turbo, EngineKind::Sharded] {
+            let m = measure_churn_graph(kind, 7, 0.1);
+            assert!(m.steps > 0, "{kind:?} churn made no progress");
         }
     }
 

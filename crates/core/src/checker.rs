@@ -145,6 +145,31 @@ impl FairnessTracker {
         self.snapshots += 1;
     }
 
+    /// Records one snapshot streamed from any [`Engine`](pp_engine::Engine)
+    /// over [`AgentState`] — the fairness hook of the adversary fast path
+    /// (no per-record allocation; the engine visits its state array in
+    /// place).
+    ///
+    /// Meaningful only on engines with stable per-agent identity: the
+    /// count-based dense engine synthesizes a class-sorted ordering whose
+    /// "agent `u`" changes meaning between snapshots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine's population size is not `n` or any colour is
+    /// out of range.
+    pub fn record_engine(&mut self, engine: &dyn pp_engine::Engine<State = AgentState>) {
+        assert_eq!(engine.len(), self.n, "population size changed");
+        let k = self.k;
+        let counts = &mut self.counts;
+        engine.visit_states(&mut |u, s| {
+            let i = s.colour.index();
+            assert!(i < k, "colour {i} out of range");
+            counts[u * k + i] += 1;
+        });
+        self.snapshots += 1;
+    }
+
     /// Number of snapshots recorded.
     pub fn snapshots(&self) -> u64 {
         self.snapshots

@@ -123,6 +123,35 @@ pub fn config_stats_from_packed(states: &[u32], k: usize) -> ConfigStats {
     config_stats_from_words(states, k)
 }
 
+/// Converts an [`Engine::class_counts`](pp_engine::Engine::class_counts)
+/// tally — agents counted per packed word — into [`ConfigStats`].
+///
+/// The counts vector may be shorter than `2k` (trailing unoccupied words
+/// are trimmed by the engines); missing classes count zero. This is the
+/// observable every engine-generic experiment predicate goes through, so
+/// it must stay `O(k)`.
+///
+/// # Panics
+///
+/// Panics if any occupied packed word encodes a colour `>= k`.
+pub fn config_stats_from_class_counts(counts: &[u64], k: usize) -> ConfigStats {
+    let mut dark = vec![0usize; k];
+    let mut light = vec![0usize; k];
+    for (w, &count) in counts.iter().enumerate() {
+        if count == 0 {
+            continue;
+        }
+        let i = w >> 1;
+        assert!(i < k, "packed colour {i} out of range for k = {k}");
+        if w & 1 == 1 {
+            dark[i] += count as usize;
+        } else {
+            light[i] += count as usize;
+        }
+    }
+    ConfigStats::from_counts(dark, light)
+}
+
 impl PackedProtocol for Diversification {
     type State = AgentState;
 

@@ -1,0 +1,310 @@
+//! The [`Engine`](pp_engine::Engine) adapter over [`DenseSimulator`].
+//!
+//! The dense engine has no per-agent identity — its whole configuration is
+//! the class-count vector. This adapter gives it the common engine
+//! surface anyway, by fixing a **canonical agent ordering**: agents are
+//! sorted by chain class (`AgentState::chain_index` — dark colours
+//! `0..k`, then light colours `k..2k`), so "agent `u`" means "the `u`-th
+//! agent in class-sorted order".
+//!
+//! Index-based adversarial processes stay *distributionally exact* under
+//! this ordering: churn's uniformly random victim index maps to a
+//! class chosen with probability proportional to its count (exactly the
+//! law of resetting a uniform agent), and shock recruit sampling over the
+//! canonical snapshot is a uniform distinct-agent draw. What the ordering
+//! cannot provide is per-agent *trajectories* — the `u`-th agent of one
+//! observation is not the `u`-th agent of the next — so fairness
+//! occupancy tracking is meaningful only on the per-agent tiers (the
+//! bench layer routes it there).
+//!
+//! Observation through the adapter keeps the dense engine's native cost:
+//! [`class_counts`](pp_engine::Engine::class_counts) is an `O(k)`
+//! permutation of the count vector into packed-word indexing, so generic
+//! `run_until` predicates do **not** forfeit the `n = 10⁸` scaling that
+//! is the engine's reason to exist.
+
+use crate::{CountConfig, CountProtocol, DenseSimulator};
+use pp_core::AgentState;
+use pp_engine::{Engine, PackedProtocol};
+
+/// [`DenseSimulator`] behind the [`Engine`] contract (complete graph,
+/// shaded `AgentState` protocols).
+///
+/// The protocol must speak both vocabularies: [`CountProtocol`] for the
+/// τ-leap core and [`PackedProtocol`] (over [`AgentState`]) for the
+/// engine-surface state codec. `Diversification` does.
+///
+/// # Examples
+///
+/// ```
+/// use pp_core::{Diversification, Weights};
+/// use pp_dense::DenseEngine;
+/// use pp_engine::Engine;
+///
+/// let weights = Weights::new(vec![1.0, 3.0]).unwrap();
+/// let mut e = DenseEngine::all_dark_balanced(
+///     Diversification::new(weights.clone()),
+///     10_000,
+///     2,
+///     7,
+/// );
+/// e.run(200_000);
+/// // The generic driver surface sees packed-word class counts.
+/// let counts = e.class_counts();
+/// assert_eq!(counts.iter().sum::<u64>(), 10_000);
+/// ```
+#[derive(Debug)]
+pub struct DenseEngine<P: CountProtocol + PackedProtocol<State = AgentState>> {
+    sim: DenseSimulator<P>,
+    k: usize,
+}
+
+impl<P: CountProtocol + PackedProtocol<State = AgentState>> DenseEngine<P> {
+    /// Wraps a simulator over `k` colours.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator's class universe is not `2k` (the shaded
+    /// chain layout this adapter translates).
+    pub fn new(sim: DenseSimulator<P>, k: usize) -> Self {
+        assert_eq!(
+            sim.counts().len(),
+            2 * k,
+            "dense adapter needs the 2k shaded class layout ({} classes != 2·{k})",
+            sim.counts().len()
+        );
+        DenseEngine { sim, k }
+    }
+
+    /// Builds the balanced all-dark start in `O(k)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < k` or `k == 0`.
+    pub fn all_dark_balanced(protocol: P, n: u64, k: usize, seed: u64) -> Self {
+        let config = CountConfig::all_dark_balanced(n, k);
+        Self::new(DenseSimulator::new(protocol, config.to_classes(), seed), k)
+    }
+
+    /// Builds from explicit per-agent states (tallied in `O(n)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any colour index is `>= k` or fewer than 2 states are
+    /// given.
+    pub fn from_states(protocol: P, states: &[AgentState], k: usize, seed: u64) -> Self {
+        let config = CountConfig::from_states(states, k);
+        Self::new(DenseSimulator::new(protocol, config.to_classes(), seed), k)
+    }
+
+    /// The wrapped simulator.
+    pub fn simulator(&self) -> &DenseSimulator<P> {
+        &self.sim
+    }
+
+    /// Consumes the adapter, returning the wrapped simulator.
+    pub fn into_simulator(self) -> DenseSimulator<P> {
+        self.sim
+    }
+
+    /// Decodes chain class `class` into an agent state.
+    fn state_of_class(&self, class: usize) -> AgentState {
+        let colour = pp_core::Colour::new(class % self.k);
+        if class < self.k {
+            AgentState::dark(colour)
+        } else {
+            AgentState::light(colour)
+        }
+    }
+
+    /// The chain class holding canonical agent `u`, by cumulative counts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`.
+    fn class_of_index(&self, u: usize) -> usize {
+        let mut acc = 0u64;
+        for (class, &c) in self.sim.counts().iter().enumerate() {
+            acc += c;
+            if (u as u64) < acc {
+                return class;
+            }
+        }
+        panic!(
+            "agent index {u} out of range for population of {}",
+            self.sim.population()
+        );
+    }
+
+    /// Moves one agent between chain classes.
+    fn move_agent(&mut self, from: usize, to: usize) {
+        if from == to {
+            return;
+        }
+        let mut counts = self.sim.counts().to_vec();
+        assert!(counts[from] > 0, "class {from} has no agent to move");
+        counts[from] -= 1;
+        counts[to] += 1;
+        self.sim.set_counts(counts);
+    }
+}
+
+impl<P> Engine for DenseEngine<P>
+where
+    P: CountProtocol + PackedProtocol<State = AgentState> + Send,
+{
+    type State = AgentState;
+
+    fn len(&self) -> usize {
+        self.sim.population() as usize
+    }
+
+    fn step_count(&self) -> u64 {
+        self.sim.step_count()
+    }
+
+    fn seed(&self) -> u64 {
+        self.sim.seed()
+    }
+
+    fn run(&mut self, steps: u64) {
+        self.sim.run(steps);
+    }
+
+    fn class_counts(&self) -> Vec<u64> {
+        // Chain layout (dark 0..k, light k..2k) → packed-word layout
+        // (colour << 1 | shade): an O(k) permutation.
+        let counts = self.sim.counts();
+        let mut out = vec![0u64; 2 * self.k];
+        for c in 0..self.k {
+            out[2 * c + 1] = counts[c];
+            out[2 * c] = counts[self.k + c];
+        }
+        out
+    }
+
+    fn visit_states(&self, f: &mut dyn FnMut(usize, &Self::State)) {
+        let mut u = 0usize;
+        for (class, &count) in self.sim.counts().iter().enumerate() {
+            let state = self.state_of_class(class);
+            for _ in 0..count {
+                f(u, &state);
+                u += 1;
+            }
+        }
+    }
+
+    fn state(&self, u: usize) -> Self::State {
+        self.state_of_class(self.class_of_index(u))
+    }
+
+    fn set_state(&mut self, u: usize, state: &Self::State) {
+        let from = self.class_of_index(u);
+        let to = state.chain_index(self.k);
+        self.move_agent(from, to);
+    }
+
+    fn set_states(&mut self, states: &[Self::State]) {
+        assert!(states.len() >= 2, "population needs at least 2 agents");
+        self.sim
+            .set_counts(CountConfig::from_states(states, self.k).to_classes());
+    }
+
+    fn push_agent(&mut self, state: &Self::State) {
+        let mut counts = self.sim.counts().to_vec();
+        counts[state.chain_index(self.k)] += 1;
+        self.sim.set_counts(counts);
+    }
+
+    fn swap_remove_agent(&mut self, u: usize) {
+        assert!(
+            self.sim.population() > 2,
+            "removal would leave fewer than 2 agents"
+        );
+        let class = self.class_of_index(u);
+        let mut counts = self.sim.counts().to_vec();
+        counts[class] -= 1;
+        self.sim.set_counts(counts);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_core::{init, Colour, Diversification, Weights};
+    use pp_engine::Simulator;
+    use pp_graph::Complete;
+
+    fn weights() -> Weights {
+        Weights::new(vec![1.0, 1.0, 2.0]).unwrap()
+    }
+
+    fn engine(n: u64) -> DenseEngine<Diversification> {
+        DenseEngine::all_dark_balanced(Diversification::new(weights()), n, 3, 5)
+    }
+
+    #[test]
+    fn class_counts_match_reference_layout() {
+        // The adapter's packed-word tally must agree with a per-agent
+        // engine tallying the same configuration.
+        let w = weights();
+        let states = init::all_dark_single_minority(30, &w);
+        let dense = DenseEngine::from_states(Diversification::new(w.clone()), &states, 3, 1);
+        let reference = Simulator::new(
+            Diversification::new(w),
+            Complete::new(30),
+            states.clone(),
+            1,
+        );
+        assert_eq!(
+            Engine::class_counts(&dense),
+            Engine::class_counts(&reference)
+        );
+        assert_eq!(dense.snapshot().len(), 30);
+    }
+
+    #[test]
+    fn canonical_ordering_roundtrips() {
+        let e = engine(9);
+        // 9 agents balanced over 3 dark colours: 3 per class, class-sorted.
+        for u in 0..9 {
+            assert_eq!(e.state(u), AgentState::dark(Colour::new(u / 3)));
+        }
+        let mut visited = Vec::new();
+        e.visit_states(&mut |u, s| visited.push((u, *s)));
+        assert_eq!(visited.len(), 9);
+        assert_eq!(visited[4], (4, AgentState::dark(Colour::new(1))));
+    }
+
+    #[test]
+    fn mutation_surface_moves_counts() {
+        let mut e = engine(9);
+        e.set_state(0, &AgentState::light(Colour::new(2)));
+        assert_eq!(e.len(), 9);
+        assert_eq!(e.class_counts()[2 * 2], 1, "light colour 2 gained one");
+        e.push_agent(&AgentState::dark(Colour::new(1)));
+        assert_eq!(e.len(), 10);
+        e.swap_remove_agent(0);
+        assert_eq!(e.len(), 9);
+        let fresh = init::all_dark_balanced(12, &weights());
+        e.set_states(&fresh);
+        assert_eq!(e.len(), 12);
+        assert_eq!(e.class_counts().iter().sum::<u64>(), 12);
+    }
+
+    #[test]
+    fn runs_and_preserves_population_through_the_trait() {
+        let mut e = engine(600);
+        let hit = e.run_until(2_000_000, 300, &mut |counts, _| {
+            counts.iter().sum::<u64>() == 600 && counts.iter().step_by(2).any(|&light| light > 0)
+        });
+        assert!(hit.is_some(), "no light agent ever appeared");
+        assert_eq!(e.len(), 600);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_index() {
+        engine(9).state(9);
+    }
+}

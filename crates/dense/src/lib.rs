@@ -65,11 +65,13 @@
 pub mod baselines;
 pub mod config;
 pub mod diversification;
+pub mod engine;
 pub mod protocol;
 pub mod sampling;
 pub mod simulator;
 
 pub use config::CountConfig;
 pub use diversification::{grey_balanced_counts, grey_class_index};
+pub use engine::DenseEngine;
 pub use protocol::{Channel, CountProtocol};
 pub use simulator::DenseSimulator;

@@ -434,6 +434,29 @@ impl<P: CountProtocol> DenseSimulator<P> {
         self.exact_events
     }
 
+    /// Replaces the class counts (same class universe), recomputing `n` —
+    /// the mutation hook behind the [`DenseEngine`](crate::DenseEngine)
+    /// adapter's structural surface (churn resets, shocks, population
+    /// grow/shrink all reduce to count moves here).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class count differs from the simulator's channel
+    /// universe or the new population is smaller than 2.
+    pub fn set_counts(&mut self, counts: Vec<u64>) {
+        assert_eq!(
+            counts.len(),
+            self.counts.len(),
+            "class universe must not change ({} classes != {})",
+            counts.len(),
+            self.counts.len()
+        );
+        let n: u64 = counts.iter().sum();
+        assert!(n >= 2, "population needs at least 2 agents");
+        self.counts = counts;
+        self.n = n;
+    }
+
     /// Consumes the simulator, returning the final class counts.
     pub fn into_counts(self) -> Vec<u64> {
         self.counts

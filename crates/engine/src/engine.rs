@@ -1,0 +1,654 @@
+//! The common contract of every simulation engine tier.
+//!
+//! Four fast tiers grew next to the generic [`Simulator`](crate::Simulator)
+//! — packed, turbo, sharded, and the count-based dense engine in
+//! `pp-dense` — each with its own ad-hoc driver API. Every workload that
+//! wanted to ride a faster tier (the bench experiments, the adversary
+//! suite) had to duplicate its driver loop per engine. [`Engine`] is the
+//! one contract they all implement, so a workload written once runs on
+//! whichever tier is fastest for it.
+//!
+//! # Observation currency: class counts
+//!
+//! The trait's bulk observable is [`class_counts`](Engine::class_counts):
+//! the population tallied by **packed word** (the protocol's `u32` state
+//! encoding, see [`PackedProtocol`](crate::PackedProtocol)). Per-agent
+//! engines tally their state array in `O(n)`; the dense engine *is* a
+//! count vector, so its tally is `O(k)` — which is what keeps `n = 10⁸`
+//! dense runs observable through the same generic driver that serves the
+//! per-agent tiers. [`run_until`](Engine::run_until) and
+//! [`run_observed`](Engine::run_observed) hand these counts to their
+//! predicates; checkers that need per-agent resolution (fairness
+//! occupancy, per-block statistics) stream through
+//! [`visit_states`](Engine::visit_states) instead.
+//!
+//! # Structural mutation
+//!
+//! The adversary suite rewrites per-agent states
+//! ([`set_state`](Engine::set_state) /
+//! [`set_states`](Engine::set_states)) and grows or shrinks the population
+//! ([`push_agent`](Engine::push_agent) /
+//! [`swap_remove_agent`](Engine::swap_remove_agent)). Resizing requires
+//! the topology family to have a canonical resize
+//! ([`Topology::resized`](pp_graph::Topology::resized)); on families
+//! without one the engine panics rather than simulate on a stale edge
+//! set. The dense engine exposes the same surface through a canonical
+//! agent ordering (agents sorted by class), which makes index-based
+//! adversarial processes — churn's uniform victim, shocks' recruit
+//! sampling — distributionally exact on counts too.
+//!
+//! # Equivalence tiers
+//!
+//! The trait unifies the *API*, not the guarantee. `Simulator` and
+//! `PackedSimulator` are bit-exact twins under a shared seed; the turbo,
+//! sharded, and dense tiers promise the same process distribution,
+//! verified by the `pp-stats` statistical-equivalence harness. See
+//! EXPERIMENTS.md ("The Engine trait") for the full contract table.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_engine::{Engine, PackedSimulator, Simulator};
+//! use pp_graph::Complete;
+//! use rand::Rng;
+//!
+//! /// Voter dynamics in both engine vocabularies.
+//! #[derive(Debug, Clone)]
+//! struct Copycat;
+//!
+//! impl pp_engine::Protocol for Copycat {
+//!     type State = u32;
+//!     fn transition(&self, _me: &u32, observed: &[&u32], _rng: &mut dyn Rng) -> u32 {
+//!         *observed[0]
+//!     }
+//!     fn name(&self) -> String {
+//!         "copycat".into()
+//!     }
+//! }
+//!
+//! impl pp_engine::PackedProtocol for Copycat {
+//!     type State = u32;
+//!     fn pack(&self, s: &u32) -> u32 {
+//!         *s
+//!     }
+//!     fn unpack(&self, p: u32) -> u32 {
+//!         p
+//!     }
+//!     fn transition<R: Rng>(&self, _me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+//!         observed[0]
+//!     }
+//!     fn name(&self) -> String {
+//!         "copycat".into()
+//!     }
+//! }
+//!
+//! // One driver, any tier: the harness picks the engine at runtime.
+//! let init: Vec<u32> = (0..8).collect();
+//! let mut engines: Vec<Box<dyn Engine<State = u32>>> = vec![
+//!     Box::new(Simulator::new(Copycat, Complete::new(8), init.clone(), 1)),
+//!     Box::new(PackedSimulator::new(Copycat, Complete::new(8), &init, 1)),
+//! ];
+//! for e in &mut engines {
+//!     e.run(100);
+//!     assert_eq!(e.class_counts().iter().sum::<u64>(), 8);
+//! }
+//! ```
+
+use crate::{
+    PackedProtocol, PackedSimulator, Protocol, ShardedSimulator, Simulator, TurboSimulator,
+    TurboWord,
+};
+use pp_graph::Topology;
+
+/// The driver contract shared by every engine tier.
+///
+/// Object-safe: experiment harnesses hold `Box<dyn Engine<State = S>>`
+/// and dispatch once per *run call*, so the per-interaction hot loops stay
+/// fully monomorphized inside each engine.
+pub trait Engine: Send {
+    /// The per-agent state the engine simulates (decoded form).
+    type State: Clone + std::fmt::Debug + Send + Sync;
+
+    /// Number of agents.
+    fn len(&self) -> usize;
+
+    /// Returns `true` if there are no agents (impossible by construction;
+    /// provided for API symmetry).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of time-steps executed so far.
+    fn step_count(&self) -> u64;
+
+    /// The seed the engine was created with.
+    fn seed(&self) -> u64;
+
+    /// Runs `steps` time-steps.
+    fn run(&mut self, steps: u64);
+
+    /// Tallies the population by packed word: `counts[w]` is the number of
+    /// agents whose [`PackedProtocol`] encoding equals `w`. The vector is
+    /// sized to the largest occupied word plus one; absent words are zero.
+    ///
+    /// `O(n)` for per-agent engines, `O(k)` for the count-based dense
+    /// engine — predicates written against class counts therefore inherit
+    /// each tier's native observation cost.
+    fn class_counts(&self) -> Vec<u64>;
+
+    /// Streams `(agent index, state)` over the population in agent order.
+    ///
+    /// Engines without per-agent identity (the dense engine) synthesize a
+    /// canonical ordering — agents sorted by class — which is stable
+    /// between mutations but **not** across time-steps; per-agent
+    /// *trajectories* are only meaningful on the per-agent tiers.
+    fn visit_states(&self, f: &mut dyn FnMut(usize, &Self::State));
+
+    /// Decodes the full population in agent order (allocates).
+    fn snapshot(&self) -> Vec<Self::State> {
+        let mut out = Vec::with_capacity(self.len());
+        self.visit_states(&mut |_, s| out.push(s.clone()));
+        out
+    }
+
+    /// Decoded state of agent `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`.
+    fn state(&self, u: usize) -> Self::State;
+
+    /// Overwrites the state of agent `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`.
+    fn set_state(&mut self, u: usize, state: &Self::State);
+
+    /// Replaces the whole population. A different length resizes the
+    /// population; engines over a fixed topology family resize it via
+    /// [`Topology::resized`](pp_graph::Topology::resized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 states are given, or if the length changed
+    /// and the topology family has no canonical resize.
+    fn set_states(&mut self, states: &[Self::State]);
+
+    /// Appends one agent in the given state, resizing the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology family has no canonical resize.
+    fn push_agent(&mut self, state: &Self::State);
+
+    /// Removes agent `u`, moving the last agent into its slot (the
+    /// classic `swap_remove`), and resizes the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`, the removal would leave fewer than 2
+    /// agents, or the topology family has no canonical resize.
+    fn swap_remove_agent(&mut self, u: usize);
+
+    /// Runs until `pred(class_counts, step)` holds, checking every
+    /// `check_every` steps (and once before the first step), for at most
+    /// `max_steps` steps. Returns the step count at which the predicate
+    /// first held, or `None` on timeout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `check_every == 0`.
+    fn run_until(
+        &mut self,
+        max_steps: u64,
+        check_every: u64,
+        pred: &mut dyn FnMut(&[u64], u64) -> bool,
+    ) -> Option<u64> {
+        assert!(check_every > 0, "check_every must be positive");
+        let deadline = self.step_count() + max_steps;
+        if pred(&self.class_counts(), self.step_count()) {
+            return Some(self.step_count());
+        }
+        while self.step_count() < deadline {
+            let burst = check_every.min(deadline - self.step_count());
+            self.run(burst);
+            if pred(&self.class_counts(), self.step_count()) {
+                return Some(self.step_count());
+            }
+        }
+        None
+    }
+
+    /// Runs `steps` time-steps, invoking `observer(step, class_counts)`
+    /// before the first step and after every `every`-th step.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every == 0`.
+    fn run_observed(&mut self, steps: u64, every: u64, observer: &mut dyn FnMut(u64, &[u64])) {
+        assert!(every > 0, "observation interval must be positive");
+        observer(self.step_count(), &self.class_counts());
+        let deadline = self.step_count() + steps;
+        while self.step_count() < deadline {
+            let burst = every.min(deadline - self.step_count());
+            self.run(burst);
+            observer(self.step_count(), &self.class_counts());
+        }
+    }
+}
+
+/// Tallies packed words into a counts vector sized to the largest
+/// occupied word plus one.
+pub(crate) fn tally_packed(words: impl Iterator<Item = u32>) -> Vec<u64> {
+    let mut counts: Vec<u64> = Vec::new();
+    for w in words {
+        let i = w as usize;
+        if i >= counts.len() {
+            counts.resize(i + 1, 0);
+        }
+        counts[i] += 1;
+    }
+    counts
+}
+
+/// The panic message for resizing shocks on non-resizable families.
+pub(crate) fn resize_topology<T: Topology>(topology: &T, new_len: usize) -> T {
+    topology.resized(new_len).unwrap_or_else(|| {
+        panic!(
+            "topology family `{}` has no canonical resize; population-resizing \
+             shocks need a resizable family (e.g. Complete)",
+            topology.name()
+        )
+    })
+}
+
+impl<P, T> Engine for Simulator<P, T>
+where
+    P: Protocol + PackedProtocol<State = <P as Protocol>::State>,
+    <P as Protocol>::State: Send + Sync,
+    T: Topology,
+{
+    type State = <P as Protocol>::State;
+
+    fn len(&self) -> usize {
+        self.population().len()
+    }
+
+    fn step_count(&self) -> u64 {
+        Simulator::step_count(self)
+    }
+
+    fn seed(&self) -> u64 {
+        Simulator::seed(self)
+    }
+
+    fn run(&mut self, steps: u64) {
+        Simulator::run(self, steps);
+    }
+
+    fn class_counts(&self) -> Vec<u64> {
+        let protocol = self.protocol();
+        tally_packed(
+            self.population()
+                .states()
+                .iter()
+                .map(|s| PackedProtocol::pack(protocol, s)),
+        )
+    }
+
+    fn visit_states(&self, f: &mut dyn FnMut(usize, &Self::State)) {
+        for (u, s) in self.population().iter() {
+            f(u, s);
+        }
+    }
+
+    fn state(&self, u: usize) -> Self::State {
+        self.population().state(u).clone()
+    }
+
+    fn set_state(&mut self, u: usize, state: &Self::State) {
+        self.population_mut().set_state(u, state.clone());
+    }
+
+    fn set_states(&mut self, states: &[Self::State]) {
+        assert!(states.len() >= 2, "population needs at least 2 agents");
+        if states.len() != self.population().len() {
+            let topology = resize_topology(self.topology(), states.len());
+            self.replace_population(states.to_vec(), topology);
+        } else {
+            for (u, s) in states.iter().enumerate() {
+                self.population_mut().set_state(u, s.clone());
+            }
+        }
+    }
+
+    fn push_agent(&mut self, state: &Self::State) {
+        let topology = resize_topology(self.topology(), self.population().len() + 1);
+        self.population_mut().push(state.clone());
+        self.set_topology(topology);
+    }
+
+    fn swap_remove_agent(&mut self, u: usize) {
+        assert!(
+            self.population().len() > 2,
+            "removal would leave fewer than 2 agents"
+        );
+        let topology = resize_topology(self.topology(), self.population().len() - 1);
+        self.population_mut().swap_remove(u);
+        self.set_topology(topology);
+    }
+}
+
+impl<P, T> Engine for PackedSimulator<P, T>
+where
+    P: PackedProtocol,
+    P::State: Send + Sync,
+    T: Topology,
+{
+    type State = P::State;
+
+    fn len(&self) -> usize {
+        PackedSimulator::len(self)
+    }
+
+    fn step_count(&self) -> u64 {
+        PackedSimulator::step_count(self)
+    }
+
+    fn seed(&self) -> u64 {
+        PackedSimulator::seed(self)
+    }
+
+    fn run(&mut self, steps: u64) {
+        PackedSimulator::run(self, steps);
+    }
+
+    fn class_counts(&self) -> Vec<u64> {
+        tally_packed(self.states_packed().iter().copied())
+    }
+
+    fn visit_states(&self, f: &mut dyn FnMut(usize, &Self::State)) {
+        for (u, &p) in self.states_packed().iter().enumerate() {
+            f(u, &self.protocol().unpack(p));
+        }
+    }
+
+    fn state(&self, u: usize) -> Self::State {
+        PackedSimulator::state(self, u)
+    }
+
+    fn set_state(&mut self, u: usize, state: &Self::State) {
+        PackedSimulator::set_state(self, u, state);
+    }
+
+    fn set_states(&mut self, states: &[Self::State]) {
+        let packed: Vec<u32> = states.iter().map(|s| self.protocol().pack(s)).collect();
+        self.replace_packed_states(packed);
+    }
+
+    fn push_agent(&mut self, state: &Self::State) {
+        let mut packed = self.states_packed().to_vec();
+        packed.push(self.protocol().pack(state));
+        self.replace_packed_states(packed);
+    }
+
+    fn swap_remove_agent(&mut self, u: usize) {
+        let mut packed = self.states_packed().to_vec();
+        assert!(packed.len() > 2, "removal would leave fewer than 2 agents");
+        packed.swap_remove(u);
+        self.replace_packed_states(packed);
+    }
+}
+
+impl<P, T, W> Engine for TurboSimulator<P, T, W>
+where
+    P: PackedProtocol,
+    P::State: Send + Sync,
+    T: Topology,
+    W: TurboWord,
+{
+    type State = P::State;
+
+    fn len(&self) -> usize {
+        TurboSimulator::len(self)
+    }
+
+    fn step_count(&self) -> u64 {
+        TurboSimulator::step_count(self)
+    }
+
+    fn seed(&self) -> u64 {
+        TurboSimulator::seed(self)
+    }
+
+    fn run(&mut self, steps: u64) {
+        TurboSimulator::run(self, steps);
+    }
+
+    fn class_counts(&self) -> Vec<u64> {
+        tally_packed(self.states_words().iter().map(|w| w.widen()))
+    }
+
+    fn visit_states(&self, f: &mut dyn FnMut(usize, &Self::State)) {
+        for (u, w) in self.states_words().iter().enumerate() {
+            f(u, &self.protocol().unpack(w.widen()));
+        }
+    }
+
+    fn state(&self, u: usize) -> Self::State {
+        TurboSimulator::state(self, u)
+    }
+
+    fn set_state(&mut self, u: usize, state: &Self::State) {
+        TurboSimulator::set_state(self, u, state);
+    }
+
+    fn set_states(&mut self, states: &[Self::State]) {
+        let packed: Vec<u32> = states.iter().map(|s| self.protocol().pack(s)).collect();
+        self.replace_packed_states(packed);
+    }
+
+    fn push_agent(&mut self, state: &Self::State) {
+        let mut packed = self.states_packed();
+        packed.push(self.protocol().pack(state));
+        self.replace_packed_states(packed);
+    }
+
+    fn swap_remove_agent(&mut self, u: usize) {
+        let mut packed = self.states_packed();
+        assert!(packed.len() > 2, "removal would leave fewer than 2 agents");
+        packed.swap_remove(u);
+        self.replace_packed_states(packed);
+    }
+}
+
+impl<P, T, W> Engine for ShardedSimulator<P, T, W>
+where
+    P: PackedProtocol,
+    P::State: Send + Sync,
+    T: Topology,
+    W: TurboWord,
+{
+    type State = P::State;
+
+    fn len(&self) -> usize {
+        ShardedSimulator::len(self)
+    }
+
+    fn step_count(&self) -> u64 {
+        ShardedSimulator::step_count(self)
+    }
+
+    fn seed(&self) -> u64 {
+        ShardedSimulator::seed(self)
+    }
+
+    fn run(&mut self, steps: u64) {
+        ShardedSimulator::run(self, steps);
+    }
+
+    fn class_counts(&self) -> Vec<u64> {
+        tally_packed(self.states_packed().into_iter())
+    }
+
+    fn visit_states(&self, f: &mut dyn FnMut(usize, &Self::State)) {
+        for (u, p) in self.states_packed().into_iter().enumerate() {
+            f(u, &self.protocol().unpack(p));
+        }
+    }
+
+    fn state(&self, u: usize) -> Self::State {
+        ShardedSimulator::state(self, u)
+    }
+
+    fn set_state(&mut self, u: usize, state: &Self::State) {
+        ShardedSimulator::set_state(self, u, state);
+    }
+
+    fn set_states(&mut self, states: &[Self::State]) {
+        let packed: Vec<u32> = states.iter().map(|s| self.protocol().pack(s)).collect();
+        self.replace_packed_states(packed);
+    }
+
+    fn push_agent(&mut self, state: &Self::State) {
+        let mut packed = self.states_packed();
+        packed.push(self.protocol().pack(state));
+        self.replace_packed_states(packed);
+    }
+
+    fn swap_remove_agent(&mut self, u: usize) {
+        let mut packed = self.states_packed();
+        assert!(packed.len() > 2, "removal would leave fewer than 2 agents");
+        packed.swap_remove(u);
+        self.replace_packed_states(packed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pp_graph::{Complete, Cycle};
+    use rand::Rng;
+
+    /// Voter dynamics in both engine vocabularies.
+    #[derive(Debug, Clone)]
+    struct Copy1;
+
+    impl Protocol for Copy1 {
+        type State = u32;
+
+        fn transition(&self, _me: &u32, observed: &[&u32], _rng: &mut dyn Rng) -> u32 {
+            *observed[0]
+        }
+
+        fn name(&self) -> String {
+            "copy".into()
+        }
+    }
+
+    impl PackedProtocol for Copy1 {
+        type State = u32;
+
+        fn pack(&self, s: &u32) -> u32 {
+            *s
+        }
+
+        fn unpack(&self, p: u32) -> u32 {
+            p
+        }
+
+        fn transition<R: rand::Rng>(&self, _me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+            observed[0]
+        }
+
+        fn name(&self) -> String {
+            "copy".into()
+        }
+    }
+
+    fn engines(n: usize, seed: u64) -> Vec<(&'static str, Box<dyn Engine<State = u32>>)> {
+        let init: Vec<u32> = (0..n as u32).collect();
+        vec![
+            (
+                "generic",
+                Box::new(Simulator::new(Copy1, Complete::new(n), init.clone(), seed)),
+            ),
+            (
+                "packed",
+                Box::new(PackedSimulator::new(Copy1, Complete::new(n), &init, seed)),
+            ),
+            (
+                "turbo",
+                Box::new(TurboSimulator::<_, _, u32>::new(
+                    Copy1,
+                    Complete::new(n),
+                    &init,
+                    seed,
+                )),
+            ),
+            (
+                "sharded",
+                Box::new(ShardedSimulator::<_, _, u32>::new(
+                    Copy1,
+                    Complete::new(n),
+                    &init,
+                    seed,
+                )),
+            ),
+        ]
+    }
+
+    #[test]
+    fn class_counts_and_snapshot_agree_across_tiers() {
+        for (name, e) in engines(16, 3) {
+            assert_eq!(e.len(), 16, "{name}");
+            assert_eq!(e.snapshot(), (0..16).collect::<Vec<u32>>(), "{name}");
+            let counts = e.class_counts();
+            assert_eq!(counts.len(), 16, "{name}");
+            assert!(counts.iter().all(|&c| c == 1), "{name}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn mutation_surface_is_uniform() {
+        for (name, mut e) in engines(8, 5) {
+            e.set_state(3, &99);
+            assert_eq!(e.state(3), 99, "{name}");
+            e.push_agent(&7);
+            assert_eq!(e.len(), 9, "{name}");
+            assert_eq!(e.state(8), 7, "{name}");
+            e.swap_remove_agent(0);
+            assert_eq!(e.len(), 8, "{name}");
+            // swap_remove moves the last agent (state 7) into slot 0.
+            assert_eq!(e.state(0), 7, "{name}");
+            let fresh: Vec<u32> = (10..16).collect();
+            e.set_states(&fresh);
+            assert_eq!(e.len(), 6, "{name}");
+            assert_eq!(e.snapshot(), fresh, "{name}");
+        }
+    }
+
+    #[test]
+    fn run_until_and_observed_through_the_trait() {
+        for (name, mut e) in engines(8, 7) {
+            let mut seen = Vec::new();
+            e.run_observed(10, 4, &mut |t, counts| {
+                seen.push(t);
+                assert_eq!(counts.iter().sum::<u64>(), 8, "{name}");
+            });
+            assert_eq!(seen, vec![0, 4, 8, 10], "{name}");
+            let hit = e.run_until(400_000, 64, &mut |counts, _| counts.contains(&8));
+            assert!(hit.is_some(), "{name}: voter consensus not reached");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "no canonical resize")]
+    fn resize_on_fixed_family_panics() {
+        let init: Vec<u32> = (0..8).collect();
+        let csr = pp_graph::Csr::from_topology(&Cycle::new(8));
+        let mut e = PackedSimulator::new(Copy1, csr, &init, 1);
+        Engine::push_agent(&mut e, &0);
+    }
+}

@@ -62,6 +62,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod packed;
 pub mod pool;
 pub mod population;
@@ -73,6 +74,7 @@ pub mod simulator;
 pub mod sweep;
 pub mod turbo;
 
+pub use engine::Engine;
 pub use packed::{PackedProtocol, PackedSimulator, MAX_PACKED_OBSERVATIONS};
 pub use population::Population;
 pub use protocol::Protocol;

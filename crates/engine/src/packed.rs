@@ -350,6 +350,22 @@ impl<P: PackedProtocol, T: Topology> PackedSimulator<P, T> {
         &self.topology
     }
 
+    /// Replaces the whole packed population, resizing the topology (via
+    /// [`Topology::resized`]) when the length changes — the bulk-rewrite
+    /// path of the [`Engine`](crate::Engine) structural-mutation surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 states are given, or the length changed and
+    /// the topology family has no canonical resize.
+    pub fn replace_packed_states(&mut self, states: Vec<u32>) {
+        assert!(states.len() >= 2, "population needs at least 2 agents");
+        if states.len() != self.states.len() {
+            self.topology = crate::engine::resize_topology(&self.topology, states.len());
+        }
+        self.states = states;
+    }
+
     /// Consumes the simulator, returning the packed state vector.
     pub fn into_packed_states(self) -> Vec<u32> {
         self.states

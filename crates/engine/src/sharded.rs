@@ -598,6 +598,31 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
         self.shards[self.partition.shard_of(u)].states[self.partition.local_index(u)] = w;
     }
 
+    /// Replaces the whole packed population, resizing the topology (via
+    /// [`Topology::resized`]) and rebuilding the shard partition when the
+    /// length changes — the bulk-rewrite path of the
+    /// [`Engine`](crate::Engine) structural-mutation surface. `O(n)`:
+    /// structural changes gather, rewrite, and re-scatter the shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 states are given, a state overflows `W`, or
+    /// the length changed and the topology family has no canonical resize.
+    pub fn replace_packed_states(&mut self, states: Vec<u32>) {
+        let n = states.len();
+        assert!(n >= 2, "population needs at least 2 agents");
+        assert!(
+            u32::try_from(n).is_ok(),
+            "sharded queues store node ids as u32; {n} agents is too many"
+        );
+        if n != self.partition.len() {
+            self.topology = crate::engine::resize_topology(&self.topology, n);
+            self.partition = Partition::new(n, auto_shards(n), self.topology.preferred_partition());
+            self.block = auto_block(n);
+        }
+        self.scatter(states);
+    }
+
     /// The protocol under simulation.
     pub fn protocol(&self) -> &P {
         &self.protocol

@@ -250,6 +250,26 @@ impl<P: Protocol, T: Topology> Simulator<P, T> {
         self.topology = topology;
     }
 
+    /// Replaces population and topology together — the resize path of the
+    /// [`Engine`](crate::Engine) structural-mutation surface (the two must
+    /// change atomically or the size assertions fire).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the sizes disagree or fewer than 2 states are given.
+    pub fn replace_population(&mut self, states: Vec<P::State>, topology: T) {
+        assert_eq!(
+            states.len(),
+            topology.len(),
+            "population size {} != topology size {}",
+            states.len(),
+            topology.len()
+        );
+        assert!(states.len() >= 2, "population needs at least 2 agents");
+        self.population = Population::new(states);
+        self.topology = topology;
+    }
+
     /// Consumes the simulator, returning the final population.
     pub fn into_population(self) -> Population<P::State> {
         self.population

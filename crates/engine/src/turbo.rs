@@ -403,6 +403,27 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> TurboSimulator<P, T, W> {
         self.states[u] = W::narrow(self.protocol.pack(state));
     }
 
+    /// Replaces the whole packed population, resizing the topology (via
+    /// [`Topology::resized`]) when the length changes — the bulk-rewrite
+    /// path of the [`Engine`](crate::Engine) structural-mutation surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 states are given, a state overflows `W`, or
+    /// the length changed and the topology family has no canonical resize.
+    pub fn replace_packed_states(&mut self, states: Vec<u32>) {
+        assert!(states.len() >= 2, "population needs at least 2 agents");
+        assert!(
+            u32::try_from(states.len()).is_ok(),
+            "turbo batch buffers store node ids as u32; {} agents is too many",
+            states.len()
+        );
+        if states.len() != self.states.len() {
+            self.topology = crate::engine::resize_topology(&self.topology, states.len());
+        }
+        self.states = states.into_iter().map(W::narrow).collect();
+    }
+
     /// The protocol under simulation.
     pub fn protocol(&self) -> &P {
         &self.protocol

@@ -52,6 +52,10 @@ impl Topology for Complete {
         self.n
     }
 
+    fn resized(&self, new_len: usize) -> Option<Self> {
+        Some(Complete::new(new_len))
+    }
+
     fn degree(&self, u: usize) -> usize {
         check_node(u, self.n);
         self.n - 1

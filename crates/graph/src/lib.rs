@@ -143,6 +143,26 @@ pub trait Topology: std::fmt::Debug + Send + Sync {
         self.sample_partner_mono(u, &mut rand::rngs::CounterRng::from_state(bits))
     }
 
+    /// Returns a same-family topology resized to `new_len` nodes, or `None`
+    /// if the family has no canonical resize (a sampled graph, a torus whose
+    /// side lengths are fixed, …).
+    ///
+    /// This is the hook the engine tiers use to implement the adversary's
+    /// structural shocks (add/remove agents) generically: growing a
+    /// population on `Complete` yields `Complete::new(new_len)`, while a
+    /// `Csr` sample returns `None` and the engine refuses the shock with a
+    /// clear panic instead of silently simulating on a stale edge set.
+    /// Excluded from vtables via `where Self: Sized`; boxed topologies
+    /// therefore report `None` (experiments that apply resizing shocks use
+    /// concrete topology types).
+    fn resized(&self, new_len: usize) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        let _ = new_len;
+        None
+    }
+
     /// The node-partition layout this topology prefers when a partitioned
     /// engine splits its node set across shards (see
     /// [`Partition`](crate::Partition)).

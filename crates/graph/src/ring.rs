@@ -50,6 +50,10 @@ impl Topology for Cycle {
         self.n
     }
 
+    fn resized(&self, new_len: usize) -> Option<Self> {
+        Some(Cycle::new(new_len))
+    }
+
     fn degree(&self, u: usize) -> usize {
         check_node(u, self.n);
         2
@@ -139,6 +143,10 @@ impl Path {
 impl Topology for Path {
     fn len(&self) -> usize {
         self.n
+    }
+
+    fn resized(&self, new_len: usize) -> Option<Self> {
+        Some(Path::new(new_len))
     }
 
     fn degree(&self, u: usize) -> usize {

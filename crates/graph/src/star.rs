@@ -56,6 +56,10 @@ impl Topology for Star {
         self.n
     }
 
+    fn resized(&self, new_len: usize) -> Option<Self> {
+        Some(Star::new(new_len))
+    }
+
     fn degree(&self, u: usize) -> usize {
         check_node(u, self.n);
         if u == 0 {
