@@ -63,6 +63,12 @@ impl Churn {
     ) where
         E: Engine + ?Sized,
     {
+        pp_obs::obs_event!(
+            "adversary.churn",
+            "start",
+            "interval={} total_steps={total_steps}",
+            self.interval
+        );
         let end = sim.step_count() + total_steps;
         while sim.step_count() < end {
             let burst = self.interval.min(end - sim.step_count());
@@ -71,6 +77,7 @@ impl Churn {
             let victim = churn_rng.random_range(0..n);
             let state = reset(churn_rng);
             sim.set_state(victim, &state);
+            pp_obs::obs_count!("adversary.churn_resets", 1);
             observer(sim.step_count(), sim);
         }
     }

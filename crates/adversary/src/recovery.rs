@@ -67,10 +67,23 @@ where
     apply(shock, sim, shock_rng);
     let start = sim.step_count();
     let k = good.weights().len();
-    sim.run_until(max_steps, check_every, &mut |counts, _| {
-        good.contains(&config_stats_from_class_counts(counts, k))
-    })
-    .map(|hit| hit - start)
+    let recovered = sim
+        .run_until(max_steps, check_every, &mut |counts, _| {
+            good.contains(&config_stats_from_class_counts(counts, k))
+        })
+        .map(|hit| hit - start);
+    match recovered {
+        Some(t) => {
+            pp_obs::obs_event!("adversary.recovery", "recovered", "steps={t}");
+            pp_obs::obs_value!("adversary.recovery_steps", t);
+        }
+        None => pp_obs::obs_event!(
+            "adversary.recovery",
+            "timeout",
+            "max_steps={max_steps} check_every={check_every}"
+        ),
+    }
+    recovered
 }
 
 #[cfg(test)]

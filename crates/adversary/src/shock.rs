@@ -69,6 +69,31 @@ where
     E: Engine<State = AgentState> + ?Sized,
 {
     match *shock {
+        Shock::AddAgents { count, .. } => {
+            pp_obs::obs_event!("adversary.shock", "add_agents", "count={count}")
+        }
+        Shock::InjectColour { colour, recruits } => pp_obs::obs_event!(
+            "adversary.shock",
+            "inject_colour",
+            "colour={} recruits={recruits}",
+            colour.index()
+        ),
+        Shock::RetireColour {
+            colour,
+            replacement,
+        } => pp_obs::obs_event!(
+            "adversary.shock",
+            "retire_colour",
+            "colour={} replacement={}",
+            colour.index(),
+            replacement.index()
+        ),
+        Shock::RemoveAgents { count } => {
+            pp_obs::obs_event!("adversary.shock", "remove_agents", "count={count}")
+        }
+    }
+    pp_obs::obs_count!("adversary.shocks", 1);
+    match *shock {
         Shock::AddAgents { count, state } => {
             // One bulk resize, not `count` pushes: push_agent is O(n) on
             // the copy-rebuild tiers (sharded re-partitions per call), and

@@ -5,10 +5,13 @@
 //! fast-path engine (`pp_engine::PackedSimulator` over CSR/structured
 //! topologies): quick preset covers `n = 1024` (the old full scale), full
 //! preset `n = 65 536` across all seven families.
-
+//!
+//! Output follows the result-JSON v1 envelope (EXPERIMENTS.md
+//! "Observability"): exit code 0 on success, 2 on schema error. With a
+//! `--features obs` build, `PP_OBS` selects a recorder sink
+//! (`table`/`jsonl`/`json`).
 fn main() {
-    let preset = pp_bench::Preset::from_env();
-    let report = pp_bench::experiments::topologies::run(preset, 1000);
-    report.print();
-    pp_bench::output::write_report_or_warn(&report, "t10_topologies");
+    pp_bench::output::run_bin("t10_topologies", |preset| {
+        pp_bench::experiments::topologies::run(preset, 1000)
+    });
 }

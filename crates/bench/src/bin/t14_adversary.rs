@@ -6,10 +6,13 @@
 //! is the quick preset. The grid itself sweeps **all** engine tiers —
 //! every shock and churn measurement runs on agent, dense, packed, turbo,
 //! and sharded through the generic `Engine` path.
-
+//!
+//! Output follows the result-JSON v1 envelope (EXPERIMENTS.md
+//! "Observability"): exit code 0 on success, 2 on schema error. With a
+//! `--features obs` build, `PP_OBS` selects a recorder sink
+//! (`table`/`jsonl`/`json`).
 fn main() {
-    let preset = pp_bench::Preset::from_env();
-    let report = pp_bench::experiments::adversary::run(preset, 1_400);
-    report.print();
-    pp_bench::output::write_report_or_warn(&report, "t14_adversary");
+    pp_bench::output::run_bin("t14_adversary", |preset| {
+        pp_bench::experiments::adversary::run(preset, 1_400)
+    });
 }

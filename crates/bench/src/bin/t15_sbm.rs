@@ -6,10 +6,13 @@
 //! the default is the quick preset. `PP_ENGINE` selects the tier (packed
 //! by default; `sharded` aligns shards with the community-contiguous
 //! blocks).
-
+//!
+//! Output follows the result-JSON v1 envelope (EXPERIMENTS.md
+//! "Observability"): exit code 0 on success, 2 on schema error. With a
+//! `--features obs` build, `PP_OBS` selects a recorder sink
+//! (`table`/`jsonl`/`json`).
 fn main() {
-    let preset = pp_bench::Preset::from_env();
-    let report = pp_bench::experiments::sbm::run(preset, 1_500);
-    report.print();
-    pp_bench::output::write_report_or_warn(&report, "t15_sbm_blocks");
+    pp_bench::output::run_bin("t15_sbm_blocks", |preset| {
+        pp_bench::experiments::sbm::run(preset, 1_500)
+    });
 }

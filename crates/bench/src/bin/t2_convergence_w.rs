@@ -5,10 +5,13 @@
 //! `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md; the default
 //! is the quick preset. `PP_ENGINE=agent` forces the per-agent engine for
 //! complete-graph measurements (the default is the dense engine).
-
+//!
+//! Output follows the result-JSON v1 envelope (EXPERIMENTS.md
+//! "Observability"): exit code 0 on success, 2 on schema error. With a
+//! `--features obs` build, `PP_OBS` selects a recorder sink
+//! (`table`/`jsonl`/`json`).
 fn main() {
-    let preset = pp_bench::Preset::from_env();
-    let report = pp_bench::experiments::convergence::run_w_sweep(preset, 200);
-    report.print();
-    pp_bench::output::write_report_or_warn(&report, "t2_convergence_w");
+    pp_bench::output::run_bin("t2_convergence_w", |preset| {
+        pp_bench::experiments::convergence::run_w_sweep(preset, 200)
+    });
 }

@@ -5,10 +5,13 @@
 //! `PP_PRESET=full` for the scales recorded in EXPERIMENTS.md; the default
 //! is the quick preset. (This experiment runs on the per-agent engine
 //! only; `PP_ENGINE` has no effect here.)
-
+//!
+//! Output follows the result-JSON v1 envelope (EXPERIMENTS.md
+//! "Observability"): exit code 0 on success, 2 on schema error. With a
+//! `--features obs` build, `PP_OBS` selects a recorder sink
+//! (`table`/`jsonl`/`json`).
 fn main() {
-    let preset = pp_bench::Preset::from_env();
-    let report = pp_bench::experiments::phase3::run(preset, 400);
-    report.print();
-    pp_bench::output::write_report_or_warn(&report, "t4_phase3_error");
+    pp_bench::output::run_bin("t4_phase3_error", |preset| {
+        pp_bench::experiments::phase3::run(preset, 400)
+    });
 }

@@ -5,10 +5,13 @@
 //! on ring/torus/random-regular at n = 10⁵, then writes the table to
 //! `BENCH_throughput.json`. Run with `PP_PRESET=full` for longer
 //! measurement windows.
-
+//!
+//! Output follows the result-JSON v1 envelope (EXPERIMENTS.md
+//! "Observability"): exit code 0 on success, 2 on schema error. With a
+//! `--features obs` build, `PP_OBS` selects a recorder sink
+//! (`table`/`jsonl`/`json`).
 fn main() {
-    let preset = pp_bench::Preset::from_env();
-    let report = pp_bench::throughput::run(preset, 1600);
-    report.print();
-    pp_bench::output::write_report_or_warn(&report, "throughput");
+    pp_bench::output::run_bin("throughput", |preset| {
+        pp_bench::throughput::run(preset, 1600)
+    });
 }

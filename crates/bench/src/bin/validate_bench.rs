@@ -1,0 +1,221 @@
+//! Validates `BENCH_*.json` artifacts against the result-JSON v1 schema and
+//! runs the CI regression/A-B gates, with the stable exit codes the
+//! Observability contract defines (EXPERIMENTS.md):
+//!
+//! - `0` — every file validated (and every requested gate passed);
+//! - `2` — a file is unreadable, unparseable, or violates the v1 schema;
+//! - `3` — schemas are fine but a gate failed (step-rate regression or
+//!   obs-overhead A/B outside its band).
+//!
+//! Usage:
+//!
+//! ```text
+//! validate_bench FILE.json...
+//!     [--gate BASELINE.json FRESH.json]   # per-(n, engine) Msteps/s ratio
+//!     [--min-ratio 0.70]                  # gate threshold (fresh/baseline)
+//!     [--ab A.json B.json SUBSTR RATIO]   # rate of the row whose engine
+//!                                         # contains SUBSTR must agree
+//!                                         # within RATIO in both files
+//! ```
+//!
+//! The gate reproduces the bench-regression contract previously inlined as
+//! CI python: every (n, engine) row present in both the baseline and the
+//! fresh throughput report must retain at least `--min-ratio` of its
+//! baseline step rate.
+
+use pp_bench::output::{EXIT_GATE_FAILURE, EXIT_SCHEMA_ERROR};
+use pp_bench::schema::{self, Value};
+use std::collections::BTreeMap;
+use std::process::exit;
+
+fn load_validated(path: &str) -> Value {
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("schema error: cannot read `{path}`: {e}");
+            exit(EXIT_SCHEMA_ERROR);
+        }
+    };
+    let doc = match schema::parse(&body) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("schema error: `{path}`: {e}");
+            exit(EXIT_SCHEMA_ERROR);
+        }
+    };
+    if let Err(e) = schema::validate_v1(&doc) {
+        eprintln!("schema error: `{path}` is not result-JSON v1: {e}");
+        exit(EXIT_SCHEMA_ERROR);
+    }
+    doc
+}
+
+fn column_index(doc: &Value, name: &str) -> Option<usize> {
+    doc.get("columns")?
+        .as_arr()?
+        .iter()
+        .position(|c| c.as_str() == Some(name))
+}
+
+/// `(n, engine) -> Msteps/s` for every row carrying a numeric population
+/// and rate. Rows without a population (`n` = `"-"`, e.g. the obs-probe
+/// microbenchmark, whose timing is degenerate when the probe compiles
+/// out) are not step-rate claims and stay out of the gates.
+fn rates(doc: &Value, path: &str) -> BTreeMap<String, f64> {
+    let (Some(n_col), Some(e_col), Some(r_col)) = (
+        column_index(doc, "n"),
+        column_index(doc, "engine"),
+        column_index(doc, "Msteps/s"),
+    ) else {
+        eprintln!("schema error: `{path}` lacks the n/engine/Msteps/s columns the gate needs");
+        exit(EXIT_SCHEMA_ERROR);
+    };
+    let mut out = BTreeMap::new();
+    for row in doc.get("rows").and_then(Value::as_arr).unwrap_or(&[]) {
+        let cells = row.as_arr().unwrap_or(&[]);
+        let (Some(n), Some(engine), Some(rate)) = (
+            cells.get(n_col),
+            cells.get(e_col).and_then(Value::as_str),
+            cells.get(r_col).and_then(Value::as_f64),
+        ) else {
+            continue;
+        };
+        let Value::Num(x) = n else { continue };
+        let n_key = format!("{x}");
+        out.insert(format!("n={n_key} engine={engine}"), rate);
+    }
+    out
+}
+
+fn gate(baseline_path: &str, fresh_path: &str, min_ratio: f64) -> bool {
+    let baseline = rates(&load_validated(baseline_path), baseline_path);
+    let fresh = rates(&load_validated(fresh_path), fresh_path);
+    let mut ok = true;
+    let mut compared = 0usize;
+    for (key, &base) in &baseline {
+        let Some(&new) = fresh.get(key) else {
+            println!("gate: {key}: missing from fresh run (skipped)");
+            continue;
+        };
+        compared += 1;
+        let ratio = if base > 0.0 {
+            new / base
+        } else {
+            f64::INFINITY
+        };
+        let verdict = if ratio >= min_ratio {
+            "ok"
+        } else {
+            "REGRESSION"
+        };
+        println!("gate: {key}: baseline {base:.2} fresh {new:.2} ratio {ratio:.3} {verdict}");
+        if ratio < min_ratio {
+            ok = false;
+        }
+    }
+    if compared == 0 {
+        eprintln!("gate: no (n, engine) rows in common between baseline and fresh");
+        ok = false;
+    }
+    ok
+}
+
+/// Rate of the first row whose engine cell contains `substr`.
+fn rate_of(doc: &Value, path: &str, substr: &str) -> f64 {
+    for (key, rate) in rates(doc, path) {
+        if key.contains(substr) {
+            return rate;
+        }
+    }
+    eprintln!("schema error: `{path}` has no engine row containing `{substr}`");
+    exit(EXIT_SCHEMA_ERROR);
+}
+
+fn ab(a_path: &str, b_path: &str, substr: &str, min_ratio: f64) -> bool {
+    let a = rate_of(&load_validated(a_path), a_path, substr);
+    let b = rate_of(&load_validated(b_path), b_path, substr);
+    let ratio = if a > 0.0 && b > 0.0 {
+        (b / a).min(a / b)
+    } else {
+        0.0
+    };
+    let ok = ratio >= min_ratio;
+    println!(
+        "ab: `{substr}`: {a_path} {a:.2} vs {b_path} {b:.2} agreement {ratio:.3} (need >= \
+         {min_ratio}) {}",
+        if ok { "ok" } else { "FAILED" }
+    );
+    ok
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut files: Vec<String> = Vec::new();
+    let mut gate_paths: Option<(String, String)> = None;
+    let mut ab_spec: Option<(String, String, String, f64)> = None;
+    let mut min_ratio = 0.70_f64;
+    let mut i = 0;
+    let usage = "usage: validate_bench FILE.json... [--gate BASELINE FRESH] [--min-ratio R] \
+                 [--ab A B SUBSTR RATIO]";
+    let arg_at = |args: &[String], i: usize| -> String {
+        args.get(i).cloned().unwrap_or_else(|| {
+            eprintln!("{usage}");
+            exit(EXIT_SCHEMA_ERROR);
+        })
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--gate" => {
+                gate_paths = Some((arg_at(&args, i + 1), arg_at(&args, i + 2)));
+                i += 3;
+            }
+            "--min-ratio" => {
+                min_ratio = arg_at(&args, i + 1).parse().unwrap_or_else(|_| {
+                    eprintln!("{usage}");
+                    exit(EXIT_SCHEMA_ERROR);
+                });
+                i += 2;
+            }
+            "--ab" => {
+                let ratio: f64 = arg_at(&args, i + 4).parse().unwrap_or_else(|_| {
+                    eprintln!("{usage}");
+                    exit(EXIT_SCHEMA_ERROR);
+                });
+                ab_spec = Some((
+                    arg_at(&args, i + 1),
+                    arg_at(&args, i + 2),
+                    arg_at(&args, i + 3),
+                    ratio,
+                ));
+                i += 5;
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag `{flag}`\n{usage}");
+                exit(EXIT_SCHEMA_ERROR);
+            }
+            file => {
+                files.push(file.to_string());
+                i += 1;
+            }
+        }
+    }
+    if files.is_empty() && gate_paths.is_none() && ab_spec.is_none() {
+        eprintln!("{usage}");
+        exit(EXIT_SCHEMA_ERROR);
+    }
+
+    for path in &files {
+        load_validated(path);
+        println!("valid: {path}");
+    }
+    let mut gates_ok = true;
+    if let Some((baseline, fresh)) = gate_paths {
+        gates_ok &= gate(&baseline, &fresh, min_ratio);
+    }
+    if let Some((a, b, substr, ratio)) = ab_spec {
+        gates_ok &= ab(&a, &b, &substr, ratio);
+    }
+    if !gates_ok {
+        exit(EXIT_GATE_FAILURE);
+    }
+}

@@ -55,6 +55,14 @@ pub struct Report {
     pub table: Table,
     /// Derived observations (fits, verdicts).
     pub notes: Vec<String>,
+    /// Engine tier the experiment ran on, when one engine is meaningful
+    /// (multi-engine sweeps leave it `None` and name engines per row).
+    pub engine: Option<String>,
+    /// Topology/protocol parameters for the result-JSON `params` object;
+    /// values are typed by the writer (numeric strings become numbers).
+    pub params: Vec<(String, String)>,
+    /// Aggregate step rate, when the experiment measures one (throughput).
+    pub steps_per_sec: Option<f64>,
 }
 
 impl Report {
@@ -64,12 +72,33 @@ impl Report {
             title: title.into(),
             table,
             notes: Vec::new(),
+            engine: None,
+            params: Vec::new(),
+            steps_per_sec: None,
         }
     }
 
     /// Appends a note.
     pub fn note(&mut self, note: impl Into<String>) -> &mut Self {
         self.notes.push(note.into());
+        self
+    }
+
+    /// Records the engine tier this report ran on.
+    pub fn set_engine(&mut self, engine: impl Into<String>) -> &mut Self {
+        self.engine = Some(engine.into());
+        self
+    }
+
+    /// Appends a `params` entry for the result-JSON envelope.
+    pub fn param(&mut self, key: impl Into<String>, value: impl ToString) -> &mut Self {
+        self.params.push((key.into(), value.to_string()));
+        self
+    }
+
+    /// Records the aggregate step rate for the result-JSON envelope.
+    pub fn set_steps_per_sec(&mut self, rate: f64) -> &mut Self {
+        self.steps_per_sec = Some(rate);
         self
     }
 

@@ -50,6 +50,7 @@
 pub mod experiments;
 pub mod output;
 pub mod runner;
+pub mod schema;
 pub mod throughput;
 
 pub use runner::{

@@ -1,54 +1,131 @@
-//! Machine-readable experiment output.
+//! The result-JSON v1 writer: one machine-readable envelope for every bin.
 //!
-//! Every `t*` binary writes its [`Report`] to `BENCH_<name>.json` (in
-//! `PP_BENCH_DIR` if set, else the working directory) next to the
-//! plain-text table it prints, so downstream tooling can diff runs without
-//! scraping stdout. The writer is dependency-free: reports are flat
-//! (title, columns, string rows, notes), so the JSON is assembled by hand.
+//! Every `t*` binary and the throughput bench go through [`run_bin`], which
+//! runs the experiment, prints the human table, wraps the [`Report`] in the
+//! versioned envelope documented in [`crate::schema`], **self-validates** it
+//! with the hand-rolled parser, and writes `BENCH_<name>.json` (into
+//! `PP_BENCH_DIR`, created if missing, else the working directory).
+//!
+//! Exit codes are part of the contract (EXPERIMENTS.md "Observability"):
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | run completed, envelope written (or write warned on read-only dirs) |
+//! | 2    | schema error — the envelope failed v1 validation |
+//! | 3    | gate failure — a regression/A-B gate tripped (`validate_bench`) |
+//!
+//! Cells from [`pp_stats::Table`] are strings; the writer types them:
+//! integer-looking cells become JSON integers, finite float-looking cells
+//! become JSON numbers, everything else stays a string. String escaping is
+//! shared with the recorder ([`pp_obs::json`]), so the workspace has exactly
+//! one JSON escaper.
 
 use crate::experiments::Report;
+use crate::schema;
+use pp_obs::json::quote;
 use std::io::Write;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
-/// Escapes a string for inclusion in a JSON document.
-fn escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
-}
+/// The envelope version this writer emits.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Process exit code: run completed and the envelope validated.
+pub const EXIT_OK: i32 = 0;
+/// Process exit code: the result JSON failed v1 schema validation.
+pub const EXIT_SCHEMA_ERROR: i32 = 2;
+/// Process exit code: a regression or A/B gate failed.
+pub const EXIT_GATE_FAILURE: i32 = 3;
 
 fn string_array(items: impl IntoIterator<Item = impl AsRef<str>>) -> String {
-    let quoted: Vec<String> = items
-        .into_iter()
-        .map(|s| format!("\"{}\"", escape(s.as_ref())))
-        .collect();
+    let quoted: Vec<String> = items.into_iter().map(|s| quote(s.as_ref())).collect();
     format!("[{}]", quoted.join(", "))
 }
 
-/// Renders a [`Report`] as a JSON document.
-pub fn report_to_json(report: &Report) -> String {
+/// Types a table cell for the envelope: integers and finite floats become
+/// JSON numbers (only when the text round-trips, so `007` or `1_000` stay
+/// strings), everything else is a JSON string.
+pub fn json_cell(cell: &str) -> String {
+    let t = cell.trim();
+    if let Ok(i) = t.parse::<i64>() {
+        if i.to_string() == t {
+            return i.to_string();
+        }
+    }
+    let digits = t.trim_start_matches(['+', '-']);
+    let leading_zero = digits.len() > 1 && digits.starts_with('0') && !digits.starts_with("0.");
+    if !leading_zero
+        && t.bytes()
+            .all(|b| matches!(b, b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-'))
+    {
+        if let Ok(x) = t.parse::<f64>() {
+            if x.is_finite() {
+                return format_f64(x);
+            }
+        }
+    }
+    quote(cell)
+}
+
+/// Formats a finite float as a JSON number (Rust's shortest round-trip
+/// `Display`, with a `.0` appended to integral values so the cell stays
+/// visibly a float).
+fn format_f64(x: f64) -> String {
+    let s = format!("{x}");
+    if s.contains(['.', 'e', 'E']) {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Renders a [`Report`] as a result-JSON v1 envelope.
+///
+/// `recorder_json` is the pre-rendered [`pp_obs::Dump::to_json`] object when
+/// `PP_OBS=json`, else `None` (serialized as `null`).
+pub fn result_json_v1(
+    name: &str,
+    report: &Report,
+    preset: &str,
+    wall_ms: f64,
+    recorder_json: Option<&str>,
+) -> String {
     let rows: Vec<String> = report
         .table
         .rows()
         .iter()
-        .map(|row| string_array(row.iter()))
+        .map(|row| {
+            let cells: Vec<String> = row.iter().map(|c| json_cell(c)).collect();
+            format!("[{}]", cells.join(", "))
+        })
+        .collect();
+    let params: Vec<String> = report
+        .params
+        .iter()
+        .map(|(k, v)| format!("{}: {}", quote(k), json_cell(v)))
         .collect();
     format!(
-        "{{\n  \"title\": \"{}\",\n  \"columns\": {},\n  \"rows\": [\n    {}\n  ],\n  \"notes\": {}\n}}\n",
-        escape(&report.title),
-        string_array(report.table.header().iter()),
-        rows.join(",\n    "),
-        string_array(report.notes.iter()),
+        "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"name\": {name},\n  \"title\": {title},\n  \
+         \"engine\": {engine},\n  \"preset\": {preset},\n  \"params\": {{{params}}},\n  \
+         \"columns\": {columns},\n  \"rows\": [\n    {rows}\n  ],\n  \"notes\": {notes},\n  \
+         \"wall_ms\": {wall_ms},\n  \"steps_per_sec\": {rate},\n  \"recorder\": {recorder}\n}}\n",
+        name = quote(name),
+        title = quote(&report.title),
+        engine = match &report.engine {
+            Some(e) => quote(e),
+            None => "null".to_string(),
+        },
+        preset = quote(preset),
+        params = params.join(", "),
+        columns = string_array(report.table.header().iter()),
+        rows = rows.join(",\n    "),
+        notes = string_array(report.notes.iter()),
+        wall_ms = format_f64(wall_ms.max(0.0)),
+        rate = match report.steps_per_sec {
+            Some(r) if r.is_finite() && r >= 0.0 => format_f64(r),
+            _ => "null".to_string(),
+        },
+        recorder = recorder_json.unwrap_or("null"),
     )
 }
 
@@ -59,42 +136,93 @@ pub fn bench_path(name: &str) -> PathBuf {
     PathBuf::from(dir).join(format!("BENCH_{name}.json"))
 }
 
-/// Writes `report` to `dir/BENCH_<name>.json`; returns the path written.
+/// Writes `json` to `dir/BENCH_<name>.json`, **creating the directory** if
+/// it does not exist; returns the path written.
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors from creating or writing the file.
-pub fn write_report_to(
-    report: &Report,
-    dir: &std::path::Path,
-    name: &str,
-) -> std::io::Result<PathBuf> {
+/// Returns an error naming the directory when it cannot be created, or
+/// propagates the write failure.
+pub fn write_json_to(dir: &Path, name: &str, json: &str) -> std::io::Result<PathBuf> {
+    if !dir.as_os_str().is_empty() {
+        std::fs::create_dir_all(dir).map_err(|e| {
+            std::io::Error::new(
+                e.kind(),
+                format!("cannot create bench dir `{}`: {e}", dir.display()),
+            )
+        })?;
+    }
     let path = dir.join(format!("BENCH_{name}.json"));
     let mut file = std::fs::File::create(&path)?;
-    file.write_all(report_to_json(report).as_bytes())?;
+    file.write_all(json.as_bytes())?;
     Ok(path)
 }
 
-/// Writes `report` to [`bench_path`]`(name)`; returns the path written.
+/// Writes `json` to [`bench_path`]`(name)`, creating `PP_BENCH_DIR` if it
+/// does not exist (previously a missing directory made every write fail
+/// silently at the `File::create`).
 ///
 /// # Errors
 ///
-/// Propagates filesystem errors from creating or writing the file.
-pub fn write_report(report: &Report, name: &str) -> std::io::Result<PathBuf> {
+/// See [`write_json_to`].
+pub fn write_json(name: &str, json: &str) -> std::io::Result<PathBuf> {
     let path = bench_path(name);
-    let mut file = std::fs::File::create(&path)?;
-    file.write_all(report_to_json(report).as_bytes())?;
-    Ok(path)
+    let dir = path.parent().unwrap_or(Path::new(".")).to_path_buf();
+    write_json_to(&dir, name, json)
 }
 
-/// Writes `report` to `BENCH_<name>.json`, printing a confirmation line (or
-/// a warning on failure — experiment binaries should still exit 0 when the
-/// working directory is read-only).
-pub fn write_report_or_warn(report: &Report, name: &str) {
-    match write_report(report, name) {
+/// Validates `json` against the v1 schema.
+///
+/// # Errors
+///
+/// Returns the first parse or schema violation, human-readable.
+pub fn validate_json(json: &str) -> Result<(), String> {
+    let doc = schema::parse(json).map_err(|e| e.to_string())?;
+    schema::validate_v1(&doc)
+}
+
+/// The standard main body of every experiment bin: validates `PP_OBS`,
+/// reads the preset, runs `f`, prints the report, and writes the
+/// self-validated result-JSON v1 envelope to `BENCH_<name>.json`. Never
+/// returns; the process exits with [`EXIT_OK`] or [`EXIT_SCHEMA_ERROR`].
+///
+/// A failed *write* (e.g. read-only working directory) warns but still
+/// exits 0 — the run itself succeeded, and CI treats the artifact as
+/// optional in that configuration.
+pub fn run_bin(name: &str, f: impl FnOnce(crate::Preset) -> Report) -> ! {
+    pp_obs::init_from_env();
+    let preset = crate::Preset::from_env();
+    let start = Instant::now();
+    let mut report = f(preset);
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    report.print();
+    if report.engine.is_none() {
+        // Single-engine experiments run on the tier PP_ENGINE selects;
+        // multi-engine sweeps set their own label (e.g. "multi").
+        report.engine = Some(crate::EngineKind::from_env().name().to_string());
+    }
+    let recorder_json = if pp_obs::sink() == pp_obs::Sink::Json {
+        Some(pp_obs::dump().to_json())
+    } else {
+        None
+    };
+    let json = result_json_v1(
+        name,
+        &report,
+        preset.name(),
+        wall_ms,
+        recorder_json.as_deref(),
+    );
+    if let Err(e) = validate_json(&json) {
+        eprintln!("error: refusing to write invalid result JSON for `{name}`: {e}");
+        std::process::exit(EXIT_SCHEMA_ERROR);
+    }
+    match write_json(name, &json) {
         Ok(path) => println!("wrote {}", path.display()),
         Err(err) => eprintln!("warning: could not write BENCH_{name}.json: {err}"),
     }
+    pp_obs::flush_to_stderr();
+    std::process::exit(EXIT_OK);
 }
 
 #[cfg(test)]
@@ -103,36 +231,130 @@ mod tests {
     use pp_stats::Table;
 
     fn sample_report() -> Report {
-        let mut table = Table::new(["n", "weights"]);
-        table.row(["1024", "(1,3.0)"]);
+        let mut table = Table::new(["n", "weights", "err"]);
+        table.row(["1024", "(1,3.0)", "0.0316"]);
+        table.row(["2048", "naïve 🦀", "-1.5e3"]);
         let mut report = Report::new("demo \"quoted\"", table);
         report.note("slope = 1.0\nsecond line");
+        report.set_engine("dense");
+        report.param("seed", 100);
+        report.param("topology", "complete");
         report
     }
 
     #[test]
-    fn json_shape_and_escaping() {
-        let json = report_to_json(&sample_report());
-        assert!(json.contains("\"title\": \"demo \\\"quoted\\\"\""));
-        assert!(json.contains("\"columns\": [\"n\", \"weights\"]"));
-        // Cells containing commas survive (the reason this is not CSV).
-        assert!(json.contains("\"(1,3.0)\""));
+    fn envelope_validates_and_escapes() {
+        let json = result_json_v1("unit_demo", &sample_report(), "quick", 12.5, None);
+        validate_json(&json).expect("writer must emit valid v1");
+        assert!(json.contains("\"schema_version\": 1"));
+        assert!(json.contains("demo \\\"quoted\\\""));
         assert!(json.contains("slope = 1.0\\nsecond line"));
-        // Balanced braces and brackets.
-        assert_eq!(json.matches('{').count(), json.matches('}').count());
-        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // Typed cells: ints as ints, floats as floats, text quoted.
+        assert!(json.contains("[1024, \"(1,3.0)\", 0.0316]"));
+        assert!(json.contains("[2048, \"naïve 🦀\", -1500.0]"));
+        assert!(json.contains("\"seed\": 100"));
     }
 
     #[test]
-    fn write_report_roundtrip() {
-        // Uses the explicit-directory writer: mutating PP_BENCH_DIR here
-        // would race sibling tests that read the environment concurrently.
-        let dir = std::env::temp_dir().join("pp_bench_output_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = write_report_to(&sample_report(), &dir, "unit_test").unwrap();
-        assert!(path.ends_with("BENCH_unit_test.json"));
+    fn cells_round_trip_through_the_parser() {
+        let json = result_json_v1("unit_demo", &sample_report(), "quick", 1.0, None);
+        let doc = schema::parse(&json).unwrap();
+        let rows = doc.get("rows").unwrap().as_arr().unwrap();
+        assert_eq!(rows[0].as_arr().unwrap()[0].as_f64(), Some(1024.0));
+        assert_eq!(
+            rows[0].as_arr().unwrap()[1].as_str(),
+            Some("(1,3.0)"),
+            "comma cells stay strings"
+        );
+        assert_eq!(rows[1].as_arr().unwrap()[1].as_str(), Some("naïve 🦀"));
+        assert_eq!(rows[1].as_arr().unwrap()[2].as_f64(), Some(-1500.0));
+        assert_eq!(
+            doc.get("params").unwrap().get("seed").unwrap().as_f64(),
+            Some(100.0)
+        );
+    }
+
+    #[test]
+    fn json_cell_typing_rules() {
+        assert_eq!(json_cell("42"), "42");
+        assert_eq!(json_cell("-7"), "-7");
+        assert_eq!(json_cell("0.5"), "0.5");
+        assert_eq!(json_cell("1.5e3"), "1500.0");
+        assert_eq!(json_cell("007"), "\"007\"", "leading zeros stay text");
+        assert_eq!(json_cell("1_000"), "\"1_000\"");
+        assert_eq!(json_cell("NaN"), "\"NaN\"", "non-finite stays text");
+        assert_eq!(json_cell("inf"), "\"inf\"");
+        assert_eq!(json_cell("3/4"), "\"3/4\"");
+        assert_eq!(json_cell(""), "\"\"");
+        assert_eq!(json_cell("1.2.3"), "\"1.2.3\"");
+    }
+
+    #[test]
+    fn escaping_survives_hostile_strings() {
+        let mut table = Table::new(["payload"]);
+        let hostile = "quote:\" backslash:\\ newline:\n tab:\t bell:\u{7} unicode:héllo…🦀";
+        table.row([hostile]);
+        let mut report = Report::new("hostile", table);
+        report.note(hostile);
+        let json = result_json_v1("unit_hostile", &report, "quick", 0.0, None);
+        validate_json(&json).expect("hostile strings must still validate");
+        let doc = schema::parse(&json).unwrap();
+        let cell = doc.get("rows").unwrap().as_arr().unwrap()[0]
+            .as_arr()
+            .unwrap()[0]
+            .as_str()
+            .unwrap()
+            .to_string();
+        assert_eq!(cell, hostile, "escape/parse must round-trip exactly");
+        assert_eq!(
+            doc.get("notes").unwrap().as_arr().unwrap()[0].as_str(),
+            Some(hostile)
+        );
+    }
+
+    #[test]
+    fn recorder_embeds_as_object() {
+        let dump_json =
+            "{\"counters\":{\"x\":1},\"histograms\":{},\"events\":[],\"dropped_events\":0}";
+        let json = result_json_v1("unit_rec", &sample_report(), "full", 3.0, Some(dump_json));
+        validate_json(&json).unwrap();
+        let doc = schema::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("recorder")
+                .unwrap()
+                .get("counters")
+                .unwrap()
+                .get("x")
+                .unwrap()
+                .as_f64(),
+            Some(1.0)
+        );
+    }
+
+    #[test]
+    fn write_creates_missing_directory() {
+        // The satellite fix: PP_BENCH_DIR pointing at a not-yet-existing
+        // directory must be created, not silently fail the write. Uses the
+        // explicit-directory writer (mutating PP_BENCH_DIR would race
+        // sibling tests reading the environment).
+        let dir = std::env::temp_dir()
+            .join("pp_bench_output_test")
+            .join("nested")
+            .join("deeper");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(!dir.exists());
+        let json = result_json_v1("unit_mkdir", &sample_report(), "quick", 1.0, None);
+        let path = write_json_to(&dir, "unit_mkdir", &json).unwrap();
+        assert!(path.ends_with("BENCH_unit_mkdir.json"));
         let body = std::fs::read_to_string(&path).unwrap();
-        assert!(body.contains("\"rows\""));
-        std::fs::remove_file(path).unwrap();
+        validate_json(&body).unwrap();
+        std::fs::remove_dir_all(dir.parent().unwrap().parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn empty_table_still_validates() {
+        let report = Report::new("empty", Table::new(["only_header"]));
+        let json = result_json_v1("unit_empty", &report, "quick", 0.0, None);
+        validate_json(&json).expect("zero-row envelope must validate");
     }
 }

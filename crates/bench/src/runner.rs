@@ -51,6 +51,14 @@ impl Preset {
             Ok(v) => panic!("PP_PRESET must be `quick` or `full`, got `{v}`"),
         }
     }
+
+    /// Short lowercase name for the result-JSON `preset` field.
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::Quick => "quick",
+            Preset::Full => "full",
+        }
+    }
 }
 
 /// Which simulation engine tier drives a measurement.

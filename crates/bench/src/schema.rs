@@ -1,0 +1,527 @@
+//! Minimal JSON parser and the result-JSON v1 schema validator.
+//!
+//! The workspace has no serde (offline build), so `BENCH_*.json` documents
+//! are checked with a small hand-rolled recursive-descent parser. Every bin
+//! self-validates the envelope it is about to write (exit code 2 on
+//! violation), the `validate_bench` bin re-validates uploaded artifacts in
+//! CI, and the schema-conformance tests parse every bin's envelope through
+//! this module.
+//!
+//! ## Result-JSON v1
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "name": "t1_convergence_n",          // bin/experiment id (file stem)
+//!   "title": "t1: convergence time ...", // human title
+//!   "engine": "dense",                   // engine tier, or null for sweeps
+//!   "preset": "quick",                   // PP_PRESET
+//!   "params": {"seed": 100},             // topology/protocol parameters
+//!   "columns": ["n", "steps"],           // table header
+//!   "rows": [[1024, 31337.5]],           // typed cells: number or string
+//!   "notes": ["fitted slope ..."],       // free-form observations
+//!   "wall_ms": 1234.5,                   // wall-clock of the run
+//!   "steps_per_sec": null,               // aggregate rate, when measured
+//!   "recorder": null                     // pp-obs dump when PP_OBS=json
+//! }
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON `true`/`false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A JSON string.
+    Str(String),
+    /// A JSON array.
+    Arr(Vec<Value>),
+    /// A JSON object (sorted keys; duplicates rejected).
+    Obj(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Object field lookup; `None` on non-objects or missing keys.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Value]> {
+        match self {
+            Value::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+/// A parse failure with byte offset context.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON parse error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+/// Parses a complete JSON document.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input or trailing garbage.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(p.err("trailing characters after document"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: impl Into<String>) -> ParseError {
+        ParseError {
+            at: self.pos,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(format!("expected `{lit}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(c) => Err(self.err(format!("unexpected byte `{}`", c as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            if map.insert(key.clone(), val).is_some() {
+                return Err(self.err(format!("duplicate key `{key}`")));
+            }
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(map));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("dangling escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let cp = self.hex4()?;
+                            // Surrogate pairs: a high surrogate must be
+                            // followed by `\uXXXX` with a low surrogate.
+                            let ch = if (0xD800..0xDC00).contains(&cp) {
+                                if !self.bytes[self.pos..].starts_with(b"\\u") {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 2;
+                                let low = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let c = 0x10000 + ((cp - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(c).ok_or_else(|| self.err("invalid code point"))?
+                            } else if (0xDC00..0xE000).contains(&cp) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(cp).ok_or_else(|| self.err("invalid code point"))?
+                            };
+                            out.push(ch);
+                        }
+                        other => return Err(self.err(format!("bad escape `\\{}`", other as char))),
+                    }
+                }
+                Some(c) if c < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // bytes are valid UTF-8; find the char boundary).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let ch = s.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.err("truncated \\u escape"));
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.err("invalid \\u escape"))?;
+        let cp = u32::from_str_radix(s, 16).map_err(|_| self.err("invalid \\u escape"))?;
+        self.pos = end;
+        Ok(cp)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        match s.parse::<f64>() {
+            Ok(x) if x.is_finite() => Ok(Value::Num(x)),
+            _ => Err(self.err(format!("invalid number `{s}`"))),
+        }
+    }
+}
+
+/// Validates a parsed document against the result-JSON v1 schema.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first violation.
+pub fn validate_v1(doc: &Value) -> Result<(), String> {
+    let obj = match doc {
+        Value::Obj(m) => m,
+        _ => return Err("document must be a JSON object".into()),
+    };
+    match doc.get("schema_version").and_then(Value::as_f64) {
+        Some(1.0) => {}
+        Some(v) => return Err(format!("schema_version must be 1, got {v}")),
+        None => return Err("missing numeric field `schema_version`".into()),
+    }
+    for field in ["name", "title", "preset"] {
+        match doc.get(field) {
+            Some(Value::Str(s)) if !s.is_empty() => {}
+            Some(Value::Str(_)) => return Err(format!("field `{field}` must be non-empty")),
+            _ => return Err(format!("missing string field `{field}`")),
+        }
+    }
+    match doc.get("engine") {
+        Some(Value::Str(_)) | Some(Value::Null) => {}
+        _ => return Err("field `engine` must be a string or null".into()),
+    }
+    let params = match doc.get("params") {
+        Some(Value::Obj(m)) => m,
+        _ => return Err("field `params` must be an object".into()),
+    };
+    for (k, v) in params {
+        if !matches!(v, Value::Num(_) | Value::Str(_)) {
+            return Err(format!("params entry `{k}` must be a number or string"));
+        }
+    }
+    let columns = match doc.get("columns") {
+        Some(Value::Arr(cols)) if !cols.is_empty() => {
+            for (i, c) in cols.iter().enumerate() {
+                if !matches!(c, Value::Str(_)) {
+                    return Err(format!("columns[{i}] must be a string"));
+                }
+            }
+            cols
+        }
+        _ => return Err("field `columns` must be a non-empty string array".into()),
+    };
+    match doc.get("rows") {
+        Some(Value::Arr(rows)) => {
+            for (i, row) in rows.iter().enumerate() {
+                let cells = row
+                    .as_arr()
+                    .ok_or_else(|| format!("rows[{i}] must be an array"))?;
+                if cells.len() != columns.len() {
+                    return Err(format!(
+                        "rows[{i}] has {} cells but there are {} columns",
+                        cells.len(),
+                        columns.len()
+                    ));
+                }
+                for (j, cell) in cells.iter().enumerate() {
+                    if !matches!(cell, Value::Num(_) | Value::Str(_)) {
+                        return Err(format!("rows[{i}][{j}] must be a number or string"));
+                    }
+                }
+            }
+        }
+        _ => return Err("field `rows` must be an array".into()),
+    }
+    match doc.get("notes") {
+        Some(Value::Arr(notes)) => {
+            for (i, n) in notes.iter().enumerate() {
+                if !matches!(n, Value::Str(_)) {
+                    return Err(format!("notes[{i}] must be a string"));
+                }
+            }
+        }
+        _ => return Err("field `notes` must be an array".into()),
+    }
+    match doc.get("wall_ms").and_then(Value::as_f64) {
+        Some(v) if v >= 0.0 => {}
+        _ => return Err("field `wall_ms` must be a non-negative number".into()),
+    }
+    match doc.get("steps_per_sec") {
+        Some(Value::Null) => {}
+        Some(Value::Num(v)) if *v >= 0.0 => {}
+        _ => return Err("field `steps_per_sec` must be a non-negative number or null".into()),
+    }
+    match doc.get("recorder") {
+        Some(Value::Null) | Some(Value::Obj(_)) => {}
+        _ => return Err("field `recorder` must be an object or null".into()),
+    }
+    let known = [
+        "schema_version",
+        "name",
+        "title",
+        "engine",
+        "preset",
+        "params",
+        "columns",
+        "rows",
+        "notes",
+        "wall_ms",
+        "steps_per_sec",
+        "recorder",
+    ];
+    for key in obj.keys() {
+        if !known.contains(&key.as_str()) {
+            return Err(format!("unknown field `{key}` (schema drift?)"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minimal_v1() -> String {
+        concat!(
+            "{\"schema_version\":1,\"name\":\"t0_demo\",\"title\":\"demo\",",
+            "\"engine\":null,\"preset\":\"quick\",\"params\":{\"n\":100},",
+            "\"columns\":[\"n\",\"err\"],\"rows\":[[100,0.5],[\"big\",1]],",
+            "\"notes\":[],\"wall_ms\":1.5,\"steps_per_sec\":null,\"recorder\":null}"
+        )
+        .to_string()
+    }
+
+    #[test]
+    fn parses_scalars_arrays_objects() {
+        assert_eq!(parse("null").unwrap(), Value::Null);
+        assert_eq!(parse("true").unwrap(), Value::Bool(true));
+        assert_eq!(parse(" -1.5e3 ").unwrap(), Value::Num(-1500.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Value::Str("a\nb".into()));
+        assert_eq!(
+            parse("[1, \"x\", []]").unwrap(),
+            Value::Arr(vec![
+                Value::Num(1.0),
+                Value::Str("x".into()),
+                Value::Arr(vec![])
+            ])
+        );
+        let obj = parse("{\"a\": {\"b\": 2}}").unwrap();
+        assert_eq!(obj.get("a").unwrap().get("b").unwrap().as_f64(), Some(2.0));
+    }
+
+    #[test]
+    fn parses_unicode_escapes() {
+        assert_eq!(parse("\"\\u00e9\"").unwrap(), Value::Str("é".into()));
+        // Surrogate pair → astral code point.
+        assert_eq!(
+            parse("\"\\ud83e\\udd80\"").unwrap(),
+            Value::Str("🦀".into())
+        );
+        assert_eq!(parse("\"\\u0001\"").unwrap(), Value::Str("\u{1}".into()));
+        assert!(parse("\"\\ud83e\"").is_err(), "lone surrogate must fail");
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "nulll",
+            "01a",
+            "\"unterminated",
+            "{\"a\":1}{",
+            "{\"a\":1,\"a\":2}",
+            "\"bad \\q escape\"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn accepts_minimal_v1() {
+        let doc = parse(&minimal_v1()).unwrap();
+        validate_v1(&doc).unwrap();
+    }
+
+    #[test]
+    fn rejects_schema_violations() {
+        let violations = [
+            (
+                "\"schema_version\":1",
+                "\"schema_version\":2",
+                "schema_version",
+            ),
+            ("\"name\":\"t0_demo\"", "\"name\":\"\"", "name"),
+            ("\"engine\":null", "\"engine\":7", "engine"),
+            ("\"params\":{\"n\":100}", "\"params\":[]", "params"),
+            ("\"columns\":[\"n\",\"err\"]", "\"columns\":[]", "columns"),
+            (
+                "\"rows\":[[100,0.5],[\"big\",1]]",
+                "\"rows\":[[100]]",
+                "rows",
+            ),
+            ("\"notes\":[]", "\"notes\":[1]", "notes"),
+            ("\"wall_ms\":1.5", "\"wall_ms\":\"fast\"", "wall_ms"),
+            ("\"recorder\":null", "\"recorder\":[]", "recorder"),
+        ];
+        for (from, to, what) in violations {
+            let doc = parse(&minimal_v1().replace(from, to)).unwrap();
+            assert!(validate_v1(&doc).is_err(), "accepted bad {what}");
+        }
+        // Unknown fields are schema drift.
+        let doc = parse(&minimal_v1().replace("\"wall_ms\"", "\"walltime\"")).unwrap();
+        assert!(validate_v1(&doc).is_err(), "accepted unknown field");
+    }
+}

@@ -298,6 +298,7 @@ impl<P: CountProtocol> DenseSimulator<P> {
         self.fire_one(c);
         self.step += wait;
         self.exact_events += 1;
+        pp_obs::obs_count!("dense.exact_events", 1);
         wait
     }
 
@@ -321,6 +322,7 @@ impl<P: CountProtocol> DenseSimulator<P> {
         if let Some(c) = chosen {
             self.fire_one(c);
             self.exact_events += 1;
+            pp_obs::obs_count!("dense.critical_fires", 1);
         }
     }
 
@@ -385,7 +387,13 @@ impl<P: CountProtocol> DenseSimulator<P> {
             if cap == 0 {
                 continue;
             }
-            let m = binomial(&mut self.rng, tau, r).min(cap);
+            let draw = binomial(&mut self.rng, tau, r);
+            if draw > cap {
+                // Invariant-cap clamp: the τ estimate was too optimistic
+                // for this channel (a bias source worth watching).
+                pp_obs::obs_count!("dense.batch_cap_clamps", 1);
+            }
+            let m = draw.min(cap);
             self.avail[ch.src] -= m;
             self.pending[ch.src] -= m as i64;
             self.pending[ch.dst] += m as i64;
@@ -397,6 +405,8 @@ impl<P: CountProtocol> DenseSimulator<P> {
         }
         self.step += tau;
         self.leap_batches += 1;
+        pp_obs::obs_count!("dense.leap_batches", 1);
+        pp_obs::obs_value!("dense.leap_tau", tau);
     }
 
     /// Number of time-steps simulated so far.

@@ -230,6 +230,9 @@ impl<P: PackedProtocol, T: Topology> PackedSimulator<P, T> {
 
     /// Runs `steps` time-steps as one tight batch loop.
     pub fn run(&mut self, steps: u64) {
+        // Recorded per batch, not per step: one branch per `run` call.
+        pp_obs::obs_count!("packed.steps", steps);
+        pp_obs::obs_count!("packed.batches", 1);
         for _ in 0..steps {
             self.step();
         }

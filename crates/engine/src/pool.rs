@@ -38,19 +38,23 @@ fn budget() -> &'static AtomicUsize {
 }
 
 /// The machine parallelism this pool budgets for: `PP_POOL_THREADS` if
-/// set (and ≥ 1), else `std::thread::available_parallelism()`.
+/// set, else `std::thread::available_parallelism()`.
+///
+/// # Panics
+///
+/// Panics if `PP_POOL_THREADS` is set to anything other than a positive
+/// integer — the same fail-fast convention as `PP_PRESET`/`PP_ENGINE`/
+/// `PP_OBS`, instead of silently falling back to the machine default.
 pub fn parallelism() -> usize {
     static PAR: OnceLock<usize> = OnceLock::new();
-    *PAR.get_or_init(|| {
-        std::env::var("PP_POOL_THREADS")
-            .ok()
-            .and_then(|v| v.parse::<usize>().ok())
-            .filter(|&p| p >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism()
-                    .map(|p| p.get())
-                    .unwrap_or(1)
-            })
+    *PAR.get_or_init(|| match std::env::var("PP_POOL_THREADS") {
+        Ok(v) => match v.parse::<usize>() {
+            Ok(p) if p >= 1 => p,
+            _ => panic!("PP_POOL_THREADS must be a positive integer thread count, got `{v}`"),
+        },
+        Err(_) => std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1),
     })
 }
 
@@ -90,10 +94,19 @@ pub fn lease(want: usize) -> Lease {
     loop {
         let take = free.min(want);
         if take == 0 {
+            if want > 0 {
+                // A helper asked for workers and got none: the nested
+                // run-inline degradation the recorder makes visible.
+                pp_obs::obs_count!("pool.lease_inline", 1);
+            }
             return Lease { granted: 0 };
         }
         match tokens.compare_exchange_weak(free, free - take, Ordering::AcqRel, Ordering::Acquire) {
-            Ok(_) => return Lease { granted: take },
+            Ok(_) => {
+                pp_obs::obs_count!("pool.lease_acquired", 1);
+                pp_obs::obs_value!("pool.lease_workers", take);
+                return Lease { granted: take };
+            }
             Err(now) => free = now,
         }
     }

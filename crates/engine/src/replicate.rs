@@ -54,6 +54,7 @@ where
             let Some(&seed) = seeds_ref.get(i) else {
                 return local;
             };
+            pp_obs::obs_count!("pool.replicate_claims", 1);
             local.push((i, f(seed)));
         }
     };

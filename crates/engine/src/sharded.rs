@@ -744,6 +744,12 @@ fn scan_segment<
         stream.advance_by(owned_before * m as u64);
     }
 
+    // Per-segment tallies, flushed to the recorder once at segment end so
+    // the hot loop never touches shared state. With the `obs` feature off
+    // `record` is a constant `false` and the tallies are dead code.
+    let record = pp_obs::enabled();
+    let (mut tally_owned, mut tally_local, mut tally_deferred) = (0u64, 0u64, 0u64);
+
     let states = shard.states.as_mut_slice();
     let mut pos = ctx.weyl_base.wrapping_add(ctx.from.wrapping_mul(GOLDEN));
     for t in ctx.from..ctx.to {
@@ -754,6 +760,9 @@ fn scan_segment<
         let u = ((x as u128 * n as u128) >> 64) as usize;
         if !owns(u) {
             continue;
+        }
+        if record {
+            tally_owned += 1;
         }
         let mut partners = [0u32; MAX_PACKED_OBSERVATIONS];
         let mut observed = [0u32; MAX_PACKED_OBSERVATIONS];
@@ -781,6 +790,9 @@ fn scan_segment<
             let mut rng = CounterRng::from_state(last ^ GOLDEN);
             let next = protocol.transition_turbo(me, &observed[..m], last, &mut rng);
             states[lu] = W::narrow(next);
+            if record {
+                tally_local += 1;
+            }
         } else {
             shard.queue.push(Deferred {
                 offset: (t - ctx.block_start) as u32,
@@ -788,7 +800,18 @@ fn scan_segment<
                 partners,
                 entropy: last,
             });
+            if record {
+                tally_deferred += 1;
+            }
         }
+    }
+    if record {
+        pp_obs::counter_add("sharded.scheduled", tally_owned);
+        pp_obs::counter_add("sharded.local_applied", tally_local);
+        pp_obs::counter_add("sharded.deferred", tally_deferred);
+        // Per-shard load: the owned-step distribution across segments is
+        // the imbalance a bad partition shows up in.
+        pp_obs::record_value("sharded.segment_owned_steps", tally_owned);
     }
 }
 
@@ -804,9 +827,12 @@ fn reconcile<P: PackedProtocol, W: TurboWord>(
 ) {
     let m = P::OBSERVATIONS;
     let total: usize = shards.iter().map(|sh| sh.queue.len()).sum();
+    pp_obs::obs_count!("sharded.reconcile_blocks", 1);
+    pp_obs::obs_value!("sharded.merge_batch", total);
     if total == 0 {
         return;
     }
+    pp_obs::obs_count!("sharded.merged", total);
     let mut merged: Vec<Deferred> = Vec::with_capacity(total);
     for sh in shards.iter_mut() {
         merged.append(&mut sh.queue);

@@ -290,6 +290,9 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> TurboSimulator<P, T, W> {
 
     /// Runs `steps` time-steps.
     pub fn run(&mut self, steps: u64) {
+        // Recorded per batch, not per step: one branch per `run` call.
+        pp_obs::obs_count!("turbo.steps", steps);
+        pp_obs::obs_count!("turbo.batches", 1);
         self.run_batch(steps);
     }
 
