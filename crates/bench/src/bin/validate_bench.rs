@@ -57,10 +57,17 @@ fn column_index(doc: &Value, name: &str) -> Option<usize> {
         .position(|c| c.as_str() == Some(name))
 }
 
-/// `(n, engine) -> Msteps/s` for every row carrying a numeric population
-/// and rate. Rows without a population (`n` = `"-"`, e.g. the obs-probe
-/// microbenchmark, whose timing is degenerate when the probe compiles
-/// out) are not step-rate claims and stay out of the gates.
+/// Rows excluded from the step-rate gates **by engine name**: the
+/// obs-probe row reports ns/call, not a step rate (its `Msteps/s` cell
+/// is `-`), so it is never a regression claim. A named list — rather
+/// than a shape heuristic like "non-numeric `n`" — keeps the exclusion
+/// explicit and greppable when new microbenchmark rows appear.
+const GATE_EXCLUDED_ENGINES: &[&str] = &["obs-probe"];
+
+/// `(n, engine) -> Msteps/s` for every gate-eligible row. Eligibility is
+/// the named [`GATE_EXCLUDED_ENGINES`] list plus the key requirements:
+/// a numeric population `n` and a numeric rate (both needed to form a
+/// comparable `(n, engine)` entry).
 fn rates(doc: &Value, path: &str) -> BTreeMap<String, f64> {
     let (Some(n_col), Some(e_col), Some(r_col)) = (
         column_index(doc, "n"),
@@ -80,6 +87,9 @@ fn rates(doc: &Value, path: &str) -> BTreeMap<String, f64> {
         ) else {
             continue;
         };
+        if GATE_EXCLUDED_ENGINES.iter().any(|ex| engine.contains(ex)) {
+            continue;
+        }
         let Value::Num(x) = n else { continue };
         let n_key = format!("{x}");
         out.insert(format!("n={n_key} engine={engine}"), rate);

@@ -5,7 +5,7 @@
 //! t6 demonstrates each robustness claim once, on the env-selected
 //! engine; this bin is the grid the `Engine` refactor makes a one-line
 //! combination — every shock from `pp-adversary` on every tier (generic,
-//! dense, packed, turbo, sharded) through the same generic code path,
+//! dense, packed, turbo, sharded, vec) through the same generic code path,
 //! with no per-engine arms anywhere. Cross-tier agreement of these rows
 //! is itself a coarse equivalence check on the adversary fast path (the
 //! fine-grained one is `tests/adversary_equivalence.rs`).
@@ -117,7 +117,7 @@ pub fn run(preset: Preset, seed: u64) -> Report {
 
     let mut report = Report::new(
         format!(
-            "t14_adversary (n = {n}, uniform k = 4, shocks × all 5 engine tiers \
+            "t14_adversary (n = {n}, uniform k = 4, shocks × all 6 engine tiers \
              through the generic Engine path)"
         ),
         table,
@@ -149,7 +149,7 @@ mod tests {
             "{text}"
         );
         assert!(!text.contains("did NOT recover"), "{text}");
-        // 5 engines × (3 shocks + 1 churn row).
-        assert_eq!(report.table.rows().len(), 20, "{text}");
+        // 6 engines × (3 shocks + 1 churn row).
+        assert_eq!(report.table.rows().len(), 24, "{text}");
     }
 }

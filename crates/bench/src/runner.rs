@@ -12,7 +12,9 @@ use pp_core::{
     Weights,
 };
 use pp_dense::DenseEngine;
-use pp_engine::{Engine, PackedSimulator, ShardedSimulator, Simulator, TurboSimulator};
+use pp_engine::{
+    Engine, PackedSimulator, ShardedSimulator, Simulator, TurboSimulator, VecSimulator,
+};
 use pp_graph::{Complete, Topology};
 
 /// Experiment scale: `Quick` presets finish in seconds (used by
@@ -88,13 +90,20 @@ pub enum EngineKind {
     /// boundary interactions merged deterministically between blocks.
     /// Statistical tier, verified by the `pp-stats` harness.
     Sharded,
+    /// Lane-parallel ensemble engine (`VecSimulator`) at one lane:
+    /// turbo's schedule walk plus per-lane partner/aux streams, bit-exact
+    /// vs the turbo tier under a shared seed. Single-trajectory `Engine`
+    /// workloads run it at `L = 1` (no wasted lanes); ensemble workloads
+    /// reach the multi-lane step loop through
+    /// [`replicate_vec`](pp_engine::replicate_vec).
+    Vec,
 }
 
 impl EngineKind {
     /// Reads the engine from the environment: `PP_ENGINE` set to `agent`,
-    /// `packed`, `turbo`, or `sharded` forces that tier; `dense` (or
-    /// unset) selects the dense engine — the default for complete-graph
-    /// experiments.
+    /// `packed`, `turbo`, `sharded`, or `vec` forces that tier; `dense`
+    /// (or unset) selects the dense engine — the default for
+    /// complete-graph experiments.
     ///
     /// # Panics
     ///
@@ -107,10 +116,12 @@ impl EngineKind {
             Ok(v) if v.eq_ignore_ascii_case("packed") => EngineKind::Packed,
             Ok(v) if v.eq_ignore_ascii_case("turbo") => EngineKind::Turbo,
             Ok(v) if v.eq_ignore_ascii_case("sharded") => EngineKind::Sharded,
+            Ok(v) if v.eq_ignore_ascii_case("vec") => EngineKind::Vec,
             Err(_) => EngineKind::Dense,
             Ok(v) => {
                 panic!(
-                    "PP_ENGINE must be `agent`, `dense`, `packed`, `turbo`, or `sharded`, got `{v}`"
+                    "PP_ENGINE must be `agent`, `dense`, `packed`, `turbo`, `sharded`, \
+                     or `vec`, got `{v}`"
                 )
             }
         }
@@ -144,6 +155,7 @@ impl EngineKind {
             EngineKind::Packed => "packed",
             EngineKind::Turbo => "turbo",
             EngineKind::Sharded => "sharded",
+            EngineKind::Vec => "vec",
         }
     }
 }
@@ -206,6 +218,19 @@ where
                 ))
             } else {
                 Box::new(ShardedSimulator::<_, _, u32>::new(
+                    protocol, topology, &states, seed,
+                ))
+            }
+        }
+        EngineKind::Vec => {
+            // One lane, lane seed == master seed: bit-exact vs the turbo
+            // tier, so single-trajectory workloads pay no lane overhead.
+            if pp_core::packed::fits_u8(k) {
+                Box::new(VecSimulator::<_, _, u8, 1>::from_seed(
+                    protocol, topology, &states, seed,
+                ))
+            } else {
+                Box::new(VecSimulator::<_, _, u32, 1>::from_seed(
                     protocol, topology, &states, seed,
                 ))
             }
@@ -316,12 +341,13 @@ pub fn standard_weights() -> Weights {
 }
 
 /// Every engine tier, in the order reports list them.
-pub const ALL_ENGINES: [EngineKind; 5] = [
+pub const ALL_ENGINES: [EngineKind; 6] = [
     EngineKind::Agent,
     EngineKind::Dense,
     EngineKind::Packed,
     EngineKind::Turbo,
     EngineKind::Sharded,
+    EngineKind::Vec,
 ];
 
 #[cfg(test)]
@@ -343,6 +369,7 @@ mod tests {
             EngineKind::Packed,
             EngineKind::Turbo,
             EngineKind::Sharded,
+            EngineKind::Vec,
         ] {
             assert_eq!(kind.per_agent(), kind);
         }
@@ -398,6 +425,22 @@ mod tests {
             assert_eq!(a.class_counts(), p.class_counts());
         }
         assert_eq!(a.snapshot(), p.snapshot());
+    }
+
+    #[test]
+    fn vec_and_turbo_builders_are_bit_exact_twins() {
+        // The one-lane vec tier must reproduce the turbo trajectory under
+        // a shared seed — through the builder, not just the raw engines.
+        let w = standard_weights();
+        let states = init::all_dark_balanced(128, &w);
+        let topo = pp_graph::Cycle::new(128);
+        let mut t = build_graph_engine(EngineKind::Turbo, &w, topo, states.clone(), 11);
+        let mut v = build_graph_engine(EngineKind::Vec, &w, topo, states, 11);
+        for _ in 0..5 {
+            t.run(2_000);
+            v.run(2_000);
+            assert_eq!(t.snapshot(), v.snapshot());
+        }
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! equivalence tests at the bottom of this module.
 
 use crate::{AgentState, ConfigStats, Diversification};
-use pp_engine::PackedProtocol;
+use pp_engine::{PackedProtocol, TurboWord};
 use rand::{Rng, RngExt};
 
 /// Packs an agent state as `colour << 1 | shade_bit`.
@@ -218,6 +218,50 @@ impl PackedProtocol for Diversification {
         r1 & !s2
     }
 
+    /// The ensemble-path transition: [`transition_turbo`]'s mask
+    /// arithmetic applied to all `L` lanes at once, in the engine's
+    /// storage width.
+    ///
+    /// Per lane this is *identical arithmetic* to `transition_turbo` —
+    /// same threshold compare, same masks, every operation bitwise or an
+    /// equality, so running it at `W = u8` instead of `u32` changes no
+    /// result bit — and `L = 1` therefore stays bit-exact with the turbo
+    /// engine. The per-colour threshold lookup (the one memory access,
+    /// with its bounds-check panic path) runs in its own lane loop, so
+    /// the mask arithmetic below it is a pure branch-free loop the
+    /// compiler vectorizes — at `u8`, a register holds 32 replicas per
+    /// instruction.
+    ///
+    /// [`transition_turbo`]: PackedProtocol::transition_turbo
+    #[inline]
+    fn transition_vec<W: TurboWord, const L: usize>(
+        &self,
+        me: &mut [W; L],
+        observed: &[[W; L]],
+        aux: &[u64; L],
+    ) {
+        let v = &observed[0];
+        let mut soften = [W::ZERO; L];
+        // Hoist the threshold table; clamping the index (a no-op for
+        // valid encodings, which `transition_turbo` checks in debug
+        // builds) keeps the lookup loop free of panic edges.
+        let tbl = self.weights().inverse_bits_table();
+        let last = tbl.len() - 1;
+        for l in 0..L {
+            let i = (me[l].widen() >> 1) as usize;
+            debug_assert!(i <= last, "packed state {i} out of range");
+            soften[l] = W::from_bool((aux[l] & 0xFFFF_FFFF) < tbl[i.min(last)]);
+        }
+        for l in 0..L {
+            let m0 = me[l];
+            let adopt = ((m0 & W::ONE) ^ W::ONE) & (v[l] & W::ONE);
+            let mask = adopt.wrapping_neg();
+            let r1 = (v[l] & mask) | (m0 & !mask);
+            let s2 = (m0 & W::ONE) & W::from_bool(v[l] == m0) & soften[l];
+            me[l] = r1 & !s2;
+        }
+    }
+
     fn name(&self) -> String {
         "diversification".to_string()
     }
@@ -368,6 +412,60 @@ mod tests {
             (frac - 0.25).abs() < 0.005,
             "soften frequency {frac} (expected 1/4)"
         );
+    }
+
+    /// The lane-parallel transition is, per lane, the same function as the
+    /// turbo transition — checked exhaustively against `transition_turbo`
+    /// on random lane mixes, plus the rule-2 soften frequency directly.
+    #[test]
+    fn vec_transition_matches_turbo_per_lane() {
+        const L: usize = 8;
+        let p = Diversification::new(weights());
+        let mut rng = StdRng::seed_from_u64(23);
+        let word = |r: &mut StdRng| {
+            let colour = r.next_u64() as u32 % 4;
+            let shade = r.next_u64() as u32 & 1;
+            (colour << 1) | shade
+        };
+        for _ in 0..2_000 {
+            let mut me = [0u32; L];
+            let mut v = [0u32; L];
+            let mut aux = [0u64; L];
+            for l in 0..L {
+                me[l] = word(&mut rng);
+                v[l] = word(&mut rng);
+                aux[l] = rng.next_u64();
+            }
+            let expected: Vec<u32> = (0..L)
+                .map(|l| PackedProtocol::transition_turbo(&p, me[l], &[v[l]], aux[l], &mut rng))
+                .collect();
+            PackedProtocol::transition_vec(&p, &mut me, &[v], &aux);
+            assert_eq!(me.to_vec(), expected);
+        }
+        // Probabilistic rule: a dark colour-3 pair (weight 4) softens in
+        // each lane independently w.p. 1/4.
+        let dark3 = pack_state(&AgentState::dark(Colour::new(3)));
+        let trials = 25_000;
+        let mut softened = [0u32; L];
+        for _ in 0..trials {
+            let mut me = [dark3; L];
+            let v = [dark3; L];
+            let mut aux = [0u64; L];
+            for a in aux.iter_mut() {
+                *a = rng.next_u64();
+            }
+            PackedProtocol::transition_vec(&p, &mut me, &[v], &aux);
+            for l in 0..L {
+                softened[l] += u32::from(me[l] == dark3 & !1);
+            }
+        }
+        for (l, &s) in softened.iter().enumerate() {
+            let frac = s as f64 / trials as f64;
+            assert!(
+                (frac - 0.25).abs() < 0.02,
+                "lane {l} soften frequency {frac} (expected 1/4)"
+            );
+        }
     }
 
     #[test]

@@ -140,6 +140,14 @@ impl Weights {
         self.inverse_bits[i]
     }
 
+    /// The full soften-threshold table (`inverse_bits(i)` for every
+    /// state `i`), for callers that index it in a hot loop and want to
+    /// hoist the borrow out.
+    #[inline]
+    pub fn inverse_bits_table(&self) -> &[u64] {
+        &self.inverse_bits
+    }
+
     /// The total weight `w = Σ w_i`.
     pub fn total(&self) -> f64 {
         self.total

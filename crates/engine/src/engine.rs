@@ -96,7 +96,7 @@
 
 use crate::{
     PackedProtocol, PackedSimulator, Protocol, ShardedSimulator, Simulator, TurboSimulator,
-    TurboWord,
+    TurboWord, VecSimulator,
 };
 use pp_graph::Topology;
 
@@ -525,6 +525,69 @@ where
     }
 }
 
+/// The ensemble engine on the Engine surface: **lane 0 is the observed
+/// replica** (class counts, snapshots, per-agent reads), while structural
+/// mutations — set/replace/push/remove — apply to **every lane**, keeping
+/// the lanes exchangeable replicas of the same mutated process. Replicas
+/// re-diverge through their per-lane streams after a bulk rewrite.
+impl<P, T, W, const L: usize> Engine for VecSimulator<P, T, W, L>
+where
+    P: PackedProtocol,
+    P::State: Send + Sync,
+    T: Topology,
+    W: TurboWord,
+{
+    type State = P::State;
+
+    fn len(&self) -> usize {
+        VecSimulator::len(self)
+    }
+
+    fn step_count(&self) -> u64 {
+        VecSimulator::step_count(self)
+    }
+
+    fn seed(&self) -> u64 {
+        self.master_seed()
+    }
+
+    fn run(&mut self, steps: u64) {
+        VecSimulator::run(self, steps);
+    }
+
+    fn class_counts(&self) -> Vec<u64> {
+        tally_packed(self.lane_states_packed(0).into_iter())
+    }
+
+    fn visit_states(&self, f: &mut dyn FnMut(usize, &Self::State)) {
+        for (u, p) in self.lane_states_packed(0).into_iter().enumerate() {
+            f(u, &self.protocol().unpack(p));
+        }
+    }
+
+    fn state(&self, u: usize) -> Self::State {
+        VecSimulator::state(self, u)
+    }
+
+    fn set_state(&mut self, u: usize, state: &Self::State) {
+        VecSimulator::set_state(self, u, state);
+    }
+
+    fn set_states(&mut self, states: &[Self::State]) {
+        let packed: Vec<u32> = states.iter().map(|s| self.protocol().pack(s)).collect();
+        self.replace_packed_states(packed);
+    }
+
+    fn push_agent(&mut self, state: &Self::State) {
+        let packed = self.protocol().pack(state);
+        self.push_packed_agent(packed);
+    }
+
+    fn swap_remove_agent(&mut self, u: usize) {
+        self.swap_remove_packed_agent(u);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -590,6 +653,15 @@ mod tests {
             (
                 "sharded",
                 Box::new(ShardedSimulator::<_, _, u32>::new(
+                    Copy1,
+                    Complete::new(n),
+                    &init,
+                    seed,
+                )),
+            ),
+            (
+                "vec",
+                Box::new(VecSimulator::<_, _, u32, 4>::from_seed(
                     Copy1,
                     Complete::new(n),
                     &init,

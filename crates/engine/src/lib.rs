@@ -23,8 +23,16 @@
 //!   batches, optional `u8` state storage ([`TurboWord`]); same process
 //!   distribution as the exact engines, verified statistically by the
 //!   `pp-stats` harness instead of draw-for-draw.
+//! * [`VecSimulator`] — the lane-parallel ensemble engine: `L` replicas
+//!   of one `(topology, protocol)` stepped in lockstep over lane-major
+//!   SoA state, with a shared schedule walk and per-lane partner/aux
+//!   streams; one lane is bit-exact vs [`TurboSimulator`] under a shared
+//!   seed.
 //! * [`replicate()`](replicate()) — parallel independent-seed replication for w.h.p.-style
 //!   statements, scheduled by work-stealing.
+//! * [`replicate_vec()`](replicate_vec()) — the ensemble front-end: packs a seed list
+//!   into `L`-lane [`VecSimulator`] groups (scalar fallback for
+//!   remainders) and stays byte-identical per seed.
 //! * [`sweep_grid()`](sweep_grid()) — (job × seed) grids through one shared
 //!   work-stealing pool.
 //! * [`rounds`] — conversions between time-steps and "parallel rounds"
@@ -73,13 +81,15 @@ pub mod sharded;
 pub mod simulator;
 pub mod sweep;
 pub mod turbo;
+pub mod vec;
 
 pub use engine::Engine;
 pub use packed::{PackedProtocol, PackedSimulator, MAX_PACKED_OBSERVATIONS};
 pub use population::Population;
 pub use protocol::Protocol;
-pub use replicate::replicate;
+pub use replicate::{replicate, replicate_vec};
 pub use sharded::ShardedSimulator;
 pub use simulator::Simulator;
 pub use sweep::sweep_grid;
 pub use turbo::{TurboSimulator, TurboWord};
+pub use vec::VecSimulator;

@@ -23,9 +23,10 @@
 //! the same seed produce **exactly the same trajectory** — enforced by
 //! equivalence tests in `pp-core`, `pp-baselines`, and `tests/`.
 
+use crate::turbo::TurboWord;
 use crate::Population;
 use pp_graph::Topology;
-use rand::rngs::StdRng;
+use rand::rngs::{CounterRng, StdRng, GOLDEN};
 use rand::{RngExt, SeedableRng};
 
 /// Most observations any packed protocol may request per activation; keeps
@@ -125,6 +126,49 @@ pub trait PackedProtocol: Send + Sync {
     ) -> u32 {
         let _ = aux;
         self.transition(me, observed, rng)
+    }
+
+    /// The transition rule as the lane-parallel ensemble engine calls it:
+    /// `L` independent replicas transition at once, directly in the
+    /// engine's storage width `W`.
+    ///
+    /// `me[l]` is lane `l`'s scheduled-agent word (updated in place),
+    /// `observed[j][l]` its `j`-th observed word, and `aux[l]` its
+    /// per-step entropy word — each lane's `aux` carries the same
+    /// guarantees as [`transition_turbo`](Self::transition_turbo)'s, and
+    /// lanes' words come from independent counter streams.
+    ///
+    /// The word type is the engine's [`TurboWord`] so an override's mask
+    /// arithmetic runs at storage width — at `W = u8` all 32 lanes of a
+    /// group fit one 32-byte vector register, where widening to `u32`
+    /// first would spread them over four and put a scalar widen/narrow
+    /// pass on the row load/store path.
+    ///
+    /// The default widens lane by lane and applies `transition_turbo`
+    /// (with each lane's fallback stream parked one hash away, exactly
+    /// like the turbo engine), so `L = 1` reproduces the turbo
+    /// transition bit for bit for every protocol. Override only when the
+    /// per-lane rule is branch-free mask arithmetic the compiler can
+    /// keep in vector registers — the `pp-stats` equivalence harness
+    /// verifies every override distributionally, per lane.
+    #[inline]
+    fn transition_vec<W: TurboWord, const L: usize>(
+        &self,
+        me: &mut [W; L],
+        observed: &[[W; L]],
+        aux: &[u64; L],
+    ) {
+        let m = observed.len();
+        debug_assert!(m <= MAX_PACKED_OBSERVATIONS);
+        let mut lane_obs = [0u32; MAX_PACKED_OBSERVATIONS];
+        for l in 0..L {
+            for (slot, row) in lane_obs.iter_mut().zip(observed) {
+                *slot = row[l].widen();
+            }
+            let mut rng = CounterRng::from_state(aux[l] ^ GOLDEN);
+            me[l] =
+                W::narrow(self.transition_turbo(me[l].widen(), &lane_obs[..m], aux[l], &mut rng));
+        }
     }
 
     /// Short protocol name for experiment tables.

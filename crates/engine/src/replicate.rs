@@ -1,6 +1,10 @@
-//! Parallel independent-seed replication.
+//! Parallel independent-seed replication — work-stealing scalar runs
+//! ([`replicate`]) and the lane-packed ensemble front-end
+//! ([`replicate_vec`]).
 
 use crate::pool;
+use crate::{PackedProtocol, TurboWord, VecSimulator};
+use pp_graph::Topology;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Runs `f(seed)` for every seed, in parallel across available cores, and
@@ -73,6 +77,133 @@ where
     indexed.into_iter().map(|(_, r)| r).collect()
 }
 
+/// Runs an ensemble of independent-seed replicas through the
+/// lane-parallel [`VecSimulator`], `L` seeds per step loop, and returns
+/// `extract(seed, lane_states_packed)` for every seed, in seed order.
+///
+/// Seeds are packed into groups of `L` lanes; a remainder group (seed
+/// count not divisible by `L`) falls back to one-lane runs through the
+/// *same* engine. Every replica's trajectory is the pure function
+/// `F(master_seed, seed)` — independent of grouping, lane slot, and `L`
+/// (see the [`vec`](crate::vec) module docs) — so the results are
+/// byte-identical to running each seed alone, and a seed list produces
+/// the same ensemble whether it splits into full groups or not.
+///
+/// All groups share `master_seed` (it keys each group's schedule walk),
+/// so replicas *within one group* are conditionally independent given
+/// their shared schedule; harnesses that treat replicas as fully
+/// independent samples should spread statistically-paired seeds across
+/// groups, or derive one master per group themselves and call
+/// [`VecSimulator`] directly.
+///
+/// Groups are distributed across cores by [`replicate`]'s work-stealing
+/// claim loop, so the two parallelism axes — SIMD lanes within a group,
+/// cores across groups — compose.
+///
+/// # Examples
+///
+/// ```
+/// use pp_engine::{replicate_vec, PackedProtocol};
+/// use pp_graph::Complete;
+/// use rand::Rng;
+///
+/// #[derive(Debug, Clone)]
+/// struct PackedVoter;
+///
+/// impl PackedProtocol for PackedVoter {
+///     type State = u8;
+///     fn pack(&self, s: &u8) -> u32 {
+///         *s as u32
+///     }
+///     fn unpack(&self, p: u32) -> u8 {
+///         p as u8
+///     }
+///     fn transition<R: Rng>(&self, _me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+///         observed[0]
+///     }
+///     fn name(&self) -> String {
+///         "packed-voter".into()
+///     }
+/// }
+///
+/// let init: Vec<u8> = (0..8).collect();
+/// // Five seeds through 4-lane groups: one full group + a remainder.
+/// let seeds: Vec<u64> = (0..5).collect();
+/// let winners = replicate_vec::<_, _, u8, 4, _>(
+///     &PackedVoter,
+///     &Complete::new(8),
+///     &init,
+///     7,
+///     &seeds,
+///     50_000,
+///     |_seed, states| states[0],
+/// );
+/// assert_eq!(winners.len(), 5);
+/// ```
+#[allow(clippy::too_many_arguments)]
+pub fn replicate_vec<P, T, W, const L: usize, R>(
+    protocol: &P,
+    topology: &T,
+    initial: &[P::State],
+    master_seed: u64,
+    seeds: &[u64],
+    steps: u64,
+    extract: impl Fn(u64, &[u32]) -> R + Sync,
+) -> Vec<R>
+where
+    P: PackedProtocol + Clone + Sync,
+    P::State: Sync,
+    T: Topology + Clone + Sync,
+    W: TurboWord,
+    R: Send,
+{
+    if seeds.is_empty() {
+        return Vec::new();
+    }
+    let packed: Vec<u32> = initial.iter().map(|s| protocol.pack(s)).collect();
+    let groups: Vec<&[u64]> = seeds.chunks(L).collect();
+    let extract = &extract;
+    let packed = &packed;
+    let per_group: Vec<Vec<R>> = replicate(0..groups.len() as u64, |g| {
+        let chunk = groups[g as usize];
+        pp_obs::obs_count!("vec.ensemble_groups", 1);
+        pp_obs::obs_value!("vec.lane_occupancy", chunk.len() as u64);
+        if let Ok(lane_seeds) = <[u64; L]>::try_from(chunk) {
+            // Full group: L replicas per step loop.
+            let mut sim = VecSimulator::<P, T, W, L>::from_packed(
+                protocol.clone(),
+                topology.clone(),
+                packed.clone(),
+                master_seed,
+                lane_seeds,
+            );
+            sim.run(steps);
+            (0..L)
+                .zip(chunk)
+                .map(|(l, &seed)| extract(seed, &sim.lane_states_packed(l)))
+                .collect()
+        } else {
+            // Remainder: the same engine at one lane per seed, same
+            // master — byte-identical to the seed's full-group trajectory.
+            chunk
+                .iter()
+                .map(|&seed| {
+                    let mut sim = VecSimulator::<P, T, W, 1>::from_packed(
+                        protocol.clone(),
+                        topology.clone(),
+                        packed.clone(),
+                        master_seed,
+                        [seed],
+                    );
+                    sim.run(steps);
+                    extract(seed, &sim.lane_states_packed(0))
+                })
+                .collect()
+        }
+    });
+    per_group.into_iter().flatten().collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -124,6 +255,80 @@ mod tests {
             s
         });
         assert_eq!(out, (0..8).collect::<Vec<_>>());
+    }
+
+    /// Voter dynamics for the ensemble front-end tests.
+    #[derive(Debug, Clone)]
+    struct Copy1;
+
+    impl PackedProtocol for Copy1 {
+        type State = u32;
+
+        fn pack(&self, s: &u32) -> u32 {
+            *s
+        }
+
+        fn unpack(&self, p: u32) -> u32 {
+            p
+        }
+
+        fn transition<R: rand::Rng>(&self, _me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+            observed[0]
+        }
+
+        fn name(&self) -> String {
+            "copy".into()
+        }
+    }
+
+    /// Satellite contract: every seed count — divisible by L or not —
+    /// produces byte-identical per-seed results vs sequential one-lane
+    /// runs, in seed order.
+    #[test]
+    fn replicate_vec_remainders_match_sequential_scalar() {
+        const L: usize = 8;
+        let topo = pp_graph::Torus2d::new(5, 8);
+        let init: Vec<u32> = (0..40).map(|u| u % 5).collect();
+        let master = 77;
+        let steps = 4_000;
+        for count in [1usize, L - 1, L + 1, 2 * L + 3] {
+            let seeds: Vec<u64> = (0..count as u64).map(|s| 1_000 + 3 * s).collect();
+            let ensemble = replicate_vec::<_, _, u8, L, _>(
+                &Copy1,
+                &topo,
+                &init,
+                master,
+                &seeds,
+                steps,
+                |seed, states| (seed, states.to_vec()),
+            );
+            assert_eq!(ensemble.len(), count, "count {count}");
+            for (i, &seed) in seeds.iter().enumerate() {
+                let mut scalar =
+                    crate::VecSimulator::<_, _, u8, 1>::new(Copy1, topo, &init, master, [seed]);
+                scalar.run(steps);
+                assert_eq!(
+                    ensemble[i],
+                    (seed, scalar.lane_states_packed(0)),
+                    "count {count}, seed {seed}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn replicate_vec_empty_seed_list() {
+        let init: Vec<u32> = (0..4).collect();
+        let out: Vec<u32> = replicate_vec::<_, _, u32, 4, _>(
+            &Copy1,
+            &pp_graph::Complete::new(4),
+            &init,
+            0,
+            &[],
+            100,
+            |_, states| states[0],
+        );
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -50,9 +50,33 @@ use rand::rngs::{splitmix64, CounterRng, GOLDEN};
 /// state-array footprint when every reachable packed word fits a byte —
 /// for Diversification's `colour << 1 | shade` encoding that is `k ≤ 127`
 /// colours (see [`fits_in`](TurboWord::fits_in)).
-pub trait TurboWord: Copy + Send + Sync + std::fmt::Debug + 'static {
+///
+/// The bitwise supertraits and mask helpers exist for
+/// [`PackedProtocol::transition_vec`](crate::PackedProtocol::transition_vec)
+/// overrides, which run their mask arithmetic directly in the storage
+/// width: at `W = u8` that packs 32 replica lanes into one 32-byte
+/// vector register instead of four, and the engine's load/store loops
+/// move rows verbatim with no widen/narrow pass.
+pub trait TurboWord:
+    Copy
+    + Send
+    + Sync
+    + std::fmt::Debug
+    + PartialEq
+    + std::ops::BitAnd<Output = Self>
+    + std::ops::BitOr<Output = Self>
+    + std::ops::BitXor<Output = Self>
+    + std::ops::Not<Output = Self>
+    + 'static
+{
     /// Largest packed value this word can hold.
     const CAPACITY: u32;
+
+    /// The all-zeros word.
+    const ZERO: Self;
+
+    /// The word holding packed value 1 (the shade/parity bit).
+    const ONE: Self;
 
     /// Narrows a packed word for storage.
     ///
@@ -66,6 +90,13 @@ pub trait TurboWord: Copy + Send + Sync + std::fmt::Debug + 'static {
     /// Widens a stored word back to the packed form.
     fn widen(self) -> u32;
 
+    /// Two's-complement negation: turns a 0/1 word into an all-zeros /
+    /// all-ones select mask for branch-free transition arithmetic.
+    fn wrapping_neg(self) -> Self;
+
+    /// `1` if `b` else `0`, as a storage word.
+    fn from_bool(b: bool) -> Self;
+
     /// Whether every packed word in `0..=max_packed` is storable.
     fn fits_in(max_packed: u32) -> bool {
         max_packed <= Self::CAPACITY
@@ -74,6 +105,8 @@ pub trait TurboWord: Copy + Send + Sync + std::fmt::Debug + 'static {
 
 impl TurboWord for u32 {
     const CAPACITY: u32 = u32::MAX;
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
 
     #[inline(always)]
     fn narrow(p: u32) -> Self {
@@ -84,10 +117,22 @@ impl TurboWord for u32 {
     fn widen(self) -> u32 {
         self
     }
+
+    #[inline(always)]
+    fn wrapping_neg(self) -> Self {
+        u32::wrapping_neg(self)
+    }
+
+    #[inline(always)]
+    fn from_bool(b: bool) -> Self {
+        u32::from(b)
+    }
 }
 
 impl TurboWord for u8 {
     const CAPACITY: u32 = u8::MAX as u32;
+    const ZERO: Self = 0;
+    const ONE: Self = 1;
 
     #[inline(always)]
     fn narrow(p: u32) -> Self {
@@ -100,6 +145,16 @@ impl TurboWord for u8 {
     #[inline(always)]
     fn widen(self) -> u32 {
         self as u32
+    }
+
+    #[inline(always)]
+    fn wrapping_neg(self) -> Self {
+        u8::wrapping_neg(self)
+    }
+
+    #[inline(always)]
+    fn from_bool(b: bool) -> Self {
+        u8::from(b)
     }
 }
 

@@ -1,0 +1,747 @@
+//! The lane-parallel ensemble engine: L replicas per step loop.
+//!
+//! Every real workload in this workspace — convergence sweeps, the
+//! `pp-stats` equivalence harnesses, the adversary t-bins — runs
+//! *ensembles* of independent replicas of one `(topology, protocol)`
+//! pair, and [`replicate`](crate::replicate) schedules them one scalar
+//! run at a time. A single run is already at the memory/port floor
+//! ([`TurboSimulator`](crate::TurboSimulator) on the ring matches a
+//! hand-written minimal loop), so the remaining headroom is *data
+//! parallelism across replicas*, not more scalar speed.
+//!
+//! [`VecSimulator`] steps `L` replicas in lockstep:
+//!
+//! * **Lane-major SoA state.** The state array is `[n × L]` words
+//!   (`states[u·L + l]` = agent `u` in replica `l`), so loading the
+//!   scheduled agent's row touches all `L` replicas with one contiguous
+//!   load — at `W = u8`, `L = 32` that is exactly one AVX2 register (half
+//!   an AVX-512 register) per agent.
+//! * **A shared schedule walk.** All lanes schedule the *same* agent
+//!   each step: one multiply-shift draw from a turbo-style Weyl walk
+//!   keyed by the ensemble's master seed serves every lane, which is
+//!   what makes the row load/store contiguous.
+//! * **Per-lane partner/aux streams.** Each lane owns an independent
+//!   Weyl walk keyed by its own seed (derivation keyed like
+//!   `CounterRng::for_shard(seed, lane, block)` — every component hashed
+//!   through the SplitMix64 finalizer), so partner choices and
+//!   transition entropy are independent across lanes and each lane
+//!   reproduces the scalar trajectory `F(master_seed, lane_seed)`
+//!   regardless of which group, slot, or width it runs in.
+//!
+//! With `L = 1` and `lane_seed == master_seed` the walks coincide with
+//! [`TurboSimulator`]'s positions exactly, so a one-lane vec run is
+//! **bit-exact** against turbo under a shared seed — that is the anchor
+//! test in `tests/vec_equivalence.rs`, and it pins the whole derivation.
+//!
+//! # Equivalence contract (per lane)
+//!
+//! A lane's marginal trajectory is distributed exactly like a scalar
+//! turbo run: same schedule distribution, same partner distribution, same
+//! transition entropy. Lanes sharing a master seed also share *which*
+//! agent is scheduled each step, so they are conditionally independent
+//! given the schedule — observables can correlate positively across
+//! lanes of one group, never across groups with distinct masters. The
+//! `pp-stats` harness in `tests/vec_equivalence.rs` checks the full
+//! battery per lane; EXPERIMENTS.md ("Ensemble tier") states the
+//! contract.
+
+use crate::packed::MAX_PACKED_OBSERVATIONS;
+use crate::{PackedProtocol, Population, TurboWord};
+use pp_graph::Topology;
+use rand::rngs::{splitmix64, CounterRng, GOLDEN};
+
+/// Hash tweak that turns a seed into a Weyl-walk base; must match
+/// `TurboSimulator`'s so one-lane runs are bit-exact against turbo.
+const WALK_TWEAK: u64 = 0xA076_1D64_78BD_642F;
+
+/// The lane-parallel ensemble simulator: `L` replicas of one
+/// `(protocol, topology)` pair stepped in lockstep.
+///
+/// See the [module docs](self) for the randomness derivation and the
+/// per-lane equivalence contract. Use [`replicate_vec`](crate::replicate_vec)
+/// to run an arbitrary seed list through lane groups with a scalar
+/// remainder fallback.
+///
+/// # Examples
+///
+/// ```
+/// use pp_engine::{PackedProtocol, VecSimulator};
+/// use pp_graph::Cycle;
+/// use rand::Rng;
+///
+/// #[derive(Debug)]
+/// struct PackedVoter;
+///
+/// impl PackedProtocol for PackedVoter {
+///     type State = u8;
+///     fn pack(&self, s: &u8) -> u32 {
+///         *s as u32
+///     }
+///     fn unpack(&self, p: u32) -> u8 {
+///         p as u8
+///     }
+///     fn transition<R: Rng>(&self, _me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+///         observed[0]
+///     }
+///     fn name(&self) -> String {
+///         "packed-voter".into()
+///     }
+/// }
+///
+/// let states: Vec<u8> = (0..8).collect();
+/// // Four replicas of the same initial configuration, one step loop.
+/// let mut sim = VecSimulator::<_, _, u8, 4>::from_seed(PackedVoter, Cycle::new(8), &states, 7);
+/// sim.run(10_000);
+/// assert_eq!(sim.step_count(), 10_000);
+/// // Lanes hold independent replicas.
+/// let lane0 = sim.lane_states_packed(0);
+/// assert_eq!(lane0.len(), 8);
+/// ```
+#[derive(Debug)]
+pub struct VecSimulator<P: PackedProtocol, T: Topology, W: TurboWord = u8, const L: usize = 8> {
+    protocol: P,
+    topology: T,
+    /// Lane-major SoA: `states[u * L + l]` is agent `u` in replica `l`.
+    states: Vec<W>,
+    step: u64,
+    master_seed: u64,
+    lane_seeds: [u64; L],
+    /// Schedule-walk base (from the master seed); step `t`'s scheduling
+    /// draw sits at `sched_base + (t·words + 1)·GOLDEN`.
+    sched_base: u64,
+    /// Per-lane partner/aux walk bases (from the lane seeds); lane `l`'s
+    /// observation `j` at step `t` sits at
+    /// `lane_bases[l] + (t·words + 2 + j)·GOLDEN`.
+    lane_bases: [u64; L],
+}
+
+impl<P: PackedProtocol, T: Topology, W: TurboWord, const L: usize> VecSimulator<P, T, W, L> {
+    /// Uniform random words each lane consumes per time-step: one
+    /// scheduling slot (shared across lanes) plus one per observation.
+    /// Matches [`TurboSimulator`](crate::TurboSimulator)'s layout so
+    /// one-lane runs visit the same Weyl positions.
+    const WORDS_PER_STEP: u64 = 1 + P::OBSERVATIONS as u64;
+
+    /// Creates an `L`-lane simulator at time-step 0: every lane starts
+    /// from the same packed initial configuration, lane `l`'s partner/aux
+    /// walk is keyed by `lane_seeds[l]`, and the shared schedule walk by
+    /// `master_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `L == 0`, the number of initial states does not match
+    /// the topology size, the population is smaller than 2,
+    /// `P::OBSERVATIONS` is 0 or above [`MAX_PACKED_OBSERVATIONS`], the
+    /// topology exceeds `u32::MAX` nodes, or any packed initial state
+    /// overflows the storage word `W`.
+    pub fn new(
+        protocol: P,
+        topology: T,
+        initial_states: &[P::State],
+        master_seed: u64,
+        lane_seeds: [u64; L],
+    ) -> Self {
+        let packed = initial_states.iter().map(|s| protocol.pack(s)).collect();
+        Self::from_packed(protocol, topology, packed, master_seed, lane_seeds)
+    }
+
+    /// [`new`](Self::new) from already-packed (`u32`) states; each lane
+    /// starts from a copy of the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn from_packed(
+        protocol: P,
+        topology: T,
+        states: Vec<u32>,
+        master_seed: u64,
+        lane_seeds: [u64; L],
+    ) -> Self {
+        assert!(L > 0, "vec engine needs at least one lane");
+        assert_eq!(
+            states.len(),
+            topology.len(),
+            "population size {} != topology size {}",
+            states.len(),
+            topology.len()
+        );
+        assert!(states.len() >= 2, "population needs at least 2 agents");
+        assert!(
+            u32::try_from(states.len()).is_ok(),
+            "vec batch buffers store node ids as u32; {} agents is too many",
+            states.len()
+        );
+        assert!(
+            (1..=MAX_PACKED_OBSERVATIONS).contains(&P::OBSERVATIONS),
+            "packed protocol must observe 1..={MAX_PACKED_OBSERVATIONS} agents, got {}",
+            P::OBSERVATIONS
+        );
+        let mut lane_major = Vec::with_capacity(states.len() * L);
+        for &p in &states {
+            let w = W::narrow(p);
+            for _ in 0..L {
+                lane_major.push(w);
+            }
+        }
+        let mut lane_bases = [0u64; L];
+        for (base, &seed) in lane_bases.iter_mut().zip(&lane_seeds) {
+            *base = splitmix64(seed ^ WALK_TWEAK);
+        }
+        VecSimulator {
+            protocol,
+            topology,
+            states: lane_major,
+            step: 0,
+            master_seed,
+            lane_seeds,
+            sched_base: splitmix64(master_seed ^ WALK_TWEAK),
+            lane_bases,
+        }
+    }
+
+    /// An `L`-lane simulator from a single seed: lane 0's partner/aux
+    /// walk is keyed by `seed` itself — so at `L = 1` this is positionally
+    /// identical to `TurboSimulator::new(.., seed)` — and lanes `1..L`
+    /// by a widened batch draw from `seed`'s counter stream
+    /// ([`CounterRng::next_u64x`]).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`new`](Self::new).
+    pub fn from_seed(protocol: P, topology: T, initial_states: &[P::State], seed: u64) -> Self {
+        Self::new(
+            protocol,
+            topology,
+            initial_states,
+            seed,
+            Self::lane_seeds_from(seed),
+        )
+    }
+
+    /// The lane-seed derivation behind [`from_seed`](Self::from_seed):
+    /// `[seed, d₁, …, d_{L−1}]` with the `dᵢ` one batch draw from
+    /// `CounterRng::for_step(seed, 0)`.
+    pub fn lane_seeds_from(seed: u64) -> [u64; L] {
+        let mut seeds = CounterRng::for_step(seed, 0).next_u64x::<L>();
+        seeds[0] = seed;
+        seeds
+    }
+
+    /// Runs one batch of `len` time-steps as a single fused loop.
+    ///
+    /// Per step: one shared multiply-shift scheduling draw picks agent
+    /// `u` for every lane, the `L`-word row `states[u·L..]` is loaded,
+    /// each lane hashes its own walk for partner/aux words, and
+    /// [`PackedProtocol::transition_vec`] advances all lanes at once.
+    ///
+    /// The lane work is *phase-split* into separate fixed-trip loops —
+    /// hash all lanes, then draw all partners, then gather — because
+    /// that is what the autovectorizer needs: a fused
+    /// hash→partner→gather body has a bounds-checked load in its middle
+    /// and compiles fully scalar, while the split phases are pure
+    /// register arithmetic (SplitMix64 is 8 lanes per AVX-512 word via
+    /// `vpmullq`) plus one inherently scalar gather loop. For the same
+    /// reason the scratch buffers live outside the step loop (a
+    /// `[[u32; L]; MAX_PACKED_OBSERVATIONS]` local re-zeroed per step is
+    /// a `memset` call per step) and every row index is clamped with a
+    /// no-op `min` that lets the compiler discharge the bounds checks.
+    ///
+    /// `inline(never)` for the same code-layout reason as the turbo
+    /// engine's batch loop (entry-aligned standalone symbol).
+    #[inline(never)]
+    fn run_batch(&mut self, len: u64) {
+        let m = P::OBSERVATIONS;
+        // Split borrows, as in the turbo engine: disjoint locals let the
+        // compiler keep slice pointers and walk bases in registers across
+        // the per-step stores.
+        let VecSimulator {
+            states,
+            topology,
+            protocol,
+            sched_base,
+            lane_bases,
+            step,
+            ..
+        } = self;
+        let states = states.as_mut_slice();
+        let n = states.len() / L;
+        // Re-slice to exactly `n·L` words (a no-op — the length is always
+        // a multiple of `L`). This states the array bound without the
+        // division, which is what lets the compiler prove `v·L + l < len`
+        // from `v ≤ n−1` and erase the per-lane bounds checks in the
+        // row and gather loops below.
+        let states = &mut states[..n * L];
+        let sched_base = *sched_base;
+        let lane_bases = *lane_bases;
+        let stride = Self::WORDS_PER_STEP.wrapping_mul(GOLDEN);
+        // Position offset of this step's word block: (t · words) · GOLDEN.
+        let mut woff = step.wrapping_mul(stride);
+        // Per-step scratch, hoisted: slots `< m` are fully rewritten
+        // every step, slots `>= m` are never read. Everything stays in
+        // the storage width `W` — rows move with plain 32-byte copies
+        // and the transition's mask arithmetic runs at `u8` width (32
+        // lanes per vector register), with no widen/narrow pass.
+        let mut me = [W::ZERO; L];
+        let mut observed = [[W::ZERO; L]; MAX_PACKED_OBSERVATIONS];
+        let mut aux = [0u64; L];
+        let mut partners = [0usize; L];
+        for _ in 0..len {
+            let x = splitmix64(sched_base.wrapping_add(woff).wrapping_add(GOLDEN));
+            // Multiply-shift scheduling draw (bias n/2^64), shared by all
+            // lanes — the one draw that keeps the row access contiguous.
+            // `u < n` always holds; the `min` restates it in terms the
+            // bounds-check eliminator can use.
+            let u = (((x as u128 * n as u128) >> 64) as usize).min(n - 1);
+            let row = u * L;
+            me.copy_from_slice(&states[row..row + L]);
+            for (j, slot) in observed.iter_mut().take(m).enumerate() {
+                let off = woff.wrapping_add(GOLDEN.wrapping_mul(2 + j as u64));
+                // Phase 1: per-lane walk words — straight-line u64
+                // arithmetic, no loads. `aux` keeps the last
+                // observation's words, as `transition_vec` expects.
+                for (a, base) in aux.iter_mut().zip(&lane_bases) {
+                    *a = splitmix64(base.wrapping_add(off));
+                }
+                // Phase 2: per-lane partner draws, batched so the
+                // topology hoists its `u`-only work (neighbour
+                // candidates, modular coordinates) out of the lane loop.
+                topology.sample_partners_turbo(u, &aux, &mut partners);
+                // Phase 3: the row gather — the one inherently scalar
+                // loop. Samplers guarantee `v < n`; clamping the flat
+                // index (a no-op) keeps it below `len` by construction,
+                // so the loop carries no panic edge.
+                let last = n * L - 1;
+                for l in 0..L {
+                    debug_assert!(
+                        partners[l] < n,
+                        "sampler returned node {} >= {n}",
+                        partners[l]
+                    );
+                    let idx = (partners[l] * L + l).min(last);
+                    slot[l] = states[idx];
+                }
+            }
+            protocol.transition_vec(&mut me, &observed[..m], &aux);
+            states[row..row + L].copy_from_slice(&me);
+            woff = woff.wrapping_add(stride);
+        }
+        self.step += len;
+    }
+
+    /// Runs `steps` time-steps (per lane: every lane advances `steps`).
+    pub fn run(&mut self, steps: u64) {
+        // Recorded per batch, not per step: one branch per `run` call.
+        pp_obs::obs_count!("vec.steps", steps);
+        pp_obs::obs_count!("vec.lane_steps", steps.saturating_mul(L as u64));
+        pp_obs::obs_count!("vec.batches", 1);
+        self.run_batch(steps);
+    }
+
+    /// Number of agents (per lane).
+    pub fn len(&self) -> usize {
+        self.states.len() / L
+    }
+
+    /// Returns `true` if there are no agents (impossible by construction,
+    /// provided for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// Number of lanes (`L`).
+    pub fn lanes(&self) -> usize {
+        L
+    }
+
+    /// Number of time-steps executed so far (per lane).
+    pub fn step_count(&self) -> u64 {
+        self.step
+    }
+
+    /// The master seed keying the shared schedule walk.
+    pub fn master_seed(&self) -> u64 {
+        self.master_seed
+    }
+
+    /// The per-lane seeds keying the partner/aux walks.
+    pub fn lane_seeds(&self) -> &[u64; L] {
+        &self.lane_seeds
+    }
+
+    /// The raw lane-major state words: `[u·L + l]` = agent `u`, lane `l`.
+    pub fn states_words(&self) -> &[W] {
+        &self.states
+    }
+
+    /// Lane `l`'s population widened back to packed `u32` form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= L`.
+    pub fn lane_states_packed(&self, l: usize) -> Vec<u32> {
+        assert!(l < L, "lane {l} out of range for {L} lanes");
+        self.states[l..]
+            .iter()
+            .step_by(L)
+            .map(|w| w.widen())
+            .collect()
+    }
+
+    /// Lane `l`'s population decoded into generic states.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= L`.
+    pub fn lane_states_unpacked(&self, l: usize) -> Vec<P::State> {
+        assert!(l < L, "lane {l} out of range for {L} lanes");
+        self.states[l..]
+            .iter()
+            .step_by(L)
+            .map(|w| self.protocol.unpack(w.widen()))
+            .collect()
+    }
+
+    /// Lane `l` decoded into a generic-engine [`Population`], for
+    /// checkers written against the reference types.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= L`.
+    pub fn lane_population(&self, l: usize) -> Population<P::State> {
+        Population::new(self.lane_states_unpacked(l))
+    }
+
+    /// Decoded state of agent `u` in lane 0 — the observed replica of
+    /// the [`Engine`](crate::Engine) surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`.
+    pub fn state(&self, u: usize) -> P::State {
+        assert!(u < self.len(), "agent {u} out of range");
+        self.protocol.unpack(self.states[u * L].widen())
+    }
+
+    /// Overwrites the state of agent `u` in **every lane** — structural
+    /// mutations apply to all replicas, keeping the lanes exchangeable
+    /// replicas of the same (mutated) process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()` or the packed state overflows `W`.
+    pub fn set_state(&mut self, u: usize, state: &P::State) {
+        assert!(u < self.len(), "agent {u} out of range");
+        let w = W::narrow(self.protocol.pack(state));
+        for slot in &mut self.states[u * L..(u + 1) * L] {
+            *slot = w;
+        }
+    }
+
+    /// Replaces the population of **every lane** with the given packed
+    /// configuration, resizing the topology (via
+    /// [`Topology::resized`]) when the length changes — the bulk-rewrite
+    /// path of the [`Engine`](crate::Engine) structural-mutation surface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than 2 states are given, a state overflows `W`, or
+    /// the length changed and the topology family has no canonical resize.
+    pub fn replace_packed_states(&mut self, states: Vec<u32>) {
+        assert!(states.len() >= 2, "population needs at least 2 agents");
+        assert!(
+            u32::try_from(states.len()).is_ok(),
+            "vec batch buffers store node ids as u32; {} agents is too many",
+            states.len()
+        );
+        if states.len() != self.len() {
+            self.topology = crate::engine::resize_topology(&self.topology, states.len());
+        }
+        let mut lane_major = Vec::with_capacity(states.len() * L);
+        for &p in &states {
+            let w = W::narrow(p);
+            for _ in 0..L {
+                lane_major.push(w);
+            }
+        }
+        self.states = lane_major;
+    }
+
+    /// Appends one agent (same packed state in every lane), resizing the
+    /// topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state overflows `W` or the topology family has no
+    /// canonical resize.
+    pub fn push_packed_agent(&mut self, p: u32) {
+        let n = self.len() + 1;
+        assert!(
+            u32::try_from(n).is_ok(),
+            "vec batch buffers store node ids as u32; {n} agents is too many"
+        );
+        self.topology = crate::engine::resize_topology(&self.topology, n);
+        let w = W::narrow(p);
+        for _ in 0..L {
+            self.states.push(w);
+        }
+    }
+
+    /// Removes agent `u` (from every lane), moving the last agent's row
+    /// into its slot, and resizes the topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`, the removal would leave fewer than 2
+    /// agents, or the topology family has no canonical resize.
+    pub fn swap_remove_packed_agent(&mut self, u: usize) {
+        let n = self.len();
+        assert!(u < n, "agent {u} out of range");
+        assert!(n > 2, "removal would leave fewer than 2 agents");
+        self.topology = crate::engine::resize_topology(&self.topology, n - 1);
+        let last = (n - 1) * L;
+        let row = u * L;
+        for l in 0..L {
+            self.states[row + l] = self.states[last + l];
+        }
+        self.states.truncate(last);
+    }
+
+    /// The protocol under simulation.
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The interaction topology.
+    pub fn topology(&self) -> &T {
+        &self.topology
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TurboSimulator;
+    use pp_graph::{Complete, Cycle, Torus2d};
+    use rand::Rng;
+
+    /// Voter dynamics over raw u32 labels.
+    #[derive(Debug, Clone)]
+    struct Copy1;
+
+    impl PackedProtocol for Copy1 {
+        type State = u32;
+
+        fn pack(&self, s: &u32) -> u32 {
+            *s
+        }
+
+        fn unpack(&self, p: u32) -> u32 {
+            p
+        }
+
+        fn transition<R: Rng>(&self, _me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+            observed[0]
+        }
+
+        fn name(&self) -> String {
+            "copy".into()
+        }
+    }
+
+    /// Two-sample protocol exercising the m = 2 arm.
+    #[derive(Debug, Clone)]
+    struct MaxOfTwo;
+
+    impl PackedProtocol for MaxOfTwo {
+        type State = u32;
+
+        const OBSERVATIONS: usize = 2;
+
+        fn pack(&self, s: &u32) -> u32 {
+            *s
+        }
+
+        fn unpack(&self, p: u32) -> u32 {
+            p
+        }
+
+        fn transition<R: Rng>(&self, me: u32, observed: &[u32], _rng: &mut R) -> u32 {
+            me.max(observed[0]).max(observed[1])
+        }
+
+        fn name(&self) -> String {
+            "max2".into()
+        }
+    }
+
+    /// The anchor property: one lane with `lane_seed == master_seed`
+    /// visits exactly the turbo engine's Weyl positions, so the
+    /// trajectories are bit-identical — for both storage widths and both
+    /// observation arities.
+    #[test]
+    fn one_lane_is_bit_exact_vs_turbo() {
+        let init: Vec<u32> = (0..64).map(|u| u % 200).collect();
+        for seed in [0u64, 9, 0xDEAD_BEEF] {
+            let mut turbo = TurboSimulator::<_, _, u8>::new(Copy1, Torus2d::new(8, 8), &init, seed);
+            let mut vec =
+                VecSimulator::<_, _, u8, 1>::new(Copy1, Torus2d::new(8, 8), &init, seed, [seed]);
+            for _ in 0..5 {
+                turbo.run(3_000);
+                vec.run(3_000);
+                assert_eq!(
+                    turbo.states_packed(),
+                    vec.lane_states_packed(0),
+                    "seed {seed}"
+                );
+            }
+            let mut turbo2 =
+                TurboSimulator::<_, _, u32>::new(MaxOfTwo, Cycle::new(64), &init, seed);
+            let mut vec2 =
+                VecSimulator::<_, _, u32, 1>::new(MaxOfTwo, Cycle::new(64), &init, seed, [seed]);
+            turbo2.run(10_000);
+            vec2.run(10_000);
+            assert_eq!(
+                turbo2.states_packed(),
+                vec2.lane_states_packed(0),
+                "seed {seed}"
+            );
+        }
+    }
+
+    /// Each lane of a multi-lane run reproduces the scalar trajectory of
+    /// its own seed: `F(master, lane_seed)` is independent of grouping,
+    /// lane slot, and `L`.
+    #[test]
+    fn lanes_reproduce_scalar_trajectories_byte_identically() {
+        const L: usize = 8;
+        let init: Vec<u32> = (0..60).map(|u| u % 7).collect();
+        let master = 4242;
+        let lane_seeds: [u64; L] = core::array::from_fn(|l| 900 + 13 * l as u64);
+        let mut wide =
+            VecSimulator::<_, _, u8, L>::new(Copy1, Torus2d::new(6, 10), &init, master, lane_seeds);
+        wide.run(20_000);
+        for (l, &s) in lane_seeds.iter().enumerate() {
+            let mut scalar =
+                VecSimulator::<_, _, u8, 1>::new(Copy1, Torus2d::new(6, 10), &init, master, [s]);
+            scalar.run(20_000);
+            assert_eq!(
+                wide.lane_states_packed(l),
+                scalar.lane_states_packed(0),
+                "lane {l} diverged from its scalar trajectory"
+            );
+        }
+        // Moving a seed to a different lane slot changes nothing.
+        let mut swapped_seeds = lane_seeds;
+        swapped_seeds.swap(2, 5);
+        let mut swapped = VecSimulator::<_, _, u8, L>::new(
+            Copy1,
+            Torus2d::new(6, 10),
+            &init,
+            master,
+            swapped_seeds,
+        );
+        swapped.run(20_000);
+        assert_eq!(wide.lane_states_packed(2), swapped.lane_states_packed(5));
+        assert_eq!(wide.lane_states_packed(5), swapped.lane_states_packed(2));
+    }
+
+    #[test]
+    fn deterministic_and_batch_split_invariant() {
+        const L: usize = 4;
+        let init: Vec<u32> = (0..64).collect();
+        let seeds = VecSimulator::<Copy1, Cycle, u8, L>::lane_seeds_from(9);
+        let mut a = VecSimulator::<_, _, u8, L>::new(Copy1, Cycle::new(64), &init, 9, seeds);
+        let mut b = VecSimulator::<_, _, u8, L>::new(Copy1, Cycle::new(64), &init, 9, seeds);
+        a.run(10_000);
+        b.run(3_000);
+        b.run(7_000); // different batch split, same step keys
+        assert_eq!(a.states_words(), b.states_words());
+        let mut c = VecSimulator::<_, _, u8, L>::from_seed(Copy1, Cycle::new(64), &init, 10);
+        c.run(10_000);
+        assert_ne!(a.states_words(), c.states_words());
+    }
+
+    #[test]
+    fn lanes_with_distinct_seeds_diverge() {
+        const L: usize = 4;
+        let init: Vec<u32> = (0..32).collect();
+        let mut sim = VecSimulator::<_, _, u32, L>::from_seed(Copy1, Complete::new(32), &init, 5);
+        sim.run(5_000);
+        // With overwhelming probability at least one pair of lanes has
+        // diverged after 5k voter steps on distinct partner streams.
+        let distinct = (0..L)
+            .map(|l| sim.lane_states_packed(l))
+            .collect::<std::collections::HashSet<_>>();
+        assert!(
+            distinct.len() > 1,
+            "all lanes produced identical trajectories"
+        );
+    }
+
+    #[test]
+    fn accessors_and_mutation_surface() {
+        const L: usize = 3;
+        let init: Vec<u32> = vec![5, 6, 7];
+        let mut sim = VecSimulator::<_, _, u32, L>::from_seed(Copy1, Complete::new(3), &init, 1);
+        assert_eq!(sim.len(), 3);
+        assert_eq!(sim.lanes(), L);
+        assert!(!sim.is_empty());
+        assert_eq!(sim.master_seed(), 1);
+        assert_eq!(sim.lane_seeds()[0], 1);
+        assert_eq!(sim.state(2), 7);
+        sim.set_state(2, &9);
+        for l in 0..L {
+            assert_eq!(sim.lane_states_packed(l), vec![5, 6, 9], "lane {l}");
+        }
+        assert_eq!(sim.lane_population(0).states(), &[5, 6, 9]);
+        sim.push_packed_agent(4);
+        assert_eq!(sim.len(), 4);
+        assert_eq!(sim.topology().len(), 4);
+        assert_eq!(sim.lane_states_unpacked(1), vec![5, 6, 9, 4]);
+        sim.swap_remove_packed_agent(0);
+        assert_eq!(sim.lane_states_packed(2), vec![4, 6, 9]);
+        sim.replace_packed_states(vec![1, 2]);
+        assert_eq!(sim.len(), 2);
+        assert_eq!(sim.topology().len(), 2);
+        assert_eq!(sim.lane_states_packed(0), vec![1, 2]);
+        assert_eq!(PackedProtocol::name(sim.protocol()), "copy");
+        sim.run(8);
+        assert_eq!(sim.step_count(), 8);
+    }
+
+    #[test]
+    fn consensus_reached_in_every_lane() {
+        const L: usize = 8;
+        let init: Vec<u32> = (0..32).collect();
+        let mut sim = VecSimulator::<_, _, u32, L>::from_seed(Copy1, Complete::new(32), &init, 5);
+        sim.run(200_000);
+        for l in 0..L {
+            let lane = sim.lane_states_packed(l);
+            assert!(
+                lane.iter().all(|&s| s == lane[0]),
+                "lane {l} did not reach consensus"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "population size")]
+    fn rejects_size_mismatch() {
+        VecSimulator::<_, _, u32, 2>::from_seed(Copy1, Cycle::new(4), &[1u32, 2, 3], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflows u8")]
+    fn u8_storage_rejects_wide_states() {
+        VecSimulator::<_, _, u8, 2>::from_seed(Copy1, Cycle::new(3), &[1u32, 300, 2], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_lane_out_of_range() {
+        let init: Vec<u32> = vec![1, 2, 3];
+        let sim = VecSimulator::<_, _, u32, 2>::from_seed(Copy1, Cycle::new(3), &init, 0);
+        sim.lane_states_packed(2);
+    }
+}

@@ -143,6 +143,35 @@ pub trait Topology: std::fmt::Debug + Send + Sync {
         self.sample_partner_mono(u, &mut rand::rngs::CounterRng::from_state(bits))
     }
 
+    /// Lane-batched form of [`sample_partner_turbo`](Topology::sample_partner_turbo):
+    /// one draw per word of `bits`, all for the same scheduled agent `u`,
+    /// written to `out`. Each `out[l]` must equal
+    /// `sample_partner_turbo(u, bits[l])` exactly — this is a fast path,
+    /// not a different distribution — so the vec engine can batch draws
+    /// without perturbing any lane's trajectory.
+    ///
+    /// The point of the hook is that `u` is *shared*: a structured
+    /// topology can hoist everything that depends only on `u` (the
+    /// torus's `u mod cols` and its four neighbour candidates, say) out
+    /// of the lane loop once, leaving per-lane work small and
+    /// branch-free enough to vectorize. The default simply loops the
+    /// scalar draw.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u >= len()`, `u` has no neighbours, or
+    /// `bits.len() != out.len()`.
+    #[inline]
+    fn sample_partners_turbo(&self, u: usize, bits: &[u64], out: &mut [usize])
+    where
+        Self: Sized,
+    {
+        assert_eq!(bits.len(), out.len());
+        for (o, &b) in out.iter_mut().zip(bits) {
+            *o = self.sample_partner_turbo(u, b);
+        }
+    }
+
     /// Returns a same-family topology resized to `new_len` nodes, or `None`
     /// if the family has no canonical resize (a sampled graph, a torus whose
     /// side lengths are fixed, …).

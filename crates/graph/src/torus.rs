@@ -188,6 +188,49 @@ impl Topology for Torus2d {
         self.sample_turbo_impl(u, bits)
     }
 
+    /// Lane-batched draws share `u`, so everything `sample_turbo_impl`
+    /// derives from `u` alone — `u mod cols` and the four neighbour
+    /// candidates — is computed once here; each lane is then a two-bit
+    /// index into the candidate table (no division, no select chain),
+    /// which is what lets the vec engine's partner phase vectorize.
+    #[inline]
+    fn sample_partners_turbo(&self, u: usize, bits: &[u64], out: &mut [usize]) {
+        assert_eq!(bits.len(), out.len());
+        let n = self.rows * self.cols;
+        check_node(u, n);
+        let c = self.mod_cols(u);
+        // The candidates in `sample_turbo_impl`'s direction order:
+        // row+ (dir 0), row− (dir 1), col+ (dir 2), col− (dir 3).
+        let rp = {
+            let v = u + self.cols;
+            if v >= n {
+                v - n
+            } else {
+                v
+            }
+        };
+        let rm = {
+            let v = u + n - self.cols;
+            if v >= n {
+                v - n
+            } else {
+                v
+            }
+        };
+        let cp = {
+            let cc = c + 1;
+            u - c + if cc >= self.cols { cc - self.cols } else { cc }
+        };
+        let cm = {
+            let cc = c + self.cols - 1;
+            u - c + if cc >= self.cols { cc - self.cols } else { cc }
+        };
+        let cand = [rp, rm, cp, cm];
+        for (o, &b) in out.iter_mut().zip(bits) {
+            *o = cand[(b >> 62) as usize];
+        }
+    }
+
     fn contains_edge(&self, u: usize, v: usize) -> bool {
         check_node(u, self.len());
         check_node(v, self.len());

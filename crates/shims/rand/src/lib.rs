@@ -142,6 +142,25 @@ pub mod rngs {
         pub fn state(&self) -> u64 {
             self.x
         }
+
+        /// The next `N` outputs as one widened batch draw, advancing the
+        /// stream by `N` — output-identical to `N` sequential
+        /// [`next_u64`](crate::Rng::next_u64) calls.
+        ///
+        /// Where `next_u64` chains each draw through the updated state,
+        /// the batch form computes all `N` Weyl positions up front, so
+        /// the `N` finalizer mixes are independent straight-line
+        /// arithmetic the compiler can vectorize (the ensemble engine
+        /// uses this to derive a register's worth of lane keys at once).
+        #[inline]
+        pub fn next_u64x<const N: usize>(&mut self) -> [u64; N] {
+            let mut out = [0u64; N];
+            for (i, slot) in out.iter_mut().enumerate() {
+                *slot = mix(self.x.wrapping_add((i as u64 + 1).wrapping_mul(GOLDEN)));
+            }
+            self.x = self.x.wrapping_add((N as u64).wrapping_mul(GOLDEN));
+            out
+        }
     }
 
     impl crate::Rng for CounterRng {
@@ -487,6 +506,55 @@ mod tests {
             b.advance_by(skip);
             assert_eq!(a, b, "skip {skip}");
             assert_eq!(a.next_u64(), b.next_u64(), "skip {skip}");
+        }
+    }
+
+    #[test]
+    fn next_u64x_matches_sequential_draws() {
+        // The widened batch draw is a pure reshaping of the stream: same
+        // outputs, same end state as N sequential next_u64 calls.
+        let mut seq = CounterRng::for_shard(5, 2, 9);
+        let mut batch = CounterRng::for_shard(5, 2, 9);
+        let expected: Vec<u64> = (0..8).map(|_| seq.next_u64()).collect();
+        assert_eq!(batch.next_u64x::<8>().to_vec(), expected);
+        assert_eq!(seq, batch, "batch draw must advance the state by N");
+        assert_eq!(seq.next_u64(), batch.next_u64());
+        // Degenerate widths behave too.
+        let before = batch;
+        let mut b = batch;
+        assert_eq!(b.next_u64x::<0>(), [0u64; 0]);
+        assert_eq!(b, before);
+        let mut one = batch;
+        let mut next = batch;
+        assert_eq!(one.next_u64x::<1>()[0], next.next_u64());
+    }
+
+    #[test]
+    fn lane_streams_start_unrelated_bitwise() {
+        // Adjacent for_shard lanes must not share low-bit structure: the
+        // ensemble engine keys one partner/aux stream per SIMD lane this
+        // way, and any cross-lane bit correlation would couple replicas.
+        // (The distributional chi-square version of this check lives in
+        // pp-stats' counter_stream_independence test.)
+        let draws = 4_096;
+        for lane in 0..4u64 {
+            let mut a = CounterRng::for_shard(33, lane, 0);
+            let mut b = CounterRng::for_shard(33, lane + 1, 0);
+            let mut agree = [0u32; 64];
+            for _ in 0..draws {
+                let x = a.next_u64() ^ b.next_u64();
+                for (bit, slot) in agree.iter_mut().enumerate() {
+                    *slot += ((x >> bit) & 1) as u32;
+                }
+            }
+            for (bit, &c) in agree.iter().enumerate() {
+                let frac = c as f64 / draws as f64;
+                assert!(
+                    (frac - 0.5).abs() < 0.05,
+                    "lanes {lane}/{} bit {bit} xor fraction {frac}",
+                    lane + 1
+                );
+            }
         }
     }
 

@@ -1,0 +1,134 @@
+//! Cross-correlation independence of `CounterRng::for_shard` lane
+//! streams — the statistical contract the lane-parallel vec engine
+//! leans on.
+//!
+//! The vec engine gives every lane its own counter stream, keyed like
+//! `for_shard(seed, lane, block)`; lanes are only as independent as
+//! those streams are. This test runs a chi-square contingency check on
+//! paired draws from adjacent lanes (and adjacent blocks): bucket each
+//! `u64` pair `(x, y)` into a `B × B` table by their top bits and test
+//! the table against the independence null with `(B−1)²` degrees of
+//! freedom. A positive control — a stream paired with itself — must
+//! fail the same test, so a vacuously-passing statistic cannot go
+//! unnoticed.
+//!
+//! The `advance_by` / stream-layout pins live in the rand shim's own
+//! unit tests; this file owns the distributional claim (it needs
+//! `pp_stats::chi2_sf`, which the shim cannot depend on).
+
+use pp_stats::chi2_sf;
+use rand::rngs::CounterRng;
+use rand::Rng;
+
+/// Buckets per axis: 16×16 cells over 131072 draws = 512 expected per
+/// cell — far above the ≥ 5 rule of thumb for the chi-square
+/// approximation, and enough sample that a genuine stream correlation
+/// (which grows the statistic linearly in the draw count) cannot hide
+/// behind small-sample noise.
+const B: usize = 16;
+const DRAWS: usize = 131_072;
+
+/// Chi-square statistic of the `B × B` contingency table of paired
+/// draws, bucketed by each value's top `log2(B)` bits.
+fn contingency_chi2(mut a: CounterRng, mut b: CounterRng) -> (f64, f64) {
+    let mut table = [[0u64; B]; B];
+    for _ in 0..DRAWS {
+        let x = (a.next_u64() >> 60) as usize;
+        let y = (b.next_u64() >> 60) as usize;
+        table[x][y] += 1;
+    }
+    let expected = DRAWS as f64 / (B * B) as f64;
+    let mut chi2 = 0.0;
+    for row in &table {
+        for &cell in row {
+            let d = cell as f64 - expected;
+            chi2 += d * d / expected;
+        }
+    }
+    let df = ((B - 1) * (B - 1)) as f64;
+    (chi2, chi2_sf(chi2, df))
+}
+
+/// Adjacent lanes of one `(seed, block)` must be uncorrelated: the
+/// contingency test has no evidence against independence at α = 1e-4
+/// for any adjacent pair, across several seeds and a block boundary.
+#[test]
+fn adjacent_lane_streams_pass_contingency_independence() {
+    for seed in [0u64, 1, 42, 0xDEAD_BEEF] {
+        for lane in 0..4u64 {
+            let (chi2, p) = contingency_chi2(
+                CounterRng::for_shard(seed, lane, 0),
+                CounterRng::for_shard(seed, lane + 1, 0),
+            );
+            assert!(
+                p > 1e-4,
+                "lanes {lane}/{} of seed {seed} look correlated: chi2 {chi2:.1}, p {p:.2e}",
+                lane + 1
+            );
+        }
+    }
+}
+
+/// Adjacent blocks of one `(seed, lane)` — the other axis the vec
+/// engine advances — must be uncorrelated too.
+#[test]
+fn adjacent_block_streams_pass_contingency_independence() {
+    for seed in [7u64, 1600] {
+        for lane in 0..2u64 {
+            for block in 0..2u64 {
+                let (chi2, p) = contingency_chi2(
+                    CounterRng::for_shard(seed, lane, block),
+                    CounterRng::for_shard(seed, lane, block + 1),
+                );
+                assert!(
+                    p > 1e-4,
+                    "blocks {block}/{} of (seed {seed}, lane {lane}) look correlated: \
+                     chi2 {chi2:.1}, p {p:.2e}",
+                    block + 1
+                );
+            }
+        }
+    }
+}
+
+/// Each lane stream must also be marginally uniform — the contingency
+/// test alone cannot tell uniform-independent from uniformly-broken
+/// marginals, so pin the one-dimensional histogram as well.
+#[test]
+fn lane_streams_are_marginally_uniform() {
+    for (seed, lane) in [(0u64, 0u64), (42, 3), (0xDEAD_BEEF, 7)] {
+        let mut rng = CounterRng::for_shard(seed, lane, 0);
+        let mut counts = [0u64; B];
+        for _ in 0..DRAWS {
+            counts[(rng.next_u64() >> 60) as usize] += 1;
+        }
+        let expected = DRAWS as f64 / B as f64;
+        let chi2: f64 = counts
+            .iter()
+            .map(|&c| {
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        let p = chi2_sf(chi2, (B - 1) as f64);
+        assert!(
+            p > 1e-4,
+            "(seed {seed}, lane {lane}) marginal not uniform: chi2 {chi2:.1}, p {p:.2e}"
+        );
+    }
+}
+
+/// Positive control: a stream paired with itself concentrates on the
+/// diagonal and must *fail* the independence test decisively — proof
+/// the statistic has power at this sample size.
+#[test]
+fn identical_streams_fail_the_independence_test() {
+    let (chi2, p) = contingency_chi2(
+        CounterRng::for_shard(3, 0, 0),
+        CounterRng::for_shard(3, 0, 0),
+    );
+    assert!(
+        p < 1e-12,
+        "self-paired stream passed the independence test: chi2 {chi2:.1}, p {p:.2e}"
+    );
+}
