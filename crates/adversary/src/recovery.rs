@@ -64,6 +64,10 @@ pub fn recovery_time<E>(
 where
     E: Engine<State = AgentState> + ?Sized,
 {
+    // Uniform guard at the entry point: the run_until impls differ in
+    // where (and whether) they check, so enforce the documented contract
+    // here with one message shared by every tier.
+    assert!(check_every > 0, "check_every must be positive");
     apply(shock, sim, shock_rng);
     let start = sim.step_count();
     let k = good.weights().len();
@@ -213,6 +217,84 @@ mod tests {
             large_total >= small_total,
             "large {large_total} vs small {small_total}"
         );
+    }
+
+    #[test]
+    fn zero_check_every_panics_uniformly_on_every_tier() {
+        use pp_engine::{PackedSimulator, ShardedSimulator, VecSimulator};
+
+        let weights = Weights::uniform(2);
+        let n = 20;
+        let states = init::all_dark_balanced(n, &weights);
+        let proto = || Diversification::new(weights.clone());
+        let mut tiers: Vec<(&str, Box<dyn Engine<State = AgentState>>)> = vec![
+            (
+                "agent",
+                Box::new(Simulator::new(proto(), Complete::new(n), states.clone(), 1)),
+            ),
+            (
+                "packed",
+                Box::new(PackedSimulator::new(proto(), Complete::new(n), &states, 1)),
+            ),
+            (
+                "turbo",
+                Box::new(TurboSimulator::<_, _, u8>::new(
+                    proto(),
+                    Complete::new(n),
+                    &states,
+                    1,
+                )),
+            ),
+            (
+                "sharded",
+                Box::new(ShardedSimulator::<_, _, u8>::new(
+                    proto(),
+                    Complete::new(n),
+                    &states,
+                    1,
+                )),
+            ),
+            (
+                "vec",
+                Box::new(VecSimulator::<_, _, u8, 1>::from_seed(
+                    proto(),
+                    Complete::new(n),
+                    &states,
+                    1,
+                )),
+            ),
+        ];
+        let good = GoodSet::new(weights.clone(), 0.3);
+        let mut messages = Vec::new();
+        for (name, sim) in &mut tiers {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut rng = StdRng::seed_from_u64(30);
+                recovery_time(
+                    sim.as_mut(),
+                    &Shock::InjectColour {
+                        colour: Colour::new(0),
+                        recruits: 2,
+                    },
+                    &good,
+                    &mut rng,
+                    100,
+                    0,
+                );
+            }));
+            let payload = result.expect_err(&format!("{name} accepted check_every == 0"));
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_default();
+            messages.push((*name, msg));
+        }
+        for (name, msg) in &messages {
+            assert_eq!(
+                msg, "check_every must be positive",
+                "tier {name} panicked with a different message"
+            );
+        }
     }
 
     #[test]

@@ -47,6 +47,55 @@ pub enum Shock {
     },
 }
 
+impl Shock {
+    /// Whether applying this shock changes the population size — and
+    /// therefore requires a topology family with a canonical resize
+    /// ([`Topology::resized`](pp_graph::Topology::resized) returning
+    /// `Some`).
+    pub fn resizes(&self) -> bool {
+        matches!(self, Shock::AddAgents { .. } | Shock::RemoveAgents { .. })
+    }
+
+    /// Short stable label for tables and error messages.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Shock::AddAgents { .. } => "add_agents",
+            Shock::InjectColour { .. } => "inject_colour",
+            Shock::RetireColour { .. } => "retire_colour",
+            Shock::RemoveAgents { .. } => "remove_agents",
+        }
+    }
+
+    /// One representative instance of every shock variant, sized for a
+    /// population of `n` agents over `k` colours. The model-check explorer
+    /// enumerates these to check monotone invariants under each variant;
+    /// `t14_adversary` uses them for its family × shock grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k < 2` (retirement needs a distinct replacement colour).
+    pub fn enumerate(n: usize, k: usize) -> Vec<Shock> {
+        assert!(k >= 2, "shock enumeration needs at least 2 colours");
+        vec![
+            Shock::AddAgents {
+                count: n.div_ceil(4).max(1),
+                state: AgentState::dark(Colour::new(k - 1)),
+            },
+            Shock::InjectColour {
+                colour: Colour::new(k - 1),
+                recruits: (n / 3).max(1),
+            },
+            Shock::RetireColour {
+                colour: Colour::new(0),
+                replacement: Colour::new(1),
+            },
+            Shock::RemoveAgents {
+                count: (n / 4).min(n.saturating_sub(2)),
+            },
+        ]
+    }
+}
+
 /// Applies a shock to any engine tier between time-steps, through the
 /// [`Engine`] structural-mutation surface: recolourings rewrite states,
 /// agent addition/removal resizes the population (and therefore the
@@ -68,6 +117,14 @@ pub fn apply<E>(shock: &Shock, sim: &mut E, rng: &mut dyn Rng)
 where
     E: Engine<State = AgentState> + ?Sized,
 {
+    assert!(
+        !shock.resizes() || sim.supports_resize(),
+        "shock `{}` resizes the population, but topology family `{}` has no \
+         canonical resize; use a resizable family (complete, cycle, path, star) \
+         or a non-resizing shock",
+        shock.label(),
+        sim.topology_name()
+    );
     match *shock {
         Shock::AddAgents { count, .. } => {
             pp_obs::obs_event!("adversary.shock", "add_agents", "count={count}")
@@ -304,6 +361,71 @@ mod tests {
                 "turbo diverged after {shock:?}"
             );
         }
+    }
+
+    #[test]
+    #[should_panic(
+        expected = "shock `add_agents` resizes the population, but topology family `torus4x5`"
+    )]
+    fn resizing_shock_on_fixed_family_names_both() {
+        use pp_graph::Torus2d;
+        let weights = Weights::uniform(2);
+        let states = init::all_dark_balanced(20, &weights);
+        let mut sim = Simulator::new(Diversification::new(weights), Torus2d::new(4, 5), states, 1);
+        let mut rng = StdRng::seed_from_u64(11);
+        apply(
+            &Shock::AddAgents {
+                count: 3,
+                state: AgentState::dark(Colour::new(0)),
+            },
+            &mut sim,
+            &mut rng,
+        );
+    }
+
+    #[test]
+    fn non_resizing_shocks_work_on_fixed_families() {
+        use pp_graph::Torus2d;
+        let weights = Weights::uniform(2);
+        let states = init::all_dark_balanced(20, &weights);
+        let mut sim = Simulator::new(Diversification::new(weights), Torus2d::new(4, 5), states, 1);
+        let mut rng = StdRng::seed_from_u64(12);
+        apply(
+            &Shock::InjectColour {
+                colour: Colour::new(1),
+                recruits: 5,
+            },
+            &mut sim,
+            &mut rng,
+        );
+        apply(
+            &Shock::RetireColour {
+                colour: Colour::new(0),
+                replacement: Colour::new(1),
+            },
+            &mut sim,
+            &mut rng,
+        );
+        assert_eq!(sim.population().len(), 20);
+    }
+
+    #[test]
+    fn enumeration_covers_every_variant() {
+        let shocks = Shock::enumerate(24, 3);
+        let labels: Vec<_> = shocks.iter().map(Shock::label).collect();
+        assert_eq!(
+            labels,
+            [
+                "add_agents",
+                "inject_colour",
+                "retire_colour",
+                "remove_agents"
+            ]
+        );
+        assert!(shocks[0].resizes());
+        assert!(!shocks[1].resizes());
+        assert!(!shocks[2].resizes());
+        assert!(shocks[3].resizes());
     }
 
     #[test]

@@ -59,6 +59,10 @@ impl PackedProtocol for Voter {
         observed[0]
     }
 
+    fn outcomes(&self, _me: u32, observed: &[u32]) -> Option<Vec<(u32, f64)>> {
+        Some(vec![(observed[0], 1.0)])
+    }
+
     fn name(&self) -> String {
         Protocol::name(self)
     }
@@ -112,6 +116,15 @@ impl PackedProtocol for TwoChoices {
         } else {
             me
         }
+    }
+
+    fn outcomes(&self, me: u32, observed: &[u32]) -> Option<Vec<(u32, f64)>> {
+        let next = if observed[0] == observed[1] {
+            observed[0]
+        } else {
+            me
+        };
+        Some(vec![(next, 1.0)])
     }
 
     fn name(&self) -> String {
@@ -203,6 +216,19 @@ impl PackedProtocol for ThreeMajority {
         }
     }
 
+    fn outcomes(&self, me: u32, observed: &[u32]) -> Option<Vec<(u32, f64)>> {
+        let (a, b) = (observed[0], observed[1]);
+        Some(if a == b {
+            vec![(a, 1.0)]
+        } else if a == me || b == me {
+            vec![(me, 1.0)]
+        } else {
+            // All three distinct: the uniform tiebreak.
+            let third = 1.0 / 3.0;
+            vec![(me, third), (a, third), (b, third)]
+        })
+    }
+
     fn name(&self) -> String {
         Protocol::name(self)
     }
@@ -260,6 +286,14 @@ impl PackedProtocol for AntiVoter {
         match observed[0] {
             0 => 1,
             1 => 0,
+            i => panic!("anti-voter is a two-colour protocol, got colour {i}"),
+        }
+    }
+
+    fn outcomes(&self, _me: u32, observed: &[u32]) -> Option<Vec<(u32, f64)>> {
+        match observed[0] {
+            0 => Some(vec![(1, 1.0)]),
+            1 => Some(vec![(0, 1.0)]),
             i => panic!("anti-voter is a two-colour protocol, got colour {i}"),
         }
     }

@@ -11,6 +11,7 @@ pub mod fairness;
 pub mod fig1;
 pub mod lower_bound;
 pub mod markov;
+pub mod model_check;
 pub mod phase3;
 pub mod sbm;
 pub mod stability;

@@ -102,7 +102,11 @@ impl fmt::Display for ParseError {
 /// Returns a [`ParseError`] on malformed input or trailing garbage.
 pub fn parse(input: &str) -> Result<Value, ParseError> {
     let bytes = input.as_bytes();
-    let mut p = Parser { bytes, pos: 0 };
+    let mut p = Parser {
+        bytes,
+        pos: 0,
+        depth: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -112,9 +116,16 @@ pub fn parse(input: &str) -> Result<Value, ParseError> {
     Ok(v)
 }
 
+/// Maximum container nesting the recursive-descent parser accepts. The
+/// parser recurses once per `[`/`{` level, so without a bound a hostile
+/// (or merely corrupt) artifact like `[[[[…` overflows the thread stack
+/// and aborts the process instead of exiting 2 with a schema error.
+pub const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
@@ -167,12 +178,22 @@ impl<'a> Parser<'a> {
         }
     }
 
+    fn enter(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting exceeds {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn object(&mut self) -> Result<Value, ParseError> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Obj(map));
         }
         loop {
@@ -190,6 +211,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Obj(map));
                 }
                 _ => return Err(self.err("expected `,` or `}` in object")),
@@ -199,10 +221,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Value, ParseError> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.depth -= 1;
             return Ok(Value::Arr(items));
         }
         loop {
@@ -213,6 +237,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.depth -= 1;
                     return Ok(Value::Arr(items));
                 }
                 _ => return Err(self.err("expected `,` or `]` in array")),
@@ -487,6 +512,33 @@ mod tests {
         ] {
             assert!(parse(bad).is_err(), "accepted malformed input {bad:?}");
         }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        // Regression: 10k-deep nesting used to recurse 10k frames and
+        // abort the process (SIGSEGV) instead of returning Err; the depth
+        // limit turns it into an ordinary schema error (exit 2 path).
+        let deep_arrays = "[".repeat(10_000) + &"]".repeat(10_000);
+        let err = parse(&deep_arrays).expect_err("depth limit must reject");
+        assert!(err.msg.contains("nesting exceeds"), "got: {err}");
+
+        let deep_objects = "{\"k\":".repeat(10_000) + "1" + &"}".repeat(10_000);
+        assert!(parse(&deep_objects).is_err());
+
+        // Just inside the limit still parses: the bound rejects hostile
+        // inputs, not real envelopes (recorder dumps nest ~4 deep).
+        let ok = "[".repeat(MAX_DEPTH) + &"]".repeat(MAX_DEPTH);
+        parse(&ok).expect("MAX_DEPTH levels must be accepted");
+        let over = "[".repeat(MAX_DEPTH + 1) + &"]".repeat(MAX_DEPTH + 1);
+        assert!(parse(&over).is_err());
+    }
+
+    #[test]
+    fn depth_resets_between_siblings() {
+        // Sequential (non-nested) containers must not accumulate depth.
+        let many_siblings = format!("[{}]", vec!["[[]]"; 500].join(","));
+        parse(&many_siblings).expect("sibling containers share no depth");
     }
 
     #[test]

@@ -1,0 +1,179 @@
+//! The injected known-bad protocol variant the CI gate must catch.
+//!
+//! [`BuggedDiversification`] drops the observed-shade condition from rule
+//! 2: a dark agent softens (w.p. `1/wᵢ`) after observing **any**
+//! same-colour agent, not only another *dark* one. The bug is implemented
+//! consistently on every tier — generic, packed (turbo and ensemble
+//! inherit the packed rule), and count-based — so the workspace's
+//! tier-equivalence batteries *cannot* reject it: shared-seed trajectories
+//! still match bit for bit, and every tier samples the same (wrong)
+//! distribution. Statistically the stationary behaviour is also close to
+//! the correct protocol's whenever dark counts are large, because the
+//! extra softening mass is `O(aᵢ/Aᵢ)` relative.
+//!
+//! What the bug breaks is the paper's *sustainability invariant*: with
+//! `darkᵢ = 1` and a light agent of colour `i` observable, the last dark
+//! agent can soften — precisely the unreachable-under-statistics corner
+//! the bounded explorer enumerates. `pp-check` finds a counterexample
+//! trace in milliseconds at `n ≤ 12`.
+
+use pp_core::{AgentState, Diversification, Shade, Weights};
+use pp_dense::{Channel, CountProtocol};
+use pp_engine::{PackedProtocol, Protocol};
+use rand::{Rng, RngExt};
+
+/// Diversification with rule 2's observed-shade check removed (see module
+/// docs). For the gate's fail-closed demonstration only.
+#[derive(Debug, Clone)]
+pub struct BuggedDiversification {
+    inner: Diversification,
+}
+
+impl BuggedDiversification {
+    /// Wraps the weight table of the correct protocol.
+    pub fn new(weights: Weights) -> Self {
+        BuggedDiversification {
+            inner: Diversification::new(weights),
+        }
+    }
+
+    /// The weight table.
+    pub fn weights(&self) -> &Weights {
+        self.inner.weights()
+    }
+
+    /// Number of colours.
+    pub fn num_colours(&self) -> usize {
+        self.inner.num_colours()
+    }
+}
+
+impl Protocol for BuggedDiversification {
+    type State = AgentState;
+
+    fn transition(
+        &self,
+        me: &AgentState,
+        observed: &[&AgentState],
+        rng: &mut dyn Rng,
+    ) -> AgentState {
+        let v = observed[0];
+        match (me.shade, v.shade) {
+            (Shade::Light, Shade::Dark) => AgentState::dark(v.colour),
+            // BUG: the guard should also require `v.shade == Dark`; as
+            // written, a dark agent observing a same-colour *light* agent
+            // also rolls the softening die.
+            (Shade::Dark, _) if me.colour == v.colour => {
+                if rng.random_bool(self.weights().inverse(me.colour.index())) {
+                    AgentState::light(me.colour)
+                } else {
+                    *me
+                }
+            }
+            _ => *me,
+        }
+    }
+
+    fn name(&self) -> String {
+        "bugged-diversification".to_string()
+    }
+}
+
+impl PackedProtocol for BuggedDiversification {
+    type State = AgentState;
+
+    fn pack(&self, state: &AgentState) -> u32 {
+        pp_core::packed::pack_state(state)
+    }
+
+    fn unpack(&self, packed: u32) -> AgentState {
+        pp_core::packed::unpack_state(packed)
+    }
+
+    #[inline]
+    fn transition<R: Rng>(&self, me: u32, observed: &[u32], rng: &mut R) -> u32 {
+        let v = observed[0];
+        if me & 1 == 0 {
+            if v & 1 == 1 {
+                v
+            } else {
+                me
+            }
+        } else if v >> 1 == me >> 1 {
+            // BUG: colour-only comparison (`v == me` is correct) — the
+            // same bug as the generic rule, consuming randomness
+            // identically, so the bit-exact equivalence contract holds.
+            if rng.random_bool(self.weights().inverse((me >> 1) as usize)) {
+                me & !1
+            } else {
+                me
+            }
+        } else {
+            me
+        }
+    }
+
+    fn outcomes(&self, me: u32, observed: &[u32]) -> Option<Vec<(u32, f64)>> {
+        let v = observed[0];
+        Some(if me & 1 == 0 {
+            vec![(if v & 1 == 1 { v } else { me }, 1.0)]
+        } else if v >> 1 == me >> 1 {
+            let p = self.weights().inverse((me >> 1) as usize);
+            if p >= 1.0 {
+                vec![(me & !1, 1.0)]
+            } else {
+                vec![(me & !1, p), (me, 1.0 - p)]
+            }
+        } else {
+            vec![(me, 1.0)]
+        })
+    }
+
+    fn name(&self) -> String {
+        "bugged-diversification".to_string()
+    }
+}
+
+/// The same bug at count level: softening fires on observing *any*
+/// same-colour agent (`Aᵢ + aᵢ − 1` partners instead of `Aᵢ − 1`), and the
+/// batch cap no longer protects the last dark agent.
+impl CountProtocol for BuggedDiversification {
+    fn channels(&self, num_classes: usize) -> Vec<Channel> {
+        CountProtocol::channels(&self.inner, num_classes)
+    }
+
+    fn rates(&self, counts: &[u64], n: u64, rates: &mut [f64]) {
+        let k = self.num_colours();
+        let nf = n as f64;
+        let nm1 = (n - 1) as f64;
+        let mut idx = 0;
+        for j in 0..k {
+            let light_j = counts[k + j] as f64 / nf;
+            for &dark_i in &counts[..k] {
+                rates[idx] = light_j * (dark_i as f64 / nm1);
+                idx += 1;
+            }
+        }
+        for i in 0..k {
+            let dark_i = counts[i] as f64;
+            let same_colour_partners = (dark_i + counts[k + i] as f64 - 1.0).max(0.0);
+            rates[idx] = (dark_i / nf) * (same_colour_partners / nm1) / self.weights().get(i);
+            idx += 1;
+        }
+    }
+
+    fn batch_cap(&self, channel: usize, counts: &[u64]) -> u64 {
+        let k = self.num_colours();
+        if channel < k * k {
+            counts[k + channel / k]
+        } else {
+            // BUG: no `− 1` — the cap lets softening consume the last
+            // dark agent of a colour.
+            counts[channel - k * k]
+        }
+    }
+
+    fn name(&self) -> String {
+        "bugged-diversification".to_string()
+    }
+}

@@ -1,0 +1,373 @@
+//! Cross-checks of the engine tiers against the exact explorer.
+//!
+//! Three checks, all fail-closed:
+//!
+//! * [`check_dense_rates`] — the dense tier's [`CountProtocol`] rate
+//!   table must equal the explorer's aggregated transition probabilities
+//!   at **every** reachable count configuration, and its batch caps must
+//!   respect the sustainability boundary exactly (cap 0 wherever the
+//!   exact dynamics forbid the channel);
+//! * [`check_engine_stays_reachable`] — a tier stepping from an explored
+//!   configuration must land inside the exact reachable set (this covers
+//!   the batching tiers, whose step granularity is coarser than one
+//!   interaction);
+//! * [`check_shock_invariants`] — every [`Shock`] variant applied through
+//!   the shared [`Engine`] mutation surface must satisfy its declared
+//!   monotone invariants on class counts.
+
+use crate::explore::{count_successors, CountExploration, MAX_VIOLATIONS, PROB_EPS};
+use crate::report::{Cause, TraceStep, Violation};
+use pp_adversary::{apply, Shock};
+use pp_core::AgentState;
+use pp_dense::CountProtocol;
+use pp_engine::{Engine, PackedProtocol};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// Chain class (dense layout: dark `0..k`, light `k..2k`) of a packed
+/// word (`colour << 1 | shade`).
+fn chain_of_word(word: u32, k: usize) -> usize {
+    let colour = (word >> 1) as usize;
+    if word & 1 == 1 {
+        colour
+    } else {
+        k + colour
+    }
+}
+
+/// Packed word of a chain class.
+fn word_of_chain(class: usize, k: usize) -> u32 {
+    if class < k {
+        (class as u32) << 1 | 1
+    } else {
+        ((class - k) as u32) << 1
+    }
+}
+
+/// Word-layout counts (`colour << 1 | shade` indexing) → chain-layout
+/// counts (dark `0..k`, light `k..2k`).
+pub fn chain_counts_of_words(counts: &[u64], k: usize) -> Vec<u64> {
+    let mut chain = vec![0u64; 2 * k];
+    for (w, &c) in counts.iter().enumerate() {
+        chain[chain_of_word(w as u32, k)] = c;
+    }
+    chain
+}
+
+/// Verifies, at every configuration of an exhaustive count exploration,
+/// that the [`CountProtocol`] rate table agrees with the explorer's
+/// aggregated per-channel transition probability, and that the batch caps
+/// are boundary-exact: a channel with positive rate must be allowed to
+/// fire (`cap ≥ 1`), and a channel whose firing the exact dynamics forbid
+/// (aggregate probability 0 from every reachable configuration where its
+/// source class is populated at the invariant boundary) must have `cap
+/// 0` there.
+///
+/// This is the sustainability-boundary exactness property: the dense
+/// tier's τ-leap may only ever sample transitions the agent-based
+/// dynamics can take, configuration by configuration.
+pub fn check_dense_rates<P>(protocol: &P, k: usize, expl: &CountExploration) -> Vec<Violation>
+where
+    P: CountProtocol + PackedProtocol + ?Sized,
+{
+    let channels = CountProtocol::channels(protocol, 2 * k);
+    let mut violations = Vec::new();
+    for counts in &expl.configs {
+        if violations.len() >= MAX_VIOLATIONS {
+            break;
+        }
+        let n: u64 = counts.iter().sum();
+        let chain = chain_counts_of_words(counts, k);
+        let mut rates = vec![0.0; channels.len()];
+        CountProtocol::rates(protocol, &chain, n, &mut rates);
+        // Aggregate the explorer's exact edge probabilities per channel.
+        let mut aggregate = vec![0.0; channels.len()];
+        let succs = match count_successors(protocol, counts, 1) {
+            Ok(s) => s,
+            Err((cause, detail)) => {
+                violations.push(Violation {
+                    property: "dense-rate-agreement".to_string(),
+                    cause,
+                    detail,
+                    trace: Vec::new(),
+                    counts: counts.clone(),
+                });
+                break;
+            }
+        };
+        let mut stray = None;
+        for (_, edge) in &succs {
+            let src = chain_of_word(edge.scheduled, k);
+            let dst = chain_of_word(edge.next, k);
+            match channels.iter().position(|c| c.src == src && c.dst == dst) {
+                Some(c) => aggregate[c] += edge.prob,
+                None => stray = Some((src, dst, edge.prob)),
+            }
+        }
+        if let Some((src, dst, prob)) = stray {
+            violations.push(Violation {
+                property: "dense-rate-agreement".to_string(),
+                cause: Cause::RateMismatch,
+                detail: format!(
+                    "exact transition {src} -> {dst} (p={prob:.6}) has no dense channel"
+                ),
+                trace: Vec::new(),
+                counts: counts.clone(),
+            });
+            continue;
+        }
+        for (c, channel) in channels.iter().enumerate() {
+            if (aggregate[c] - rates[c]).abs() > PROB_EPS {
+                violations.push(Violation {
+                    property: "dense-rate-agreement".to_string(),
+                    cause: Cause::RateMismatch,
+                    detail: format!(
+                        "channel {} -> {}: dense rate {:.9} != exact {:.9} at chain counts {:?}",
+                        channel.src, channel.dst, rates[c], aggregate[c], chain
+                    ),
+                    trace: Vec::new(),
+                    counts: counts.clone(),
+                });
+                break;
+            }
+            let cap = CountProtocol::batch_cap(protocol, c, &chain);
+            if rates[c] > PROB_EPS && cap == 0 {
+                violations.push(Violation {
+                    property: "dense-boundary-exactness".to_string(),
+                    cause: Cause::BoundaryMismatch,
+                    detail: format!(
+                        "channel {} -> {} has rate {:.9} but batch cap 0",
+                        channel.src, channel.dst, rates[c]
+                    ),
+                    trace: Vec::new(),
+                    counts: counts.clone(),
+                });
+                break;
+            }
+            // The fail-closed direction: a cap that lets a forbidden
+            // channel fire. Firing moves one agent src -> dst; if the
+            // resulting count configuration is NOT in the exact
+            // reachable set, the τ-leap could leave it.
+            if cap > 0 && rates[c] <= PROB_EPS && chain[channel.src] > 0 {
+                let src_word = word_of_chain(channel.src, k);
+                let dst_word = word_of_chain(channel.dst, k);
+                let mut fired = counts.clone();
+                fired[src_word as usize] -= 1;
+                fired[dst_word as usize] += 1;
+                if !expl.index.contains_key(&fired) {
+                    violations.push(Violation {
+                        property: "dense-boundary-exactness".to_string(),
+                        cause: Cause::BoundaryMismatch,
+                        detail: format!(
+                            "channel {} -> {} has zero exact rate but cap {} would step \
+                             outside the reachable set",
+                            channel.src, channel.dst, cap
+                        ),
+                        trace: Vec::new(),
+                        counts: counts.clone(),
+                    });
+                    break;
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Pads engine class counts to the class-universe width for set-membership
+/// comparison (engines trim trailing unoccupied words).
+pub fn pad_counts(counts: &[u64], num_words: usize) -> Vec<u64> {
+    let mut out = counts.to_vec();
+    assert!(
+        out.len() <= num_words || out[num_words..].iter().all(|&c| c == 0),
+        "engine reported an occupied word outside the {num_words}-class universe"
+    );
+    out.resize(num_words.max(out.len()), 0);
+    out.truncate(num_words);
+    out
+}
+
+/// Steps an engine tier `steps` times from its current (explored)
+/// configuration, asserting after every step that its class counts remain
+/// inside the exact reachable set. Returns the first divergence, if any.
+///
+/// This is the tier cross-check the issue's gate requires: a transition
+/// implementation whose support exceeds the declared rate table — on any
+/// tier, including the batching ones — steps outside the reachable set
+/// and is caught here without any statistical tolerance.
+pub fn check_engine_stays_reachable<S: Clone + std::fmt::Debug + Send + Sync>(
+    tier: &str,
+    engine: &mut dyn Engine<State = S>,
+    reachable: &HashSet<Vec<u64>>,
+    num_words: usize,
+    steps: u64,
+) -> Option<Violation> {
+    for _ in 0..steps {
+        engine.run(1);
+        let counts = pad_counts(&engine.class_counts(), num_words);
+        if !reachable.contains(&counts) {
+            return Some(Violation {
+                property: "tier-reachability".to_string(),
+                cause: Cause::TierDiverged,
+                detail: format!(
+                    "tier `{tier}` stepped to {:?} at step {}, outside the exact reachable set",
+                    counts,
+                    engine.step_count()
+                ),
+                trace: Vec::new(),
+                counts,
+            });
+        }
+    }
+    None
+}
+
+/// Single-interaction support check for the bit-exact tiers: one `run(1)`
+/// from an explored configuration must land in the configuration itself
+/// (a no-op interaction) or one of its exact successors.
+pub fn check_engine_one_step_support<S: Clone + std::fmt::Debug + Send + Sync, P>(
+    tier: &str,
+    engine: &mut dyn Engine<State = S>,
+    protocol: &P,
+    observations: usize,
+    num_words: usize,
+) -> Option<Violation>
+where
+    P: PackedProtocol + ?Sized,
+{
+    let before = pad_counts(&engine.class_counts(), num_words);
+    let succs = match count_successors(protocol, &before, observations) {
+        Ok(s) => s,
+        Err((cause, detail)) => {
+            return Some(Violation {
+                property: "tier-step-support".to_string(),
+                cause,
+                detail,
+                trace: Vec::new(),
+                counts: before,
+            })
+        }
+    };
+    let mut allowed: HashSet<Vec<u64>> = succs.into_iter().map(|(c, _)| c).collect();
+    allowed.insert(before.clone());
+    engine.run(1);
+    let after = pad_counts(&engine.class_counts(), num_words);
+    if allowed.contains(&after) {
+        return None;
+    }
+    Some(Violation {
+        property: "tier-step-support".to_string(),
+        cause: Cause::TierDiverged,
+        detail: format!("tier `{tier}` stepped {before:?} -> {after:?}, outside the exact support"),
+        trace: vec![TraceStep {
+            counts: before.clone(),
+            scheduled: 0,
+            observed: Vec::new(),
+            next: 0,
+            prob: 0.0,
+        }],
+        counts: after,
+    })
+}
+
+/// Applies every shock through the [`Engine`] mutation surface of a
+/// freshly built engine and checks the variant's monotone invariants on
+/// class counts. `make` builds one engine per shock (shocks mutate).
+pub fn check_shock_invariants(
+    tier: &str,
+    make: &mut dyn FnMut() -> Box<dyn Engine<State = AgentState>>,
+    shocks: &[Shock],
+    num_words: usize,
+    seed: u64,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (i, shock) in shocks.iter().enumerate() {
+        let mut engine = make();
+        if shock.resizes() && !engine.supports_resize() {
+            // Graceful degradation is the adversary grid's job; the
+            // checker only verifies shocks the engine accepts.
+            continue;
+        }
+        let before = pad_counts(&engine.class_counts(), num_words);
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(i as u64));
+        apply(shock, engine.as_mut(), &mut rng);
+        let after = pad_counts(&engine.class_counts(), num_words);
+        let pre: u64 = before.iter().sum();
+        let post: u64 = after.iter().sum();
+        let fail = |detail: String| Violation {
+            property: format!("shock-{}", shock.label()),
+            cause: Cause::ShockInvariant,
+            detail: format!("tier `{tier}`: {detail}"),
+            trace: Vec::new(),
+            counts: after.clone(),
+        };
+        match *shock {
+            Shock::AddAgents { count, state } => {
+                let w = pp_core::packed::pack_state(&state) as usize;
+                if post != pre + count as u64 {
+                    violations.push(fail(format!(
+                        "add_agents({count}) took population {pre} -> {post}"
+                    )));
+                } else if after
+                    .iter()
+                    .enumerate()
+                    .any(|(i, &c)| c != before[i] + if i == w { count as u64 } else { 0 })
+                {
+                    violations.push(fail(format!(
+                        "add_agents changed classes other than word {w}: {before:?} -> {after:?}"
+                    )));
+                }
+            }
+            Shock::InjectColour { colour, recruits } => {
+                let dark = after.get(2 * colour.index() + 1).copied().unwrap_or(0);
+                if post != pre {
+                    violations.push(fail(format!(
+                        "inject_colour changed population {pre} -> {post}"
+                    )));
+                } else if dark < recruits as u64 {
+                    violations.push(fail(format!(
+                        "inject_colour({recruits}) left only {dark} dark agents of colour {}",
+                        colour.index()
+                    )));
+                }
+            }
+            Shock::RetireColour {
+                colour,
+                replacement,
+            } => {
+                let c = colour.index();
+                let r = replacement.index();
+                let support = after[2 * c] + after[2 * c + 1];
+                let expected_dark_r = before[2 * r + 1] + before[2 * c] + before[2 * c + 1];
+                if post != pre {
+                    violations.push(fail(format!(
+                        "retire_colour changed population {pre} -> {post}"
+                    )));
+                } else if support != 0 {
+                    violations.push(fail(format!(
+                        "retire_colour left {support} supporters of colour {c}"
+                    )));
+                } else if after[2 * r + 1] != expected_dark_r {
+                    violations.push(fail(format!(
+                        "retire_colour moved mass wrongly: dark {r} is {} (expected {})",
+                        after[2 * r + 1],
+                        expected_dark_r
+                    )));
+                }
+            }
+            Shock::RemoveAgents { count } => {
+                if post != pre - count as u64 {
+                    violations.push(fail(format!(
+                        "remove_agents({count}) took population {pre} -> {post}"
+                    )));
+                } else if after.iter().enumerate().any(|(i, &c)| c > before[i]) {
+                    violations.push(fail(format!(
+                        "remove_agents grew a class: {before:?} -> {after:?}"
+                    )));
+                }
+            }
+        }
+    }
+    violations
+}

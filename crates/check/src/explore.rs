@@ -1,0 +1,644 @@
+//! The bounded explorers: exact breadth-first enumeration of every
+//! reachable configuration.
+//!
+//! Two explorers share one transition source — the protocol's
+//! [`PackedProtocol::outcomes`] rate table:
+//!
+//! * [`explore_counts`] walks **count configurations** (class-count
+//!   vectors) and is exact on the complete graph, where exchangeability
+//!   makes the pair distribution a function of counts alone;
+//! * [`explore_agents`] walks **per-agent configurations** (one packed
+//!   word per agent, bit-packed into a `u64` key) and is exact on any
+//!   topology, at the price of the larger per-agent state space.
+//!
+//! Both fail closed: a protocol without an `outcomes` table, a declared
+//! distribution that does not sum to 1, or an exploration that hits the
+//! state cap before exhausting the reachable set is an error, never a
+//! silent pass.
+
+use crate::report::{Cause, CheckReport, TraceStep, Violation};
+use pp_engine::PackedProtocol;
+use pp_graph::Topology;
+use std::collections::HashMap;
+
+/// Violations recorded per check before the rest are summarised away.
+pub const MAX_VIOLATIONS: usize = 8;
+
+/// Absolute tolerance when comparing exact transition probabilities.
+pub const PROB_EPS: f64 = 1e-9;
+
+/// One exact transition out of a configuration.
+#[derive(Debug, Clone)]
+pub struct Edge {
+    /// Packed word of the scheduled agent.
+    pub scheduled: u32,
+    /// Packed word(s) observed.
+    pub observed: Vec<u32>,
+    /// Packed word the scheduled agent moves to (differs from
+    /// `scheduled`).
+    pub next: u32,
+    /// Exact probability of this transition in one time-step.
+    pub prob: f64,
+}
+
+/// A per-configuration predicate over class counts (indexed by packed
+/// word). Returns `Some((cause, detail))` when the configuration violates
+/// the property.
+pub struct Invariant {
+    /// Property name for the report.
+    pub name: &'static str,
+    /// The predicate.
+    #[allow(clippy::type_complexity)]
+    pub check: Box<dyn Fn(&[u64]) -> Option<(Cause, String)>>,
+}
+
+impl Invariant {
+    /// Wraps a predicate closure.
+    pub fn new(
+        name: &'static str,
+        check: impl Fn(&[u64]) -> Option<(Cause, String)> + 'static,
+    ) -> Self {
+        Invariant {
+            name,
+            check: Box::new(check),
+        }
+    }
+}
+
+/// The population never changes size: `Σ counts == n`.
+pub fn population_conserved(n: u64) -> Invariant {
+    Invariant::new("population-conservation", move |counts| {
+        let total: u64 = counts.iter().sum();
+        (total != n).then(|| {
+            (
+                Cause::PopulationChanged,
+                format!("population {total} != {n}"),
+            )
+        })
+    })
+}
+
+/// The paper's sustainability invariant: every colour keeps at least one
+/// dark agent (packed word `2i | 1`), on any topology — the one-way rule
+/// can only soften a dark agent that observes *another* dark agent of its
+/// colour.
+pub fn sustainability(k: usize) -> Invariant {
+    Invariant::new("sustainability", move |counts| {
+        (0..k).find_map(|i| {
+            let dark = counts.get(2 * i + 1).copied().unwrap_or(0);
+            (dark == 0).then(|| {
+                (
+                    Cause::LastDarkKilled,
+                    format!("colour {i} has no dark agent left"),
+                )
+            })
+        })
+    })
+}
+
+/// Consensus-protocol support monotonicity: a class absent from the seed
+/// configuration can never gain an agent (adoption requires observing a
+/// supporter).
+pub fn support_never_grows(seed_counts: &[u64]) -> Invariant {
+    let seed = seed_counts.to_vec();
+    Invariant::new("support-monotone", move |counts| {
+        counts.iter().enumerate().find_map(|(w, &c)| {
+            (c > 0 && seed.get(w).copied().unwrap_or(0) == 0).then(|| {
+                (
+                    Cause::ExtinctColourRevived,
+                    format!("class {w} revived from extinction"),
+                )
+            })
+        })
+    })
+}
+
+/// Validates and returns the protocol's declared outcome distribution for
+/// one interaction, failing closed on a missing or malformed table.
+pub fn checked_outcomes<P: PackedProtocol + ?Sized>(
+    protocol: &P,
+    me: u32,
+    observed: &[u32],
+    num_words: u32,
+) -> Result<Vec<(u32, f64)>, (Cause, String)> {
+    let Some(outs) = protocol.outcomes(me, observed) else {
+        return Err((
+            Cause::Unverifiable,
+            format!(
+                "protocol `{}` declares no exact outcome distribution (PackedProtocol::outcomes)",
+                protocol.name()
+            ),
+        ));
+    };
+    let mut total = 0.0;
+    for &(next, p) in &outs {
+        if !(0.0..=1.0 + PROB_EPS).contains(&p) {
+            return Err((
+                Cause::BadDistribution,
+                format!("outcome probability {p} for word {me} -> {next} outside [0, 1]"),
+            ));
+        }
+        if next >= num_words {
+            return Err((
+                Cause::ClassOutOfRange,
+                format!("outcome word {next} outside the {num_words}-class universe"),
+            ));
+        }
+        total += p;
+    }
+    if (total - 1.0).abs() > 1e-6 {
+        return Err((
+            Cause::BadDistribution,
+            format!("outcome distribution for word {me} sums to {total}"),
+        ));
+    }
+    Ok(outs)
+}
+
+/// Enumerates every observation tuple (independent uniform draws over the
+/// `n − 1` other agents, with replacement) with its probability, calling
+/// `f(observed, p_obs)` per tuple of positive probability.
+fn enumerate_count_obs(
+    counts: &[u64],
+    scheduled: usize,
+    m: usize,
+    obs: &mut Vec<u32>,
+    p_acc: f64,
+    f: &mut impl FnMut(&[u32], f64),
+) {
+    if obs.len() == m {
+        f(obs, p_acc);
+        return;
+    }
+    let n: u64 = counts.iter().sum();
+    for (o, &c) in counts.iter().enumerate() {
+        let avail = c - u64::from(o == scheduled);
+        if avail == 0 {
+            continue;
+        }
+        let p = avail as f64 / (n - 1) as f64;
+        obs.push(o as u32);
+        enumerate_count_obs(counts, scheduled, m, obs, p_acc * p, f);
+        obs.pop();
+    }
+}
+
+/// Every transition out of a count configuration on the complete graph:
+/// `(successor counts, edge)` pairs, self-loops omitted.
+///
+/// Edge probability is exact by exchangeability: the scheduled agent is a
+/// uniform draw (`c_s / n`), each observation an independent uniform draw
+/// over the other `n − 1` agents (`(c_o − [o = s]) / (n − 1)`), the
+/// outcome weight the protocol's declared rate.
+#[allow(clippy::type_complexity)]
+pub fn count_successors<P: PackedProtocol + ?Sized>(
+    protocol: &P,
+    counts: &[u64],
+    observations: usize,
+) -> Result<Vec<(Vec<u64>, Edge)>, (Cause, String)> {
+    let num_words = counts.len() as u32;
+    let n: u64 = counts.iter().sum();
+    assert!(n >= 2, "count exploration needs at least 2 agents");
+    let mut out = Vec::new();
+    let mut err = None;
+    for s in 0..counts.len() {
+        if counts[s] == 0 {
+            continue;
+        }
+        let p_sched = counts[s] as f64 / n as f64;
+        let mut obs = Vec::with_capacity(observations);
+        enumerate_count_obs(counts, s, observations, &mut obs, 1.0, &mut |obs, p_obs| {
+            if err.is_some() {
+                return;
+            }
+            match checked_outcomes(protocol, s as u32, obs, num_words) {
+                Ok(outs) => {
+                    for (next, p) in outs {
+                        let prob = p_sched * p_obs * p;
+                        if next == s as u32 || prob <= 0.0 {
+                            continue;
+                        }
+                        let mut succ = counts.to_vec();
+                        succ[s] -= 1;
+                        succ[next as usize] += 1;
+                        out.push((
+                            succ,
+                            Edge {
+                                scheduled: s as u32,
+                                observed: obs.to_vec(),
+                                next,
+                                prob,
+                            },
+                        ));
+                    }
+                }
+                Err(e) => err = Some(e),
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+    }
+    Ok(out)
+}
+
+/// The full reachable set of count configurations from one seed, with
+/// parent pointers for counterexample traces.
+#[derive(Debug)]
+pub struct CountExploration {
+    /// Every reachable configuration, in BFS discovery order (`configs[0]`
+    /// is the seed).
+    pub configs: Vec<Vec<u64>>,
+    /// Configuration → index in `configs`.
+    pub index: HashMap<Vec<u64>, usize>,
+    /// Transitions followed (including rediscoveries).
+    pub edges: u64,
+    /// `true` if the state cap stopped the walk early (the run proves
+    /// nothing; treat as failure).
+    pub truncated: bool,
+    parents: Vec<Option<(usize, Edge)>>,
+}
+
+impl CountExploration {
+    /// The explored path from the seed to configuration `idx`.
+    pub fn trace_to(&self, idx: usize) -> Vec<TraceStep> {
+        let mut steps = Vec::new();
+        let mut at = idx;
+        while let Some((parent, edge)) = &self.parents[at] {
+            steps.push(TraceStep {
+                counts: self.configs[*parent].clone(),
+                scheduled: edge.scheduled,
+                observed: edge.observed.clone(),
+                next: edge.next,
+                prob: edge.prob,
+            });
+            at = *parent;
+        }
+        steps.reverse();
+        steps
+    }
+}
+
+/// Exhaustive BFS over count configurations on the complete graph.
+///
+/// Fails closed: a missing/malformed rate table aborts with its cause, and
+/// hitting `max_states` marks the exploration truncated.
+pub fn explore_counts<P: PackedProtocol + ?Sized>(
+    protocol: &P,
+    seed: &[u64],
+    observations: usize,
+    max_states: usize,
+) -> Result<CountExploration, (Cause, String)> {
+    let mut expl = CountExploration {
+        configs: vec![seed.to_vec()],
+        index: HashMap::from([(seed.to_vec(), 0)]),
+        edges: 0,
+        truncated: false,
+        parents: vec![None],
+    };
+    let mut head = 0;
+    while head < expl.configs.len() {
+        let counts = expl.configs[head].clone();
+        for (succ, edge) in count_successors(protocol, &counts, observations)? {
+            expl.edges += 1;
+            if expl.index.contains_key(&succ) {
+                continue;
+            }
+            if expl.configs.len() >= max_states {
+                expl.truncated = true;
+                return Ok(expl);
+            }
+            let idx = expl.configs.len();
+            expl.index.insert(succ.clone(), idx);
+            expl.configs.push(succ);
+            expl.parents.push(Some((head, edge)));
+        }
+        head += 1;
+    }
+    Ok(expl)
+}
+
+/// Runs every invariant over every explored count configuration,
+/// returning at most [`MAX_VIOLATIONS`] violations with their traces.
+pub fn check_invariants_counts(
+    expl: &CountExploration,
+    invariants: &[Invariant],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (idx, counts) in expl.configs.iter().enumerate() {
+        for inv in invariants {
+            if violations.len() >= MAX_VIOLATIONS {
+                return violations;
+            }
+            if let Some((cause, detail)) = (inv.check)(counts) {
+                violations.push(Violation {
+                    property: inv.name.to_string(),
+                    cause,
+                    detail,
+                    trace: expl.trace_to(idx),
+                    counts: counts.clone(),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// The per-agent reachable set: one bit-packed `u64` key per
+/// configuration.
+#[derive(Debug)]
+pub struct AgentExploration {
+    /// Population size.
+    pub n: usize,
+    /// Class-universe size (packed words are `< num_words`).
+    pub num_words: u32,
+    /// Every reachable configuration key, in BFS discovery order.
+    pub configs: Vec<u64>,
+    /// Key → index in `configs`.
+    pub index: HashMap<u64, usize>,
+    /// Transitions followed (including rediscoveries).
+    pub edges: u64,
+    /// `true` if the state cap stopped the walk early.
+    pub truncated: bool,
+    bits: u32,
+    parents: Vec<Option<(usize, Edge)>>,
+}
+
+impl AgentExploration {
+    /// Decodes a configuration key into per-agent packed words.
+    pub fn decode(&self, key: u64) -> Vec<u32> {
+        decode_key(key, self.n, self.bits)
+    }
+
+    /// Class counts (indexed by packed word) of a configuration key.
+    pub fn counts_of(&self, key: u64) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_words as usize];
+        for w in self.decode(key) {
+            counts[w as usize] += 1;
+        }
+        counts
+    }
+
+    /// The explored path from the seed to configuration `idx`.
+    pub fn trace_to(&self, idx: usize) -> Vec<TraceStep> {
+        let mut steps = Vec::new();
+        let mut at = idx;
+        while let Some((parent, edge)) = &self.parents[at] {
+            steps.push(TraceStep {
+                counts: self.counts_of(self.configs[*parent]),
+                scheduled: edge.scheduled,
+                observed: edge.observed.clone(),
+                next: edge.next,
+                prob: edge.prob,
+            });
+            at = *parent;
+        }
+        steps.reverse();
+        steps
+    }
+}
+
+fn key_bits(num_words: u32) -> u32 {
+    u32::BITS - num_words.saturating_sub(1).leading_zeros().min(31)
+}
+
+fn encode_key(states: &[u32], bits: u32) -> u64 {
+    let mut key = 0u64;
+    for (i, &w) in states.iter().enumerate() {
+        key |= (w as u64) << (bits * i as u32);
+    }
+    key
+}
+
+fn decode_key(key: u64, n: usize, bits: u32) -> Vec<u32> {
+    let mask = (1u64 << bits) - 1;
+    (0..n)
+        .map(|i| ((key >> (bits * i as u32)) & mask) as u32)
+        .collect()
+}
+
+/// Exhaustive BFS over per-agent configurations on an arbitrary topology.
+///
+/// Exact on any graph: the scheduled agent is uniform over the `n`
+/// agents, each observation an independent uniform draw over the
+/// scheduled agent's neighbourhood (the engines' documented sampling
+/// model), the outcome weight the protocol's declared rate.
+///
+/// # Panics
+///
+/// Panics if the configuration does not fit a `u64` key
+/// (`n · ⌈log₂ num_words⌉ > 64`) or the topology size differs from the
+/// seed length.
+pub fn explore_agents<P: PackedProtocol + ?Sized, T: Topology + ?Sized>(
+    protocol: &P,
+    topology: &T,
+    seed: &[u32],
+    num_words: u32,
+    observations: usize,
+    max_states: usize,
+) -> Result<AgentExploration, (Cause, String)> {
+    let n = seed.len();
+    assert_eq!(topology.len(), n, "topology size != seed population");
+    let bits = key_bits(num_words).max(1);
+    assert!(
+        bits * n as u32 <= 64,
+        "configuration does not fit a u64 key: {n} agents x {bits} bits"
+    );
+    let seed_key = encode_key(seed, bits);
+    let mut expl = AgentExploration {
+        n,
+        num_words,
+        configs: vec![seed_key],
+        index: HashMap::from([(seed_key, 0)]),
+        edges: 0,
+        truncated: false,
+        bits,
+        parents: vec![None],
+    };
+    let neighbourhoods: Vec<Vec<usize>> = (0..n).map(|u| topology.neighbors(u)).collect();
+    let mut head = 0;
+    while head < expl.configs.len() {
+        let key = expl.configs[head];
+        let states = decode_key(key, n, bits);
+        for (u, nbrs) in neighbourhoods.iter().enumerate() {
+            let me = states[u];
+            let p_base = 1.0 / n as f64 / (nbrs.len() as f64).powi(observations as i32);
+            let mut obs = Vec::with_capacity(observations);
+            let mut err = None;
+            enumerate_agent_obs(&states, nbrs, observations, &mut obs, &mut |obs| {
+                if err.is_some() {
+                    return;
+                }
+                match checked_outcomes(protocol, me, obs, num_words) {
+                    Ok(outs) => {
+                        for (next, p) in outs {
+                            let prob = p_base * p;
+                            if next == me || prob <= 0.0 {
+                                continue;
+                            }
+                            expl.edges += 1;
+                            let succ_key = key ^ (((me ^ next) as u64) << (bits * u as u32));
+                            if expl.index.contains_key(&succ_key) {
+                                continue;
+                            }
+                            if expl.configs.len() >= max_states {
+                                expl.truncated = true;
+                                return;
+                            }
+                            let idx = expl.configs.len();
+                            expl.index.insert(succ_key, idx);
+                            expl.configs.push(succ_key);
+                            expl.parents.push(Some((
+                                head,
+                                Edge {
+                                    scheduled: me,
+                                    observed: obs.to_vec(),
+                                    next,
+                                    prob,
+                                },
+                            )));
+                        }
+                    }
+                    Err(e) => err = Some(e),
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+            if expl.truncated {
+                return Ok(expl);
+            }
+        }
+        head += 1;
+    }
+    Ok(expl)
+}
+
+/// Enumerates observation tuples over a neighbourhood (independent
+/// uniform draws, with replacement); the per-tuple probability is the
+/// caller's uniform `deg^-m` factor.
+fn enumerate_agent_obs(
+    states: &[u32],
+    nbrs: &[usize],
+    m: usize,
+    obs: &mut Vec<u32>,
+    f: &mut impl FnMut(&[u32]),
+) {
+    if obs.len() == m {
+        f(obs);
+        return;
+    }
+    // Deduplicate by observed word: identical words give identical
+    // outcomes, so enumerate each distinct word once with multiplicity
+    // folded into the caller's uniform factor — except the factor is
+    // per-tuple uniform, so multiplicity must multiply the outcome
+    // weight. Keep it simple and exact: enumerate every neighbour.
+    for &v in nbrs {
+        obs.push(states[v]);
+        enumerate_agent_obs(states, nbrs, m, obs, f);
+        obs.pop();
+    }
+}
+
+/// Runs every invariant over every explored per-agent configuration.
+pub fn check_invariants_agents(
+    expl: &AgentExploration,
+    invariants: &[Invariant],
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for (idx, &key) in expl.configs.iter().enumerate() {
+        let counts = expl.counts_of(key);
+        for inv in invariants {
+            if violations.len() >= MAX_VIOLATIONS {
+                return violations;
+            }
+            if let Some((cause, detail)) = (inv.check)(&counts) {
+                violations.push(Violation {
+                    property: inv.name.to_string(),
+                    cause,
+                    detail,
+                    trace: expl.trace_to(idx),
+                    counts,
+                });
+                break;
+            }
+        }
+    }
+    violations
+}
+
+/// One-call count-space check: explore from `seed` and evaluate
+/// `invariants` over the reachable set, assembling a [`CheckReport`].
+pub fn check_counts<P: PackedProtocol + ?Sized>(
+    protocol: &P,
+    seed: &[u64],
+    observations: usize,
+    invariants: &[Invariant],
+    max_states: usize,
+) -> CheckReport {
+    let n: u64 = seed.iter().sum();
+    let mut report = CheckReport {
+        protocol: protocol.name(),
+        topology: "complete".to_string(),
+        n: n as usize,
+        ..CheckReport::default()
+    };
+    match explore_counts(protocol, seed, observations, max_states) {
+        Ok(expl) => {
+            report.states_explored = expl.configs.len();
+            report.edges = expl.edges;
+            report.truncated = expl.truncated;
+            report.violations = check_invariants_counts(&expl, invariants);
+        }
+        Err((cause, detail)) => report.violations.push(Violation {
+            property: "rate-table".to_string(),
+            cause,
+            detail,
+            trace: Vec::new(),
+            counts: seed.to_vec(),
+        }),
+    }
+    report
+}
+
+/// One-call per-agent check: explore from `seed` on `topology` and
+/// evaluate `invariants` over the reachable set.
+pub fn check_agents<P: PackedProtocol + ?Sized, T: Topology + ?Sized>(
+    protocol: &P,
+    topology: &T,
+    seed: &[u32],
+    num_words: u32,
+    observations: usize,
+    invariants: &[Invariant],
+    max_states: usize,
+) -> CheckReport {
+    let mut report = CheckReport {
+        protocol: protocol.name(),
+        topology: topology.name(),
+        n: seed.len(),
+        ..CheckReport::default()
+    };
+    match explore_agents(
+        protocol,
+        topology,
+        seed,
+        num_words,
+        observations,
+        max_states,
+    ) {
+        Ok(expl) => {
+            report.states_explored = expl.configs.len();
+            report.edges = expl.edges;
+            report.truncated = expl.truncated;
+            report.violations = check_invariants_agents(&expl, invariants);
+        }
+        Err((cause, detail)) => report.violations.push(Violation {
+            property: "rate-table".to_string(),
+            cause,
+            detail,
+            trace: Vec::new(),
+            counts: Vec::new(),
+        }),
+    }
+    report
+}

@@ -1,0 +1,283 @@
+//! Fail-closed bounded model checking for population protocols.
+//!
+//! The statistical equivalence batteries (`pp-stats`) reject injected
+//! bugs at `p < 1e-6` — but only bugs that *change a distribution the
+//! harness samples*. A transition that is wrong in a corner the uniform
+//! seeding never reaches, or wrong identically on every tier, is
+//! invisible to them. This crate closes that gap with exhaustive
+//! exploration at small `n`: every reachable configuration is enumerated
+//! from the protocol's exact rate table
+//! ([`PackedProtocol::outcomes`](pp_engine::PackedProtocol::outcomes)),
+//! every invariant checked at every configuration, and every failure
+//! reported with a concrete counterexample trace.
+//!
+//! Fail-closed means the checker never passes by omission:
+//!
+//! * a protocol without a rate table is a violation
+//!   ([`Cause::Unverifiable`]), not a skip;
+//! * an exploration that hits its state cap is truncated and
+//!   [`CheckReport::passed`] is `false`;
+//! * a declared distribution that does not sum to 1 aborts the walk.
+//!
+//! The checks (see EXPERIMENTS.md, "Model checking" for the property
+//! table):
+//!
+//! | check | what it proves |
+//! |---|---|
+//! | [`check_counts`] / [`check_agents`] | invariants hold at **every** reachable configuration (count space on the complete graph; per-agent space on any topology) |
+//! | [`check_dense_rates`] | the dense tier's rate table and batch caps equal the exact dynamics at every reachable configuration (sustainability-boundary exactness) |
+//! | [`check_engine_stays_reachable`] / [`check_engine_one_step_support`] | every engine tier's transitions stay inside the exact reachable set / one-step support |
+//! | [`check_shock_invariants`] | every [`Shock`](pp_adversary::Shock) variant preserves its monotone invariants through the `Engine` mutation surface |
+//!
+//! [`BuggedDiversification`] is the gate's negative control: a
+//! rule-2 bug implemented consistently on every tier (so no equivalence
+//! battery can reject it) that the explorer refutes with a
+//! last-dark-killed trace in milliseconds.
+//!
+//! # Examples
+//!
+//! ```
+//! use pp_check::{check_counts, population_conserved, sustainability};
+//! use pp_core::{Diversification, Weights};
+//!
+//! let protocol = Diversification::new(Weights::uniform(2));
+//! // n = 8 all-dark-balanced over 2 colours: words 1 and 3 are dark.
+//! let seed = vec![0u64, 4, 0, 4];
+//! let report = check_counts(
+//!     &protocol,
+//!     &seed,
+//!     1,
+//!     &[population_conserved(8), sustainability(2)],
+//!     100_000,
+//! );
+//! assert!(report.passed(), "{:?}", report.violations);
+//! ```
+
+mod bugged;
+mod crosscheck;
+mod explore;
+mod report;
+
+pub use bugged::BuggedDiversification;
+pub use crosscheck::{
+    chain_counts_of_words, check_dense_rates, check_engine_one_step_support,
+    check_engine_stays_reachable, check_shock_invariants, pad_counts,
+};
+pub use explore::{
+    check_agents, check_counts, check_invariants_agents, check_invariants_counts, checked_outcomes,
+    count_successors, explore_agents, explore_counts, population_conserved, support_never_grows,
+    sustainability, AgentExploration, CountExploration, Edge, Invariant, MAX_VIOLATIONS, PROB_EPS,
+};
+pub use report::{Cause, CheckReport, TraceStep, Violation};
+
+use pp_core::AgentState;
+use pp_engine::{
+    Engine, PackedProtocol, PackedSimulator, Protocol, ShardedSimulator, Simulator, TurboSimulator,
+    VecSimulator,
+};
+use pp_graph::Complete;
+
+/// The five per-agent engine tiers over the complete graph, each started
+/// at the same configuration, labelled for reports. (The dense tier needs
+/// [`CountProtocol`](pp_dense::CountProtocol) and is built separately.)
+#[allow(clippy::type_complexity)]
+pub fn complete_tiers<P, S>(
+    protocol: &P,
+    states: &[S],
+    seed: u64,
+) -> Vec<(&'static str, Box<dyn Engine<State = S>>)>
+where
+    P: Protocol<State = S> + PackedProtocol<State = S> + Clone + 'static,
+    S: Clone + std::fmt::Debug + Send + Sync + 'static,
+{
+    let n = states.len();
+    vec![
+        (
+            "agent",
+            Box::new(Simulator::new(
+                protocol.clone(),
+                Complete::new(n),
+                states.to_vec(),
+                seed,
+            )) as Box<dyn Engine<State = S>>,
+        ),
+        (
+            "packed",
+            Box::new(PackedSimulator::new(
+                protocol.clone(),
+                Complete::new(n),
+                states,
+                seed,
+            )),
+        ),
+        (
+            "turbo",
+            Box::new(TurboSimulator::<_, _, u32>::new(
+                protocol.clone(),
+                Complete::new(n),
+                states,
+                seed,
+            )),
+        ),
+        (
+            "sharded",
+            Box::new(ShardedSimulator::<_, _, u32>::new(
+                protocol.clone(),
+                Complete::new(n),
+                states,
+                seed,
+            )),
+        ),
+        (
+            "vec",
+            Box::new(VecSimulator::<_, _, u32, 1>::from_seed(
+                protocol.clone(),
+                Complete::new(n),
+                states,
+                seed,
+            )),
+        ),
+    ]
+}
+
+/// Decodes a count configuration (word-indexed) into a canonical state
+/// vector (agents sorted by packed word), for seeding per-agent engines
+/// at explored configurations.
+pub fn states_of_counts<P: PackedProtocol + ?Sized>(protocol: &P, counts: &[u64]) -> Vec<P::State> {
+    let mut states = Vec::new();
+    for (w, &c) in counts.iter().enumerate() {
+        for _ in 0..c {
+            states.push(protocol.unpack(w as u32));
+        }
+    }
+    states
+}
+
+/// All-dark-balanced seed counts in packed-word indexing: `n` agents
+/// spread over `k` dark classes (words `2i + 1`), matching
+/// `init::all_dark_balanced`.
+pub fn all_dark_balanced_counts(n: u64, k: usize) -> Vec<u64> {
+    let mut counts = vec![0u64; 2 * k];
+    let base = n / k as u64;
+    let extra = (n % k as u64) as usize;
+    for i in 0..k {
+        counts[2 * i + 1] = base + u64::from(i < extra);
+    }
+    counts
+}
+
+/// All-dark-balanced seed as per-agent packed words (agents in colour
+/// order).
+pub fn all_dark_balanced_words(n: usize, k: usize) -> Vec<u32> {
+    let counts = all_dark_balanced_counts(n as u64, k);
+    let mut words = Vec::with_capacity(n);
+    for (w, &c) in counts.iter().enumerate() {
+        for _ in 0..c {
+            words.push(w as u32);
+        }
+    }
+    words
+}
+
+/// Full gate for a Diversification-shaped protocol on the complete graph:
+/// exhaustive count exploration with the sustainability and population
+/// invariants, dense rate/boundary agreement, tier reachability across
+/// all five per-agent tiers plus one-step support on the bit-exact ones,
+/// and shock monotone invariants — one [`CheckReport`] with every
+/// violation found.
+pub fn gate_diversification_complete<P>(
+    protocol: &P,
+    n: u64,
+    max_states: usize,
+    tier_steps: u64,
+) -> CheckReport
+where
+    P: Protocol<State = AgentState>
+        + PackedProtocol<State = AgentState>
+        + pp_dense::CountProtocol
+        + HasWeights
+        + Clone
+        + Send
+        + 'static,
+{
+    let k = protocol.weights_len();
+    let seed = all_dark_balanced_counts(n, k);
+    let num_words = 2 * k;
+    let mut report = check_counts(
+        protocol,
+        &seed,
+        1,
+        &[population_conserved(n), sustainability(k)],
+        max_states,
+    );
+    let expl = match explore_counts(protocol, &seed, 1, max_states) {
+        Ok(e) => e,
+        Err(_) => return report, // already reported by check_counts
+    };
+    if expl.truncated {
+        return report;
+    }
+    report
+        .violations
+        .extend(check_dense_rates(protocol, k, &expl));
+    let reachable: std::collections::HashSet<Vec<u64>> = expl.configs.iter().cloned().collect();
+    let states = states_of_counts(protocol, &seed);
+    for (tier, mut engine) in complete_tiers(protocol, &states, 7) {
+        if let Some(v) =
+            check_engine_stays_reachable(tier, engine.as_mut(), &reachable, num_words, tier_steps)
+        {
+            report.violations.push(v);
+        }
+    }
+    let mut dense = pp_dense::DenseEngine::from_states(protocol.clone(), &states, k, 7);
+    if let Some(v) =
+        check_engine_stays_reachable("dense", &mut dense, &reachable, num_words, tier_steps)
+    {
+        report.violations.push(v);
+    }
+    for (tier, mut engine) in complete_tiers(protocol, &states, 8) {
+        if !matches!(tier, "agent" | "packed") {
+            continue; // one-step support is exact only on the bit-exact tiers
+        }
+        if let Some(v) =
+            check_engine_one_step_support(tier, engine.as_mut(), protocol, 1, num_words)
+        {
+            report.violations.push(v);
+        }
+    }
+    let shocks = pp_adversary::Shock::enumerate(n as usize, k);
+    let proto = protocol.clone();
+    let states_for_shock = states.clone();
+    let mut make = move || {
+        Box::new(Simulator::new(
+            proto.clone(),
+            Complete::new(states_for_shock.len()),
+            states_for_shock.clone(),
+            9,
+        )) as Box<dyn Engine<State = AgentState>>
+    };
+    report.violations.extend(check_shock_invariants(
+        "agent", &mut make, &shocks, num_words, 11,
+    ));
+    report.violations.truncate(MAX_VIOLATIONS);
+    report
+}
+
+/// `Weights::len` without naming the concrete protocol type — the two
+/// Diversification variants both expose their weight table.
+pub trait HasWeights {
+    /// Number of colours in the weight table.
+    fn weights_len(&self) -> usize;
+}
+
+impl HasWeights for pp_core::Diversification {
+    fn weights_len(&self) -> usize {
+        self.num_colours()
+    }
+}
+
+impl HasWeights for BuggedDiversification {
+    fn weights_len(&self) -> usize {
+        self.num_colours()
+    }
+}

@@ -1,0 +1,156 @@
+//! Counterexample traces and the check report.
+
+use std::fmt;
+
+/// Why a property failed — a short machine-readable tag, one per failure
+/// mode, so CI and the result JSON can classify violations without parsing
+/// prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cause {
+    /// A reachable configuration lost the last dark agent of a colour
+    /// (violates the paper's sustainability invariant).
+    LastDarkKilled,
+    /// A transition changed the number of agents.
+    PopulationChanged,
+    /// A transition produced a packed word outside the declared class
+    /// universe.
+    ClassOutOfRange,
+    /// A declared outcome distribution has a probability outside `[0, 1]`
+    /// or does not sum to 1.
+    BadDistribution,
+    /// A consensus-protocol transition revived a colour with no remaining
+    /// supporters (support must be monotone non-increasing).
+    ExtinctColourRevived,
+    /// The dense tier's exact rate table disagrees with the explorer's
+    /// aggregated transition probabilities at an explored configuration.
+    RateMismatch,
+    /// The dense tier's batch cap would let a channel fire at a boundary
+    /// configuration where the exact dynamics forbid it (or vice versa).
+    BoundaryMismatch,
+    /// An engine tier stepped from an explored configuration to one
+    /// outside the exact reachable set.
+    TierDiverged,
+    /// A shock applied through the `Engine` surface broke one of its
+    /// declared monotone invariants.
+    ShockInvariant,
+    /// The protocol does not expose an exact rate table
+    /// (`PackedProtocol::outcomes` returned `None`) — fail closed: an
+    /// unverifiable protocol is a violation, not a skip.
+    Unverifiable,
+}
+
+impl Cause {
+    /// The stable tag used in tables and the result JSON.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Cause::LastDarkKilled => "last-dark-killed",
+            Cause::PopulationChanged => "population-changed",
+            Cause::ClassOutOfRange => "class-out-of-range",
+            Cause::BadDistribution => "bad-distribution",
+            Cause::ExtinctColourRevived => "extinct-colour-revived",
+            Cause::RateMismatch => "rate-mismatch",
+            Cause::BoundaryMismatch => "boundary-mismatch",
+            Cause::TierDiverged => "tier-diverged",
+            Cause::ShockInvariant => "shock-invariant",
+            Cause::Unverifiable => "unverifiable",
+        }
+    }
+}
+
+impl fmt::Display for Cause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.tag())
+    }
+}
+
+/// One step of a counterexample trace: the configuration the step left,
+/// and the transition taken out of it.
+///
+/// Configurations are class-count vectors indexed by packed word (the
+/// engine observable), so a trace reads the same regardless of whether the
+/// count-based or the per-agent explorer produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStep {
+    /// Class counts (indexed by packed word) before the transition.
+    pub counts: Vec<u64>,
+    /// Packed word of the scheduled agent.
+    pub scheduled: u32,
+    /// Packed word(s) the scheduled agent observed.
+    pub observed: Vec<u32>,
+    /// Packed word the scheduled agent transitioned to.
+    pub next: u32,
+    /// Exact probability of this transition out of `counts`.
+    pub prob: f64,
+}
+
+impl TraceStep {
+    /// Compact single-line rendering: `[counts] s --obs--> next (p=..)`.
+    pub fn render(&self) -> String {
+        let obs: Vec<String> = self.observed.iter().map(u32::to_string).collect();
+        format!(
+            "{:?} word {} observes [{}] -> {} (p={:.6})",
+            self.counts,
+            self.scheduled,
+            obs.join(","),
+            self.next,
+            self.prob
+        )
+    }
+}
+
+/// One property violation: what failed, why, and the shortest explored
+/// path from the seed configuration into the violating one.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Name of the violated property (e.g. `sustainability`).
+    pub property: String,
+    /// Machine-readable failure classification.
+    pub cause: Cause,
+    /// Human-readable specifics (which colour, which channel, which tier).
+    pub detail: String,
+    /// Configuration sequence from the seed to the violation; empty when
+    /// the violation is not tied to a reachability path (rate mismatches,
+    /// shock invariants).
+    pub trace: Vec<TraceStep>,
+    /// The violating configuration's class counts.
+    pub counts: Vec<u64>,
+}
+
+impl Violation {
+    /// The trace rendered line by line, ending at the violating counts.
+    pub fn render_trace(&self) -> Vec<String> {
+        let mut out: Vec<String> = self.trace.iter().map(TraceStep::render).collect();
+        out.push(format!("{:?} <- VIOLATION: {}", self.counts, self.cause));
+        out
+    }
+}
+
+/// The outcome of one check run: exploration size plus every violation
+/// found. Empty `violations` means the gate passes.
+#[derive(Debug, Clone, Default)]
+pub struct CheckReport {
+    /// Protocol under check.
+    pub protocol: String,
+    /// Topology family explored.
+    pub topology: String,
+    /// Population size.
+    pub n: usize,
+    /// Reachable configurations discovered.
+    pub states_explored: usize,
+    /// Transitions followed.
+    pub edges: u64,
+    /// `true` if exploration stopped at the state cap before exhausting
+    /// the reachable set — a truncated run proves nothing and callers must
+    /// treat it as a failure (fail closed).
+    pub truncated: bool,
+    /// Everything that failed.
+    pub violations: Vec<Violation>,
+}
+
+impl CheckReport {
+    /// `true` when the run explored the full reachable set and found no
+    /// violation.
+    pub fn passed(&self) -> bool {
+        !self.truncated && self.violations.is_empty()
+    }
+}

@@ -262,6 +262,30 @@ impl PackedProtocol for Diversification {
         }
     }
 
+    /// The exact rule as data, rule by rule: rule 1 is a deterministic
+    /// adopt, rule 2 a `{soften 1/wᵢ, keep 1 − 1/wᵢ}` split (collapsed to
+    /// one entry at weight 1), rule 3 a deterministic no-op. This is what
+    /// the `pp-check` explorer walks; the engines' `transition` variants
+    /// are cross-checked against its support.
+    fn outcomes(&self, me: u32, observed: &[u32]) -> Option<Vec<(u32, f64)>> {
+        let v = observed[0];
+        Some(if me & 1 == 0 {
+            // Rule 1: light adopts an observed dark word; light–light no-op.
+            vec![(if v & 1 == 1 { v } else { me }, 1.0)]
+        } else if v == me {
+            // Rule 2: a dark pair of one colour softens w.p. 1/wᵢ.
+            let p = self.weights().inverse((me >> 1) as usize);
+            if p >= 1.0 {
+                vec![(me & !1, 1.0)]
+            } else {
+                vec![(me & !1, p), (me, 1.0 - p)]
+            }
+        } else {
+            // Rule 3: everything else is a no-op.
+            vec![(me, 1.0)]
+        })
+    }
+
     fn name(&self) -> String {
         "diversification".to_string()
     }

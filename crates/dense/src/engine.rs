@@ -226,6 +226,14 @@ where
         counts[class] -= 1;
         self.sim.set_counts(counts);
     }
+
+    fn topology_name(&self) -> String {
+        "complete".to_string()
+    }
+
+    fn supports_resize(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -191,6 +191,20 @@ pub trait Engine: Send {
     /// agents, or the topology family has no canonical resize.
     fn swap_remove_agent(&mut self, u: usize);
 
+    /// Display name of the topology family the engine simulates on
+    /// (e.g. `complete`, `ring`, `torus-8x8`) — lets callers report *which*
+    /// family rejected an operation without holding the concrete type.
+    fn topology_name(&self) -> String;
+
+    /// Whether the engine's topology family has a canonical resize
+    /// ([`Topology::resized`](pp_graph::Topology::resized)), i.e. whether
+    /// the population-resizing mutations ([`push_agent`](Engine::push_agent),
+    /// [`swap_remove_agent`](Engine::swap_remove_agent), length-changing
+    /// [`set_states`](Engine::set_states)) are available. Callers that can
+    /// degrade gracefully (the adversary grid, the model checker) consult
+    /// this instead of catching the resize panic.
+    fn supports_resize(&self) -> bool;
+
     /// Runs until `pred(class_counts, step)` holds, checking every
     /// `check_every` steps (and once before the first step), for at most
     /// `max_steps` steps. Returns the step count at which the predicate
@@ -338,6 +352,14 @@ where
         self.population_mut().swap_remove(u);
         self.set_topology(topology);
     }
+
+    fn topology_name(&self) -> String {
+        self.topology().name()
+    }
+
+    fn supports_resize(&self) -> bool {
+        self.topology().resized(self.len()).is_some()
+    }
 }
 
 impl<P, T> Engine for PackedSimulator<P, T>
@@ -398,6 +420,14 @@ where
         assert!(packed.len() > 2, "removal would leave fewer than 2 agents");
         packed.swap_remove(u);
         self.replace_packed_states(packed);
+    }
+
+    fn topology_name(&self) -> String {
+        self.topology().name()
+    }
+
+    fn supports_resize(&self) -> bool {
+        self.topology().resized(self.len()).is_some()
     }
 }
 
@@ -461,6 +491,14 @@ where
         packed.swap_remove(u);
         self.replace_packed_states(packed);
     }
+
+    fn topology_name(&self) -> String {
+        self.topology().name()
+    }
+
+    fn supports_resize(&self) -> bool {
+        self.topology().resized(self.len()).is_some()
+    }
 }
 
 impl<P, T, W> Engine for ShardedSimulator<P, T, W>
@@ -522,6 +560,14 @@ where
         assert!(packed.len() > 2, "removal would leave fewer than 2 agents");
         packed.swap_remove(u);
         self.replace_packed_states(packed);
+    }
+
+    fn topology_name(&self) -> String {
+        self.topology().name()
+    }
+
+    fn supports_resize(&self) -> bool {
+        self.topology().resized(self.len()).is_some()
     }
 }
 
@@ -585,6 +631,14 @@ where
 
     fn swap_remove_agent(&mut self, u: usize) {
         self.swap_remove_packed_agent(u);
+    }
+
+    fn topology_name(&self) -> String {
+        self.topology().name()
+    }
+
+    fn supports_resize(&self) -> bool {
+        self.topology().resized(self.len()).is_some()
     }
 }
 

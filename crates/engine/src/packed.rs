@@ -171,6 +171,30 @@ pub trait PackedProtocol: Send + Sync {
         }
     }
 
+    /// The exact outcome distribution of one activation, for the bounded
+    /// model checker (`pp-check`): given the scheduled agent's packed word
+    /// and its observed packed word(s), the full list of
+    /// `(next packed word, probability)` pairs with probabilities summing
+    /// to 1.
+    ///
+    /// This is the protocol's transition rule as *data* instead of as a
+    /// sampling procedure — the explorer enumerates every reachable
+    /// configuration and follows every outcome with positive probability,
+    /// which a `transition` call (one sample per invocation) cannot
+    /// provide. Implementations must describe exactly the distribution
+    /// `transition` samples from; the checker cross-validates this by
+    /// single-stepping every engine tier at explored configurations and
+    /// asserting the result lands in the declared support.
+    ///
+    /// The default returns `None`, and the checker treats that as a
+    /// **fail-closed** condition: a protocol without an exact rate table
+    /// cannot be model-checked and is reported as unverifiable rather
+    /// than silently skipped.
+    fn outcomes(&self, me: u32, observed: &[u32]) -> Option<Vec<(u32, f64)>> {
+        let _ = (me, observed);
+        None
+    }
+
     /// Short protocol name for experiment tables.
     fn name(&self) -> String;
 }

@@ -1,0 +1,167 @@
+//! Property tests for the `Engine` population-mutation surface: a
+//! `push_agent` followed by `swap_remove_agent(len() - 1)` must round-trip
+//! the class counts bit-exactly on every tier (the shock machinery in
+//! `pp-adversary` and the model-check gate in `pp-check` both lean on
+//! this), and removal at the 2-agent floor must be rejected everywhere.
+
+use pp_core::{init, AgentState, Colour, Diversification, Weights};
+use pp_dense::DenseEngine;
+use pp_engine::{
+    Engine, PackedSimulator, ShardedSimulator, Simulator, TurboSimulator, VecSimulator,
+};
+use pp_graph::Complete;
+use proptest::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// All six engine tiers over the complete graph at the same start.
+fn tiers(
+    n: usize,
+    k: usize,
+    seed: u64,
+) -> Vec<(&'static str, Box<dyn Engine<State = AgentState>>)> {
+    let weights = Weights::uniform(k);
+    let protocol = || Diversification::new(weights.clone());
+    let states = init::all_dark_balanced(n, &weights);
+    vec![
+        (
+            "agent",
+            Box::new(Simulator::new(
+                protocol(),
+                Complete::new(n),
+                states.clone(),
+                seed,
+            )) as Box<dyn Engine<State = AgentState>>,
+        ),
+        (
+            "packed",
+            Box::new(PackedSimulator::new(
+                protocol(),
+                Complete::new(n),
+                &states,
+                seed,
+            )),
+        ),
+        (
+            "turbo",
+            Box::new(TurboSimulator::<_, _, u32>::new(
+                protocol(),
+                Complete::new(n),
+                &states,
+                seed,
+            )),
+        ),
+        (
+            "sharded",
+            Box::new(ShardedSimulator::<_, _, u32>::new(
+                protocol(),
+                Complete::new(n),
+                &states,
+                seed,
+            )),
+        ),
+        (
+            "vec",
+            Box::new(VecSimulator::<_, _, u32, 1>::from_seed(
+                protocol(),
+                Complete::new(n),
+                &states,
+                seed,
+            )),
+        ),
+        (
+            "dense",
+            Box::new(DenseEngine::from_states(protocol(), &states, k, seed)),
+        ),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn push_then_swap_remove_last_round_trips_class_counts(
+        n in 5usize..40,
+        k in 2usize..5,
+        colour in 0usize..5,
+        steps in 0u64..500,
+        seed in 0u64..20,
+    ) {
+        let k = k.min(n); // balanced init needs an agent per colour
+        let colour = colour % k;
+        for (tier, mut sim) in tiers(n, k, seed) {
+            // Mutate a *running* population, not just the seed state: the
+            // round-trip must hold wherever a shock lands.
+            sim.run(steps);
+            let before = sim.class_counts();
+            let newcomer = AgentState::dark(Colour::new(colour));
+
+            sim.push_agent(&newcomer);
+            prop_assert_eq!(sim.len(), n + 1, "{}: push must grow by one", tier);
+            let mut expected = before.clone();
+            expected[2 * colour + 1] += 1;
+            prop_assert_eq!(
+                &sim.class_counts(),
+                &expected,
+                "{}: push must add exactly one agent of the pushed class",
+                tier
+            );
+
+            // Removing the pushed agent must undo the push bit for bit. On
+            // the per-agent tiers it sits at the end (`len() - 1`); the
+            // dense tier has no per-agent identity and orders agents
+            // canonically by class, so the pushed agent is the last index
+            // holding its state.
+            let idx = (0..sim.len())
+                .rev()
+                .find(|&u| sim.state(u) == newcomer)
+                .expect("the pushed state must be present");
+            if tier != "dense" {
+                prop_assert_eq!(idx, sim.len() - 1, "{}: push appends", tier);
+            }
+            sim.swap_remove_agent(idx);
+            prop_assert_eq!(sim.len(), n, "{}: remove must shrink by one", tier);
+            prop_assert_eq!(
+                &sim.class_counts(),
+                &before,
+                "{}: push/swap_remove(len-1) must round-trip the class counts",
+                tier
+            );
+        }
+    }
+
+    #[test]
+    fn swap_remove_of_interior_agent_preserves_population(
+        n in 4usize..30,
+        k in 2usize..4,
+        u in 0usize..30,
+        seed in 0u64..20,
+    ) {
+        let u = u % (n - 1); // any slot but the last: exercises the swap
+        for (tier, mut sim) in tiers(n, k, seed) {
+            let before: u64 = sim.class_counts().iter().sum();
+            sim.swap_remove_agent(u);
+            prop_assert_eq!(sim.len(), n - 1, "{}", tier);
+            let after: u64 = sim.class_counts().iter().sum();
+            prop_assert_eq!(after, before - 1, "{}: exactly one agent leaves", tier);
+        }
+    }
+}
+
+#[test]
+fn swap_remove_at_the_two_agent_floor_is_rejected_on_every_tier() {
+    for (tier, mut sim) in tiers(3, 2, 5) {
+        // 3 agents: one removal is fine, the next would cross the floor.
+        sim.swap_remove_agent(0);
+        assert_eq!(sim.len(), 2, "{tier}");
+        let err = catch_unwind(AssertUnwindSafe(|| sim.swap_remove_agent(0)))
+            .expect_err("removing below 2 agents must panic");
+        let msg = err
+            .downcast_ref::<String>()
+            .map(String::as_str)
+            .or_else(|| err.downcast_ref::<&str>().copied())
+            .unwrap_or("");
+        assert!(
+            msg.contains("fewer than 2"),
+            "{tier}: panic message should name the floor, got `{msg}`"
+        );
+        assert_eq!(sim.len(), 2, "{tier}: failed removal must not mutate");
+    }
+}
