@@ -16,7 +16,7 @@
 //!   robustness claim.
 //!
 //! Everything is generic over the
-//! [`pp_engine::Engine`](pp_engine::Engine) contract, so the same
+//! [`pp_engine::Engine`] contract, so the same
 //! adversarial processes run on the generic reference engine, the packed
 //! and turbo fast paths, the sharded multi-core engine, and (for
 //! complete-graph workloads) the count-based dense engine — whichever

@@ -8,7 +8,7 @@
 //! share while the cycle — diameter `n/2` — lags far behind at equal
 //! budget.
 //!
-//! Every family runs through the generic [`Engine`](pp_engine::Engine)
+//! Every family runs through the generic [`Engine`]
 //! path: `PP_ENGINE` selects the tier (packed by default — the dense
 //! complete-graph default maps to its per-agent sibling via
 //! [`EngineKind::per_agent`]), and the whole (family × seed) grid is

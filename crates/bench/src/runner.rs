@@ -4,7 +4,7 @@
 //! [`build_graph_engine`] are the bench layer's single dispatch point from
 //! [`EngineKind`] to a concrete simulator, returning a
 //! `Box<dyn Engine<State = AgentState>>` every experiment drives through
-//! the generic [`Engine`](pp_engine::Engine) surface. Adding an engine
+//! the generic [`Engine`] surface. Adding an engine
 //! tier (or a workload) no longer touches every experiment file.
 
 use pp_core::{

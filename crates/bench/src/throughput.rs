@@ -36,7 +36,7 @@
 //! replicas at `n = 10⁵` on the torus, run once through the work-stealing
 //! scalar path (`replicate` + [`TurboSimulator`], one engine per seed)
 //! and once through the lane-parallel path
-//! ([`replicate_vec`](pp_engine::replicate_vec) + `VecSimulator`, 32
+//! ([`replicate_vec`] + `VecSimulator`, 32
 //! seeds per step loop). Both rows report **replica-steps** per second —
 //! equal simulated work, so the ratio is the ensemble speedup the vec
 //! tier buys.
@@ -274,7 +274,7 @@ pub const ENSEMBLE_LANES: usize = 32;
 /// Times a fixed ensemble workload — `replicas` independent seeds, each
 /// simulated for `steps` time-steps at `n = 10⁵` on the torus — through
 /// the work-stealing scalar path: one `u8` turbo engine per seed,
-/// scheduled by [`replicate`]. The returned `steps` field counts
+/// scheduled by [`replicate`](pp_engine::replicate()). The returned `steps` field counts
 /// **replica-steps** (summed over replicas), so rates compare 1:1 with
 /// [`measure_replicate_vec`].
 pub fn measure_replicate_turbo(replicas: usize, steps: u64, seed: u64) -> Measurement {

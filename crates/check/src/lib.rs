@@ -7,7 +7,7 @@
 //! invisible to them. This crate closes that gap with exhaustive
 //! exploration at small `n`: every reachable configuration is enumerated
 //! from the protocol's exact rate table
-//! ([`PackedProtocol::outcomes`](pp_engine::PackedProtocol::outcomes)),
+//! ([`PackedProtocol::outcomes`]),
 //! every invariant checked at every configuration, and every failure
 //! reported with a concrete counterexample trace.
 //!
@@ -52,6 +52,9 @@
 //! );
 //! assert!(report.passed(), "{:?}", report.violations);
 //! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 mod bugged;
 mod crosscheck;

@@ -3,7 +3,7 @@
 //!
 //! The agent state `(colour, shade)` packs into a single `u32` as
 //! `colour << 1 | shade_bit` (dark = 1, matching
-//! [`Shade::bit`]). Rule 1 of the protocol — light adopts an observed dark
+//! [`Shade::bit`](crate::Shade::bit)). Rule 1 of the protocol — light adopts an observed dark
 //! state wholesale — then becomes a plain copy of the observed word, and
 //! rule 2's colour comparison a single integer equality.
 //!

@@ -1,4 +1,4 @@
-//! The [`Engine`](pp_engine::Engine) adapter over [`DenseSimulator`].
+//! The [`Engine`] adapter over [`DenseSimulator`].
 //!
 //! The dense engine has no per-agent identity — its whole configuration is
 //! the class-count vector. This adapter gives it the common engine
@@ -25,7 +25,7 @@
 
 use crate::{CountConfig, CountProtocol, DenseSimulator};
 use pp_core::AgentState;
-use pp_engine::{Engine, PackedProtocol};
+use pp_engine::{Engine, EngineSnapshot, PackedProtocol, SnapshotError};
 
 /// [`DenseSimulator`] behind the [`Engine`] contract (complete graph,
 /// shaded `AgentState` protocols).
@@ -233,6 +233,72 @@ where
 
     fn supports_resize(&self) -> bool {
         true
+    }
+
+    fn save_snapshot(&mut self) -> EngineSnapshot {
+        // The configuration *is* the count vector: no per-agent words.
+        // aux = [classes, count_0 … count_{classes−1}, s0 s1 s2 s3, ε].
+        let counts = self.sim.counts();
+        let mut aux = Vec::with_capacity(counts.len() + 6);
+        aux.push(counts.len() as u64);
+        aux.extend_from_slice(counts);
+        aux.extend_from_slice(&self.sim.rng_state());
+        aux.push(self.sim.epsilon().to_bits());
+        EngineSnapshot {
+            engine: "dense".into(),
+            protocol: PackedProtocol::name(self.sim.protocol()),
+            topology: "complete".into(),
+            n: self.sim.population(),
+            clock: self.sim.step_count(),
+            seed: self.sim.seed(),
+            states: Vec::new(),
+            aux,
+        }
+    }
+
+    fn restore_snapshot(&mut self, snapshot: &EngineSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_identity(
+            "dense",
+            &PackedProtocol::name(self.sim.protocol()),
+            "complete",
+            self.sim.population(),
+        )?;
+        if !snapshot.states.is_empty() {
+            return Err(SnapshotError::BadPayload(format!(
+                "dense tier carries no per-agent state words, got {}",
+                snapshot.states.len()
+            )));
+        }
+        let classes = self.sim.counts().len();
+        if snapshot.aux.len() != classes + 6 || snapshot.aux[0] != classes as u64 {
+            return Err(SnapshotError::BadPayload(format!(
+                "dense tier aux must be [{classes}, counts…, rng×4, ε], got {} words",
+                snapshot.aux.len()
+            )));
+        }
+        let counts = snapshot.aux[1..1 + classes].to_vec();
+        if counts.iter().sum::<u64>() != snapshot.n {
+            return Err(SnapshotError::BadPayload(format!(
+                "class counts sum to {}, header says {} agents",
+                counts.iter().sum::<u64>(),
+                snapshot.n
+            )));
+        }
+        let rng_state: [u64; 4] = snapshot.aux[1 + classes..5 + classes].try_into().unwrap();
+        if rng_state == [0, 0, 0, 0] {
+            return Err(SnapshotError::BadPayload(
+                "all-zero generator state is unreachable".into(),
+            ));
+        }
+        let epsilon = f64::from_bits(snapshot.aux[5 + classes]);
+        if !(epsilon > 0.0 && epsilon <= 1.0) {
+            return Err(SnapshotError::BadPayload(format!(
+                "τ-leap tolerance {epsilon} outside (0, 1]"
+            )));
+        }
+        self.sim
+            .restore_raw(counts, snapshot.clock, snapshot.seed, rng_state, epsilon);
+        Ok(())
     }
 }
 

@@ -32,7 +32,7 @@ const MIN_LEAP: u64 = 8;
 ///   exceeds a fraction `ε` of its count; firings are clamped to
 ///   [`CountProtocol::batch_cap`] so protocol invariants hold exactly, not
 ///   just in expectation.
-/// * **exact critical events**: channels within [`CRITICAL_CAP`] firings of
+/// * **exact critical events**: channels within `CRITICAL_CAP` firings of
 ///   an invariant boundary are excluded from leaping; the engine samples
 ///   the geometric waiting time to the next critical event and fires exactly
 ///   one, re-deriving rates from the updated counts each time.
@@ -470,5 +470,38 @@ impl<P: CountProtocol> DenseSimulator<P> {
     /// Consumes the simulator, returning the final class counts.
     pub fn into_counts(self) -> Vec<u64> {
         self.counts
+    }
+
+    /// The τ-leap tolerance in force (a snapshot must preserve it: batch
+    /// sizing, and therefore the trajectory, depends on it).
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// The sequential generator's full state, for the snapshot surface.
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rewinds the complete resume state — counts, clock, seed, generator
+    /// position, tolerance — to a snapshot's values. All other fields are
+    /// per-batch scratch or cumulative instrumentation, recomputed or
+    /// irrelevant to the trajectory. The caller (the `DenseEngine`
+    /// restore path) has validated the payload.
+    pub(crate) fn restore_raw(
+        &mut self,
+        counts: Vec<u64>,
+        step: u64,
+        seed: u64,
+        rng_state: [u64; 4],
+        epsilon: f64,
+    ) {
+        debug_assert_eq!(counts.len(), self.counts.len());
+        self.n = counts.iter().sum();
+        self.counts = counts;
+        self.step = step;
+        self.seed = seed;
+        self.rng = StdRng::from_state(rng_state);
+        self.epsilon = epsilon;
     }
 }

@@ -1,6 +1,6 @@
 //! The common contract of every simulation engine tier.
 //!
-//! Four fast tiers grew next to the generic [`Simulator`](crate::Simulator)
+//! Four fast tiers grew next to the generic [`Simulator`]
 //! — packed, turbo, sharded, and the count-based dense engine in
 //! `pp-dense` — each with its own ad-hoc driver API. Every workload that
 //! wanted to ride a faster tier (the bench experiments, the adversary
@@ -12,7 +12,7 @@
 //!
 //! The trait's bulk observable is [`class_counts`](Engine::class_counts):
 //! the population tallied by **packed word** (the protocol's `u32` state
-//! encoding, see [`PackedProtocol`](crate::PackedProtocol)). Per-agent
+//! encoding, see [`PackedProtocol`]). Per-agent
 //! engines tally their state array in `O(n)`; the dense engine *is* a
 //! count vector, so its tally is `O(k)` — which is what keeps `n = 10⁸`
 //! dense runs observable through the same generic driver that serves the
@@ -30,7 +30,7 @@
 //! ([`push_agent`](Engine::push_agent) /
 //! [`swap_remove_agent`](Engine::swap_remove_agent)). Resizing requires
 //! the topology family to have a canonical resize
-//! ([`Topology::resized`](pp_graph::Topology::resized)); on families
+//! ([`Topology::resized`]); on families
 //! without one the engine panics rather than simulate on a stale edge
 //! set. The dense engine exposes the same surface through a canonical
 //! agent ordering (agents sorted by class), which makes index-based
@@ -94,6 +94,7 @@
 //! }
 //! ```
 
+use crate::snapshot::{EngineSnapshot, SnapshotError};
 use crate::{
     PackedProtocol, PackedSimulator, Protocol, ShardedSimulator, Simulator, TurboSimulator,
     TurboWord, VecSimulator,
@@ -167,7 +168,7 @@ pub trait Engine: Send {
 
     /// Replaces the whole population. A different length resizes the
     /// population; engines over a fixed topology family resize it via
-    /// [`Topology::resized`](pp_graph::Topology::resized).
+    /// [`Topology::resized`].
     ///
     /// # Panics
     ///
@@ -197,13 +198,43 @@ pub trait Engine: Send {
     fn topology_name(&self) -> String;
 
     /// Whether the engine's topology family has a canonical resize
-    /// ([`Topology::resized`](pp_graph::Topology::resized)), i.e. whether
+    /// ([`Topology::resized`]), i.e. whether
     /// the population-resizing mutations ([`push_agent`](Engine::push_agent),
     /// [`swap_remove_agent`](Engine::swap_remove_agent), length-changing
     /// [`set_states`](Engine::set_states)) are available. Callers that can
     /// degrade gracefully (the adversary grid, the model checker) consult
     /// this instead of catching the resize panic.
     fn supports_resize(&self) -> bool;
+
+    /// Captures the complete simulation state as a versioned
+    /// [`EngineSnapshot`]: packed population, clock, seed, and the
+    /// tier-private resume words (see the [`snapshot`](crate::snapshot)
+    /// module docs for each tier's layout).
+    ///
+    /// Takes `&mut self` because a tier may first have to advance to its
+    /// nearest *quiescent point* — the sharded tier drains to the next
+    /// block boundary (up to `block − 1` extra steps), where the
+    /// deferred cross-shard queues are empty; every other tier captures
+    /// at the current clock. Read the returned snapshot's `clock` for
+    /// the actual capture point.
+    ///
+    /// Restoring the snapshot into a freshly built engine of the same
+    /// `(tier, protocol, topology, n)` — in this process or another —
+    /// continues the trajectory bit-exactly: `run(a); save; restore;
+    /// run(b)` equals `run(a); run(b)` (verified for all six tiers by
+    /// `tests/engine_snapshot.rs`).
+    fn save_snapshot(&mut self) -> EngineSnapshot;
+
+    /// Replaces this engine's complete simulation state with a
+    /// snapshot's, resuming its trajectory from `(seed, clock)`.
+    ///
+    /// Fails closed: the identity header (tier, protocol, topology,
+    /// population size) is validated against this engine and the payload
+    /// against the tier's shape invariants (aux arity, storage width,
+    /// block alignment, count conservation); on any mismatch the engine
+    /// is left unchanged and the error names what disagreed. A snapshot
+    /// is never partially applied.
+    fn restore_snapshot(&mut self, snapshot: &EngineSnapshot) -> Result<(), SnapshotError>;
 
     /// Runs until `pred(class_counts, step)` holds, checking every
     /// `check_every` steps (and once before the first step), for at most
@@ -360,6 +391,80 @@ where
     fn supports_resize(&self) -> bool {
         self.topology().resized(self.len()).is_some()
     }
+
+    fn save_snapshot(&mut self) -> EngineSnapshot {
+        EngineSnapshot {
+            engine: "agent".into(),
+            protocol: PackedProtocol::name(self.protocol()),
+            topology: self.topology().name(),
+            n: self.len() as u64,
+            clock: Simulator::step_count(self),
+            seed: Simulator::seed(self),
+            states: self
+                .population()
+                .states()
+                .iter()
+                .map(|s| PackedProtocol::pack(self.protocol(), s))
+                .collect(),
+            aux: self.rng_state().to_vec(),
+        }
+    }
+
+    fn restore_snapshot(&mut self, snapshot: &EngineSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_identity(
+            "agent",
+            &PackedProtocol::name(self.protocol()),
+            &self.topology().name(),
+            self.len() as u64,
+        )?;
+        let rng_state = sequential_rng_state(snapshot)?;
+        check_states_arity(snapshot, snapshot.n)?;
+        for (u, &p) in snapshot.states.iter().enumerate() {
+            let s = PackedProtocol::unpack(self.protocol(), p);
+            self.population_mut().set_state(u, s);
+        }
+        self.restore_raw(snapshot.clock, snapshot.seed, rng_state);
+        Ok(())
+    }
+}
+
+/// Validates the shared sequential-tier aux layout: exactly the four
+/// xoshiro256++ state words, not all zero.
+fn sequential_rng_state(snapshot: &EngineSnapshot) -> Result<[u64; 4], SnapshotError> {
+    let aux: [u64; 4] = snapshot.aux.as_slice().try_into().map_err(|_| {
+        SnapshotError::BadPayload(format!(
+            "sequential tier aux must be the 4 generator words, got {}",
+            snapshot.aux.len()
+        ))
+    })?;
+    if aux == [0, 0, 0, 0] {
+        return Err(SnapshotError::BadPayload(
+            "all-zero generator state is unreachable".into(),
+        ));
+    }
+    Ok(aux)
+}
+
+/// Validates that the snapshot carries exactly `expected` state words.
+fn check_states_arity(snapshot: &EngineSnapshot, expected: u64) -> Result<(), SnapshotError> {
+    if snapshot.states.len() as u64 != expected {
+        return Err(SnapshotError::BadPayload(format!(
+            "expected {expected} state words, got {}",
+            snapshot.states.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Validates that every packed state word fits the tier's storage width.
+fn check_states_width<W: TurboWord>(snapshot: &EngineSnapshot) -> Result<(), SnapshotError> {
+    if let Some(&p) = snapshot.states.iter().find(|&&p| p > W::CAPACITY) {
+        return Err(SnapshotError::BadPayload(format!(
+            "state word {p} overflows the tier's storage capacity {}",
+            W::CAPACITY
+        )));
+    }
+    Ok(())
 }
 
 impl<P, T> Engine for PackedSimulator<P, T>
@@ -428,6 +533,33 @@ where
 
     fn supports_resize(&self) -> bool {
         self.topology().resized(self.len()).is_some()
+    }
+
+    fn save_snapshot(&mut self) -> EngineSnapshot {
+        EngineSnapshot {
+            engine: "packed".into(),
+            protocol: self.protocol().name(),
+            topology: self.topology().name(),
+            n: self.len() as u64,
+            clock: PackedSimulator::step_count(self),
+            seed: PackedSimulator::seed(self),
+            states: self.states_packed().to_vec(),
+            aux: self.rng_state().to_vec(),
+        }
+    }
+
+    fn restore_snapshot(&mut self, snapshot: &EngineSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_identity(
+            "packed",
+            &self.protocol().name(),
+            &self.topology().name(),
+            self.len() as u64,
+        )?;
+        let rng_state = sequential_rng_state(snapshot)?;
+        check_states_arity(snapshot, snapshot.n)?;
+        self.replace_packed_states(snapshot.states.clone());
+        self.restore_raw(snapshot.clock, snapshot.seed, rng_state);
+        Ok(())
     }
 }
 
@@ -499,6 +631,40 @@ where
     fn supports_resize(&self) -> bool {
         self.topology().resized(self.len()).is_some()
     }
+
+    fn save_snapshot(&mut self) -> EngineSnapshot {
+        EngineSnapshot {
+            engine: "turbo".into(),
+            protocol: self.protocol().name(),
+            topology: self.topology().name(),
+            n: self.len() as u64,
+            clock: TurboSimulator::step_count(self),
+            seed: TurboSimulator::seed(self),
+            states: TurboSimulator::states_packed(self),
+            // The whole stream is keyed by (seed, step): no private words.
+            aux: Vec::new(),
+        }
+    }
+
+    fn restore_snapshot(&mut self, snapshot: &EngineSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_identity(
+            "turbo",
+            &self.protocol().name(),
+            &self.topology().name(),
+            self.len() as u64,
+        )?;
+        if !snapshot.aux.is_empty() {
+            return Err(SnapshotError::BadPayload(format!(
+                "turbo tier carries no aux words, got {}",
+                snapshot.aux.len()
+            )));
+        }
+        check_states_arity(snapshot, snapshot.n)?;
+        check_states_width::<W>(snapshot)?;
+        self.replace_packed_states(snapshot.states.clone());
+        self.restore_raw(snapshot.clock, snapshot.seed);
+        Ok(())
+    }
 }
 
 impl<P, T, W> Engine for ShardedSimulator<P, T, W>
@@ -568,6 +734,69 @@ where
 
     fn supports_resize(&self) -> bool {
         self.topology().resized(self.len()).is_some()
+    }
+
+    fn save_snapshot(&mut self) -> EngineSnapshot {
+        // Drain to the block boundary first: it is the tier's quiescent
+        // point (deferred cross-shard queues empty, per-shard streams
+        // re-keyed fresh per block), so `(states, clock, seed, layout)`
+        // is the complete state there — and only there.
+        let clock = self.drain_to_block_boundary();
+        EngineSnapshot {
+            engine: "sharded".into(),
+            protocol: self.protocol().name(),
+            topology: self.topology().name(),
+            n: self.len() as u64,
+            clock,
+            seed: ShardedSimulator::seed(self),
+            states: ShardedSimulator::states_packed(self),
+            // The layout is part of the trajectory: a restore on a
+            // machine with a different core count must not re-derive it.
+            aux: vec![self.partition().shards() as u64, self.block()],
+        }
+    }
+
+    fn restore_snapshot(&mut self, snapshot: &EngineSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_identity(
+            "sharded",
+            &self.protocol().name(),
+            &self.topology().name(),
+            self.len() as u64,
+        )?;
+        let [shards, block]: [u64; 2] = snapshot.aux.as_slice().try_into().map_err(|_| {
+            SnapshotError::BadPayload(format!(
+                "sharded tier aux must be [shards, block], got {} words",
+                snapshot.aux.len()
+            ))
+        })?;
+        if shards == 0 || shards > snapshot.n {
+            return Err(SnapshotError::BadPayload(format!(
+                "shard count {shards} out of range for {} agents",
+                snapshot.n
+            )));
+        }
+        if block == 0 || block > u32::MAX as u64 {
+            return Err(SnapshotError::BadPayload(format!(
+                "block length {block} out of range"
+            )));
+        }
+        if !snapshot.clock.is_multiple_of(block) {
+            return Err(SnapshotError::BadPayload(format!(
+                "clock {} is not on the {block}-step block grid; sharded \
+                 snapshots are only taken at block boundaries",
+                snapshot.clock
+            )));
+        }
+        check_states_arity(snapshot, snapshot.n)?;
+        check_states_width::<W>(snapshot)?;
+        self.restore_raw(
+            snapshot.states.clone(),
+            snapshot.clock,
+            snapshot.seed,
+            shards as usize,
+            block,
+        );
+        Ok(())
     }
 }
 
@@ -639,6 +868,49 @@ where
 
     fn supports_resize(&self) -> bool {
         self.topology().resized(self.len()).is_some()
+    }
+
+    fn save_snapshot(&mut self) -> EngineSnapshot {
+        EngineSnapshot {
+            engine: "vec".into(),
+            protocol: self.protocol().name(),
+            topology: self.topology().name(),
+            n: self.len() as u64,
+            clock: VecSimulator::step_count(self),
+            seed: self.master_seed(),
+            // All lanes, lane-major: the Engine surface observes lane 0
+            // but the ensemble's state is every replica.
+            states: self.states_words().iter().map(|w| w.widen()).collect(),
+            aux: std::iter::once(L as u64)
+                .chain(self.lane_seeds().iter().copied())
+                .collect(),
+        }
+    }
+
+    fn restore_snapshot(&mut self, snapshot: &EngineSnapshot) -> Result<(), SnapshotError> {
+        snapshot.check_identity(
+            "vec",
+            &self.protocol().name(),
+            &self.topology().name(),
+            self.len() as u64,
+        )?;
+        if snapshot.aux.len() != 1 + L || snapshot.aux[0] != L as u64 {
+            return Err(SnapshotError::BadPayload(format!(
+                "vec tier aux must be [L, lane_seeds…] with L = {L}, got {:?}",
+                snapshot.aux.first()
+            )));
+        }
+        check_states_arity(snapshot, snapshot.n * L as u64)?;
+        check_states_width::<W>(snapshot)?;
+        let mut lane_seeds = [0u64; L];
+        lane_seeds.copy_from_slice(&snapshot.aux[1..]);
+        self.restore_raw(
+            snapshot.states.clone(),
+            snapshot.clock,
+            snapshot.seed,
+            lane_seeds,
+        );
+        Ok(())
     }
 }
 

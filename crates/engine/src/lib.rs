@@ -79,6 +79,7 @@ pub mod replicate;
 pub mod rounds;
 pub mod sharded;
 pub mod simulator;
+pub mod snapshot;
 pub mod sweep;
 pub mod turbo;
 pub mod vec;
@@ -90,6 +91,7 @@ pub use protocol::Protocol;
 pub use replicate::{replicate, replicate_vec};
 pub use sharded::ShardedSimulator;
 pub use simulator::Simulator;
+pub use snapshot::{EngineSnapshot, SnapshotError};
 pub use sweep::sweep_grid;
 pub use turbo::{TurboSimulator, TurboWord};
 pub use vec::VecSimulator;

@@ -15,11 +15,11 @@
 //! * transitions are generic over `R: Rng`, so the whole step inlines into
 //!   a straight-line loop with zero dynamic dispatch;
 //! * partner draws go through
-//!   [`Topology::sample_partner_mono`](pp_graph::Topology::sample_partner_mono),
+//!   [`Topology::sample_partner_mono`],
 //!   the monomorphized twin of `sample_partner`.
 //!
 //! Because every RNG draw happens in the same order with the same spans as
-//! in the generic engine, a [`PackedSimulator`] and a [`Simulator`] given
+//! in the generic engine, a [`PackedSimulator`] and a [`Simulator`](crate::Simulator) given
 //! the same seed produce **exactly the same trajectory** — enforced by
 //! equivalence tests in `pp-core`, `pp-baselines`, and `tests/`.
 
@@ -440,6 +440,20 @@ impl<P: PackedProtocol, T: Topology> PackedSimulator<P, T> {
     /// Consumes the simulator, returning the packed state vector.
     pub fn into_packed_states(self) -> Vec<u32> {
         self.states
+    }
+
+    /// The sequential generator's full state, for the snapshot surface.
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rewinds the non-population resume state — clock, seed, generator
+    /// position — to a snapshot's values (see
+    /// [`Simulator::restore_raw`](crate::Simulator)).
+    pub(crate) fn restore_raw(&mut self, step: u64, seed: u64, rng_state: [u64; 4]) {
+        self.step = step;
+        self.seed = seed;
+        self.rng = StdRng::from_state(rng_state);
     }
 }
 

@@ -1,6 +1,6 @@
 //! The shared worker budget behind every parallel helper in this crate.
 //!
-//! [`replicate`](crate::replicate) (seed ensembles), `sweep_grid` (job ×
+//! [`replicate`](crate::replicate()) (seed ensembles), `sweep_grid` (job ×
 //! seed grids, built on `replicate`) and
 //! [`ShardedSimulator`](crate::ShardedSimulator) (graph-partitioned
 //! single runs) all want "as many threads as the machine has". Before

@@ -1,7 +1,7 @@
 //! The graph-partitioned multi-core engine.
 //!
 //! Every engine tier so far runs one simulation on one thread;
-//! [`replicate`](crate::replicate) only parallelises *across* seeds. This
+//! [`replicate`](crate::replicate()) only parallelises *across* seeds. This
 //! module parallelises a **single run**: the node set is split into
 //! shards by a [`Partition`] (contiguous ranges for geometric numberings,
 //! index-striped for the complete graph — each topology picks via
@@ -631,6 +631,42 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
     /// The interaction topology.
     pub fn topology(&self) -> &T {
         &self.topology
+    }
+
+    /// Runs forward to the next block boundary (a no-op when already on
+    /// one) and returns the boundary clock. Between boundaries shards
+    /// hold deferred cross-shard interactions that only the boundary
+    /// merge resolves; the boundary is therefore the tier's quiescent
+    /// point — the only clock at which `(states, step, seed, layout)`
+    /// is the *complete* simulation state. The snapshot surface drains
+    /// through this before capturing.
+    pub(crate) fn drain_to_block_boundary(&mut self) -> u64 {
+        let into_block = self.step % self.block;
+        if into_block != 0 {
+            self.run(self.block - into_block);
+        }
+        debug_assert!(self.shards.iter().all(|s| s.queue.is_empty()));
+        self.step
+    }
+
+    /// Rebuilds the full resume state from a snapshot: partition layout
+    /// (shard count and block length are part of the trajectory), packed
+    /// states, clock, and seed. The caller has validated that `step` is
+    /// a block multiple and every state word fits `W`.
+    pub(crate) fn restore_raw(
+        &mut self,
+        states: Vec<u32>,
+        step: u64,
+        seed: u64,
+        shards: usize,
+        block: u64,
+    ) {
+        self.partition = Partition::new(states.len(), shards, self.topology.preferred_partition());
+        self.block = block;
+        self.scatter(states);
+        self.step = step;
+        self.seed = seed;
+        self.weyl_base = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
     }
 }
 

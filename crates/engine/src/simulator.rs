@@ -274,6 +274,21 @@ impl<P: Protocol, T: Topology> Simulator<P, T> {
     pub fn into_population(self) -> Population<P::State> {
         self.population
     }
+
+    /// The sequential generator's full state, for the snapshot surface.
+    pub(crate) fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
+    }
+
+    /// Rewinds (or fast-forwards) the non-population resume state — clock,
+    /// seed, and generator position — to a snapshot's values. The caller
+    /// (the [`Engine`](crate::Engine) restore path) has already validated
+    /// the payload and replaced the population.
+    pub(crate) fn restore_raw(&mut self, step: u64, seed: u64, rng_state: [u64; 4]) {
+        self.step = step;
+        self.seed = seed;
+        self.rng = StdRng::from_state(rng_state);
+    }
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! costs differ wildly — a cycle run mixes orders of magnitude slower than
 //! a complete-graph run at equal budget. [`sweep_grid`] flattens the grid
 //! into one shared work-stealing pool (built on
-//! [`replicate`](crate::replicate), which claims work by atomic index), so
+//! [`replicate`](crate::replicate()), which claims work by atomic index), so
 //! no thread idles behind an unlucky contiguous chunk of slow jobs.
 
 use crate::replicate;

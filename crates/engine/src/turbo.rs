@@ -52,7 +52,7 @@ use rand::rngs::{splitmix64, CounterRng, GOLDEN};
 /// colours (see [`fits_in`](TurboWord::fits_in)).
 ///
 /// The bitwise supertraits and mask helpers exist for
-/// [`PackedProtocol::transition_vec`](crate::PackedProtocol::transition_vec)
+/// [`PackedProtocol::transition_vec`]
 /// overrides, which run their mask arithmetic directly in the storage
 /// width: at `W = u8` that packs 32 replica lanes into one 32-byte
 /// vector register instead of four, and the engine's load/store loops
@@ -490,6 +490,15 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> TurboSimulator<P, T, W> {
     /// The interaction topology.
     pub fn topology(&self) -> &T {
         &self.topology
+    }
+
+    /// Rewinds the non-population resume state to a snapshot's values:
+    /// the whole stream is keyed by `(seed, step)`, so clock and seed
+    /// (plus the seed-derived walk base) are the entire private state.
+    pub(crate) fn restore_raw(&mut self, step: u64, seed: u64) {
+        self.step = step;
+        self.seed = seed;
+        self.weyl_base = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
     }
 }
 

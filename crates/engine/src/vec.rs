@@ -3,7 +3,7 @@
 //! Every real workload in this workspace — convergence sweeps, the
 //! `pp-stats` equivalence harnesses, the adversary t-bins — runs
 //! *ensembles* of independent replicas of one `(topology, protocol)`
-//! pair, and [`replicate`](crate::replicate) schedules them one scalar
+//! pair, and [`replicate`](crate::replicate()) schedules them one scalar
 //! run at a time. A single run is already at the memory/port floor
 //! ([`TurboSimulator`](crate::TurboSimulator) on the ring matches a
 //! hand-written minimal loop), so the remaining headroom is *data
@@ -29,7 +29,7 @@
 //!   regardless of which group, slot, or width it runs in.
 //!
 //! With `L = 1` and `lane_seed == master_seed` the walks coincide with
-//! [`TurboSimulator`]'s positions exactly, so a one-lane vec run is
+//! [`TurboSimulator`](crate::TurboSimulator)'s positions exactly, so a one-lane vec run is
 //! **bit-exact** against turbo under a shared seed — that is the anchor
 //! test in `tests/vec_equivalence.rs`, and it pins the whole derivation.
 //!
@@ -515,6 +515,29 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord, const L: usize> VecSimulator<
     /// The interaction topology.
     pub fn topology(&self) -> &T {
         &self.topology
+    }
+
+    /// Rebuilds the full resume state from a snapshot: **all** lanes'
+    /// words (lane-major, `n·L` entries — the Engine surface observes
+    /// lane 0 but every lane is part of the ensemble's state), clock,
+    /// and the master/lane seeds with their derived walk bases. The
+    /// caller has validated the arity and that every word fits `W`.
+    pub(crate) fn restore_raw(
+        &mut self,
+        lane_major: Vec<u32>,
+        step: u64,
+        master_seed: u64,
+        lane_seeds: [u64; L],
+    ) {
+        debug_assert_eq!(lane_major.len(), self.states.len());
+        self.states = lane_major.into_iter().map(W::narrow).collect();
+        self.step = step;
+        self.master_seed = master_seed;
+        self.lane_seeds = lane_seeds;
+        self.sched_base = splitmix64(master_seed ^ WALK_TWEAK);
+        for (base, &seed) in self.lane_bases.iter_mut().zip(&lane_seeds) {
+            *base = splitmix64(seed ^ WALK_TWEAK);
+        }
     }
 }
 

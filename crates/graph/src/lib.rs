@@ -194,7 +194,7 @@ pub trait Topology: std::fmt::Debug + Send + Sync {
 
     /// The node-partition layout this topology prefers when a partitioned
     /// engine splits its node set across shards (see
-    /// [`Partition`](crate::Partition)).
+    /// [`Partition`]).
     ///
     /// The default is [`PartitionKind::Contiguous`], which cuts few edges
     /// wherever the node numbering is geometric (rings, row-major tori,

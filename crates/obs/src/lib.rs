@@ -27,6 +27,9 @@
 //! [`json::escape`] so the whole workspace has exactly one JSON string
 //! escaper.
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
@@ -245,7 +248,7 @@ struct Event {
 
 struct Recorder {
     start: Instant,
-    counters: Mutex<BTreeMap<&'static str, u64>>,
+    counters: Mutex<BTreeMap<String, u64>>,
     hists: Mutex<BTreeMap<&'static str, Hist>>,
     events: Mutex<EventBuf>,
 }
@@ -267,9 +270,22 @@ fn recorder() -> &'static Recorder {
 /// compiles this call out of uninstrumented builds; the function itself is
 /// always available so the recorder can be tested without the feature.
 pub fn counter_add(name: &'static str, delta: u64) {
+    counter_add_dyn(name, delta);
+}
+
+/// Adds `delta` to a counter whose name is built at run time — e.g. the
+/// per-tenant `serve.steps.<tenant>` counters in `pp-serve`, where the set
+/// of tenants is only known when jobs arrive. Hot loops should prefer
+/// [`obs_count!`] with a static name; this entry point allocates the key on
+/// first use of each name.
+pub fn counter_add_dyn(name: &str, delta: u64) {
     let r = recorder();
     let mut c = r.counters.lock().unwrap();
-    *c.entry(name).or_insert(0) += delta;
+    if let Some(slot) = c.get_mut(name) {
+        *slot += delta;
+    } else {
+        c.insert(name.to_string(), delta);
+    }
 }
 
 /// Records `value` into the named log2 histogram. Prefer [`obs_value!`].
@@ -309,20 +325,30 @@ pub fn event(name: &'static str, tag: &'static str, detail: &str) {
 /// non-empty `(bucket, count)` pairs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HistDump {
+    /// Histogram name as passed to [`obs_value!`].
     pub name: String,
+    /// Number of recorded values.
     pub count: u64,
+    /// Saturating sum of recorded values.
     pub sum: u64,
+    /// Smallest recorded value (0 when `count == 0`).
     pub min: u64,
+    /// Largest recorded value.
     pub max: u64,
+    /// Sparse `(bucket_index, count)` pairs; see [`bucket_range`].
     pub buckets: Vec<(u32, u64)>,
 }
 
 /// One trace event in a [`Dump`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EventDump {
+    /// Microseconds since the recorder was first touched.
     pub t_us: u64,
+    /// Event name as passed to [`obs_event!`].
     pub name: String,
+    /// Event tag (a short category within the name).
     pub tag: String,
+    /// Rendered detail text.
     pub detail: String,
 }
 
@@ -330,9 +356,13 @@ pub struct EventDump {
 /// result envelope) or as an aligned human table (for stderr).
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Dump {
+    /// Monotonic counters, sorted by name.
     pub counters: Vec<(String, u64)>,
+    /// Log2 histograms, sorted by name.
     pub histograms: Vec<HistDump>,
+    /// Trace events in recording order (capped at [`EVENT_CAP`]).
     pub events: Vec<EventDump>,
+    /// Events discarded after the cap was hit.
     pub dropped_events: u64,
 }
 
@@ -454,7 +484,7 @@ pub fn dump() -> Dump {
         .lock()
         .unwrap()
         .iter()
-        .map(|(&n, &v)| (n.to_string(), v))
+        .map(|(n, &v)| (n.clone(), v))
         .collect();
     let histograms = r
         .hists

@@ -1,0 +1,20 @@
+//! `pp-serve`: the multi-tenant simulation service over stdin/stdout.
+//!
+//! Requests are line-delimited `pp-serve-request-v1` JSON documents on
+//! stdin; events stream out as `pp-serve-event-v1` lines on stdout. See
+//! `ARCHITECTURE.md` for the wire formats and `EXPERIMENTS.md` for shell
+//! recipes. Exit codes follow the workspace convention: 0 on clean
+//! shutdown, 2 on any fail-closed schema/validation rejection.
+
+use pp_serve::server::{run, Config};
+
+fn main() {
+    pp_obs::init_from_env();
+    let code = run(
+        std::io::BufReader::new(std::io::stdin()),
+        &mut std::io::stdout().lock(),
+        Config::from_env(),
+    );
+    pp_obs::flush_to_stderr();
+    std::process::exit(code);
+}

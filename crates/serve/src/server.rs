@@ -1,0 +1,652 @@
+//! The `pp serve` event loop: control plane, slice execution, snapshots.
+//!
+//! One thread owns every engine and runs [`run`] — a loop alternating
+//! between two planes:
+//!
+//! * **Control plane.** A reader thread forwards request lines over a
+//!   channel; the loop drains it between slices (and blocks on it when no
+//!   job is backlogged), so submissions land promptly without interrupting
+//!   a running slice. Input EOF with no work left is a clean shutdown.
+//! * **Data plane.** Each iteration asks the [deficit-round-robin
+//!   scheduler](crate::sched) for one `(tenant, budget)` grant and runs the
+//!   tenant's oldest job for up to that many steps through the uniform
+//!   `Box<dyn Engine>` dispatch — so a slice costs one virtual call and the
+//!   per-interaction loops stay monomorphized inside whichever tier the
+//!   job chose.
+//!
+//! Slices are clamped at a scheduled shock's `at` clock so the shock fires
+//! at exactly the requested step; pending snapshot requests are serviced
+//! once their clock threshold is reached **and** any scheduled shock has
+//! fired (saving earlier would let the sharded tier's boundary drain step
+//! over the shock). Every fail-closed rejection — malformed request,
+//! unknown job, corrupt snapshot file — emits an `error` event and exits
+//! with [`EXIT_SCHEMA_ERROR`]; nothing is skipped-and-continued, matching
+//! the result-JSON envelope convention.
+
+use crate::sched::Drr;
+use crate::snapshot::SnapshotFile;
+use crate::wire::{Event, JobSpec, Request, ShockSpec, TopologySpec};
+use pp_adversary::Shock;
+use pp_bench::experiments::Report;
+use pp_bench::output::{self, EXIT_OK, EXIT_SCHEMA_ERROR};
+use pp_bench::{build_engine, build_graph_engine, DivEngine};
+use pp_core::{init, Weights};
+use pp_graph::{Cycle, Torus2d};
+use pp_stats::Table;
+use rand::{rngs::StdRng, SeedableRng};
+use std::io::{BufRead, Write};
+use std::sync::mpsc::{self, TryRecvError};
+use std::time::Instant;
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// Steps granted per tenant per scheduler round (see [`Drr`]).
+    /// Smaller quanta interleave tenants more finely at the cost of
+    /// more virtual-dispatch boundaries.
+    pub quantum: u64,
+}
+
+/// Default slice quantum: fine enough that two tenants visibly interleave
+/// within one `observe_every` window, coarse enough that dispatch overhead
+/// stays invisible next to the engines' step costs.
+pub const DEFAULT_QUANTUM: u64 = 2048;
+
+impl Default for Config {
+    fn default() -> Config {
+        Config {
+            quantum: DEFAULT_QUANTUM,
+        }
+    }
+}
+
+impl Config {
+    /// Reads the configuration from the environment: `PP_SERVE_QUANTUM`
+    /// overrides the slice quantum.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-integer or zero value, matching the fail-fast
+    /// convention of `PP_ENGINE`/`PP_PRESET`/`PP_OBS`.
+    pub fn from_env() -> Config {
+        let quantum = match std::env::var("PP_SERVE_QUANTUM") {
+            Err(_) => DEFAULT_QUANTUM,
+            Ok(v) => match v.parse::<u64>() {
+                Ok(q) if q >= 1 => q,
+                _ => panic!("PP_SERVE_QUANTUM must be a positive integer, got `{v}`"),
+            },
+        };
+        Config { quantum }
+    }
+}
+
+struct Job {
+    tenant: String,
+    name: String,
+    spec: JobSpec,
+    engine: DivEngine,
+    shock_applied: bool,
+    next_observe: u64,
+    start_clock: u64,
+    started: Instant,
+}
+
+struct SnapReq {
+    tenant: String,
+    job: String,
+    path: String,
+    at: u64,
+    stop: bool,
+}
+
+enum Flow {
+    Continue,
+    Shutdown,
+}
+
+fn emit(out: &mut impl Write, event: &Event) {
+    // A consumer that closed the pipe cannot receive a report about the
+    // closed pipe; warn once per process and keep completing the work.
+    if writeln!(out, "{}", event.render())
+        .and_then(|_| out.flush())
+        .is_err()
+    {
+        static WARNED: std::sync::OnceLock<()> = std::sync::OnceLock::new();
+        WARNED.get_or_init(|| eprintln!("warning: event stream closed; continuing unobserved"));
+    }
+}
+
+fn fail(out: &mut impl Write, message: String) -> i32 {
+    emit(out, &Event::Error { message });
+    EXIT_SCHEMA_ERROR
+}
+
+/// Builds the engine a spec describes, over a population of `n` agents
+/// (`n` differs from `spec.n` only when resuming a job whose resizing
+/// shock already fired). The initial states are the spec's init layout;
+/// a resume overwrites them via `restore_snapshot` immediately after.
+fn build_job_engine(spec: &JobSpec, n: usize) -> DivEngine {
+    let weights = Weights::new(spec.weights.clone()).expect("weights validated at parse");
+    let states = match spec.init {
+        crate::wire::InitKind::Balanced => init::all_dark_balanced(n, &weights),
+        crate::wire::InitKind::SingleMinority => init::all_dark_single_minority(n, &weights),
+    };
+    match spec.topology {
+        TopologySpec::Complete => build_engine(spec.engine, &weights, states, spec.seed),
+        TopologySpec::Cycle => {
+            build_graph_engine(spec.engine, &weights, Cycle::new(n), states, spec.seed)
+        }
+        TopologySpec::Torus { rows, cols } => build_graph_engine(
+            spec.engine,
+            &weights,
+            Torus2d::new(rows, cols),
+            states,
+            spec.seed,
+        ),
+    }
+}
+
+/// Applies the job's scheduled shock. Deterministic by construction: the
+/// representative [`Shock::enumerate`] instance is picked by label from
+/// the population size at the firing clock, and the shock RNG is keyed by
+/// `(spec.seed, shock.at)` — a resumed run that re-fires nothing and an
+/// uninterrupted run that fires here see the same mutation.
+fn apply_shock(job: &mut Job, shock: &ShockSpec) {
+    let k = job.spec.weights.len();
+    let inst = Shock::enumerate(job.engine.len(), k)
+        .into_iter()
+        .find(|s| s.label() == shock.kind)
+        .expect("shock kind validated at parse");
+    let mut rng = StdRng::seed_from_u64(
+        job.spec
+            .seed
+            .wrapping_add(shock.at.wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+    );
+    pp_adversary::apply(&inst, &mut *job.engine, &mut rng);
+}
+
+fn tenant_steps_counter(tenant: &str) -> String {
+    format!("serve.steps.{tenant}")
+}
+
+fn serve_counters() -> Vec<(String, u64)> {
+    pp_obs::dump()
+        .counters
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("serve."))
+        .collect()
+}
+
+/// Runs the service over any line-based transport: requests from `input`,
+/// events to `out`. Returns the process exit code — [`EXIT_OK`] after a
+/// clean shutdown (explicit op, or EOF with all work finished),
+/// [`EXIT_SCHEMA_ERROR`] after any fail-closed rejection.
+///
+/// # Examples
+///
+/// ```
+/// use std::io::Cursor;
+///
+/// let requests = concat!(
+///     "{\"schema_version\":1,\"op\":\"submit\",\"tenant\":\"demo\",\"job\":\"j\",",
+///     "\"spec\":{\"protocol\":\"diversification\",\"weights\":[1.0,1.0],",
+///     "\"topology\":\"complete\",\"n\":16,\"engine\":\"agent\",\"seed\":1,",
+///     "\"steps\":500,\"observe_every\":250,\"init\":\"balanced\",\"shock\":null}}\n",
+/// );
+/// let mut events = Vec::new();
+/// let code = pp_serve::server::run(Cursor::new(requests), &mut events, Default::default());
+/// assert_eq!(code, 0);
+/// let text = String::from_utf8(events).unwrap();
+/// assert!(text.contains("\"event\":\"done\""));
+/// ```
+pub fn run<R, W>(input: R, out: &mut W, cfg: Config) -> i32
+where
+    R: BufRead + Send + 'static,
+    W: Write,
+{
+    let (tx, rx) = mpsc::channel::<String>();
+    // The reader thread is detached on purpose: it may sit blocked on a
+    // live pipe when the loop decides to exit (explicit shutdown), and the
+    // process exit reaps it. With finite inputs (tests) it ends at EOF.
+    std::thread::spawn(move || {
+        for line in input.lines() {
+            match line {
+                Ok(l) if l.trim().is_empty() => continue,
+                Ok(l) => {
+                    if tx.send(l).is_err() {
+                        break;
+                    }
+                }
+                Err(_) => break,
+            }
+        }
+    });
+
+    let mut jobs: Vec<Job> = Vec::new();
+    let mut pending: Vec<SnapReq> = Vec::new();
+    let mut drr = Drr::new(cfg.quantum);
+    let mut completed: u64 = 0;
+    let mut eof = false;
+
+    loop {
+        // Control plane: drain everything that arrived since last slice.
+        // A shutdown op stops the intake but drains queued work first —
+        // the same graceful semantics as input EOF.
+        while !eof {
+            match rx.try_recv() {
+                Ok(line) => match handle_line(&line, &mut jobs, &mut pending, &mut drr, out) {
+                    Ok(Flow::Continue) => {}
+                    Ok(Flow::Shutdown) => eof = true,
+                    Err(code) => return code,
+                },
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => eof = true,
+            }
+        }
+        // Requests that were ready on arrival (resume past a snapshot
+        // threshold, zero-work jobs) are serviced before any slice runs.
+        if let Err(code) = service_snapshots(&mut jobs, &mut pending, &mut drr, out) {
+            return code;
+        }
+        if let Err(code) = finish_ready_jobs(&mut jobs, &mut pending, &mut drr, &mut completed, out)
+        {
+            return code;
+        }
+
+        if jobs.is_empty() {
+            if eof {
+                if !pending.is_empty() {
+                    return fail(
+                        out,
+                        "input ended with snapshot requests that can never trigger".into(),
+                    );
+                }
+                emit(out, &Event::Shutdown { completed });
+                return EXIT_OK;
+            }
+            // Idle: block until the next request (or EOF).
+            match rx.recv() {
+                Ok(line) => match handle_line(&line, &mut jobs, &mut pending, &mut drr, out) {
+                    Ok(Flow::Continue) => {}
+                    Ok(Flow::Shutdown) => eof = true,
+                    Err(code) => return code,
+                },
+                Err(_) => eof = true,
+            }
+            continue;
+        }
+
+        // Data plane: one deficit-round-robin slice.
+        let (tenant, budget) = drr.grant().expect("jobs imply backlog");
+        let idx = jobs
+            .iter()
+            .position(|j| j.tenant == tenant)
+            .expect("scheduler backlog tracks the job list");
+        let job = &mut jobs[idx];
+        let clock = job.engine.step_count();
+        let mut burst = budget.min(job.spec.steps.saturating_sub(clock));
+        if let Some(shock) = &job.spec.shock {
+            if !job.shock_applied && clock < shock.at {
+                burst = burst.min(shock.at - clock);
+            }
+        }
+        if burst > 0 {
+            job.engine.run(burst);
+        }
+        drr.charge(&tenant, burst);
+        pp_obs::counter_add_dyn(&tenant_steps_counter(&tenant), burst);
+        pp_obs::counter_add_dyn("serve.slices", 1);
+        let clock = job.engine.step_count();
+
+        if let Some(shock) = job.spec.shock.clone() {
+            if !job.shock_applied && clock >= shock.at {
+                apply_shock(job, &shock);
+                job.shock_applied = true;
+                pp_obs::counter_add_dyn("serve.shocks", 1);
+                let n_after = job.engine.len();
+                let (tenant, name) = (job.tenant.clone(), job.name.clone());
+                emit(
+                    out,
+                    &Event::Shock {
+                        tenant,
+                        job: name,
+                        kind: shock.kind.clone(),
+                        at: shock.at,
+                        n_after,
+                    },
+                );
+            }
+        }
+
+        let job = &mut jobs[idx];
+        if clock >= job.next_observe && clock < job.spec.steps {
+            job.next_observe = (clock / job.spec.observe_every + 1) * job.spec.observe_every;
+            let ev = Event::Progress {
+                tenant: job.tenant.clone(),
+                job: job.name.clone(),
+                clock,
+                target: job.spec.steps,
+                class_counts: job.engine.class_counts(),
+                tenant_steps: drr.executed(&tenant),
+                total_steps: drr.total_executed(),
+                counters: serve_counters(),
+            };
+            emit(out, &ev);
+        }
+
+        if let Err(code) = service_snapshots(&mut jobs, &mut pending, &mut drr, out) {
+            return code;
+        }
+        if let Err(code) = finish_ready_jobs(&mut jobs, &mut pending, &mut drr, &mut completed, out)
+        {
+            return code;
+        }
+    }
+}
+
+fn handle_line(
+    line: &str,
+    jobs: &mut Vec<Job>,
+    pending: &mut Vec<SnapReq>,
+    drr: &mut Drr,
+    out: &mut impl Write,
+) -> Result<Flow, i32> {
+    let req = match Request::parse_line(line) {
+        Ok(r) => r,
+        Err(e) => return Err(fail(out, format!("invalid request: {e}"))),
+    };
+    match req {
+        Request::Submit { tenant, job, spec } => {
+            if jobs.iter().any(|j| j.tenant == tenant && j.name == job) {
+                return Err(fail(out, format!("job {tenant}/{job} already queued")));
+            }
+            let engine = build_job_engine(&spec, spec.n);
+            emit(
+                out,
+                &Event::Accepted {
+                    tenant: tenant.clone(),
+                    job: job.clone(),
+                    engine: spec.engine.name(),
+                    n: spec.n,
+                    steps: spec.steps,
+                },
+            );
+            drr.enqueue(&tenant);
+            jobs.push(Job {
+                tenant,
+                name: job,
+                next_observe: spec.observe_every,
+                start_clock: 0,
+                started: Instant::now(),
+                shock_applied: false,
+                spec,
+                engine,
+            });
+            Ok(Flow::Continue)
+        }
+        Request::Snapshot {
+            tenant,
+            job,
+            path,
+            at,
+            stop,
+        } => {
+            let Some(target) = jobs.iter().find(|j| j.tenant == tenant && j.name == job) else {
+                return Err(fail(out, format!("snapshot of unknown job {tenant}/{job}")));
+            };
+            if at > target.spec.steps {
+                return Err(fail(
+                    out,
+                    format!(
+                        "snapshot at clock {at} can never trigger: job {tenant}/{job} \
+                         finishes at {}",
+                        target.spec.steps
+                    ),
+                ));
+            }
+            pending.push(SnapReq {
+                tenant,
+                job,
+                path,
+                at,
+                stop,
+            });
+            Ok(Flow::Continue)
+        }
+        Request::Resume { path } => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => return Err(fail(out, format!("cannot read snapshot `{path}`: {e}"))),
+            };
+            let file = match SnapshotFile::parse(&text) {
+                Ok(f) => f,
+                Err(e) => return Err(fail(out, format!("snapshot `{path}` rejected: {e}"))),
+            };
+            if jobs
+                .iter()
+                .any(|j| j.tenant == file.tenant && j.name == file.job)
+            {
+                return Err(fail(
+                    out,
+                    format!("job {}/{} already queued", file.tenant, file.job),
+                ));
+            }
+            let mut engine = build_job_engine(&file.spec, file.engine.n as usize);
+            if let Err(e) = engine.restore_snapshot(&file.engine) {
+                return Err(fail(out, format!("snapshot `{path}` rejected: {e}")));
+            }
+            let clock = engine.step_count();
+            emit(
+                out,
+                &Event::Resumed {
+                    tenant: file.tenant.clone(),
+                    job: file.job.clone(),
+                    clock,
+                    target: file.spec.steps,
+                },
+            );
+            drr.enqueue(&file.tenant);
+            let next_observe = (clock / file.spec.observe_every + 1) * file.spec.observe_every;
+            jobs.push(Job {
+                tenant: file.tenant,
+                name: file.job,
+                next_observe,
+                start_clock: clock,
+                started: Instant::now(),
+                shock_applied: file.shock_applied,
+                spec: file.spec,
+                engine,
+            });
+            Ok(Flow::Continue)
+        }
+        Request::Shutdown => Ok(Flow::Shutdown),
+    }
+}
+
+/// Services every pending snapshot whose job has reached its clock
+/// threshold with its shock (if any) resolved. `stop` requests remove the
+/// job after the capture — the "kill, resume elsewhere" half of the cycle.
+fn service_snapshots(
+    jobs: &mut Vec<Job>,
+    pending: &mut Vec<SnapReq>,
+    drr: &mut Drr,
+    out: &mut impl Write,
+) -> Result<(), i32> {
+    let mut i = 0;
+    while i < pending.len() {
+        let req = &pending[i];
+        let Some(idx) = jobs
+            .iter()
+            .position(|j| j.tenant == req.tenant && j.name == req.job)
+        else {
+            // finish_ready_jobs flushes matching requests before removing
+            // a job, so a vanished target is loop-state corruption.
+            return Err(fail(
+                out,
+                format!("snapshot target {}/{} vanished", req.tenant, req.job),
+            ));
+        };
+        let job = &jobs[idx];
+        let shock_resolved = job.spec.shock.is_none() || job.shock_applied;
+        if job.engine.step_count() >= req.at && shock_resolved {
+            let req = pending.remove(i);
+            take_snapshot(jobs, idx, &req, drr, out)?;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(())
+}
+
+fn take_snapshot(
+    jobs: &mut Vec<Job>,
+    idx: usize,
+    req: &SnapReq,
+    drr: &mut Drr,
+    out: &mut impl Write,
+) -> Result<(), i32> {
+    let job = &mut jobs[idx];
+    let before = job.engine.step_count();
+    let snap = job.engine.save_snapshot();
+    // The sharded tier drains to its block boundary inside save_snapshot;
+    // those steps ran for this tenant and count toward its share.
+    let drained = snap.clock - before;
+    if drained > 0 {
+        drr.charge(&job.tenant, drained);
+        pp_obs::counter_add_dyn(&tenant_steps_counter(&job.tenant), drained);
+    }
+    pp_obs::counter_add_dyn("serve.snapshots", 1);
+    let clock = snap.clock;
+    let file = SnapshotFile {
+        tenant: job.tenant.clone(),
+        job: job.name.clone(),
+        spec: job.spec.clone(),
+        shock_applied: job.shock_applied,
+        engine: snap,
+    };
+    if let Err(e) = std::fs::write(&req.path, file.render()) {
+        return Err(fail(
+            out,
+            format!("cannot write snapshot `{}`: {e}", req.path),
+        ));
+    }
+    emit(
+        out,
+        &Event::Snapshot {
+            tenant: job.tenant.clone(),
+            job: job.name.clone(),
+            path: req.path.clone(),
+            clock,
+            stopped: req.stop,
+        },
+    );
+    if req.stop {
+        let job = jobs.remove(idx);
+        drr.dequeue(&job.tenant);
+    }
+    Ok(())
+}
+
+/// Finishes every job whose clock reached its target: flushes any pending
+/// snapshot requests for it (all necessarily ready), writes the
+/// result-JSON v1 envelope, emits `done`, and removes the job.
+fn finish_ready_jobs(
+    jobs: &mut Vec<Job>,
+    pending: &mut Vec<SnapReq>,
+    drr: &mut Drr,
+    completed: &mut u64,
+    out: &mut impl Write,
+) -> Result<(), i32> {
+    loop {
+        let Some(idx) = jobs
+            .iter()
+            .position(|j| j.engine.step_count() >= j.spec.steps)
+        else {
+            return Ok(());
+        };
+        // Snapshot requests for a finishing job trigger at done at the
+        // latest (their `at` is bounded by the target). A `stop` request
+        // here removes the job without an envelope — resuming the
+        // snapshot finishes it.
+        service_snapshots(jobs, pending, drr, out)?;
+        let Some(idx) = jobs
+            .get(idx)
+            .filter(|j| j.engine.step_count() >= j.spec.steps)
+            .map(|_| idx)
+            .or_else(|| {
+                jobs.iter()
+                    .position(|j| j.engine.step_count() >= j.spec.steps)
+            })
+        else {
+            continue;
+        };
+        let job = jobs.remove(idx);
+        let clock = job.engine.step_count();
+        let counts = job.engine.class_counts();
+        let elapsed = job.started.elapsed().as_secs_f64();
+        let wall_ms = elapsed * 1e3;
+        let executed = clock - job.start_clock;
+        drr.dequeue(&job.tenant);
+        pp_obs::counter_add_dyn("serve.jobs_done", 1);
+
+        let mut table = Table::new(["class", "count"]);
+        for (word, count) in counts.iter().enumerate() {
+            table.row([word.to_string(), count.to_string()]);
+        }
+        let mut report = Report::new(
+            format!("pp serve {}/{}: final class counts", job.tenant, job.name),
+            table,
+        );
+        report.set_engine(job.spec.engine.name());
+        report.param("tenant", &job.tenant);
+        report.param("job", &job.name);
+        report.param("topology", job.spec.topology.kind());
+        report.param("n", job.spec.n);
+        report.param("seed", job.spec.seed);
+        report.param("steps", clock);
+        report.param("init", job.spec.init.name());
+        if let Some(shock) = &job.spec.shock {
+            report.note(format!(
+                "shock `{}` fired at clock {}",
+                shock.kind, shock.at
+            ));
+        }
+        if job.start_clock > 0 {
+            report.note(format!(
+                "resumed from a snapshot at clock {}",
+                job.start_clock
+            ));
+        }
+        if elapsed > 0.0 {
+            report.set_steps_per_sec(executed as f64 / elapsed);
+        }
+        let name = format!("serve_{}_{}", job.tenant, job.name);
+        let json = output::result_json_v1(&name, &report, "serve", wall_ms, None);
+        if let Err(e) = output::validate_json(&json) {
+            return Err(fail(
+                out,
+                format!("refusing to write invalid envelope for `{name}`: {e}"),
+            ));
+        }
+        let bench = match output::write_json(&name, &json) {
+            Ok(path) => Some(path.display().to_string()),
+            Err(e) => {
+                eprintln!("warning: could not write BENCH_{name}.json: {e}");
+                None
+            }
+        };
+        emit(
+            out,
+            &Event::Done {
+                tenant: job.tenant.clone(),
+                job: job.name.clone(),
+                clock,
+                class_counts: counts,
+                tenant_steps: drr.executed(&job.tenant),
+                total_steps: drr.total_executed(),
+                bench,
+            },
+        );
+        *completed += 1;
+    }
+}

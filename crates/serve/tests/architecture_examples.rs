@@ -1,0 +1,97 @@
+//! Every fenced JSON example in ARCHITECTURE.md must validate against
+//! the real parsers — the documentation is part of the tested surface,
+//! so a schema change that forgets the docs fails here.
+
+use pp_bench::schema::{parse, Value};
+use pp_serve::snapshot::SnapshotFile;
+use pp_serve::wire::{validate_event, Request};
+
+fn architecture_md() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ARCHITECTURE.md");
+    std::fs::read_to_string(path).expect("ARCHITECTURE.md at the workspace root")
+}
+
+/// The ```json fenced blocks, in order.
+fn json_blocks(text: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        match &mut current {
+            None if line.trim() == "```json" => current = Some(String::new()),
+            None => {}
+            Some(block) => {
+                if line.trim() == "```" {
+                    blocks.push(current.take().unwrap());
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```json fence");
+    blocks
+}
+
+#[test]
+fn every_architecture_example_validates_against_its_schema() {
+    let text = architecture_md();
+    let blocks = json_blocks(&text);
+    assert!(
+        blocks.len() >= 10,
+        "expected the full worked-example set, found {} blocks",
+        blocks.len()
+    );
+
+    let (mut requests, mut events, mut snapshots, mut envelopes) = (0, 0, 0, 0);
+    for (i, block) in blocks.iter().enumerate() {
+        let doc = parse(block).unwrap_or_else(|e| panic!("example #{i} is not JSON: {e}"));
+        if doc.get("op").is_some() {
+            Request::from_doc(&doc)
+                .unwrap_or_else(|e| panic!("request example #{i} rejected: {e}"));
+            requests += 1;
+        } else if doc.get("event").is_some() {
+            validate_event(&doc).unwrap_or_else(|e| panic!("event example #{i} rejected: {e}"));
+            events += 1;
+        } else if doc.get("format").and_then(Value::as_str) == Some("pp-snapshot-v1") {
+            // Full parse including the checksum: the printed example must
+            // be a *genuine* snapshot, not hand-typed plausible JSON.
+            SnapshotFile::parse(block)
+                .unwrap_or_else(|e| panic!("snapshot example #{i} rejected: {e}"));
+            snapshots += 1;
+        } else if doc.get("columns").is_some() {
+            pp_bench::output::validate_json(block)
+                .unwrap_or_else(|e| panic!("envelope example #{i} rejected: {e}"));
+            envelopes += 1;
+        } else {
+            panic!("example #{i} matches no documented schema: {block}");
+        }
+    }
+
+    // One worked example per document kind, as the docs promise.
+    assert!(requests >= 4, "submit/snapshot/resume/shutdown examples");
+    assert!(
+        events >= 5,
+        "accepted/progress/snapshot/done/shutdown examples"
+    );
+    assert_eq!(snapshots, 1, "one genuine pp-snapshot-v1 example");
+    assert_eq!(envelopes, 1, "one result-JSON v1 example");
+}
+
+#[test]
+fn the_documented_exit_codes_are_the_real_constants() {
+    let text = architecture_md();
+    for (code, name) in [
+        (0, "EXIT_OK"),
+        (2, "EXIT_SCHEMA_ERROR"),
+        (3, "EXIT_GATE_FAILURE"),
+    ] {
+        assert!(text.contains(name), "exit-code table must mention {name}");
+        let actual = match name {
+            "EXIT_OK" => pp_bench::output::EXIT_OK,
+            "EXIT_SCHEMA_ERROR" => pp_bench::output::EXIT_SCHEMA_ERROR,
+            _ => pp_bench::output::EXIT_GATE_FAILURE,
+        };
+        assert_eq!(code, actual, "{name} drifted from the documented value");
+    }
+}

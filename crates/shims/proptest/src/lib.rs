@@ -237,7 +237,7 @@ pub mod prop {
         use super::super::{Strategy, TestRng};
         use rand::RngExt;
 
-        /// Sizes accepted by [`vec`]: a fixed length, a half-open range, or
+        /// Sizes accepted by [`vec()`]: a fixed length, a half-open range, or
         /// an inclusive range.
         pub trait IntoSizeRange {
             /// Draws one length.

@@ -188,8 +188,31 @@ pub mod rngs {
     }
 
     impl StdRng {
-        pub(crate) fn from_state(s: [u64; 4]) -> Self {
+        /// Resumes a generator parked with [`state`](Self::state).
+        ///
+        /// The engine snapshot surface uses this to serialize a sequential
+        /// generator mid-stream: save the four state words, restore them
+        /// later (possibly in another process), and the continuation is
+        /// bit-identical to the uninterrupted stream.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro256++ cannot leave
+        /// (and [`seed_from_u64`](crate::SeedableRng::seed_from_u64) never
+        /// produces) — a corrupted snapshot must be rejected, not resumed
+        /// into a degenerate generator.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(
+                s != [0, 0, 0, 0],
+                "xoshiro256++ cannot run from the all-zero state"
+            );
             StdRng { s }
+        }
+
+        /// The full generator state; feed to
+        /// [`from_state`](Self::from_state) to resume the stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
         }
     }
 

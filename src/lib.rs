@@ -26,27 +26,50 @@
 //!   measurement;
 //! * [`stats`] (`pp-stats`) — the numerical substrate.
 //!
-//! # Four engine tiers, two equivalence contracts
+//! Three more crates sit above the umbrella and are used as binaries
+//! rather than libraries: `pp-bench` (the `t*` experiment bins, the
+//! result-JSON v1 writer/validator, and the engine dispatch point),
+//! `pp-check` (the fail-closed bounded model checker), and `pp-serve`
+//! (the multi-tenant simulation service with snapshot/resume). See
+//! `ARCHITECTURE.md` for the full crate map and wire formats.
 //!
-//! The workspace ships four behaviour-equivalent simulators under two
-//! contracts. **Bit-exact tier:** the generic agent-based
-//! [`Simulator`](pp_engine::Simulator) is the reference — any topology,
-//! any state type, per-agent measurements (fairness, trajectories,
-//! adversarial shocks) — and the packed
-//! [`PackedSimulator`](pp_engine::PackedSimulator) runs the same dynamics
-//! — bit-for-bit identical trajectories under a shared seed — over `u32`
-//! packed states with the protocol, topology ([`Csr`](pp_graph::Csr) or
-//! arithmetic), and RNG all statically dispatched. **Statistical tier**
-//! (same process distribution, verified by the
-//! [`pp_stats::equivalence`](pp_stats::equivalence) harness rather than
-//! trajectory equality): the [`TurboSimulator`](pp_engine::TurboSimulator)
-//! replaces the sequential RNG with counter-based per-step randomness —
-//! branch-free, rejection-free, optionally `u8`-stored — for general-graph
-//! runs past the exact engines' serial-stream ceiling, and the count-based
-//! [`DenseSimulator`](pp_dense::DenseSimulator) applies only on the
-//! complete graph, advancing the `(colour, shade)` count matrix in
-//! τ-leaped batches, `O(k²/(ε·n))` amortised per step — use it for
-//! complete-graph count-level measurements at scale:
+//! # Six engine tiers, one dispatch point
+//!
+//! The workspace ships six behaviour-equivalent simulators. Every tier
+//! implements the object-safe [`Engine`](pp_engine::Engine) trait —
+//! clock, class-count observation, structural mutation, and versioned
+//! [`save_snapshot`](pp_engine::Engine::save_snapshot)/
+//! [`restore_snapshot`](pp_engine::Engine::restore_snapshot) — and
+//! everything above the engines (experiments, the adversary suite, the
+//! serve loop) holds a `Box<dyn Engine<State = AgentState>>` built at
+//! **one** dispatch point: `pp_bench::runner::build_engine` /
+//! `build_graph_engine`, selected by `EngineKind` (env: `PP_ENGINE`).
+//! The per-interaction hot loops stay monomorphized inside each engine;
+//! the `dyn` dispatch happens once per `run` call, not per step.
+//!
+//! Two equivalence contracts tie the tiers together (details and the
+//! verification grid in `EXPERIMENTS.md`):
+//!
+//! * **Bit-exact** — identical trajectories under a shared seed. The
+//!   generic [`Simulator`](pp_engine::Simulator) (`agent`) is the
+//!   reference; [`PackedSimulator`](pp_engine::PackedSimulator)
+//!   (`packed`) matches it draw for draw over `u32` packed states; and
+//!   [`VecSimulator`](pp_engine::VecSimulator) (`vec`) matches
+//!   [`TurboSimulator`](pp_engine::TurboSimulator) on lane 0.
+//! * **Statistical** — same process distribution, verified by the
+//!   [`pp_stats::equivalence`] harness
+//!   (chi-square / KS / moment batteries under one Bonferroni budget):
+//!   [`TurboSimulator`](pp_engine::TurboSimulator) (`turbo`,
+//!   counter-based per-step randomness, branch- and rejection-free),
+//!   [`ShardedSimulator`](pp_engine::ShardedSimulator) (`sharded`,
+//!   parallel shards with deterministic block reconciliation — a
+//!   trajectory depends on `(seed, shards, block)`, never thread
+//!   count), and the count-based
+//!   [`DenseSimulator`](pp_dense::DenseSimulator) (`dense`), which
+//!   applies only on the complete graph, advancing the
+//!   `(colour, shade)` count matrix in τ-leaped batches,
+//!   `O(k²/(ε·n))` amortised per step — use it for complete-graph
+//!   count-level measurements at scale:
 //!
 //! ```
 //! use population_diversity::prelude::*;
@@ -91,6 +114,24 @@
 //! See the `examples/` directory for runnable scenarios (ant task
 //! allocation, portfolio diversification, consensus-vs-diversity) and
 //! EXPERIMENTS.md for the paper-vs-measured record.
+//!
+//! # Environment variables
+//!
+//! Every knob in the workspace, in one place. All parsers are
+//! fail-fast: an unrecognized value panics with the accepted set
+//! rather than silently falling back.
+//!
+//! | variable | read by | effect |
+//! |---|---|---|
+//! | `PP_ENGINE` | `pp-bench` dispatch (`EngineKind::from_env`) | selects the tier for every experiment bin: `agent`, `packed`, `turbo`, `sharded`, `vec`, or `dense` (default for complete-graph experiments; per-agent workloads map it to `packed`) |
+//! | `PP_PRESET` | `pp-bench` bins | `quick` (default, seconds) or `full` (paper scales) |
+//! | `PP_POOL_THREADS` | `pp-engine` worker pool | caps the shared thread pool the sharded tier and `replicate` use (default: available parallelism) |
+//! | `PP_OBS` | `pp-obs` (`init_from_env`) | recorder sink: unset/`off`, `table` (stderr table at exit), `json` (dump embedded in the result envelope), `jsonl` (events streamed to stderr); requires the `obs` feature — errors if set on an uninstrumented build |
+//! | `PP_BENCH_DIR` | `pp-bench` output writer | directory for `BENCH_<name>.json` envelopes (created if missing; default: working directory) |
+//! | `PP_EQUIV_SEEDS` | equivalence test suites | seed-ensemble size for the statistical batteries (default 48; CI uses 24–32) |
+//! | `PP_CHECK_INJECT` | `pp-check` | `1` switches in the deliberately-bugged protocol — the model-check gate must fail closed (exit 3) |
+//! | `PP_PERF_ASSERT` | `pp-bench` throughput tests | any value opts the release-build test suite into asserting engine speed *ratios* (packed ≥ agent etc.), not just progress |
+//! | `PP_SERVE_QUANTUM` | `pp-serve` | deficit-round-robin slice quantum in steps (default 2048) — smaller interleaves tenants more finely |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
