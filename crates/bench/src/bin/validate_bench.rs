@@ -21,7 +21,10 @@
 //! The gate reproduces the bench-regression contract previously inlined as
 //! CI python: every (n, engine) row present in both the baseline and the
 //! fresh throughput report must retain at least `--min-ratio` of its
-//! baseline step rate.
+//! baseline step rate. The gate keys on the envelopes' `runner_class`
+//! labels: when baseline and fresh carry the same non-null class the
+//! floor is raised to at least 0.80 (same hardware answers for a 20%
+//! band; unlabelled or cross-class comparisons keep the loose default).
 
 use pp_bench::output::{EXIT_GATE_FAILURE, EXIT_SCHEMA_ERROR};
 use pp_bench::schema::{self, Value};
@@ -97,9 +100,43 @@ fn rates(doc: &Value, path: &str) -> BTreeMap<String, f64> {
     out
 }
 
+/// The `runner_class` label of an artifact (absent and `null` are both
+/// "unlabelled" — pre-label artifacts and ad-hoc local runs).
+fn runner_class_of(doc: &Value) -> Option<String> {
+    doc.get("runner_class")
+        .and_then(Value::as_str)
+        .map(str::to_string)
+}
+
+/// Same-hardware comparisons answer for a tighter band than
+/// cross-hardware ones: when baseline and fresh carry the same non-null
+/// `runner_class`, the floor rises to at least this value (a 20% band
+/// instead of the default 30%).
+const SAME_CLASS_MIN_RATIO: f64 = 0.80;
+
+/// The floor the gate actually enforces, given both artifacts' labels:
+/// raised to [`SAME_CLASS_MIN_RATIO`] when the classes match and are
+/// non-null, the caller's `min_ratio` otherwise (never lowered — a
+/// stricter explicit `--min-ratio` always wins).
+fn effective_min_ratio(min_ratio: f64, base: Option<&str>, fresh: Option<&str>) -> f64 {
+    match (base, fresh) {
+        (Some(b), Some(f)) if b == f => min_ratio.max(SAME_CLASS_MIN_RATIO),
+        _ => min_ratio,
+    }
+}
+
 fn gate(baseline_path: &str, fresh_path: &str, min_ratio: f64) -> bool {
-    let baseline = rates(&load_validated(baseline_path), baseline_path);
-    let fresh = rates(&load_validated(fresh_path), fresh_path);
+    let base_doc = load_validated(baseline_path);
+    let fresh_doc = load_validated(fresh_path);
+    let (base_class, fresh_class) = (runner_class_of(&base_doc), runner_class_of(&fresh_doc));
+    let min_ratio = effective_min_ratio(min_ratio, base_class.as_deref(), fresh_class.as_deref());
+    println!(
+        "gate: runner classes {} vs {} — min ratio {min_ratio}",
+        base_class.as_deref().unwrap_or("(unlabelled)"),
+        fresh_class.as_deref().unwrap_or("(unlabelled)"),
+    );
+    let baseline = rates(&base_doc, baseline_path);
+    let fresh = rates(&fresh_doc, fresh_path);
     let mut ok = true;
     let mut compared = 0usize;
     for (key, &base) in &baseline {
@@ -227,5 +264,44 @@ fn main() {
     }
     if !gates_ok {
         exit(EXIT_GATE_FAILURE);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_class_tightens_the_floor_and_nothing_else_does() {
+        let cases = [
+            (Some("ci-4core"), Some("ci-4core"), 0.80),
+            (Some("ci-4core"), Some("ci-2core"), 0.70),
+            (Some("ci-4core"), None, 0.70),
+            (None, Some("ci-4core"), 0.70),
+            (None, None, 0.70),
+        ];
+        for (base, fresh, want) in cases {
+            assert_eq!(
+                effective_min_ratio(0.70, base, fresh),
+                want,
+                "classes {base:?} vs {fresh:?}"
+            );
+        }
+        // An explicitly stricter CLI floor is never relaxed.
+        assert_eq!(
+            effective_min_ratio(0.90, Some("x"), Some("x")),
+            0.90,
+            "same-class must not lower a stricter explicit floor"
+        );
+    }
+
+    #[test]
+    fn runner_class_of_reads_string_and_treats_null_as_unlabelled() {
+        let doc = schema::parse("{\"runner_class\":\"ci-4core\"}").unwrap();
+        assert_eq!(runner_class_of(&doc).as_deref(), Some("ci-4core"));
+        let doc = schema::parse("{\"runner_class\":null}").unwrap();
+        assert_eq!(runner_class_of(&doc), None);
+        let doc = schema::parse("{}").unwrap();
+        assert_eq!(runner_class_of(&doc), None);
     }
 }

@@ -79,6 +79,17 @@ fn format_f64(x: f64) -> String {
     }
 }
 
+/// The hardware-class label this process stamps into envelopes:
+/// `PP_RUNNER_CLASS` when set and non-empty, else `None` (written as
+/// `null`). Free-form — CI sets e.g. `ci-4core` so the regression gate
+/// can tell same-hardware comparisons (tight band) from cross-hardware
+/// ones (loose band).
+pub fn runner_class() -> Option<String> {
+    std::env::var("PP_RUNNER_CLASS")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
 /// Renders a [`Report`] as a result-JSON v1 envelope.
 ///
 /// `recorder_json` is the pre-rendered [`pp_obs::Dump::to_json`] object when
@@ -108,7 +119,8 @@ pub fn result_json_v1(
         "{{\n  \"schema_version\": {SCHEMA_VERSION},\n  \"name\": {name},\n  \"title\": {title},\n  \
          \"engine\": {engine},\n  \"preset\": {preset},\n  \"params\": {{{params}}},\n  \
          \"columns\": {columns},\n  \"rows\": [\n    {rows}\n  ],\n  \"notes\": {notes},\n  \
-         \"wall_ms\": {wall_ms},\n  \"steps_per_sec\": {rate},\n  \"recorder\": {recorder}\n}}\n",
+         \"wall_ms\": {wall_ms},\n  \"steps_per_sec\": {rate},\n  \
+         \"runner_class\": {class},\n  \"recorder\": {recorder}\n}}\n",
         name = quote(name),
         title = quote(&report.title),
         engine = match &report.engine {
@@ -124,6 +136,10 @@ pub fn result_json_v1(
         rate = match report.steps_per_sec {
             Some(r) if r.is_finite() && r >= 0.0 => format_f64(r),
             _ => "null".to_string(),
+        },
+        class = match runner_class() {
+            Some(c) => quote(&c),
+            None => "null".to_string(),
         },
         recorder = recorder_json.unwrap_or("null"),
     )
@@ -328,6 +344,27 @@ mod tests {
                 .unwrap()
                 .as_f64(),
             Some(1.0)
+        );
+    }
+
+    #[test]
+    fn runner_class_rides_the_envelope() {
+        // Single test owns PP_RUNNER_CLASS (sibling tests never set it),
+        // so the unset → set → unset sequence is race-free in practice.
+        std::env::remove_var("PP_RUNNER_CLASS");
+        let json = result_json_v1("unit_class", &sample_report(), "quick", 1.0, None);
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"runner_class\": null"));
+
+        std::env::set_var("PP_RUNNER_CLASS", "ci-4core");
+        let json = result_json_v1("unit_class", &sample_report(), "quick", 1.0, None);
+        std::env::remove_var("PP_RUNNER_CLASS");
+        validate_json(&json).unwrap();
+        let doc = schema::parse(&json).unwrap();
+        assert_eq!(
+            doc.get("runner_class").unwrap().as_str(),
+            Some("ci-4core"),
+            "the label must round-trip through the parser"
         );
     }
 

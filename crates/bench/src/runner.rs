@@ -161,8 +161,10 @@ impl EngineKind {
 }
 
 /// A boxed engine running Diversification — the currency of the generic
-/// experiment path.
-pub type DivEngine = Box<dyn Engine<State = AgentState>>;
+/// experiment path. `Send` so holders (notably the `pp serve` data
+/// plane) may run slices of distinct engines on pool workers; every
+/// tier is a plain owned value, so the bound costs nothing.
+pub type DivEngine = Box<dyn Engine<State = AgentState> + Send>;
 
 /// Builds a Diversification engine of the selected tier over an arbitrary
 /// topology, from explicit initial states — the bench layer's **single**

@@ -22,9 +22,16 @@
 //!   "notes": ["fitted slope ..."],       // free-form observations
 //!   "wall_ms": 1234.5,                   // wall-clock of the run
 //!   "steps_per_sec": null,               // aggregate rate, when measured
+//!   "runner_class": null,                // PP_RUNNER_CLASS hardware label
 //!   "recorder": null                     // pp-obs dump when PP_OBS=json
 //! }
 //! ```
+//!
+//! `runner_class` names the hardware class that produced the artifact
+//! (e.g. `"ci-4core"`); step-rate gates tighten their band when baseline
+//! and fresh report the same class, and stay loose across classes or
+//! when either side is `null` (pre-label artifacts parse as v1 too —
+//! the field is optional on read, always written by current bins).
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -425,6 +432,14 @@ pub fn validate_v1(doc: &Value) -> Result<(), String> {
         Some(Value::Num(v)) if *v >= 0.0 => {}
         _ => return Err("field `steps_per_sec` must be a non-negative number or null".into()),
     }
+    match doc.get("runner_class") {
+        None | Some(Value::Null) => {}
+        Some(Value::Str(s)) if !s.is_empty() => {}
+        Some(Value::Str(_)) => {
+            return Err("field `runner_class` must be non-empty when a string".into())
+        }
+        _ => return Err("field `runner_class` must be a string or null".into()),
+    }
     match doc.get("recorder") {
         Some(Value::Null) | Some(Value::Obj(_)) => {}
         _ => return Err("field `recorder` must be an object or null".into()),
@@ -441,6 +456,7 @@ pub fn validate_v1(doc: &Value) -> Result<(), String> {
         "notes",
         "wall_ms",
         "steps_per_sec",
+        "runner_class",
         "recorder",
     ];
     for key in obj.keys() {
@@ -575,5 +591,23 @@ mod tests {
         // Unknown fields are schema drift.
         let doc = parse(&minimal_v1().replace("\"wall_ms\"", "\"walltime\"")).unwrap();
         assert!(validate_v1(&doc).is_err(), "accepted unknown field");
+    }
+
+    #[test]
+    fn runner_class_is_optional_string_or_null() {
+        // Absent (pre-label artifacts) and null both validate.
+        let doc = parse(&minimal_v1()).unwrap();
+        validate_v1(&doc).unwrap();
+        let with = |v: &str| {
+            minimal_v1().replace(
+                "\"steps_per_sec\":null",
+                &format!("\"steps_per_sec\":null,\"runner_class\":{v}"),
+            )
+        };
+        validate_v1(&parse(&with("null")).unwrap()).unwrap();
+        validate_v1(&parse(&with("\"ci-4core\"")).unwrap()).unwrap();
+        assert!(validate_v1(&parse(&with("\"\"")).unwrap()).is_err());
+        assert!(validate_v1(&parse(&with("7")).unwrap()).is_err());
+        assert!(validate_v1(&parse(&with("[]")).unwrap()).is_err());
     }
 }

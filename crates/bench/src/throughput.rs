@@ -40,6 +40,16 @@
 //! seeds per step loop). Both rows report **replica-steps** per second —
 //! equal simulated work, so the ratio is the ensemble speedup the vec
 //! tier buys.
+//!
+//! Part 7 is the count-split scaling ladder: one fixed sharded workload
+//! (torus at `n = 10⁶`, 8 shards, the default block for that size) run
+//! at `P = 1, 2, 4, 8` worker threads through
+//! [`ShardedSimulator::run_with_threads`]. The layout is pinned so every
+//! row simulates the *identical* trajectory — the count-split scheduler
+//! makes granted step counts a function of `(seed, block)` only — and
+//! the rows differ purely in wall clock. The notes record the `p2/p1`
+//! and `p4/p1` scaling plus the `p1/turbo` ratio (the serial-overhead
+//! acceptance: `p1 ≥ 0.95× turbo`).
 
 use crate::experiments::Report;
 use crate::runner::{build_graph_engine, standard_weights, EngineKind, Preset};
@@ -237,6 +247,32 @@ pub fn run_sharded_scale(seed: u64, budget_secs: f64) -> (Measurement, Measureme
     let turbo = measure_turbo_graph(topology, seed, budget_secs);
     let sharded = measure_sharded_graph(topology, seed, budget_secs);
     (turbo, sharded)
+}
+
+/// Shard count of the Part-7 scaling ladder — the top of its thread
+/// range, so the `p8` row runs one thread per shard.
+pub const SCALING_SHARDS: usize = 8;
+
+/// Block length of the Part-7 ladder: the default block the sharded
+/// tier picks at `n = 10⁶` (`(n/16).clamp(256, 16384)`), pinned here so
+/// the ladder's trajectory stays fixed if the default moves.
+pub const SCALING_BLOCK: u64 = 16_384;
+
+/// Times the sharded engine on the Part-7 ladder workload (torus at
+/// `n = 10⁶`, [`SCALING_SHARDS`] shards, [`SCALING_BLOCK`] block) with
+/// an explicit worker-thread count, bypassing the shared pool budget.
+/// Every thread count simulates the same trajectory — the count-split
+/// schedule is a function of `(seed, block index)` alone — so the rows
+/// measure scheduling overhead and parallel speedup, nothing else.
+pub fn measure_sharded_scaling(threads: usize, seed: u64, budget_secs: f64) -> Measurement {
+    let weights = standard_weights();
+    let topology = Torus2d::new(1_000, 1_000);
+    let n = topology.len();
+    let states = init::all_dark_balanced(n, &weights);
+    let mut sim =
+        ShardedSimulator::<_, _, u8>::new(Diversification::new(weights), topology, &states, seed)
+            .with_layout(SCALING_SHARDS, SCALING_BLOCK);
+    measure_loop(n as u64, budget_secs, |b| sim.run_with_threads(b, threads))
 }
 
 /// Times a churn-driven run through the generic `Engine` path: the
@@ -498,8 +534,10 @@ pub fn run(preset: Preset, seed: u64) -> Report {
 
     // Part 3: the multi-core acceptance scale — turbo vs sharded at
     // n = 10⁶ on the torus, with however many cores this runner grants.
+    let turbo_scale_rate;
     {
         let (turbo, sharded) = run_sharded_scale(seed, preset.pick(0.3, 1.0));
+        turbo_scale_rate = turbo.steps_per_second();
         let ratio = sharded.steps_per_second() / turbo.steps_per_second();
         for (engine, m) in [("turbo", &turbo), ("sharded", &sharded)] {
             table.row([
@@ -646,6 +684,44 @@ pub fn run(preset: Preset, seed: u64) -> Report {
             ENSEMBLE_LANES,
             pool::parallelism(),
         ));
+    }
+
+    // Part 7: the count-split scaling ladder — the same 8-shard sharded
+    // workload at P = 1/2/4/8 worker threads. The pinned layout keeps
+    // every row on the identical trajectory; the notes carry the scaling
+    // ratios and the p1-vs-turbo serial-overhead acceptance.
+    {
+        let ladder_budget = preset.pick(0.2, 0.8);
+        let mut rates = Vec::new();
+        for threads in [1usize, 2, 4, 8] {
+            let m = measure_sharded_scaling(threads, seed, ladder_budget);
+            table.row([
+                "1000000".to_string(),
+                format!("sharded-p{threads} torus"),
+                m.steps.to_string(),
+                fmt_f64(m.seconds),
+                fmt_f64(m.steps_per_second() / 1e6),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+                "-".to_string(),
+            ]);
+            rates.push((threads, m.steps_per_second()));
+        }
+        let rate = |p: usize| rates.iter().find(|&&(t, _)| t == p).map(|&(_, r)| r);
+        if let (Some(p1), Some(p2), Some(p4), Some(p8)) = (rate(1), rate(2), rate(4), rate(8)) {
+            notes.push(format!(
+                "count-split ladder @ n = 10^6 torus ({SCALING_SHARDS} shards, block {SCALING_BLOCK}): \
+                 p1 {p1:.3e}, p2 {p2:.3e}, p4 {p4:.3e}, p8 {p8:.3e} steps/s \
+                 (p2/p1 {:.2}x, p4/p1 {:.2}x, p8/p1 {:.2}x; p1/turbo {:.2}x, target ≥ 0.95x; \
+                 {} available core(s) — scaling ratios are only meaningful when cores ≥ P)",
+                p2 / p1,
+                p4 / p1,
+                p8 / p1,
+                p1 / turbo_scale_rate,
+                pool::parallelism(),
+            ));
+        }
     }
 
     let mut report = Report::new(
@@ -816,6 +892,18 @@ mod tests {
              (probe {ns_per_call:.4} ns/call, 2 calls per {n} steps) — \
              over 1% of the {step_ns:.2} ns turbo step"
         );
+    }
+
+    #[test]
+    fn scaling_ladder_makes_progress_at_every_thread_count() {
+        // The Part-7 rows must complete at every P even when the machine
+        // has fewer cores — run_with_threads spawns workers regardless of
+        // the pool budget. Speedup ratios are CI's job (scaling-smoke);
+        // here the gate is progress plus the pinned-layout invariant.
+        for threads in [1usize, 2, 8] {
+            let m = measure_sharded_scaling(threads, 3, 0.02);
+            assert!(m.steps > 0, "p{threads} ladder row made no progress");
+        }
     }
 
     #[test]

@@ -750,9 +750,14 @@ where
             clock,
             seed: ShardedSimulator::seed(self),
             states: ShardedSimulator::states_packed(self),
-            // The layout is part of the trajectory: a restore on a
-            // machine with a different core count must not re-derive it.
-            aux: vec![self.partition().shards() as u64, self.block()],
+            // The layout and read mode are part of the trajectory: a
+            // restore on a machine with a different core count must not
+            // re-derive them.
+            aux: vec![
+                self.partition().shards() as u64,
+                self.block(),
+                self.read_mode().aux_word(),
+            ],
         }
     }
 
@@ -763,12 +768,13 @@ where
             &self.topology().name(),
             self.len() as u64,
         )?;
-        let [shards, block]: [u64; 2] = snapshot.aux.as_slice().try_into().map_err(|_| {
-            SnapshotError::BadPayload(format!(
-                "sharded tier aux must be [shards, block], got {} words",
-                snapshot.aux.len()
-            ))
-        })?;
+        let [shards, block, mode_word]: [u64; 3] =
+            snapshot.aux.as_slice().try_into().map_err(|_| {
+                SnapshotError::BadPayload(format!(
+                    "sharded tier aux must be [shards, block, read_mode], got {} words",
+                    snapshot.aux.len()
+                ))
+            })?;
         if shards == 0 || shards > snapshot.n {
             return Err(SnapshotError::BadPayload(format!(
                 "shard count {shards} out of range for {} agents",
@@ -780,6 +786,11 @@ where
                 "block length {block} out of range"
             )));
         }
+        let read_mode = crate::sharded::ReadMode::from_aux_word(mode_word).ok_or_else(|| {
+            SnapshotError::BadPayload(format!(
+                "unknown sharded read-mode code {mode_word} (expected 0 = defer, 1 = snapshot)"
+            ))
+        })?;
         if !snapshot.clock.is_multiple_of(block) {
             return Err(SnapshotError::BadPayload(format!(
                 "clock {} is not on the {block}-step block grid; sharded \
@@ -795,6 +806,7 @@ where
             snapshot.seed,
             shards as usize,
             block,
+            read_mode,
         );
         Ok(())
     }

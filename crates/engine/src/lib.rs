@@ -89,7 +89,7 @@ pub use packed::{PackedProtocol, PackedSimulator, MAX_PACKED_OBSERVATIONS};
 pub use population::Population;
 pub use protocol::Protocol;
 pub use replicate::{replicate, replicate_vec};
-pub use sharded::ShardedSimulator;
+pub use sharded::{ReadMode, ShardedSimulator};
 pub use simulator::Simulator;
 pub use snapshot::{EngineSnapshot, SnapshotError};
 pub use sweep::sweep_grid;

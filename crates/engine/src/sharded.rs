@@ -7,43 +7,72 @@
 //! index-striped for the complete graph — each topology picks via
 //! [`Topology::preferred_partition`]), and the shards step concurrently.
 //!
-//! # Scheduling contract
+//! # Scheduling contract: the count-split
 //!
-//! The engine keeps the turbo tier's counter-based scheduling **exactly**:
-//! one global SplitMix64 Weyl walk assigns each time-step `t` a uniform
-//! agent via a multiply-shift draw. Every shard scans the same walk and
-//! processes the steps whose scheduled agent it owns — so the activation
-//! sequence (which agent acts at which step) has the same distribution as
-//! the sequential engines', including the multinomial split of any window
-//! of steps across shards. Owned steps draw their partner and transition
-//! entropy from a per-shard stream keyed `(seed, shard, block)`
-//! ([`CounterRng::for_shard`]), so shards never contend for randomness
-//! and the whole trajectory is a pure function of
-//! `(protocol, topology, initial states, seed, shards, block)` —
-//! **independent of how many threads execute it**.
+//! Uniform scheduling decomposes **exactly**. In a block of `B`
+//! time-steps, the number of steps scheduled on each shard is jointly
+//! multinomial over the shard sizes, and conditioned on those counts the
+//! scheduled agents are uniform *within* each shard. The engine samples
+//! that decomposition directly instead of scanning a shared schedule:
 //!
-//! # Boundary reconciliation
+//! 1. Per block, the per-shard granted counts `c_0..c_{S−1}` are drawn
+//!    from one dedicated counter stream (`CounterRng::for_shard(seed,
+//!    u64::MAX, block)` — the tag is reserved; shard ids fit `u32`) as a
+//!    chain of conditional binomials over the partition's shard sizes,
+//!    `c_s ~ Binomial(B − Σc_<s, size_s / rem_nodes)`. The chain's joint
+//!    law is exactly the multinomial the old per-step uniform draw
+//!    induced.
+//! 2. Each shard runs its granted count alone: one agent draw (uniform
+//!    over its own members) plus `m` partner draws per step, all from its
+//!    private stream keyed `(seed, shard, block)`
+//!    ([`CounterRng::for_shard`]).
 //!
-//! A shard applies an interaction immediately only when the scheduled
-//! agent *and* every observed partner are shard-local. Cross-shard
-//! interactions cannot read remote state mid-block (the owner may be
-//! mid-write), so they are queued — `(step offset, agent, partners,
-//! entropy)` — and applied between blocks in one deterministic merge,
-//! ordered by global step position (offsets are unique: each step has one
-//! owner). The relaxation is therefore a bounded *reordering*: within one
-//! block of `B` steps, cross-shard interactions execute after the block's
-//! local ones, each delayed by less than `B` steps, i.e. less than `B/n`
-//! parallel rounds. With the default block (`B ≤ n/16`) that is a ≤ 1/16
-//! round perturbation carried by the cut fraction
-//! ([`Partition::cross_edge_fraction`]) of interactions — on partitioned
-//! geometric families (rings, tori) the cut is `O(shards/√n)` and the
-//! bias is orders of magnitude below the statistical harness's
-//! resolution; on expanders and the complete graph the cut approaches
-//! `(shards−1)/shards`, which keeps the engine *correct* (verified by
-//! `tests/sharded_equivalence.rs`) but serialises most interactions
-//! through the merge — prefer turbo there. Total interaction counts are
-//! preserved exactly: every scheduled step executes exactly once, local
-//! or merged.
+//! No shard touches another's randomness and no per-step global hash
+//! work remains, so scheduled-step throughput scales with the worker
+//! count while the trajectory stays a pure function of
+//! `(protocol, topology, initial states, seed, shards, block, read
+//! mode)` — **independent of how many threads execute it**. A shard
+//! paused mid-block realigns in `O(1)`: executing the block sub-range
+//! `[q0, q1)` means running granted steps `j ∈ [⌊c·q0/B⌋, ⌊c·q1/B⌋)`,
+//! and the stream skips to position `j0·(m+1)` with one multiply-add
+//! ([`CounterRng::advance_by`]).
+//!
+//! # Cross-shard reads: two modes
+//!
+//! Shards only ever *write* their own members, so the within-block
+//! interleaving of shard-local interactions is unobservable. What needs a
+//! policy is a scheduled agent *reading* a partner another shard owns
+//! (the owner may be mid-write). [`ReadMode`] picks it:
+//!
+//! - [`Defer`](ReadMode::Defer) (default on contiguous partitions): the
+//!   interaction is queued — `(merge key, agent, partners, entropy)` —
+//!   and applied between blocks in one deterministic merge, ordered by
+//!   `(granted index, shard)`, a round-robin interleave of the shard
+//!   sub-sequences. The relaxation is a bounded *reordering*: every
+//!   deferred interaction lands within its own block, i.e. delayed by
+//!   less than `B` steps — less than `B/n` parallel rounds. With the
+//!   default block (`B ≤ n/16`) that is a ≤ 1/16-round perturbation
+//!   carried by the cut fraction ([`Partition::cross_edge_fraction`]) of
+//!   interactions; on rings and tori the cut is `O(shards/√n)` and the
+//!   bias sits orders of magnitude below the statistical harness's
+//!   resolution. Interaction counts are exact: every granted step
+//!   executes exactly once, local or merged.
+//! - [`Snapshot`](ReadMode::Snapshot) (default on strided partitions —
+//!   expanders and the complete graph, where the cut approaches
+//!   `(S−1)/S` and deferring would serialise most interactions through
+//!   the merge): remote partner reads come from a **block-start
+//!   snapshot** of the global state, local reads stay live, and every
+//!   interaction applies immediately — no queue, no merge. A remote read
+//!   is then at most one block stale, a staleness bias of
+//!   `O(B/n × cut-fraction)` parallel rounds (≤ 1/16 round at the
+//!   default block even at full cut), verified against the bit-exact
+//!   engines by the second `EquivalenceSuite` battery in
+//!   `tests/sharded_equivalence.rs`. The gather costs `O(n)` per block —
+//!   16 words per step at the default block length.
+//!
+//! Both modes are statistical-tier relaxations with the same trajectory
+//! determinism: `(seed, shards, block, read mode)` fixes the run bit for
+//! bit regardless of thread count.
 //!
 //! # Threads
 //!
@@ -52,21 +81,73 @@
 //! execution instead of oversubscribing. Workers are spawned **once per
 //! `run` call** and stay parked on channels across all of the run's
 //! blocks; shard state moves to a worker and back each block (two pointer
-//! moves), and the reconciliation merge runs on the calling thread while
-//! workers wait for the next block.
+//! moves), and the boundary work (the merge, or the next block's
+//! snapshot gather) runs on the calling thread while workers wait.
 
 use crate::packed::MAX_PACKED_OBSERVATIONS;
 use crate::pool;
 use crate::{PackedProtocol, Population, TurboWord};
 use pp_graph::{Partition, PartitionKind, Topology};
-use rand::rngs::{splitmix64, CounterRng, GOLDEN};
+use rand::rngs::{CounterRng, GOLDEN};
 use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
 
-/// A cross-shard interaction awaiting the block-boundary merge.
+/// The stream tag of the per-block count-split draw
+/// (`CounterRng::for_shard(seed, SPLIT_STREAM, block)`). Reserved: real
+/// shard ids are bounded by the `u32` node-id budget.
+const SPLIT_STREAM: u64 = u64::MAX;
+
+/// How a scheduled agent reads partners owned by another shard. Part of
+/// the trajectory key (and of the snapshot aux payload): two runs agree
+/// bit for bit only when their read modes match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadMode {
+    /// Queue the interaction and apply it in the deterministic
+    /// block-boundary merge (bounded reordering; exact interaction
+    /// counts). Default for contiguous partitions, whose cut is small.
+    Defer,
+    /// Read remote partners from a block-start snapshot of the global
+    /// state and apply the interaction immediately (bounded staleness;
+    /// no merge). Default for strided partitions — high-cut families
+    /// where deferring would serialise most interactions.
+    Snapshot,
+}
+
+impl ReadMode {
+    /// The mode each partition layout defaults to.
+    pub fn default_for(kind: PartitionKind) -> Self {
+        match kind {
+            PartitionKind::Contiguous => ReadMode::Defer,
+            PartitionKind::Strided => ReadMode::Snapshot,
+        }
+    }
+
+    /// The mode's snapshot-aux encoding (`Defer` = 0, `Snapshot` = 1).
+    pub fn aux_word(self) -> u64 {
+        match self {
+            ReadMode::Defer => 0,
+            ReadMode::Snapshot => 1,
+        }
+    }
+
+    /// Decodes [`aux_word`](Self::aux_word); `None` for unknown codes.
+    pub fn from_aux_word(w: u64) -> Option<Self> {
+        match w {
+            0 => Some(ReadMode::Defer),
+            1 => Some(ReadMode::Snapshot),
+            _ => None,
+        }
+    }
+}
+
+/// A cross-shard interaction awaiting the block-boundary merge
+/// (`Defer` mode only).
 #[derive(Debug, Clone, Copy)]
 struct Deferred {
-    /// Step position within the current block (unique across shards).
-    offset: u32,
+    /// Merge order: `(granted index << 32) | shard` — the round-robin
+    /// interleave of the shard sub-sequences. Unique: each shard has one
+    /// interaction per granted index.
+    key: u64,
     /// Scheduled agent (global id).
     agent: u32,
     /// Observed partners (global ids); first `OBSERVATIONS` entries used.
@@ -105,19 +186,21 @@ struct Job<W> {
     block_start: u64,
     from: u64,
     to: u64,
+    counts: Arc<Vec<u64>>,
+    snap: Option<Arc<Vec<u32>>>,
     batch: Vec<(usize, Shard<W>)>,
 }
 
 /// The graph-partitioned parallel simulator.
 ///
-/// Same scheduling model and state encoding as
-/// [`TurboSimulator`](crate::TurboSimulator) — counter-based randomness,
-/// packed `u32` protocol words in [`TurboWord`] storage — but the node
-/// set is partitioned and shard-local interaction blocks run in parallel,
-/// with cross-shard interactions applied in a deterministic merge between
-/// blocks (see the module docs for the exact contract). Statistical-tier
-/// engine: verified against the bit-exact engines by the `pp-stats`
-/// equivalence harness (`tests/sharded_equivalence.rs`).
+/// Same state encoding as [`TurboSimulator`](crate::TurboSimulator) —
+/// counter-based randomness, packed `u32` protocol words in [`TurboWord`]
+/// storage — but scheduling is decomposed per shard by an exact
+/// multinomial count-split and shard blocks run in parallel, with
+/// cross-shard reads resolved per [`ReadMode`] (see the module docs for
+/// the exact contract). Statistical-tier engine: verified against the
+/// bit-exact engines by the `pp-stats` equivalence harness
+/// (`tests/sharded_equivalence.rs`).
 ///
 /// # Examples
 ///
@@ -159,25 +242,29 @@ pub struct ShardedSimulator<P: PackedProtocol, T: Topology, W: TurboWord = u32> 
     shards: Vec<Shard<W>>,
     step: u64,
     seed: u64,
-    /// Start of the global schedule walk (same derivation as the turbo
-    /// engine's); step `t`'s scheduling word is position `t` of the walk.
-    weyl_base: u64,
     block: u64,
+    read_mode: ReadMode,
+    /// Block-start snapshot of the packed global state (`Snapshot` mode,
+    /// multi-shard blocks only). Lives from the block's first segment to
+    /// its boundary so mid-block pauses resume against the same copy.
+    block_snap: Option<Arc<Vec<u32>>>,
     last_threads: usize,
     double_count_boundary: bool,
+    split_off_by_one: bool,
 }
 
 /// Shard count `run` plans for by default: one per available core, but at
 /// least `MIN_NODES_PER_SHARD` nodes per shard — below that the per-block
-/// schedule scan and merge overheads outweigh any parallel win.
+/// split and boundary overheads outweigh any parallel win.
 fn auto_shards(n: usize) -> usize {
     const MIN_NODES_PER_SHARD: usize = 4096;
     pool::parallelism().min(n / MIN_NODES_PER_SHARD).max(1)
 }
 
-/// Default block length: short enough that the boundary-reordering window
-/// stays well under a parallel round, long enough to amortise the
-/// per-block hand-off (two channel moves per shard) and merge.
+/// Default block length: short enough that the boundary-reordering (or
+/// snapshot-staleness) window stays well under a parallel round, long
+/// enough to amortise the per-block hand-off (two channel moves per
+/// shard) and boundary work.
 fn auto_block(n: usize) -> u64 {
     (n as u64 / 16).clamp(256, 16384)
 }
@@ -185,8 +272,10 @@ fn auto_block(n: usize) -> u64 {
 impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
     /// Creates a simulator at time-step 0 with the topology's preferred
     /// partition layout, one shard per available core (capped so shards
-    /// stay large enough to be worth a thread), and the default block
-    /// length. Override with [`with_layout`](Self::with_layout).
+    /// stay large enough to be worth a thread), the default block
+    /// length, and the layout's default [`ReadMode`]. Override with
+    /// [`with_layout`](Self::with_layout) /
+    /// [`with_read_mode`](Self::with_read_mode).
     ///
     /// # Panics
     ///
@@ -224,7 +313,8 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
             "packed protocol must observe 1..={MAX_PACKED_OBSERVATIONS} agents, got {}",
             P::OBSERVATIONS
         );
-        let partition = Partition::new(n, auto_shards(n), topology.preferred_partition());
+        let kind = topology.preferred_partition();
+        let partition = Partition::new(n, auto_shards(n), kind);
         let mut sim = ShardedSimulator {
             protocol,
             topology,
@@ -232,12 +322,12 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
             shards: Vec::new(),
             step: 0,
             seed,
-            // Hashed, so related seeds start unrelated walks (same
-            // derivation as the turbo engine).
-            weyl_base: splitmix64(seed ^ 0xA076_1D64_78BD_642F),
             block: auto_block(n),
+            read_mode: ReadMode::default_for(kind),
+            block_snap: None,
             last_threads: 1,
             double_count_boundary: false,
+            split_off_by_one: false,
         };
         sim.scatter(states);
         sim
@@ -245,18 +335,19 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
 
     /// Overrides the shard count and block length (in time-steps). The
     /// partition layout stays the topology's preferred kind; the
-    /// trajectory is a function of both parameters (and the seed), so
-    /// comparisons must fix them.
+    /// trajectory is a function of both parameters (and the seed and
+    /// read mode), so comparisons must fix them.
     ///
     /// # Panics
     ///
     /// Panics if `shards` is 0 or exceeds the population, or if `block`
-    /// is 0 or above `u32::MAX` (queue offsets are stored as `u32`).
+    /// is 0 or above `u32::MAX` (merge keys pack the granted index into
+    /// 32 bits).
     pub fn with_layout(mut self, shards: usize, block: u64) -> Self {
         assert!(block > 0, "block length must be positive");
         assert!(
             block <= u32::MAX as u64,
-            "block length {block} overflows queue offsets"
+            "block length {block} overflows merge keys"
         );
         assert_eq!(self.step, 0, "layout must be chosen before stepping");
         let states = self.states_packed();
@@ -267,6 +358,18 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
         );
         self.block = block;
         self.scatter(states);
+        self
+    }
+
+    /// Overrides the cross-shard [`ReadMode`] (the constructor picks the
+    /// partition layout's default). Trajectory-relevant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulator has already stepped.
+    pub fn with_read_mode(mut self, mode: ReadMode) -> Self {
+        assert_eq!(self.step, 0, "read mode must be chosen before stepping");
+        self.read_mode = mode;
         self
     }
 
@@ -283,18 +386,32 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
             shards[partition.shard_of(u)].states.push(W::narrow(p));
         }
         self.shards = shards;
+        self.block_snap = None;
     }
 
     /// Test-and-verification hook: when enabled, every boundary
     /// interaction is applied **twice** in the reconciliation merge — the
-    /// canonical double-count bug of parallel simulators. The statistical
-    /// equivalence harness must reject a simulator with this flag set
-    /// (`tests/sharded_equivalence.rs` demonstrates rejection at
-    /// `p < 10⁻⁶`), which is the evidence that the harness would catch a
-    /// real reconciliation bug.
+    /// canonical double-count bug of parallel simulators. Only observable
+    /// in [`Defer`](ReadMode::Defer) mode (the merge is the code it
+    /// corrupts). The statistical equivalence harness must reject a
+    /// simulator with this flag set (`tests/sharded_equivalence.rs`
+    /// demonstrates rejection at `p < 10⁻⁶`), which is the evidence that
+    /// the harness would catch a real reconciliation bug.
     #[doc(hidden)]
     pub fn inject_boundary_double_count(&mut self, enabled: bool) {
         self.double_count_boundary = enabled;
+    }
+
+    /// Test-and-verification hook: when enabled, every block's count
+    /// split moves one granted step from the highest-indexed non-empty
+    /// shard to shard 0 — the canonical off-by-one of a work-splitting
+    /// scheduler (totals still sum to the block, so step accounting
+    /// cannot catch it). The statistical equivalence harness must reject
+    /// a simulator with this flag set at `p < 10⁻⁶`
+    /// (`tests/sharded_equivalence.rs`).
+    #[doc(hidden)]
+    pub fn inject_split_off_by_one(&mut self, enabled: bool) {
+        self.split_off_by_one = enabled;
     }
 
     /// Runs `steps` time-steps, taking worker threads from the shared
@@ -336,29 +453,63 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
         (block_index, block_start, seg_end)
     }
 
+    /// Fresh-block boundary work shared by the inline and threaded
+    /// drivers: tallies the block, and in `Snapshot` mode captures the
+    /// block-start state copy remote reads will serve from.
+    fn begin_block(&mut self) {
+        pp_obs::obs_count!("sharded.split_blocks", 1);
+        if self.read_mode == ReadMode::Snapshot && self.partition.shards() > 1 {
+            pp_obs::obs_count!("sharded.snapshot_blocks", 1);
+            self.block_snap = Some(Arc::new(gather(&self.partition, &self.shards)));
+        }
+    }
+
     fn run_inline(&mut self, deadline: u64) {
         while self.step < deadline {
             let (block_index, block_start, seg_end) = self.segment_bounds(deadline);
+            let counts = split_counts(
+                self.seed,
+                block_index,
+                &self.partition,
+                self.block,
+                self.split_off_by_one,
+            );
+            if self.step == block_start {
+                self.begin_block();
+            }
+            let snap = self.block_snap.clone();
             let ctx = SegmentCtx {
                 partition: &self.partition,
-                weyl_base: self.weyl_base,
                 seed: self.seed,
                 block_index,
                 block_start,
+                block: self.block,
                 from: self.step,
                 to: seg_end,
+                counts: &counts,
+                snap: snap.as_ref().map(|a| a.as_slice()),
             };
             for (s, shard) in self.shards.iter_mut().enumerate() {
-                process_segment(&self.protocol, &self.topology, s, shard, &ctx);
+                process_segment(
+                    &self.protocol,
+                    &self.topology,
+                    s,
+                    shard,
+                    self.read_mode,
+                    &ctx,
+                );
             }
             self.step = seg_end;
             if self.step == block_start + self.block {
-                reconcile(
-                    &self.protocol,
-                    &self.partition,
-                    &mut self.shards,
-                    self.double_count_boundary,
-                );
+                match self.read_mode {
+                    ReadMode::Defer => reconcile(
+                        &self.protocol,
+                        &self.partition,
+                        &mut self.shards,
+                        self.double_count_boundary,
+                    ),
+                    ReadMode::Snapshot => self.block_snap = None,
+                }
             }
         }
     }
@@ -374,13 +525,16 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
             shards,
             step,
             seed,
-            weyl_base,
             block,
+            read_mode,
+            block_snap,
             double_count_boundary,
+            split_off_by_one,
             ..
         } = self;
         let (protocol, topology, partition) = (&*protocol, &*topology, &*partition);
-        let (weyl_base, seed, block) = (*weyl_base, *seed, *block);
+        let (seed, block, read_mode) = (*seed, *block, *read_mode);
+        let split_off_by_one = *split_off_by_one;
         let nshards = partition.shards();
         std::thread::scope(|scope| {
             let (done_tx, done_rx): (Sender<ShardReturn<W>>, Receiver<ShardReturn<W>>) = channel();
@@ -391,17 +545,28 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
                 let done_tx = done_tx.clone();
                 scope.spawn(move || {
                     while let Ok(job) = job_rx.recv() {
+                        let Job {
+                            block_index,
+                            block_start,
+                            from,
+                            to,
+                            counts,
+                            snap,
+                            batch,
+                        } = job;
                         let ctx = SegmentCtx {
                             partition,
-                            weyl_base,
                             seed,
-                            block_index: job.block_index,
-                            block_start: job.block_start,
-                            from: job.from,
-                            to: job.to,
+                            block_index,
+                            block_start,
+                            block,
+                            from,
+                            to,
+                            counts: &counts,
+                            snap: snap.as_ref().map(|a| a.as_slice()),
                         };
-                        for (s, mut shard) in job.batch {
-                            process_segment(protocol, topology, s, &mut shard, &ctx);
+                        for (s, mut shard) in batch {
+                            process_segment(protocol, topology, s, &mut shard, read_mode, &ctx);
                             done_tx
                                 .send((s, shard))
                                 .expect("sharded caller hung up mid-run");
@@ -418,6 +583,21 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
                 let block_index = *step / block;
                 let block_start = block_index * block;
                 let seg_end = deadline.min(block_start + block);
+                let counts = Arc::new(split_counts(
+                    seed,
+                    block_index,
+                    partition,
+                    block,
+                    split_off_by_one,
+                ));
+                if *step == block_start {
+                    pp_obs::obs_count!("sharded.split_blocks", 1);
+                    if read_mode == ReadMode::Snapshot {
+                        pp_obs::obs_count!("sharded.snapshot_blocks", 1);
+                        *block_snap = Some(Arc::new(gather(partition, shards)));
+                    }
+                }
+                let snap = block_snap.clone();
                 // Shards are dealt round-robin over threads; thread 0 is
                 // the caller. Hand remote batches out first so workers
                 // start while the caller does its own share.
@@ -434,21 +614,25 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
                             block_start,
                             from: *step,
                             to: seg_end,
+                            counts: counts.clone(),
+                            snap: snap.clone(),
                             batch,
                         })
                         .expect("sharded worker died");
                 }
                 let ctx = SegmentCtx {
                     partition,
-                    weyl_base,
                     seed,
                     block_index,
                     block_start,
+                    block,
                     from: *step,
                     to: seg_end,
+                    counts: &counts,
+                    snap: snap.as_ref().map(|a| a.as_slice()),
                 };
                 for s in (0..nshards).step_by(threads) {
-                    process_segment(protocol, topology, s, &mut shards[s], &ctx);
+                    process_segment(protocol, topology, s, &mut shards[s], read_mode, &ctx);
                 }
                 for _ in 0..sent {
                     let (s, shard) = done_rx.recv().expect("sharded worker died");
@@ -456,7 +640,12 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
                 }
                 *step = seg_end;
                 if *step == block_start + block {
-                    reconcile(protocol, partition, shards, *double_count_boundary);
+                    match read_mode {
+                        ReadMode::Defer => {
+                            reconcile(protocol, partition, shards, *double_count_boundary)
+                        }
+                        ReadMode::Snapshot => *block_snap = None,
+                    }
                 }
             }
             drop(job_txs); // workers drain and exit; scope joins them
@@ -469,8 +658,8 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
     /// first held, or `None` on timeout.
     ///
     /// The observed states are gathered in global agent order; boundary
-    /// interactions of a block still in flight are pending until the
-    /// block completes (module docs).
+    /// interactions of a `Defer`-mode block still in flight are pending
+    /// until the block completes (module docs).
     ///
     /// # Panics
     ///
@@ -539,10 +728,15 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
         &self.partition
     }
 
-    /// Block length in time-steps (boundary interactions are merged at
-    /// block ends).
+    /// Block length in time-steps (the count-split and boundary
+    /// resolution both work in blocks).
     pub fn block(&self) -> u64 {
         self.block
+    }
+
+    /// The cross-shard read mode in force (trajectory-relevant).
+    pub fn read_mode(&self) -> ReadMode {
+        self.read_mode
     }
 
     /// Threads used by the most recent `run` call (1 until the first run,
@@ -554,13 +748,7 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
     /// The population widened to packed `u32` form, in global agent
     /// order.
     pub fn states_packed(&self) -> Vec<u32> {
-        let mut out = vec![0u32; self.partition.len()];
-        for (s, shard) in self.shards.iter().enumerate() {
-            for (j, w) in shard.states.iter().enumerate() {
-                out[self.partition.global_index(s, j)] = w.widen();
-            }
-        }
-        out
+        gather(&self.partition, &self.shards)
     }
 
     /// Decodes the full population into generic states.
@@ -588,7 +776,9 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
     }
 
     /// Overwrites the state of agent `u` — the hook adversarial processes
-    /// use to apply structural changes between time-steps.
+    /// use to apply structural changes between time-steps. Mid-block in
+    /// `Snapshot` mode the live block snapshot is patched too, so remote
+    /// readers of the rest of the block see the adversary's write.
     ///
     /// # Panics
     ///
@@ -596,6 +786,9 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
     pub fn set_state(&mut self, u: usize, state: &P::State) {
         let w = W::narrow(self.protocol.pack(state));
         self.shards[self.partition.shard_of(u)].states[self.partition.local_index(u)] = w;
+        if let Some(snap) = self.block_snap.as_mut() {
+            Arc::make_mut(snap)[u] = w.widen();
+        }
     }
 
     /// Replaces the whole packed population, resizing the topology (via
@@ -620,7 +813,12 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
             self.partition = Partition::new(n, auto_shards(n), self.topology.preferred_partition());
             self.block = auto_block(n);
         }
+        // Mid-block in `Snapshot` mode the bulk rewrite replaces the live
+        // block snapshot wholesale (same visibility rule as `set_state`).
+        let snap = (self.block_snap.is_some() && n == self.partition.len())
+            .then(|| Arc::new(states.clone()));
         self.scatter(states);
+        self.block_snap = snap;
     }
 
     /// The protocol under simulation.
@@ -635,24 +833,29 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
 
     /// Runs forward to the next block boundary (a no-op when already on
     /// one) and returns the boundary clock. Between boundaries shards
-    /// hold deferred cross-shard interactions that only the boundary
-    /// merge resolves; the boundary is therefore the tier's quiescent
-    /// point — the only clock at which `(states, step, seed, layout)`
-    /// is the *complete* simulation state. The snapshot surface drains
-    /// through this before capturing.
+    /// hold deferred cross-shard interactions (or a live block snapshot)
+    /// that only reaching the boundary resolves; the boundary is
+    /// therefore the tier's quiescent point — the only clock at which
+    /// `(states, step, seed, layout, read mode)` is the *complete*
+    /// simulation state (the split counts re-derive from the block index
+    /// alone). The snapshot surface drains through this before capturing.
     pub(crate) fn drain_to_block_boundary(&mut self) -> u64 {
         let into_block = self.step % self.block;
         if into_block != 0 {
             self.run(self.block - into_block);
         }
         debug_assert!(self.shards.iter().all(|s| s.queue.is_empty()));
+        debug_assert!(self.block_snap.is_none());
         self.step
     }
 
     /// Rebuilds the full resume state from a snapshot: partition layout
-    /// (shard count and block length are part of the trajectory), packed
-    /// states, clock, and seed. The caller has validated that `step` is
-    /// a block multiple and every state word fits `W`.
+    /// (shard count, block length, and read mode are part of the
+    /// trajectory), packed states, clock, and seed. The caller has
+    /// validated that `step` is a block multiple and every state word
+    /// fits `W`. Nothing of the count-split stream needs restoring: at a
+    /// boundary the next block's counts derive from `(seed, block
+    /// index)` alone.
     pub(crate) fn restore_raw(
         &mut self,
         states: Vec<u32>,
@@ -660,70 +863,137 @@ impl<P: PackedProtocol, T: Topology, W: TurboWord> ShardedSimulator<P, T, W> {
         seed: u64,
         shards: usize,
         block: u64,
+        read_mode: ReadMode,
     ) {
         self.partition = Partition::new(states.len(), shards, self.topology.preferred_partition());
         self.block = block;
+        self.read_mode = read_mode;
         self.scatter(states);
         self.step = step;
         self.seed = seed;
-        self.weyl_base = splitmix64(seed ^ 0xA076_1D64_78BD_642F);
     }
+}
+
+/// Draws the per-shard granted counts for one block: a conditional-
+/// binomial chain over the shard sizes whose joint law is exactly the
+/// multinomial `Multinomial(block; size_0/n, …)`. Consumes only the
+/// dedicated [`SPLIT_STREAM`] — a single-shard partition consumes no
+/// randomness at all (its count is the whole block with certainty).
+fn split_counts(
+    seed: u64,
+    block_index: u64,
+    partition: &Partition,
+    block: u64,
+    inject_off_by_one: bool,
+) -> Vec<u64> {
+    let nshards = partition.shards();
+    let mut counts = vec![0u64; nshards];
+    let mut rem_steps = block;
+    let mut rem_nodes = partition.len() as u64;
+    if nshards > 1 {
+        let mut rng = CounterRng::for_shard(seed, SPLIT_STREAM, block_index);
+        for (s, slot) in counts.iter_mut().enumerate().take(nshards - 1) {
+            let size = partition.size(s) as u64;
+            let c = rand::distr::binomial(&mut rng, rem_steps, size as f64 / rem_nodes as f64);
+            *slot = c;
+            rem_steps -= c;
+            rem_nodes -= size;
+        }
+    }
+    counts[nshards - 1] = rem_steps;
+    if inject_off_by_one && nshards > 1 {
+        // Injected bug (see `inject_split_off_by_one`): one step migrates
+        // to shard 0; the sum — and therefore all step accounting — is
+        // unchanged.
+        if let Some(donor) = (1..nshards).rev().find(|&s| counts[s] > 0) {
+            counts[donor] -= 1;
+            counts[0] += 1;
+        } else {
+            // All mass already sits in shard 0 (so `counts[0] == block`).
+            counts[0] -= 1;
+            counts[1] += 1;
+        }
+    }
+    counts
+}
+
+/// Widens every shard's states back into one global packed array.
+fn gather<W: TurboWord>(partition: &Partition, shards: &[Shard<W>]) -> Vec<u32> {
+    let mut out = vec![0u32; partition.len()];
+    for (s, shard) in shards.iter().enumerate() {
+        for (j, w) in shard.states.iter().enumerate() {
+            out[partition.global_index(s, j)] = w.widen();
+        }
+    }
+    out
 }
 
 /// The per-segment constants shared by every shard of one block segment.
 struct SegmentCtx<'a> {
     partition: &'a Partition,
-    weyl_base: u64,
     seed: u64,
     block_index: u64,
     block_start: u64,
+    /// Full block length `B` (the segment may cover only part of it).
+    block: u64,
     from: u64,
     to: u64,
+    /// The block's granted counts, one per shard.
+    counts: &'a [u64],
+    /// Block-start global state (`Snapshot` mode, multi-shard only).
+    snap: Option<&'a [u32]>,
 }
 
-/// Advances shard `s` over the schedule steps `[from, to)` of one block:
-/// scans the global schedule walk, processes owned steps (applying
-/// shard-local interactions, queueing cross-shard ones), and leaves the
-/// queue ready for the block-boundary merge.
+/// Advances shard `s` over its granted share of the block sub-range
+/// `[from, to)`: draws each granted step's agent from the shard's own
+/// members and resolves cross-shard partner reads per the read mode.
 fn process_segment<P: PackedProtocol, T: Topology, W: TurboWord>(
     protocol: &P,
     topology: &T,
     s: usize,
     shard: &mut Shard<W>,
+    read_mode: ReadMode,
     ctx: &SegmentCtx<'_>,
 ) {
-    // Monomorphize the scan over the partition layout so the per-step
-    // ownership test and local-index map compile to two compares
-    // (contiguous), one remainder (strided), or nothing at all
-    // (single shard — the one-core fallback, which must stay within a
+    // Monomorphize the hot loop over the partition layout and read mode
+    // so the per-partner ownership test and local-index map compile to
+    // two compares (contiguous), one remainder (strided), or nothing at
+    // all (single shard — the one-core fallback, which must stay within a
     // few percent of the turbo engine).
     if ctx.partition.shards() == 1 {
-        scan_segment::<P, T, W, false, true>(protocol, topology, s, shard, ctx)
+        exec_segment::<P, T, W, false, true, false>(protocol, topology, s, shard, ctx)
     } else {
-        match ctx.partition.kind() {
-            PartitionKind::Contiguous => {
-                scan_segment::<P, T, W, false, false>(protocol, topology, s, shard, ctx)
+        match (ctx.partition.kind(), read_mode) {
+            (PartitionKind::Contiguous, ReadMode::Defer) => {
+                exec_segment::<P, T, W, false, false, false>(protocol, topology, s, shard, ctx)
             }
-            PartitionKind::Strided => {
-                scan_segment::<P, T, W, true, false>(protocol, topology, s, shard, ctx)
+            (PartitionKind::Contiguous, ReadMode::Snapshot) => {
+                exec_segment::<P, T, W, false, false, true>(protocol, topology, s, shard, ctx)
+            }
+            (PartitionKind::Strided, ReadMode::Defer) => {
+                exec_segment::<P, T, W, true, false, false>(protocol, topology, s, shard, ctx)
+            }
+            (PartitionKind::Strided, ReadMode::Snapshot) => {
+                exec_segment::<P, T, W, true, false, true>(protocol, topology, s, shard, ctx)
             }
         }
     }
 }
 
-/// The shard-scan hot loop; `STRIDED`/`SINGLE` select the ownership
-/// arithmetic at compile time (`SINGLE`: everything is owned and local —
-/// the checks vanish). `inline(never)` for the same reason as the turbo
-/// batch loop: called with whole blocks (call overhead is nil) and
-/// keeping it a standalone entry-aligned symbol makes its code layout
-/// independent of the caller.
+/// The granted-step hot loop; `STRIDED`/`SINGLE`/`SNAPSHOT` select the
+/// ownership arithmetic and read policy at compile time (`SINGLE`:
+/// everything is owned and local — the checks vanish). `inline(never)`
+/// for the same reason as the turbo batch loop: called with whole block
+/// segments (call overhead is nil) and keeping it a standalone
+/// entry-aligned symbol makes its code layout independent of the caller.
 #[inline(never)]
-fn scan_segment<
+fn exec_segment<
     P: PackedProtocol,
     T: Topology,
     W: TurboWord,
     const STRIDED: bool,
     const SINGLE: bool,
+    const SNAPSHOT: bool,
 >(
     protocol: &P,
     topology: &T,
@@ -732,9 +1002,9 @@ fn scan_segment<
     ctx: &SegmentCtx<'_>,
 ) {
     let partition = ctx.partition;
-    let n = partition.len();
     let m = P::OBSERVATIONS;
     let nshards = partition.shards();
+    let size = partition.size(s) as u64;
     let (lo, hi) = if STRIDED || SINGLE {
         (0, 0)
     } else {
@@ -759,66 +1029,79 @@ fn scan_segment<
             u - lo
         }
     };
-
-    let mut stream = CounterRng::for_shard(ctx.seed, s as u64, ctx.block_index);
-    if ctx.from > ctx.block_start {
-        // Resuming mid-block: realign the shard stream by counting the
-        // owned steps already executed in this block. The rescan touches
-        // only the schedule walk (hash + compare per step, no state), and
-        // the Weyl stream skips the counted draws in O(1).
-        let mut pos = ctx
-            .weyl_base
-            .wrapping_add(ctx.block_start.wrapping_mul(GOLDEN));
-        let mut owned_before = 0u64;
-        for _ in ctx.block_start..ctx.from {
-            pos = pos.wrapping_add(GOLDEN);
-            let x = splitmix64(pos);
-            if owns(((x as u128 * n as u128) >> 64) as usize) {
-                owned_before += 1;
-            }
+    let global_of = |j: usize| {
+        if SINGLE {
+            j
+        } else if STRIDED {
+            j * nshards + s
+        } else {
+            lo + j
         }
-        stream.advance_by(owned_before * m as u64);
+    };
+
+    // The granted sub-range: granted steps are spread evenly across the
+    // block, so the sub-range [q0, q1) of block positions maps to the
+    // closed-form index window below (u128: c·q can overflow u64). A
+    // mid-block resume realigns the stream in O(1) — each granted step
+    // consumes exactly 1 agent draw + m partner draws.
+    let c = ctx.counts[s];
+    let q0 = ctx.from - ctx.block_start;
+    let q1 = ctx.to - ctx.block_start;
+    let j0 = ((c as u128 * q0 as u128) / ctx.block as u128) as u64;
+    let j1 = ((c as u128 * q1 as u128) / ctx.block as u128) as u64;
+    let mut stream = CounterRng::for_shard(ctx.seed, s as u64, ctx.block_index);
+    if j0 > 0 {
+        stream.advance_by(j0 * (m as u64 + 1));
     }
 
     // Per-segment tallies, flushed to the recorder once at segment end so
     // the hot loop never touches shared state. With the `obs` feature off
     // `record` is a constant `false` and the tallies are dead code.
     let record = pp_obs::enabled();
-    let (mut tally_owned, mut tally_local, mut tally_deferred) = (0u64, 0u64, 0u64);
+    let (mut tally_applied, mut tally_deferred, mut tally_snap_reads) = (0u64, 0u64, 0u64);
 
+    let snap: &[u32] = if SNAPSHOT {
+        ctx.snap
+            .expect("snapshot read mode requires a block-start snapshot")
+    } else {
+        &[]
+    };
     let states = shard.states.as_mut_slice();
-    let mut pos = ctx.weyl_base.wrapping_add(ctx.from.wrapping_mul(GOLDEN));
-    for t in ctx.from..ctx.to {
-        pos = pos.wrapping_add(GOLDEN);
-        let x = splitmix64(pos);
-        // Multiply-shift scheduling draw (bias n/2^64) — the same word
-        // every other shard computes for this step; exactly one owns it.
-        let u = ((x as u128 * n as u128) >> 64) as usize;
-        if !owns(u) {
-            continue;
-        }
-        if record {
-            tally_owned += 1;
-        }
+    for j in j0..j1 {
+        // Agent draw: multiply-shift over the shard's own members (bias
+        // size/2^64) — the count-split already decided *how many* steps
+        // land here, this decides *which* member acts.
+        let w = rand::Rng::next_u64(&mut stream);
+        let lu = ((w as u128 * size as u128) >> 64) as usize;
+        let u = global_of(lu);
         let mut partners = [0u32; MAX_PACKED_OBSERVATIONS];
         let mut observed = [0u32; MAX_PACKED_OBSERVATIONS];
         let mut last = 0u64;
         let mut local = true;
-        for j in 0..m {
+        for slot in 0..m {
             last = rand::Rng::next_u64(&mut stream);
             let v = topology.sample_partner_turbo(u, last);
-            partners[j] = v as u32;
-            if owns(v) {
-                // Read the observed state in the same pass; wasted only
-                // when a later partner turns out remote (rare on the
-                // partitioned geometric families).
-                observed[j] = states[local_of(v)].widen();
+            if SINGLE {
+                observed[slot] = states[v].widen();
+            } else if SNAPSHOT {
+                observed[slot] = if owns(v) {
+                    states[local_of(v)].widen()
+                } else {
+                    if record {
+                        tally_snap_reads += 1;
+                    }
+                    snap[v]
+                };
             } else {
-                local = false;
+                partners[slot] = v as u32;
+                if owns(v) {
+                    observed[slot] = states[local_of(v)].widen();
+                } else {
+                    local = false;
+                }
             }
         }
-        if local {
-            let lu = local_of(u);
+        if SINGLE || SNAPSHOT || local {
             let me = states[lu].widen();
             // Transition entropy rides the last partner word, exactly as
             // in the turbo engine; the fallback stream is parked one hash
@@ -827,11 +1110,11 @@ fn scan_segment<
             let next = protocol.transition_turbo(me, &observed[..m], last, &mut rng);
             states[lu] = W::narrow(next);
             if record {
-                tally_local += 1;
+                tally_applied += 1;
             }
         } else {
             shard.queue.push(Deferred {
-                offset: (t - ctx.block_start) as u32,
+                key: (j << 32) | s as u64,
                 agent: u as u32,
                 partners,
                 entropy: last,
@@ -842,19 +1125,26 @@ fn scan_segment<
         }
     }
     if record {
-        pp_obs::counter_add("sharded.scheduled", tally_owned);
-        pp_obs::counter_add("sharded.local_applied", tally_local);
-        pp_obs::counter_add("sharded.deferred", tally_deferred);
-        // Per-shard load: the owned-step distribution across segments is
-        // the imbalance a bad partition shows up in.
-        pp_obs::record_value("sharded.segment_owned_steps", tally_owned);
+        pp_obs::counter_add("sharded.granted", j1 - j0);
+        pp_obs::counter_add("sharded.local_applied", tally_applied);
+        if SNAPSHOT {
+            pp_obs::counter_add("sharded.snapshot_reads", tally_snap_reads);
+        }
+        if !(SINGLE || SNAPSHOT) {
+            pp_obs::counter_add("sharded.deferred", tally_deferred);
+        }
+        // Per-shard load: the granted-step distribution across segments
+        // is the imbalance a bad split would show up in.
+        pp_obs::record_value("sharded.segment_granted_steps", j1 - j0);
     }
 }
 
 /// Applies every queued boundary interaction of the just-finished block
-/// in global step order. Offsets are unique across shards (each step has
-/// exactly one owner), so the merged order — and therefore the trajectory
-/// — is deterministic regardless of which thread ran which shard.
+/// (`Defer` mode) in merge-key order — the round-robin interleave of the
+/// shard sub-sequences. Keys are unique across shards (one interaction
+/// per shard per granted index), so the merged order — and therefore the
+/// trajectory — is deterministic regardless of which thread ran which
+/// shard.
 fn reconcile<P: PackedProtocol, W: TurboWord>(
     protocol: &P,
     partition: &Partition,
@@ -873,7 +1163,7 @@ fn reconcile<P: PackedProtocol, W: TurboWord>(
     for sh in shards.iter_mut() {
         merged.append(&mut sh.queue);
     }
-    merged.sort_unstable_by_key(|d| d.offset);
+    merged.sort_unstable_by_key(|d| d.key);
     let read = |shards: &[Shard<W>], u: usize| -> u32 {
         shards[partition.shard_of(u)].states[partition.local_index(u)].widen()
     };
@@ -956,6 +1246,66 @@ mod tests {
         ShardedSimulator::new(Copy1, Cycle::new(96), &init, seed).with_layout(shards, block)
     }
 
+    fn strided_sim(seed: u64, shards: usize, block: u64) -> ShardedSimulator<Copy1, Complete, u32> {
+        let init: Vec<u32> = (0..96).collect();
+        ShardedSimulator::new(Copy1, Complete::new(96), &init, seed).with_layout(shards, block)
+    }
+
+    #[test]
+    fn split_counts_sum_to_block_and_cover_every_shard() {
+        let s = sim(17, 4, 64);
+        for block_index in 0..200 {
+            let counts = split_counts(17, block_index, s.partition(), 64, false);
+            assert_eq!(counts.len(), 4);
+            assert_eq!(counts.iter().sum::<u64>(), 64, "block {block_index}");
+        }
+    }
+
+    #[test]
+    fn split_counts_marginal_matches_the_binomial_mean() {
+        // Shard 0 of a 4-way split of 96 nodes holds 24, so its count is
+        // Binomial(B, 1/4): check the empirical mean over many blocks
+        // against a 6-sigma band (deterministic seeds — never flaky).
+        let s = sim(23, 4, 256);
+        let blocks = 4_000u64;
+        let total: u64 = (0..blocks)
+            .map(|b| split_counts(23, b, s.partition(), 256, false)[0])
+            .sum();
+        let mean = total as f64 / blocks as f64;
+        let expect = 256.0 * 0.25;
+        let sigma = (256.0 * 0.25 * 0.75 / blocks as f64).sqrt();
+        assert!(
+            (mean - expect).abs() < 6.0 * sigma,
+            "shard-0 marginal mean {mean} vs binomial mean {expect}"
+        );
+    }
+
+    #[test]
+    fn split_off_by_one_injection_preserves_sums_but_moves_mass() {
+        let s = sim(3, 4, 64);
+        let mut moved = 0u64;
+        for b in 0..100 {
+            let clean = split_counts(3, b, s.partition(), 64, false);
+            let bugged = split_counts(3, b, s.partition(), 64, true);
+            assert_eq!(bugged.iter().sum::<u64>(), 64);
+            assert_eq!(bugged[0], clean[0] + 1);
+            moved += 1;
+        }
+        assert_eq!(moved, 100);
+    }
+
+    #[test]
+    fn read_mode_defaults_follow_the_partition_layout() {
+        assert_eq!(sim(0, 4, 32).read_mode(), ReadMode::Defer);
+        assert_eq!(strided_sim(0, 4, 32).read_mode(), ReadMode::Snapshot);
+        assert_eq!(
+            strided_sim(0, 4, 32)
+                .with_read_mode(ReadMode::Defer)
+                .read_mode(),
+            ReadMode::Defer
+        );
+    }
+
     #[test]
     fn deterministic_given_seed_and_split_runs_agree() {
         let mut a = sim(9, 4, 32);
@@ -975,19 +1325,60 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_mode_split_runs_agree_mid_block() {
+        // The same burst-split invariance on the snapshot-read path: the
+        // block-start snapshot must survive mid-block pauses.
+        let mut a = strided_sim(9, 4, 32);
+        let mut b = strided_sim(9, 4, 32);
+        assert_eq!(a.read_mode(), ReadMode::Snapshot);
+        a.run(10_000);
+        b.run(37);
+        b.run(63);
+        b.run(4_900);
+        b.run(5_000);
+        assert_eq!(a.states_packed(), b.states_packed());
+    }
+
+    #[test]
     fn trajectory_is_thread_count_independent() {
-        let mut reference = sim(3, 4, 32);
+        let mut reference = sim(3, 8, 32);
         reference.run_with_threads(8_000, 1);
-        for threads in [2usize, 3, 4] {
-            let mut parallel = sim(3, 4, 32);
+        for threads in [2usize, 3, 4, 8] {
+            let mut parallel = sim(3, 8, 32);
             parallel.run_with_threads(8_000, threads);
             assert_eq!(
                 parallel.states_packed(),
                 reference.states_packed(),
                 "{threads} threads diverged from sequential"
             );
-            assert_eq!(parallel.last_threads(), threads.min(4));
+            assert_eq!(parallel.last_threads(), threads.min(8));
         }
+    }
+
+    #[test]
+    fn trajectory_is_thread_count_independent_in_snapshot_mode() {
+        let mut reference = strided_sim(3, 8, 32);
+        reference.run_with_threads(8_000, 1);
+        for threads in [2usize, 4, 8] {
+            let mut parallel = strided_sim(3, 8, 32);
+            parallel.run_with_threads(8_000, threads);
+            assert_eq!(
+                parallel.states_packed(),
+                reference.states_packed(),
+                "{threads} threads diverged from sequential (snapshot mode)"
+            );
+        }
+    }
+
+    #[test]
+    fn read_mode_is_trajectory_relevant() {
+        let mut defer = strided_sim(7, 4, 32).with_read_mode(ReadMode::Defer);
+        let mut snap = strided_sim(7, 4, 32).with_read_mode(ReadMode::Snapshot);
+        defer.run(5_000);
+        snap.run(5_000);
+        // Equally valid trajectories of the same process, but different
+        // resolutions of cross-shard reads.
+        assert_ne!(defer.states_packed(), snap.states_packed());
     }
 
     #[test]
@@ -1017,8 +1408,8 @@ mod tests {
 
     #[test]
     fn voter_reaches_consensus_on_strided_complete() {
-        // The complete graph partitions strided; nearly every interaction
-        // takes the reconciliation path and consensus must still arrive.
+        // The complete graph partitions strided and defaults to snapshot
+        // reads; consensus must still arrive through block-stale reads.
         let init: Vec<u32> = (0..32).collect();
         let mut sim = ShardedSimulator::<_, _, u32>::new(Copy1, Complete::new(32), &init, 5)
             .with_layout(4, 16);
@@ -1027,10 +1418,25 @@ mod tests {
             pp_graph::PartitionKind::Strided,
             "complete graph should prefer striding"
         );
+        assert_eq!(sim.read_mode(), ReadMode::Snapshot);
         let hit = sim.run_until(2_000_000, 64, |states, _| {
             states.iter().all(|&s| s == states[0])
         });
         assert!(hit.is_some(), "voter consensus not reached");
+    }
+
+    #[test]
+    fn voter_reaches_consensus_on_strided_complete_with_deferred_reads() {
+        // The merge path must stay correct when forced onto a high-cut
+        // family.
+        let init: Vec<u32> = (0..32).collect();
+        let mut sim = ShardedSimulator::<_, _, u32>::new(Copy1, Complete::new(32), &init, 5)
+            .with_layout(4, 16)
+            .with_read_mode(ReadMode::Defer);
+        let hit = sim.run_until(2_000_000, 64, |states, _| {
+            states.iter().all(|&s| s == states[0])
+        });
+        assert!(hit.is_some(), "voter consensus not reached via the merge");
     }
 
     #[test]
@@ -1130,6 +1536,7 @@ mod tests {
         assert!(!sim.is_empty());
         assert_eq!(sim.seed(), 1);
         assert_eq!(sim.block(), 8);
+        assert_eq!(sim.read_mode(), ReadMode::Defer);
         assert_eq!(sim.partition().shards(), 2);
         assert_eq!(sim.state(2), 7);
         sim.set_state(2, &9);
@@ -1142,6 +1549,24 @@ mod tests {
         sim.run_observed(10, 4, |t, _| seen.push(t));
         assert_eq!(seen, vec![0, 4, 8, 10]);
         assert_eq!(sim.step_count(), 10);
+    }
+
+    #[test]
+    fn set_state_mid_block_is_visible_to_snapshot_reads() {
+        // Pause a snapshot-mode run mid-block, overwrite an agent, and
+        // finish: the trajectory must equal a run whose live snapshot
+        // carried the patch — exercised indirectly by checking the split
+        // runs still agree when both apply the same mid-block write.
+        let mut a = strided_sim(13, 4, 32);
+        let mut b = strided_sim(13, 4, 32);
+        a.run(16);
+        b.run(7);
+        b.run(9);
+        a.set_state(5, &1000);
+        b.set_state(5, &1000);
+        a.run(16 + 3_200);
+        b.run(16 + 3_200);
+        assert_eq!(a.states_packed(), b.states_packed());
     }
 
     #[test]

@@ -1,18 +1,28 @@
 //! The `pp serve` event loop: control plane, slice execution, snapshots.
 //!
-//! One thread owns every engine and runs [`run`] — a loop alternating
-//! between two planes:
+//! One control thread owns every engine and runs [`run`] — a loop
+//! alternating between two planes (slice execution fans out to pool
+//! workers, but all state transitions are decided and observed on the
+//! control thread):
 //!
 //! * **Control plane.** A reader thread forwards request lines over a
 //!   channel; the loop drains it between slices (and blocks on it when no
 //!   job is backlogged), so submissions land promptly without interrupting
 //!   a running slice. Input EOF with no work left is a clean shutdown.
 //! * **Data plane.** Each iteration asks the [deficit-round-robin
-//!   scheduler](crate::sched) for one `(tenant, budget)` grant and runs the
-//!   tenant's oldest job for up to that many steps through the uniform
-//!   `Box<dyn Engine>` dispatch — so a slice costs one virtual call and the
-//!   per-interaction loops stay monomorphized inside whichever tier the
-//!   job chose.
+//!   scheduler](crate::sched) for one **round** of grants — one
+//!   `(tenant, budget)` slice per distinct backlogged tenant, the DRR
+//!   rotation's natural unit — and runs each granted tenant's oldest job
+//!   for up to its budget through the uniform `Box<dyn Engine>` dispatch,
+//!   so a slice costs one virtual call and the per-interaction loops stay
+//!   monomorphized inside whichever tier the job chose. The round's
+//!   slices target pairwise-distinct engines, so they execute in
+//!   parallel on workers leased from the shared
+//!   [`pool`] (inline when the pool is exhausted);
+//!   every observable effect — charges, shock firings, progress events —
+//!   is applied after the round completes, strictly in grant order, so
+//!   the event stream is a function of the request stream alone, never
+//!   of the worker count.
 //!
 //! Slices are clamped at a scheduled shock's `at` clock so the shock fires
 //! at exactly the requested step; pending snapshot requests are serviced
@@ -31,6 +41,7 @@ use pp_bench::experiments::Report;
 use pp_bench::output::{self, EXIT_OK, EXIT_SCHEMA_ERROR};
 use pp_bench::{build_engine, build_graph_engine, DivEngine};
 use pp_core::{init, Weights};
+use pp_engine::pool;
 use pp_graph::{Cycle, Torus2d};
 use pp_stats::Table;
 use rand::{rngs::StdRng, SeedableRng};
@@ -276,62 +287,80 @@ where
             continue;
         }
 
-        // Data plane: one deficit-round-robin slice.
-        let (tenant, budget) = drr.grant().expect("jobs imply backlog");
-        let idx = jobs
+        // Data plane: one deficit-round-robin round. The rotation visits
+        // each backlogged tenant exactly once per round, so collecting
+        // that many grants yields slices over pairwise-distinct tenants —
+        // and each tenant's oldest job is a distinct engine, so the
+        // slices are free of aliasing and run concurrently. Burst clamps
+        // (job target, un-fired shock) are computed up front from the
+        // pre-round clocks; bookkeeping and events happen after the
+        // barrier, in grant order.
+        let backlogged = jobs
             .iter()
-            .position(|j| j.tenant == tenant)
-            .expect("scheduler backlog tracks the job list");
-        let job = &mut jobs[idx];
-        let clock = job.engine.step_count();
-        let mut burst = budget.min(job.spec.steps.saturating_sub(clock));
-        if let Some(shock) = &job.spec.shock {
-            if !job.shock_applied && clock < shock.at {
-                burst = burst.min(shock.at - clock);
+            .map(|j| j.tenant.as_str())
+            .collect::<std::collections::BTreeSet<_>>()
+            .len();
+        let mut slices: Vec<(String, usize, u64)> = Vec::with_capacity(backlogged);
+        for _ in 0..backlogged {
+            let (tenant, budget) = drr.grant().expect("jobs imply backlog");
+            let idx = jobs
+                .iter()
+                .position(|j| j.tenant == tenant)
+                .expect("scheduler backlog tracks the job list");
+            let job = &jobs[idx];
+            let clock = job.engine.step_count();
+            let mut burst = budget.min(job.spec.steps.saturating_sub(clock));
+            if let Some(shock) = &job.spec.shock {
+                if !job.shock_applied && clock < shock.at {
+                    burst = burst.min(shock.at - clock);
+                }
             }
+            slices.push((tenant, idx, burst));
         }
-        if burst > 0 {
-            job.engine.run(burst);
-        }
-        drr.charge(&tenant, burst);
-        pp_obs::counter_add_dyn(&tenant_steps_counter(&tenant), burst);
-        pp_obs::counter_add_dyn("serve.slices", 1);
-        let clock = job.engine.step_count();
+        run_round(&mut jobs, &slices);
 
-        if let Some(shock) = job.spec.shock.clone() {
-            if !job.shock_applied && clock >= shock.at {
-                apply_shock(job, &shock);
-                job.shock_applied = true;
-                pp_obs::counter_add_dyn("serve.shocks", 1);
-                let n_after = job.engine.len();
-                let (tenant, name) = (job.tenant.clone(), job.name.clone());
-                emit(
-                    out,
-                    &Event::Shock {
-                        tenant,
-                        job: name,
-                        kind: shock.kind.clone(),
-                        at: shock.at,
-                        n_after,
-                    },
-                );
+        for (tenant, idx, burst) in &slices {
+            let job = &mut jobs[*idx];
+            drr.charge(tenant, *burst);
+            pp_obs::counter_add_dyn(&tenant_steps_counter(tenant), *burst);
+            pp_obs::counter_add_dyn("serve.slices", 1);
+            let clock = job.engine.step_count();
+
+            if let Some(shock) = job.spec.shock.clone() {
+                if !job.shock_applied && clock >= shock.at {
+                    apply_shock(job, &shock);
+                    job.shock_applied = true;
+                    pp_obs::counter_add_dyn("serve.shocks", 1);
+                    let n_after = job.engine.len();
+                    let (tenant, name) = (job.tenant.clone(), job.name.clone());
+                    emit(
+                        out,
+                        &Event::Shock {
+                            tenant,
+                            job: name,
+                            kind: shock.kind.clone(),
+                            at: shock.at,
+                            n_after,
+                        },
+                    );
+                }
             }
-        }
 
-        let job = &mut jobs[idx];
-        if clock >= job.next_observe && clock < job.spec.steps {
-            job.next_observe = (clock / job.spec.observe_every + 1) * job.spec.observe_every;
-            let ev = Event::Progress {
-                tenant: job.tenant.clone(),
-                job: job.name.clone(),
-                clock,
-                target: job.spec.steps,
-                class_counts: job.engine.class_counts(),
-                tenant_steps: drr.executed(&tenant),
-                total_steps: drr.total_executed(),
-                counters: serve_counters(),
-            };
-            emit(out, &ev);
+            let job = &mut jobs[*idx];
+            if clock >= job.next_observe && clock < job.spec.steps {
+                job.next_observe = (clock / job.spec.observe_every + 1) * job.spec.observe_every;
+                let ev = Event::Progress {
+                    tenant: job.tenant.clone(),
+                    job: job.name.clone(),
+                    clock,
+                    target: job.spec.steps,
+                    class_counts: job.engine.class_counts(),
+                    tenant_steps: drr.executed(tenant),
+                    total_steps: drr.total_executed(),
+                    counters: serve_counters(),
+                };
+                emit(out, &ev);
+            }
         }
 
         if let Err(code) = service_snapshots(&mut jobs, &mut pending, &mut drr, out) {
@@ -342,6 +371,53 @@ where
             return code;
         }
     }
+}
+
+/// Executes one round's slices — `(tenant, job index, burst)` triples
+/// over pairwise-distinct jobs — on workers leased from the shared
+/// engine pool, falling back to the caller's thread when the pool is
+/// exhausted (or the round has a single slice). Each job runs exactly
+/// its precomputed burst, so the post-round state is identical whichever
+/// path executes it; worker panics propagate through the scope join.
+fn run_round(jobs: &mut [Job], slices: &[(String, usize, u64)]) {
+    let burst_of: std::collections::BTreeMap<usize, u64> = slices
+        .iter()
+        .filter(|(_, _, burst)| *burst > 0)
+        .map(|(_, idx, burst)| (*idx, *burst))
+        .collect();
+    let mut work: Vec<(&mut Job, u64)> = jobs
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(i, job)| burst_of.get(&i).map(|&b| (job, b)))
+        .collect();
+    let lease = pool::lease(work.len().saturating_sub(1));
+    if lease.workers() == 0 {
+        for (job, burst) in work {
+            job.engine.run(burst);
+        }
+        return;
+    }
+    pp_obs::counter_add_dyn("serve.parallel_rounds", 1);
+    let threads = lease.workers() + 1;
+    std::thread::scope(|scope| {
+        let mut chunks: Vec<Vec<(&mut Job, u64)>> = Vec::new();
+        chunks.resize_with(threads, Vec::new);
+        for (i, item) in work.drain(..).enumerate() {
+            chunks[i % threads].push(item);
+        }
+        let mut chunks = chunks.into_iter();
+        let own = chunks.next().expect("threads >= 1");
+        for chunk in chunks {
+            scope.spawn(move || {
+                for (job, burst) in chunk {
+                    job.engine.run(burst);
+                }
+            });
+        }
+        for (job, burst) in own {
+            job.engine.run(burst);
+        }
+    });
 }
 
 fn handle_line(

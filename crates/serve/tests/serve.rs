@@ -10,13 +10,18 @@ use std::path::PathBuf;
 use std::sync::OnceLock;
 
 /// Routes every envelope the tests produce into one scratch directory
-/// (process-wide: `PP_BENCH_DIR` is read by `write_json` at done-time).
+/// (process-wide: `PP_BENCH_DIR` is read by `write_json` at done-time),
+/// and pins a 4-thread pool so multi-tenant rounds really fan out to
+/// workers even on a single-core runner. Every test calls this (via
+/// `drive`) before the server touches the pool, so the `OnceLock`-backed
+/// `pool::parallelism()` always observes the override.
 fn bench_dir() -> &'static PathBuf {
     static DIR: OnceLock<PathBuf> = OnceLock::new();
     DIR.get_or_init(|| {
         let dir = std::env::temp_dir().join(format!("pp_serve_test_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         std::env::set_var("PP_BENCH_DIR", &dir);
+        std::env::set_var("PP_POOL_THREADS", "4");
         dir
     })
 }
@@ -93,13 +98,20 @@ fn complete_spec(engine: &str, n: usize, steps: u64, observe: u64) -> String {
 
 #[test]
 fn two_tenants_interleave_and_the_slower_gets_at_least_40_percent() {
+    // Steps are large enough that neither job can finish inside the
+    // reader thread's submission-delivery latency (see the parallel
+    // rounds test below for the same caveat).
     let requests = format!(
         "{}{}",
-        submit("alpha", "grid", &torus_spec("turbo", 60_000, 8192, "null")),
+        submit(
+            "alpha",
+            "grid",
+            &torus_spec("turbo", 2_000_000, 32_768, "null")
+        ),
         submit(
             "beta",
             "dense-run",
-            &complete_spec("dense", 200, 60_000, 8192)
+            &complete_spec("dense", 200, 2_000_000, 32_768)
         ),
     );
     let (code, events) = drive(&requests, 1024);
@@ -154,15 +166,118 @@ fn two_tenants_interleave_and_the_slower_gets_at_least_40_percent() {
 }
 
 #[test]
+fn parallel_rounds_keep_fairness_and_stay_deterministic() {
+    // The data plane executes each round's slices on pool workers
+    // (4 threads here — see `bench_dir`). Three tenants on three
+    // different slicing-invariant tiers check the contract from three
+    // sides: the event stream is a pure function of the request stream
+    // (two identical runs agree event-for-event), three-way fairness
+    // holds at first completion, and co-tenancy leaves each engine's
+    // trajectory untouched (the contended final counts equal a solo
+    // run's, bit for bit).
+    // Step counts are deliberately large: submissions arrive through the
+    // reader thread *while rounds are already running*, so a job short
+    // enough to finish in under a scheduler hiccup could complete before
+    // its co-tenants even arrive. At 2M steps (tens of ms per job) the
+    // arrival race is noise and the three-way contention window is wide.
+    let specs = [
+        (
+            "alpha",
+            "grid",
+            torus_spec("turbo", 2_000_000, 32_768, "null"),
+        ),
+        (
+            "beta",
+            "shards",
+            complete_spec("sharded", 128, 2_000_000, 32_768),
+        ),
+        (
+            "gamma",
+            "plain",
+            complete_spec("packed", 96, 2_000_000, 32_768),
+        ),
+    ];
+    let requests: String = specs
+        .iter()
+        .map(|(t, j, s)| submit(t, j, s))
+        .collect::<Vec<_>>()
+        .join("");
+    // Per-tenant event history. The *interleaving across tenants* can
+    // legitimately shift with submission-arrival timing (the reader
+    // thread races the first rounds), but each tenant's own sequence of
+    // observation clocks and class counts is a pure function of its spec
+    // — worker scheduling inside a round must never show through.
+    let essentials = |events: &[Value], tenant: &str| -> Vec<(String, u64, Vec<u64>)> {
+        events
+            .iter()
+            .filter(|e| matches!(kind(e), "progress" | "done") && str_of(e, "tenant") == tenant)
+            .map(|e| (kind(e).to_string(), u64_of(e, "clock"), counts_of(e)))
+            .collect()
+    };
+
+    let (code, events) = drive(&requests, 1024);
+    assert_eq!(code, 0);
+    let (code, replay) = drive(&requests, 1024);
+    assert_eq!(code, 0);
+    for (tenant, _, _) in &specs {
+        assert_eq!(
+            essentials(&events, tenant),
+            essentials(&replay, tenant),
+            "tenant {tenant}: the event stream must not depend on worker scheduling"
+        );
+    }
+
+    // All three tenants progress before the first completion, and the
+    // first finisher holds no more than its fair share lets it: every
+    // tenant stays at or above a quarter of the granted steps.
+    let first_done = events.iter().position(|e| kind(e) == "done").unwrap();
+    for (tenant, _, _) in &specs {
+        assert!(
+            events[..first_done]
+                .iter()
+                .any(|e| kind(e) == "progress" && str_of(e, "tenant") == *tenant),
+            "tenant {tenant} showed no progress before the first done"
+        );
+    }
+    let done = &events[first_done];
+    let (mine, total) = (u64_of(done, "tenant_steps"), u64_of(done, "total_steps"));
+    assert!(
+        mine * 100 >= total * 25,
+        "first finisher got {mine}/{total} steps (< 25% of three-way split)"
+    );
+
+    // Solo runs of the same jobs: identical final counts. (All three
+    // tiers here are slicing-invariant, so co-tenancy must be invisible
+    // to the trajectory.)
+    for (tenant, job, spec) in &specs {
+        let (code, solo) = drive(&submit(tenant, job, spec), 1024);
+        assert_eq!(code, 0);
+        let solo_done = solo.iter().find(|e| kind(e) == "done").unwrap();
+        let contended_done = events
+            .iter()
+            .find(|e| kind(e) == "done" && str_of(e, "tenant") == *tenant)
+            .unwrap();
+        assert_eq!(
+            counts_of(solo_done),
+            counts_of(contended_done),
+            "tenant {tenant}: co-tenancy perturbed the trajectory"
+        );
+    }
+}
+
+#[test]
 fn snapshot_stop_resume_matches_the_uninterrupted_run_bit_for_bit() {
     // Turbo is slicing-invariant, so the resumed trajectory must equal the
     // uninterrupted one exactly — even though the resumed server slices
     // with a different quantum. A mid-run shock (fired before the
     // snapshot) checks that `shock_applied` rides the snapshot file.
+    // The snapshot threshold sits millions of steps in so the request
+    // always arrives (reader-thread latency) while the clock is still
+    // below it.
     let spec = torus_spec(
         "turbo",
-        30_000,
-        10_000,
+        8_000_000,
+        2_000_000,
         "{\"kind\":\"inject_colour\",\"at\":7777}",
     );
     let snap_path = scratch_file("turbo_mid.ppsnap");
@@ -171,7 +286,7 @@ fn snapshot_stop_resume_matches_the_uninterrupted_run_bit_for_bit() {
     // Leg 1: run to the snapshot point, stop.
     let requests = format!(
         "{}{{\"schema_version\":1,\"op\":\"snapshot\",\"tenant\":\"solo\",\"job\":\"grid\",\
-         \"path\":\"{snap_str}\",\"at\":15000,\"stop\":true}}\n",
+         \"path\":\"{snap_str}\",\"at\":4000000,\"stop\":true}}\n",
         submit("solo", "grid", &spec),
     );
     let (code, events) = drive(&requests, 2048);
@@ -179,8 +294,8 @@ fn snapshot_stop_resume_matches_the_uninterrupted_run_bit_for_bit() {
     let snap_ev = events.iter().find(|e| kind(e) == "snapshot").unwrap();
     let snap_clock = u64_of(snap_ev, "clock");
     assert!(
-        (15_000..25_000).contains(&snap_clock),
-        "snapshot fires at the first slice boundary at or after 15000, got {snap_clock}"
+        (4_000_000..4_020_000).contains(&snap_clock),
+        "snapshot fires at the first slice boundary at or after 4000000, got {snap_clock}"
     );
     assert!(
         events.iter().any(|e| kind(e) == "shock"),
@@ -215,8 +330,11 @@ fn snapshot_stop_resume_matches_the_uninterrupted_run_bit_for_bit() {
 
 #[test]
 fn corrupted_and_truncated_snapshots_are_rejected_with_exit_2() {
-    // A genuine snapshot to corrupt.
-    let spec = torus_spec("packed", 2_000, 1_000, "null");
+    // A genuine snapshot to corrupt. The step target is effectively
+    // unreachable so the job cannot complete before the reader thread
+    // delivers the snapshot request — the run always ends via the
+    // `stop: true` snapshot, never via `done`.
+    let spec = torus_spec("packed", 100_000_000, 100_000_000, "null");
     let snap_path = scratch_file("to_corrupt.ppsnap");
     let snap_str = snap_path.display().to_string();
     let requests = format!(
@@ -272,8 +390,9 @@ fn malformed_and_misdirected_requests_exit_2() {
     assert_eq!(code, 2);
     assert!(events.iter().any(|e| kind(e) == "error"));
 
-    // Duplicate submit of a live job.
-    let spec = complete_spec("agent", 32, 1_000_000, 1_000_000);
+    // Duplicate submit of a live job. The first job's step target is
+    // unreachable so it is still live when the duplicate arrives.
+    let spec = complete_spec("agent", 32, 100_000_000, 100_000_000);
     let requests = format!(
         "{}{}",
         submit("t", "same", &spec),

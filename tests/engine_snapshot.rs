@@ -240,7 +240,11 @@ fn sharded_snapshot_sits_on_the_block_grid_and_rejects_off_grid_clocks() {
     e.run(100); // mid-block
     let snap = Engine::save_snapshot(&mut e);
     assert_eq!(snap.clock, 128, "drain must land on the next boundary");
-    assert_eq!(snap.aux, vec![2, 64], "layout must ride in aux");
+    assert_eq!(
+        snap.aux,
+        vec![2, 64, pp_engine::ReadMode::Snapshot.aux_word()],
+        "layout and read mode must ride in aux"
+    );
 
     let mut off = snap.clone();
     off.clock += 1;

@@ -13,23 +13,31 @@
 //! (hit-time distributions), and moment checks (summary trajectories at
 //! checkpoints) under one Bonferroni-corrected threshold.
 //!
-//! The suite deliberately includes the **complete graph**, where the
-//! strided partition defers ~3/4 of all interactions through the merge —
-//! the hardest case for the reordering relaxation — and the harness's
-//! power is demonstrated by `boundary_double_count_bug_is_rejected`: the
-//! canonical reconciliation bug (each queued interaction applied twice)
-//! must be rejected at `p < 10⁻⁶`.
+//! The suite deliberately includes the **complete graph**, the hardest
+//! case for both cross-shard read relaxations: its strided partition
+//! sends ~3/4 of interactions cross-shard, through the boundary merge
+//! (`ReadMode::Defer`) or block-start snapshot reads
+//! (`ReadMode::Snapshot`, the strided default — so the family battery
+//! exercises snapshot reads on the complete graph and the merge on the
+//! contiguous families, and `snapshot_reads_match_packed_on_high_cut_families`
+//! adds the explicit snapshot-mode battery on complete + expander). The
+//! harness's power is demonstrated twice: the canonical reconciliation
+//! bug (each queued interaction applied twice,
+//! `boundary_double_count_bug_is_rejected`) and the canonical
+//! count-split bug (one granted step per block migrated between shards,
+//! `split_off_by_one_bug_is_rejected`) must both be rejected at
+//! `p < 10⁻⁶`.
 //!
-//! The sharded trajectories are a function of `(seed, shards, block)`
-//! only — never of thread count — so the suite is deterministic on any
-//! machine. `PP_EQUIV_SEEDS` (default 48) scales the ensemble; the CI
-//! `sharded-smoke` job runs 24. Keep it at 20 or above (below the
-//! harness's `VARIANCE_TEST_MIN_N` the variance checks are dropped and
-//! the chi-square histograms starve).
+//! The sharded trajectories are a function of `(seed, shards, block,
+//! read mode)` only — never of thread count — so the suite is
+//! deterministic on any machine. `PP_EQUIV_SEEDS` (default 48) scales
+//! the ensemble; the CI `sharded-smoke` job runs 24. Keep it at 20 or
+//! above (below the harness's `VARIANCE_TEST_MIN_N` the variance checks
+//! are dropped and the chi-square histograms starve).
 
 use pp_baselines::{AntiVoter, ThreeMajority, TwoChoices, Voter};
 use pp_core::{init, packed::config_stats_from_words, Colour, Diversification, Weights};
-use pp_engine::{replicate, PackedProtocol, PackedSimulator, ShardedSimulator};
+use pp_engine::{replicate, PackedProtocol, PackedSimulator, ReadMode, ShardedSimulator};
 use pp_graph::{random_regular, Complete, Csr, Cycle, Topology, Torus2d};
 use pp_stats::EquivalenceSuite;
 use rand::rngs::StdRng;
@@ -140,22 +148,63 @@ fn probe_counts(records: &[SeedRecord], categories: usize) -> Vec<u64> {
     counts
 }
 
+/// Which canonical sharded-scheduler bug a cell injects (power
+/// demonstrations only; `None` for the contract batteries).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Inject {
+    None,
+    /// Every queued boundary interaction applied twice in the merge.
+    DoubleCount,
+    /// One granted step per block migrated to shard 0 (sums preserved).
+    SplitOffByOne,
+}
+
+/// Per-cell sharded-engine configuration.
+#[derive(Clone, Copy)]
+struct CellCfg {
+    /// `None` = the partition layout's default read mode.
+    mode: Option<ReadMode>,
+    inject: Inject,
+    block: u64,
+}
+
+impl Default for CellCfg {
+    fn default() -> Self {
+        CellCfg {
+            mode: None,
+            inject: Inject::None,
+            block: BLOCK,
+        }
+    }
+}
+
 fn sharded_engine<P, T>(
     protocol: P,
     topology: T,
     init: &[P::State],
     seed: u64,
+    cfg: CellCfg,
 ) -> ShardedSimulator<P, T, u8>
 where
     P: PackedProtocol,
     T: Topology,
 {
-    ShardedSimulator::<_, _, u8>::new(protocol, topology, init, seed).with_layout(SHARDS, BLOCK)
+    let mut sim = ShardedSimulator::<_, _, u8>::new(protocol, topology, init, seed)
+        .with_layout(SHARDS, cfg.block);
+    if let Some(mode) = cfg.mode {
+        sim = sim.with_read_mode(mode);
+    }
+    match cfg.inject {
+        Inject::None => {}
+        Inject::DoubleCount => sim.inject_boundary_double_count(true),
+        Inject::SplitOffByOne => sim.inject_split_off_by_one(true),
+    }
+    sim
 }
 
 /// Runs one protocol × family cell on both engines and records the full
-/// test battery into `suite`. `sabotage` switches on the injected
-/// boundary double-count bug (power demonstration).
+/// test battery into `suite`. `cfg` picks the sharded engine's read mode
+/// and any injected bug (power demonstration).
 #[allow(clippy::too_many_arguments)]
 fn compare_cell<P, T>(
     suite: &mut EquivalenceSuite,
@@ -168,7 +217,7 @@ fn compare_cell<P, T>(
     stat_names: &[&str],
     stat: impl Fn(&[u32]) -> Vec<f64> + Sync,
     hit: impl Fn(&[u32]) -> bool + Sync,
-    sabotage: bool,
+    cfg: CellCfg,
 ) where
     P: PackedProtocol + Clone,
     P::State: Clone + Send + Sync,
@@ -190,8 +239,8 @@ fn compare_cell<P, T>(
             topology.clone(),
             &init,
             700_000 + cell * 1_000 + s,
+            cfg,
         );
-        sim.inject_boundary_double_count(sabotage);
         run_seed(&mut sim, &checkpoints, stat, hit)
     });
 
@@ -252,22 +301,23 @@ fn compare_on_family<P>(
     stat_names: &[&str],
     stat: impl Fn(&[u32]) -> Vec<f64> + Sync + Clone,
     hit: impl Fn(&[u32]) -> bool + Sync + Clone,
+    cfg: CellCfg,
 ) where
     P: PackedProtocol + Clone,
     P::State: Clone + Send + Sync,
 {
     match family {
         FamilyTopo::Complete(t) => compare_cell(
-            suite, label, cell, protocol, t, init, categories, stat_names, stat, hit, false,
+            suite, label, cell, protocol, t, init, categories, stat_names, stat, hit, cfg,
         ),
         FamilyTopo::Cycle(t) => compare_cell(
-            suite, label, cell, protocol, t, init, categories, stat_names, stat, hit, false,
+            suite, label, cell, protocol, t, init, categories, stat_names, stat, hit, cfg,
         ),
         FamilyTopo::Torus(t) => compare_cell(
-            suite, label, cell, protocol, t, init, categories, stat_names, stat, hit, false,
+            suite, label, cell, protocol, t, init, categories, stat_names, stat, hit, cfg,
         ),
         FamilyTopo::Csr(t) => compare_cell(
-            suite, label, cell, protocol, t, init, categories, stat_names, stat, hit, false,
+            suite, label, cell, protocol, t, init, categories, stat_names, stat, hit, cfg,
         ),
     }
 }
@@ -341,6 +391,7 @@ fn diversification_sharded_matches_packed_on_all_families() {
                 ]
             },
             move |wide| config_stats_from_words(wide, k).max_diversity_error(&w_hit) < 0.25,
+            CellCfg::default(),
         );
     }
     suite.assert_pass();
@@ -368,6 +419,7 @@ fn voter_sharded_matches_packed_on_all_families() {
                 ]
             },
             move |wide| some_colour_extinct(wide, k),
+            CellCfg::default(),
         );
     }
     suite.assert_pass();
@@ -395,6 +447,7 @@ fn two_choices_sharded_matches_packed_on_all_families() {
                 ]
             },
             move |wide| some_colour_extinct(wide, k),
+            CellCfg::default(),
         );
     }
     suite.assert_pass();
@@ -422,6 +475,7 @@ fn three_majority_sharded_matches_packed_on_all_families() {
                 ]
             },
             move |wide| some_colour_extinct(wide, k),
+            CellCfg::default(),
         );
     }
     suite.assert_pass();
@@ -446,9 +500,74 @@ fn anti_voter_sharded_matches_packed_on_all_families() {
             &["colour-0 fraction"],
             move |wide| vec![colour0_fraction(wide)],
             move |wide| (colour0_fraction(wide) - 0.5).abs() >= excursion,
+            CellCfg::default(),
         );
     }
     suite.assert_pass();
+}
+
+#[test]
+fn snapshot_reads_match_packed_on_high_cut_families() {
+    // The snapshot-read bias battery of the acceptance criteria: on the
+    // high-cut families — the complete graph (strided, ~3/4 cut) and a
+    // random-regular expander (contiguous numbering, cut ≈ (S−1)/S) —
+    // block-start snapshot reads must stay within the O(B/n × cut)
+    // staleness bound, i.e. statistically indistinguishable from the
+    // bit-exact engine at the harness's resolution. Forcing the mode
+    // covers both monomorphized snapshot paths (strided × snapshot and
+    // contiguous × snapshot).
+    let w = Weights::new(vec![1.0, 1.0, 2.0, 4.0]).unwrap();
+    let k = w.len();
+    let mut suite = EquivalenceSuite::new("sharded snapshot reads vs packed", 1e-3);
+    let snapshot = CellCfg {
+        mode: Some(ReadMode::Snapshot),
+        ..CellCfg::default()
+    };
+    for (i, (name, family)) in families(5).into_iter().enumerate() {
+        if !matches!(family, FamilyTopo::Complete(_) | FamilyTopo::Csr(_)) {
+            continue;
+        }
+        let w_stat = w.clone();
+        let w_hit = w.clone();
+        compare_on_family(
+            &mut suite,
+            &format!("diversification/{name} [snapshot reads]"),
+            50 + i as u64,
+            Diversification::new(w.clone()),
+            family,
+            init::all_dark_balanced(N, &w),
+            2 * k,
+            &["diversity error", "dark fraction"],
+            move |wide| {
+                vec![
+                    config_stats_from_words(wide, k).max_diversity_error(&w_stat),
+                    dark_fraction(wide),
+                ]
+            },
+            move |wide| config_stats_from_words(wide, k).max_diversity_error(&w_hit) < 0.25,
+            snapshot,
+        );
+    }
+    suite.assert_pass();
+}
+
+/// Asserts that `suite` rejected with at least one failure below 10⁻⁶.
+fn assert_rejected_below_1e6(suite: &EquivalenceSuite, what: &str) {
+    assert!(
+        !suite.passed(),
+        "{what} was not detected:\n{}",
+        suite.render()
+    );
+    let min_p = suite
+        .failures()
+        .iter()
+        .map(|(_, r)| r.p_value)
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        min_p < 1e-6,
+        "{what} only rejected at p = {min_p:.3e} (need < 1e-6):\n{}",
+        suite.render()
+    );
 }
 
 #[test]
@@ -457,8 +576,10 @@ fn boundary_double_count_bug_is_rejected() {
     // reconciliation bug — every queued boundary interaction applied
     // twice — the harness must reject equivalence at p < 10⁻⁶. The
     // complete graph is used because its strided partition sends ~3/4 of
-    // interactions through the merge, the worst case a real
-    // reconciliation bug would corrupt.
+    // interactions cross-shard, the worst case a real reconciliation bug
+    // would corrupt; the read mode is pinned to `Defer` because the
+    // merge is the code this bug lives in (the strided default is
+    // snapshot reads, which have no merge).
     let w = Weights::new(vec![1.0, 1.0, 2.0, 4.0]).unwrap();
     let k = w.len();
     let mut suite = EquivalenceSuite::new("sharded double-count injection", 1e-3);
@@ -480,21 +601,50 @@ fn boundary_double_count_bug_is_rejected() {
             ]
         },
         move |wide| config_stats_from_words(wide, k).max_diversity_error(&w_hit) < 0.25,
-        true,
+        CellCfg {
+            mode: Some(ReadMode::Defer),
+            inject: Inject::DoubleCount,
+            block: BLOCK,
+        },
     );
-    assert!(
-        !suite.passed(),
-        "double-counted boundary interactions were not detected:\n{}",
-        suite.render()
+    assert_rejected_below_1e6(&suite, "double-counted boundary interactions");
+}
+
+#[test]
+fn split_off_by_one_bug_is_rejected() {
+    // Power demonstration for the count-split itself: one granted step
+    // per block migrated to shard 0 — totals still sum to the block, so
+    // only the *distribution* of work is wrong. A short block makes the
+    // relative distortion large (shard 0's expected share of a 4-step
+    // block over 4 equal shards is 1, so +1 doubles its activation
+    // rate), and on the strided complete graph shard 0 is exactly the
+    // agents initialised to colour 0 — voter dynamics turn the rate bias
+    // into directional colour-0 extinction the harness must reject at
+    // p < 10⁻⁶ (the hit event probes that colour directly).
+    let k = 4;
+    let mut suite = EquivalenceSuite::new("sharded split off-by-one injection", 1e-3);
+    compare_cell(
+        &mut suite,
+        "voter/complete [off-by-one count split]",
+        61,
+        Voter,
+        Complete::new(N),
+        balanced_colours(k),
+        k,
+        &["colour-0 fraction", "max colour fraction", "alive colours"],
+        move |wide| {
+            vec![
+                colour0_fraction(wide),
+                max_colour_fraction(wide, k),
+                alive_colours(wide, k),
+            ]
+        },
+        move |wide| wide.iter().all(|&p| p != 0),
+        CellCfg {
+            mode: None,
+            inject: Inject::SplitOffByOne,
+            block: 4,
+        },
     );
-    let min_p = suite
-        .failures()
-        .iter()
-        .map(|(_, r)| r.p_value)
-        .fold(f64::INFINITY, f64::min);
-    assert!(
-        min_p < 1e-6,
-        "double-count bug only rejected at p = {min_p:.3e} (need < 1e-6):\n{}",
-        suite.render()
-    );
+    assert_rejected_below_1e6(&suite, "the off-by-one count split");
 }
